@@ -1,0 +1,163 @@
+//! DISON adaptation (§6.1).
+//!
+//! DISON (Yuan & Li) generates candidates by scanning the postings lists of
+//! a query *prefix*. Adapted to WED subtrajectory search as the paper
+//! describes: `Q'` is the shortest prefix of `Q` with `Σ c(q) ≥ τ` — a valid
+//! τ-subsequence (so Theorem 1 and Lemma 1 apply), but not optimized for
+//! candidate count like MinCand. Verification reuses the engine's layer, so
+//! the baseline comes in `DISON-SW` and `DISON-BT` flavors.
+
+use std::time::Instant;
+use trajsearch_core::results::MatchResult;
+use trajsearch_core::verify::{verify_candidates, Candidate, VerifyMode};
+use trajsearch_core::{InvertedIndex, SearchStats};
+use traj::TrajectoryStore;
+use wed::{sw_scan_all, Sym, WedInstance};
+
+/// DISON-style prefix-filtered search.
+pub struct Dison<'a, M: WedInstance> {
+    model: M,
+    store: &'a TrajectoryStore,
+    index: InvertedIndex,
+    verify: VerifyMode,
+}
+
+impl<'a, M: WedInstance> Dison<'a, M> {
+    pub fn new(model: M, store: &'a TrajectoryStore, alphabet_size: usize, verify: VerifyMode) -> Self {
+        let index = InvertedIndex::build(store, alphabet_size);
+        Dison { model, store, index, verify }
+    }
+
+    pub fn index(&self) -> &InvertedIndex {
+        &self.index
+    }
+
+    /// The candidate-generating prefix: positions `0..i` where `i` is
+    /// minimal with `Σ c(q) ≥ τ`; `None` if even the whole query is too
+    /// cheap (filtering infeasible).
+    fn prefix(&self, q: &[Sym], tau: f64) -> Option<usize> {
+        let mut acc = 0.0;
+        for (i, &sym) in q.iter().enumerate() {
+            acc += self.model.lower_cost(sym);
+            if acc >= tau {
+                return Some(i + 1);
+            }
+        }
+        None
+    }
+
+    pub fn search(&self, q: &[Sym], tau: f64) -> (Vec<MatchResult>, SearchStats) {
+        assert!(tau > 0.0 && !q.is_empty());
+        let mut stats = SearchStats::default();
+        let t0 = Instant::now();
+        let prefix_len = self.prefix(q, tau);
+        stats.mincand_time = t0.elapsed();
+
+        let Some(prefix_len) = prefix_len else {
+            // Same exactness fallback as the engine.
+            stats.fallback = true;
+            let t = Instant::now();
+            let mut rs = trajsearch_core::ResultSet::new();
+            for (id, traj) in self.store.iter() {
+                for m in sw_scan_all(&self.model, traj.path(), q, tau) {
+                    rs.push(id, m.start, m.end, m.dist);
+                }
+            }
+            let matches = rs.into_sorted_vec();
+            stats.results = matches.len();
+            stats.verify_time = t.elapsed();
+            return (matches, stats);
+        };
+        stats.tsubseq_len = prefix_len;
+
+        let t1 = Instant::now();
+        let mut candidates = Vec::new();
+        for (pos, &sym) in q.iter().enumerate().take(prefix_len) {
+            for b in self.model.neighbors(sym) {
+                for &(id, j) in self.index.postings(b) {
+                    candidates.push(Candidate { id, j, iq: pos as u32 });
+                }
+            }
+        }
+        stats.lookup_time = t1.elapsed();
+
+        let t2 = Instant::now();
+        let matches = verify_candidates(
+            &self.model,
+            self.store,
+            |id| self.index.span(id),
+            q,
+            tau,
+            &candidates,
+            self.verify,
+            None,
+            false,
+            &mut stats,
+        );
+        stats.verify_time = t2.elapsed();
+        (matches, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::naive_search;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+    use traj::Trajectory;
+    use wed::models::Lev;
+
+    fn random_store(rng: &mut ChaCha8Rng, n: usize) -> TrajectoryStore {
+        (0..n)
+            .map(|_| {
+                let len = rng.gen_range(1..15);
+                Trajectory::untimed((0..len).map(|_| rng.gen_range(0..8)).collect())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn both_verify_modes_equal_naive() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let store = random_store(&mut rng, 15);
+        for mode in [VerifyMode::Sw, VerifyMode::Trie] {
+            let dison = Dison::new(&Lev, &store, 8, mode);
+            for _ in 0..8 {
+                let qlen = rng.gen_range(1..5);
+                let q: Vec<Sym> = (0..qlen).map(|_| rng.gen_range(0..8)).collect();
+                let tau = rng.gen_range(0.5..(qlen as f64 + 0.5));
+                let (got, _) = dison.search(&q, tau);
+                let want = naive_search(&Lev, &store, &q, tau);
+                assert_eq!(got.len(), want.len(), "mode={mode:?} q={q:?} tau={tau}");
+                for (g, w) in got.iter().zip(&want) {
+                    assert_eq!((g.id, g.start, g.end), (w.id, w.start, w.end));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_is_shortest_satisfying() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let store = random_store(&mut rng, 5);
+        let dison = Dison::new(&Lev, &store, 8, VerifyMode::Trie);
+        // Lev: c(q) = 1 per symbol, so prefix length = ceil(tau).
+        assert_eq!(dison.prefix(&[1, 2, 3, 4], 2.0), Some(2));
+        assert_eq!(dison.prefix(&[1, 2, 3, 4], 0.5), Some(1));
+        assert_eq!(dison.prefix(&[1, 2], 3.0), None);
+    }
+
+    #[test]
+    fn infeasible_falls_back_exactly() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let store = random_store(&mut rng, 8);
+        let dison = Dison::new(&Lev, &store, 8, VerifyMode::Trie);
+        let q: Vec<Sym> = vec![1, 2];
+        let tau = 5.0; // c(Q) = 2 < tau
+        let (got, stats) = dison.search(&q, tau);
+        assert!(stats.fallback);
+        let want = naive_search(&Lev, &store, &q, tau);
+        assert_eq!(got.len(), want.len());
+    }
+}

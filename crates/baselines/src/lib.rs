@@ -1,0 +1,36 @@
+//! Competitor methods from the paper's evaluation (§6.1, Appendix C).
+//!
+//! Every baseline returns the *same exact result set* as the OSF engine
+//! (Definition 3) — they differ in candidate generation and verification
+//! strategy, which is precisely what Figures 6–11 measure:
+//!
+//! * [`naive`] — O(Σ|P|³·|Q|) substring enumeration; correctness oracle.
+//! * [`plain_sw`] — index-free Smith–Waterman scan (Plain-SW).
+//! * [`dison`] — DISON adaptation: `Q'` is the shortest query *prefix* with
+//!   `Σ c(q) ≥ τ` (instead of the MinCand-optimized subsequence).
+//! * [`torch`] — Torch adaptation: candidates from the postings of *every*
+//!   query symbol.
+//! * [`qgram`] — q-gram count filtering for unit-cost models (EDR/Lev).
+//! * [`dita`] — DITA-style pivot lower bounds over enumerated
+//!   subtrajectories (whole-matching method forced onto subtrajectories).
+//! * [`erp_index`] — ERP-index: coordinate-sum lower bound in a kd-tree over
+//!   enumerated subtrajectories.
+//!
+//! DISON and Torch reuse the engine's verification layer, so each comes in
+//! `-SW` and `-BT` flavors exactly as in the paper.
+
+pub mod dison;
+pub mod dita;
+pub mod erp_index;
+pub mod naive;
+pub mod plain_sw;
+pub mod qgram;
+pub mod torch;
+
+pub use dison::Dison;
+pub use dita::DitaIndex;
+pub use erp_index::ErpIndex;
+pub use naive::naive_search;
+pub use plain_sw::plain_sw_search;
+pub use qgram::QGramIndex;
+pub use torch::Torch;

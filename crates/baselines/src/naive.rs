@@ -1,0 +1,63 @@
+//! Naive substring enumeration — the correctness oracle.
+//!
+//! Computes `wed(P[s..=t], Q)` for every substring of every trajectory
+//! (O(Σ|P|³·|Q|) as noted in §3). Far too slow for real workloads but
+//! unambiguous; every other method is tested against it.
+
+use trajsearch_core::results::{sort_results, MatchResult};
+use traj::TrajectoryStore;
+use wed::{wed, CostModel, Sym};
+
+/// All `(id, s, t)` with `wed(P^(id)[s..=t], Q) < tau`, by brute force.
+pub fn naive_search<M: CostModel>(
+    model: &M,
+    store: &TrajectoryStore,
+    q: &[Sym],
+    tau: f64,
+) -> Vec<MatchResult> {
+    let mut out = Vec::new();
+    for (id, t) in store.iter() {
+        let p = t.path();
+        for s in 0..p.len() {
+            for e in s..p.len() {
+                let d = wed(model, &p[s..=e], q);
+                if d < tau {
+                    out.push(MatchResult { id, start: s, end: e, dist: d });
+                }
+            }
+        }
+    }
+    sort_results(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj::Trajectory;
+    use wed::models::Lev;
+
+    #[test]
+    fn finds_exact_and_near_matches() {
+        let mut store = TrajectoryStore::new();
+        store.push(Trajectory::untimed(vec![0, 1, 2, 3]));
+        let got = naive_search(&Lev, &store, &[1, 2], 1.0);
+        assert_eq!(got.len(), 1);
+        assert_eq!((got[0].start, got[0].end, got[0].dist), (1, 2, 0.0));
+        let wider = naive_search(&Lev, &store, &[1, 2], 2.0);
+        assert!(wider.len() > 1);
+        assert!(wider.iter().all(|m| m.dist < 2.0));
+    }
+
+    #[test]
+    fn output_is_sorted() {
+        let mut store = TrajectoryStore::new();
+        store.push(Trajectory::untimed(vec![1, 1, 1]));
+        store.push(Trajectory::untimed(vec![1, 1]));
+        let got = naive_search(&Lev, &store, &[1], 1.0);
+        let keys: Vec<_> = got.iter().map(|m| (m.id, m.start, m.end)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+}

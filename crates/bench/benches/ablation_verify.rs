@@ -1,0 +1,49 @@
+//! Ablation: the three verification strategies on identical candidates —
+//! SW (no locality), Local (bidirectional + early termination, no cache),
+//! Trie (the paper's BT). Quantifies how much each §5 idea contributes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use trajsearch_bench::data::{Dataset, FuncKind, Scale};
+use trajsearch_core::{SearchEngine, SearchOptions, VerifyMode};
+use wed::WedInstance;
+
+fn bench(c: &mut Criterion) {
+    let d = Dataset::load("beijing", Scale::tiny());
+    let func = FuncKind::Edr;
+    let model = d.model(func);
+    let (store, alphabet) = d.store_for(func);
+    let engine: SearchEngine<'_, &dyn WedInstance> = SearchEngine::new(&*model, store, alphabet);
+    let wl: Vec<(Vec<wed::Sym>, f64)> = d
+        .sample_queries(func, 30, 5, 7)
+        .into_iter()
+        .map(|q| {
+            let tau = d.tau_for(&*model, &q, 0.2);
+            (q, tau)
+        })
+        .collect();
+
+    let mut g = c.benchmark_group("ablation_verify");
+    g.sample_size(10);
+    for (name, mode) in [
+        ("SW", VerifyMode::Sw),
+        ("Local", VerifyMode::Local),
+        ("Trie", VerifyMode::Trie),
+    ] {
+        g.bench_with_input(BenchmarkId::new(name, "r=0.2"), &wl, |b, wl| {
+            b.iter(|| {
+                for (q, tau) in wl {
+                    let out = engine.search_opts(
+                        q,
+                        *tau,
+                        SearchOptions { verify: mode, ..Default::default() },
+                    );
+                    std::hint::black_box(out);
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Figure 11 (criterion): candidate-generation cost of the filtering
+//! strategies (MinCand + neighborhood materialization + postings scans).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use trajsearch_bench::data::{Dataset, FuncKind, Scale};
+use trajsearch_core::{FilterPlan, InvertedIndex};
+
+fn bench(c: &mut Criterion) {
+    let d = Dataset::load("beijing", Scale::tiny());
+    let func = FuncKind::Edr;
+    let model = d.model(func);
+    let (store, alphabet) = d.store_for(func);
+    let index = InvertedIndex::build(store, alphabet);
+    let queries = d.sample_queries(func, 30, 5, 5);
+
+    let mut g = c.benchmark_group("fig11_filtering");
+    g.sample_size(20);
+    for ratio in [0.1, 0.3] {
+        let wl: Vec<(Vec<wed::Sym>, f64)> = queries
+            .iter()
+            .map(|q| (q.clone(), d.tau_for(&*model, q, ratio)))
+            .collect();
+        g.bench_with_input(BenchmarkId::new("OSF-plan+lookup", format!("r={ratio}")), &wl, |b, wl| {
+            b.iter(|| {
+                for (q, tau) in wl {
+                    let plan = FilterPlan::build(&&*model, &index, q, *tau);
+                    std::hint::black_box(plan.candidates(&index));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Figure 12 (criterion): temporal filtering (TF) vs postprocessing
+//! (no-TF) at low temporal selectivity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use trajsearch_bench::data::{Dataset, FuncKind, Scale};
+use trajsearch_bench::methods::MethodSet;
+use trajsearch_core::{SearchOptions, TemporalConstraint, TimeInterval, VerifyMode};
+
+fn bench(c: &mut Criterion) {
+    let d = Dataset::load("beijing", Scale::tiny());
+    let func = FuncKind::Edr;
+    let model = d.model(func);
+    let (store, alphabet) = d.store_for(func);
+    let set = MethodSet::new(&*model, store, alphabet);
+
+    let (mut tmin, mut tmax) = (f64::INFINITY, f64::NEG_INFINITY);
+    for (_, t) in store.iter() {
+        tmin = tmin.min(t.departure());
+        tmax = tmax.max(t.arrival());
+    }
+    let interval = TimeInterval::new(tmin, tmin + 0.02 * (tmax - tmin));
+    let constraint = TemporalConstraint::overlaps(interval);
+
+    let wl: Vec<(Vec<wed::Sym>, f64)> = d
+        .sample_queries(func, 30, 5, 6)
+        .into_iter()
+        .map(|q| {
+            let tau = d.tau_for(&*model, &q, 0.1);
+            (q, tau)
+        })
+        .collect();
+
+    let mut g = c.benchmark_group("fig12_temporal");
+    g.sample_size(10);
+    for (name, tf) in [("TF", true), ("no-TF", false)] {
+        g.bench_with_input(BenchmarkId::new(name, "ts=2%"), &wl, |b, wl| {
+            b.iter(|| {
+                for (q, tau) in wl {
+                    let out = set.engine().search_opts(
+                        q,
+                        *tau,
+                        SearchOptions {
+                            verify: VerifyMode::Trie,
+                            temporal: Some(constraint),
+                            temporal_filter: tf,
+                            ..Default::default()
+                        },
+                    );
+                    std::hint::black_box(out);
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Figure 4 (criterion): end-to-end travel-time-estimation experiment at a
+//! tiny scale (ground-truth discovery + WED estimation + LOOCV scoring).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use trajsearch_bench::data::Scale;
+use trajsearch_bench::exp::travel_time;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_travel_time");
+    g.sample_size(10);
+    g.bench_function("rmse_tiny", |b| {
+        b.iter(|| std::hint::black_box(travel_time::run_fig4(8, 2, &[0.1], Scale(0.03))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

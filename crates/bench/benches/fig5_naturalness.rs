@@ -1,0 +1,18 @@
+//! Figure 5 (criterion): alternative-route search + naturalness scoring at
+//! a tiny scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use trajsearch_bench::data::Scale;
+use trajsearch_bench::exp::naturalness;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_naturalness");
+    g.sample_size(10);
+    g.bench_function("naturalness_tiny", |b| {
+        b.iter(|| std::hint::black_box(naturalness::run(&[6], &[0.2], 2, Scale(0.02))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

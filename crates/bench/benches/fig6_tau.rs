@@ -1,0 +1,43 @@
+//! Figure 6 (criterion): query time vs τ-ratio for the indexed methods.
+//!
+//! Tiny scale so `cargo bench` stays fast; the full sweep with all four
+//! datasets and Plain-SW is `repro fig6`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use trajsearch_bench::data::{Dataset, FuncKind, Scale};
+use trajsearch_bench::methods::{MethodKind, MethodSet};
+
+fn bench(c: &mut Criterion) {
+    let d = Dataset::load("beijing", Scale::tiny());
+    let func = FuncKind::Edr;
+    let model = d.model(func);
+    let (store, alphabet) = d.store_for(func);
+    let set = MethodSet::new(&*model, store, alphabet);
+    let queries = d.sample_queries(func, 30, 5, 1);
+
+    let mut g = c.benchmark_group("fig6_tau");
+    g.sample_size(10);
+    for ratio in [0.1, 0.2, 0.3] {
+        let wl: Vec<(Vec<wed::Sym>, f64)> = queries
+            .iter()
+            .map(|q| (q.clone(), d.tau_for(&*model, q, ratio)))
+            .collect();
+        for m in [MethodKind::OsfBt, MethodKind::OsfSw, MethodKind::DisonBt, MethodKind::TorchBt, MethodKind::QGram] {
+            g.bench_with_input(
+                BenchmarkId::new(m.name(), format!("r={ratio}")),
+                &wl,
+                |b, wl| {
+                    b.iter(|| {
+                        for (q, tau) in wl {
+                            std::hint::black_box(set.run(m, q, *tau));
+                        }
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Figure 7 (criterion): query time vs query length at τ-ratio = 0.1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use trajsearch_bench::data::{Dataset, FuncKind, Scale};
+use trajsearch_bench::methods::{MethodKind, MethodSet};
+
+fn bench(c: &mut Criterion) {
+    let d = Dataset::load("beijing", Scale::tiny());
+    let func = FuncKind::Edr;
+    let model = d.model(func);
+    let (store, alphabet) = d.store_for(func);
+    let set = MethodSet::new(&*model, store, alphabet);
+
+    let mut g = c.benchmark_group("fig7_qlen");
+    g.sample_size(10);
+    for qlen in [10usize, 20, 40] {
+        let wl: Vec<(Vec<wed::Sym>, f64)> = d
+            .sample_queries(func, qlen, 5, 2)
+            .into_iter()
+            .map(|q| {
+                let tau = d.tau_for(&*model, &q, 0.1);
+                (q, tau)
+            })
+            .collect();
+        for m in [MethodKind::OsfBt, MethodKind::DisonBt, MethodKind::TorchBt] {
+            g.bench_with_input(BenchmarkId::new(m.name(), format!("|Q|={qlen}")), &wl, |b, wl| {
+                b.iter(|| {
+                    for (q, tau) in wl {
+                        std::hint::black_box(set.run(m, q, *tau));
+                    }
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Figure 8 (criterion): query time vs dataset size (prefix fractions).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use trajsearch_bench::data::{Dataset, FuncKind, Scale};
+use trajsearch_bench::methods::{MethodKind, MethodSet};
+
+fn bench(c: &mut Criterion) {
+    let d = Dataset::load("beijing", Scale::tiny());
+    let func = FuncKind::Edr;
+    let model = d.model(func);
+    let (full_store, alphabet) = d.store_for(func);
+    let queries = d.sample_queries(func, 30, 5, 3);
+
+    let mut g = c.benchmark_group("fig8_dbsize");
+    g.sample_size(10);
+    for frac in [0.25, 0.5, 1.0] {
+        let store = full_store.prefix((full_store.len() as f64 * frac).round() as usize);
+        let set = MethodSet::new(&*model, &store, alphabet);
+        let wl: Vec<(Vec<wed::Sym>, f64)> = queries
+            .iter()
+            .map(|q| (q.clone(), d.tau_for(&*model, q, 0.1)))
+            .collect();
+        for m in [MethodKind::OsfBt, MethodKind::TorchBt] {
+            g.bench_with_input(BenchmarkId::new(m.name(), format!("{:.0}%", frac * 100.0)), &wl, |b, wl| {
+                b.iter(|| {
+                    for (q, tau) in wl {
+                        std::hint::black_box(set.run(m, q, *tau));
+                    }
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Figures 9–10 (criterion): OSF vs the enumeration-based baselines (DITA,
+//! ERP-index) on a small dataset.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use baselines::{DitaIndex, ErpIndex};
+use trajsearch_bench::data::{Dataset, FuncKind, Scale};
+use trajsearch_core::SearchEngine;
+use wed::models::Erp;
+
+fn bench(c: &mut Criterion) {
+    let d = Dataset::load("beijing", Scale::tiny());
+    // Small, short-trajectory store so subtrajectory enumeration is cheap.
+    let store: traj::TrajectoryStore = d
+        .store
+        .iter()
+        .take(60)
+        .map(|(_, t)| {
+            let cut = t.len().min(25);
+            traj::Trajectory::new(t.path()[..cut].to_vec(), t.times()[..cut].to_vec())
+        })
+        .collect();
+
+    let erp = Erp::new(d.net.clone(), 1e-4 * d.median_nn_distance());
+    let engine = SearchEngine::new(&erp, &store, d.net.num_vertices());
+    let dita = DitaIndex::new(&erp, &store, 6);
+    let erpi = ErpIndex::new(&erp, &store);
+    let queries = d.sample_queries(FuncKind::Erp, 12, 5, 4);
+
+    let mut g = c.benchmark_group("fig9_enum");
+    g.sample_size(10);
+    for ratio in [0.1, 0.2] {
+        let wl: Vec<(Vec<wed::Sym>, f64)> = queries
+            .iter()
+            .map(|q| (q.clone(), d.tau_for(&erp, q, ratio)))
+            .collect();
+        g.bench_with_input(BenchmarkId::new("OSF-BT", format!("r={ratio}")), &wl, |b, wl| {
+            b.iter(|| {
+                for (q, tau) in wl {
+                    std::hint::black_box(engine.search(q, *tau));
+                }
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("DITA", format!("r={ratio}")), &wl, |b, wl| {
+            b.iter(|| {
+                for (q, tau) in wl {
+                    std::hint::black_box(dita.search(q, *tau));
+                }
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("ERP-index", format!("r={ratio}")), &wl, |b, wl| {
+            b.iter(|| {
+                for (q, tau) in wl {
+                    std::hint::black_box(erpi.search(q, *tau));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

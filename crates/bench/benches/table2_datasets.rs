@@ -1,0 +1,20 @@
+//! Table 2 (criterion): dataset materialization cost (network generation +
+//! trip synthesis + edge conversion).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use trajsearch_bench::data::{Dataset, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_datasets");
+    g.sample_size(10);
+    g.bench_function("load_beijing_tiny", |b| {
+        b.iter(|| std::hint::black_box(Dataset::load("beijing", Scale(0.02))))
+    });
+    g.bench_function("load_singapore_tiny", |b| {
+        b.iter(|| std::hint::black_box(Dataset::load("singapore", Scale(0.02))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

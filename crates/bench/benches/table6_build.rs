@@ -1,0 +1,45 @@
+//! Table 6 (criterion): index construction time — postings index vs q-gram
+//! index vs the enumeration-based DITA / ERP-index.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use baselines::{DitaIndex, ErpIndex, QGramIndex};
+use trajsearch_bench::data::{Dataset, FuncKind, Scale};
+use trajsearch_core::SearchEngine;
+use wed::models::Erp;
+
+fn bench(c: &mut Criterion) {
+    let d = Dataset::load("beijing", Scale::tiny());
+    let model = d.model(FuncKind::Edr);
+    let (store, alphabet) = d.store_for(FuncKind::Edr);
+
+    // Short-trajectory store for the enumeration-based indexes.
+    let small: traj::TrajectoryStore = d
+        .store
+        .iter()
+        .take(40)
+        .map(|(_, t)| {
+            let cut = t.len().min(20);
+            traj::Trajectory::new(t.path()[..cut].to_vec(), t.times()[..cut].to_vec())
+        })
+        .collect();
+    let erp = Erp::new(d.net.clone(), 1.0);
+
+    let mut g = c.benchmark_group("table6_build");
+    g.sample_size(10);
+    g.bench_function("postings_index", |b| {
+        b.iter(|| std::hint::black_box(SearchEngine::new(&*model, store, alphabet)))
+    });
+    g.bench_function("qgram_index", |b| {
+        b.iter(|| std::hint::black_box(QGramIndex::new(&*model, store, 3)))
+    });
+    g.bench_function("dita_enumeration", |b| {
+        b.iter(|| std::hint::black_box(DitaIndex::new(&*model, &small, 6)))
+    });
+    g.bench_function("erp_index_enumeration", |b| {
+        b.iter(|| std::hint::black_box(ErpIndex::new(&erp, &small)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

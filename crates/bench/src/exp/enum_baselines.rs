@@ -1,0 +1,137 @@
+//! Figures 9–10: comparison against the enumeration-based whole-matching
+//! baselines (DITA, ERP-index) on a small dataset.
+//!
+//! These baselines index every subtrajectory, so — exactly as in the paper —
+//! they only run on a dataset fraction that fits in memory.
+
+use crate::data::{Dataset, FuncKind, Scale};
+use crate::table::{fmt_ms, print_table};
+use baselines::{DitaIndex, ErpIndex};
+use std::time::Instant;
+use trajsearch_core::{SearchEngine, SearchOptions, VerifyMode};
+use traj::TrajectoryStore;
+use wed::models::Erp;
+use wed::Sym;
+
+#[derive(Debug, Clone)]
+pub struct EnumRow {
+    pub func: &'static str,
+    pub method: &'static str,
+    /// τ-ratio (fig 9) or #trajectories indexed (fig 10).
+    pub x: f64,
+    pub ms_per_query: f64,
+    pub avg_candidates: f64,
+}
+
+/// Builds the small store used by both figures: a prefix of the Beijing
+/// stand-in with shortened trajectories so subtrajectory enumeration stays
+/// in memory.
+fn small_store(d: &Dataset, n: usize) -> TrajectoryStore {
+    d.store
+        .iter()
+        .take(n)
+        .map(|(_, t)| {
+            let cut = t.len().min(30);
+            traj::Trajectory::new(t.path()[..cut].to_vec(), t.times()[..cut].to_vec())
+        })
+        .collect()
+}
+
+fn time_queries<F: FnMut(&[Sym], f64) -> usize>(
+    queries: &[(Vec<Sym>, f64)],
+    mut f: F,
+) -> (f64, f64) {
+    let t0 = Instant::now();
+    let mut cands = 0usize;
+    for (q, tau) in queries {
+        cands += f(q, *tau);
+    }
+    let ms = t0.elapsed().as_secs_f64() * 1e3 / queries.len().max(1) as f64;
+    (ms, cands as f64 / queries.len().max(1) as f64)
+}
+
+/// Runs OSF-BT / OSF-SW / DITA (EDR and ERP) / ERP-index (ERP only) on
+/// `ntraj` indexed trajectories across τ-ratios (Figure 9) or across
+/// trajectory counts at fixed ratio 0.1 (Figure 10).
+pub fn run(xs: &[f64], sweep_tau: bool, base_traj: usize, qlen: usize, nq: usize, scale: Scale) -> Vec<EnumRow> {
+    let d = Dataset::load("beijing", scale);
+    let mut rows = Vec::new();
+
+    for &func in &[FuncKind::Edr, FuncKind::Erp] {
+        let model = d.model(func);
+        for &x in xs {
+            let (ratio, ntraj) = if sweep_tau { (x, base_traj) } else { (0.1, x as usize) };
+            let store = small_store(&d, ntraj.min(d.store.len()));
+            let queries: Vec<(Vec<Sym>, f64)> = d
+                .sample_queries(func, qlen, nq, 130)
+                .into_iter()
+                .map(|q| {
+                    let tau = d.tau_for(&*model, &q, ratio);
+                    (q, tau)
+                })
+                .collect();
+
+            // OSF engine (both verifications).
+            let engine = SearchEngine::new(&*model, &store, d.net.num_vertices());
+            for (name, mode) in [("OSF-BT", VerifyMode::Trie), ("OSF-SW", VerifyMode::Sw)] {
+                let (ms, cands) = time_queries(&queries, |q, tau| {
+                    engine
+                        .search_opts(q, tau, SearchOptions { verify: mode, ..Default::default() })
+                        .stats
+                        .candidates
+                });
+                rows.push(EnumRow { func: func.name(), method: name, x, ms_per_query: ms, avg_candidates: cands });
+            }
+
+            // DITA on the same model.
+            let dita = DitaIndex::new(&*model, &store, 6);
+            let (ms, cands) = time_queries(&queries, |q, tau| dita.search(q, tau).1.candidates);
+            rows.push(EnumRow { func: func.name(), method: "DITA", x, ms_per_query: ms, avg_candidates: cands });
+
+            // ERP-index only applies to ERP.
+            if func == FuncKind::Erp {
+                let erp = Erp::new(d.net.clone(), 1e-4 * d.median_nn_distance());
+                let erpi = ErpIndex::new(&erp, &store);
+                let (ms, cands) = time_queries(&queries, |q, tau| erpi.search(q, tau).1.candidates);
+                rows.push(EnumRow { func: func.name(), method: "ERP-index", x, ms_per_query: ms, avg_candidates: cands });
+            }
+        }
+    }
+    rows
+}
+
+pub fn print(rows: &[EnumRow], xlabel: &str) {
+    println!("\nFigures 9-10: vs enumeration-based baselines (small dataset)");
+    print_table(
+        &["Func", xlabel, "Method", "ms/query", "avg #cand"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.func.to_string(),
+                    format!("{}", r.x),
+                    r.method.to_string(),
+                    fmt_ms(r.ms_per_query),
+                    format!("{:.1}", r.avg_candidates),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumeration_baselines_run_and_report() {
+        let rows = run(&[0.1], true, 30, 6, 2, Scale(0.01));
+        let methods: Vec<_> = rows.iter().map(|r| r.method).collect();
+        assert!(methods.contains(&"OSF-BT"));
+        assert!(methods.contains(&"DITA"));
+        assert!(methods.contains(&"ERP-index"));
+        for r in &rows {
+            assert!(r.ms_per_query >= 0.0);
+        }
+    }
+}

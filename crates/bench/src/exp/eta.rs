@@ -1,0 +1,105 @@
+//! Figure 13 (Appendix D): the effect of the neighborhood threshold η on
+//! ERP and NetERP query time.
+//!
+//! η trades filter tightness for neighborhood size: growing η raises
+//! `c(q)` (fewer, cheaper τ-subsequence elements) but inflates `B(q)` (more
+//! postings scanned). The paper finds small η best overall; very large η
+//! explodes candidate generation.
+
+use crate::data::{Dataset, FuncKind, Scale};
+use crate::methods::{MethodKind, MethodSet};
+use crate::table::{fmt_ms, print_table};
+use wed::Sym;
+
+#[derive(Debug, Clone)]
+pub struct EtaRow {
+    pub dataset: String,
+    pub func: &'static str,
+    /// η divided by its natural scale (median NN distance for ERP, median
+    /// edge length for NetERP).
+    pub eta_rel: f64,
+    pub tau_ratio: f64,
+    pub qlen: usize,
+    pub ms_per_query: f64,
+    pub fallback_rate: f64,
+}
+
+pub fn run(
+    datasets: &[&str],
+    eta_rels: &[f64],
+    settings: &[(f64, usize)],
+    nq: usize,
+    scale: Scale,
+) -> Vec<EtaRow> {
+    let mut rows = Vec::new();
+    for which in datasets {
+        let d = Dataset::load(which, scale);
+        for &func in &[FuncKind::Erp, FuncKind::NetErp] {
+            let unit = match func {
+                FuncKind::Erp => d.median_nn_distance(),
+                FuncKind::NetErp => d.median_edge_length(),
+                _ => unreachable!(),
+            };
+            for &eta_rel in eta_rels {
+                let model = d.model_with_eta(func, Some(eta_rel * unit));
+                let (store, alphabet) = d.store_for(func);
+                let set = MethodSet::new(&*model, store, alphabet);
+                for &(ratio, qlen) in settings {
+                    let wl: Vec<(Vec<Sym>, f64)> = d
+                        .sample_queries(func, qlen, nq, 150)
+                        .into_iter()
+                        .map(|q| {
+                            let tau = d.tau_for(&*model, &q, ratio);
+                            (q, tau)
+                        })
+                        .collect();
+                    let (ms, stats) = set.run_workload(MethodKind::OsfBt, &wl);
+                    rows.push(EtaRow {
+                        dataset: d.name.to_string(),
+                        func: func.name(),
+                        eta_rel,
+                        tau_ratio: ratio,
+                        qlen,
+                        ms_per_query: ms,
+                        fallback_rate: if stats.fallback { 1.0 } else { 0.0 },
+                    });
+                }
+            }
+        }
+    }
+    rows
+}
+
+pub fn print(rows: &[EtaRow]) {
+    println!("\nFigure 13 (Appendix D): eta sweep for ERP / NetERP (OSF-BT)");
+    print_table(
+        &["Dataset", "Func", "eta/median", "tau-ratio", "|Q|", "ms/query", "fallback"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.dataset.clone(),
+                    r.func.to_string(),
+                    format!("{:.0e}", r.eta_rel),
+                    format!("{}", r.tau_ratio),
+                    r.qlen.to_string(),
+                    fmt_ms(r.ms_per_query),
+                    if r.fallback_rate > 0.0 { "yes".into() } else { "no".into() },
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eta_sweep_runs_for_both_functions() {
+        let rows = run(&["beijing"], &[1e-4, 1.0], &[(0.1, 8)], 2, Scale(0.01));
+        assert_eq!(rows.len(), 4);
+        let funcs: std::collections::HashSet<_> = rows.iter().map(|r| r.func).collect();
+        assert!(funcs.contains("ERP") && funcs.contains("NetERP"));
+    }
+}

@@ -1,0 +1,17 @@
+//! One module per table/figure of the paper's evaluation (§6).
+//!
+//! Each module exposes a `run_*` function returning plain rows plus a
+//! `print_*` helper; the `repro` binary wires them to subcommands. The
+//! mapping to the paper is tabulated in `DESIGN.md` §5 and the measured
+//! shapes are recorded in `EXPERIMENTS.md`.
+
+pub mod candidates;
+pub mod enum_baselines;
+pub mod eta;
+pub mod naturalness;
+pub mod query_time;
+pub mod table2;
+pub mod table6;
+pub mod temporal;
+pub mod travel_time;
+pub mod verification;

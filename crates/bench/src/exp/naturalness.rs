@@ -1,0 +1,297 @@
+//! Figure 5: alternative-route suggestion quality (§6.2.2).
+//!
+//! A driver plans to travel from `u` to `v` along `Q`; alternative routes
+//! are subtrajectories from `u` to `v` similar to `Q`. Route quality is the
+//! *naturalness* of ref.\[66\] (Zheng & Zhou): the fraction of hops that get strictly closer (in
+//! network distance) to the destination than ever before. Detour-heavy
+//! suggestions score low.
+
+use crate::data::{Dataset, FuncKind, Scale};
+use crate::table::print_table;
+use std::collections::HashMap;
+use trajsearch_core::SearchEngine;
+use traj::TrajId;
+use wed::{Sym, WedInstance};
+
+#[derive(Debug, Clone)]
+pub struct NaturalnessRow {
+    pub func: &'static str,
+    pub qlen: usize,
+    pub tau_ratio: f64,
+    /// Average number of suggested routes per query.
+    pub cardinality: f64,
+    /// Average naturalness of suggested routes.
+    pub naturalness: f64,
+}
+
+/// Naturalness of a route ending at `v`: `|C| / (|P|-1)` where `C` is the
+/// set of hops whose endpoint is strictly closer to `v` than any earlier
+/// vertex (road-network distance via hub labels).
+pub fn naturalness(d: &Dataset, route: &[Sym], v: Sym) -> f64 {
+    if route.len() < 2 {
+        return 1.0;
+    }
+    let hubs = d.hubs();
+    let mut closest = f64::INFINITY;
+    let mut closer_hops = 0usize;
+    for (i, &p) in route.iter().enumerate() {
+        let dist = hubs.query(p, v);
+        if i > 0 && dist < closest {
+            closer_hops += 1;
+        }
+        closest = closest.min(dist);
+    }
+    closer_hops as f64 / (route.len() - 1) as f64
+}
+
+pub fn run(qlens: &[usize], tau_ratios: &[f64], nqueries: usize, scale: Scale) -> Vec<NaturalnessRow> {
+    let d = Dataset::load("beijing", scale);
+    let mut rows = Vec::new();
+
+    for &func in &FuncKind::ALL {
+        let model = d.model(func);
+        let (store, alphabet) = d.store_for(func);
+        let engine: SearchEngine<'_, &dyn WedInstance> = SearchEngine::new(&*model, store, alphabet);
+        for &qlen in qlens {
+            // Vertex-length alignment: edge queries have qlen-1 symbols so
+            // the route covers the same number of vertices.
+            let sym_len = if func.uses_edges() { qlen - 1 } else { qlen };
+            let queries = d.sample_queries(func, sym_len, nqueries, 160 + qlen as u64);
+            for &ratio in tau_ratios {
+                let (mut card_sum, mut nat_sum, mut nat_cnt) = (0.0, 0.0, 0usize);
+                for q in &queries {
+                    // Origin/destination in vertex terms.
+                    let (u, v) = if func.uses_edges() {
+                        (d.net.edge(q[0]).from, d.net.edge(*q.last().unwrap()).to)
+                    } else {
+                        (q[0], *q.last().unwrap())
+                    };
+                    let tau = d.tau_for(&*model, q, ratio.max(1e-9));
+                    let out = engine.search(q, tau);
+                    // Routes: per-trajectory best match that starts at u and
+                    // ends at v.
+                    let mut routes: HashMap<TrajId, (f64, Vec<Sym>)> = HashMap::new();
+                    for m in &out.matches {
+                        let t = store.get(m.id);
+                        let span = &t.path()[m.start..=m.end];
+                        let (rs, rt) = if func.uses_edges() {
+                            (d.net.edge(span[0]).from, d.net.edge(*span.last().unwrap()).to)
+                        } else {
+                            (span[0], *span.last().unwrap())
+                        };
+                        if rs != u || rt != v {
+                            continue;
+                        }
+                        // Vertex route for the naturalness metric.
+                        let route: Vec<Sym> = if func.uses_edges() {
+                            let mut r: Vec<Sym> = span.iter().map(|&e| d.net.edge(e).from).collect();
+                            r.push(v);
+                            r
+                        } else {
+                            span.to_vec()
+                        };
+                        let e = routes.entry(m.id).or_insert((f64::INFINITY, Vec::new()));
+                        if m.dist < e.0 {
+                            *e = (m.dist, route);
+                        }
+                    }
+                    card_sum += routes.len() as f64;
+                    for (_, (_, route)) in routes {
+                        nat_sum += naturalness(&d, &route, v);
+                        nat_cnt += 1;
+                    }
+                }
+                rows.push(NaturalnessRow {
+                    func: func.name(),
+                    qlen,
+                    tau_ratio: ratio,
+                    cardinality: card_sum / queries.len() as f64,
+                    naturalness: if nat_cnt == 0 { f64::NAN } else { nat_sum / nat_cnt as f64 },
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Figure 5 also plots the non-WED comparators. They cannot go through the
+/// engine, so candidate u→v spans are enumerated from the inverted index
+/// (trajectories containing both endpoints) and scored directly, with the
+/// paper's normalizations: DTW ≤ r·Σd(Qᵢ,Qᵢ₊₁)², LCSS ≥ (1−r)·|Q|,
+/// LORS ≥ (1−r)·w(Q), LCRS ≥ 1−r.
+pub fn run_nonwed(qlens: &[usize], tau_ratios: &[f64], nqueries: usize, scale: Scale) -> Vec<NaturalnessRow> {
+    use rnet::Point;
+    use trajsearch_core::InvertedIndex;
+    use wed::nonwed::{dtw, lcrs, lcss, lors};
+
+    let d = Dataset::load("beijing", scale);
+    let index = InvertedIndex::build(&d.store, d.net.num_vertices());
+    let funcs: [&'static str; 4] = ["DTW", "LCSS", "LORS", "LCRS"];
+    let mut rows = Vec::new();
+
+    for func in funcs {
+        for &qlen in qlens {
+            let queries = d.sample_queries(FuncKind::Lev, qlen, nqueries, 160 + qlen as u64);
+            for &ratio in tau_ratios {
+                let (mut card_sum, mut nat_sum, mut nat_cnt) = (0.0, 0.0, 0usize);
+                for q in &queries {
+                    let (u, v) = (q[0], *q.last().unwrap());
+                    let q_pts: Vec<Point> = q.iter().map(|&x| d.net.coord(x)).collect();
+                    let q_edges = d.net.path_to_edges(q).expect("query is a path");
+                    let wq: f64 = q_edges.iter().map(|&e| d.net.edge(e).length).sum();
+                    let seg: f64 = q_pts.windows(2).map(|w| w[0].dist2(&w[1])).sum();
+
+                    // Trajectories containing both endpoints.
+                    let with_u: std::collections::HashSet<u32> =
+                        index.postings(u).iter().map(|&(id, _)| id).collect();
+                    let mut accepted = 0usize;
+                    for &(id, _) in index.postings(v) {
+                        if !with_u.contains(&id) {
+                            continue;
+                        }
+                        let t = d.store.get(id);
+                        let p = t.path();
+                        // Best u→v span within a length budget.
+                        let mut best: Option<(f64, usize, usize)> = None;
+                        for (i, &pv) in p.iter().enumerate() {
+                            if pv != u {
+                                continue;
+                            }
+                            for (joff, &pw) in p[i + 1..].iter().enumerate() {
+                                let j = i + 1 + joff;
+                                if pw != v || j - i + 1 > q.len() * 5 / 2 {
+                                    continue;
+                                }
+                                let span = &p[i..=j];
+                                let score = match func {
+                                    "DTW" => {
+                                        let pts: Vec<Point> =
+                                            span.iter().map(|&x| d.net.coord(x)).collect();
+                                        dtw(&pts, &q_pts) / seg.max(1e-9)
+                                    }
+                                    "LCSS" => {
+                                        let pts: Vec<Point> =
+                                            span.iter().map(|&x| d.net.coord(x)).collect();
+                                        1.0 - lcss(&pts, &q_pts, 100.0) as f64 / q.len() as f64
+                                    }
+                                    "LORS" => {
+                                        let se = d.net.path_to_edges(span).expect("span is a path");
+                                        1.0 - lors(&se, &q_edges, |e| d.net.edge(e).length)
+                                            / wq.max(1e-9)
+                                    }
+                                    _ => {
+                                        let se = d.net.path_to_edges(span).expect("span is a path");
+                                        1.0 - lcrs(&se, &q_edges, |e| d.net.edge(e).length)
+                                    }
+                                };
+                                if score <= ratio
+                                    && best.is_none_or(|(bs, _, _)| score < bs)
+                                {
+                                    best = Some((score, i, j));
+                                }
+                            }
+                        }
+                        if let Some((_, i, j)) = best {
+                            accepted += 1;
+                            nat_sum += naturalness(&d, &p[i..=j], v);
+                            nat_cnt += 1;
+                        }
+                    }
+                    card_sum += accepted as f64;
+                }
+                rows.push(NaturalnessRow {
+                    func,
+                    qlen,
+                    tau_ratio: ratio,
+                    cardinality: card_sum / queries.len() as f64,
+                    naturalness: if nat_cnt == 0 { f64::NAN } else { nat_sum / nat_cnt as f64 },
+                });
+            }
+        }
+    }
+    rows
+}
+
+pub fn print(rows: &[NaturalnessRow]) {
+    println!("\nFigure 5: naturalness of suggested alternative routes (Beijing)");
+    print_table(
+        &["Func", "|Q|", "tau-ratio", "avg cardinality", "avg naturalness"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.func.to_string(),
+                    r.qlen.to_string(),
+                    format!("{}", r.tau_ratio),
+                    format!("{:.2}", r.cardinality),
+                    if r.naturalness.is_nan() {
+                        "-".into()
+                    } else {
+                        format!("{:.4}", r.naturalness)
+                    },
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naturalness_of_direct_path_is_high() {
+        let d = Dataset::test_tiny();
+        // Take an actual trajectory prefix: a purposeful trip should have
+        // mostly-decreasing distance to its destination.
+        let t = d.store.get(0);
+        let route = &t.path()[..t.len().min(8)];
+        let v = *route.last().unwrap();
+        let n = naturalness(&d, route, v);
+        assert!((0.0..=1.0).contains(&n));
+        // Last hop always reaches v (distance 0 < everything).
+        assert!(n > 0.0);
+    }
+
+    #[test]
+    fn naturalness_penalizes_backtracking() {
+        let d = Dataset::test_tiny();
+        let t = d.store.get(0);
+        let fwd: Vec<Sym> = t.path()[..6].to_vec();
+        let v = *fwd.last().unwrap();
+        // A route that goes out and comes back before heading to v.
+        let mut detour: Vec<Sym> = fwd[..5].to_vec();
+        let mut back: Vec<Sym> = fwd[1..5].iter().rev().cloned().collect();
+        detour.append(&mut back);
+        detour.extend_from_slice(&fwd[1..]);
+        let n_direct = naturalness(&d, &fwd, v);
+        let n_detour = naturalness(&d, &detour, v);
+        assert!(
+            n_detour < n_direct,
+            "detour {n_detour} should score below direct {n_direct}"
+        );
+    }
+
+    #[test]
+    fn run_produces_rows_for_every_function() {
+        let rows = run(&[6], &[0.2], 3, Scale(0.02));
+        let funcs: std::collections::HashSet<_> = rows.iter().map(|r| r.func).collect();
+        assert_eq!(funcs.len(), 6);
+        for r in &rows {
+            assert!(r.cardinality >= 0.0);
+        }
+    }
+
+    #[test]
+    fn nonwed_rows_cover_all_comparators() {
+        let rows = run_nonwed(&[6], &[0.3], 3, Scale(0.02));
+        let funcs: std::collections::HashSet<_> = rows.iter().map(|r| r.func).collect();
+        assert_eq!(funcs, ["DTW", "LCSS", "LORS", "LCRS"].into_iter().collect());
+        for r in &rows {
+            assert!(r.cardinality >= 0.0);
+            if !r.naturalness.is_nan() {
+                assert!((0.0..=1.0).contains(&r.naturalness));
+            }
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Figure 12: temporal constraints — TF (candidate pre-filtering) vs no-TF
+//! (post-processing), varying temporal selectivity.
+
+use crate::data::{Dataset, FuncKind, Scale};
+use crate::methods::MethodSet;
+use crate::table::{fmt_ms, print_table};
+use std::time::Instant;
+use trajsearch_core::{SearchOptions, TemporalConstraint, TimeInterval, VerifyMode};
+use wed::Sym;
+
+#[derive(Debug, Clone)]
+pub struct TemporalRow {
+    pub dataset: String,
+    pub selectivity: f64,
+    pub tf_ms: f64,
+    pub no_tf_ms: f64,
+    pub results: usize,
+}
+
+pub fn run(datasets: &[&str], selectivities: &[f64], qlen: usize, nq: usize, scale: Scale) -> Vec<TemporalRow> {
+    let mut rows = Vec::new();
+    for which in datasets {
+        let d = Dataset::load(which, scale);
+        let func = FuncKind::Edr;
+        let model = d.model(func);
+        let (store, alphabet) = d.store_for(func);
+        let set = MethodSet::new(&*model, store, alphabet);
+
+        // Dataset time range.
+        let (mut tmin, mut tmax) = (f64::INFINITY, f64::NEG_INFINITY);
+        for (_, t) in store.iter() {
+            tmin = tmin.min(t.departure());
+            tmax = tmax.max(t.arrival());
+        }
+
+        let queries: Vec<(Vec<Sym>, f64)> = d
+            .sample_queries(func, qlen, nq, 140)
+            .into_iter()
+            .map(|q| {
+                let tau = d.tau_for(&*model, &q, 0.1);
+                (q, tau)
+            })
+            .collect();
+
+        for &ts in selectivities {
+            let interval = TimeInterval::new(tmin, tmin + ts * (tmax - tmin));
+            let constraint = TemporalConstraint::overlaps(interval);
+            let run_mode = |tf: bool| {
+                let t0 = Instant::now();
+                let mut results = 0usize;
+                for (q, tau) in &queries {
+                    let out = set.engine().search_opts(
+                        q,
+                        *tau,
+                        SearchOptions {
+                            verify: VerifyMode::Trie,
+                            temporal: Some(constraint),
+                            temporal_filter: tf,
+                            ..Default::default()
+                        },
+                    );
+                    results += out.matches.len();
+                }
+                (t0.elapsed().as_secs_f64() * 1e3 / queries.len() as f64, results)
+            };
+            let (tf_ms, tf_results) = run_mode(true);
+            let (no_tf_ms, no_tf_results) = run_mode(false);
+            assert_eq!(tf_results, no_tf_results, "TF must not change results");
+            rows.push(TemporalRow {
+                dataset: d.name.to_string(),
+                selectivity: ts,
+                tf_ms,
+                no_tf_ms,
+                results: tf_results,
+            });
+        }
+    }
+    rows
+}
+
+pub fn print(rows: &[TemporalRow]) {
+    println!("\nFigure 12: temporal filtering (TF) vs postprocessing (no-TF), EDR, r=0.1");
+    print_table(
+        &["Dataset", "TS (%)", "TF ms/q", "no-TF ms/q", "#results"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.dataset.clone(),
+                    format!("{:.0}", r.selectivity * 100.0),
+                    fmt_ms(r.tf_ms),
+                    fmt_ms(r.no_tf_ms),
+                    r.results.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tf_and_no_tf_agree_and_tf_is_not_slower_at_low_selectivity() {
+        let rows = run(&["beijing"], &[0.02, 0.5], 8, 3, Scale(0.01));
+        assert_eq!(rows.len(), 2);
+        // At very low selectivity TF prunes almost everything; it should not
+        // be substantially slower than no-TF (usually much faster).
+        let low = &rows[0];
+        assert!(low.tf_ms <= low.no_tf_ms * 1.5 + 0.5, "TF {} vs no-TF {}", low.tf_ms, low.no_tf_ms);
+    }
+}

@@ -1,0 +1,89 @@
+//! Table 5: verification pruning rates (UPR / CMR / TUR) of OSF-BT.
+
+use crate::data::{Dataset, FuncKind, Scale};
+use crate::methods::{MethodKind, MethodSet};
+use crate::table::{fmt_pct, print_table};
+
+#[derive(Debug, Clone)]
+pub struct VerifRow {
+    pub setting: String,
+    pub upr: f64,
+    pub cmr: f64,
+    pub tur: f64,
+}
+
+pub fn run(scale: Scale) -> Vec<VerifRow> {
+    let d = Dataset::load("beijing", scale);
+    let func = FuncKind::Edr;
+    let model = d.model(func);
+    let (store, alphabet) = d.store_for(func);
+
+    let mut rows = Vec::new();
+    let mut measure = |setting: String, store: &traj::TrajectoryStore, qlen: usize, ratio: f64| {
+        let set = MethodSet::new(&*model, store, alphabet);
+        let wl: Vec<(Vec<wed::Sym>, f64)> = d
+            .sample_queries(func, qlen, 15, 120)
+            .into_iter()
+            .map(|q| {
+                let tau = d.tau_for(&*model, &q, ratio);
+                (q, tau)
+            })
+            .collect();
+        let (_, stats) = set.run_workload(MethodKind::OsfBt, &wl);
+        rows.push(VerifRow { setting, upr: stats.upr(), cmr: stats.cmr(), tur: stats.tur() });
+    };
+
+    measure("default (r=0.1, |Q|=60, 100%)".into(), store, 60, 0.1);
+    measure("r=0.2".into(), store, 60, 0.2);
+    measure("r=0.3".into(), store, 60, 0.3);
+    measure("|Q|=20".into(), store, 20, 0.1);
+    measure("|Q|=40".into(), store, 40, 0.1);
+    let quarter = store.prefix(store.len() / 4);
+    measure("25% data".into(), &quarter, 60, 0.1);
+    let half = store.prefix(store.len() / 2);
+    measure("50% data".into(), &half, 60, 0.1);
+    rows
+}
+
+pub fn print(rows: &[VerifRow]) {
+    println!("\nTable 5: verification pruning of OSF-BT (Beijing / EDR)");
+    println!("  UPR = unpruned position rate, CMR = cache miss rate, TUR = UPR x CMR");
+    print_table(
+        &["Setting", "UPR", "CMR", "TUR"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![r.setting.clone(), fmt_pct(r.upr), fmt_pct(r.cmr), fmt_pct(r.tur)]
+            })
+            .collect::<Vec<_>>(),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_are_valid_and_pruning_happens() {
+        let rows = run(Scale(0.02));
+        for r in &rows {
+            assert!((0.0..=1.0).contains(&r.upr), "UPR out of range: {}", r.upr);
+            assert!((0.0..=1.0).contains(&r.cmr), "CMR: {}", r.cmr);
+            assert!((r.tur - r.upr * r.cmr).abs() < 1e-9);
+        }
+        // Early termination must prune at the default setting.
+        assert!(rows[0].upr < 0.9, "no early-termination pruning observed");
+        // Trie caching must hit at the default setting.
+        assert!(rows[0].cmr < 0.9, "no cache sharing observed");
+    }
+
+    #[test]
+    fn looser_threshold_increases_unpruned_rate() {
+        let rows = run(Scale(0.02));
+        let get = |s: &str| rows.iter().find(|r| r.setting.starts_with(s)).unwrap();
+        assert!(
+            get("r=0.3").upr >= get("default").upr,
+            "UPR should grow with tau-ratio"
+        );
+    }
+}

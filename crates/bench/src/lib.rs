@@ -1,0 +1,18 @@
+//! Experiment harness reproducing every table and figure of the paper's
+//! evaluation (§6) on synthetic datasets (see `DESIGN.md` §4 for the
+//! substitutions and §5 for the experiment index).
+//!
+//! * [`data`] — the four synthetic datasets standing in for Beijing, Porto,
+//!   Singapore and San Francisco, plus query sampling and model defaults.
+//! * [`methods`] — a uniform runner over OSF/DISON/Torch (×SW/BT), q-gram
+//!   and Plain-SW.
+//! * [`exp`] — one module per table/figure; each returns plain data rows and
+//!   the `repro` binary prints them in the paper's layout.
+
+pub mod data;
+pub mod exp;
+pub mod methods;
+pub mod table;
+
+pub use data::{Dataset, FuncKind, Scale};
+pub use methods::MethodKind;

@@ -1,0 +1,88 @@
+//! Minimal fixed-width table printer for the `repro` binary's output.
+
+/// Prints a header row followed by data rows, each column padded to its
+/// widest cell.
+pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row arity mismatch");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let parts: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<width$}", c, width = widths[i]))
+            .collect();
+        println!("  {}", parts.join("  "));
+    };
+    line(header.iter().map(|s| s.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Formats milliseconds with adaptive precision.
+pub fn fmt_ms(ms: f64) -> String {
+    if ms >= 100.0 {
+        format!("{ms:.0}")
+    } else if ms >= 1.0 {
+        format!("{ms:.2}")
+    } else {
+        format!("{ms:.4}")
+    }
+}
+
+/// Formats a ratio as a percentage.
+pub fn fmt_pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+/// Formats byte counts human-readably.
+pub fn fmt_bytes(b: usize) -> String {
+    const KB: f64 = 1024.0;
+    let b = b as f64;
+    if b >= KB * KB * KB {
+        format!("{:.2} GB", b / (KB * KB * KB))
+    } else if b >= KB * KB {
+        format!("{:.2} MB", b / (KB * KB))
+    } else if b >= KB {
+        format!("{:.1} KB", b / KB)
+    } else {
+        format!("{b:.0} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_ms(250.4), "250");
+        assert_eq!(fmt_ms(2.504), "2.50");
+        assert_eq!(fmt_ms(0.1234), "0.1234");
+        assert_eq!(fmt_pct(0.2189), "21.89%");
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(2048), "2.0 KB");
+        assert_eq!(fmt_bytes(3 * 1024 * 1024), "3.00 MB");
+    }
+
+    #[test]
+    fn table_prints_without_panic() {
+        print_table(
+            &["a", "bb"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        print_table(&["a"], &[vec!["1".into(), "2".into()]]);
+    }
+}

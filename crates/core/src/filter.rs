@@ -1,0 +1,187 @@
+//! Subsequence filtering (§3): building the filtering plan and generating
+//! candidates.
+//!
+//! Theorem 1: for any subsequence `Q' ⊆ Q` with `Σ_{q∈Q'} c(q) ≥ τ`
+//! (a *τ-subsequence*), any subtrajectory disjoint from `B(Q')` has
+//! `wed ≥ τ` and can be pruned. The plan chooses `Q'` with MinCand
+//! (Algorithm 1) to minimize the candidate count, then candidates are read
+//! off the postings lists of all `b ∈ B(q)`, `q ∈ Q'` (Algorithm 2 lines
+//! 3–6).
+
+use crate::index::InvertedIndex;
+use crate::mincand::{min_cand, Item, Selection};
+use crate::verify::Candidate;
+use std::collections::HashMap;
+use wed::{Sym, WedInstance};
+
+/// The filtering plan for one query: the chosen τ-subsequence with its
+/// neighborhoods, or infeasibility.
+#[derive(Debug, Clone)]
+pub struct FilterPlan {
+    /// `(position in Q, symbol, B(q))` for each chosen element, in selection
+    /// order.
+    pub chosen: Vec<(usize, Sym, Vec<Sym>)>,
+    /// `Σ c(q)` over the chosen subsequence.
+    pub c_total: f64,
+    /// False when `c(Q) < τ`: no τ-subsequence exists (possible for
+    /// continuous cost models with tiny η) and the caller must fall back to
+    /// an exact scan to stay correct.
+    pub feasible: bool,
+}
+
+impl FilterPlan {
+    /// Builds the plan: materializes `B(q)` and `c(q)` per query position
+    /// (memoized per distinct symbol), prices positions by
+    /// `N_q = Σ_{b∈B(q)} n(b)`, and runs MinCand.
+    pub fn build<M: WedInstance>(model: &M, index: &InvertedIndex, q: &[Sym], tau: f64) -> Self {
+        assert!(tau > 0.0, "threshold must be positive");
+        assert!(!q.is_empty(), "query must be non-empty");
+        let mut memo: HashMap<Sym, (Vec<Sym>, f64, f64)> = HashMap::new();
+        let mut items = Vec::with_capacity(q.len());
+        for (pos, &sym) in q.iter().enumerate() {
+            let (_, c, n) = memo.entry(sym).or_insert_with(|| {
+                let nb = model.neighbors(sym);
+                debug_assert!(nb.contains(&sym), "B(q) must contain q");
+                let n: f64 = nb.iter().map(|&b| index.freq(b) as f64).sum();
+                let c = model.lower_cost(sym);
+                (nb, c, n)
+            });
+            items.push(Item { pos, c: *c, n: *n });
+        }
+        match min_cand(&items, tau) {
+            Selection::Chosen(sel) => {
+                let mut chosen = Vec::with_capacity(sel.len());
+                let mut c_total = 0.0;
+                for i in sel {
+                    let pos = items[i].pos;
+                    let sym = q[pos];
+                    c_total += items[i].c;
+                    chosen.push((pos, sym, memo[&sym].0.clone()));
+                }
+                FilterPlan { chosen, c_total, feasible: true }
+            }
+            Selection::Infeasible => FilterPlan { chosen: Vec::new(), c_total: 0.0, feasible: false },
+        }
+    }
+
+    /// Algorithm 2 lines 3–6: candidates from the postings lists of every
+    /// substitution neighbor of every chosen element.
+    pub fn candidates(&self, index: &InvertedIndex) -> Vec<Candidate> {
+        let mut out = Vec::new();
+        for (pos, _sym, nbrs) in &self.chosen {
+            for &b in nbrs {
+                for &(id, j) in index.postings(b) {
+                    out.push(Candidate { id, j, iq: *pos as u32 });
+                }
+            }
+        }
+        out
+    }
+
+    /// §4.3 extension: candidate generation that skips trajectories unable
+    /// to satisfy the temporal constraint, using binary search on
+    /// by-departure postings ([`InvertedIndex::enable_temporal_postings`]).
+    ///
+    /// A trajectory can only contain a satisfying match if its span
+    /// intersects the query interval: departure ≤ `I.end` (binary-searched
+    /// prefix) and arrival ≥ `I.start` (checked per record). Sound for both
+    /// `Overlaps` and `Within` predicates.
+    pub fn candidates_temporal(
+        &self,
+        index: &InvertedIndex,
+        constraint: &crate::temporal::TemporalConstraint,
+    ) -> Vec<Candidate> {
+        let interval = constraint.interval;
+        let mut out = Vec::new();
+        for (pos, _sym, nbrs) in &self.chosen {
+            for &b in nbrs {
+                for &(_dep, (id, j)) in index.postings_departing_by(b, interval.end) {
+                    if index.span(id).1 >= interval.start {
+                        out.push(Candidate { id, j, iq: *pos as u32 });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Predicted candidate count (the Definition 5 objective for the chosen
+    /// subsequence); equals `candidates().len()`.
+    pub fn predicted_candidates(&self, index: &InvertedIndex) -> usize {
+        self.chosen
+            .iter()
+            .map(|(_, _, nbrs)| nbrs.iter().map(|&b| index.freq(b) as usize).sum::<usize>())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj::{Trajectory, TrajectoryStore};
+    use wed::models::Lev;
+
+    fn setup() -> (TrajectoryStore, InvertedIndex) {
+        let mut s = TrajectoryStore::new();
+        s.push(Trajectory::untimed(vec![0, 1, 2, 3]));
+        s.push(Trajectory::untimed(vec![1, 1, 4]));
+        s.push(Trajectory::untimed(vec![5, 2, 0]));
+        let idx = InvertedIndex::build(&s, 8);
+        (s, idx)
+    }
+
+    #[test]
+    fn plan_prefers_rare_symbols_under_unit_costs() {
+        let (_s, idx) = setup();
+        // Q = [1, 3]: freq(1) = 3, freq(3) = 1; tau = 1 → choose position of 3.
+        let plan = FilterPlan::build(&Lev, &idx, &[1, 3], 1.0);
+        assert!(plan.feasible);
+        assert_eq!(plan.chosen.len(), 1);
+        assert_eq!(plan.chosen[0].0, 1); // position of symbol 3
+        assert_eq!(plan.chosen[0].1, 3);
+        assert_eq!(plan.c_total, 1.0);
+    }
+
+    #[test]
+    fn candidates_carry_positions() {
+        let (_s, idx) = setup();
+        let plan = FilterPlan::build(&Lev, &idx, &[1, 3], 1.0);
+        let cands = plan.candidates(&idx);
+        assert_eq!(cands, vec![Candidate { id: 0, j: 3, iq: 1 }]);
+        assert_eq!(plan.predicted_candidates(&idx), cands.len());
+    }
+
+    #[test]
+    fn larger_tau_selects_more_positions() {
+        let (_s, idx) = setup();
+        let plan = FilterPlan::build(&Lev, &idx, &[1, 3, 2], 2.0);
+        assert!(plan.feasible);
+        assert_eq!(plan.chosen.len(), 2);
+        assert!(plan.c_total >= 2.0);
+        // Selected the two rarest: 3 (freq 1) and 2 (freq 2).
+        let syms: Vec<Sym> = plan.chosen.iter().map(|&(_, s, _)| s).collect();
+        assert!(syms.contains(&3) && syms.contains(&2));
+    }
+
+    #[test]
+    fn infeasible_when_query_too_cheap() {
+        let (_s, idx) = setup();
+        // Lev: c(q) = 1 per position, |Q| = 2 < tau = 3.
+        let plan = FilterPlan::build(&Lev, &idx, &[1, 3], 3.0);
+        assert!(!plan.feasible);
+        assert!(plan.candidates(&idx).is_empty());
+    }
+
+    #[test]
+    fn duplicate_query_symbols_are_distinct_items() {
+        let (_s, idx) = setup();
+        // Q = [3, 3]: both positions selectable, tau = 2 needs both.
+        let plan = FilterPlan::build(&Lev, &idx, &[3, 3], 2.0);
+        assert!(plan.feasible);
+        let positions: Vec<usize> = plan.chosen.iter().map(|&(p, _, _)| p).collect();
+        assert_eq!({ let mut p = positions.clone(); p.sort(); p }, vec![0, 1]);
+        // Candidates are generated for each position separately.
+        let cands = plan.candidates(&idx);
+        assert_eq!(cands.len(), 2);
+    }
+}

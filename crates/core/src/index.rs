@@ -1,0 +1,257 @@
+//! Inverted index over trajectory symbols (§4.1).
+//!
+//! For every symbol `q ∈ Σ` the postings list `L_q` holds `(id, j)` records:
+//! trajectory `id` passes symbol `q` at position `j`. The index also keeps
+//! the global frequency table `n(q)` that the MinCand optimizer consumes,
+//! and (when timestamps are present) a by-departure ordering that enables
+//! the binary-search refinement for temporal constraints described in §4.3.
+
+use traj::{TrajId, TrajectoryStore};
+use wed::Sym;
+
+/// A single postings record: trajectory `id` has the indexed symbol at
+/// position `j` (0-based).
+pub type Posting = (TrajId, u32);
+
+/// Inverted index with per-symbol postings and frequencies.
+#[derive(Debug, Clone)]
+pub struct InvertedIndex {
+    postings: Vec<Vec<Posting>>,
+    /// Per-trajectory departure times, for temporal pre-filtering.
+    departures: Vec<f64>,
+    /// Per-trajectory arrival times.
+    arrivals: Vec<f64>,
+    total_postings: usize,
+    /// §4.3 extension: per-symbol postings sorted by trajectory departure
+    /// time, so temporal candidate generation can binary-search instead of
+    /// scanning. Built on demand by [`enable_temporal_postings`].
+    ///
+    /// [`enable_temporal_postings`]: InvertedIndex::enable_temporal_postings
+    dep_postings: Option<Vec<Vec<(f64, Posting)>>>,
+}
+
+impl InvertedIndex {
+    /// Builds the index over `store`; `alphabet_size` is `|V|` (vertex
+    /// representation) or `|E|` (edge representation).
+    ///
+    /// Single pass, append-only — matching the paper's observation that the
+    /// index is updatable by appending records (§4.1).
+    pub fn build(store: &TrajectoryStore, alphabet_size: usize) -> Self {
+        let mut postings: Vec<Vec<Posting>> = vec![Vec::new(); alphabet_size];
+        let mut departures = Vec::with_capacity(store.len());
+        let mut arrivals = Vec::with_capacity(store.len());
+        let mut total = 0usize;
+        for (id, t) in store.iter() {
+            for (j, &q) in t.path().iter().enumerate() {
+                postings[q as usize].push((id, j as u32));
+                total += 1;
+            }
+            departures.push(t.departure());
+            arrivals.push(t.arrival());
+        }
+        InvertedIndex { postings, departures, arrivals, total_postings: total, dep_postings: None }
+    }
+
+    /// Appends one trajectory's postings (§4.1: "we can update the index by
+    /// appending a new record to the corresponding postings list"). The id
+    /// must be the next dense id (i.e. the store's `push` return value).
+    ///
+    /// Invalidates the optional by-departure ordering, which is rebuilt on
+    /// the next [`enable_temporal_postings`] call.
+    ///
+    /// [`enable_temporal_postings`]: InvertedIndex::enable_temporal_postings
+    pub fn append(&mut self, id: TrajId, t: &traj::Trajectory) {
+        assert_eq!(
+            id as usize,
+            self.departures.len(),
+            "ids must stay dense: expected {}, got {id}",
+            self.departures.len()
+        );
+        for (j, &q) in t.path().iter().enumerate() {
+            self.postings[q as usize].push((id, j as u32));
+            self.total_postings += 1;
+        }
+        self.departures.push(t.departure());
+        self.arrivals.push(t.arrival());
+        self.dep_postings = None;
+    }
+
+    /// Builds the by-departure ordering of every postings list (§4.3:
+    /// "we may sort the records in each postings list by their temporal
+    /// information such as departure time"). Doubles postings memory;
+    /// enables [`postings_departing_by`].
+    ///
+    /// [`postings_departing_by`]: InvertedIndex::postings_departing_by
+    pub fn enable_temporal_postings(&mut self) {
+        if self.dep_postings.is_some() {
+            return;
+        }
+        let mut dp: Vec<Vec<(f64, Posting)>> = Vec::with_capacity(self.postings.len());
+        for list in &self.postings {
+            let mut v: Vec<(f64, Posting)> = list
+                .iter()
+                .map(|&(id, j)| (self.departures[id as usize], (id, j)))
+                .collect();
+            v.sort_by(|a, b| a.0.total_cmp(&b.0));
+            dp.push(v);
+        }
+        self.dep_postings = Some(dp);
+    }
+
+    /// Whether [`enable_temporal_postings`] has been called.
+    ///
+    /// [`enable_temporal_postings`]: InvertedIndex::enable_temporal_postings
+    pub fn has_temporal_postings(&self) -> bool {
+        self.dep_postings.is_some()
+    }
+
+    /// The prefix of `L_q` whose trajectories depart no later than `t_max`,
+    /// found by binary search on the by-departure ordering. A trajectory
+    /// departing after the query interval ends cannot overlap it, so this
+    /// prefix is a complete candidate source for overlap constraints.
+    ///
+    /// # Panics
+    /// Panics if temporal postings were not enabled.
+    pub fn postings_departing_by(&self, q: Sym, t_max: f64) -> &[(f64, Posting)] {
+        let list = &self.dep_postings.as_ref().expect("temporal postings not enabled")[q as usize];
+        let cut = list.partition_point(|&(dep, _)| dep <= t_max);
+        &list[..cut]
+    }
+
+    /// The postings list `L_q`.
+    pub fn postings(&self, q: Sym) -> &[Posting] {
+        &self.postings[q as usize]
+    }
+
+    /// Symbol frequency `n(q)` (with multiplicity, per the Definition 5
+    /// remark).
+    pub fn freq(&self, q: Sym) -> u32 {
+        self.postings[q as usize].len() as u32
+    }
+
+    pub fn alphabet_size(&self) -> usize {
+        self.postings.len()
+    }
+
+    pub fn num_trajectories(&self) -> usize {
+        self.departures.len()
+    }
+
+    pub fn total_postings(&self) -> usize {
+        self.total_postings
+    }
+
+    /// Trajectory time span `[T_1, T_n]` (the `I^(id)` of §4.3).
+    pub fn span(&self, id: TrajId) -> (f64, f64) {
+        (self.departures[id as usize], self.arrivals[id as usize])
+    }
+
+    /// Approximate index memory footprint in bytes (postings + spans +
+    /// per-symbol list headers), reported in Table 6.
+    pub fn size_bytes(&self) -> usize {
+        self.total_postings * std::mem::size_of::<Posting>()
+            + self.postings.len() * std::mem::size_of::<Vec<Posting>>()
+            + self.departures.len() * 2 * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj::Trajectory;
+
+    fn store() -> TrajectoryStore {
+        let mut s = TrajectoryStore::new();
+        s.push(Trajectory::new(vec![0, 1, 2], vec![10.0, 11.0, 12.0]));
+        s.push(Trajectory::new(vec![2, 1, 2], vec![5.0, 6.0, 7.0]));
+        s
+    }
+
+    #[test]
+    fn postings_record_all_occurrences() {
+        let idx = InvertedIndex::build(&store(), 4);
+        assert_eq!(idx.postings(0), &[(0, 0)]);
+        assert_eq!(idx.postings(1), &[(0, 1), (1, 1)]);
+        assert_eq!(idx.postings(2), &[(0, 2), (1, 0), (1, 2)]);
+        assert!(idx.postings(3).is_empty());
+    }
+
+    #[test]
+    fn frequencies_match_postings() {
+        let idx = InvertedIndex::build(&store(), 4);
+        assert_eq!(idx.freq(2), 3);
+        assert_eq!(idx.freq(3), 0);
+        assert_eq!(idx.total_postings(), 6);
+        assert_eq!(idx.alphabet_size(), 4);
+        assert_eq!(idx.num_trajectories(), 2);
+    }
+
+    #[test]
+    fn spans_are_departure_arrival() {
+        let idx = InvertedIndex::build(&store(), 4);
+        assert_eq!(idx.span(0), (10.0, 12.0));
+        assert_eq!(idx.span(1), (5.0, 7.0));
+    }
+
+    #[test]
+    fn append_equals_rebuild() {
+        let mut s = store();
+        let extra = Trajectory::new(vec![3, 0, 3], vec![20.0, 21.0, 22.0]);
+        let mut idx = InvertedIndex::build(&s, 4);
+        let id = s.push(extra.clone());
+        idx.append(id, &extra);
+        let rebuilt = InvertedIndex::build(&s, 4);
+        for q in 0..4u32 {
+            assert_eq!(idx.postings(q), rebuilt.postings(q), "postings of {q} diverged");
+        }
+        assert_eq!(idx.total_postings(), rebuilt.total_postings());
+        assert_eq!(idx.span(id), (20.0, 22.0));
+        // Temporal ordering can be re-enabled after an append.
+        idx.enable_temporal_postings();
+        assert!(idx.has_temporal_postings());
+    }
+
+    #[test]
+    #[should_panic(expected = "ids must stay dense")]
+    fn append_rejects_gaps() {
+        let s = store();
+        let mut idx = InvertedIndex::build(&s, 4);
+        idx.append(7, &Trajectory::untimed(vec![1]));
+    }
+
+    #[test]
+    fn temporal_postings_binary_search_prefix() {
+        let mut idx = InvertedIndex::build(&store(), 4);
+        assert!(!idx.has_temporal_postings());
+        idx.enable_temporal_postings();
+        assert!(idx.has_temporal_postings());
+        // Symbol 1 appears in trajectory 0 (departs 10) and 1 (departs 5).
+        let all = idx.postings_departing_by(1, 100.0);
+        assert_eq!(all.len(), 2);
+        assert!(all[0].0 <= all[1].0, "must be departure-sorted");
+        // Only the early trajectory departs by t=7.
+        let early = idx.postings_departing_by(1, 7.0);
+        assert_eq!(early.len(), 1);
+        assert_eq!(early[0].1 .0, 1);
+        // Nothing departs by t=1.
+        assert!(idx.postings_departing_by(1, 1.0).is_empty());
+        // Idempotent.
+        idx.enable_temporal_postings();
+    }
+
+    #[test]
+    #[should_panic(expected = "temporal postings not enabled")]
+    fn temporal_postings_require_enabling() {
+        let idx = InvertedIndex::build(&store(), 4);
+        idx.postings_departing_by(1, 10.0);
+    }
+
+    #[test]
+    fn size_bytes_grows_with_postings() {
+        let idx_small = InvertedIndex::build(&store(), 4);
+        let mut s = store();
+        s.push(Trajectory::untimed(vec![0, 1, 2, 3, 0, 1]));
+        let idx_big = InvertedIndex::build(&s, 4);
+        assert!(idx_big.size_bytes() > idx_small.size_bytes());
+    }
+}

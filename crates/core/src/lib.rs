@@ -1,0 +1,59 @@
+//! # trajsearch-core — fast subtrajectory similarity search under WED
+//!
+//! From-scratch implementation of the paper *"Fast Subtrajectory Similarity
+//! Search in Road Networks under Weighted Edit Distance Constraints"*
+//! (Koide, Xiao & Ishikawa, VLDB 2020): given a query path `Q`, a weighted
+//! edit distance `wed` and a threshold `τ`, find **every** subtrajectory
+//! `P^(id)[s..=t]` in a trajectory database with `wed(P[s..=t], Q) < τ`
+//! (Definition 3) — exactly, for *any* cost model in the WED class.
+//!
+//! The engine follows the paper's filter-and-verify design:
+//!
+//! * [`filter`] — **subsequence filtering** (Theorem 1): a τ-subsequence
+//!   `Q' ⊆ Q` with `Σ c(q) ≥ τ` certifies that matches must touch the
+//!   substitution neighborhood `B(Q')`; the choice of `Q'` minimizing the
+//!   candidate count is NP-hard and solved by the 2-approximate
+//!   [`mincand`] greedy (Algorithm 1).
+//! * [`index`] — inverted index with per-symbol postings `(id, j)` (§4.1).
+//! * [`verify`] — **local verification** growing bidirectionally from
+//!   candidate anchors with the Eq. (11) early-termination bound, and
+//!   **bidirectional tries** caching DP columns across candidates (§5).
+//! * [`temporal`] — temporal constraints and the TF pre-filter (§4.3).
+//! * [`stats`] — the instrumentation behind Tables 4 and 5.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use trajsearch_core::SearchEngine;
+//! use traj::{Trajectory, TrajectoryStore};
+//! use wed::models::Lev;
+//!
+//! let mut store = TrajectoryStore::new();
+//! store.push(Trajectory::untimed(vec![0, 1, 2, 3, 4]));
+//! store.push(Trajectory::untimed(vec![7, 1, 9, 3, 7]));
+//!
+//! let engine = SearchEngine::new(&Lev, &store, 10);
+//! let hits = engine.search(&[1, 2, 3], 2.0);
+//! // Trajectory 0 contains [1,2,3] exactly; trajectory 1 within distance 1.
+//! assert!(hits.matches.iter().any(|m| m.id == 0 && m.dist == 0.0));
+//! assert!(hits.matches.iter().any(|m| m.id == 1 && m.dist == 1.0));
+//! ```
+
+pub mod filter;
+pub mod index;
+pub mod mincand;
+pub mod results;
+pub mod search;
+pub mod stats;
+pub mod temporal;
+pub mod topk;
+pub mod verify;
+
+pub use filter::FilterPlan;
+pub use index::InvertedIndex;
+pub use results::{MatchResult, ResultSet};
+pub use search::{SearchEngine, SearchOptions, SearchOutcome};
+pub use stats::SearchStats;
+pub use temporal::{TemporalConstraint, TemporalPredicate, TimeInterval};
+pub use topk::{per_trajectory_best, TopKEntry};
+pub use verify::{Candidate, VerifyMode};

@@ -1,0 +1,237 @@
+//! The minimum-candidate problem (Definition 5) and its 2-approximation
+//! (Algorithm 1).
+//!
+//! Choosing which subsequence `Q' ⊆ Q` to filter with is a covering problem:
+//! minimize the candidate count `Σ_{q∈Q'} Σ_{b∈B(q)} n(b)` subject to the
+//! τ-subsequence constraint `Σ_{q∈Q'} c(q) ≥ τ`. The problem is NP-hard
+//! (reduction from the minimum knapsack problem, Proposition 2); the greedy
+//! primal–dual algorithm of Carnes & Shmoys gives a 2-approximation
+//! (Proposition 3) and is *optimal* when `c(q)` is constant — which covers
+//! Lev, EDR and NetEDR (Proposition 4).
+
+/// One selectable item: query position `pos`, its lower cost `c` (Eq. 7) and
+/// its candidate weight `n = Σ_{b∈B(q)} n(b)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Item {
+    pub pos: usize,
+    pub c: f64,
+    pub n: f64,
+}
+
+/// Outcome of τ-subsequence selection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Selection {
+    /// Chosen item indices (into the input slice), in selection order.
+    Chosen(Vec<usize>),
+    /// `Σ c(q) < τ`: no τ-subsequence exists and subsequence filtering is
+    /// unsound — the caller must fall back to an exact scan.
+    Infeasible,
+}
+
+/// Algorithm 1 (MinCand): greedy primal–dual selection of a τ-subsequence.
+///
+/// Runs in O(|Q|²). Items with non-positive `c` are never selected (they
+/// cannot contribute to the constraint and only add candidates).
+pub fn min_cand(items: &[Item], tau: f64) -> Selection {
+    assert!(tau > 0.0, "threshold must be positive");
+    let usable: f64 = items.iter().filter(|it| it.c > 0.0).map(|it| it.c).sum();
+    if usable < tau {
+        return Selection::Infeasible;
+    }
+    let k = items.len();
+    let mut chosen: Vec<usize> = Vec::new();
+    let mut in_q = vec![false; k];
+    let mut w = vec![0.0f64; k];
+    let mut c_total = 0.0f64;
+    while c_total < tau {
+        // Price each remaining item: v_q = (N_q − w_q) / min(c_q, τ − c(Q')).
+        let residual = tau - c_total;
+        let mut best: Option<(usize, f64)> = None;
+        for (i, it) in items.iter().enumerate() {
+            if in_q[i] || it.c <= 0.0 {
+                continue;
+            }
+            let denom = it.c.min(residual);
+            let v = (it.n - w[i]) / denom;
+            if best.is_none_or(|(_, bv)| v < bv) {
+                best = Some((i, v));
+            }
+        }
+        let (star, v_star) = best.expect("feasibility was checked above");
+        // Raise duals of every remaining item (Algorithm 1 line 6).
+        for (i, it) in items.iter().enumerate() {
+            if in_q[i] || it.c <= 0.0 || i == star {
+                continue;
+            }
+            w[i] += it.c.min(residual) * v_star;
+        }
+        in_q[star] = true;
+        c_total += items[star].c;
+        chosen.push(star);
+    }
+    Selection::Chosen(chosen)
+}
+
+/// Exhaustive optimum of Definition 5 by subset enumeration — test oracle
+/// only (exponential; panics beyond 20 items).
+pub fn min_cand_exhaustive(items: &[Item], tau: f64) -> Option<(Vec<usize>, f64)> {
+    assert!(items.len() <= 20, "oracle is exponential");
+    let k = items.len();
+    let mut best: Option<(Vec<usize>, f64)> = None;
+    for mask in 0u32..(1 << k) {
+        let mut c = 0.0;
+        let mut n = 0.0;
+        let mut sel = Vec::new();
+        for (i, it) in items.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                c += it.c;
+                n += it.n;
+                sel.push(i);
+            }
+        }
+        if c >= tau && best.as_ref().is_none_or(|&(_, bn)| n < bn) {
+            best = Some((sel, n));
+        }
+    }
+    best
+}
+
+/// Objective value (candidate count) of a selection.
+pub fn objective(items: &[Item], chosen: &[usize]) -> f64 {
+    chosen.iter().map(|&i| items[i].n).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn items(cs: &[f64], ns: &[f64]) -> Vec<Item> {
+        cs.iter()
+            .zip(ns)
+            .enumerate()
+            .map(|(pos, (&c, &n))| Item { pos, c, n })
+            .collect()
+    }
+
+    #[test]
+    fn paper_example_6() {
+        // Q = ABCD, c = [1,2,3,4], N = [5,2,9,8], τ = 4.
+        // Algorithm selects B (pos 1) then D (pos 3); objective 10 vs opt 8.
+        let its = items(&[1.0, 2.0, 3.0, 4.0], &[5.0, 2.0, 9.0, 8.0]);
+        match min_cand(&its, 4.0) {
+            Selection::Chosen(sel) => {
+                assert_eq!(sel, vec![1, 3]);
+                assert_eq!(objective(&its, &sel), 10.0);
+            }
+            Selection::Infeasible => panic!("feasible instance"),
+        }
+        let (opt_sel, opt_obj) = min_cand_exhaustive(&its, 4.0).unwrap();
+        assert_eq!(opt_sel, vec![3]);
+        assert_eq!(opt_obj, 8.0);
+    }
+
+    #[test]
+    fn paper_example_5() {
+        // Q = ABC with c = [3,1,2], N = [5,10,3] (N(B) counts B and D), τ=3:
+        // optimal is {A} with objective 5; constant-c does not hold but the
+        // greedy finds a valid τ-subsequence with objective ≤ 2×5.
+        let its = items(&[3.0, 1.0, 2.0], &[5.0, 10.0, 3.0]);
+        let Selection::Chosen(sel) = min_cand(&its, 3.0) else { panic!() };
+        let c: f64 = sel.iter().map(|&i| its[i].c).sum();
+        assert!(c >= 3.0);
+        assert!(objective(&its, &sel) <= 2.0 * 5.0);
+    }
+
+    #[test]
+    fn infeasible_when_costs_too_small() {
+        let its = items(&[0.5, 0.5], &[1.0, 1.0]);
+        assert_eq!(min_cand(&its, 2.0), Selection::Infeasible);
+    }
+
+    #[test]
+    fn zero_cost_items_are_ignored() {
+        let its = items(&[0.0, 1.0], &[0.0, 7.0]);
+        let Selection::Chosen(sel) = min_cand(&its, 1.0) else { panic!() };
+        assert_eq!(sel, vec![1]);
+        // Only zero-cost items -> infeasible.
+        let its2 = items(&[0.0, 0.0], &[1.0, 1.0]);
+        assert_eq!(min_cand(&its2, 0.5), Selection::Infeasible);
+    }
+
+    #[test]
+    fn constant_cost_selects_smallest_frequencies() {
+        // Proposition 4: with constant c the algorithm returns the optimum —
+        // the top-k least-frequent positions.
+        let its = items(&[1.0; 6], &[9.0, 2.0, 7.0, 1.0, 5.0, 3.0]);
+        let Selection::Chosen(mut sel) = min_cand(&its, 3.0) else { panic!() };
+        sel.sort();
+        assert_eq!(sel, vec![1, 3, 5]); // N = 2, 1, 3
+        let (_, opt) = min_cand_exhaustive(&its, 3.0).unwrap();
+        assert_eq!(objective(&its, &sel), opt);
+    }
+
+    #[test]
+    fn selection_always_satisfies_constraint() {
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        for _ in 0..200 {
+            let k = rng.gen_range(1..12);
+            let its: Vec<Item> = (0..k)
+                .map(|pos| Item {
+                    pos,
+                    c: rng.gen_range(0.1..5.0),
+                    n: rng.gen_range(0.0..100.0),
+                })
+                .collect();
+            let total: f64 = its.iter().map(|i| i.c).sum();
+            let tau = rng.gen_range(0.05..total * 1.2);
+            match min_cand(&its, tau) {
+                Selection::Chosen(sel) => {
+                    let c: f64 = sel.iter().map(|&i| its[i].c).sum();
+                    assert!(c >= tau, "constraint violated: {c} < {tau}");
+                    // No duplicates.
+                    let mut s = sel.clone();
+                    s.sort();
+                    s.dedup();
+                    assert_eq!(s.len(), sel.len());
+                }
+                Selection::Infeasible => assert!(total < tau),
+            }
+        }
+    }
+
+    #[test]
+    fn approximation_ratio_is_at_most_two() {
+        // Proposition 3 on random instances, checked against the exhaustive
+        // optimum.
+        let mut rng = ChaCha8Rng::seed_from_u64(23);
+        for trial in 0..150 {
+            let k = rng.gen_range(2..10);
+            let its: Vec<Item> = (0..k)
+                .map(|pos| Item {
+                    pos,
+                    c: rng.gen_range(0.5..4.0),
+                    n: rng.gen_range(1.0..50.0),
+                })
+                .collect();
+            let total: f64 = its.iter().map(|i| i.c).sum();
+            let tau = rng.gen_range(0.1..total);
+            let Selection::Chosen(sel) = min_cand(&its, tau) else {
+                continue;
+            };
+            let (_, opt) = min_cand_exhaustive(&its, tau).unwrap();
+            let got = objective(&its, &sel);
+            assert!(
+                got <= 2.0 * opt + 1e-9,
+                "trial {trial}: approx {got} > 2×opt {opt} (tau={tau}, items={its:?})"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be positive")]
+    fn zero_tau_rejected() {
+        min_cand(&[], 0.0);
+    }
+}

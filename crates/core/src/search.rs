@@ -1,0 +1,309 @@
+//! The search engine (Algorithm 2): index + filter + verify.
+//!
+//! [`SearchEngine`] owns an inverted index over a trajectory store and
+//! answers subtrajectory similarity queries for *any* [`WedInstance`] — the
+//! paper's headline property is that switching similarity functions requires
+//! no algorithmic adaptation, only a different cost model.
+//!
+//! The default configuration is the paper's **OSF-BT**: optimized
+//! subsequence filtering (MinCand) + bidirectional-trie verification.
+//! [`SearchOptions`] selects the verification strategy (for the `OSF-SW`
+//! baseline and the `Local` ablation), temporal constraints, and the TF
+//! strategy of §4.3.
+
+use crate::filter::FilterPlan;
+use crate::index::InvertedIndex;
+use crate::results::MatchResult;
+use crate::stats::SearchStats;
+use crate::temporal::TemporalConstraint;
+use crate::verify::{verify_candidates, VerifyMode};
+use std::time::{Duration, Instant};
+use traj::TrajectoryStore;
+use wed::{sw_scan_all, Sym, WedInstance};
+
+/// Per-query options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SearchOptions {
+    pub verify: VerifyMode,
+    /// Optional temporal constraint on matched spans.
+    pub temporal: Option<TemporalConstraint>,
+    /// Apply the TF candidate pre-filter (§4.3). Ignored without a
+    /// temporal constraint.
+    pub temporal_filter: bool,
+    /// §4.3 extension: generate candidates by binary search on
+    /// by-departure-sorted postings instead of scanning full lists. Needs
+    /// [`SearchEngine::with_temporal_postings`] and a temporal constraint;
+    /// silently falls back to plain generation otherwise.
+    pub use_temporal_postings: bool,
+}
+
+/// A query answer: the exact Definition 3 result set plus instrumentation.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    pub matches: Vec<MatchResult>,
+    pub stats: SearchStats,
+}
+
+/// Subtrajectory similarity search engine (OSF filtering + pluggable
+/// verification).
+pub struct SearchEngine<'a, M: WedInstance> {
+    model: M,
+    store: &'a TrajectoryStore,
+    index: InvertedIndex,
+    build_time: Duration,
+}
+
+impl<'a, M: WedInstance> SearchEngine<'a, M> {
+    /// Builds the inverted index over `store`. `alphabet_size` is `|V|` or
+    /// `|E|` depending on the representation the store uses.
+    pub fn new(model: M, store: &'a TrajectoryStore, alphabet_size: usize) -> Self {
+        let t0 = Instant::now();
+        let index = InvertedIndex::build(store, alphabet_size);
+        SearchEngine { model, store, index, build_time: t0.elapsed() }
+    }
+
+    /// Like [`new`](SearchEngine::new), additionally building the
+    /// by-departure postings ordering so that
+    /// [`SearchOptions::use_temporal_postings`] can take effect.
+    pub fn with_temporal_postings(model: M, store: &'a TrajectoryStore, alphabet_size: usize) -> Self {
+        let t0 = Instant::now();
+        let mut index = InvertedIndex::build(store, alphabet_size);
+        index.enable_temporal_postings();
+        SearchEngine { model, store, index, build_time: t0.elapsed() }
+    }
+
+    pub fn index(&self) -> &InvertedIndex {
+        &self.index
+    }
+
+    pub fn store(&self) -> &TrajectoryStore {
+        self.store
+    }
+
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Index construction time (Table 6).
+    pub fn build_time(&self) -> Duration {
+        self.build_time
+    }
+
+    /// OSF-BT search with defaults: trie verification, no temporal
+    /// constraint.
+    pub fn search(&self, q: &[Sym], tau: f64) -> SearchOutcome {
+        self.search_opts(q, tau, SearchOptions::default())
+    }
+
+    /// Algorithm 2 with configurable verification and temporal handling.
+    ///
+    /// When no τ-subsequence exists (`c(Q) < τ`, possible for continuous
+    /// cost models with small η), subsequence filtering would be unsound;
+    /// the engine transparently falls back to an exact Smith–Waterman scan
+    /// and sets `stats.fallback`.
+    pub fn search_opts(&self, q: &[Sym], tau: f64, opts: SearchOptions) -> SearchOutcome {
+        assert!(tau > 0.0, "threshold must be positive");
+        assert!(!q.is_empty(), "query must be non-empty");
+        let mut stats = SearchStats::default();
+
+        // Phase 1: τ-subsequence optimization (MinCand).
+        let t0 = Instant::now();
+        let plan = FilterPlan::build(&self.model, &self.index, q, tau);
+        stats.mincand_time = t0.elapsed();
+        stats.tsubseq_len = plan.chosen.len();
+
+        if !plan.feasible {
+            return self.fallback_scan(q, tau, opts, stats);
+        }
+
+        // Phase 2: index lookup (binary-searched when the §4.3 temporal
+        // postings are available and requested).
+        let t1 = Instant::now();
+        let candidates = match (&opts.temporal, opts.use_temporal_postings && self.index.has_temporal_postings()) {
+            (Some(c), true) => plan.candidates_temporal(&self.index, c),
+            _ => plan.candidates(&self.index),
+        };
+        stats.lookup_time = t1.elapsed();
+
+        // Phase 3: verification.
+        let t2 = Instant::now();
+        let matches = verify_candidates(
+            &self.model,
+            self.store,
+            |id| self.index.span(id),
+            q,
+            tau,
+            &candidates,
+            opts.verify,
+            opts.temporal.as_ref(),
+            opts.temporal_filter,
+            &mut stats,
+        );
+        stats.verify_time = t2.elapsed();
+
+        SearchOutcome { matches, stats }
+    }
+
+    /// Exact full scan used when filtering is infeasible.
+    fn fallback_scan(
+        &self,
+        q: &[Sym],
+        tau: f64,
+        opts: SearchOptions,
+        mut stats: SearchStats,
+    ) -> SearchOutcome {
+        stats.fallback = true;
+        let t = Instant::now();
+        let mut rs = crate::results::ResultSet::new();
+        for (id, traj) in self.store.iter() {
+            if let (Some(c), true) = (opts.temporal.as_ref(), opts.temporal_filter) {
+                if !c.may_contain_match(traj.span()) {
+                    continue;
+                }
+            }
+            stats.sw_columns += traj.len() as u64;
+            for m in sw_scan_all(&self.model, traj.path(), q, tau) {
+                rs.push(id, m.start, m.end, m.dist);
+            }
+        }
+        if let Some(c) = opts.temporal.as_ref() {
+            rs.retain(|id, s, t| {
+                let times = self.store.get(id).times();
+                c.accepts(times[s], times[t])
+            });
+        }
+        let matches = rs.into_sorted_vec();
+        stats.results = matches.len();
+        stats.verify_time = t.elapsed();
+        SearchOutcome { matches, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use traj::Trajectory;
+    use wed::models::{Erp, Lev};
+    use wed::wed;
+    use rnet::{CityParams, NetworkKind};
+
+    fn toy_store() -> TrajectoryStore {
+        let mut s = TrajectoryStore::new();
+        s.push(Trajectory::untimed(vec![0, 1, 2, 3, 4]));
+        s.push(Trajectory::untimed(vec![3, 1, 5, 1, 2]));
+        s.push(Trajectory::untimed(vec![9, 8, 7, 6]));
+        s.push(Trajectory::untimed(vec![1, 2, 1, 2, 1]));
+        s
+    }
+
+    fn brute_lev(store: &TrajectoryStore, q: &[Sym], tau: f64) -> Vec<(u32, usize, usize)> {
+        let mut out = Vec::new();
+        for (id, t) in store.iter() {
+            let p = t.path();
+            for s in 0..p.len() {
+                for e in s..p.len() {
+                    if wed(&Lev, &p[s..=e], q) < tau {
+                        out.push((id, s, e));
+                    }
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn engine_matches_brute_force_all_modes() {
+        let store = toy_store();
+        let engine = SearchEngine::new(&Lev, &store, 10);
+        let q: Vec<Sym> = vec![1, 5, 2];
+        for tau in [1.0, 2.0, 3.0] {
+            let want = brute_lev(&store, &q, tau);
+            for mode in [VerifyMode::Trie, VerifyMode::Local, VerifyMode::Sw] {
+                let got = engine.search_opts(
+                    &q,
+                    tau,
+                    SearchOptions { verify: mode, ..Default::default() },
+                );
+                let keys: Vec<_> = got.matches.iter().map(|m| (m.id, m.start, m.end)).collect();
+                assert_eq!(keys, want, "tau={tau} mode={mode:?}");
+                assert!(!got.stats.fallback);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_distances_reported() {
+        let store = toy_store();
+        let engine = SearchEngine::new(&Lev, &store, 10);
+        let q: Vec<Sym> = vec![1, 5, 2];
+        let got = engine.search(&q, 2.5);
+        assert!(!got.matches.is_empty());
+        for m in &got.matches {
+            let p = store.get(m.id).path();
+            let direct = wed(&Lev, &p[m.start..=m.end], &q);
+            assert!(
+                (m.dist - direct).abs() < 1e-9,
+                "reported {} but wed is {direct} for {:?}",
+                m.dist,
+                (m.id, m.start, m.end)
+            );
+        }
+    }
+
+    #[test]
+    fn timing_breakdown_is_populated() {
+        let store = toy_store();
+        let engine = SearchEngine::new(&Lev, &store, 10);
+        let out = engine.search(&[1, 2], 1.0);
+        let s = &out.stats;
+        assert!(s.candidates > 0);
+        assert_eq!(s.tsubseq_len, 1);
+        assert!(s.total_time() >= s.verify_time);
+        assert_eq!(s.results, out.matches.len());
+    }
+
+    #[test]
+    fn fallback_on_infeasible_filter_is_exact() {
+        // ERP with a tiny network and a large tau relative to c(Q): force
+        // infeasibility by using a tau bigger than the total lower costs.
+        let net = Arc::new(CityParams::tiny(NetworkKind::Grid).generate());
+        let erp = Erp::new(net.clone(), 5.0);
+        let mut store = TrajectoryStore::new();
+        store.push(Trajectory::untimed(vec![0, 1, 2]));
+        store.push(Trajectory::untimed(vec![10, 11]));
+        let engine = SearchEngine::new(&erp, &store, net.num_vertices());
+        let q: Vec<Sym> = vec![0, 1];
+        // total ins(q) is on the order of hundreds of meters; choose tau
+        // larger than c(Q) (which is bounded by sum of dist-to-barycenter).
+        let huge_tau = 1e9;
+        let out = engine.search(&q, huge_tau);
+        assert!(out.stats.fallback);
+        // Every substring of every trajectory matches at that tau.
+        let total: usize = store.iter().map(|(_, t)| t.len() * (t.len() + 1) / 2).sum();
+        assert_eq!(out.matches.len(), total);
+    }
+
+    #[test]
+    #[should_panic(expected = "query must be non-empty")]
+    fn empty_query_rejected() {
+        let store = toy_store();
+        let engine = SearchEngine::new(&Lev, &store, 10);
+        engine.search(&[], 1.0);
+    }
+
+    #[test]
+    fn strict_threshold_semantics() {
+        // Definition 2 uses strict '<': a subtrajectory at distance exactly
+        // tau is not a match.
+        let mut store = TrajectoryStore::new();
+        store.push(Trajectory::untimed(vec![1, 2, 3]));
+        let engine = SearchEngine::new(&Lev, &store, 8);
+        // Q = [1,4,3]: best substring [1,2,3] at distance 1.
+        let out = engine.search(&[1, 4, 3], 1.0);
+        assert!(out.matches.is_empty());
+        let out2 = engine.search(&[1, 4, 3], 1.0 + 1e-9);
+        assert_eq!(out2.matches.len(), 1);
+    }
+}

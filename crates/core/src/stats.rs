@@ -1,0 +1,129 @@
+//! Per-query instrumentation.
+//!
+//! The paper reports a running-time breakdown (Table 4: MinCand / index
+//! lookup / verification) and verification-pruning rates (Table 5: UPR, CMR,
+//! TUR). Every search populates a [`SearchStats`] so the experiment harness
+//! can regenerate those tables without touching engine internals.
+
+use std::time::Duration;
+
+/// Counters and timings collected during one query.
+#[derive(Debug, Clone, Default)]
+pub struct SearchStats {
+    /// Time spent choosing the τ-subsequence (Algorithm 1).
+    pub mincand_time: Duration,
+    /// Time spent materializing neighborhoods and scanning postings lists.
+    pub lookup_time: Duration,
+    /// Time spent verifying candidates (Algorithms 3–6).
+    pub verify_time: Duration,
+    /// Number of generated candidates `(id, j, iq)`.
+    pub candidates: usize,
+    /// Candidates surviving the temporal filter (equals `candidates` when no
+    /// temporal constraint is active).
+    pub candidates_after_temporal: usize,
+    /// Length of the chosen τ-subsequence `|Q'|`.
+    pub tsubseq_len: usize,
+    /// True when no τ-subsequence exists (`c(Q) < τ`) and the engine fell
+    /// back to an exact Smith–Waterman scan.
+    pub fallback: bool,
+    /// DP columns a Smith–Waterman verification of every candidate would
+    /// compute (`Σ |P|` over candidates) — the UPR denominator.
+    pub sw_columns: u64,
+    /// DP columns actually visited before early termination (Eq. 11) —
+    /// UPR numerator / CMR denominator.
+    pub columns_passed: u64,
+    /// Columns computed fresh (trie cache misses; Algorithm 5 line 6) —
+    /// the CMR numerator.
+    pub stepdp_calls: u64,
+    /// Number of result triples `(id, s, t)`.
+    pub results: usize,
+}
+
+impl SearchStats {
+    /// Unpruned position rate (Table 5): visited columns / SW columns.
+    pub fn upr(&self) -> f64 {
+        ratio(self.columns_passed, self.sw_columns)
+    }
+
+    /// Cache miss rate (Table 5): fresh columns / visited columns.
+    pub fn cmr(&self) -> f64 {
+        ratio(self.stepdp_calls, self.columns_passed)
+    }
+
+    /// Total unpruned rate: UPR × CMR = fresh columns / SW columns.
+    pub fn tur(&self) -> f64 {
+        ratio(self.stepdp_calls, self.sw_columns)
+    }
+
+    /// Total wall-clock time across the three phases.
+    pub fn total_time(&self) -> Duration {
+        self.mincand_time + self.lookup_time + self.verify_time
+    }
+
+    /// Merges counters from another query (used when averaging over a query
+    /// workload).
+    pub fn merge(&mut self, other: &SearchStats) {
+        self.mincand_time += other.mincand_time;
+        self.lookup_time += other.lookup_time;
+        self.verify_time += other.verify_time;
+        self.candidates += other.candidates;
+        self.candidates_after_temporal += other.candidates_after_temporal;
+        self.tsubseq_len += other.tsubseq_len;
+        self.fallback |= other.fallback;
+        self.sw_columns += other.sw_columns;
+        self.columns_passed += other.columns_passed;
+        self.stepdp_calls += other.stepdp_calls;
+        self.results += other.results;
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 { 0.0 } else { num as f64 / den as f64 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_handle_zero_denominators() {
+        let s = SearchStats::default();
+        assert_eq!(s.upr(), 0.0);
+        assert_eq!(s.cmr(), 0.0);
+        assert_eq!(s.tur(), 0.0);
+    }
+
+    #[test]
+    fn tur_is_product_of_upr_and_cmr() {
+        let s = SearchStats {
+            sw_columns: 1000,
+            columns_passed: 200,
+            stepdp_calls: 20,
+            ..Default::default()
+        };
+        assert!((s.upr() - 0.2).abs() < 1e-12);
+        assert!((s.cmr() - 0.1).abs() < 1e-12);
+        assert!((s.tur() - s.upr() * s.cmr()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = SearchStats { candidates: 3, results: 1, ..Default::default() };
+        let b = SearchStats { candidates: 4, results: 2, fallback: true, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.candidates, 7);
+        assert_eq!(a.results, 3);
+        assert!(a.fallback);
+    }
+
+    #[test]
+    fn total_time_sums_phases() {
+        let s = SearchStats {
+            mincand_time: Duration::from_millis(1),
+            lookup_time: Duration::from_millis(2),
+            verify_time: Duration::from_millis(3),
+            ..Default::default()
+        };
+        assert_eq!(s.total_time(), Duration::from_millis(6));
+    }
+}

@@ -1,0 +1,165 @@
+//! Top-k subtrajectory search.
+//!
+//! The paper's effectiveness study (Table 3) uses a *top-k* setting: the `k`
+//! trajectories whose best-matching subtrajectory has the smallest WED to
+//! the query, with ties broken by the shorter and then earlier span. This
+//! module implements that on top of threshold search by geometric threshold
+//! growth: search at τ, and if fewer than `k` distinct trajectories matched,
+//! double τ and retry. The result is exact: once `k` trajectories match
+//! below τ, any unseen trajectory's best distance is ≥ τ and cannot enter
+//! the top `k`.
+
+use crate::results::MatchResult;
+use crate::search::{SearchEngine, SearchOptions};
+use std::collections::HashMap;
+use traj::TrajId;
+use wed::{Sym, WedInstance};
+
+/// One top-k entry: the best match of one trajectory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopKEntry {
+    pub rank: usize,
+    pub best: MatchResult,
+}
+
+impl<'a, M: WedInstance> SearchEngine<'a, M> {
+    /// The `k` trajectories most similar to `q` (by their best-matching
+    /// subtrajectory), or fewer if the whole database has fewer matching
+    /// trajectories below `max_tau`.
+    ///
+    /// `initial_tau` seeds the threshold-growth loop (e.g. 10% of
+    /// `Σ c(q)`); `max_tau` bounds it (e.g. the total insertion cost of `q`,
+    /// above which everything matches).
+    pub fn search_top_k(
+        &self,
+        q: &[Sym],
+        k: usize,
+        initial_tau: f64,
+        max_tau: f64,
+    ) -> Vec<TopKEntry> {
+        assert!(k >= 1, "k must be positive");
+        assert!(initial_tau > 0.0 && initial_tau <= max_tau);
+        let mut tau = initial_tau;
+        loop {
+            let out = self.search_opts(q, tau, SearchOptions::default());
+            let best = per_trajectory_best(&out.matches);
+            if best.len() >= k || tau >= max_tau {
+                let mut ranked: Vec<MatchResult> = best.into_values().collect();
+                ranked.sort_by(|a, b| {
+                    a.dist
+                        .total_cmp(&b.dist)
+                        .then((a.end - a.start).cmp(&(b.end - b.start)))
+                        .then((a.id, a.start).cmp(&(b.id, b.start)))
+                });
+                ranked.truncate(k);
+                return ranked
+                    .into_iter()
+                    .enumerate()
+                    .map(|(rank, best)| TopKEntry { rank, best })
+                    .collect();
+            }
+            tau = (tau * 2.0).min(max_tau);
+        }
+    }
+}
+
+/// Per-trajectory best match: smallest distance, tie-broken by shorter span,
+/// then earlier start (the paper's tie-break in §6.2.1).
+pub fn per_trajectory_best(matches: &[MatchResult]) -> HashMap<TrajId, MatchResult> {
+    let mut best: HashMap<TrajId, MatchResult> = HashMap::new();
+    for m in matches {
+        match best.get(&m.id) {
+            None => {
+                best.insert(m.id, *m);
+            }
+            Some(cur) => {
+                let better = m.dist < cur.dist - 1e-12
+                    || ((m.dist - cur.dist).abs() <= 1e-12
+                        && ((m.end - m.start) < (cur.end - cur.start)
+                            || ((m.end - m.start) == (cur.end - cur.start)
+                                && m.start < cur.start)));
+                if better {
+                    best.insert(m.id, *m);
+                }
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj::{Trajectory, TrajectoryStore};
+    use wed::models::Lev;
+
+    fn store() -> TrajectoryStore {
+        let mut s = TrajectoryStore::new();
+        s.push(Trajectory::untimed(vec![1, 2, 3, 4])); // exact match
+        s.push(Trajectory::untimed(vec![1, 2, 9, 4])); // distance 1
+        s.push(Trajectory::untimed(vec![1, 9, 9, 4])); // distance 2
+        s.push(Trajectory::untimed(vec![7, 7, 7, 7])); // distance 4 (all subs)
+        s
+    }
+
+    #[test]
+    fn top_k_ranks_by_best_distance() {
+        let s = store();
+        let engine = SearchEngine::new(&Lev, &s, 12);
+        let q = [1u32, 2, 3, 4];
+        let top = engine.search_top_k(&q, 3, 0.5, 10.0);
+        assert_eq!(top.len(), 3);
+        let ids: Vec<TrajId> = top.iter().map(|e| e.best.id).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert_eq!(top[0].best.dist, 0.0);
+        assert_eq!(top[1].best.dist, 1.0);
+        assert_eq!(top[2].best.dist, 2.0);
+        assert_eq!(top[0].rank, 0);
+    }
+
+    #[test]
+    fn threshold_growth_finds_far_matches() {
+        let s = store();
+        let engine = SearchEngine::new(&Lev, &s, 12);
+        let q = [1u32, 2, 3, 4];
+        // k = 4 forces tau to grow until trajectory 3 (distance 4) matches.
+        let top = engine.search_top_k(&q, 4, 0.5, 16.0);
+        assert_eq!(top.len(), 4);
+        assert_eq!(top[3].best.id, 3);
+        assert_eq!(top[3].best.dist, 4.0);
+    }
+
+    #[test]
+    fn max_tau_caps_the_result() {
+        let s = store();
+        let engine = SearchEngine::new(&Lev, &s, 12);
+        let q = [1u32, 2, 3, 4];
+        // With max_tau = 1.5 only distances < 1.5 can be found.
+        let top = engine.search_top_k(&q, 4, 1.5, 1.5);
+        assert_eq!(top.len(), 2);
+        assert!(top.iter().all(|e| e.best.dist < 1.5));
+    }
+
+    #[test]
+    fn tie_break_prefers_shorter_then_earlier() {
+        let mut s = TrajectoryStore::new();
+        // Two distance-0 matches in the same trajectory: [1,2] at 0 and 3.
+        s.push(Trajectory::untimed(vec![1, 2, 9, 1, 2]));
+        let engine = SearchEngine::new(&Lev, &s, 12);
+        let top = engine.search_top_k(&[1, 2], 1, 0.5, 4.0);
+        assert_eq!(top[0].best.start, 0, "earlier span must win the tie");
+        assert_eq!(top[0].best.end, 1);
+    }
+
+    #[test]
+    fn per_trajectory_best_tiebreaks() {
+        let ms = [
+            MatchResult { id: 1, start: 2, end: 5, dist: 1.0 },
+            MatchResult { id: 1, start: 3, end: 5, dist: 1.0 }, // shorter
+            MatchResult { id: 1, start: 0, end: 2, dist: 1.0 }, // same len, earlier
+        ];
+        let best = per_trajectory_best(&ms);
+        let b = best[&1];
+        assert_eq!((b.start, b.end), (0, 2));
+    }
+}

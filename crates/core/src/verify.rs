@@ -1,0 +1,593 @@
+//! Candidate verification (§5, Algorithms 3–6).
+//!
+//! Given candidates `(id, j, iq)` — trajectory `id` carries, at position
+//! `j`, a substitution neighbor of query symbol `Q[iq]` — verification must
+//! report every subtrajectory `P[s..=t]` with `s ≤ j ≤ t` and
+//! `wed(P[s..=t], Q) < τ`. Three strategies are provided:
+//!
+//! * [`VerifyMode::Sw`] — Smith–Waterman over each candidate *trajectory*
+//!   (the `*-SW` baselines): exact, no locality, no sharing.
+//! * [`VerifyMode::Local`] — bidirectional local verification (§5.1): two
+//!   DPs growing outward from `j`, early-terminated by the Eq. (11) lower
+//!   bound; no cross-candidate sharing (ablation point).
+//! * [`VerifyMode::Trie`] — local verification plus bidirectional tries
+//!   (§5.2): DP columns are cached per `(iq, direction)` in a trie keyed by
+//!   the data symbols, exploiting the small out-degree of road networks.
+//!
+//! The split at the anchor follows Eq. (10):
+//! `wed(P[s..=t], Q) = wed(P[s..j-1], Q[..iq]) + sub(P[j], Q[iq]) +
+//! wed(P[j+1..=t], Q[iq+1..])` for the optimal alignment of some candidate,
+//! so enumerating pairs of backward/forward prefix WEDs below
+//! `τ' = τ − sub(P[j], Q[iq])` recovers exactly the Definition 3 result set
+//! (Lemma 1), with per-triple min-merge restoring exact distances.
+
+use crate::results::ResultSet;
+use crate::stats::SearchStats;
+use crate::temporal::TemporalConstraint;
+use traj::{TrajId, TrajectoryStore};
+use wed::dp::{initial_column, step_dp};
+use wed::{sw_scan_all, CostModel, Sym};
+
+/// A filtering candidate `(id, j, iq)` (§3.1): `P^(id)[j] ∈ B(Q[iq])`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Candidate {
+    pub id: TrajId,
+    pub j: u32,
+    pub iq: u32,
+}
+
+/// Verification strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VerifyMode {
+    /// Full Smith–Waterman scan per candidate trajectory.
+    Sw,
+    /// Bidirectional local verification without caching.
+    Local,
+    /// Bidirectional local verification with trie caching (the paper's BT).
+    #[default]
+    Trie,
+}
+
+// ---------------------------------------------------------------------------
+// DP-column trie
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct Node {
+    /// Cached DP column: `col[j] = wed(P^d[..k], Q^d[..j])` for this node's
+    /// depth `k`. Threshold-independent, hence reusable across candidates.
+    col: Box<[f64]>,
+    /// Column minimum — the Eq. (11) lower bound `LB^d_k`.
+    min: f64,
+    /// Child links; linear scan is optimal at road-network out-degrees (~3).
+    children: Vec<(Sym, u32)>,
+}
+
+/// A DP-column cache for one `(iq, direction)` pair (§5.2). The paper builds
+/// `2·|Q'|` of these per query.
+#[derive(Debug)]
+pub struct DpTrie {
+    qd: Vec<Sym>,
+    nodes: Vec<Node>,
+}
+
+impl DpTrie {
+    /// Creates the trie with a root column for the empty data prefix.
+    pub fn new<M: CostModel>(model: &M, qd: Vec<Sym>) -> Self {
+        let col = initial_column(model, &qd);
+        let min = col.iter().cloned().fold(f64::INFINITY, f64::min);
+        DpTrie {
+            qd,
+            nodes: vec![Node { col: col.into_boxed_slice(), min, children: Vec::new() }],
+        }
+    }
+
+    /// Returns `(child id, freshly created?)` for `node --sym-->`.
+    fn child<M: CostModel>(&mut self, model: &M, node: u32, sym: Sym) -> (u32, bool) {
+        if let Some(&(_, c)) = self.nodes[node as usize]
+            .children
+            .iter()
+            .find(|&&(s, _)| s == sym)
+        {
+            return (c, false);
+        }
+        let col = step_dp(model, &self.qd, sym, &self.nodes[node as usize].col);
+        let min = col.iter().cloned().fold(f64::INFINITY, f64::min);
+        let id = self.nodes.len() as u32;
+        self.nodes.push(Node { col: col.into_boxed_slice(), min, children: Vec::new() });
+        self.nodes[node as usize].children.push((sym, id));
+        (id, true)
+    }
+
+    fn ed(&self, node: u32) -> f64 {
+        *self.nodes[node as usize].col.last().unwrap()
+    }
+
+    fn min(&self, node: u32) -> f64 {
+        self.nodes[node as usize].min
+    }
+
+    /// Number of materialized nodes (diagnostics/tests).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false // root always exists
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Verifier
+// ---------------------------------------------------------------------------
+
+/// Stateful verifier holding the bidirectional tries of one query.
+pub struct Verifier<'a, M: CostModel> {
+    model: &'a M,
+    q: &'a [Sym],
+    tau: f64,
+    mode: VerifyMode,
+    /// Tries keyed by candidate query position `iq`; `[0]` backward,
+    /// `[1]` forward.
+    tries: std::collections::HashMap<u32, [DpTrie; 2]>,
+}
+
+impl<'a, M: CostModel> Verifier<'a, M> {
+    pub fn new(model: &'a M, q: &'a [Sym], tau: f64, mode: VerifyMode) -> Self {
+        Verifier { model, q, tau, mode, tries: std::collections::HashMap::new() }
+    }
+
+    /// Algorithm 4 (VerifyCandidate): verify one candidate, pushing all
+    /// `(id, s, t)` triples through the anchor into `results`.
+    pub fn verify_candidate(
+        &mut self,
+        path: &[Sym],
+        cand: Candidate,
+        results: &mut ResultSet,
+        stats: &mut SearchStats,
+    ) {
+        let j = cand.j as usize;
+        let iq = cand.iq as usize;
+        debug_assert!(j < path.len() && iq < self.q.len());
+        stats.sw_columns += path.len() as u64;
+
+        let sub0 = self.model.sub(path[j], self.q[iq]);
+        if sub0 >= self.tau {
+            return; // anchor substitution alone exceeds the budget
+        }
+        let tau_p = self.tau - sub0;
+
+        let (eb, ef) = match self.mode {
+            VerifyMode::Trie => {
+                let tries = self.tries.entry(cand.iq).or_insert_with(|| {
+                    let qb_rev: Vec<Sym> = self.q[..iq].iter().rev().cloned().collect();
+                    let qf: Vec<Sym> = self.q[iq + 1..].to_vec();
+                    [DpTrie::new(self.model, qb_rev), DpTrie::new(self.model, qf)]
+                });
+                let eb = walk_trie(
+                    &mut tries[0],
+                    self.model,
+                    path[..j].iter().rev().cloned(),
+                    tau_p,
+                    stats,
+                );
+                let ef = walk_trie(
+                    &mut tries[1],
+                    self.model,
+                    path[j + 1..].iter().cloned(),
+                    tau_p,
+                    stats,
+                );
+                (eb, ef)
+            }
+            VerifyMode::Local => {
+                let qb_rev: Vec<Sym> = self.q[..iq].iter().rev().cloned().collect();
+                let qf: Vec<Sym> = self.q[iq + 1..].to_vec();
+                let eb = prefix_weds_local(
+                    self.model,
+                    &qb_rev,
+                    path[..j].iter().rev().cloned(),
+                    tau_p,
+                    stats,
+                );
+                let ef = prefix_weds_local(
+                    self.model,
+                    &qf,
+                    path[j + 1..].iter().cloned(),
+                    tau_p,
+                    stats,
+                );
+                (eb, ef)
+            }
+            VerifyMode::Sw => unreachable!("SW mode is handled per trajectory"),
+        };
+
+        // Enumerate (s, t) pairs through the anchor (Algorithm 4 line 6).
+        for (kb, &b) in eb.iter().enumerate() {
+            if sub0 + b >= self.tau {
+                continue;
+            }
+            for (kf, &f) in ef.iter().enumerate() {
+                let d = sub0 + b + f;
+                if d < self.tau {
+                    results.push(cand.id, j - kb, j + kf, d);
+                }
+            }
+        }
+    }
+}
+
+/// Algorithm 5 (AllPrefixWED) against a trie: returns
+/// `E^d[k] = wed(P^d[..k], Q^d)` for `k = 0..` until early termination.
+fn walk_trie<M: CostModel>(
+    trie: &mut DpTrie,
+    model: &M,
+    syms: impl Iterator<Item = Sym>,
+    tau_p: f64,
+    stats: &mut SearchStats,
+) -> Vec<f64> {
+    let mut ed = vec![trie.ed(0)];
+    let mut node = 0u32;
+    for sym in syms {
+        let (child, created) = trie.child(model, node, sym);
+        stats.columns_passed += 1;
+        if created {
+            stats.stepdp_calls += 1;
+        }
+        // Eq. (11): if every alignment of this prefix already costs ≥ τ',
+        // extensions cannot recover — stop. The column value for this k is
+        // ≥ min ≥ τ' and thus cannot contribute to a pair either.
+        if trie.min(child) >= tau_p {
+            break;
+        }
+        ed.push(trie.ed(child));
+        node = child;
+    }
+    ed
+}
+
+/// AllPrefixWED without caching (ablation; every column is computed fresh).
+fn prefix_weds_local<M: CostModel>(
+    model: &M,
+    qd: &[Sym],
+    syms: impl Iterator<Item = Sym>,
+    tau_p: f64,
+    stats: &mut SearchStats,
+) -> Vec<f64> {
+    let mut col = initial_column(model, qd);
+    let mut ed = vec![col[qd.len()]];
+    for sym in syms {
+        col = step_dp(model, qd, sym, &col);
+        stats.columns_passed += 1;
+        stats.stepdp_calls += 1;
+        let min = col.iter().cloned().fold(f64::INFINITY, f64::min);
+        if min >= tau_p {
+            break;
+        }
+        ed.push(col[qd.len()]);
+    }
+    ed
+}
+
+// ---------------------------------------------------------------------------
+// Top-level verification (Algorithm 3)
+// ---------------------------------------------------------------------------
+
+/// Verifies a candidate set and returns the exact Definition 3 result set.
+///
+/// With a [`TemporalConstraint`] and `temporal_filter = true`, candidates
+/// whose trajectory span cannot overlap the query interval are pruned before
+/// verification (the TF strategy of §4.3); the exact per-match span check is
+/// applied afterwards in both cases.
+#[allow(clippy::too_many_arguments)]
+pub fn verify_candidates<M: CostModel>(
+    model: &M,
+    store: &TrajectoryStore,
+    index_span: impl Fn(TrajId) -> (f64, f64),
+    q: &[Sym],
+    tau: f64,
+    candidates: &[Candidate],
+    mode: VerifyMode,
+    temporal: Option<&TemporalConstraint>,
+    temporal_filter: bool,
+    stats: &mut SearchStats,
+) -> Vec<crate::results::MatchResult> {
+    let mut results = ResultSet::new();
+    stats.candidates = candidates.len();
+
+    // Optional temporal pre-filter (TF).
+    let filtered: Vec<Candidate> = match (temporal, temporal_filter) {
+        (Some(c), true) => candidates
+            .iter()
+            .filter(|cand| c.may_contain_match(index_span(cand.id)))
+            .cloned()
+            .collect(),
+        _ => candidates.to_vec(),
+    };
+    stats.candidates_after_temporal = filtered.len();
+
+    match mode {
+        VerifyMode::Sw => {
+            // One exact scan per distinct candidate trajectory.
+            let mut ids: Vec<TrajId> = filtered.iter().map(|c| c.id).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            for cand in &filtered {
+                stats.sw_columns += store.get(cand.id).len() as u64;
+            }
+            for id in ids {
+                let path = store.get(id).path();
+                for m in sw_scan_all(model, path, q, tau) {
+                    results.push(id, m.start, m.end, m.dist);
+                }
+            }
+        }
+        VerifyMode::Local | VerifyMode::Trie => {
+            let mut verifier = Verifier::new(model, q, tau, mode);
+            for cand in &filtered {
+                let path = store.get(cand.id).path();
+                verifier.verify_candidate(path, *cand, &mut results, stats);
+            }
+        }
+    }
+
+    // Exact temporal check on matched spans.
+    if let Some(c) = temporal {
+        results.retain(|id, s, t| {
+            let times = store.get(id).times();
+            c.accepts(times[s], times[t])
+        });
+    }
+
+    let out = results.into_sorted_vec();
+    stats.results = out.len();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj::Trajectory;
+    use wed::models::Lev;
+    use wed::wed;
+
+    fn store_of(paths: &[&[Sym]]) -> TrajectoryStore {
+        paths
+            .iter()
+            .map(|p| Trajectory::untimed(p.to_vec()))
+            .collect()
+    }
+
+    /// Exhaustive candidate set: every (id, j) with P[j] == some Q[iq]
+    /// (Lev neighborhoods are singletons).
+    fn all_candidates(store: &TrajectoryStore, q: &[Sym]) -> Vec<Candidate> {
+        let mut c = Vec::new();
+        for (id, t) in store.iter() {
+            for (j, &p) in t.path().iter().enumerate() {
+                for (iq, &qs) in q.iter().enumerate() {
+                    if p == qs {
+                        c.push(Candidate { id, j: j as u32, iq: iq as u32 });
+                    }
+                }
+            }
+        }
+        c
+    }
+
+    fn brute(store: &TrajectoryStore, q: &[Sym], tau: f64) -> Vec<(TrajId, usize, usize, f64)> {
+        let mut out = Vec::new();
+        for (id, t) in store.iter() {
+            let p = t.path();
+            for s in 0..p.len() {
+                for e in s..p.len() {
+                    let d = wed(&Lev, &p[s..=e], q);
+                    if d < tau {
+                        out.push((id, s, e, d));
+                    }
+                }
+            }
+        }
+        out.sort_by(|a, b| (a.0, a.1, a.2).partial_cmp(&(b.0, b.1, b.2)).unwrap());
+        out
+    }
+
+    fn run(
+        store: &TrajectoryStore,
+        q: &[Sym],
+        tau: f64,
+        mode: VerifyMode,
+    ) -> Vec<crate::results::MatchResult> {
+        let cands = all_candidates(store, q);
+        let mut stats = SearchStats::default();
+        verify_candidates(
+            &Lev,
+            store,
+            |id| store.get(id).span(),
+            q,
+            tau,
+            &cands,
+            mode,
+            None,
+            false,
+            &mut stats,
+        )
+    }
+
+    #[test]
+    fn all_modes_match_brute_force() {
+        let store = store_of(&[
+            &[0, 1, 2, 3, 4],
+            &[3, 1, 5, 1, 2],
+            &[9, 8, 7],
+            &[1, 2, 1, 2, 1, 2],
+        ]);
+        let q: Vec<Sym> = vec![1, 5, 2];
+        for tau in [1.0, 1.5, 2.0, 3.0] {
+            let want = brute(&store, &q, tau);
+            for mode in [VerifyMode::Sw, VerifyMode::Local, VerifyMode::Trie] {
+                let got = run(&store, &q, tau, mode);
+                let got_k: Vec<_> = got.iter().map(|m| (m.id, m.start, m.end)).collect();
+                let want_k: Vec<_> = want.iter().map(|&(id, s, t, _)| (id, s, t)).collect();
+                assert_eq!(got_k, want_k, "mode {mode:?} tau {tau}");
+                for (g, w) in got.iter().zip(&want) {
+                    assert!((g.dist - w.3).abs() < 1e-9, "distance mismatch in {mode:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trie_shares_columns_across_candidates() {
+        // Two trajectories with a long shared suffix after the anchor: the
+        // second verification should hit the cache.
+        let store = store_of(&[&[9, 1, 2, 3, 4, 5], &[8, 1, 2, 3, 4, 6]]);
+        let q: Vec<Sym> = vec![1, 2, 3];
+        let cands = all_candidates(&store, &q);
+        let mut stats = SearchStats::default();
+        let _ = verify_candidates(
+            &Lev,
+            &store,
+            |id| store.get(id).span(),
+            &q,
+            2.0,
+            &cands,
+            VerifyMode::Trie,
+            None,
+            false,
+            &mut stats,
+        );
+        assert!(
+            stats.stepdp_calls < stats.columns_passed,
+            "expected cache hits: {} fresh of {} visited",
+            stats.stepdp_calls,
+            stats.columns_passed
+        );
+
+        // Local mode computes every visited column fresh.
+        let mut stats_local = SearchStats::default();
+        let _ = verify_candidates(
+            &Lev,
+            &store,
+            |id| store.get(id).span(),
+            &q,
+            2.0,
+            &cands,
+            VerifyMode::Local,
+            None,
+            false,
+            &mut stats_local,
+        );
+        assert_eq!(stats_local.stepdp_calls, stats_local.columns_passed);
+    }
+
+    #[test]
+    fn early_termination_prunes_columns() {
+        // One anchor in the middle of a long non-matching trajectory: the
+        // verifier must not walk to the ends.
+        let mut path = vec![7u32; 60];
+        path[30] = 1;
+        let store = store_of(&[&path]);
+        let q: Vec<Sym> = vec![1, 2];
+        let cands = all_candidates(&store, &q);
+        assert_eq!(cands.len(), 1);
+        let mut stats = SearchStats::default();
+        let _ = verify_candidates(
+            &Lev,
+            &store,
+            |id| store.get(id).span(),
+            &q,
+            1.5,
+            &cands,
+            VerifyMode::Trie,
+            None,
+            false,
+            &mut stats,
+        );
+        assert!(
+            stats.columns_passed < 20,
+            "early termination failed: {} columns",
+            stats.columns_passed
+        );
+        assert!(stats.upr() < 0.5);
+    }
+
+    #[test]
+    fn anchor_over_budget_is_skipped() {
+        let store = store_of(&[&[1, 2, 3]]);
+        let q: Vec<Sym> = vec![5, 6];
+        // Candidate manually anchored at (0,0): sub(1,5)=1 >= tau=1.
+        let cands = vec![Candidate { id: 0, j: 0, iq: 0 }];
+        let mut stats = SearchStats::default();
+        let got = verify_candidates(
+            &Lev,
+            &store,
+            |id| store.get(id).span(),
+            &q,
+            1.0,
+            &cands,
+            VerifyMode::Trie,
+            None,
+            false,
+            &mut stats,
+        );
+        assert!(got.is_empty());
+        assert_eq!(stats.columns_passed, 0);
+    }
+
+    #[test]
+    fn temporal_filter_prunes_and_postcheck_is_exact() {
+        use crate::temporal::{TemporalConstraint, TimeInterval};
+        let mut store = TrajectoryStore::new();
+        store.push(Trajectory::new(vec![1, 2, 3], vec![0.0, 1.0, 2.0]));
+        store.push(Trajectory::new(vec![1, 2, 3], vec![100.0, 101.0, 102.0]));
+        let q: Vec<Sym> = vec![1, 2, 3];
+        let cands = all_candidates(&store, &q);
+        let constraint = TemporalConstraint::overlaps(TimeInterval::new(0.0, 50.0));
+
+        let mut stats = SearchStats::default();
+        let got = verify_candidates(
+            &Lev,
+            &store,
+            |id| store.get(id).span(),
+            &q,
+            1.0,
+            &cands,
+            VerifyMode::Trie,
+            Some(&constraint),
+            true,
+            &mut stats,
+        );
+        assert!(got.iter().all(|m| m.id == 0));
+        assert!(stats.candidates_after_temporal < stats.candidates);
+
+        // no-TF path returns the same results.
+        let mut stats2 = SearchStats::default();
+        let got2 = verify_candidates(
+            &Lev,
+            &store,
+            |id| store.get(id).span(),
+            &q,
+            1.0,
+            &cands,
+            VerifyMode::Trie,
+            Some(&constraint),
+            false,
+            &mut stats2,
+        );
+        assert_eq!(got, got2);
+        assert_eq!(stats2.candidates_after_temporal, stats2.candidates);
+    }
+
+    #[test]
+    fn trie_len_grows_only_on_miss() {
+        let mut trie = DpTrie::new(&Lev, vec![1, 2]);
+        assert_eq!(trie.len(), 1);
+        let (a, created_a) = trie.child(&Lev, 0, 5);
+        assert!(created_a);
+        let (b, created_b) = trie.child(&Lev, 0, 5);
+        assert!(!created_b);
+        assert_eq!(a, b);
+        assert_eq!(trie.len(), 2);
+        assert!(!trie.is_empty());
+    }
+}

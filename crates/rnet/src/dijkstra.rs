@@ -1,0 +1,270 @@
+//! Shortest-path computations on road networks.
+//!
+//! Three flavors are provided, matching the three uses in the search engine:
+//!
+//! * [`sssp`] — full single-source distances, used by trip generation and as
+//!   a test oracle for hub labels.
+//! * [`bounded`] — all vertices within a radius, used to materialize the
+//!   substitution neighborhoods `B(q)` of NetEDR/NetERP (Definition 4) and
+//!   the smallest cost beyond the radius (Eq. 7).
+//! * [`shortest_path`] — point-to-point path extraction with early stop, used
+//!   by the trip generator and the alternative-route experiment.
+//!
+//! All variants accept a [`Mode`]: directed edge weights (`length`), directed
+//! travel times, or the undirected symmetrization the paper uses to make
+//! network distances symmetric (§2.2.3).
+
+use crate::graph::{RoadNetwork, VertexId};
+use crate::TotalF64;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Which weight/direction regime a shortest-path run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Directed, weight = edge length (meters).
+    DirectedLength,
+    /// Directed, weight = free-flow travel time (seconds).
+    DirectedTime,
+    /// Undirected symmetrization of lengths (min of the two directions);
+    /// required for symmetric NetEDR/NetERP costs.
+    UndirectedLength,
+}
+
+fn for_each_neighbor(g: &RoadNetwork, v: VertexId, mode: Mode, mut f: impl FnMut(VertexId, f64)) {
+    match mode {
+        Mode::DirectedLength => {
+            for &(to, eid) in g.out_neighbors(v) {
+                f(to, g.edge(eid).length);
+            }
+        }
+        Mode::DirectedTime => {
+            for &(to, eid) in g.out_neighbors(v) {
+                f(to, g.edge(eid).travel_time);
+            }
+        }
+        Mode::UndirectedLength => g.undirected_neighbors(v, f),
+    }
+}
+
+/// Full single-source shortest distances from `src`.
+///
+/// Unreachable vertices get `f64::INFINITY`.
+pub fn sssp(g: &RoadNetwork, src: VertexId, mode: Mode) -> Vec<f64> {
+    let mut dist = vec![f64::INFINITY; g.num_vertices()];
+    let mut heap = BinaryHeap::new();
+    dist[src as usize] = 0.0;
+    heap.push(Reverse((TotalF64(0.0), src)));
+    while let Some(Reverse((TotalF64(d), v))) = heap.pop() {
+        if d > dist[v as usize] {
+            continue;
+        }
+        for_each_neighbor(g, v, mode, |to, w| {
+            let nd = d + w;
+            if nd < dist[to as usize] {
+                dist[to as usize] = nd;
+                heap.push(Reverse((TotalF64(nd), to)));
+            }
+        });
+    }
+    dist
+}
+
+/// All vertices within `radius` of `src` (inclusive), in non-decreasing
+/// distance order, together with the smallest settled distance strictly
+/// greater than `radius` (if any vertex lies beyond it).
+///
+/// The pair is exactly what substitution-neighborhood construction needs:
+/// the in-radius set is `B(q)` and the first distance beyond the radius
+/// lower-bounds `c(q)` for distance-substitution cost models.
+#[derive(Debug, Clone)]
+pub struct BoundedResult {
+    /// `(vertex, distance)` for every vertex with `distance <= radius`,
+    /// sorted by distance.
+    pub within: Vec<(VertexId, f64)>,
+    /// Distance of the nearest vertex strictly beyond the radius, if any.
+    pub next_beyond: Option<f64>,
+}
+
+/// Bounded-radius Dijkstra from `src`.
+pub fn bounded(g: &RoadNetwork, src: VertexId, radius: f64, mode: Mode) -> BoundedResult {
+    assert!(radius >= 0.0, "radius must be non-negative");
+    let mut dist = std::collections::HashMap::new();
+    let mut heap = BinaryHeap::new();
+    let mut within = Vec::new();
+    let mut next_beyond = None;
+    dist.insert(src, 0.0);
+    heap.push(Reverse((TotalF64(0.0), src)));
+    while let Some(Reverse((TotalF64(d), v))) = heap.pop() {
+        if d > *dist.get(&v).unwrap_or(&f64::INFINITY) {
+            continue;
+        }
+        if d > radius {
+            next_beyond = Some(d);
+            break;
+        }
+        within.push((v, d));
+        for_each_neighbor(g, v, mode, |to, w| {
+            let nd = d + w;
+            if nd < *dist.get(&to).unwrap_or(&f64::INFINITY) {
+                dist.insert(to, nd);
+                heap.push(Reverse((TotalF64(nd), to)));
+            }
+        });
+    }
+    BoundedResult { within, next_beyond }
+}
+
+/// Point-to-point shortest path with early termination; returns the vertex
+/// path (including both endpoints) and its cost, or `None` if unreachable.
+pub fn shortest_path(
+    g: &RoadNetwork,
+    src: VertexId,
+    dst: VertexId,
+    mode: Mode,
+) -> Option<(Vec<VertexId>, f64)> {
+    if src == dst {
+        return Some((vec![src], 0.0));
+    }
+    let mut dist = vec![f64::INFINITY; g.num_vertices()];
+    let mut parent = vec![u32::MAX; g.num_vertices()];
+    let mut heap = BinaryHeap::new();
+    dist[src as usize] = 0.0;
+    heap.push(Reverse((TotalF64(0.0), src)));
+    while let Some(Reverse((TotalF64(d), v))) = heap.pop() {
+        if d > dist[v as usize] {
+            continue;
+        }
+        if v == dst {
+            break;
+        }
+        for_each_neighbor(g, v, mode, |to, w| {
+            let nd = d + w;
+            if nd < dist[to as usize] {
+                dist[to as usize] = nd;
+                parent[to as usize] = v;
+                heap.push(Reverse((TotalF64(nd), to)));
+            }
+        });
+    }
+    if dist[dst as usize].is_infinite() {
+        return None;
+    }
+    let mut path = vec![dst];
+    let mut cur = dst;
+    while cur != src {
+        cur = parent[cur as usize];
+        path.push(cur);
+    }
+    path.reverse();
+    Some((path, dist[dst as usize]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geo::Point;
+    use crate::graph::GraphBuilder;
+
+    /// 0 -1- 1 -1- 2
+    /// |           |
+    /// 10----------+   (edge 0->2 with weight 10)
+    fn line_with_shortcut() -> RoadNetwork {
+        let mut b = GraphBuilder::new();
+        for i in 0..3 {
+            b.add_vertex(Point::new(i as f64, 0.0));
+        }
+        b.add_bidirectional(0, 1, 1.0, 2.0);
+        b.add_bidirectional(1, 2, 1.0, 2.0);
+        b.add_bidirectional(0, 2, 10.0, 1.0);
+        b.build()
+    }
+
+    #[test]
+    fn sssp_prefers_short_path() {
+        let g = line_with_shortcut();
+        let d = sssp(&g, 0, Mode::DirectedLength);
+        assert_eq!(d, vec![0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn sssp_travel_time_mode_uses_times() {
+        let g = line_with_shortcut();
+        let d = sssp(&g, 0, Mode::DirectedTime);
+        // Direct edge 0->2 has travel_time 1.0, cheaper than 2.0+2.0.
+        assert_eq!(d[2], 1.0);
+    }
+
+    #[test]
+    fn sssp_unreachable_is_infinite() {
+        let mut b = GraphBuilder::new();
+        b.add_vertex(Point::new(0.0, 0.0));
+        b.add_vertex(Point::new(1.0, 0.0));
+        b.add_edge(1, 0, 1.0, 1.0);
+        let g = b.build();
+        let d = sssp(&g, 0, Mode::DirectedLength);
+        assert!(d[1].is_infinite());
+    }
+
+    #[test]
+    fn bounded_matches_sssp_within_radius() {
+        let g = line_with_shortcut();
+        let r = bounded(&g, 0, 1.5, Mode::DirectedLength);
+        let within: Vec<_> = r.within.iter().map(|&(v, _)| v).collect();
+        assert_eq!(within, vec![0, 1]);
+        // Nearest beyond 1.5 is vertex 2 at distance 2.0.
+        assert_eq!(r.next_beyond, Some(2.0));
+    }
+
+    #[test]
+    fn bounded_radius_zero_returns_source_only() {
+        let g = line_with_shortcut();
+        let r = bounded(&g, 1, 0.0, Mode::DirectedLength);
+        assert_eq!(r.within, vec![(1, 0.0)]);
+        assert_eq!(r.next_beyond, Some(1.0));
+    }
+
+    #[test]
+    fn bounded_large_radius_has_no_beyond() {
+        let g = line_with_shortcut();
+        let r = bounded(&g, 0, 100.0, Mode::DirectedLength);
+        assert_eq!(r.within.len(), 3);
+        assert_eq!(r.next_beyond, None);
+    }
+
+    #[test]
+    fn shortest_path_reconstructs_vertices() {
+        let g = line_with_shortcut();
+        let (p, c) = shortest_path(&g, 0, 2, Mode::DirectedLength).unwrap();
+        assert_eq!(p, vec![0, 1, 2]);
+        assert_eq!(c, 2.0);
+    }
+
+    #[test]
+    fn shortest_path_trivial_and_unreachable() {
+        let g = line_with_shortcut();
+        assert_eq!(shortest_path(&g, 1, 1, Mode::DirectedLength).unwrap(), (vec![1], 0.0));
+        let mut b = GraphBuilder::new();
+        b.add_vertex(Point::new(0.0, 0.0));
+        b.add_vertex(Point::new(1.0, 0.0));
+        b.add_edge(1, 0, 1.0, 1.0);
+        let g2 = b.build();
+        assert!(shortest_path(&g2, 0, 1, Mode::DirectedLength).is_none());
+    }
+
+    #[test]
+    fn undirected_mode_ignores_orientation() {
+        let mut b = GraphBuilder::new();
+        for i in 0..3 {
+            b.add_vertex(Point::new(i as f64, 0.0));
+        }
+        b.add_edge(1, 0, 1.0, 1.0);
+        b.add_edge(1, 2, 1.0, 1.0);
+        let g = b.build();
+        let d = sssp(&g, 0, Mode::UndirectedLength);
+        assert_eq!(d, vec![0.0, 1.0, 2.0]);
+        // Directed mode cannot leave vertex 0.
+        let dd = sssp(&g, 0, Mode::DirectedLength);
+        assert!(dd[1].is_infinite());
+    }
+}

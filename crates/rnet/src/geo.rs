@@ -1,0 +1,102 @@
+//! Plane geometry primitives.
+//!
+//! Vertex coordinates are planar (meters); the paper's datasets are city-scale
+//! where a local Euclidean projection is standard practice.
+
+/// A point in the plane, in meters.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Point {
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn dist(&self, other: &Point) -> f64 {
+        self.dist2(other).sqrt()
+    }
+
+    /// Squared Euclidean distance to `other` (avoids the sqrt in comparisons).
+    pub fn dist2(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Component-wise sum, used by the ERP-index baseline which indexes the
+    /// sum of all coordinates of a (sub)trajectory.
+    pub fn add(&self, other: &Point) -> Point {
+        Point::new(self.x + other.x, self.y + other.y)
+    }
+
+    pub fn sub(&self, other: &Point) -> Point {
+        Point::new(self.x - other.x, self.y - other.y)
+    }
+
+    /// Euclidean norm.
+    pub fn norm(&self) -> f64 {
+        (self.x * self.x + self.y * self.y).sqrt()
+    }
+}
+
+/// Barycenter of a non-empty set of points; the ERP reference point `g` in
+/// Eq. (3) of the paper defaults to the barycenter of all vertices.
+pub fn barycenter(points: &[Point]) -> Point {
+    assert!(!points.is_empty(), "barycenter of empty point set");
+    let (sx, sy) = points
+        .iter()
+        .fold((0.0, 0.0), |(sx, sy), p| (sx + p.x, sy + p.y));
+    let n = points.len() as f64;
+    Point::new(sx / n, sy / n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dist_is_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.dist(&b), 5.0);
+        assert_eq!(a.dist2(&b), 25.0);
+    }
+
+    #[test]
+    fn dist_is_symmetric() {
+        let a = Point::new(1.5, -2.0);
+        let b = Point::new(-3.0, 7.25);
+        assert_eq!(a.dist(&b), b.dist(&a));
+    }
+
+    #[test]
+    fn barycenter_of_square() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 2.0),
+            Point::new(0.0, 2.0),
+        ];
+        let g = barycenter(&pts);
+        assert_eq!(g, Point::new(1.0, 1.0));
+    }
+
+    #[test]
+    fn add_sub_norm() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(3.0, -1.0);
+        assert_eq!(a.add(&b), Point::new(4.0, 1.0));
+        assert_eq!(a.sub(&b), Point::new(-2.0, 3.0));
+        assert_eq!(Point::new(3.0, 4.0).norm(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "barycenter of empty")]
+    fn barycenter_empty_panics() {
+        barycenter(&[]);
+    }
+}

@@ -1,0 +1,149 @@
+//! Plain-text serialization of road networks.
+//!
+//! A minimal, line-oriented format so users can bring their own (e.g.
+//! OSM-derived) networks without pulling in heavyweight formats:
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! v <x> <y>                    # vertex, ids assigned in file order
+//! e <from> <to> <length> <travel_time>
+//! ```
+//!
+//! Lengths are meters, travel times seconds, matching the rest of the crate.
+
+use crate::geo::Point;
+use crate::graph::{GraphBuilder, RoadNetwork};
+use std::fmt::Write as _;
+
+/// Errors from [`parse_network`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Line number (1-based) and description.
+    Malformed(usize, String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Malformed(line, msg) => write!(f, "line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Serializes a network in the `v`/`e` line format.
+pub fn format_network(net: &RoadNetwork) -> String {
+    let mut out = String::with_capacity(net.num_vertices() * 24 + net.num_edges() * 32);
+    out.push_str("# trajsearch road network\n");
+    for v in 0..net.num_vertices() as u32 {
+        let p = net.coord(v);
+        let _ = writeln!(out, "v {} {}", p.x, p.y);
+    }
+    for e in net.edges() {
+        let _ = writeln!(out, "e {} {} {} {}", e.from, e.to, e.length, e.travel_time);
+    }
+    out
+}
+
+/// Parses the `v`/`e` line format into a [`RoadNetwork`].
+pub fn parse_network(text: &str) -> Result<RoadNetwork, ParseError> {
+    let mut b = GraphBuilder::new();
+    let mut num_vertices = 0usize;
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("v") => {
+                let x = parse_f64(parts.next(), lineno, "x")?;
+                let y = parse_f64(parts.next(), lineno, "y")?;
+                b.add_vertex(Point::new(x, y));
+                num_vertices += 1;
+            }
+            Some("e") => {
+                let from = parse_u32(parts.next(), lineno, "from")?;
+                let to = parse_u32(parts.next(), lineno, "to")?;
+                let len = parse_f64(parts.next(), lineno, "length")?;
+                let tt = parse_f64(parts.next(), lineno, "travel_time")?;
+                if (from as usize) >= num_vertices || (to as usize) >= num_vertices {
+                    return Err(ParseError::Malformed(
+                        lineno,
+                        format!("edge endpoint out of range ({from} or {to} >= {num_vertices})"),
+                    ));
+                }
+                if !(len > 0.0 && len.is_finite() && tt > 0.0 && tt.is_finite()) {
+                    return Err(ParseError::Malformed(lineno, "non-positive edge weight".into()));
+                }
+                b.add_edge(from, to, len, tt);
+            }
+            Some(other) => {
+                return Err(ParseError::Malformed(lineno, format!("unknown record type {other:?}")))
+            }
+            None => unreachable!("blank lines are skipped"),
+        }
+        if parts.next().is_some() {
+            return Err(ParseError::Malformed(lineno, "trailing fields".into()));
+        }
+    }
+    Ok(b.build())
+}
+
+fn parse_f64(tok: Option<&str>, line: usize, what: &str) -> Result<f64, ParseError> {
+    tok.ok_or_else(|| ParseError::Malformed(line, format!("missing {what}")))?
+        .parse()
+        .map_err(|_| ParseError::Malformed(line, format!("bad {what}")))
+}
+
+fn parse_u32(tok: Option<&str>, line: usize, what: &str) -> Result<u32, ParseError> {
+    tok.ok_or_else(|| ParseError::Malformed(line, format!("missing {what}")))?
+        .parse()
+        .map_err(|_| ParseError::Malformed(line, format!("bad {what}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{CityParams, NetworkKind};
+
+    #[test]
+    fn roundtrip_preserves_network() {
+        let net = CityParams::tiny(NetworkKind::City).seed(3).generate();
+        let text = format_network(&net);
+        let back = parse_network(&text).unwrap();
+        assert_eq!(back.num_vertices(), net.num_vertices());
+        assert_eq!(back.num_edges(), net.num_edges());
+        for v in 0..net.num_vertices() as u32 {
+            assert_eq!(back.coord(v), net.coord(v));
+        }
+        for (a, b) in net.edges().iter().zip(back.edges()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn parses_hand_written_input() {
+        let text = "\n# tiny\nv 0 0\nv 100 0\n\ne 0 1 100 12.5\ne 1 0 100 12.5\n";
+        let net = parse_network(text).unwrap();
+        assert_eq!(net.num_vertices(), 2);
+        assert_eq!(net.num_edges(), 2);
+        assert_eq!(net.edge(0).travel_time, 12.5);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(matches!(
+            parse_network("x 1 2"),
+            Err(ParseError::Malformed(1, _))
+        ));
+        assert!(parse_network("v 0").is_err()); // missing y
+        assert!(parse_network("v 0 0\ne 0 5 1 1").is_err()); // endpoint range
+        assert!(parse_network("v 0 0\nv 1 0\ne 0 1 0 1").is_err()); // zero weight
+        assert!(parse_network("v 0 0 7").is_err()); // trailing
+        let err = parse_network("v a b").unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+    }
+}

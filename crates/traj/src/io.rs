@@ -1,0 +1,124 @@
+//! Plain-text serialization of trajectory stores.
+//!
+//! One line per trajectory: whitespace-separated `symbol@time` tokens. The
+//! symbol is a vertex or edge id depending on the store's representation.
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! 17@0 18@12.5 42@30
+//! 3@100 4@108
+//! ```
+
+use crate::dataset::TrajectoryStore;
+use crate::model::Trajectory;
+use std::fmt::Write as _;
+
+/// Errors from [`parse_store`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    Malformed(usize, String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Malformed(line, msg) => write!(f, "line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Serializes a store, one trajectory per line.
+pub fn format_store(store: &TrajectoryStore) -> String {
+    let mut out = String::new();
+    out.push_str("# trajsearch trajectories: symbol@time per element\n");
+    for (_, t) in store.iter() {
+        let mut first = true;
+        for (&sym, &time) in t.path().iter().zip(t.times()) {
+            if !first {
+                out.push(' ');
+            }
+            let _ = write!(out, "{sym}@{time}");
+            first = false;
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses the line format back into a store.
+pub fn parse_store(text: &str) -> Result<TrajectoryStore, ParseError> {
+    let mut store = TrajectoryStore::new();
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut path = Vec::new();
+        let mut times = Vec::new();
+        for tok in line.split_whitespace() {
+            let (sym, time) = tok
+                .split_once('@')
+                .ok_or_else(|| ParseError::Malformed(lineno, format!("token {tok:?} lacks '@'")))?;
+            let sym: u32 = sym
+                .parse()
+                .map_err(|_| ParseError::Malformed(lineno, format!("bad symbol in {tok:?}")))?;
+            let time: f64 = time
+                .parse()
+                .map_err(|_| ParseError::Malformed(lineno, format!("bad time in {tok:?}")))?;
+            path.push(sym);
+            times.push(time);
+        }
+        if path.is_empty() {
+            return Err(ParseError::Malformed(lineno, "empty trajectory".into()));
+        }
+        if times.windows(2).any(|w| w[0] > w[1]) {
+            return Err(ParseError::Malformed(lineno, "timestamps must be non-decreasing".into()));
+        }
+        store.push(Trajectory::new(path, times));
+    }
+    Ok(store)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TrajectoryStore {
+        let mut s = TrajectoryStore::new();
+        s.push(Trajectory::new(vec![17, 18, 42], vec![0.0, 12.5, 30.0]));
+        s.push(Trajectory::new(vec![3, 4], vec![100.0, 108.0]));
+        s
+    }
+
+    #[test]
+    fn roundtrip_preserves_store() {
+        let s = sample();
+        let text = format_store(&s);
+        let back = parse_store(&text).unwrap();
+        assert_eq!(back.len(), s.len());
+        for ((_, a), (_, b)) in s.iter().zip(back.iter()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn parses_hand_written_input() {
+        let s = parse_store("# hi\n\n1@0 2@1.5 3@2\n").unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(0).path(), &[1, 2, 3]);
+        assert_eq!(s.get(0).times()[1], 1.5);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_store("1 2 3").is_err()); // no @
+        assert!(parse_store("a@0").is_err()); // bad symbol
+        assert!(parse_store("1@x").is_err()); // bad time
+        assert!(parse_store("1@5 2@1").is_err()); // decreasing
+        let err = parse_store("ok@").unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+    }
+}

@@ -1,0 +1,25 @@
+//! Trajectory substrate: the data model of §2.1 of the paper plus everything
+//! needed to materialize realistic datasets.
+//!
+//! * [`model`] — trajectories as paths on the road network with per-vertex
+//!   timestamps (Definition 1).
+//! * [`dataset`] — an in-memory trajectory store with the statistics reported
+//!   in Table 2 and symbol-frequency accounting used by MinCand.
+//! * [`edges`] — vertex ⇄ edge representation conversion (§2.1 supports both).
+//! * [`generator`] — synthetic trip generation (waypoint-routed paths with
+//!   detours and congestion-noised timestamps) and random walks, substituting
+//!   for the taxi GPS corpora of the paper (`DESIGN.md` §4).
+//! * [`mapmatch`] — HMM map matching (Newson–Krumm style), the preprocessing
+//!   step the paper applies to raw GPS traces.
+
+pub mod dataset;
+pub mod edges;
+pub mod generator;
+pub mod io;
+pub mod mapmatch;
+pub mod model;
+
+pub use dataset::{DatasetStats, TrajectoryStore};
+pub use generator::{RandomWalkConfig, TripConfig};
+pub use mapmatch::MapMatcher;
+pub use model::{TrajId, Trajectory};

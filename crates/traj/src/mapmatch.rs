@@ -1,0 +1,239 @@
+//! HMM map matching (Newson & Krumm style), the preprocessing step the paper
+//! uses to convert raw GPS traces into network-constrained paths (§2.1).
+//!
+//! States are candidate vertices near each observation; emission likelihood
+//! is Gaussian in the GPS error, transition likelihood is exponential in the
+//! disagreement between network distance and straight-line displacement.
+//! Decoding is Viterbi in log-space; the decoded vertex sequence is stitched
+//! into a connected path with shortest-path interpolation.
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use rnet::dijkstra::{bounded, shortest_path, Mode};
+use rnet::{KdTree, Point, RoadNetwork, VertexId};
+use std::collections::HashMap;
+
+/// HMM map matcher over a road network.
+pub struct MapMatcher<'a> {
+    net: &'a RoadNetwork,
+    tree: KdTree,
+    /// GPS error standard deviation (meters).
+    sigma: f64,
+    /// Transition scale (meters); larger tolerates bigger detours.
+    beta: f64,
+    /// Maximum candidates per observation.
+    max_candidates: usize,
+}
+
+impl<'a> MapMatcher<'a> {
+    pub fn new(net: &'a RoadNetwork, sigma: f64, beta: f64) -> Self {
+        assert!(sigma > 0.0 && beta > 0.0);
+        MapMatcher { net, tree: KdTree::build(net.coords()), sigma, beta, max_candidates: 6 }
+    }
+
+    /// Candidate vertices for one observation: everything within `3σ`,
+    /// nearest-first, capped; falls back to the single nearest vertex.
+    fn candidates(&self, obs: Point) -> Vec<VertexId> {
+        let mut cands = self.tree.range(obs, 3.0 * self.sigma);
+        cands.sort_by(|&a, &b| {
+            self.net
+                .coord(a)
+                .dist2(&obs)
+                .total_cmp(&self.net.coord(b).dist2(&obs))
+        });
+        cands.truncate(self.max_candidates);
+        if cands.is_empty() {
+            if let Some((v, _)) = self.tree.nearest(obs) {
+                cands.push(v);
+            }
+        }
+        cands
+    }
+
+    /// Matches a GPS trace to a connected vertex path.
+    ///
+    /// Returns `None` for empty traces or when no connected decoding exists.
+    pub fn match_trace(&self, trace: &[Point]) -> Option<Vec<VertexId>> {
+        if trace.is_empty() {
+            return None;
+        }
+        let states: Vec<Vec<VertexId>> = trace.iter().map(|&o| self.candidates(o)).collect();
+        if states.iter().any(Vec::is_empty) {
+            return None;
+        }
+
+        // Viterbi (log domain).
+        let emit = |v: VertexId, o: Point| {
+            let d = self.net.coord(v).dist(&o);
+            -0.5 * (d / self.sigma).powi(2)
+        };
+        let mut score: Vec<f64> = states[0].iter().map(|&v| emit(v, trace[0])).collect();
+        let mut back: Vec<Vec<usize>> = Vec::with_capacity(trace.len());
+        back.push(vec![0; states[0].len()]);
+
+        for i in 1..trace.len() {
+            let hop = trace[i - 1].dist(&trace[i]);
+            let radius = 3.0 * hop + 6.0 * self.sigma + 50.0;
+            // Network distances from every previous candidate, one bounded
+            // Dijkstra each (undirected: GPS traces do not encode direction
+            // reliably at this resolution).
+            let net_dists: Vec<HashMap<VertexId, f64>> = states[i - 1]
+                .iter()
+                .map(|&a| {
+                    bounded(self.net, a, radius, Mode::UndirectedLength)
+                        .within
+                        .into_iter()
+                        .collect()
+                })
+                .collect();
+            let mut next = vec![f64::NEG_INFINITY; states[i].len()];
+            let mut bp = vec![0usize; states[i].len()];
+            for (bj, &b) in states[i].iter().enumerate() {
+                let e = emit(b, trace[i]);
+                for (aj, _a) in states[i - 1].iter().enumerate() {
+                    let trans = match net_dists[aj].get(&b) {
+                        Some(&dn) => -(dn - hop).abs() / self.beta,
+                        None => -radius / self.beta - 20.0, // soft teleport penalty
+                    };
+                    let s = score[aj] + trans + e;
+                    if s > next[bj] {
+                        next[bj] = s;
+                        bp[bj] = aj;
+                    }
+                }
+            }
+            score = next;
+            back.push(bp);
+        }
+
+        // Backtrack.
+        let mut best = (0usize, f64::NEG_INFINITY);
+        for (j, &s) in score.iter().enumerate() {
+            if s > best.1 {
+                best = (j, s);
+            }
+        }
+        let mut seq = vec![0usize; trace.len()];
+        seq[trace.len() - 1] = best.0;
+        for i in (1..trace.len()).rev() {
+            seq[i - 1] = back[i][seq[i]];
+        }
+        let decoded: Vec<VertexId> = seq.iter().zip(&states).map(|(&j, s)| s[j]).collect();
+
+        // Stitch into a connected path.
+        let mut path = vec![decoded[0]];
+        for &v in &decoded[1..] {
+            let cur = *path.last().unwrap();
+            if v == cur {
+                continue;
+            }
+            let (leg, _) = shortest_path(self.net, cur, v, Mode::DirectedLength)
+                .or_else(|| shortest_path(self.net, v, cur, Mode::DirectedLength).map(|(mut p, c)| {
+                    p.reverse();
+                    (p, c)
+                }))?;
+            path.extend_from_slice(&leg[1..]);
+        }
+        Some(path)
+    }
+}
+
+/// Generates a noisy GPS trace from a ground-truth vertex path: one
+/// observation every `every` vertices, with isotropic Gaussian noise of
+/// standard deviation `sigma` meters. Test/demo helper.
+pub fn noisy_trace(
+    net: &RoadNetwork,
+    path: &[VertexId],
+    sigma: f64,
+    every: usize,
+    rng: &mut ChaCha8Rng,
+) -> Vec<Point> {
+    assert!(every >= 1);
+    let mut gauss = || {
+        let (u1, u2) = (rng.gen_range(f64::EPSILON..1.0f64), rng.gen::<f64>());
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    };
+    let mut trace = Vec::new();
+    let mut i = 0;
+    while i < path.len() {
+        let p = net.coord(path[i]);
+        let (nx, ny) = (gauss() * sigma, gauss() * sigma);
+        trace.push(Point::new(p.x + nx, p.y + ny));
+        i += every;
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::random_walk;
+    use rand::SeedableRng;
+    use rnet::{CityParams, NetworkKind};
+
+    fn net() -> RoadNetwork {
+        CityParams::tiny(NetworkKind::Grid).generate()
+    }
+
+    #[test]
+    fn noiseless_dense_trace_recovers_path() {
+        let g = net();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let truth = random_walk(&g, &mut rng, 0, 12);
+        let trace: Vec<Point> = truth.iter().map(|&v| g.coord(v)).collect();
+        let m = MapMatcher::new(&g, 5.0, 30.0);
+        let matched = m.match_trace(&trace).unwrap();
+        assert_eq!(matched, truth);
+    }
+
+    #[test]
+    fn noisy_sparse_trace_recovers_most_of_path() {
+        let g = net();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let truth = random_walk(&g, &mut rng, 10, 16);
+        let trace = noisy_trace(&g, &truth, 12.0, 2, &mut rng);
+        let m = MapMatcher::new(&g, 15.0, 60.0);
+        let matched = m.match_trace(&trace).unwrap();
+        assert!(g.is_path(&matched), "matched output must be a path");
+        // Recall: most ground-truth vertices are recovered.
+        let matched_set: std::collections::HashSet<_> = matched.iter().collect();
+        let hit = truth.iter().filter(|v| matched_set.contains(v)).count();
+        assert!(
+            hit as f64 >= 0.7 * truth.len() as f64,
+            "only {hit}/{} ground-truth vertices recovered",
+            truth.len()
+        );
+    }
+
+    #[test]
+    fn output_is_always_connected() {
+        let g = CityParams::tiny(NetworkKind::City).seed(5).generate();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for seed in 0..5u64 {
+            let mut wrng = ChaCha8Rng::seed_from_u64(seed);
+            let start = wrng.gen_range(0..g.num_vertices() as u32);
+            let truth = random_walk(&g, &mut wrng, start, 10);
+            let trace = noisy_trace(&g, &truth, 20.0, 3, &mut rng);
+            let m = MapMatcher::new(&g, 20.0, 80.0);
+            if let Some(matched) = m.match_trace(&trace) {
+                assert!(g.is_path(&matched));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_trace_is_none() {
+        let g = net();
+        let m = MapMatcher::new(&g, 10.0, 30.0);
+        assert_eq!(m.match_trace(&[]), None);
+    }
+
+    #[test]
+    fn single_observation_maps_to_nearest_vertex() {
+        let g = net();
+        let m = MapMatcher::new(&g, 10.0, 30.0);
+        let p = g.coord(5);
+        let got = m.match_trace(&[Point::new(p.x + 3.0, p.y - 2.0)]).unwrap();
+        assert_eq!(got, vec![5]);
+    }
+}

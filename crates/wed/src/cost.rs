@@ -1,0 +1,156 @@
+//! Cost-model traits.
+//!
+//! [`CostModel`] captures the edit-operation costs of §2.2.1; every instance
+//! must satisfy the paper's assumptions (checked by
+//! [`check_axioms_on_sample`] and by property tests):
+//!
+//! * `sub(a, b) ≥ 0` for all `a, b` (non-negativity),
+//! * `sub(a, b) = sub(b, a)` and hence `ins(a) = del(a)` (symmetry),
+//! * `sub(a, a) = 0` (pseudo-positive definiteness).
+//!
+//! The triangle inequality is *not* required — the algorithms never use it.
+//!
+//! [`WedInstance`] extends the cost model with what subsequence filtering
+//! needs: the substitution neighborhood `B(q)` (Definition 4) and the lower
+//! cost `c(q) = min_{q' ∈ Σ⁺ \ B(q)} sub(q, q')` (Eq. 7, where deletion is
+//! `sub(q, ε)`).
+
+/// A symbol of the trajectory alphabet: a vertex id or an edge id.
+pub type Sym = u32;
+
+/// Edit-operation costs of a weighted edit distance (§2.2.1).
+pub trait CostModel {
+    /// Substitution cost `sub(a, b)`.
+    fn sub(&self, a: Sym, b: Sym) -> f64;
+
+    /// Insertion cost `ins(a)`; equals `sub(ε, a)`.
+    fn ins(&self, a: Sym) -> f64;
+
+    /// Deletion cost `del(a)`; equals `sub(a, ε)`. Symmetry forces
+    /// `del = ins`, which the default honors.
+    fn del(&self, a: Sym) -> f64 {
+        self.ins(a)
+    }
+
+    /// Total insertion cost of a string, `Σ ins(qᵢ)` — the cost of matching
+    /// against the empty string and the scale for the paper's
+    /// `τ = τ_ratio · Σ c(q)`-style thresholds.
+    fn total_ins(&self, s: &[Sym]) -> f64 {
+        s.iter().map(|&q| self.ins(q)).sum()
+    }
+}
+
+/// A WED instance that supports subsequence filtering: it can enumerate the
+/// substitution neighborhood of a symbol and lower-bound the cost of editing
+/// the symbol away.
+pub trait WedInstance: CostModel {
+    /// Human-readable name (used by the experiment harness).
+    fn name(&self) -> &'static str;
+
+    /// The substitution neighborhood `B(q) = {b ∈ Σ | sub(q, b) ≤ η}`
+    /// (Definition 4). Always contains `q` itself. The neighborhood
+    /// threshold η is fixed per instance at construction (Appendix D
+    /// discusses the choice).
+    fn neighbors(&self, q: Sym) -> Vec<Sym>;
+
+    /// The filtering lower cost `c(q) = min_{q' ∈ Σ⁺ \ B(q)} sub(q, q')`
+    /// (Eq. 7); the minimum includes deletion (`q' = ε`).
+    fn lower_cost(&self, q: Sym) -> f64;
+}
+
+// Delegating impls so trait objects (`&dyn WedInstance`) can drive the
+// generic engine; `del`/`total_ins` delegate explicitly to preserve
+// overrides on the inner type.
+impl<M: CostModel + ?Sized> CostModel for &M {
+    fn sub(&self, a: Sym, b: Sym) -> f64 {
+        (**self).sub(a, b)
+    }
+    fn ins(&self, a: Sym) -> f64 {
+        (**self).ins(a)
+    }
+    fn del(&self, a: Sym) -> f64 {
+        (**self).del(a)
+    }
+    fn total_ins(&self, s: &[Sym]) -> f64 {
+        (**self).total_ins(s)
+    }
+}
+
+impl<M: WedInstance + ?Sized> WedInstance for &M {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn neighbors(&self, q: Sym) -> Vec<Sym> {
+        (**self).neighbors(q)
+    }
+    fn lower_cost(&self, q: Sym) -> f64 {
+        (**self).lower_cost(q)
+    }
+}
+
+/// Verifies the Proposition 1 assumptions on a sample of symbols; used by
+/// unit and property tests of every model.
+pub fn check_axioms_on_sample<M: CostModel>(m: &M, sample: &[Sym]) {
+    for &a in sample {
+        assert!(m.sub(a, a).abs() < 1e-12, "sub({a},{a}) must be 0");
+        assert!(m.ins(a) >= 0.0, "ins({a}) must be non-negative");
+        assert!(
+            (m.ins(a) - m.del(a)).abs() < 1e-12,
+            "ins({a}) must equal del({a})"
+        );
+        for &b in sample {
+            let (ab, ba) = (m.sub(a, b), m.sub(b, a));
+            assert!(ab >= 0.0, "sub({a},{b}) must be non-negative");
+            assert!((ab - ba).abs() < 1e-9, "sub must be symmetric: {ab} vs {ba}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal hand-rolled cost model for exercising the trait defaults.
+    struct Unit;
+    impl CostModel for Unit {
+        fn sub(&self, a: Sym, b: Sym) -> f64 {
+            if a == b { 0.0 } else { 1.0 }
+        }
+        fn ins(&self, _a: Sym) -> f64 {
+            1.0
+        }
+    }
+
+    #[test]
+    fn default_del_equals_ins() {
+        let m = Unit;
+        assert_eq!(m.del(3), 1.0);
+    }
+
+    #[test]
+    fn total_ins_sums() {
+        let m = Unit;
+        assert_eq!(m.total_ins(&[1, 2, 3]), 3.0);
+        assert_eq!(m.total_ins(&[]), 0.0);
+    }
+
+    #[test]
+    fn axiom_checker_accepts_unit_costs() {
+        check_axioms_on_sample(&Unit, &[0, 1, 2, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be 0")]
+    fn axiom_checker_rejects_nonzero_diagonal() {
+        struct Bad;
+        impl CostModel for Bad {
+            fn sub(&self, _a: Sym, _b: Sym) -> f64 {
+                0.5
+            }
+            fn ins(&self, _a: Sym) -> f64 {
+                1.0
+            }
+        }
+        check_axioms_on_sample(&Bad, &[1]);
+    }
+}

@@ -1,0 +1,165 @@
+//! Dynamic programming for weighted edit distance (§2.2.1).
+//!
+//! `wed(P, Q)` fills the classic (m+1)×(n+1) table column by column; the
+//! column primitive [`step_dp`] is Algorithm 6 of the paper and is shared
+//! verbatim with trie-based verification, so the engine and this reference
+//! implementation cannot drift apart.
+
+use crate::cost::{CostModel, Sym};
+
+/// The DP column for the empty data prefix: entry `j` is
+/// `wed(ε, Q[..j]) = Σ_{j' ≤ j} ins(Q_{j'})`.
+pub fn initial_column<M: CostModel + ?Sized>(m: &M, q: &[Sym]) -> Vec<f64> {
+    let mut col = Vec::with_capacity(q.len() + 1);
+    let mut acc = 0.0;
+    col.push(0.0);
+    for &s in q {
+        acc += m.ins(s);
+        col.push(acc);
+    }
+    col
+}
+
+/// Algorithm 6 (StepDP): extends column `a` (for data prefix `P[..k]`) by
+/// one data symbol `p`, producing the column for `P[..k+1]`.
+///
+/// `a[j] = wed(P[..k], Q[..j])`; the output `b` satisfies
+/// `b[j] = wed(P[..k+1], Q[..j])`.
+pub fn step_dp<M: CostModel + ?Sized>(m: &M, q: &[Sym], p: Sym, a: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(a.len(), q.len() + 1);
+    let mut b = Vec::with_capacity(a.len());
+    b.push(a[0] + m.del(p));
+    for (j, &qj) in q.iter().enumerate() {
+        let diag = a[j] + m.sub(p, qj);
+        let up = a[j + 1] + m.del(p);
+        let left = b[j] + m.ins(qj);
+        b.push(diag.min(up).min(left));
+    }
+    b
+}
+
+/// Weighted edit distance `wed(P, Q)` (§2.2.1), O(|P|·|Q|) time,
+/// O(|Q|) space.
+pub fn wed<M: CostModel + ?Sized>(m: &M, p: &[Sym], q: &[Sym]) -> f64 {
+    let mut col = initial_column(m, q);
+    for &sym in p {
+        col = step_dp(m, q, sym, &col);
+    }
+    col[q.len()]
+}
+
+/// Threshold-bounded WED: returns `Some(wed(P, Q))` if it is `< tau`, and
+/// `None` as soon as the Eq. (11) column-minimum lower bound certifies
+/// `wed(P, Q) ≥ tau` — often after a small prefix of `P`.
+///
+/// Useful for verification-style workloads that only care about matches
+/// below a threshold (DITA/ERP-index candidate checking uses it).
+pub fn wed_within<M: CostModel + ?Sized>(m: &M, p: &[Sym], q: &[Sym], tau: f64) -> Option<f64> {
+    let mut col = initial_column(m, q);
+    for &sym in p {
+        col = step_dp(m, q, sym, &col);
+        let lb = col.iter().cloned().fold(f64::INFINITY, f64::min);
+        if lb >= tau {
+            return None;
+        }
+    }
+    let d = col[q.len()];
+    (d < tau).then_some(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::Lev;
+
+    #[test]
+    fn empty_vs_empty_is_zero() {
+        assert_eq!(wed(&Lev, &[], &[]), 0.0);
+    }
+
+    #[test]
+    fn empty_vs_string_is_total_ins() {
+        assert_eq!(wed(&Lev, &[], &[1, 2, 3]), 3.0);
+        assert_eq!(wed(&Lev, &[1, 2, 3], &[]), 3.0);
+    }
+
+    #[test]
+    fn identical_strings_are_zero() {
+        assert_eq!(wed(&Lev, &[5, 6, 7], &[5, 6, 7]), 0.0);
+    }
+
+    #[test]
+    fn lev_matches_known_values() {
+        // kitten -> sitting analogue with numeric symbols:
+        // [1,2,3,3,4,5] vs [6,2,3,3,2,5,7] has Levenshtein distance 3.
+        let p = [1, 2, 3, 3, 4, 5];
+        let q = [6, 2, 3, 3, 2, 5, 7];
+        assert_eq!(wed(&Lev, &p, &q), 3.0);
+    }
+
+    #[test]
+    fn paper_example_2() {
+        // Example 2: P = ABCDE, Q = BFD, wed(P[2..4], Q) = 1 under Lev.
+        let (a, b, c, d, f) = (0, 1, 2, 3, 5);
+        let p2_4 = [b, c, d];
+        let q = [b, f, d];
+        assert_eq!(wed(&Lev, &p2_4, &q), 1.0);
+        let p = [a, b, c, d, 4];
+        assert_eq!(wed(&Lev, &p, &q), 3.0); // whole string is farther
+    }
+
+    #[test]
+    fn symmetry_of_wed() {
+        let p = [1, 2, 3, 4];
+        let q = [2, 3, 5];
+        assert_eq!(wed(&Lev, &p, &q), wed(&Lev, &q, &p));
+    }
+
+    #[test]
+    fn step_dp_equals_recomputation() {
+        let q = [1, 2, 3];
+        let p = [4, 2, 3, 1];
+        let mut col = initial_column(&Lev, &q);
+        for (k, &sym) in p.iter().enumerate() {
+            col = step_dp(&Lev, &q, sym, &col);
+            // col[j] must equal wed(P[..k+1], Q[..j]).
+            for j in 0..=q.len() {
+                assert_eq!(col[j], wed(&Lev, &p[..k + 1], &q[..j]), "k={k} j={j}");
+            }
+        }
+    }
+
+    #[test]
+    fn initial_column_is_prefix_sums() {
+        let col = initial_column(&Lev, &[7, 8]);
+        assert_eq!(col, vec![0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn wed_within_agrees_with_full_dp() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(31);
+        for _ in 0..200 {
+            let p: Vec<Sym> = (0..rng.gen_range(0..15)).map(|_| rng.gen_range(0..6)).collect();
+            let q: Vec<Sym> = (0..rng.gen_range(0..8)).map(|_| rng.gen_range(0..6)).collect();
+            let tau = rng.gen_range(0.5..6.0);
+            let full = wed(&Lev, &p, &q);
+            match wed_within(&Lev, &p, &q, tau) {
+                Some(d) => {
+                    assert!((d - full).abs() < 1e-12);
+                    assert!(d < tau);
+                }
+                None => assert!(full >= tau, "early exit lied: wed {full} < tau {tau}"),
+            }
+        }
+    }
+
+    #[test]
+    fn wed_within_early_exits_on_long_mismatch() {
+        // Long all-mismatching data string: the bound must trip quickly (no
+        // way to observe the cutoff directly, but the result must be None).
+        let p = vec![9u32; 500];
+        let q = vec![1u32, 2, 3];
+        assert_eq!(wed_within(&Lev, &p, &q, 2.0), None);
+    }
+}

@@ -1,0 +1,31 @@
+//! Weighted edit distance (WED) — the similarity-function layer of the paper
+//! (§2.2).
+//!
+//! WED is a *class* of edit distances whose insertion, deletion and
+//! substitution costs are user-defined, subject to the assumptions of
+//! Proposition 1 (non-negativity, symmetry, `sub(a,a) = 0`). The class
+//! contains Levenshtein, EDR, ERP, their network-aware variants NetEDR and
+//! NetERP, and SURS (shortest unshared road segments).
+//!
+//! * [`cost`] — the [`CostModel`] trait and the [`WedInstance`] extension that
+//!   additionally exposes substitution neighborhoods `B(q)` (Definition 4)
+//!   and lower costs `c(q)` (Eq. 7) to the filtering layer.
+//! * [`models`] — the six concrete instances used in the paper's evaluation.
+//! * [`dp`] — the quadratic DP for `wed(P, Q)` plus the column-at-a-time
+//!   `step_dp` primitive shared with trie verification (Algorithm 6).
+//! * [`sw`] — the Smith–Waterman adaptation for subtrajectory matching
+//!   (Algorithm 7) and a threshold-scan variant that returns *all* matching
+//!   substrings.
+//! * [`nonwed`] — DTW, LCSS, LORS and LCRS, the non-WED comparators of the
+//!   effectiveness experiments (§6.2).
+
+pub mod cost;
+pub mod dp;
+pub mod models;
+pub mod nonwed;
+pub mod sw;
+
+pub use cost::{CostModel, Sym, WedInstance};
+pub use dp::{initial_column, step_dp, wed, wed_within};
+pub use models::{Edr, Erp, Lev, NetEdr, NetErp, Surs};
+pub use sw::{sw_best, sw_scan_all, SubMatch};

@@ -1,0 +1,178 @@
+//! Non-WED similarity functions used as comparators in the effectiveness
+//! experiments (§6.2): DTW, LCSS, LORS and LCRS.
+//!
+//! These do **not** belong to the WED class (§2.2.4) — the search engine
+//! cannot index them — so the experiment harness evaluates them by direct
+//! dynamic programming, exactly as the paper does for its effectiveness
+//! studies (for LORS/LCRS the paper enumerates subtrajectories, see §6.2.1).
+
+use crate::cost::Sym;
+use rnet::Point;
+
+/// Dynamic time warping over point sequences with squared Euclidean ground
+/// distance (the normalization used in §6.2.1).
+pub fn dtw(a: &[Point], b: &[Point]) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return if a.is_empty() && b.is_empty() { 0.0 } else { f64::INFINITY };
+    }
+    let n = b.len();
+    let mut prev = vec![f64::INFINITY; n + 1];
+    prev[0] = 0.0;
+    let mut cur = vec![f64::INFINITY; n + 1];
+    for &pa in a {
+        cur[0] = f64::INFINITY;
+        for (j, &pb) in b.iter().enumerate() {
+            let c = pa.dist2(&pb);
+            cur[j + 1] = c + prev[j].min(prev[j + 1]).min(cur[j]);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[n]
+}
+
+/// Longest common subsequence with an ε matching threshold (the trajectory
+/// LCSS of Vlachos et al.): returns the number of matched pairs.
+pub fn lcss(a: &[Point], b: &[Point], eps: f64) -> usize {
+    let n = b.len();
+    let mut prev = vec![0usize; n + 1];
+    let mut cur = vec![0usize; n + 1];
+    for &pa in a {
+        for (j, &pb) in b.iter().enumerate() {
+            cur[j + 1] = if pa.dist(&pb) <= eps {
+                prev[j] + 1
+            } else {
+                prev[j + 1].max(cur[j])
+            };
+        }
+        std::mem::swap(&mut prev, &mut cur);
+        cur[0] = 0;
+    }
+    prev[n]
+}
+
+/// Longest overlapping road segments (Wang et al.): the maximum total weight
+/// of a common subsequence of two edge strings — a weighted LCS.
+pub fn lors(a: &[Sym], b: &[Sym], w: impl Fn(Sym) -> f64) -> f64 {
+    let n = b.len();
+    let mut prev = vec![0.0f64; n + 1];
+    let mut cur = vec![0.0f64; n + 1];
+    for &ea in a {
+        for (j, &eb) in b.iter().enumerate() {
+            cur[j + 1] = if ea == eb {
+                prev[j] + w(ea)
+            } else {
+                prev[j + 1].max(cur[j])
+            };
+        }
+        std::mem::swap(&mut prev, &mut cur);
+        cur[0] = 0.0;
+    }
+    prev[n]
+}
+
+/// Longest common road segments ratio (Yuan & Li):
+/// `LCRS = LORS / (w(a) + w(b) − LORS)` ∈ [0, 1] (Appendix F).
+/// Returns 0 when both strings have zero weight.
+pub fn lcrs(a: &[Sym], b: &[Sym], w: impl Fn(Sym) -> f64) -> f64 {
+    let l = lors(a, b, &w);
+    let wa: f64 = a.iter().map(|&e| w(e)).sum();
+    let wb: f64 = b.iter().map(|&e| w(e)).sum();
+    let denom = wa + wb - l;
+    if denom <= 0.0 { 0.0 } else { l / denom }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp::wed;
+    use crate::models::Surs;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+    use rnet::{CityParams, NetworkKind};
+    use std::sync::Arc;
+
+    fn pts(xs: &[f64]) -> Vec<Point> {
+        xs.iter().map(|&x| Point::new(x, 0.0)).collect()
+    }
+
+    #[test]
+    fn dtw_identical_is_zero() {
+        let a = pts(&[0.0, 1.0, 2.0]);
+        assert_eq!(dtw(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn dtw_handles_time_shift() {
+        // DTW aligns repeated points without cost.
+        let a = pts(&[0.0, 1.0, 1.0, 2.0]);
+        let b = pts(&[0.0, 1.0, 2.0]);
+        assert_eq!(dtw(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn dtw_empty_cases() {
+        assert_eq!(dtw(&[], &[]), 0.0);
+        assert!(dtw(&pts(&[1.0]), &[]).is_infinite());
+    }
+
+    #[test]
+    fn dtw_simple_value() {
+        let a = pts(&[0.0]);
+        let b = pts(&[3.0]);
+        assert_eq!(dtw(&a, &b), 9.0); // squared distance
+    }
+
+    #[test]
+    fn lcss_counts_matches_within_eps() {
+        let a = pts(&[0.0, 10.0, 20.0]);
+        let b = pts(&[0.4, 10.4, 31.0]);
+        assert_eq!(lcss(&a, &b, 0.5), 2);
+        assert_eq!(lcss(&a, &b, 0.1), 0);
+        assert_eq!(lcss(&a, &b, 100.0), 3);
+    }
+
+    #[test]
+    fn lcss_respects_order() {
+        let a = pts(&[0.0, 10.0]);
+        let b = pts(&[10.0, 0.0]);
+        assert_eq!(lcss(&a, &b, 0.5), 1); // order prevents matching both
+    }
+
+    #[test]
+    fn lors_is_weighted_lcs() {
+        let w = |e: Sym| (e + 1) as f64;
+        // Common subsequence of [0,1,2,3] and [1,9,3]: {1,3} with weight 2+4.
+        assert_eq!(lors(&[0, 1, 2, 3], &[1, 9, 3], w), 6.0);
+        assert_eq!(lors(&[0, 1], &[2, 3], w), 0.0);
+        assert_eq!(lors(&[], &[1], w), 0.0);
+    }
+
+    #[test]
+    fn lcrs_is_normalized() {
+        let w = |_e: Sym| 1.0;
+        // identical strings: LORS = len, LCRS = len/(2len - len) = 1.
+        assert_eq!(lcrs(&[1, 2, 3], &[1, 2, 3], w), 1.0);
+        assert_eq!(lcrs(&[1], &[2], w), 0.0);
+        assert_eq!(lcrs(&[], &[], w), 0.0);
+    }
+
+    /// Appendix F identity: SURS(x, y) = w(x) + w(y) − 2·LORS(x, y).
+    #[test]
+    fn surs_lors_identity_on_random_edge_strings() {
+        let net = Arc::new(CityParams::tiny(NetworkKind::Grid).generate());
+        let surs = Surs::new(net.clone());
+        let ne = net.num_edges() as u32;
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        for _ in 0..40 {
+            let x: Vec<Sym> = (0..rng.gen_range(0..10)).map(|_| rng.gen_range(0..ne)).collect();
+            let y: Vec<Sym> = (0..rng.gen_range(0..10)).map(|_| rng.gen_range(0..ne)).collect();
+            let s = wed(&surs, &x, &y);
+            let l = lors(&x, &y, |e| net.edge(e).length);
+            let expect = surs.total_weight(&x) + surs.total_weight(&y) - 2.0 * l;
+            assert!(
+                (s - expect).abs() < 1e-6,
+                "SURS {s} != w(x)+w(y)-2LORS {expect} for x={x:?} y={y:?}"
+            );
+        }
+    }
+}

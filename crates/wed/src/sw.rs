@@ -1,0 +1,201 @@
+//! Smith–Waterman adaptation for subtrajectory matching (§3, Appendix A).
+//!
+//! [`sw_best`] is Algorithm 7: one O(|P|·|Q|) pass finding the substring of
+//! `P` with the smallest WED to `Q`, memorizing start positions in a second
+//! matrix. [`sw_scan_all`] returns *every* substring within a threshold —
+//! the result-set semantics of Definition 3 — by running a per-start DP with
+//! the Eq. (11) early-termination bound; this is the verification-grade
+//! primitive used by the Plain-SW and `*-SW` baselines.
+
+use crate::cost::{CostModel, Sym};
+use crate::dp::{initial_column, step_dp};
+
+/// A matching substring `P[start..=end]` (0-based, inclusive) with its WED.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SubMatch {
+    pub start: usize,
+    pub end: usize,
+    pub dist: f64,
+}
+
+/// Algorithm 7: the best-matching non-empty substring of `P`, or `None` when
+/// `P` is empty.
+///
+/// `D[i][j] = min_s wed(P[s..j], Q[..i])` with free substring start
+/// (`D[0][j] = 0`); `K[i][j]` memorizes the start `s` attaining the minimum.
+pub fn sw_best<M: CostModel + ?Sized>(m: &M, p: &[Sym], q: &[Sym]) -> Option<SubMatch> {
+    if p.is_empty() {
+        return None;
+    }
+    let n = q.len();
+    // Column-rolling arrays over i = 0..=n; one column per data position j.
+    let mut d: Vec<f64> = Vec::with_capacity(n + 1);
+    let mut k: Vec<usize> = vec![0; n + 1];
+    d.push(0.0);
+    for &qi in q {
+        let prev = *d.last().unwrap();
+        d.push(prev + m.ins(qi));
+    }
+    let mut best: Option<SubMatch> = None;
+    for (j, &pj) in p.iter().enumerate() {
+        let mut nd = vec![0.0; n + 1];
+        let mut nk = vec![0usize; n + 1];
+        nd[0] = 0.0;
+        nk[0] = j + 1; // empty substring starting after position j
+        for i in 1..=n {
+            let diag = d[i - 1] + m.sub(pj, q[i - 1]);
+            let left = d[i] + m.del(pj);
+            let up = nd[i - 1] + m.ins(q[i - 1]);
+            // Tie-break preferring diag, then left, then up (any is correct).
+            let (v, s) = if diag <= left && diag <= up {
+                (diag, k[i - 1])
+            } else if left <= up {
+                (left, k[i])
+            } else {
+                (up, nk[i - 1])
+            };
+            nd[i] = v;
+            nk[i] = s;
+        }
+        // A candidate ends at j (inclusive) iff its start is ≤ j.
+        if nk[n] <= j {
+            let cand = SubMatch { start: nk[n], end: j, dist: nd[n] };
+            if best.is_none_or(|b| cand.dist < b.dist) {
+                best = Some(cand);
+            }
+        }
+        d = nd;
+        k = nk;
+    }
+    best
+}
+
+/// All non-empty substrings `P[s..=t]` with `wed(P[s..=t], Q) < tau`
+/// (Definition 3 result-set semantics), found by a per-start DP with
+/// early termination once the Eq. (11) lower bound reaches `tau`.
+pub fn sw_scan_all<M: CostModel + ?Sized>(m: &M, p: &[Sym], q: &[Sym], tau: f64) -> Vec<SubMatch> {
+    let mut out = Vec::new();
+    let init = initial_column(m, q);
+    for s in 0..p.len() {
+        let mut col = init.clone();
+        for (t, &sym) in p.iter().enumerate().skip(s) {
+            col = step_dp(m, q, sym, &col);
+            let d = col[q.len()];
+            if d < tau {
+                out.push(SubMatch { start: s, end: t, dist: d });
+            }
+            // Eq. (11): the column minimum lower-bounds every extension.
+            let lb = col.iter().cloned().fold(f64::INFINITY, f64::min);
+            if lb >= tau {
+                break;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp::wed;
+    use crate::models::Lev;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn best_finds_exact_substring() {
+        // P = ABCDE, Q = BCD: exact substring at [1..=3].
+        let p = [0, 1, 2, 3, 4];
+        let q = [1, 2, 3];
+        let b = sw_best(&Lev, &p, &q).unwrap();
+        assert_eq!((b.start, b.end, b.dist), (1, 3, 0.0));
+    }
+
+    #[test]
+    fn best_on_paper_example_2() {
+        // P = ABCDE, Q = BFD: best substring BCD with distance 1.
+        let p = [0, 1, 2, 3, 4];
+        let q = [1, 5, 3];
+        let b = sw_best(&Lev, &p, &q).unwrap();
+        assert_eq!(b.dist, 1.0);
+        assert_eq!((b.start, b.end), (1, 3));
+    }
+
+    #[test]
+    fn best_of_empty_p_is_none() {
+        assert_eq!(sw_best(&Lev, &[], &[1, 2]), None);
+    }
+
+    #[test]
+    fn scan_all_matches_definition() {
+        // Strict inequality: distance exactly tau is not a match.
+        let p = [0, 1, 2, 3, 4];
+        let q = [1, 5, 3];
+        let got = sw_scan_all(&Lev, &p, &q, 1.0);
+        assert!(got.is_empty(), "wed=1 must not match tau=1: {got:?}");
+        let got = sw_scan_all(&Lev, &p, &q, 1.5);
+        assert!(got.iter().any(|m| (m.start, m.end) == (1, 3)));
+        for m in &got {
+            assert!(m.dist < 1.5);
+        }
+    }
+
+    #[test]
+    fn scan_all_equals_brute_force_on_random_strings() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..30 {
+            let p: Vec<Sym> = (0..rng.gen_range(1..18)).map(|_| rng.gen_range(0..6)).collect();
+            let q: Vec<Sym> = (0..rng.gen_range(1..8)).map(|_| rng.gen_range(0..6)).collect();
+            let tau = rng.gen_range(0.5..4.0);
+            let mut got = sw_scan_all(&Lev, &p, &q, tau);
+            got.sort_by_key(|m| (m.start, m.end));
+            let mut brute = Vec::new();
+            for s in 0..p.len() {
+                for t in s..p.len() {
+                    let d = wed(&Lev, &p[s..=t], &q);
+                    if d < tau {
+                        brute.push(SubMatch { start: s, end: t, dist: d });
+                    }
+                }
+            }
+            assert_eq!(got.len(), brute.len(), "p={p:?} q={q:?} tau={tau}");
+            for (a, b) in got.iter().zip(&brute) {
+                assert_eq!((a.start, a.end), (b.start, b.end));
+                assert!((a.dist - b.dist).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn best_is_minimum_of_scan() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..20 {
+            let p: Vec<Sym> = (0..rng.gen_range(2..15)).map(|_| rng.gen_range(0..5)).collect();
+            let q: Vec<Sym> = (0..rng.gen_range(1..6)).map(|_| rng.gen_range(0..5)).collect();
+            let best = sw_best(&Lev, &p, &q).unwrap();
+            let all = sw_scan_all(&Lev, &p, &q, best.dist + 0.5);
+            let min = all.iter().map(|m| m.dist).fold(f64::INFINITY, f64::min);
+            assert!(
+                (best.dist - min).abs() < 1e-9,
+                "sw_best {} vs scan min {min} (p={p:?}, q={q:?})",
+                best.dist
+            );
+        }
+    }
+
+    #[test]
+    fn best_substring_distance_is_consistent() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        for _ in 0..20 {
+            let p: Vec<Sym> = (0..rng.gen_range(2..15)).map(|_| rng.gen_range(0..5)).collect();
+            let q: Vec<Sym> = (0..rng.gen_range(1..6)).map(|_| rng.gen_range(0..5)).collect();
+            let best = sw_best(&Lev, &p, &q).unwrap();
+            let direct = wed(&Lev, &p[best.start..=best.end], &q);
+            assert!(
+                (best.dist - direct).abs() < 1e-9,
+                "reported {} but recomputed {direct}",
+                best.dist
+            );
+        }
+    }
+}

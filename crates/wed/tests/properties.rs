@@ -1,0 +1,171 @@
+//! Property-based tests of the WED layer: Proposition 1 axioms for every
+//! instance, DP identities, Smith–Waterman consistency, and the Appendix F
+//! SURS/LORS relation, all over network-backed cost models.
+
+use proptest::prelude::*;
+use rnet::{CityParams, HubLabels, NetworkKind, RoadNetwork};
+use std::sync::Arc;
+use wed::models::{Edr, Erp, Lev, NetEdr, NetErp, Surs};
+use wed::nonwed::lors;
+use wed::{sw_best, sw_scan_all, wed, wed_within, Sym, WedInstance};
+
+fn net() -> Arc<RoadNetwork> {
+    Arc::new(CityParams::tiny(NetworkKind::Grid).generate())
+}
+
+fn boxed_models() -> Vec<Box<dyn WedInstance>> {
+    let n = net();
+    let hubs = Arc::new(HubLabels::build(&n));
+    vec![
+        Box::new(Lev),
+        Box::new(Edr::new(n.clone(), 130.0)),
+        Box::new(Erp::new(n.clone(), 150.0)),
+        Box::new(NetEdr::new(n.clone(), hubs.clone(), 130.0)),
+        Box::new(NetErp::new(n.clone(), hubs.clone(), 2000.0, 130.0)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Proposition 1 for every vertex-alphabet instance: non-negativity,
+    /// symmetry, identity.
+    #[test]
+    fn proposition_1_holds(
+        a in proptest::collection::vec(0u32..64, 0..10),
+        b in proptest::collection::vec(0u32..64, 0..10),
+    ) {
+        for m in boxed_models() {
+            let dab = wed(&*m, &a, &b);
+            let dba = wed(&*m, &b, &a);
+            prop_assert!(dab >= -1e-12, "{}: negative wed", m.name());
+            prop_assert!((dab - dba).abs() < 1e-6, "{}: asymmetric {dab} vs {dba}", m.name());
+            prop_assert!(wed(&*m, &a, &a).abs() < 1e-9, "{}: wed(a,a) != 0", m.name());
+        }
+    }
+
+    /// Theorem 1 ingredient: c(q) never exceeds the cost of editing q into
+    /// any symbol outside B(q) (sampled) nor the deletion cost.
+    #[test]
+    fn lower_cost_is_a_lower_bound(q in 0u32..64, probe in 0u32..64) {
+        for m in boxed_models() {
+            let c = m.lower_cost(q);
+            prop_assert!(m.del(q) + 1e-9 >= c, "{}: del < c(q)", m.name());
+            if !m.neighbors(q).contains(&probe) {
+                prop_assert!(
+                    m.sub(q, probe) + 1e-9 >= c,
+                    "{}: sub({q},{probe}) = {} < c = {c}",
+                    m.name(),
+                    m.sub(q, probe)
+                );
+            }
+        }
+    }
+
+    /// sw_scan_all equals brute force for a continuous-cost model (ERP).
+    #[test]
+    fn sw_scan_matches_brute_force_under_erp(
+        p in proptest::collection::vec(0u32..64, 1..10),
+        q in proptest::collection::vec(0u32..64, 1..5),
+        tau in 50.0f64..2000.0,
+    ) {
+        let erp = Erp::new(net(), 10.0);
+        let mut got = sw_scan_all(&erp, &p, &q, tau);
+        got.sort_by_key(|m| (m.start, m.end));
+        let mut want = Vec::new();
+        for s in 0..p.len() {
+            for t in s..p.len() {
+                let d = wed(&erp, &p[s..=t], &q);
+                if d < tau {
+                    want.push((s, t, d));
+                }
+            }
+        }
+        prop_assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert_eq!((g.start, g.end), (w.0, w.1));
+            prop_assert!((g.dist - w.2).abs() < 1e-6);
+        }
+    }
+
+    /// sw_best returns the global substring minimum under EDR.
+    #[test]
+    fn sw_best_is_global_minimum_under_edr(
+        p in proptest::collection::vec(0u32..64, 1..10),
+        q in proptest::collection::vec(0u32..64, 1..5),
+    ) {
+        let edr = Edr::new(net(), 130.0);
+        let best = sw_best(&edr, &p, &q).unwrap();
+        let mut min = f64::INFINITY;
+        for s in 0..p.len() {
+            for t in s..p.len() {
+                min = min.min(wed(&edr, &p[s..=t], &q));
+            }
+        }
+        prop_assert!((best.dist - min).abs() < 1e-9);
+    }
+
+    /// wed_within agrees with the full DP under SURS (edge alphabet,
+    /// continuous costs).
+    #[test]
+    fn wed_within_agrees_under_surs(
+        p in proptest::collection::vec(0u32..32, 0..10),
+        q in proptest::collection::vec(0u32..32, 0..8),
+        tau in 10.0f64..5000.0,
+    ) {
+        let surs = Surs::new(net());
+        let full = wed(&surs, &p, &q);
+        match wed_within(&surs, &p, &q, tau) {
+            Some(d) => prop_assert!((d - full).abs() < 1e-9 && d < tau),
+            None => prop_assert!(full >= tau - 1e-9),
+        }
+    }
+
+    /// Appendix F: SURS = w(x) + w(y) − 2·LORS on arbitrary edge strings.
+    #[test]
+    fn surs_equals_weight_minus_twice_lors(
+        x in proptest::collection::vec(0u32..32, 0..12),
+        y in proptest::collection::vec(0u32..32, 0..12),
+    ) {
+        let n = net();
+        let surs = Surs::new(n.clone());
+        let s = wed(&surs, &x, &y);
+        let l = lors(&x, &y, |e: Sym| n.edge(e).length);
+        let expect = surs.total_weight(&x) + surs.total_weight(&y) - 2.0 * l;
+        prop_assert!((s - expect).abs() < 1e-6);
+    }
+
+    /// Edit-script upper bound: wed(P, Q) <= del(P) + ins(Q).
+    #[test]
+    fn wed_bounded_by_rewrite_cost(
+        p in proptest::collection::vec(0u32..64, 0..10),
+        q in proptest::collection::vec(0u32..64, 0..10),
+    ) {
+        for m in boxed_models() {
+            let d = wed(&*m, &p, &q);
+            let ub: f64 = m.total_ins(&p) + m.total_ins(&q);
+            prop_assert!(d <= ub + 1e-9, "{}: {d} > {ub}", m.name());
+        }
+    }
+
+    /// Contiguity: appending one symbol changes wed by at most the larger of
+    /// its deletion cost (new symbol deleted) — monotone growth bound.
+    #[test]
+    fn single_symbol_extension_is_lipschitz(
+        p in proptest::collection::vec(0u32..64, 0..8),
+        q in proptest::collection::vec(0u32..64, 0..8),
+        extra in 0u32..64,
+    ) {
+        for m in boxed_models() {
+            let base = wed(&*m, &p, &q);
+            let mut p2 = p.clone();
+            p2.push(extra);
+            let ext = wed(&*m, &p2, &q);
+            prop_assert!(
+                ext <= base + m.del(extra) + 1e-9,
+                "{}: extension jumped {base} -> {ext}",
+                m.name()
+            );
+        }
+    }
+}

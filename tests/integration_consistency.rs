@@ -1,0 +1,101 @@
+//! Cross-method consistency: every method in the repository — the OSF
+//! engine under all three verification modes, DISON, Torch, q-gram,
+//! Plain-SW and the naive oracle — must return the *identical* Definition 3
+//! result set for every WED instance, on realistic road-network workloads.
+
+use baselines::{naive_search, plain_sw_search, Dison, Torch};
+use trajsearch_bench::data::{Dataset, FuncKind};
+use trajsearch_core::{SearchEngine, SearchOptions, VerifyMode};
+use wed::WedInstance;
+
+fn keys(ms: &[trajsearch_core::MatchResult]) -> Vec<(u32, usize, usize)> {
+    ms.iter().map(|m| (m.id, m.start, m.end)).collect()
+}
+
+fn check_function(d: &Dataset, func: FuncKind, qlen: usize, ratios: &[f64]) {
+    let model = d.model(func);
+    let (store, alphabet) = d.store_for(func);
+    let engine: SearchEngine<'_, &dyn WedInstance> = SearchEngine::new(&*model, store, alphabet);
+    let dison = Dison::new(&*model, store, alphabet, VerifyMode::Trie);
+    let torch = Torch::new(&*model, store, alphabet, VerifyMode::Trie);
+
+    for (qi, q) in d.sample_queries(func, qlen, 4, 777).iter().enumerate() {
+        for &ratio in ratios {
+            let tau = d.tau_for(&*model, q, ratio);
+            let reference = {
+                let (m, _) = plain_sw_search(&&*model, store, q, tau);
+                keys(&m)
+            };
+            for mode in [VerifyMode::Trie, VerifyMode::Local, VerifyMode::Sw] {
+                let out = engine.search_opts(q, tau, SearchOptions { verify: mode, ..Default::default() });
+                assert_eq!(
+                    keys(&out.matches),
+                    reference,
+                    "OSF {mode:?} differs from Plain-SW ({}, q#{qi}, r={ratio})",
+                    func.name()
+                );
+                // Reported distances are exact.
+                for m in &out.matches {
+                    let p = store.get(m.id).path();
+                    let direct = wed::wed(&&*model, &p[m.start..=m.end], q);
+                    assert!(
+                        (m.dist - direct).abs() < 1e-6,
+                        "{}: reported {} but wed is {direct}",
+                        func.name(),
+                        m.dist
+                    );
+                }
+            }
+            let (dm, _) = dison.search(q, tau);
+            assert_eq!(keys(&dm), reference, "DISON differs ({}, r={ratio})", func.name());
+            let (tm, _) = torch.search(q, tau);
+            assert_eq!(keys(&tm), reference, "Torch differs ({}, r={ratio})", func.name());
+        }
+    }
+}
+
+#[test]
+fn all_wed_instances_agree_across_methods() {
+    let d = Dataset::test_tiny();
+    for func in FuncKind::ALL {
+        check_function(&d, func, 6, &[0.15, 0.35]);
+    }
+}
+
+#[test]
+fn engine_equals_naive_oracle_on_small_store() {
+    // The cubic oracle is the ground truth; run it on a reduced store.
+    let d = Dataset::test_tiny();
+    let small = d.store.prefix(15);
+    for func in [FuncKind::Lev, FuncKind::Edr, FuncKind::Erp] {
+        let model = d.model(func);
+        let engine: SearchEngine<'_, &dyn WedInstance> =
+            SearchEngine::new(&*model, &small, d.net.num_vertices());
+        for q in d.sample_queries(func, 5, 3, 888) {
+            let tau = d.tau_for(&*model, &q, 0.3);
+            let got = engine.search(&q, tau);
+            let want = naive_search(&&*model, &small, &q, tau);
+            assert_eq!(keys(&got.matches), keys(&want), "{} vs naive", func.name());
+            for (g, w) in got.matches.iter().zip(&want) {
+                assert!((g.dist - w.dist).abs() < 1e-6);
+            }
+        }
+    }
+}
+
+#[test]
+fn qgram_matches_engine_for_unit_cost_models() {
+    let d = Dataset::test_tiny();
+    for func in [FuncKind::Lev, FuncKind::Edr] {
+        let model = d.model(func);
+        let (store, alphabet) = d.store_for(func);
+        let engine: SearchEngine<'_, &dyn WedInstance> = SearchEngine::new(&*model, store, alphabet);
+        let qg = baselines::QGramIndex::new(&*model, store, 3);
+        for q in d.sample_queries(func, 8, 3, 999) {
+            let tau = d.tau_for(&*model, &q, 0.2);
+            let got = qg.search(&q, tau);
+            let want = engine.search(&q, tau);
+            assert_eq!(keys(&got.0), keys(&want.matches), "q-gram vs engine ({})", func.name());
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Whole-pipeline tests: raw GPS → map matching → store → index → search,
+//! representation consistency, and substrate cross-checks on city networks.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rnet::dijkstra::{sssp, Mode};
+use rnet::{CityParams, HubLabels, NetworkKind};
+use std::sync::Arc;
+use traj::mapmatch::{noisy_trace, MapMatcher};
+use traj::{TripConfig, Trajectory, TrajectoryStore};
+use trajsearch_bench::data::{Dataset, FuncKind};
+use trajsearch_core::SearchEngine;
+use wed::models::Lev;
+use wed::WedInstance;
+
+/// GPS traces with noise are map-matched into a database; searching for a
+/// clean stretch of the original route must find the matched trajectory.
+#[test]
+fn gps_to_search_pipeline() {
+    let net = Arc::new(CityParams::small(NetworkKind::Grid).seed(2).generate());
+    let mut rng = ChaCha8Rng::seed_from_u64(99);
+    let matcher = MapMatcher::new(&net, 15.0, 60.0);
+
+    // Ground-truth routes and their noisy observations.
+    let truths: Vec<Vec<u32>> = (0..10)
+        .map(|i| {
+            let start = (i * 37) % net.num_vertices() as u32;
+            traj::generator::random_walk(&net, &mut ChaCha8Rng::seed_from_u64(i as u64), start, 20)
+        })
+        .collect();
+    let mut store = TrajectoryStore::new();
+    let mut matched_of: Vec<Option<u32>> = Vec::new();
+    for truth in &truths {
+        let trace = noisy_trace(&net, truth, 10.0, 2, &mut rng);
+        match matcher.match_trace(&trace) {
+            Some(path) if path.len() >= 5 => {
+                matched_of.push(Some(store.push(Trajectory::untimed(path))));
+            }
+            _ => matched_of.push(None),
+        }
+    }
+    assert!(store.len() >= 7, "map matching failed too often: {}", store.len());
+
+    let engine = SearchEngine::new(&Lev, &store, net.num_vertices());
+    let mut found = 0;
+    for (truth, matched) in truths.iter().zip(&matched_of) {
+        let Some(id) = matched else { continue };
+        // Query: the middle stretch of the ground truth.
+        let q = &truth[5..15.min(truth.len())];
+        let out = engine.search(q, (q.len() as f64 * 0.5).max(1.0));
+        if out.matches.iter().any(|m| m.id == *id) {
+            found += 1;
+        }
+    }
+    assert!(
+        found >= store.len() * 6 / 10,
+        "only {found}/{} matched trajectories rediscovered",
+        store.len()
+    );
+}
+
+/// Vertex- and edge-representation searches must agree: a vertex-space match
+/// corresponds to an edge-space match of the same span (for exact matching
+/// under unit costs).
+#[test]
+fn representation_consistency() {
+    let d = Dataset::test_tiny();
+    let lev = d.model(FuncKind::Lev);
+    let vertex_engine: SearchEngine<'_, &dyn WedInstance> =
+        SearchEngine::new(&*lev, &d.store, d.net.num_vertices());
+    let edge_engine: SearchEngine<'_, &dyn WedInstance> =
+        SearchEngine::new(&*lev, &d.edge_store, d.net.num_edges());
+
+    for qv in d.sample_queries(FuncKind::Lev, 6, 5, 31) {
+        let qe = d.net.path_to_edges(&qv).expect("query is a path");
+        // Exact matches only (tau < 1 under unit costs).
+        let vm = vertex_engine.search(&qv, 0.5);
+        let em = edge_engine.search(&qe, 0.5);
+        // Every edge-space exact occurrence implies the vertex-space one.
+        for m in &em.matches {
+            assert!(
+                vm.matches
+                    .iter()
+                    .any(|v| v.id == m.id && v.start == m.start && v.end == m.end + 1),
+                "edge match {:?} has no vertex twin",
+                (m.id, m.start, m.end)
+            );
+        }
+        // And conversely (vertex exact match of length n has n-1 edges).
+        for v in &vm.matches {
+            assert!(
+                em.matches
+                    .iter()
+                    .any(|m| m.id == v.id && m.start == v.start && m.end + 1 == v.end),
+                "vertex match {:?} has no edge twin",
+                (v.id, v.start, v.end)
+            );
+        }
+    }
+}
+
+/// Hub labels must agree with Dijkstra on city networks (not just grids).
+#[test]
+fn hub_labels_agree_with_dijkstra_on_city() {
+    let net = CityParams::small(NetworkKind::City).seed(13).generate();
+    let hl = HubLabels::build(&net);
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    for _ in 0..5 {
+        let src = rng.gen_range(0..net.num_vertices() as u32);
+        let d = sssp(&net, src, Mode::UndirectedLength);
+        for _ in 0..50 {
+            let v = rng.gen_range(0..net.num_vertices() as u32);
+            let q = hl.query(src, v);
+            assert!(
+                (q - d[v as usize]).abs() < 1e-6,
+                "hub {q} vs dijkstra {} for {src}->{v}",
+                d[v as usize]
+            );
+        }
+    }
+}
+
+/// Trip generation + engine: searching for a stretch of any stored trip
+/// finds at least that trip itself, with distance 0 at the right position.
+#[test]
+fn self_retrieval_of_every_sampled_query() {
+    let net = Arc::new(CityParams::small(NetworkKind::City).seed(77).generate());
+    let store = TripConfig::default().count(100).lengths(12, 40).seed(3).generate(&net);
+    let engine = SearchEngine::new(&Lev, &store, net.num_vertices());
+    let mut rng = ChaCha8Rng::seed_from_u64(123);
+    for _ in 0..20 {
+        let id = rng.gen_range(0..store.len() as u32);
+        let t = store.get(id);
+        let s = rng.gen_range(0..t.len() - 8);
+        let q = t.subpath(s, s + 7).to_vec();
+        let out = engine.search(&q, 1.0);
+        assert!(
+            out.matches.iter().any(|m| m.id == id && m.start == s && m.dist == 0.0),
+            "self-match not found for trajectory {id} at {s}"
+        );
+    }
+}
+
+/// The experiment harness runs end to end at tiny scale (smoke test for the
+/// repro binary's code paths).
+#[test]
+fn experiment_harness_smoke() {
+    use trajsearch_bench::data::Scale;
+    use trajsearch_bench::exp;
+    let s = Scale(0.01);
+    assert_eq!(exp::table2::run(s).len(), 4);
+    assert!(!exp::verification::run(s).is_empty());
+    assert!(!exp::table6::run(s).is_empty());
+    let rows = exp::temporal::run(&["beijing"], &[0.05], 8, 2, s);
+    assert_eq!(rows.len(), 1);
+}

@@ -1,0 +1,165 @@
+//! Property-based tests of the paper's theorems across crates.
+//!
+//! * Proposition 1 (WED axioms) on network-backed cost models.
+//! * Theorem 1 (subsequence filtering soundness).
+//! * Lemma 1 via result-set equality between the engine and a brute-force
+//!   oracle on random stores.
+//! * MinCand constraint satisfaction and 2-approximation.
+//! * Trie-cached DP columns equal freshly computed ones.
+
+use proptest::prelude::*;
+use rnet::{CityParams, NetworkKind, RoadNetwork};
+use std::sync::Arc;
+use traj::{Trajectory, TrajectoryStore};
+use trajsearch_core::mincand::{min_cand, min_cand_exhaustive, objective, Item, Selection};
+use trajsearch_core::SearchEngine;
+use wed::models::{Edr, Lev};
+use wed::{wed, CostModel, Sym, WedInstance};
+
+fn tiny_net() -> Arc<RoadNetwork> {
+    Arc::new(CityParams::tiny(NetworkKind::Grid).generate())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// wed is symmetric, non-negative, and zero on identical strings, for a
+    /// network-backed instance (EDR) and arbitrary vertex strings.
+    #[test]
+    fn wed_axioms_hold_on_edr(
+        a in proptest::collection::vec(0u32..64, 0..12),
+        b in proptest::collection::vec(0u32..64, 0..12),
+    ) {
+        let net = tiny_net();
+        let edr = Edr::new(net, 130.0);
+        let dab = wed(&edr, &a, &b);
+        let dba = wed(&edr, &b, &a);
+        prop_assert!(dab >= 0.0);
+        prop_assert!((dab - dba).abs() < 1e-9, "symmetry violated: {dab} vs {dba}");
+        prop_assert_eq!(wed(&edr, &a, &a), 0.0);
+    }
+
+    /// wed(P, Q) is upper-bounded by total deletion+insertion cost.
+    #[test]
+    fn wed_upper_bound(
+        a in proptest::collection::vec(0u32..64, 0..12),
+        b in proptest::collection::vec(0u32..64, 0..12),
+    ) {
+        let net = tiny_net();
+        let edr = Edr::new(net, 130.0);
+        let d = wed(&edr, &a, &b);
+        let ub = edr.total_ins(&a) + edr.total_ins(&b);
+        prop_assert!(d <= ub + 1e-9, "wed {d} exceeds del+ins bound {ub}");
+    }
+
+    /// Theorem 1: if a string avoids B(Q') for a τ-subsequence Q' of Q, its
+    /// WED to Q is at least τ.
+    #[test]
+    fn subsequence_filter_is_sound(
+        q in proptest::collection::vec(0u32..64, 1..8),
+        p in proptest::collection::vec(0u32..64, 1..14),
+        ratio in 0.05f64..0.95,
+    ) {
+        let net = tiny_net();
+        let edr = Edr::new(net, 130.0);
+        // Build a tau-subsequence greedily from the query.
+        let total_c: f64 = q.iter().map(|&s| edr.lower_cost(s)).sum();
+        let tau = ratio * total_c;
+        let mut chosen: Vec<Sym> = Vec::new();
+        let mut acc = 0.0;
+        for &s in &q {
+            if acc >= tau { break; }
+            chosen.push(s);
+            acc += edr.lower_cost(s);
+        }
+        prop_assume!(acc >= tau && tau > 0.0);
+        // The union neighborhood B(Q').
+        let b: std::collections::HashSet<Sym> =
+            chosen.iter().flat_map(|&s| edr.neighbors(s)).collect();
+        // If P avoids B(Q'), then wed(P, Q) >= tau.
+        if p.iter().all(|sym| !b.contains(sym)) {
+            let d = wed(&edr, &p, &q);
+            prop_assert!(
+                d >= tau - 1e-9,
+                "filter unsound: wed {d} < tau {tau} though P ∩ B(Q') = ∅"
+            );
+        }
+    }
+
+    /// Engine result sets equal brute force on random Lev stores
+    /// (Lemma 1 + Theorem 1 end to end).
+    #[test]
+    fn engine_equals_brute_force(
+        paths in proptest::collection::vec(
+            proptest::collection::vec(0u32..10, 1..14), 1..10),
+        q in proptest::collection::vec(0u32..10, 1..6),
+        tau_i in 1u32..4,
+    ) {
+        let tau = tau_i as f64;
+        let store: TrajectoryStore = paths.iter().cloned().map(Trajectory::untimed).collect();
+        let engine = SearchEngine::new(&Lev, &store, 10);
+        let got = engine.search(&q, tau);
+        let mut want = Vec::new();
+        for (id, t) in store.iter() {
+            let p = t.path();
+            for s in 0..p.len() {
+                for e in s..p.len() {
+                    let d = wed(&Lev, &p[s..=e], &q);
+                    if d < tau {
+                        want.push((id, s, e, d));
+                    }
+                }
+            }
+        }
+        want.sort_by_key(|a| (a.0, a.1, a.2));
+        prop_assert_eq!(got.matches.len(), want.len());
+        for (g, w) in got.matches.iter().zip(&want) {
+            prop_assert_eq!((g.id, g.start, g.end), (w.0, w.1, w.2));
+            prop_assert!((g.dist - w.3).abs() < 1e-9);
+        }
+    }
+
+    /// MinCand: selections satisfy the constraint and stay within 2× of the
+    /// exhaustive optimum.
+    #[test]
+    fn mincand_constraint_and_ratio(
+        cs in proptest::collection::vec(0.1f64..5.0, 1..10),
+        ns in proptest::collection::vec(0.0f64..100.0, 1..10),
+        frac in 0.1f64..1.0,
+    ) {
+        let k = cs.len().min(ns.len());
+        let items: Vec<Item> = (0..k)
+            .map(|pos| Item { pos, c: cs[pos], n: ns[pos] })
+            .collect();
+        let total: f64 = items.iter().map(|i| i.c).sum();
+        let tau = frac * total;
+        prop_assume!(tau > 0.0);
+        match min_cand(&items, tau) {
+            Selection::Chosen(sel) => {
+                let c: f64 = sel.iter().map(|&i| items[i].c).sum();
+                prop_assert!(c >= tau);
+                let (_, opt) = min_cand_exhaustive(&items, tau).unwrap();
+                prop_assert!(objective(&items, &sel) <= 2.0 * opt + 1e-9);
+            }
+            Selection::Infeasible => prop_assert!(total < tau),
+        }
+    }
+
+    /// Monotonicity: enlarging tau can only add results.
+    #[test]
+    fn results_monotone_in_tau(
+        paths in proptest::collection::vec(
+            proptest::collection::vec(0u32..8, 1..12), 1..8),
+        q in proptest::collection::vec(0u32..8, 1..5),
+    ) {
+        let store: TrajectoryStore = paths.iter().cloned().map(Trajectory::untimed).collect();
+        let engine = SearchEngine::new(&Lev, &store, 8);
+        let small = engine.search(&q, 1.0);
+        let large = engine.search(&q, 2.5);
+        let large_keys: std::collections::HashSet<_> =
+            large.matches.iter().map(|m| (m.id, m.start, m.end)).collect();
+        for m in &small.matches {
+            prop_assert!(large_keys.contains(&(m.id, m.start, m.end)));
+        }
+    }
+}
