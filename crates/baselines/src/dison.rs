@@ -8,10 +8,10 @@
 //! the baseline comes in `DISON-SW` and `DISON-BT` flavors.
 
 use std::time::Instant;
+use traj::TrajectoryStore;
 use trajsearch_core::results::MatchResult;
 use trajsearch_core::verify::{verify_candidates, Candidate, VerifyMode};
 use trajsearch_core::{InvertedIndex, SearchStats};
-use traj::TrajectoryStore;
 use wed::{sw_scan_all, Sym, WedInstance};
 
 /// DISON-style prefix-filtered search.
@@ -23,9 +23,19 @@ pub struct Dison<'a, M: WedInstance> {
 }
 
 impl<'a, M: WedInstance> Dison<'a, M> {
-    pub fn new(model: M, store: &'a TrajectoryStore, alphabet_size: usize, verify: VerifyMode) -> Self {
+    pub fn new(
+        model: M,
+        store: &'a TrajectoryStore,
+        alphabet_size: usize,
+        verify: VerifyMode,
+    ) -> Self {
         let index = InvertedIndex::build(store, alphabet_size);
-        Dison { model, store, index, verify }
+        Dison {
+            model,
+            store,
+            index,
+            verify,
+        }
     }
 
     pub fn index(&self) -> &InvertedIndex {
@@ -75,7 +85,11 @@ impl<'a, M: WedInstance> Dison<'a, M> {
         for (pos, &sym) in q.iter().enumerate().take(prefix_len) {
             for b in self.model.neighbors(sym) {
                 for &(id, j) in self.index.postings(b) {
-                    candidates.push(Candidate { id, j, iq: pos as u32 });
+                    candidates.push(Candidate {
+                        id,
+                        j,
+                        iq: pos as u32,
+                    });
                 }
             }
         }

@@ -14,9 +14,9 @@
 
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
+use traj::{TrajId, TrajectoryStore};
 use trajsearch_core::results::{sort_results, MatchResult};
 use trajsearch_core::SearchStats;
-use traj::{TrajId, TrajectoryStore};
 use wed::{wed_within, CostModel, Sym};
 
 /// Safety cap on enumerated subtrajectories (the paper hits memory limits
@@ -49,11 +49,20 @@ impl<'a, M: CostModel> DitaIndex<'a, M> {
             for s in 0..p.len() {
                 for e in s..p.len() {
                     let pivots = select_pivots(&model, &p[s..=e], k);
-                    groups.entry(pivots).or_default().push((id, s as u32, e as u32));
+                    groups
+                        .entry(pivots)
+                        .or_default()
+                        .push((id, s as u32, e as u32));
                 }
             }
         }
-        DitaIndex { model, store, groups, num_subtrajectories: total, build_time: t0.elapsed() }
+        DitaIndex {
+            model,
+            store,
+            groups,
+            num_subtrajectories: total,
+            build_time: t0.elapsed(),
+        }
     }
 
     pub fn build_time(&self) -> Duration {
@@ -108,7 +117,12 @@ impl<'a, M: CostModel> DitaIndex<'a, M> {
         for (id, s, e) in survivors {
             let p = self.store.get(id).path();
             if let Some(d) = wed_within(&self.model, &p[s as usize..=e as usize], q, tau) {
-                out.push(MatchResult { id, start: s as usize, end: e as usize, dist: d });
+                out.push(MatchResult {
+                    id,
+                    start: s as usize,
+                    end: e as usize,
+                    dist: d,
+                });
             }
         }
         sort_results(&mut out);
@@ -142,11 +156,11 @@ fn select_pivots<M: CostModel>(model: &M, sub: &[Sym], k: usize) -> Vec<Sym> {
 mod tests {
     use super::*;
     use crate::naive::naive_search;
-    use wed::wed;
     use rand::{Rng, SeedableRng};
     use rand_chacha::ChaCha8Rng;
     use traj::Trajectory;
     use wed::models::Lev;
+    use wed::wed;
 
     fn random_store(rng: &mut ChaCha8Rng, n: usize) -> TrajectoryStore {
         (0..n)
@@ -178,8 +192,12 @@ mod tests {
         // verified by result equality above); directly: LB ≤ wed on samples.
         let mut rng = ChaCha8Rng::seed_from_u64(32);
         for _ in 0..50 {
-            let sub: Vec<Sym> = (0..rng.gen_range(1..8)).map(|_| rng.gen_range(0..6)).collect();
-            let q: Vec<Sym> = (0..rng.gen_range(1..6)).map(|_| rng.gen_range(0..6)).collect();
+            let sub: Vec<Sym> = (0..rng.gen_range(1..8))
+                .map(|_| rng.gen_range(0..6))
+                .collect();
+            let q: Vec<Sym> = (0..rng.gen_range(1..6))
+                .map(|_| rng.gen_range(0..6))
+                .collect();
             let pivots = select_pivots(&Lev, &sub, 4);
             let lb: f64 = pivots
                 .iter()
@@ -189,7 +207,10 @@ mod tests {
                         .fold(Lev.del(p), f64::min)
                 })
                 .sum();
-            assert!(lb <= wed(&Lev, &sub, &q) + 1e-9, "LB {lb} > wed for {sub:?} vs {q:?}");
+            assert!(
+                lb <= wed(&Lev, &sub, &q) + 1e-9,
+                "LB {lb} > wed for {sub:?} vs {q:?}"
+            );
         }
     }
 

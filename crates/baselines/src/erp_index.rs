@@ -11,11 +11,11 @@
 //! Like DITA, whole-matching semantics force offline enumeration of all
 //! subtrajectories; the paper therefore evaluates it on dataset fractions.
 
-use std::time::{Duration, Instant};
 use rnet::{KdTree, Point};
+use std::time::{Duration, Instant};
+use traj::{TrajId, TrajectoryStore};
 use trajsearch_core::results::{sort_results, MatchResult};
 use trajsearch_core::SearchStats;
-use traj::{TrajId, TrajectoryStore};
 use wed::models::Erp;
 use wed::{wed_within, Sym};
 
@@ -59,7 +59,13 @@ impl<'a> ErpIndex<'a> {
             }
         }
         let tree = KdTree::build(&points);
-        ErpIndex { erp, store, tree, entries, build_time: t0.elapsed() }
+        ErpIndex {
+            erp,
+            store,
+            tree,
+            entries,
+            build_time: t0.elapsed(),
+        }
     }
 
     pub fn build_time(&self) -> Duration {
@@ -96,7 +102,12 @@ impl<'a> ErpIndex<'a> {
             let (id, s, e) = self.entries[h as usize];
             let p = self.store.get(id).path();
             if let Some(d) = wed_within(self.erp, &p[s as usize..=e as usize], q, tau) {
-                out.push(MatchResult { id, start: s as usize, end: e as usize, dist: d });
+                out.push(MatchResult {
+                    id,
+                    start: s as usize,
+                    end: e as usize,
+                    dist: d,
+                });
             }
         }
         sort_results(&mut out);
@@ -110,13 +121,13 @@ impl<'a> ErpIndex<'a> {
 mod tests {
     use super::*;
     use crate::naive::naive_search;
-    use wed::wed;
     use rand::{Rng, SeedableRng};
     use rand_chacha::ChaCha8Rng;
     use rnet::{CityParams, NetworkKind, RoadNetwork};
     use std::sync::Arc;
     use traj::generator::random_walk;
     use traj::Trajectory;
+    use wed::wed;
 
     fn setup() -> (Arc<RoadNetwork>, TrajectoryStore) {
         let net = Arc::new(CityParams::tiny(NetworkKind::Grid).generate());
@@ -158,12 +169,20 @@ mod tests {
         let g = erp.reference();
         let mut rng = ChaCha8Rng::seed_from_u64(43);
         for _ in 0..40 {
-            let (sa, la) = (rng.gen_range(0..net.num_vertices() as u32), rng.gen_range(1..7));
+            let (sa, la) = (
+                rng.gen_range(0..net.num_vertices() as u32),
+                rng.gen_range(1..7),
+            );
             let a = random_walk(&net, &mut rng, sa, la);
-            let (sb, lb_len) = (rng.gen_range(0..net.num_vertices() as u32), rng.gen_range(1..7));
+            let (sb, lb_len) = (
+                rng.gen_range(0..net.num_vertices() as u32),
+                rng.gen_range(1..7),
+            );
             let b = random_walk(&net, &mut rng, sb, lb_len);
             let sum = |s: &[Sym]| {
-                s.iter().fold(Point::new(0.0, 0.0), |acc, &v| acc.add(&erp.coord(v).sub(&g)))
+                s.iter().fold(Point::new(0.0, 0.0), |acc, &v| {
+                    acc.add(&erp.coord(v).sub(&g))
+                })
             };
             let lb = sum(&a).sub(&sum(&b)).norm();
             let d = wed(&erp, &a, &b);

@@ -4,8 +4,8 @@
 //! (O(Σ|P|³·|Q|) as noted in §3). Far too slow for real workloads but
 //! unambiguous; every other method is tested against it.
 
-use trajsearch_core::results::{sort_results, MatchResult};
 use traj::TrajectoryStore;
+use trajsearch_core::results::{sort_results, MatchResult};
 use wed::{wed, CostModel, Sym};
 
 /// All `(id, s, t)` with `wed(P^(id)[s..=t], Q) < tau`, by brute force.
@@ -22,7 +22,12 @@ pub fn naive_search<M: CostModel>(
             for e in s..p.len() {
                 let d = wed(model, &p[s..=e], q);
                 if d < tau {
-                    out.push(MatchResult { id, start: s, end: e, dist: d });
+                    out.push(MatchResult {
+                        id,
+                        start: s,
+                        end: e,
+                        dist: d,
+                    });
                 }
             }
         }

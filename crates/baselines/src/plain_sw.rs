@@ -6,9 +6,9 @@
 //! trajectories.
 
 use std::time::Instant;
+use traj::TrajectoryStore;
 use trajsearch_core::results::{sort_results, MatchResult};
 use trajsearch_core::SearchStats;
-use traj::TrajectoryStore;
 use wed::{sw_scan_all, CostModel, Sym};
 
 /// Scans every trajectory with the SW threshold scan; returns the exact
@@ -25,7 +25,12 @@ pub fn plain_sw_search<M: CostModel>(
     for (id, t) in store.iter() {
         stats.sw_columns += t.len() as u64;
         for m in sw_scan_all(model, t.path(), q, tau) {
-            out.push(MatchResult { id, start: m.start, end: m.end, dist: m.dist });
+            out.push(MatchResult {
+                id,
+                start: m.start,
+                end: m.end,
+                dist: m.dist,
+            });
         }
     }
     sort_results(&mut out);

@@ -15,9 +15,9 @@
 
 use std::collections::HashMap;
 use std::time::Instant;
+use traj::{TrajId, TrajectoryStore};
 use trajsearch_core::results::{sort_results, MatchResult};
 use trajsearch_core::SearchStats;
-use traj::{TrajId, TrajectoryStore};
 use wed::{sw_scan_all, Sym, WedInstance};
 
 /// q-gram inverted index over trajectory symbol windows.
@@ -41,7 +41,13 @@ impl<'a, M: WedInstance> QGramIndex<'a, M> {
                 grams.entry(w.to_vec()).or_default().push(id);
             }
         }
-        QGramIndex { model, store, q: gram_len, grams, build_time: t0.elapsed() }
+        QGramIndex {
+            model,
+            store,
+            q: gram_len,
+            grams,
+            build_time: t0.elapsed(),
+        }
     }
 
     pub fn build_time(&self) -> std::time::Duration {
@@ -128,7 +134,12 @@ impl<'a, M: WedInstance> QGramIndex<'a, M> {
             let t = self.store.get(id);
             stats.sw_columns += t.len() as u64;
             for m in sw_scan_all(&self.model, t.path(), query, tau) {
-                out.push(MatchResult { id, start: m.start, end: m.end, dist: m.dist });
+                out.push(MatchResult {
+                    id,
+                    start: m.start,
+                    end: m.end,
+                    dist: m.dist,
+                });
             }
         }
         sort_results(&mut out);

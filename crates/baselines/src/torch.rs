@@ -7,10 +7,10 @@
 //! Verification reuses the engine layer (`Torch-SW` / `Torch-BT`).
 
 use std::time::Instant;
+use traj::TrajectoryStore;
 use trajsearch_core::results::MatchResult;
 use trajsearch_core::verify::{verify_candidates, Candidate, VerifyMode};
 use trajsearch_core::{InvertedIndex, SearchStats};
-use traj::TrajectoryStore;
 use wed::{sw_scan_all, Sym, WedInstance};
 
 /// Torch-style all-symbols-filtered search.
@@ -22,9 +22,19 @@ pub struct Torch<'a, M: WedInstance> {
 }
 
 impl<'a, M: WedInstance> Torch<'a, M> {
-    pub fn new(model: M, store: &'a TrajectoryStore, alphabet_size: usize, verify: VerifyMode) -> Self {
+    pub fn new(
+        model: M,
+        store: &'a TrajectoryStore,
+        alphabet_size: usize,
+        verify: VerifyMode,
+    ) -> Self {
         let index = InvertedIndex::build(store, alphabet_size);
-        Torch { model, store, index, verify }
+        Torch {
+            model,
+            store,
+            index,
+            verify,
+        }
     }
 
     pub fn index(&self) -> &InvertedIndex {
@@ -60,7 +70,11 @@ impl<'a, M: WedInstance> Torch<'a, M> {
         for (pos, &sym) in q.iter().enumerate() {
             for b in self.model.neighbors(sym) {
                 for &(id, j) in self.index.postings(b) {
-                    candidates.push(Candidate { id, j, iq: pos as u32 });
+                    candidates.push(Candidate {
+                        id,
+                        j,
+                        iq: pos as u32,
+                    });
                 }
             }
         }

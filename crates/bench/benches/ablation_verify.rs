@@ -35,7 +35,10 @@ fn bench(c: &mut Criterion) {
                     let out = engine.search_opts(
                         q,
                         *tau,
-                        SearchOptions { verify: mode, ..Default::default() },
+                        SearchOptions {
+                            verify: mode,
+                            ..Default::default()
+                        },
                     );
                     std::hint::black_box(out);
                 }

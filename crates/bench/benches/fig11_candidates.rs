@@ -20,14 +20,18 @@ fn bench(c: &mut Criterion) {
             .iter()
             .map(|q| (q.clone(), d.tau_for(&*model, q, ratio)))
             .collect();
-        g.bench_with_input(BenchmarkId::new("OSF-plan+lookup", format!("r={ratio}")), &wl, |b, wl| {
-            b.iter(|| {
-                for (q, tau) in wl {
-                    let plan = FilterPlan::build(&&*model, &index, q, *tau);
-                    std::hint::black_box(plan.candidates(&index));
-                }
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("OSF-plan+lookup", format!("r={ratio}")),
+            &wl,
+            |b, wl| {
+                b.iter(|| {
+                    for (q, tau) in wl {
+                        let plan = FilterPlan::build(&&*model, &index, q, *tau);
+                        std::hint::black_box(plan.candidates(&index));
+                    }
+                })
+            },
+        );
     }
     g.finish();
 }

@@ -22,7 +22,13 @@ fn bench(c: &mut Criterion) {
             .iter()
             .map(|q| (q.clone(), d.tau_for(&*model, q, ratio)))
             .collect();
-        for m in [MethodKind::OsfBt, MethodKind::OsfSw, MethodKind::DisonBt, MethodKind::TorchBt, MethodKind::QGram] {
+        for m in [
+            MethodKind::OsfBt,
+            MethodKind::OsfSw,
+            MethodKind::DisonBt,
+            MethodKind::TorchBt,
+            MethodKind::QGram,
+        ] {
             g.bench_with_input(
                 BenchmarkId::new(m.name(), format!("r={ratio}")),
                 &wl,

@@ -23,13 +23,17 @@ fn bench(c: &mut Criterion) {
             })
             .collect();
         for m in [MethodKind::OsfBt, MethodKind::DisonBt, MethodKind::TorchBt] {
-            g.bench_with_input(BenchmarkId::new(m.name(), format!("|Q|={qlen}")), &wl, |b, wl| {
-                b.iter(|| {
-                    for (q, tau) in wl {
-                        std::hint::black_box(set.run(m, q, *tau));
-                    }
-                })
-            });
+            g.bench_with_input(
+                BenchmarkId::new(m.name(), format!("|Q|={qlen}")),
+                &wl,
+                |b, wl| {
+                    b.iter(|| {
+                        for (q, tau) in wl {
+                            std::hint::black_box(set.run(m, q, *tau));
+                        }
+                    })
+                },
+            );
         }
     }
     g.finish();

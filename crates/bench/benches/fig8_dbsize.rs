@@ -21,13 +21,17 @@ fn bench(c: &mut Criterion) {
             .map(|q| (q.clone(), d.tau_for(&*model, q, 0.1)))
             .collect();
         for m in [MethodKind::OsfBt, MethodKind::TorchBt] {
-            g.bench_with_input(BenchmarkId::new(m.name(), format!("{:.0}%", frac * 100.0)), &wl, |b, wl| {
-                b.iter(|| {
-                    for (q, tau) in wl {
-                        std::hint::black_box(set.run(m, q, *tau));
-                    }
-                })
-            });
+            g.bench_with_input(
+                BenchmarkId::new(m.name(), format!("{:.0}%", frac * 100.0)),
+                &wl,
+                |b, wl| {
+                    b.iter(|| {
+                        for (q, tau) in wl {
+                            std::hint::black_box(set.run(m, q, *tau));
+                        }
+                    })
+                },
+            );
         }
     }
     g.finish();

@@ -1,8 +1,8 @@
 //! Figures 9–10 (criterion): OSF vs the enumeration-based baselines (DITA,
 //! ERP-index) on a small dataset.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use baselines::{DitaIndex, ErpIndex};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use trajsearch_bench::data::{Dataset, FuncKind, Scale};
 use trajsearch_core::SearchEngine;
 use wed::models::Erp;
@@ -33,27 +33,39 @@ fn bench(c: &mut Criterion) {
             .iter()
             .map(|q| (q.clone(), d.tau_for(&erp, q, ratio)))
             .collect();
-        g.bench_with_input(BenchmarkId::new("OSF-BT", format!("r={ratio}")), &wl, |b, wl| {
-            b.iter(|| {
-                for (q, tau) in wl {
-                    std::hint::black_box(engine.search(q, *tau));
-                }
-            })
-        });
-        g.bench_with_input(BenchmarkId::new("DITA", format!("r={ratio}")), &wl, |b, wl| {
-            b.iter(|| {
-                for (q, tau) in wl {
-                    std::hint::black_box(dita.search(q, *tau));
-                }
-            })
-        });
-        g.bench_with_input(BenchmarkId::new("ERP-index", format!("r={ratio}")), &wl, |b, wl| {
-            b.iter(|| {
-                for (q, tau) in wl {
-                    std::hint::black_box(erpi.search(q, *tau));
-                }
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("OSF-BT", format!("r={ratio}")),
+            &wl,
+            |b, wl| {
+                b.iter(|| {
+                    for (q, tau) in wl {
+                        std::hint::black_box(engine.search(q, *tau));
+                    }
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("DITA", format!("r={ratio}")),
+            &wl,
+            |b, wl| {
+                b.iter(|| {
+                    for (q, tau) in wl {
+                        std::hint::black_box(dita.search(q, *tau));
+                    }
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("ERP-index", format!("r={ratio}")),
+            &wl,
+            |b, wl| {
+                b.iter(|| {
+                    for (q, tau) in wl {
+                        std::hint::black_box(erpi.search(q, *tau));
+                    }
+                })
+            },
+        );
     }
     g.finish();
 }

@@ -1,8 +1,8 @@
 //! Table 6 (criterion): index construction time — postings index vs q-gram
 //! index vs the enumeration-based DITA / ERP-index.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use baselines::{DitaIndex, ErpIndex, QGramIndex};
+use criterion::{criterion_group, criterion_main, Criterion};
 use trajsearch_bench::data::{Dataset, FuncKind, Scale};
 use trajsearch_core::SearchEngine;
 use wed::models::Erp;

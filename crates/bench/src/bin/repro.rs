@@ -36,7 +36,11 @@ struct Args {
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { experiment: String::new(), scale: Scale::default_repro(), queries: 20 };
+    let mut args = Args {
+        experiment: String::new(),
+        scale: Scale::default_repro(),
+        queries: 20,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -108,12 +112,29 @@ fn main() {
     }
     if all || exp == "fig5" {
         let mut rows = naturalness::run(&[40, 50, 60], &[0.05, 0.1, 0.2, 0.3], nq, scale);
-        rows.extend(naturalness::run_nonwed(&[40, 50, 60], &[0.05, 0.1, 0.2, 0.3], nq, scale));
+        rows.extend(naturalness::run_nonwed(
+            &[40, 50, 60],
+            &[0.05, 0.1, 0.2, 0.3],
+            nq,
+            scale,
+        ));
         naturalness::print(&rows);
     }
     if all || exp == "fig6" {
-        let rows = query_time::run_fig6(&DATASETS, &FuncKind::ALL, &methods, &TAU_RATIOS, 60, nq, scale);
-        query_time::print_rows("Figure 6: query time vs tau-ratio (|Q|=60)", "tau-ratio", &rows);
+        let rows = query_time::run_fig6(
+            &DATASETS,
+            &FuncKind::ALL,
+            &methods,
+            &TAU_RATIOS,
+            60,
+            nq,
+            scale,
+        );
+        query_time::print_rows(
+            "Figure 6: query time vs tau-ratio (|Q|=60)",
+            "tau-ratio",
+            &rows,
+        );
     }
     if all || exp == "fig7" {
         let rows = query_time::run_fig7(
@@ -136,7 +157,11 @@ fn main() {
             nq,
             scale,
         );
-        query_time::print_rows("Figure 8: query time vs dataset size (tau-ratio=0.1)", "fraction", &rows);
+        query_time::print_rows(
+            "Figure 8: query time vs dataset size (tau-ratio=0.1)",
+            "fraction",
+            &rows,
+        );
     }
     if all || exp == "fig9" {
         let ntraj = ((600.0 * scale.0).round() as usize).max(50);
@@ -173,7 +198,13 @@ fn main() {
         candidates::print(&rows, "|Q|");
     }
     if all || exp == "fig12" {
-        let rows = temporal::run(&["beijing", "porto", "sanfran"], &[0.01, 0.02, 0.05, 0.1], 60, nq, scale);
+        let rows = temporal::run(
+            &["beijing", "porto", "sanfran"],
+            &[0.01, 0.02, 0.05, 0.1],
+            60,
+            nq,
+            scale,
+        );
         temporal::print(&rows);
     }
     if all || exp == "fig13" {
@@ -192,8 +223,8 @@ fn main() {
     }
     if !all
         && ![
-            "table2", "fig4", "table3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-            "table4", "table5", "table6", "fig11", "fig12", "fig13",
+            "table2", "fig4", "table3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "table4",
+            "table5", "table6", "fig11", "fig12", "fig13",
         ]
         .contains(&exp)
     {

@@ -89,38 +89,43 @@ impl Dataset {
     /// The four Table 2 stand-ins. `which ∈ {"beijing", "porto",
     /// "singapore", "sanfran"}`.
     pub fn load(which: &str, scale: Scale) -> Dataset {
-        let (name, params, base_count, len_range, seed): (_, CityParams, usize, (usize, usize), u64) =
-            match which {
-                "beijing" => (
-                    "Beijing",
-                    CityParams::medium(NetworkKind::City).seed(101),
-                    8_000,
-                    (60, 140),
-                    1,
-                ),
-                "porto" => (
-                    "Porto",
-                    CityParams::medium(NetworkKind::City).seed(202),
-                    12_000,
-                    (50, 110),
-                    2,
-                ),
-                "singapore" => (
-                    "Singapore",
-                    CityParams::small(NetworkKind::City).seed(303),
-                    3_000,
-                    (150, 260),
-                    3,
-                ),
-                "sanfran" => (
-                    "SanFran",
-                    CityParams::large(NetworkKind::City).seed(404),
-                    20_000,
-                    (60, 140),
-                    4,
-                ),
-                other => panic!("unknown dataset {other:?}"),
-            };
+        let (name, params, base_count, len_range, seed): (
+            _,
+            CityParams,
+            usize,
+            (usize, usize),
+            u64,
+        ) = match which {
+            "beijing" => (
+                "Beijing",
+                CityParams::medium(NetworkKind::City).seed(101),
+                8_000,
+                (60, 140),
+                1,
+            ),
+            "porto" => (
+                "Porto",
+                CityParams::medium(NetworkKind::City).seed(202),
+                12_000,
+                (50, 110),
+                2,
+            ),
+            "singapore" => (
+                "Singapore",
+                CityParams::small(NetworkKind::City).seed(303),
+                3_000,
+                (150, 260),
+                3,
+            ),
+            "sanfran" => (
+                "SanFran",
+                CityParams::large(NetworkKind::City).seed(404),
+                20_000,
+                (60, 140),
+                4,
+            ),
+            other => panic!("unknown dataset {other:?}"),
+        };
         let net = Arc::new(params.generate());
         let trips = TripConfig::default()
             .count(scale.count(base_count))
@@ -128,20 +133,40 @@ impl Dataset {
             .seed(seed * 7919);
         let store = trips.generate(&net);
         let edge_store = store_to_edges(&net, &store);
-        Dataset { name, net, store, edge_store, hubs: OnceLock::new(), seed }
+        Dataset {
+            name,
+            net,
+            store,
+            edge_store,
+            hubs: OnceLock::new(),
+            seed,
+        }
     }
 
     /// A small synthetic dataset for unit tests and doc examples.
     pub fn test_tiny() -> Dataset {
         let net = Arc::new(CityParams::tiny(NetworkKind::City).seed(7).generate());
-        let store = TripConfig::default().count(60).lengths(8, 25).seed(99).generate(&net);
+        let store = TripConfig::default()
+            .count(60)
+            .lengths(8, 25)
+            .seed(99)
+            .generate(&net);
         let edge_store = store_to_edges(&net, &store);
-        Dataset { name: "tiny", net, store, edge_store, hubs: OnceLock::new(), seed: 7 }
+        Dataset {
+            name: "tiny",
+            net,
+            store,
+            edge_store,
+            hubs: OnceLock::new(),
+            seed: 7,
+        }
     }
 
     /// Hub labels, built on first use (only Net* functions need them).
     pub fn hubs(&self) -> Arc<HubLabels> {
-        self.hubs.get_or_init(|| Arc::new(HubLabels::build(&self.net))).clone()
+        self.hubs
+            .get_or_init(|| Arc::new(HubLabels::build(&self.net)))
+            .clone()
     }
 
     /// Median edge length (the paper's scale for NetEDR ε and NetERP η).
@@ -191,7 +216,12 @@ impl Dataset {
             FuncKind::NetErp => {
                 let eta = eta.unwrap_or(self.median_edge_length());
                 // G_del = 2 km as in §6.1.
-                Box::new(Memo::new(NetErp::new(self.net.clone(), self.hubs(), 2_000.0, eta)))
+                Box::new(Memo::new(NetErp::new(
+                    self.net.clone(),
+                    self.hubs(),
+                    2_000.0,
+                    eta,
+                )))
             }
             FuncKind::Surs => Box::new(Surs::new(self.net.clone())),
         }
@@ -209,9 +239,16 @@ impl Dataset {
     /// Samples `count` queries of exactly `len` symbols by cutting random
     /// subtrajectories from the store (§6.3: "we randomly sampled
     /// subtrajectories from each dataset as queries").
-    pub fn sample_queries(&self, kind: FuncKind, len: usize, count: usize, salt: u64) -> Vec<Vec<Sym>> {
+    pub fn sample_queries(
+        &self,
+        kind: FuncKind,
+        len: usize,
+        count: usize,
+        salt: u64,
+    ) -> Vec<Vec<Sym>> {
         let (store, _) = self.store_for(kind);
-        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ (salt.wrapping_mul(0x9E3779B97F4A7C15)));
+        let mut rng =
+            ChaCha8Rng::seed_from_u64(self.seed ^ (salt.wrapping_mul(0x9E3779B97F4A7C15)));
         let mut out = Vec::with_capacity(count);
         let mut guard = 0;
         while out.len() < count && guard < count * 1000 {
@@ -368,7 +405,10 @@ mod tests {
                 found += 1;
             }
         }
-        assert!(found >= 7, "similarity search recovered only {found}/10 noisy queries");
+        assert!(
+            found >= 7,
+            "similarity search recovered only {found}/10 noisy queries"
+        );
     }
 
     #[test]

@@ -43,7 +43,11 @@ pub fn run(
         let (store, alphabet) = d.store_for(func);
         let set = MethodSet::new(&*model, store, alphabet);
         for &x in xs {
-            let (len, ratio) = if sweep_tau { (qlen, x) } else { (x as usize, 0.1) };
+            let (len, ratio) = if sweep_tau {
+                (qlen, x)
+            } else {
+                (x as usize, 0.1)
+            };
             let wl: Vec<(Vec<wed::Sym>, f64)> = d
                 .sample_queries(func, len, nqueries, 110)
                 .into_iter()
@@ -90,7 +94,15 @@ mod tests {
 
     #[test]
     fn osf_never_generates_more_than_torch() {
-        let rows = run("beijing", &[FuncKind::Lev, FuncKind::Edr], &[0.1, 0.2], true, 8, 3, Scale(0.01));
+        let rows = run(
+            "beijing",
+            &[FuncKind::Lev, FuncKind::Edr],
+            &[0.1, 0.2],
+            true,
+            8,
+            3,
+            Scale(0.01),
+        );
         for func in ["Lev", "EDR"] {
             for x in [0.1, 0.2] {
                 let get = |m: &str| {

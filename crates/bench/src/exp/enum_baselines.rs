@@ -8,8 +8,8 @@ use crate::data::{Dataset, FuncKind, Scale};
 use crate::table::{fmt_ms, print_table};
 use baselines::{DitaIndex, ErpIndex};
 use std::time::Instant;
-use trajsearch_core::{SearchEngine, SearchOptions, VerifyMode};
 use traj::TrajectoryStore;
+use trajsearch_core::{SearchEngine, SearchOptions, VerifyMode};
 use wed::models::Erp;
 use wed::Sym;
 
@@ -53,14 +53,25 @@ fn time_queries<F: FnMut(&[Sym], f64) -> usize>(
 /// Runs OSF-BT / OSF-SW / DITA (EDR and ERP) / ERP-index (ERP only) on
 /// `ntraj` indexed trajectories across τ-ratios (Figure 9) or across
 /// trajectory counts at fixed ratio 0.1 (Figure 10).
-pub fn run(xs: &[f64], sweep_tau: bool, base_traj: usize, qlen: usize, nq: usize, scale: Scale) -> Vec<EnumRow> {
+pub fn run(
+    xs: &[f64],
+    sweep_tau: bool,
+    base_traj: usize,
+    qlen: usize,
+    nq: usize,
+    scale: Scale,
+) -> Vec<EnumRow> {
     let d = Dataset::load("beijing", scale);
     let mut rows = Vec::new();
 
     for &func in &[FuncKind::Edr, FuncKind::Erp] {
         let model = d.model(func);
         for &x in xs {
-            let (ratio, ntraj) = if sweep_tau { (x, base_traj) } else { (0.1, x as usize) };
+            let (ratio, ntraj) = if sweep_tau {
+                (x, base_traj)
+            } else {
+                (0.1, x as usize)
+            };
             let store = small_store(&d, ntraj.min(d.store.len()));
             let queries: Vec<(Vec<Sym>, f64)> = d
                 .sample_queries(func, qlen, nq, 130)
@@ -76,24 +87,49 @@ pub fn run(xs: &[f64], sweep_tau: bool, base_traj: usize, qlen: usize, nq: usize
             for (name, mode) in [("OSF-BT", VerifyMode::Trie), ("OSF-SW", VerifyMode::Sw)] {
                 let (ms, cands) = time_queries(&queries, |q, tau| {
                     engine
-                        .search_opts(q, tau, SearchOptions { verify: mode, ..Default::default() })
+                        .search_opts(
+                            q,
+                            tau,
+                            SearchOptions {
+                                verify: mode,
+                                ..Default::default()
+                            },
+                        )
                         .stats
                         .candidates
                 });
-                rows.push(EnumRow { func: func.name(), method: name, x, ms_per_query: ms, avg_candidates: cands });
+                rows.push(EnumRow {
+                    func: func.name(),
+                    method: name,
+                    x,
+                    ms_per_query: ms,
+                    avg_candidates: cands,
+                });
             }
 
             // DITA on the same model.
             let dita = DitaIndex::new(&*model, &store, 6);
             let (ms, cands) = time_queries(&queries, |q, tau| dita.search(q, tau).1.candidates);
-            rows.push(EnumRow { func: func.name(), method: "DITA", x, ms_per_query: ms, avg_candidates: cands });
+            rows.push(EnumRow {
+                func: func.name(),
+                method: "DITA",
+                x,
+                ms_per_query: ms,
+                avg_candidates: cands,
+            });
 
             // ERP-index only applies to ERP.
             if func == FuncKind::Erp {
                 let erp = Erp::new(d.net.clone(), 1e-4 * d.median_nn_distance());
                 let erpi = ErpIndex::new(&erp, &store);
                 let (ms, cands) = time_queries(&queries, |q, tau| erpi.search(q, tau).1.candidates);
-                rows.push(EnumRow { func: func.name(), method: "ERP-index", x, ms_per_query: ms, avg_candidates: cands });
+                rows.push(EnumRow {
+                    func: func.name(),
+                    method: "ERP-index",
+                    x,
+                    ms_per_query: ms,
+                    avg_candidates: cands,
+                });
             }
         }
     }

@@ -73,7 +73,15 @@ pub fn run(
 pub fn print(rows: &[EtaRow]) {
     println!("\nFigure 13 (Appendix D): eta sweep for ERP / NetERP (OSF-BT)");
     print_table(
-        &["Dataset", "Func", "eta/median", "tau-ratio", "|Q|", "ms/query", "fallback"],
+        &[
+            "Dataset",
+            "Func",
+            "eta/median",
+            "tau-ratio",
+            "|Q|",
+            "ms/query",
+            "fallback",
+        ],
         &rows
             .iter()
             .map(|r| {
@@ -84,7 +92,11 @@ pub fn print(rows: &[EtaRow]) {
                     format!("{}", r.tau_ratio),
                     r.qlen.to_string(),
                     fmt_ms(r.ms_per_query),
-                    if r.fallback_rate > 0.0 { "yes".into() } else { "no".into() },
+                    if r.fallback_rate > 0.0 {
+                        "yes".into()
+                    } else {
+                        "no".into()
+                    },
                 ]
             })
             .collect::<Vec<_>>(),

@@ -9,8 +9,8 @@
 use crate::data::{Dataset, FuncKind, Scale};
 use crate::table::print_table;
 use std::collections::HashMap;
-use trajsearch_core::SearchEngine;
 use traj::TrajId;
+use trajsearch_core::SearchEngine;
 use wed::{Sym, WedInstance};
 
 #[derive(Debug, Clone)]
@@ -44,14 +44,20 @@ pub fn naturalness(d: &Dataset, route: &[Sym], v: Sym) -> f64 {
     closer_hops as f64 / (route.len() - 1) as f64
 }
 
-pub fn run(qlens: &[usize], tau_ratios: &[f64], nqueries: usize, scale: Scale) -> Vec<NaturalnessRow> {
+pub fn run(
+    qlens: &[usize],
+    tau_ratios: &[f64],
+    nqueries: usize,
+    scale: Scale,
+) -> Vec<NaturalnessRow> {
     let d = Dataset::load("beijing", scale);
     let mut rows = Vec::new();
 
     for &func in &FuncKind::ALL {
         let model = d.model(func);
         let (store, alphabet) = d.store_for(func);
-        let engine: SearchEngine<'_, &dyn WedInstance> = SearchEngine::new(&*model, store, alphabet);
+        let engine: SearchEngine<'_, &dyn WedInstance> =
+            SearchEngine::new(&*model, store, alphabet);
         for &qlen in qlens {
             // Vertex-length alignment: edge queries have qlen-1 symbols so
             // the route covers the same number of vertices.
@@ -75,7 +81,10 @@ pub fn run(qlens: &[usize], tau_ratios: &[f64], nqueries: usize, scale: Scale) -
                         let t = store.get(m.id);
                         let span = &t.path()[m.start..=m.end];
                         let (rs, rt) = if func.uses_edges() {
-                            (d.net.edge(span[0]).from, d.net.edge(*span.last().unwrap()).to)
+                            (
+                                d.net.edge(span[0]).from,
+                                d.net.edge(*span.last().unwrap()).to,
+                            )
                         } else {
                             (span[0], *span.last().unwrap())
                         };
@@ -84,7 +93,8 @@ pub fn run(qlens: &[usize], tau_ratios: &[f64], nqueries: usize, scale: Scale) -
                         }
                         // Vertex route for the naturalness metric.
                         let route: Vec<Sym> = if func.uses_edges() {
-                            let mut r: Vec<Sym> = span.iter().map(|&e| d.net.edge(e).from).collect();
+                            let mut r: Vec<Sym> =
+                                span.iter().map(|&e| d.net.edge(e).from).collect();
                             r.push(v);
                             r
                         } else {
@@ -106,7 +116,11 @@ pub fn run(qlens: &[usize], tau_ratios: &[f64], nqueries: usize, scale: Scale) -
                     qlen,
                     tau_ratio: ratio,
                     cardinality: card_sum / queries.len() as f64,
-                    naturalness: if nat_cnt == 0 { f64::NAN } else { nat_sum / nat_cnt as f64 },
+                    naturalness: if nat_cnt == 0 {
+                        f64::NAN
+                    } else {
+                        nat_sum / nat_cnt as f64
+                    },
                 });
             }
         }
@@ -119,7 +133,12 @@ pub fn run(qlens: &[usize], tau_ratios: &[f64], nqueries: usize, scale: Scale) -
 /// (trajectories containing both endpoints) and scored directly, with the
 /// paper's normalizations: DTW ≤ r·Σd(Qᵢ,Qᵢ₊₁)², LCSS ≥ (1−r)·|Q|,
 /// LORS ≥ (1−r)·w(Q), LCRS ≥ 1−r.
-pub fn run_nonwed(qlens: &[usize], tau_ratios: &[f64], nqueries: usize, scale: Scale) -> Vec<NaturalnessRow> {
+pub fn run_nonwed(
+    qlens: &[usize],
+    tau_ratios: &[f64],
+    nqueries: usize,
+    scale: Scale,
+) -> Vec<NaturalnessRow> {
     use rnet::Point;
     use trajsearch_core::InvertedIndex;
     use wed::nonwed::{dtw, lcrs, lcss, lors};
@@ -184,9 +203,7 @@ pub fn run_nonwed(qlens: &[usize], tau_ratios: &[f64], nqueries: usize, scale: S
                                         1.0 - lcrs(&se, &q_edges, |e| d.net.edge(e).length)
                                     }
                                 };
-                                if score <= ratio
-                                    && best.is_none_or(|(bs, _, _)| score < bs)
-                                {
+                                if score <= ratio && best.is_none_or(|(bs, _, _)| score < bs) {
                                     best = Some((score, i, j));
                                 }
                             }
@@ -204,7 +221,11 @@ pub fn run_nonwed(qlens: &[usize], tau_ratios: &[f64], nqueries: usize, scale: S
                     qlen,
                     tau_ratio: ratio,
                     cardinality: card_sum / queries.len() as f64,
-                    naturalness: if nat_cnt == 0 { f64::NAN } else { nat_sum / nat_cnt as f64 },
+                    naturalness: if nat_cnt == 0 {
+                        f64::NAN
+                    } else {
+                        nat_sum / nat_cnt as f64
+                    },
                 });
             }
         }
@@ -215,7 +236,13 @@ pub fn run_nonwed(qlens: &[usize], tau_ratios: &[f64], nqueries: usize, scale: S
 pub fn print(rows: &[NaturalnessRow]) {
     println!("\nFigure 5: naturalness of suggested alternative routes (Beijing)");
     print_table(
-        &["Func", "|Q|", "tau-ratio", "avg cardinality", "avg naturalness"],
+        &[
+            "Func",
+            "|Q|",
+            "tau-ratio",
+            "avg cardinality",
+            "avg naturalness",
+        ],
         &rows
             .iter()
             .map(|r| {

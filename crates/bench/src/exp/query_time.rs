@@ -20,7 +20,15 @@ pub struct TimeRow {
     pub stats: SearchStats,
 }
 
-fn workload(d: &Dataset, model: &dyn wed::WedInstance, kind: FuncKind, qlen: usize, n: usize, ratio: f64, salt: u64) -> Vec<(Vec<Sym>, f64)> {
+fn workload(
+    d: &Dataset,
+    model: &dyn wed::WedInstance,
+    kind: FuncKind,
+    qlen: usize,
+    n: usize,
+    ratio: f64,
+    salt: u64,
+) -> Vec<(Vec<Sym>, f64)> {
     d.sample_queries(kind, qlen, n, salt)
         .into_iter()
         .map(|q| {
@@ -147,7 +155,9 @@ pub fn run_fig8(
 pub fn print_rows(title: &str, xlabel: &str, rows: &[TimeRow]) {
     println!("\n{title}");
     print_table(
-        &["Dataset", "Func", xlabel, "Method", "ms/query", "#cand", "#results"],
+        &[
+            "Dataset", "Func", xlabel, "Method", "ms/query", "#cand", "#results",
+        ],
         &rows
             .iter()
             .map(|r| {

@@ -17,7 +17,13 @@ pub struct TemporalRow {
     pub results: usize,
 }
 
-pub fn run(datasets: &[&str], selectivities: &[f64], qlen: usize, nq: usize, scale: Scale) -> Vec<TemporalRow> {
+pub fn run(
+    datasets: &[&str],
+    selectivities: &[f64],
+    qlen: usize,
+    nq: usize,
+    scale: Scale,
+) -> Vec<TemporalRow> {
     let mut rows = Vec::new();
     for which in datasets {
         let d = Dataset::load(which, scale);
@@ -61,7 +67,10 @@ pub fn run(datasets: &[&str], selectivities: &[f64], qlen: usize, nq: usize, sca
                     );
                     results += out.matches.len();
                 }
-                (t0.elapsed().as_secs_f64() * 1e3 / queries.len() as f64, results)
+                (
+                    t0.elapsed().as_secs_f64() * 1e3 / queries.len() as f64,
+                    results,
+                )
             };
             let (tf_ms, tf_results) = run_mode(true);
             let (no_tf_ms, no_tf_results) = run_mode(false);
@@ -108,6 +117,11 @@ mod tests {
         // At very low selectivity TF prunes almost everything; it should not
         // be substantially slower than no-TF (usually much faster).
         let low = &rows[0];
-        assert!(low.tf_ms <= low.no_tf_ms * 1.5 + 0.5, "TF {} vs no-TF {}", low.tf_ms, low.no_tf_ms);
+        assert!(
+            low.tf_ms <= low.no_tf_ms * 1.5 + 0.5,
+            "TF {} vs no-TF {}",
+            low.tf_ms,
+            low.no_tf_ms
+        );
     }
 }

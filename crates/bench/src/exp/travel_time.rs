@@ -17,8 +17,8 @@ use crate::data::{Dataset, FuncKind, Scale};
 use crate::table::print_table;
 use rnet::Point;
 use std::collections::HashMap;
-use trajsearch_core::{InvertedIndex, SearchEngine};
 use traj::TrajId;
+use trajsearch_core::{InvertedIndex, SearchEngine};
 use wed::nonwed::{dtw, lcrs, lcss, lors};
 use wed::{wed, Sym};
 
@@ -93,7 +93,11 @@ fn loocv_mse(truth: &HashMap<TrajId, f64>, sample: &HashMap<TrajId, f64>) -> Opt
         total += (est - omega) * (est - omega);
         n += 1;
     }
-    if n == 0 { None } else { Some(total / n as f64) }
+    if n == 0 {
+        None
+    } else {
+        Some(total / n as f64)
+    }
 }
 
 /// Finds sparse queries: subtrajectories whose exact-match count (distinct
@@ -147,7 +151,9 @@ fn wed_sample(
     let mut best: HashMap<TrajId, (f64, usize, usize)> = HashMap::new();
     for m in &out.matches {
         let len = m.end - m.start;
-        let e = best.entry(m.id).or_insert((f64::INFINITY, usize::MAX, usize::MAX));
+        let e = best
+            .entry(m.id)
+            .or_insert((f64::INFINITY, usize::MAX, usize::MAX));
         if m.dist < e.0 - 1e-12 || ((m.dist - e.0).abs() <= 1e-12 && len < e.1) {
             *e = (m.dist, len, m.start);
         }
@@ -155,7 +161,11 @@ fn wed_sample(
     let mut sample = HashMap::new();
     for (id, (_d, len, start)) in best {
         // Convert edge positions back to vertex positions for travel time.
-        let (s, t) = if func.uses_edges() { (start, start + len + 1) } else { (start, start + len) };
+        let (s, t) = if func.uses_edges() {
+            (start, start + len + 1)
+        } else {
+            (start, start + len)
+        };
         let traj = &d.store.get(id);
         let t = t.min(traj.len() - 1);
         sample.insert(id, traj.travel_time(s, t));
@@ -194,7 +204,11 @@ fn nonwed_sample(
         let p = traj.path();
         // Sliding windows around the query length.
         let mut best: Option<(f64, usize, usize)> = None; // (score, s, t)
-        let lens = [q.len().saturating_sub(q.len() / 4).max(2), q.len(), q.len() + q.len() / 4];
+        let lens = [
+            q.len().saturating_sub(q.len() / 4).max(2),
+            q.len(),
+            q.len() + q.len() / 4,
+        ];
         for &wl in &lens {
             if p.len() < wl {
                 continue;
@@ -245,7 +259,10 @@ fn nonwed_sample(
 pub fn run_fig4(qlen: usize, nqueries: usize, tau_ratios: &[f64], scale: Scale) -> Vec<Fig4Row> {
     let d = Dataset::load("beijing", scale);
     let truths = sparse_queries(&d, qlen, nqueries);
-    assert!(!truths.is_empty(), "no sparse queries found; increase scale");
+    assert!(
+        !truths.is_empty(),
+        "no sparse queries found; increase scale"
+    );
 
     // Engines per WED function (built once).
     let models: Vec<(FuncKind, Box<dyn wed::WedInstance>)> =
@@ -265,7 +282,9 @@ pub fn run_fig4(qlen: usize, nqueries: usize, tau_ratios: &[f64], scale: Scale) 
             let mut rel_sum = 0.0;
             let mut used = 0usize;
             for gt in &truths {
-                let Some(mse_exact) = loocv_mse(&gt.exact, &gt.exact) else { continue };
+                let Some(mse_exact) = loocv_mse(&gt.exact, &gt.exact) else {
+                    continue;
+                };
                 if mse_exact <= 0.0 {
                     continue;
                 }
@@ -333,13 +352,16 @@ pub fn run_table3(qlen: usize, nqueries: usize, ks: &[usize], scale: Scale) -> V
     assert!(!truths.is_empty());
     let surs = d.model(FuncKind::Surs);
     let (estore, alphabet) = d.store_for(FuncKind::Surs);
-    let engine: SearchEngine<'_, &dyn wed::WedInstance> = SearchEngine::new(&*surs, estore, alphabet);
+    let engine: SearchEngine<'_, &dyn wed::WedInstance> =
+        SearchEngine::new(&*surs, estore, alphabet);
 
     let mut rows = Vec::new();
     for &k in ks {
         let (mut sub_sum, mut whole_sum, mut used) = (0.0, 0.0, 0usize);
         for gt in &truths {
-            let Some(mse_exact) = loocv_mse(&gt.exact, &gt.exact) else { continue };
+            let Some(mse_exact) = loocv_mse(&gt.exact, &gt.exact) else {
+                continue;
+            };
             if mse_exact <= 0.0 {
                 continue;
             }
@@ -356,8 +378,10 @@ pub fn run_table3(qlen: usize, nqueries: usize, ks: &[usize], scale: Scale) -> V
                     *e = (m.dist, m.start, m.end);
                 }
             }
-            let mut ranked: Vec<(TrajId, f64, usize, usize)> =
-                best.into_iter().map(|(id, (dd, s, t))| (id, dd, s, t)).collect();
+            let mut ranked: Vec<(TrajId, f64, usize, usize)> = best
+                .into_iter()
+                .map(|(id, (dd, s, t))| (id, dd, s, t))
+                .collect();
             ranked.sort_by(|a, b| a.1.total_cmp(&b.1));
             let sub_sample: HashMap<TrajId, f64> = ranked
                 .iter()

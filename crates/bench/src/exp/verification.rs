@@ -30,7 +30,12 @@ pub fn run(scale: Scale) -> Vec<VerifRow> {
             })
             .collect();
         let (_, stats) = set.run_workload(MethodKind::OsfBt, &wl);
-        rows.push(VerifRow { setting, upr: stats.upr(), cmr: stats.cmr(), tur: stats.tur() });
+        rows.push(VerifRow {
+            setting,
+            upr: stats.upr(),
+            cmr: stats.cmr(),
+            tur: stats.tur(),
+        });
     };
 
     measure("default (r=0.1, |Q|=60, 100%)".into(), store, 60, 0.1);
@@ -53,7 +58,12 @@ pub fn print(rows: &[VerifRow]) {
         &rows
             .iter()
             .map(|r| {
-                vec![r.setting.clone(), fmt_pct(r.upr), fmt_pct(r.cmr), fmt_pct(r.tur)]
+                vec![
+                    r.setting.clone(),
+                    fmt_pct(r.upr),
+                    fmt_pct(r.cmr),
+                    fmt_pct(r.tur),
+                ]
             })
             .collect::<Vec<_>>(),
     );

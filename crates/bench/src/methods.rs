@@ -5,8 +5,8 @@
 
 use baselines::{plain_sw_search, Dison, QGramIndex, Torch};
 use std::time::{Duration, Instant};
-use trajsearch_core::{MatchResult, SearchEngine, SearchOptions, SearchStats, VerifyMode};
 use traj::TrajectoryStore;
+use trajsearch_core::{MatchResult, SearchEngine, SearchOptions, SearchStats, VerifyMode};
 use wed::{Sym, WedInstance};
 
 /// The eight methods of Figure 6.
@@ -103,11 +103,25 @@ impl<'a, M: WedInstance + Copy> MethodSet<'a, M> {
         let t0 = Instant::now();
         let (matches, stats) = match kind {
             MethodKind::OsfBt => {
-                let out = self.engine.search_opts(q, tau, SearchOptions { verify: VerifyMode::Trie, ..Default::default() });
+                let out = self.engine.search_opts(
+                    q,
+                    tau,
+                    SearchOptions {
+                        verify: VerifyMode::Trie,
+                        ..Default::default()
+                    },
+                );
                 (out.matches, out.stats)
             }
             MethodKind::OsfSw => {
-                let out = self.engine.search_opts(q, tau, SearchOptions { verify: VerifyMode::Sw, ..Default::default() });
+                let out = self.engine.search_opts(
+                    q,
+                    tau,
+                    SearchOptions {
+                        verify: VerifyMode::Sw,
+                        ..Default::default()
+                    },
+                );
                 (out.matches, out.stats)
             }
             MethodKind::DisonBt => self.dison_bt.search(q, tau),
@@ -117,11 +131,19 @@ impl<'a, M: WedInstance + Copy> MethodSet<'a, M> {
             MethodKind::QGram => self.qgram.search(q, tau),
             MethodKind::PlainSw => plain_sw_search(&self.model, self.store, q, tau),
         };
-        RunResult { elapsed: t0.elapsed(), matches, stats }
+        RunResult {
+            elapsed: t0.elapsed(),
+            matches,
+            stats,
+        }
     }
 
     /// Average per-query time (ms) and merged stats over a workload.
-    pub fn run_workload(&self, kind: MethodKind, queries: &[(Vec<Sym>, f64)]) -> (f64, SearchStats) {
+    pub fn run_workload(
+        &self,
+        kind: MethodKind,
+        queries: &[(Vec<Sym>, f64)],
+    ) -> (f64, SearchStats) {
         let mut total = Duration::ZERO;
         let mut stats = SearchStats::default();
         for (q, tau) in queries {
@@ -152,9 +174,18 @@ mod tests {
                 for m in MethodKind::ALL {
                     let r = set.run(m, &q, tau);
                     let got: Vec<_> = r.matches.iter().map(|x| (x.id, x.start, x.end)).collect();
-                    let want: Vec<_> =
-                        reference.matches.iter().map(|x| (x.id, x.start, x.end)).collect();
-                    assert_eq!(got, want, "{} vs Plain-SW ({}, tau={tau})", m.name(), kind.name());
+                    let want: Vec<_> = reference
+                        .matches
+                        .iter()
+                        .map(|x| (x.id, x.start, x.end))
+                        .collect();
+                    assert_eq!(
+                        got,
+                        want,
+                        "{} vs Plain-SW ({}, tau={tau})",
+                        m.name(),
+                        kind.name()
+                    );
                 }
             }
         }

@@ -58,9 +58,17 @@ impl FilterPlan {
                     c_total += items[i].c;
                     chosen.push((pos, sym, memo[&sym].0.clone()));
                 }
-                FilterPlan { chosen, c_total, feasible: true }
+                FilterPlan {
+                    chosen,
+                    c_total,
+                    feasible: true,
+                }
             }
-            Selection::Infeasible => FilterPlan { chosen: Vec::new(), c_total: 0.0, feasible: false },
+            Selection::Infeasible => FilterPlan {
+                chosen: Vec::new(),
+                c_total: 0.0,
+                feasible: false,
+            },
         }
     }
 
@@ -71,7 +79,11 @@ impl FilterPlan {
         for (pos, _sym, nbrs) in &self.chosen {
             for &b in nbrs {
                 for &(id, j) in index.postings(b) {
-                    out.push(Candidate { id, j, iq: *pos as u32 });
+                    out.push(Candidate {
+                        id,
+                        j,
+                        iq: *pos as u32,
+                    });
                 }
             }
         }
@@ -97,7 +109,11 @@ impl FilterPlan {
             for &b in nbrs {
                 for &(_dep, (id, j)) in index.postings_departing_by(b, interval.end) {
                     if index.span(id).1 >= interval.start {
-                        out.push(Candidate { id, j, iq: *pos as u32 });
+                        out.push(Candidate {
+                            id,
+                            j,
+                            iq: *pos as u32,
+                        });
                     }
                 }
             }
@@ -179,7 +195,14 @@ mod tests {
         let plan = FilterPlan::build(&Lev, &idx, &[3, 3], 2.0);
         assert!(plan.feasible);
         let positions: Vec<usize> = plan.chosen.iter().map(|&(p, _, _)| p).collect();
-        assert_eq!({ let mut p = positions.clone(); p.sort(); p }, vec![0, 1]);
+        assert_eq!(
+            {
+                let mut p = positions.clone();
+                p.sort();
+                p
+            },
+            vec![0, 1]
+        );
         // Candidates are generated for each position separately.
         let cands = plan.candidates(&idx);
         assert_eq!(cands.len(), 2);

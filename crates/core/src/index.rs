@@ -49,7 +49,13 @@ impl InvertedIndex {
             departures.push(t.departure());
             arrivals.push(t.arrival());
         }
-        InvertedIndex { postings, departures, arrivals, total_postings: total, dep_postings: None }
+        InvertedIndex {
+            postings,
+            departures,
+            arrivals,
+            total_postings: total,
+            dep_postings: None,
+        }
     }
 
     /// Appends one trajectory's postings (§4.1: "we can update the index by
@@ -113,7 +119,10 @@ impl InvertedIndex {
     /// # Panics
     /// Panics if temporal postings were not enabled.
     pub fn postings_departing_by(&self, q: Sym, t_max: f64) -> &[(f64, Posting)] {
-        let list = &self.dep_postings.as_ref().expect("temporal postings not enabled")[q as usize];
+        let list = &self
+            .dep_postings
+            .as_ref()
+            .expect("temporal postings not enabled")[q as usize];
         let cut = list.partition_point(|&(dep, _)| dep <= t_max);
         &list[..cut]
     }
@@ -202,7 +211,11 @@ mod tests {
         idx.append(id, &extra);
         let rebuilt = InvertedIndex::build(&s, 4);
         for q in 0..4u32 {
-            assert_eq!(idx.postings(q), rebuilt.postings(q), "postings of {q} diverged");
+            assert_eq!(
+                idx.postings(q),
+                rebuilt.postings(q),
+                "postings of {q} diverged"
+            );
         }
         assert_eq!(idx.total_postings(), rebuilt.total_postings());
         assert_eq!(idx.span(id), (20.0, 22.0));

@@ -138,7 +138,9 @@ mod tests {
         // optimal is {A} with objective 5; constant-c does not hold but the
         // greedy finds a valid τ-subsequence with objective ≤ 2×5.
         let its = items(&[3.0, 1.0, 2.0], &[5.0, 10.0, 3.0]);
-        let Selection::Chosen(sel) = min_cand(&its, 3.0) else { panic!() };
+        let Selection::Chosen(sel) = min_cand(&its, 3.0) else {
+            panic!()
+        };
         let c: f64 = sel.iter().map(|&i| its[i].c).sum();
         assert!(c >= 3.0);
         assert!(objective(&its, &sel) <= 2.0 * 5.0);
@@ -153,7 +155,9 @@ mod tests {
     #[test]
     fn zero_cost_items_are_ignored() {
         let its = items(&[0.0, 1.0], &[0.0, 7.0]);
-        let Selection::Chosen(sel) = min_cand(&its, 1.0) else { panic!() };
+        let Selection::Chosen(sel) = min_cand(&its, 1.0) else {
+            panic!()
+        };
         assert_eq!(sel, vec![1]);
         // Only zero-cost items -> infeasible.
         let its2 = items(&[0.0, 0.0], &[1.0, 1.0]);
@@ -165,7 +169,9 @@ mod tests {
         // Proposition 4: with constant c the algorithm returns the optimum —
         // the top-k least-frequent positions.
         let its = items(&[1.0; 6], &[9.0, 2.0, 7.0, 1.0, 5.0, 3.0]);
-        let Selection::Chosen(mut sel) = min_cand(&its, 3.0) else { panic!() };
+        let Selection::Chosen(mut sel) = min_cand(&its, 3.0) else {
+            panic!()
+        };
         sel.sort();
         assert_eq!(sel, vec![1, 3, 5]); // N = 2, 1, 3
         let (_, opt) = min_cand_exhaustive(&its, 3.0).unwrap();

@@ -58,19 +58,22 @@ impl ResultSet {
         let mut v: Vec<MatchResult> = self
             .map
             .into_iter()
-            .map(|((id, s, t), dist)| MatchResult { id, start: s as usize, end: t as usize, dist })
+            .map(|((id, s, t), dist)| MatchResult {
+                id,
+                start: s as usize,
+                end: t as usize,
+                dist,
+            })
             .collect();
-        v.sort_by(|a, b| {
-            (a.id, a.start, a.end)
-                .cmp(&(b.id, b.start, b.end))
-        });
+        v.sort_by_key(|a| (a.id, a.start, a.end));
         v
     }
 
     /// Filters in place by a predicate on the triple (used by temporal
     /// post-filtering).
     pub fn retain(&mut self, mut keep: impl FnMut(TrajId, usize, usize) -> bool) {
-        self.map.retain(|&(id, s, t), _| keep(id, s as usize, t as usize));
+        self.map
+            .retain(|&(id, s, t), _| keep(id, s as usize, t as usize));
     }
 }
 

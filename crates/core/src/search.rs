@@ -59,17 +59,31 @@ impl<'a, M: WedInstance> SearchEngine<'a, M> {
     pub fn new(model: M, store: &'a TrajectoryStore, alphabet_size: usize) -> Self {
         let t0 = Instant::now();
         let index = InvertedIndex::build(store, alphabet_size);
-        SearchEngine { model, store, index, build_time: t0.elapsed() }
+        SearchEngine {
+            model,
+            store,
+            index,
+            build_time: t0.elapsed(),
+        }
     }
 
     /// Like [`new`](SearchEngine::new), additionally building the
     /// by-departure postings ordering so that
     /// [`SearchOptions::use_temporal_postings`] can take effect.
-    pub fn with_temporal_postings(model: M, store: &'a TrajectoryStore, alphabet_size: usize) -> Self {
+    pub fn with_temporal_postings(
+        model: M,
+        store: &'a TrajectoryStore,
+        alphabet_size: usize,
+    ) -> Self {
         let t0 = Instant::now();
         let mut index = InvertedIndex::build(store, alphabet_size);
         index.enable_temporal_postings();
-        SearchEngine { model, store, index, build_time: t0.elapsed() }
+        SearchEngine {
+            model,
+            store,
+            index,
+            build_time: t0.elapsed(),
+        }
     }
 
     pub fn index(&self) -> &InvertedIndex {
@@ -119,7 +133,10 @@ impl<'a, M: WedInstance> SearchEngine<'a, M> {
         // Phase 2: index lookup (binary-searched when the §4.3 temporal
         // postings are available and requested).
         let t1 = Instant::now();
-        let candidates = match (&opts.temporal, opts.use_temporal_postings && self.index.has_temporal_postings()) {
+        let candidates = match (
+            &opts.temporal,
+            opts.use_temporal_postings && self.index.has_temporal_postings(),
+        ) {
             (Some(c), true) => plan.candidates_temporal(&self.index, c),
             _ => plan.candidates(&self.index),
         };
@@ -182,11 +199,11 @@ impl<'a, M: WedInstance> SearchEngine<'a, M> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rnet::{CityParams, NetworkKind};
     use std::sync::Arc;
     use traj::Trajectory;
     use wed::models::{Erp, Lev};
     use wed::wed;
-    use rnet::{CityParams, NetworkKind};
 
     fn toy_store() -> TrajectoryStore {
         let mut s = TrajectoryStore::new();
@@ -224,7 +241,10 @@ mod tests {
                 let got = engine.search_opts(
                     &q,
                     tau,
-                    SearchOptions { verify: mode, ..Default::default() },
+                    SearchOptions {
+                        verify: mode,
+                        ..Default::default()
+                    },
                 );
                 let keys: Vec<_> = got.matches.iter().map(|m| (m.id, m.start, m.end)).collect();
                 assert_eq!(keys, want, "tau={tau} mode={mode:?}");

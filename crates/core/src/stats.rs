@@ -78,7 +78,11 @@ impl SearchStats {
 }
 
 fn ratio(num: u64, den: u64) -> f64 {
-    if den == 0 { 0.0 } else { num as f64 / den as f64 }
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
 }
 
 #[cfg(test)]
@@ -108,8 +112,17 @@ mod tests {
 
     #[test]
     fn merge_accumulates() {
-        let mut a = SearchStats { candidates: 3, results: 1, ..Default::default() };
-        let b = SearchStats { candidates: 4, results: 2, fallback: true, ..Default::default() };
+        let mut a = SearchStats {
+            candidates: 3,
+            results: 1,
+            ..Default::default()
+        };
+        let b = SearchStats {
+            candidates: 4,
+            results: 2,
+            fallback: true,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.candidates, 7);
         assert_eq!(a.results, 3);

@@ -54,11 +54,17 @@ pub struct TemporalConstraint {
 
 impl TemporalConstraint {
     pub fn overlaps(interval: TimeInterval) -> Self {
-        TemporalConstraint { interval, predicate: TemporalPredicate::Overlaps }
+        TemporalConstraint {
+            interval,
+            predicate: TemporalPredicate::Overlaps,
+        }
     }
 
     pub fn within(interval: TimeInterval) -> Self {
-        TemporalConstraint { interval, predicate: TemporalPredicate::Within }
+        TemporalConstraint {
+            interval,
+            predicate: TemporalPredicate::Within,
+        }
     }
 
     /// Exact check on a matched span `[a, b]`.

@@ -154,9 +154,24 @@ mod tests {
     #[test]
     fn per_trajectory_best_tiebreaks() {
         let ms = [
-            MatchResult { id: 1, start: 2, end: 5, dist: 1.0 },
-            MatchResult { id: 1, start: 3, end: 5, dist: 1.0 }, // shorter
-            MatchResult { id: 1, start: 0, end: 2, dist: 1.0 }, // same len, earlier
+            MatchResult {
+                id: 1,
+                start: 2,
+                end: 5,
+                dist: 1.0,
+            },
+            MatchResult {
+                id: 1,
+                start: 3,
+                end: 5,
+                dist: 1.0,
+            }, // shorter
+            MatchResult {
+                id: 1,
+                start: 0,
+                end: 2,
+                dist: 1.0,
+            }, // same len, earlier
         ];
         let best = per_trajectory_best(&ms);
         let b = best[&1];

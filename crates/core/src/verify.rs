@@ -78,7 +78,11 @@ impl DpTrie {
         let min = col.iter().cloned().fold(f64::INFINITY, f64::min);
         DpTrie {
             qd,
-            nodes: vec![Node { col: col.into_boxed_slice(), min, children: Vec::new() }],
+            nodes: vec![Node {
+                col: col.into_boxed_slice(),
+                min,
+                children: Vec::new(),
+            }],
         }
     }
 
@@ -94,7 +98,11 @@ impl DpTrie {
         let col = step_dp(model, &self.qd, sym, &self.nodes[node as usize].col);
         let min = col.iter().cloned().fold(f64::INFINITY, f64::min);
         let id = self.nodes.len() as u32;
-        self.nodes.push(Node { col: col.into_boxed_slice(), min, children: Vec::new() });
+        self.nodes.push(Node {
+            col: col.into_boxed_slice(),
+            min,
+            children: Vec::new(),
+        });
         self.nodes[node as usize].children.push((sym, id));
         (id, true)
     }
@@ -134,7 +142,13 @@ pub struct Verifier<'a, M: CostModel> {
 
 impl<'a, M: CostModel> Verifier<'a, M> {
     pub fn new(model: &'a M, q: &'a [Sym], tau: f64, mode: VerifyMode) -> Self {
-        Verifier { model, q, tau, mode, tries: std::collections::HashMap::new() }
+        Verifier {
+            model,
+            q,
+            tau,
+            mode,
+            tries: std::collections::HashMap::new(),
+        }
     }
 
     /// Algorithm 4 (VerifyCandidate): verify one candidate, pushing all
@@ -190,13 +204,8 @@ impl<'a, M: CostModel> Verifier<'a, M> {
                     tau_p,
                     stats,
                 );
-                let ef = prefix_weds_local(
-                    self.model,
-                    &qf,
-                    path[j + 1..].iter().cloned(),
-                    tau_p,
-                    stats,
-                );
+                let ef =
+                    prefix_weds_local(self.model, &qf, path[j + 1..].iter().cloned(), tau_p, stats);
                 (eb, ef)
             }
             VerifyMode::Sw => unreachable!("SW mode is handled per trajectory"),
@@ -366,7 +375,11 @@ mod tests {
             for (j, &p) in t.path().iter().enumerate() {
                 for (iq, &qs) in q.iter().enumerate() {
                     if p == qs {
-                        c.push(Candidate { id, j: j as u32, iq: iq as u32 });
+                        c.push(Candidate {
+                            id,
+                            j: j as u32,
+                            iq: iq as u32,
+                        });
                     }
                 }
             }

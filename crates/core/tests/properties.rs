@@ -46,11 +46,23 @@ fn check_engine<M: wed::WedInstance + Copy>(
     let want = brute(&m, store, q, tau);
     let engine = SearchEngine::new(m, store, alphabet);
     for mode in [VerifyMode::Trie, VerifyMode::Local, VerifyMode::Sw] {
-        let got = engine.search_opts(q, tau, SearchOptions { verify: mode, ..Default::default() });
+        let got = engine.search_opts(
+            q,
+            tau,
+            SearchOptions {
+                verify: mode,
+                ..Default::default()
+            },
+        );
         prop_assert_eq!(got.matches.len(), want.len(), "mode {:?}", mode);
         for (g, w) in got.matches.iter().zip(&want) {
             prop_assert_eq!((g.id, g.start, g.end), (w.0, w.1, w.2));
-            prop_assert!((g.dist - w.3).abs() < 1e-6, "distance {} vs {}", g.dist, w.3);
+            prop_assert!(
+                (g.dist - w.3).abs() < 1e-6,
+                "distance {} vs {}",
+                g.dist,
+                w.3
+            );
         }
     }
     Ok(())

@@ -112,7 +112,10 @@ pub fn bounded(g: &RoadNetwork, src: VertexId, radius: f64, mode: Mode) -> Bound
             }
         });
     }
-    BoundedResult { within, next_beyond }
+    BoundedResult {
+        within,
+        next_beyond,
+    }
 }
 
 /// Point-to-point shortest path with early termination; returns the vertex
@@ -243,7 +246,10 @@ mod tests {
     #[test]
     fn shortest_path_trivial_and_unreachable() {
         let g = line_with_shortcut();
-        assert_eq!(shortest_path(&g, 1, 1, Mode::DirectedLength).unwrap(), (vec![1], 0.0));
+        assert_eq!(
+            shortest_path(&g, 1, 1, Mode::DirectedLength).unwrap(),
+            (vec![1], 0.0)
+        );
         let mut b = GraphBuilder::new();
         b.add_vertex(Point::new(0.0, 0.0));
         b.add_vertex(Point::new(1.0, 0.0));

@@ -61,22 +61,38 @@ pub struct CityParams {
 impl CityParams {
     /// ~64-vertex network for unit tests.
     pub fn tiny(kind: NetworkKind) -> Self {
-        CityParams { width: 8, height: 8, ..Self::base(kind) }
+        CityParams {
+            width: 8,
+            height: 8,
+            ..Self::base(kind)
+        }
     }
 
     /// ~1k-vertex network for integration tests and examples.
     pub fn small(kind: NetworkKind) -> Self {
-        CityParams { width: 32, height: 32, ..Self::base(kind) }
+        CityParams {
+            width: 32,
+            height: 32,
+            ..Self::base(kind)
+        }
     }
 
     /// ~4k-vertex network for experiments at default scale.
     pub fn medium(kind: NetworkKind) -> Self {
-        CityParams { width: 64, height: 64, ..Self::base(kind) }
+        CityParams {
+            width: 64,
+            height: 64,
+            ..Self::base(kind)
+        }
     }
 
     /// ~16k-vertex network for larger experiment scales.
     pub fn large(kind: NetworkKind) -> Self {
-        CityParams { width: 128, height: 128, ..Self::base(kind) }
+        CityParams {
+            width: 128,
+            height: 128,
+            ..Self::base(kind)
+        }
     }
 
     fn base(kind: NetworkKind) -> Self {
@@ -109,7 +125,10 @@ impl CityParams {
 
     /// Generates the network (deterministic in the parameters).
     pub fn generate(&self) -> RoadNetwork {
-        assert!(self.width >= 2 && self.height >= 2, "network must have at least 2x2 cells");
+        assert!(
+            self.width >= 2 && self.height >= 2,
+            "network must have at least 2x2 cells"
+        );
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
         let city = self.kind == NetworkKind::City;
 
@@ -157,14 +176,18 @@ impl CityParams {
         };
 
         let add_street = |b: &mut GraphBuilder,
-                              rng: &mut ChaCha8Rng,
-                              u: u32,
-                              v: u32,
-                              pu: Point,
-                              pv: Point,
-                              arterial: bool| {
+                          rng: &mut ChaCha8Rng,
+                          u: u32,
+                          v: u32,
+                          pu: Point,
+                          pv: Point,
+                          arterial: bool| {
             let len = pu.dist(&pv).max(1.0);
-            let speed = if arterial { arterial_speed } else { street_speed };
+            let speed = if arterial {
+                arterial_speed
+            } else {
+                street_speed
+            };
             let tt = len / speed;
             if city && rng.gen::<f64>() < self.oneway {
                 if rng.gen::<bool>() {
@@ -187,21 +210,39 @@ impl CityParams {
                 if c + 1 < self.width {
                     let e = cell + 1;
                     if vid[e] != u32::MAX {
-                        add_street(&mut b, &mut rng, vid[cell], vid[e], pts[cell], pts[e], is_arterial(r, c, true));
+                        add_street(
+                            &mut b,
+                            &mut rng,
+                            vid[cell],
+                            vid[e],
+                            pts[cell],
+                            pts[e],
+                            is_arterial(r, c, true),
+                        );
                     }
                 }
                 // South neighbor.
                 if r + 1 < self.height {
                     let s = cell + self.width;
                     if vid[s] != u32::MAX {
-                        add_street(&mut b, &mut rng, vid[cell], vid[s], pts[cell], pts[s], is_arterial(r, c, false));
+                        add_street(
+                            &mut b,
+                            &mut rng,
+                            vid[cell],
+                            vid[s],
+                            pts[cell],
+                            pts[s],
+                            is_arterial(r, c, false),
+                        );
                     }
                 }
                 // Diagonal shortcut.
                 if city && c + 1 < self.width && r + 1 < self.height {
                     let d = cell + self.width + 1;
                     if vid[d] != u32::MAX && rng.gen::<f64>() < self.diagonal {
-                        add_street(&mut b, &mut rng, vid[cell], vid[d], pts[cell], pts[d], false);
+                        add_street(
+                            &mut b, &mut rng, vid[cell], vid[d], pts[cell], pts[d], false,
+                        );
                     }
                 }
             }
@@ -226,18 +267,30 @@ mod tests {
         // Bidirectional grid: 2 * (2*8*7) = 224 directed edges.
         assert_eq!(g.num_edges(), 224);
         // Interior vertices have out-degree 4.
-        let deg: Vec<usize> = (0..g.num_vertices() as u32).map(|v| g.out_degree(v)).collect();
+        let deg: Vec<usize> = (0..g.num_vertices() as u32)
+            .map(|v| g.out_degree(v))
+            .collect();
         assert!(deg.iter().all(|&d| (2..=4).contains(&d)));
     }
 
     #[test]
     fn city_is_strongly_connected_and_sparse() {
         let g = CityParams::small(NetworkKind::City).seed(42).generate();
-        assert!(g.num_vertices() > 500, "too much of the grid was pruned: {}", g.num_vertices());
+        assert!(
+            g.num_vertices() > 500,
+            "too much of the grid was pruned: {}",
+            g.num_vertices()
+        );
         let keep = g.largest_scc();
-        assert!(keep.iter().all(|&k| k), "generator must return a single SCC");
+        assert!(
+            keep.iter().all(|&k| k),
+            "generator must return a single SCC"
+        );
         let avg = g.avg_out_degree();
-        assert!((1.5..=4.2).contains(&avg), "avg out-degree {avg} outside road-network range");
+        assert!(
+            (1.5..=4.2).contains(&avg),
+            "avg out-degree {avg} outside road-network range"
+        );
     }
 
     #[test]
@@ -276,6 +329,9 @@ mod tests {
             fast = fast.min(speed);
             slow = slow.max(speed);
         }
-        assert!(slow > fast * 1.5, "expected distinct speed classes: {fast} vs {slow}");
+        assert!(
+            slow > fast * 1.5,
+            "expected distinct speed classes: {fast} vs {slow}"
+        );
     }
 }

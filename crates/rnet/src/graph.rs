@@ -48,13 +48,36 @@ impl GraphBuilder {
     /// # Panics
     /// Panics if an endpoint is out of range or the weight is not positive
     /// and finite (the filtering principle of §3.1 relies on positive costs).
-    pub fn add_edge(&mut self, from: VertexId, to: VertexId, length: f64, travel_time: f64) -> EdgeId {
-        assert!((from as usize) < self.coords.len(), "edge source out of range");
-        assert!((to as usize) < self.coords.len(), "edge target out of range");
-        assert!(length > 0.0 && length.is_finite(), "edge length must be positive");
-        assert!(travel_time > 0.0 && travel_time.is_finite(), "travel time must be positive");
+    pub fn add_edge(
+        &mut self,
+        from: VertexId,
+        to: VertexId,
+        length: f64,
+        travel_time: f64,
+    ) -> EdgeId {
+        assert!(
+            (from as usize) < self.coords.len(),
+            "edge source out of range"
+        );
+        assert!(
+            (to as usize) < self.coords.len(),
+            "edge target out of range"
+        );
+        assert!(
+            length > 0.0 && length.is_finite(),
+            "edge length must be positive"
+        );
+        assert!(
+            travel_time > 0.0 && travel_time.is_finite(),
+            "travel time must be positive"
+        );
         let id = self.edges.len() as EdgeId;
-        self.edges.push(Edge { from, to, length, travel_time });
+        self.edges.push(Edge {
+            from,
+            to,
+            length,
+            travel_time,
+        });
         id
     }
 
@@ -119,7 +142,15 @@ impl RoadNetwork {
             in_cursor[e.to as usize] += 1;
             edge_lookup.insert((e.from, e.to), eid);
         }
-        RoadNetwork { coords, edges, out_off, out_list, in_off, in_list, edge_lookup }
+        RoadNetwork {
+            coords,
+            edges,
+            out_off,
+            out_list,
+            in_off,
+            in_list,
+            edge_lookup,
+        }
     }
 
     pub fn num_vertices(&self) -> usize {
@@ -148,13 +179,19 @@ impl RoadNetwork {
 
     /// Out-neighbors of `v` as `(target, edge id)` pairs.
     pub fn out_neighbors(&self, v: VertexId) -> &[(VertexId, EdgeId)] {
-        let (s, e) = (self.out_off[v as usize] as usize, self.out_off[v as usize + 1] as usize);
+        let (s, e) = (
+            self.out_off[v as usize] as usize,
+            self.out_off[v as usize + 1] as usize,
+        );
         &self.out_list[s..e]
     }
 
     /// In-neighbors of `v` as `(source, edge id)` pairs.
     pub fn in_neighbors(&self, v: VertexId) -> &[(VertexId, EdgeId)] {
-        let (s, e) = (self.in_off[v as usize] as usize, self.in_off[v as usize + 1] as usize);
+        let (s, e) = (
+            self.in_off[v as usize] as usize,
+            self.in_off[v as usize + 1] as usize,
+        );
         &self.in_list[s..e]
     }
 
@@ -179,13 +216,18 @@ impl RoadNetwork {
     /// Checks that a vertex sequence is a path on the network (consecutive
     /// vertices joined by an edge).
     pub fn is_path(&self, vertices: &[VertexId]) -> bool {
-        vertices.windows(2).all(|w| self.find_edge(w[0], w[1]).is_some())
+        vertices
+            .windows(2)
+            .all(|w| self.find_edge(w[0], w[1]).is_some())
     }
 
     /// Converts a vertex path to the corresponding edge string (§2.1),
     /// returning `None` if the sequence is not a path.
     pub fn path_to_edges(&self, vertices: &[VertexId]) -> Option<Vec<EdgeId>> {
-        vertices.windows(2).map(|w| self.find_edge(w[0], w[1])).collect()
+        vertices
+            .windows(2)
+            .map(|w| self.find_edge(w[0], w[1]))
+            .collect()
     }
 
     /// Converts an edge string back to its vertex path; returns `None` if the
@@ -239,7 +281,11 @@ impl RoadNetwork {
         let mut edges = Vec::new();
         for e in &self.edges {
             if let (Some(f), Some(t)) = (remap[e.from as usize], remap[e.to as usize]) {
-                edges.push(Edge { from: f, to: t, ..*e });
+                edges.push(Edge {
+                    from: f,
+                    to: t,
+                    ..*e
+                });
             }
         }
         (RoadNetwork::from_parts(coords, edges), remap)
@@ -334,7 +380,14 @@ mod tests {
         outs.sort();
         assert_eq!(outs, vec![1, 2]);
         let ins: Vec<VertexId> = g.in_neighbors(3).iter().map(|&(v, _)| v).collect();
-        assert_eq!({ let mut v = ins; v.sort(); v }, vec![1, 2]);
+        assert_eq!(
+            {
+                let mut v = ins;
+                v.sort();
+                v
+            },
+            vec![1, 2]
+        );
     }
 
     #[test]

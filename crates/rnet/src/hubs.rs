@@ -189,6 +189,9 @@ mod tests {
         let hl = HubLabels::build(&g);
         assert!(hl.avg_label_size() >= 1.0);
         assert!(hl.size_bytes() > 0);
-        assert_eq!(hl.total_entries(), (hl.avg_label_size() * g.num_vertices() as f64).round() as usize);
+        assert_eq!(
+            hl.total_entries(),
+            (hl.avg_label_size() * g.num_vertices() as f64).round() as usize
+        );
     }
 }

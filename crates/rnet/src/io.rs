@@ -76,12 +76,18 @@ pub fn parse_network(text: &str) -> Result<RoadNetwork, ParseError> {
                     ));
                 }
                 if !(len > 0.0 && len.is_finite() && tt > 0.0 && tt.is_finite()) {
-                    return Err(ParseError::Malformed(lineno, "non-positive edge weight".into()));
+                    return Err(ParseError::Malformed(
+                        lineno,
+                        "non-positive edge weight".into(),
+                    ));
                 }
                 b.add_edge(from, to, len, tt);
             }
             Some(other) => {
-                return Err(ParseError::Malformed(lineno, format!("unknown record type {other:?}")))
+                return Err(ParseError::Malformed(
+                    lineno,
+                    format!("unknown record type {other:?}"),
+                ))
             }
             None => unreachable!("blank lines are skipped"),
         }

@@ -46,7 +46,15 @@ impl KdTree {
         out
     }
 
-    fn range_rec(&self, lo: usize, hi: usize, axis: usize, c: Point, r2: f64, out: &mut Vec<VertexId>) {
+    fn range_rec(
+        &self,
+        lo: usize,
+        hi: usize,
+        axis: usize,
+        c: Point,
+        r2: f64,
+        out: &mut Vec<VertexId>,
+    ) {
         if lo >= hi {
             return;
         }
@@ -60,7 +68,11 @@ impl KdTree {
         let next = (axis + 1) % 2;
         // Search the side containing the query first, the other side only if
         // the splitting plane is within range.
-        let (near, far) = if delta <= 0.0 { ((lo, mid), (mid + 1, hi)) } else { ((mid + 1, hi), (lo, mid)) };
+        let (near, far) = if delta <= 0.0 {
+            ((lo, mid), (mid + 1, hi))
+        } else {
+            ((mid + 1, hi), (lo, mid))
+        };
         self.range_rec(near.0, near.1, next, c, r2, out);
         if delta * delta <= r2 {
             self.range_rec(far.0, far.1, next, c, r2, out);
@@ -82,10 +94,16 @@ impl KdTree {
     }
 
     /// Nearest point among those whose id passes `keep`.
-    pub fn nearest_filtered(&self, center: Point, keep: impl Fn(VertexId) -> bool) -> Option<(VertexId, f64)> {
+    pub fn nearest_filtered(
+        &self,
+        center: Point,
+        keep: impl Fn(VertexId) -> bool,
+    ) -> Option<(VertexId, f64)> {
         let mut best: Option<(VertexId, f64)> = None;
         if !self.is_empty() {
-            self.nearest_rec(0, self.nodes.len(), 0, center, &mut best, &|id, _p| keep(id));
+            self.nearest_rec(0, self.nodes.len(), 0, center, &mut best, &|id, _p| {
+                keep(id)
+            });
         }
         best.map(|(id, d2)| (id, d2.sqrt()))
     }
@@ -98,7 +116,9 @@ impl KdTree {
         let mut best: Option<(VertexId, f64)> = None;
         if !self.is_empty() {
             let c = center;
-            self.nearest_rec(0, self.nodes.len(), 0, center, &mut best, &move |_id, p| pred(p, &c));
+            self.nearest_rec(0, self.nodes.len(), 0, center, &mut best, &move |_id, p| {
+                pred(p, &c)
+            });
         }
         best.map(|(id, d2)| (id, d2.sqrt()))
     }
@@ -124,7 +144,11 @@ impl KdTree {
         }
         let delta = if axis == 0 { c.x - p.x } else { c.y - p.y };
         let next = (axis + 1) % 2;
-        let (near, far) = if delta <= 0.0 { ((lo, mid), (mid + 1, hi)) } else { ((mid + 1, hi), (lo, mid)) };
+        let (near, far) = if delta <= 0.0 {
+            ((lo, mid), (mid + 1, hi))
+        } else {
+            ((mid + 1, hi), (lo, mid))
+        };
         self.nearest_rec(near.0, near.1, next, c, best, keep);
         // The far side can only help if the splitting plane is closer than
         // the current best (or no best exists yet, e.g. all near-side points
@@ -142,7 +166,11 @@ fn build_rec(points: &[Point], nodes: &mut [u32], axis: usize) {
     let mid = nodes.len() / 2;
     nodes.select_nth_unstable_by(mid, |&a, &b| {
         let (pa, pb) = (points[a as usize], points[b as usize]);
-        let (ka, kb) = if axis == 0 { (pa.x, pb.x) } else { (pa.y, pb.y) };
+        let (ka, kb) = if axis == 0 {
+            (pa.x, pb.x)
+        } else {
+            (pa.y, pb.y)
+        };
         ka.total_cmp(&kb)
     });
     let (left, rest) = nodes.split_at_mut(mid);
@@ -199,7 +227,10 @@ mod tests {
             let c = Point::new(rng.gen_range(-110.0..110.0), rng.gen_range(-110.0..110.0));
             let (got, gd) = t.nearest(c).unwrap();
             let bd = pts.iter().map(|p| p.dist(&c)).fold(f64::INFINITY, f64::min);
-            assert!((gd - bd).abs() < 1e-9, "nearest dist mismatch: {gd} vs {bd}");
+            assert!(
+                (gd - bd).abs() < 1e-9,
+                "nearest dist mismatch: {gd} vs {bd}"
+            );
             assert!((pts[got as usize].dist(&c) - bd).abs() < 1e-9);
         }
     }
@@ -246,6 +277,7 @@ mod tests {
         let mut r = t.range(Point::new(0.0, 0.0), 1.0);
         r.sort();
         assert_eq!(r, vec![0, 1]); // distance exactly 1.0 is inside
+
         // Point at exactly r=1.0 is NOT "outside".
         assert_eq!(t.nearest_outside(Point::new(0.0, 0.0), 1.0), None);
         let (id, d) = t.nearest_outside(Point::new(0.0, 0.0), 0.5).unwrap();
@@ -254,9 +286,15 @@ mod tests {
 
     #[test]
     fn nearest_filtered_skips_excluded_ids() {
-        let pts = vec![Point::new(0.0, 0.0), Point::new(2.0, 0.0), Point::new(5.0, 0.0)];
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(5.0, 0.0),
+        ];
         let t = KdTree::build(&pts);
-        let (id, d) = t.nearest_filtered(Point::new(0.1, 0.0), |v| v != 0).unwrap();
+        let (id, d) = t
+            .nearest_filtered(Point::new(0.1, 0.0), |v| v != 0)
+            .unwrap();
         assert_eq!(id, 1);
         assert!((d - 1.9).abs() < 1e-12);
     }

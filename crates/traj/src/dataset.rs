@@ -29,7 +29,9 @@ impl TrajectoryStore {
     }
 
     pub fn with_capacity(n: usize) -> Self {
-        TrajectoryStore { trajs: Vec::with_capacity(n) }
+        TrajectoryStore {
+            trajs: Vec::with_capacity(n),
+        }
     }
 
     /// Appends a trajectory, returning its id.
@@ -58,7 +60,9 @@ impl TrajectoryStore {
     /// A store containing only the first `n` trajectories (used by the
     /// dataset-size sweeps of Figures 8 and 10).
     pub fn prefix(&self, n: usize) -> TrajectoryStore {
-        TrajectoryStore { trajs: self.trajs[..n.min(self.trajs.len())].to_vec() }
+        TrajectoryStore {
+            trajs: self.trajs[..n.min(self.trajs.len())].to_vec(),
+        }
     }
 
     /// Symbol frequencies `n(q)` over the whole dataset, counting every
@@ -82,7 +86,11 @@ impl TrajectoryStore {
         let max = self.trajs.iter().map(|t| t.len()).max().unwrap_or(0);
         DatasetStats {
             num_trajectories: self.trajs.len(),
-            avg_length: if self.trajs.is_empty() { 0.0 } else { total as f64 / self.trajs.len() as f64 },
+            avg_length: if self.trajs.is_empty() {
+                0.0
+            } else {
+                total as f64 / self.trajs.len() as f64
+            },
             min_length: min,
             max_length: max,
             total_symbols: total,
@@ -92,7 +100,9 @@ impl TrajectoryStore {
 
 impl FromIterator<Trajectory> for TrajectoryStore {
     fn from_iter<I: IntoIterator<Item = Trajectory>>(iter: I) -> Self {
-        TrajectoryStore { trajs: iter.into_iter().collect() }
+        TrajectoryStore {
+            trajs: iter.into_iter().collect(),
+        }
     }
 }
 

@@ -150,7 +150,12 @@ impl RandomWalkConfig {
 }
 
 /// A non-backtracking random walk of `target` vertices starting at `start`.
-pub fn random_walk(net: &RoadNetwork, rng: &mut ChaCha8Rng, start: VertexId, target: usize) -> Vec<VertexId> {
+pub fn random_walk(
+    net: &RoadNetwork,
+    rng: &mut ChaCha8Rng,
+    start: VertexId,
+    target: usize,
+) -> Vec<VertexId> {
     let mut path = vec![start];
     let mut prev: Option<VertexId> = None;
     while path.len() < target {
@@ -255,19 +260,30 @@ mod tests {
     #[test]
     fn trips_are_paths_with_valid_times() {
         let g = net();
-        let store = TripConfig::default().count(20).lengths(5, 30).seed(1).generate(&g);
+        let store = TripConfig::default()
+            .count(20)
+            .lengths(5, 30)
+            .seed(1)
+            .generate(&g);
         assert_eq!(store.len(), 20);
         for (_, t) in store.iter() {
             assert!(g.is_path(t.path()), "generated trajectory is not a path");
             assert!(t.len() >= 2);
-            assert!(t.times().windows(2).all(|w| w[1] > w[0]), "times must increase");
+            assert!(
+                t.times().windows(2).all(|w| w[1] > w[0]),
+                "times must increase"
+            );
         }
     }
 
     #[test]
     fn trip_lengths_respect_bounds() {
         let g = net();
-        let store = TripConfig::default().count(30).lengths(8, 15).seed(2).generate(&g);
+        let store = TripConfig::default()
+            .count(30)
+            .lengths(8, 15)
+            .seed(2)
+            .generate(&g);
         for (_, t) in store.iter() {
             assert!(t.len() <= 15, "length {} exceeds max", t.len());
             assert!(t.len() >= 8, "length {} below min", t.len());

@@ -75,7 +75,10 @@ pub fn parse_store(text: &str) -> Result<TrajectoryStore, ParseError> {
             return Err(ParseError::Malformed(lineno, "empty trajectory".into()));
         }
         if times.windows(2).any(|w| w[0] > w[1]) {
-            return Err(ParseError::Malformed(lineno, "timestamps must be non-decreasing".into()));
+            return Err(ParseError::Malformed(
+                lineno,
+                "timestamps must be non-decreasing".into(),
+            ));
         }
         store.push(Trajectory::new(path, times));
     }

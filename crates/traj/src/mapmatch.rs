@@ -28,7 +28,13 @@ pub struct MapMatcher<'a> {
 impl<'a> MapMatcher<'a> {
     pub fn new(net: &'a RoadNetwork, sigma: f64, beta: f64) -> Self {
         assert!(sigma > 0.0 && beta > 0.0);
-        MapMatcher { net, tree: KdTree::build(net.coords()), sigma, beta, max_candidates: 6 }
+        MapMatcher {
+            net,
+            tree: KdTree::build(net.coords()),
+            sigma,
+            beta,
+            max_candidates: 6,
+        }
     }
 
     /// Candidate vertices for one observation: everything within `3σ`,
@@ -127,11 +133,12 @@ impl<'a> MapMatcher<'a> {
             if v == cur {
                 continue;
             }
-            let (leg, _) = shortest_path(self.net, cur, v, Mode::DirectedLength)
-                .or_else(|| shortest_path(self.net, v, cur, Mode::DirectedLength).map(|(mut p, c)| {
+            let (leg, _) = shortest_path(self.net, cur, v, Mode::DirectedLength).or_else(|| {
+                shortest_path(self.net, v, cur, Mode::DirectedLength).map(|(mut p, c)| {
                     p.reverse();
                     (p, c)
-                }))?;
+                })
+            })?;
             path.extend_from_slice(&leg[1..]);
         }
         Some(path)

@@ -101,7 +101,10 @@ pub fn check_axioms_on_sample<M: CostModel>(m: &M, sample: &[Sym]) {
         for &b in sample {
             let (ab, ba) = (m.sub(a, b), m.sub(b, a));
             assert!(ab >= 0.0, "sub({a},{b}) must be non-negative");
-            assert!((ab - ba).abs() < 1e-9, "sub must be symmetric: {ab} vs {ba}");
+            assert!(
+                (ab - ba).abs() < 1e-9,
+                "sub must be symmetric: {ab} vs {ba}"
+            );
         }
     }
 }
@@ -114,7 +117,11 @@ mod tests {
     struct Unit;
     impl CostModel for Unit {
         fn sub(&self, a: Sym, b: Sym) -> f64 {
-            if a == b { 0.0 } else { 1.0 }
+            if a == b {
+                0.0
+            } else {
+                1.0
+            }
         }
         fn ins(&self, _a: Sym) -> f64 {
             1.0

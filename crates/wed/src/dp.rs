@@ -140,8 +140,12 @@ mod tests {
         use rand::{Rng, SeedableRng};
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(31);
         for _ in 0..200 {
-            let p: Vec<Sym> = (0..rng.gen_range(0..15)).map(|_| rng.gen_range(0..6)).collect();
-            let q: Vec<Sym> = (0..rng.gen_range(0..8)).map(|_| rng.gen_range(0..6)).collect();
+            let p: Vec<Sym> = (0..rng.gen_range(0..15))
+                .map(|_| rng.gen_range(0..6))
+                .collect();
+            let q: Vec<Sym> = (0..rng.gen_range(0..8))
+                .map(|_| rng.gen_range(0..6))
+                .collect();
             let tau = rng.gen_range(0.5..6.0);
             let full = wed(&Lev, &p, &q);
             match wed_within(&Lev, &p, &q, tau) {

@@ -31,7 +31,11 @@ pub struct Lev;
 
 impl CostModel for Lev {
     fn sub(&self, a: Sym, b: Sym) -> f64 {
-        if a == b { 0.0 } else { 1.0 }
+        if a == b {
+            0.0
+        } else {
+            1.0
+        }
     }
     fn ins(&self, _a: Sym) -> f64 {
         1.0
@@ -191,7 +195,11 @@ impl NetEdr {
 
 impl CostModel for NetEdr {
     fn sub(&self, a: Sym, b: Sym) -> f64 {
-        if self.hubs.query(a, b) <= self.eps { 0.0 } else { 1.0 }
+        if self.hubs.query(a, b) <= self.eps {
+            0.0
+        } else {
+            1.0
+        }
     }
     fn ins(&self, _a: Sym) -> f64 {
         1.0
@@ -230,7 +238,12 @@ pub struct NetErp {
 impl NetErp {
     pub fn new(net: Arc<RoadNetwork>, hubs: Arc<HubLabels>, g_del: f64, eta: f64) -> Self {
         assert!(g_del > 0.0 && eta >= 0.0);
-        NetErp { net, hubs, g_del, eta }
+        NetErp {
+            net,
+            hubs,
+            g_del,
+            eta,
+        }
     }
 }
 
@@ -291,7 +304,11 @@ impl Surs {
 
 impl CostModel for Surs {
     fn sub(&self, a: Sym, b: Sym) -> f64 {
-        if a == b { 0.0 } else { self.w(a) + self.w(b) }
+        if a == b {
+            0.0
+        } else {
+            self.w(a) + self.w(b)
+        }
     }
     fn ins(&self, a: Sym) -> f64 {
         self.w(a)
@@ -328,7 +345,10 @@ pub struct Memo<M> {
 
 impl<M> Memo<M> {
     pub fn new(inner: M) -> Self {
-        Memo { inner, cache: RefCell::new(HashMap::new()) }
+        Memo {
+            inner,
+            cache: RefCell::new(HashMap::new()),
+        }
     }
 
     pub fn into_inner(self) -> M {
@@ -383,7 +403,10 @@ mod tests {
         check_axioms_on_sample(&Edr::new(net.clone(), 130.0), &sample);
         check_axioms_on_sample(&Erp::new(net.clone(), 10.0), &sample);
         check_axioms_on_sample(&NetEdr::new(net.clone(), hubs.clone(), 130.0), &sample);
-        check_axioms_on_sample(&NetErp::new(net.clone(), hubs.clone(), 2000.0, 130.0), &sample);
+        check_axioms_on_sample(
+            &NetErp::new(net.clone(), hubs.clone(), 2000.0, 130.0),
+            &sample,
+        );
         check_axioms_on_sample(&Surs::new(net.clone()), &sample);
     }
 
@@ -399,7 +422,11 @@ mod tests {
         ];
         for m in &models {
             for q in [0u32, 5, 17] {
-                assert!(m.neighbors(q).contains(&q), "{} B(q) must contain q", m.name());
+                assert!(
+                    m.neighbors(q).contains(&q),
+                    "{} B(q) must contain q",
+                    m.name()
+                );
             }
         }
     }

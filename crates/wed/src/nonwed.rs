@@ -13,7 +13,11 @@ use rnet::Point;
 /// distance (the normalization used in §6.2.1).
 pub fn dtw(a: &[Point], b: &[Point]) -> f64 {
     if a.is_empty() || b.is_empty() {
-        return if a.is_empty() && b.is_empty() { 0.0 } else { f64::INFINITY };
+        return if a.is_empty() && b.is_empty() {
+            0.0
+        } else {
+            f64::INFINITY
+        };
     }
     let n = b.len();
     let mut prev = vec![f64::INFINITY; n + 1];
@@ -78,7 +82,11 @@ pub fn lcrs(a: &[Sym], b: &[Sym], w: impl Fn(Sym) -> f64) -> f64 {
     let wa: f64 = a.iter().map(|&e| w(e)).sum();
     let wb: f64 = b.iter().map(|&e| w(e)).sum();
     let denom = wa + wb - l;
-    if denom <= 0.0 { 0.0 } else { l / denom }
+    if denom <= 0.0 {
+        0.0
+    } else {
+        l / denom
+    }
 }
 
 #[cfg(test)]
@@ -164,8 +172,12 @@ mod tests {
         let ne = net.num_edges() as u32;
         let mut rng = ChaCha8Rng::seed_from_u64(13);
         for _ in 0..40 {
-            let x: Vec<Sym> = (0..rng.gen_range(0..10)).map(|_| rng.gen_range(0..ne)).collect();
-            let y: Vec<Sym> = (0..rng.gen_range(0..10)).map(|_| rng.gen_range(0..ne)).collect();
+            let x: Vec<Sym> = (0..rng.gen_range(0..10))
+                .map(|_| rng.gen_range(0..ne))
+                .collect();
+            let y: Vec<Sym> = (0..rng.gen_range(0..10))
+                .map(|_| rng.gen_range(0..ne))
+                .collect();
             let s = wed(&surs, &x, &y);
             let l = lors(&x, &y, |e| net.edge(e).length);
             let expect = surs.total_weight(&x) + surs.total_weight(&y) - 2.0 * l;

@@ -59,7 +59,11 @@ pub fn sw_best<M: CostModel + ?Sized>(m: &M, p: &[Sym], q: &[Sym]) -> Option<Sub
         }
         // A candidate ends at j (inclusive) iff its start is ≤ j.
         if nk[n] <= j {
-            let cand = SubMatch { start: nk[n], end: j, dist: nd[n] };
+            let cand = SubMatch {
+                start: nk[n],
+                end: j,
+                dist: nd[n],
+            };
             if best.is_none_or(|b| cand.dist < b.dist) {
                 best = Some(cand);
             }
@@ -82,7 +86,11 @@ pub fn sw_scan_all<M: CostModel + ?Sized>(m: &M, p: &[Sym], q: &[Sym], tau: f64)
             col = step_dp(m, q, sym, &col);
             let d = col[q.len()];
             if d < tau {
-                out.push(SubMatch { start: s, end: t, dist: d });
+                out.push(SubMatch {
+                    start: s,
+                    end: t,
+                    dist: d,
+                });
             }
             // Eq. (11): the column minimum lower-bounds every extension.
             let lb = col.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -144,8 +152,12 @@ mod tests {
     fn scan_all_equals_brute_force_on_random_strings() {
         let mut rng = ChaCha8Rng::seed_from_u64(42);
         for _ in 0..30 {
-            let p: Vec<Sym> = (0..rng.gen_range(1..18)).map(|_| rng.gen_range(0..6)).collect();
-            let q: Vec<Sym> = (0..rng.gen_range(1..8)).map(|_| rng.gen_range(0..6)).collect();
+            let p: Vec<Sym> = (0..rng.gen_range(1..18))
+                .map(|_| rng.gen_range(0..6))
+                .collect();
+            let q: Vec<Sym> = (0..rng.gen_range(1..8))
+                .map(|_| rng.gen_range(0..6))
+                .collect();
             let tau = rng.gen_range(0.5..4.0);
             let mut got = sw_scan_all(&Lev, &p, &q, tau);
             got.sort_by_key(|m| (m.start, m.end));
@@ -154,7 +166,11 @@ mod tests {
                 for t in s..p.len() {
                     let d = wed(&Lev, &p[s..=t], &q);
                     if d < tau {
-                        brute.push(SubMatch { start: s, end: t, dist: d });
+                        brute.push(SubMatch {
+                            start: s,
+                            end: t,
+                            dist: d,
+                        });
                     }
                 }
             }
@@ -170,8 +186,12 @@ mod tests {
     fn best_is_minimum_of_scan() {
         let mut rng = ChaCha8Rng::seed_from_u64(7);
         for _ in 0..20 {
-            let p: Vec<Sym> = (0..rng.gen_range(2..15)).map(|_| rng.gen_range(0..5)).collect();
-            let q: Vec<Sym> = (0..rng.gen_range(1..6)).map(|_| rng.gen_range(0..5)).collect();
+            let p: Vec<Sym> = (0..rng.gen_range(2..15))
+                .map(|_| rng.gen_range(0..5))
+                .collect();
+            let q: Vec<Sym> = (0..rng.gen_range(1..6))
+                .map(|_| rng.gen_range(0..5))
+                .collect();
             let best = sw_best(&Lev, &p, &q).unwrap();
             let all = sw_scan_all(&Lev, &p, &q, best.dist + 0.5);
             let min = all.iter().map(|m| m.dist).fold(f64::INFINITY, f64::min);
@@ -187,8 +207,12 @@ mod tests {
     fn best_substring_distance_is_consistent() {
         let mut rng = ChaCha8Rng::seed_from_u64(9);
         for _ in 0..20 {
-            let p: Vec<Sym> = (0..rng.gen_range(2..15)).map(|_| rng.gen_range(0..5)).collect();
-            let q: Vec<Sym> = (0..rng.gen_range(1..6)).map(|_| rng.gen_range(0..5)).collect();
+            let p: Vec<Sym> = (0..rng.gen_range(2..15))
+                .map(|_| rng.gen_range(0..5))
+                .collect();
+            let q: Vec<Sym> = (0..rng.gen_range(1..6))
+                .map(|_| rng.gen_range(0..5))
+                .collect();
             let best = sw_best(&Lev, &p, &q).unwrap();
             let direct = wed(&Lev, &p[best.start..=best.end], &q);
             assert!(

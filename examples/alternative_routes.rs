@@ -30,7 +30,11 @@ fn main() {
     let stretch = probe.subpath(2, 2 + 25.min(probe.len() - 3));
     let (u, v) = (stretch[0], *stretch.last().unwrap());
     let (q, cost) = shortest_path(&net, u, v, Mode::DirectedLength).expect("connected network");
-    println!("planned route: {} vertices, {:.0} m from {u} to {v}", q.len(), cost);
+    println!(
+        "planned route: {} vertices, {:.0} m from {u} to {v}",
+        q.len(),
+        cost
+    );
 
     // Subtrajectories similar to the plan (up to 40% of hops edited).
     let tau = (0.4 * q.len() as f64).max(1.0);

@@ -34,7 +34,10 @@ fn main() {
     // beta = 60 m.
     let matcher = MapMatcher::new(&net, 15.0, 60.0);
     let matched = matcher.match_trace(&trace).expect("decodable trace");
-    assert!(net.is_path(&matched), "matcher must return a connected path");
+    assert!(
+        net.is_path(&matched),
+        "matcher must return a connected path"
+    );
 
     let truth_set: std::collections::HashSet<_> = truth.iter().collect();
     let recovered = matched.iter().filter(|v| truth_set.contains(v)).count();

@@ -71,6 +71,9 @@ fn main() {
         let p = store.get(m.id).path();
         let direct = wed::wed(&edr, &p[m.start..=m.end], &q);
         assert!((m.dist - direct).abs() < 1e-9);
-        println!("verified: reported distance {:.3} equals direct DP {:.3}", m.dist, direct);
+        println!(
+            "verified: reported distance {:.3} equals direct DP {:.3}",
+            m.dist, direct
+        );
     }
 }

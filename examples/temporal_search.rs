@@ -9,9 +9,7 @@
 use rnet::{CityParams, NetworkKind};
 use std::sync::Arc;
 use traj::TripConfig;
-use trajsearch_core::{
-    SearchEngine, SearchOptions, TemporalConstraint, TimeInterval, VerifyMode,
-};
+use trajsearch_core::{SearchEngine, SearchOptions, TemporalConstraint, TimeInterval, VerifyMode};
 use wed::models::Lev;
 
 fn main() {
@@ -53,7 +51,11 @@ fn main() {
         },
     );
 
-    assert_eq!(tf.matches.len(), no_tf.matches.len(), "strategies must agree");
+    assert_eq!(
+        tf.matches.len(),
+        no_tf.matches.len(),
+        "strategies must agree"
+    );
     println!("query: {} vertices, tau = {tau}", q.len());
     println!("matches overlapping the window: {}", tf.matches.len());
     println!(

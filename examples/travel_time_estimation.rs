@@ -45,7 +45,10 @@ fn main() {
     // Similar matches: allow 10% of the query's road length to differ.
     let tau = 0.10 * total_cost;
     let out = engine.search(&q, tau);
-    println!("similar matches (tau = 10% of path length): {}", out.matches.len());
+    println!(
+        "similar matches (tau = 10% of path length): {}",
+        out.matches.len()
+    );
 
     // Per-trajectory best match -> travel time sample.
     let mut best: HashMap<u32, (f64, usize, usize)> = HashMap::new();
@@ -69,7 +72,10 @@ fn main() {
         let t = store.get(17);
         t.travel_time(2, 17.min(t.len() - 1))
     };
-    println!("\nestimated travel time: {avg:.1} s from {} samples", samples.len());
+    println!(
+        "\nestimated travel time: {avg:.1} s from {} samples",
+        samples.len()
+    );
     println!("ground-truth trip time: {truth:.1} s");
     println!(
         "relative error: {:.1}%",

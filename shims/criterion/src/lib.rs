@@ -1,0 +1,204 @@
+//! Vendored stand-in for the subset of
+//! [`criterion`](https://crates.io/crates/criterion) the paper-figure benches
+//! use: `Criterion::benchmark_group`, `bench_function`/`bench_with_input`
+//! with `BenchmarkId`, `sample_size`, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Instead of criterion's full statistical pipeline this shim times a fixed
+//! number of iterations per benchmark (after a short warm-up) and prints the
+//! mean wall-clock time per iteration. That keeps `cargo bench` functional
+//! and fast offline; absolute numbers are indicative, not
+//! criterion-rigorous.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group: a function name plus an optional
+/// parameter rendering, shown as `function/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self) -> String {
+        match &self.parameter {
+            Some(p) => format!("{}/{}", self.function, p),
+            None => self.function.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(function: &str) -> Self {
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(function: String) -> Self {
+        BenchmarkId {
+            function,
+            parameter: None,
+        }
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    iters: u64,
+    mean: Option<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine` over this bencher's iteration budget and record the
+    /// mean time per iteration.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        for _ in 0..2 {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.mean = Some(start.elapsed() / self.iters as u32);
+    }
+}
+
+/// A named collection of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed iterations per benchmark (criterion's minimum is 10;
+    /// so is ours).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = (n as u64).max(10);
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        self.run(id.into(), |b| f(b))
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(id.into(), |b| f(b, input))
+    }
+
+    fn run(&mut self, id: BenchmarkId, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut bencher = Bencher {
+            iters: self.sample_size,
+            mean: None,
+        };
+        f(&mut bencher);
+        match bencher.mean {
+            Some(mean) => println!(
+                "{}/{}: {:?} per iter ({} iters)",
+                self.name,
+                id.render(),
+                mean,
+                bencher.iters
+            ),
+            None => println!(
+                "{}/{}: no measurement (Bencher::iter not called)",
+                self.name,
+                id.render()
+            ),
+        }
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Entry point handed to benchmark functions by `criterion_group!`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut group = self.benchmark_group(id.function.clone());
+        group.run(id, f);
+        self
+    }
+}
+
+/// Bundle benchmark functions into a single runner invoked by
+/// `criterion_main!`. Only the simple `criterion_group!(name, targets...)`
+/// form is supported.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate a `main` that runs each group. Arguments passed by `cargo bench`
+/// (e.g. `--bench`, filter strings) are accepted and ignored.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_times_and_finishes() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(10);
+        let mut ran = 0u32;
+        g.bench_function("count", |b| b.iter(|| ran = ran.wrapping_add(1)));
+        g.bench_with_input(BenchmarkId::new("sum", 4), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.finish();
+        assert!(ran >= 10);
+    }
+}

@@ -1,0 +1,400 @@
+//! Vendored stand-in for the subset of
+//! [`proptest`](https://crates.io/crates/proptest) this workspace's property
+//! suites use: the `proptest!` macro with `#![proptest_config(..)]`,
+//! numeric-range and tuple strategies, `proptest::collection::vec`,
+//! `Strategy::prop_map`, and the `prop_assert!`/`prop_assert_eq!`/
+//! `prop_assert_ne!`/`prop_assume!` macros.
+//!
+//! Differences from real proptest, deliberate for an offline CI shim:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs
+//!   printed verbatim; cases are generated from a deterministic per-test
+//!   seed, so failures reproduce exactly on re-run.
+//! * **Case counts are CI-tunable.** [`ProptestConfig::with_cases`] and
+//!   [`ProptestConfig::default`] both honor the `PROPTEST_CASES` environment
+//!   variable, which overrides the in-source count (upstream behavior, and
+//!   what CI uses to keep the suites fast).
+
+pub mod test_runner {
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Configuration for a `proptest!` block.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+    }
+
+    fn env_cases() -> Option<u32> {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+    }
+
+    impl ProptestConfig {
+        /// `cases` successful runs per property, unless `PROPTEST_CASES`
+        /// overrides it. Floored at 1 so a zero (from either source) cannot
+        /// turn every property suite into a vacuous pass.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig {
+                cases: env_cases().unwrap_or(cases).max(1),
+            }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig::with_cases(256)
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// An assertion failed: the property is violated.
+        Fail(String),
+        /// `prop_assume!` rejected the inputs: try another case.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Drives one property: generates cases from a deterministic seed derived
+    /// from the test name until `cfg.cases` succeed, a case fails, or too
+    /// many are rejected.
+    pub fn run_cases(
+        name: &str,
+        cfg: ProptestConfig,
+        mut case: impl FnMut(&mut ChaCha8Rng) -> (String, Result<(), TestCaseError>),
+    ) {
+        let seed = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+        });
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        let reject_cap = cfg.cases.saturating_mul(20).saturating_add(100);
+        while passed < cfg.cases {
+            let (inputs, outcome) = case(&mut rng);
+            match outcome {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(why)) => {
+                    rejected += 1;
+                    if rejected > reject_cap {
+                        panic!(
+                            "property `{name}`: gave up after {rejected} rejected cases \
+                             ({passed} passed); last assumption: {why}"
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "property `{name}` failed after {passed} passing case(s): {msg}\n\
+                         inputs:\n{inputs}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use rand::Rng;
+    use rand_chacha::ChaCha8Rng;
+    use std::ops::Range;
+
+    /// A generator of values of type `Value`.
+    ///
+    /// Unlike real proptest there is no shrinking tree: a strategy just draws
+    /// a value from the RNG.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut ChaCha8Rng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut ChaCha8Rng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut ChaCha8Rng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut ChaCha8Rng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut ChaCha8Rng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::Rng;
+    use rand_chacha::ChaCha8Rng;
+    use std::ops::Range;
+
+    /// Length bounds for [`vec`], half-open like upstream's `SizeRange`.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        start: usize,
+        end: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                start: r.start,
+                end: r.end,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                start: n,
+                end: n + 1,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of `elem` with length drawn from `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut ChaCha8Rng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.start..self.size.end);
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests: each `fn` runs `cases` times over generated
+/// inputs. See the module docs for the differences from real proptest.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr);) => {};
+    (($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::test_runner::run_cases(stringify!($name), $cfg, |__rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)*
+                let __inputs = [$(format!(concat!("  ", stringify!($arg), " = {:?}"), &$arg)),*].join("\n");
+                let __outcome = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                (__inputs, __outcome)
+            });
+        }
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+}
+
+/// Assert a condition inside a `proptest!` body, failing the case (not
+/// panicking directly) so the runner can report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// `prop_assert!(a == b)` with both values in the failure message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a == *__b,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($a), stringify!($b), __a, __b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a == *__b,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)+), __a, __b
+        );
+    }};
+}
+
+/// `prop_assert!(a != b)` with both values in the failure message.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a != *__b,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($a), stringify!($b), __a
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(*__a != *__b, "{}\n  both: {:?}", format!($($fmt)+), __a);
+    }};
+}
+
+/// Discard the current case (it counts toward the rejection cap, not toward
+/// `cases`).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn vec_lengths_respect_bounds(
+            v in crate::collection::vec(0u32..10, 2..6),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn mapped_tuples_generate(
+            p in (0.0f64..1.0, 0.0f64..1.0).prop_map(|(x, y)| x + y),
+        ) {
+            prop_assert!((0.0..2.0).contains(&p));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property `always_fails` failed")]
+    fn failure_reports_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

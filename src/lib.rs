@@ -1,0 +1,34 @@
+//! # trajsearch — workspace facade
+//!
+//! One-stop re-export of the workspace crates implementing *"Fast
+//! Subtrajectory Similarity Search in Road Networks under Weighted Edit
+//! Distance Constraints"* (Koide, Xiao & Ishikawa, VLDB 2020). Depend on
+//! this package to get the whole stack; depend on the individual crates to
+//! slim the dependency graph.
+//!
+//! * [`rnet`] — road networks: CSR graphs, generators, Dijkstra, hub
+//!   labels, kd-trees.
+//! * [`traj`] — trajectories: model, store, synthetic trips, map matching.
+//! * [`wed`] — weighted edit distance: cost models, DP, Smith–Waterman.
+//! * [`core`] (`trajsearch_core`) — the OSF filter-and-verify engine.
+//! * [`baselines`] — competitor methods from the paper's evaluation.
+//! * [`bench`] (`trajsearch_bench`) — the table/figure experiment harness.
+//!
+//! This package also owns the repo-level integration tests (`tests/`) and
+//! runnable examples (`examples/`); see the README for the tour.
+
+pub use baselines;
+pub use rnet;
+pub use traj;
+pub use trajsearch_bench as bench;
+pub use trajsearch_core as core;
+pub use wed;
+
+/// Convenience re-exports of the types most programs start from.
+pub mod prelude {
+    pub use rnet::{CityParams, NetworkKind, RoadNetwork};
+    pub use traj::{Trajectory, TrajectoryStore, TripConfig};
+    pub use trajsearch_core::SearchEngine;
+    pub use wed::models::{Edr, Erp, Lev, NetEdr, NetErp, Surs};
+    pub use wed::{CostModel, Sym, WedInstance};
+}

@@ -27,7 +27,14 @@ fn check_function(d: &Dataset, func: FuncKind, qlen: usize, ratios: &[f64]) {
                 keys(&m)
             };
             for mode in [VerifyMode::Trie, VerifyMode::Local, VerifyMode::Sw] {
-                let out = engine.search_opts(q, tau, SearchOptions { verify: mode, ..Default::default() });
+                let out = engine.search_opts(
+                    q,
+                    tau,
+                    SearchOptions {
+                        verify: mode,
+                        ..Default::default()
+                    },
+                );
                 assert_eq!(
                     keys(&out.matches),
                     reference,
@@ -47,9 +54,19 @@ fn check_function(d: &Dataset, func: FuncKind, qlen: usize, ratios: &[f64]) {
                 }
             }
             let (dm, _) = dison.search(q, tau);
-            assert_eq!(keys(&dm), reference, "DISON differs ({}, r={ratio})", func.name());
+            assert_eq!(
+                keys(&dm),
+                reference,
+                "DISON differs ({}, r={ratio})",
+                func.name()
+            );
             let (tm, _) = torch.search(q, tau);
-            assert_eq!(keys(&tm), reference, "Torch differs ({}, r={ratio})", func.name());
+            assert_eq!(
+                keys(&tm),
+                reference,
+                "Torch differs ({}, r={ratio})",
+                func.name()
+            );
         }
     }
 }
@@ -89,13 +106,19 @@ fn qgram_matches_engine_for_unit_cost_models() {
     for func in [FuncKind::Lev, FuncKind::Edr] {
         let model = d.model(func);
         let (store, alphabet) = d.store_for(func);
-        let engine: SearchEngine<'_, &dyn WedInstance> = SearchEngine::new(&*model, store, alphabet);
+        let engine: SearchEngine<'_, &dyn WedInstance> =
+            SearchEngine::new(&*model, store, alphabet);
         let qg = baselines::QGramIndex::new(&*model, store, 3);
         for q in d.sample_queries(func, 8, 3, 999) {
             let tau = d.tau_for(&*model, &q, 0.2);
             let got = qg.search(&q, tau);
             let want = engine.search(&q, tau);
-            assert_eq!(keys(&got.0), keys(&want.matches), "q-gram vs engine ({})", func.name());
+            assert_eq!(
+                keys(&got.0),
+                keys(&want.matches),
+                "q-gram vs engine ({})",
+                func.name()
+            );
         }
     }
 }

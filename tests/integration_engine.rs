@@ -7,11 +7,9 @@ use rand_chacha::ChaCha8Rng;
 use rnet::{CityParams, NetworkKind};
 use std::sync::Arc;
 use traj::generator::random_walk;
-use traj::{TripConfig, Trajectory, TrajectoryStore};
+use traj::{Trajectory, TrajectoryStore, TripConfig};
 use trajsearch_bench::data::{Dataset, FuncKind};
-use trajsearch_core::{
-    SearchEngine, SearchOptions, TemporalConstraint, TimeInterval, VerifyMode,
-};
+use trajsearch_core::{SearchEngine, SearchOptions, TemporalConstraint, TimeInterval, VerifyMode};
 use wed::models::Lev;
 use wed::WedInstance;
 
@@ -73,7 +71,11 @@ fn threshold_is_strict_and_monotone() {
         let out = engine.search(&q, tau);
         assert!(out.matches.len() >= last, "results must grow with tau");
         for m in &out.matches {
-            assert!(m.dist < tau, "strict inequality violated: {} >= {tau}", m.dist);
+            assert!(
+                m.dist < tau,
+                "strict inequality violated: {} >= {tau}",
+                m.dist
+            );
         }
         last = out.matches.len();
     }
@@ -82,7 +84,11 @@ fn threshold_is_strict_and_monotone() {
 #[test]
 fn temporal_strategies_agree_and_prune() {
     let net = Arc::new(CityParams::small(NetworkKind::City).seed(8).generate());
-    let store = TripConfig::default().count(300).lengths(10, 40).seed(21).generate(&net);
+    let store = TripConfig::default()
+        .count(300)
+        .lengths(10, 40)
+        .seed(21)
+        .generate(&net);
     let engine = SearchEngine::new(&Lev, &store, net.num_vertices());
     let q = store.get(5).subpath(2, 9).to_vec();
 
@@ -96,14 +102,27 @@ fn temporal_strategies_agree_and_prune() {
         let tf = engine.search_opts(
             &q,
             2.0,
-            SearchOptions { verify: VerifyMode::Trie, temporal: Some(c), temporal_filter: true, ..Default::default() },
+            SearchOptions {
+                verify: VerifyMode::Trie,
+                temporal: Some(c),
+                temporal_filter: true,
+                ..Default::default()
+            },
         );
         let no_tf = engine.search_opts(
             &q,
             2.0,
-            SearchOptions { verify: VerifyMode::Trie, temporal: Some(c), temporal_filter: false, ..Default::default() },
+            SearchOptions {
+                verify: VerifyMode::Trie,
+                temporal: Some(c),
+                temporal_filter: false,
+                ..Default::default()
+            },
         );
-        assert_eq!(tf.matches, no_tf.matches, "TF and no-TF must agree at frac={frac}");
+        assert_eq!(
+            tf.matches, no_tf.matches,
+            "TF and no-TF must agree at frac={frac}"
+        );
         assert!(tf.stats.candidates_after_temporal <= no_tf.stats.candidates_after_temporal);
         // Every reported span satisfies the constraint.
         for m in &tf.matches {
@@ -116,7 +135,11 @@ fn temporal_strategies_agree_and_prune() {
 #[test]
 fn within_predicate_is_stricter_than_overlap() {
     let net = Arc::new(CityParams::small(NetworkKind::City).seed(9).generate());
-    let store = TripConfig::default().count(200).lengths(10, 40).seed(22).generate(&net);
+    let store = TripConfig::default()
+        .count(200)
+        .lengths(10, 40)
+        .seed(22)
+        .generate(&net);
     let engine = SearchEngine::new(&Lev, &store, net.num_vertices());
     let q = store.get(3).subpath(1, 8).to_vec();
     let interval = TimeInterval::new(0.0, 43_200.0); // first half day
@@ -151,7 +174,11 @@ fn within_predicate_is_stricter_than_overlap() {
 #[test]
 fn temporal_postings_extension_is_equivalent() {
     let net = Arc::new(CityParams::small(NetworkKind::City).seed(14).generate());
-    let store = TripConfig::default().count(400).lengths(10, 40).seed(33).generate(&net);
+    let store = TripConfig::default()
+        .count(400)
+        .lengths(10, 40)
+        .seed(33)
+        .generate(&net);
     let plain = SearchEngine::new(&Lev, &store, net.num_vertices());
     let temporal = SearchEngine::with_temporal_postings(&Lev, &store, net.num_vertices());
     assert!(temporal.index().has_temporal_postings());

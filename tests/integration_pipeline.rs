@@ -7,7 +7,7 @@ use rnet::dijkstra::{sssp, Mode};
 use rnet::{CityParams, HubLabels, NetworkKind};
 use std::sync::Arc;
 use traj::mapmatch::{noisy_trace, MapMatcher};
-use traj::{TripConfig, Trajectory, TrajectoryStore};
+use traj::{Trajectory, TrajectoryStore, TripConfig};
 use trajsearch_bench::data::{Dataset, FuncKind};
 use trajsearch_core::SearchEngine;
 use wed::models::Lev;
@@ -39,7 +39,11 @@ fn gps_to_search_pipeline() {
             _ => matched_of.push(None),
         }
     }
-    assert!(store.len() >= 7, "map matching failed too often: {}", store.len());
+    assert!(
+        store.len() >= 7,
+        "map matching failed too often: {}",
+        store.len()
+    );
 
     let engine = SearchEngine::new(&Lev, &store, net.num_vertices());
     let mut found = 0;
@@ -125,7 +129,11 @@ fn hub_labels_agree_with_dijkstra_on_city() {
 #[test]
 fn self_retrieval_of_every_sampled_query() {
     let net = Arc::new(CityParams::small(NetworkKind::City).seed(77).generate());
-    let store = TripConfig::default().count(100).lengths(12, 40).seed(3).generate(&net);
+    let store = TripConfig::default()
+        .count(100)
+        .lengths(12, 40)
+        .seed(3)
+        .generate(&net);
     let engine = SearchEngine::new(&Lev, &store, net.num_vertices());
     let mut rng = ChaCha8Rng::seed_from_u64(123);
     for _ in 0..20 {
@@ -135,7 +143,9 @@ fn self_retrieval_of_every_sampled_query() {
         let q = t.subpath(s, s + 7).to_vec();
         let out = engine.search(&q, 1.0);
         assert!(
-            out.matches.iter().any(|m| m.id == id && m.start == s && m.dist == 0.0),
+            out.matches
+                .iter()
+                .any(|m| m.id == id && m.start == s && m.dist == 0.0),
             "self-match not found for trajectory {id} at {s}"
         );
     }
