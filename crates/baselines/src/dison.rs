@@ -12,7 +12,7 @@ use traj::TrajectoryStore;
 use trajsearch_core::results::MatchResult;
 use trajsearch_core::verify::{verify_candidates, Candidate, VerifyMode};
 use trajsearch_core::{InvertedIndex, SearchStats};
-use wed::{sw_scan_all, Sym, WedInstance};
+use wed::{Sym, WedInstance};
 
 /// DISON-style prefix-filtered search.
 pub struct Dison<'a, M: WedInstance> {
@@ -64,18 +64,16 @@ impl<'a, M: WedInstance> Dison<'a, M> {
         stats.mincand_time = t0.elapsed();
 
         let Some(prefix_len) = prefix_len else {
-            // Same exactness fallback as the engine.
-            stats.fallback = true;
-            let t = Instant::now();
-            let mut rs = trajsearch_core::ResultSet::new();
-            for (id, traj) in self.store.iter() {
-                for m in sw_scan_all(&self.model, traj.path(), q, tau) {
-                    rs.push(id, m.start, m.end, m.dist);
-                }
-            }
-            let matches = rs.into_sorted_vec();
-            stats.results = matches.len();
-            stats.verify_time = t.elapsed();
+            // Same exactness fallback (and stats contract) as the engine.
+            let matches = trajsearch_core::exact_fallback_scan(
+                &self.model,
+                self.store,
+                q,
+                tau,
+                None,
+                false,
+                &mut stats,
+            );
             return (matches, stats);
         };
         stats.tsubseq_len = prefix_len;
@@ -173,5 +171,11 @@ mod tests {
         assert!(stats.fallback);
         let want = naive_search(&Lev, &store, &q, tau);
         assert_eq!(got.len(), want.len());
+        // The shared fallback keeps stats coherent with the engine's: every
+        // position is a candidate and each trajectory is scanned once.
+        let total_positions: usize = store.iter().map(|(_, t)| t.len()).sum();
+        assert_eq!(stats.candidates, total_positions);
+        assert_eq!(stats.candidates_after_temporal, total_positions);
+        assert_eq!(stats.sw_columns, total_positions as u64);
     }
 }

@@ -11,7 +11,7 @@ use traj::TrajectoryStore;
 use trajsearch_core::results::MatchResult;
 use trajsearch_core::verify::{verify_candidates, Candidate, VerifyMode};
 use trajsearch_core::{InvertedIndex, SearchStats};
-use wed::{sw_scan_all, Sym, WedInstance};
+use wed::{Sym, WedInstance};
 
 /// Torch-style all-symbols-filtered search.
 pub struct Torch<'a, M: WedInstance> {
@@ -50,17 +50,16 @@ impl<'a, M: WedInstance> Torch<'a, M> {
         let c_total: f64 = q.iter().map(|&s| self.model.lower_cost(s)).sum();
         stats.mincand_time = t0.elapsed();
         if c_total < tau {
-            stats.fallback = true;
-            let t = Instant::now();
-            let mut rs = trajsearch_core::ResultSet::new();
-            for (id, traj) in self.store.iter() {
-                for m in sw_scan_all(&self.model, traj.path(), q, tau) {
-                    rs.push(id, m.start, m.end, m.dist);
-                }
-            }
-            let matches = rs.into_sorted_vec();
-            stats.results = matches.len();
-            stats.verify_time = t.elapsed();
+            // Same exactness fallback (and stats contract) as the engine.
+            let matches = trajsearch_core::exact_fallback_scan(
+                &self.model,
+                self.store,
+                q,
+                tau,
+                None,
+                false,
+                &mut stats,
+            );
             return (matches, stats);
         }
         stats.tsubseq_len = q.len();

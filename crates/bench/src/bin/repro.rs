@@ -19,6 +19,8 @@
 //!   fig11    candidate counts
 //!   fig12    temporal filtering
 //!   fig13    eta sweep (ERP / NetERP)
+//!   throughput  batch-engine queries/sec at 1/2/4/8 threads
+//!               (also writes BENCH_throughput.json)
 //!   all      everything above
 //! ```
 //!
@@ -33,6 +35,9 @@ struct Args {
     experiment: String,
     scale: Scale,
     queries: usize,
+    /// `throughput` only: panic when the best multi-thread speedup falls
+    /// below this (skipped on hosts with < 4 cpus).
+    min_speedup: Option<f64>,
 }
 
 fn parse_args() -> Args {
@@ -40,6 +45,7 @@ fn parse_args() -> Args {
         experiment: String::new(),
         scale: Scale::default_repro(),
         queries: 20,
+        min_speedup: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -51,6 +57,10 @@ fn parse_args() -> Args {
             "--queries" => {
                 let v = it.next().expect("--queries needs a value");
                 args.queries = v.parse().expect("queries must be an integer");
+            }
+            "--min-speedup" => {
+                let v = it.next().expect("--min-speedup needs a value");
+                args.min_speedup = Some(v.parse().expect("min-speedup must be a number"));
             }
             "--help" | "-h" => {
                 print_usage();
@@ -69,7 +79,7 @@ fn parse_args() -> Args {
 
 fn print_usage() {
     eprintln!(
-        "usage: repro <table2|fig4|table3|fig5|fig6|fig7|fig8|fig9|fig10|table4|table5|table6|fig11|fig12|fig13|all> [--scale S] [--queries N]"
+        "usage: repro <table2|fig4|table3|fig5|fig6|fig7|fig8|fig9|fig10|table4|table5|table6|fig11|fig12|fig13|throughput|all> [--scale S] [--queries N] [--min-speedup X]"
     );
 }
 
@@ -221,10 +231,43 @@ fn main() {
         );
         eta::print(&rows);
     }
+    if all || exp == "throughput" {
+        let rows = throughput::run(
+            "beijing",
+            FuncKind::Edr,
+            &[1, 2, 4, 8],
+            60,
+            nq.max(8),
+            0.1,
+            scale,
+        );
+        throughput::print(&rows);
+        let path = "BENCH_throughput.json";
+        throughput::write_json(&rows, path)
+            .unwrap_or_else(|e| panic!("could not write {path}: {e}"));
+        eprintln!("wrote {path}");
+        if let Some(floor) = args.min_speedup {
+            throughput::enforce_speedup_floor(&rows, floor);
+        }
+    }
     if !all
         && ![
-            "table2", "fig4", "table3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "table4",
-            "table5", "table6", "fig11", "fig12", "fig13",
+            "table2",
+            "fig4",
+            "table3",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "table4",
+            "table5",
+            "table6",
+            "fig11",
+            "fig12",
+            "fig13",
+            "throughput",
         ]
         .contains(&exp)
     {

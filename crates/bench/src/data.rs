@@ -191,6 +191,30 @@ impl Dataset {
         ds[ds.len() / 2]
     }
 
+    // One constructor per parameterized model, so the memoized (`model`) and
+    // thread-shareable (`model_sync`) entry points read a single source of
+    // truth for the §6.1 defaults.
+
+    /// Paper: ε = 0.001 in lat/lon ≈ a city block; here 100 m.
+    fn make_edr(&self) -> Edr {
+        Edr::new(self.net.clone(), 100.0)
+    }
+
+    fn make_erp(&self, eta: Option<f64>) -> Erp {
+        let eta = eta.unwrap_or(1e-4 * self.median_nn_distance());
+        Erp::new(self.net.clone(), eta)
+    }
+
+    fn make_net_edr(&self) -> NetEdr {
+        NetEdr::new(self.net.clone(), self.hubs(), self.median_edge_length())
+    }
+
+    /// G_del = 2 km as in §6.1.
+    fn make_net_erp(&self, eta: Option<f64>) -> NetErp {
+        let eta = eta.unwrap_or(self.median_edge_length());
+        NetErp::new(self.net.clone(), self.hubs(), 2_000.0, eta)
+    }
+
     /// Instantiates a similarity function with the paper's §6.1 defaults
     /// (scaled to meters). NetEDR/NetERP come memoized.
     pub fn model(&self, kind: FuncKind) -> Box<dyn WedInstance> {
@@ -201,28 +225,27 @@ impl Dataset {
     pub fn model_with_eta(&self, kind: FuncKind, eta: Option<f64>) -> Box<dyn WedInstance> {
         match kind {
             FuncKind::Lev => Box::new(Lev),
-            FuncKind::Edr => {
-                // Paper: ε = 0.001 in lat/lon ≈ a city block; here 100 m.
-                Box::new(Edr::new(self.net.clone(), 100.0))
-            }
-            FuncKind::Erp => {
-                let eta = eta.unwrap_or(1e-4 * self.median_nn_distance());
-                Box::new(Erp::new(self.net.clone(), eta))
-            }
-            FuncKind::NetEdr => {
-                let eps = self.median_edge_length();
-                Box::new(Memo::new(NetEdr::new(self.net.clone(), self.hubs(), eps)))
-            }
-            FuncKind::NetErp => {
-                let eta = eta.unwrap_or(self.median_edge_length());
-                // G_del = 2 km as in §6.1.
-                Box::new(Memo::new(NetErp::new(
-                    self.net.clone(),
-                    self.hubs(),
-                    2_000.0,
-                    eta,
-                )))
-            }
+            FuncKind::Edr => Box::new(self.make_edr()),
+            FuncKind::Erp => Box::new(self.make_erp(eta)),
+            FuncKind::NetEdr => Box::new(Memo::new(self.make_net_edr())),
+            FuncKind::NetErp => Box::new(Memo::new(self.make_net_erp(eta))),
+            FuncKind::Surs => Box::new(Surs::new(self.net.clone())),
+        }
+    }
+
+    /// Like [`model`](Dataset::model), but returns a thread-shareable
+    /// instance for the parallel batch engine (`SearchEngine::search_batch`
+    /// requires `M: Sync`). NetEDR/NetERP come **unmemoized** here — the
+    /// `Memo` wrapper's `RefCell` cache is not `Sync` — so they pay a hub-
+    /// label query per substitution; the other four are the same instances
+    /// `model` returns.
+    pub fn model_sync(&self, kind: FuncKind) -> Box<dyn WedInstance + Sync> {
+        match kind {
+            FuncKind::Lev => Box::new(Lev),
+            FuncKind::Edr => Box::new(self.make_edr()),
+            FuncKind::Erp => Box::new(self.make_erp(None)),
+            FuncKind::NetEdr => Box::new(self.make_net_edr()),
+            FuncKind::NetErp => Box::new(self.make_net_erp(None)),
             FuncKind::Surs => Box::new(Surs::new(self.net.clone())),
         }
     }

@@ -1,4 +1,6 @@
-//! One module per table/figure of the paper's evaluation (§6).
+//! One module per table/figure of the paper's evaluation (§6), plus
+//! engineering experiments beyond the paper ([`throughput`]: the parallel
+//! batch engine's queries/sec scaling).
 //!
 //! Each module exposes a `run_*` function returning plain rows plus a
 //! `print_*` helper; the `repro` binary wires them to subcommands. The
@@ -13,5 +15,6 @@ pub mod query_time;
 pub mod table2;
 pub mod table6;
 pub mod temporal;
+pub mod throughput;
 pub mod travel_time;
 pub mod verification;

@@ -1,0 +1,224 @@
+//! Batch-engine throughput: queries/sec at 1/2/4/8 worker threads.
+//!
+//! Not a paper experiment — the paper measures single-query latency — but
+//! the ROADMAP north-star is serving heavy traffic, so this measures what
+//! the parallel batch engine (`SearchEngine::search_batch`) actually buys:
+//! the same workload at several thread counts, with wall-clock vs summed
+//! per-query CPU time, speedup over the 1-thread run, and a machine-readable
+//! JSON dump (`BENCH_throughput.json`) for CI trend tracking.
+//!
+//! Speedup is hardware-bound: on an N-core host the curve flattens at ≈ N
+//! (the JSON records `host_cpus` so a 1-core CI runner's flat curve is not
+//! mistaken for a regression).
+
+use crate::data::{Dataset, FuncKind, Scale};
+use crate::table::{fmt_ms, print_table};
+use std::io::Write as _;
+use trajsearch_core::batch::BatchOptions;
+use trajsearch_core::SearchEngine;
+use wed::Sym;
+
+/// One measured point: a full workload at one thread count.
+#[derive(Debug, Clone)]
+pub struct ThroughputRow {
+    pub dataset: String,
+    pub func: &'static str,
+    pub threads: usize,
+    pub queries: usize,
+    pub wall_ms: f64,
+    pub cpu_ms: f64,
+    pub qps: f64,
+    /// Queries/sec relative to the 1-thread row of the same sweep.
+    pub speedup: f64,
+    pub results: usize,
+}
+
+/// Runs the same workload through `search_batch` at each thread count.
+/// The 1-thread run doubles as the correctness reference: every other run
+/// must return identical matches.
+pub fn run(
+    which: &str,
+    func: FuncKind,
+    threads: &[usize],
+    qlen: usize,
+    nqueries: usize,
+    tau_ratio: f64,
+    scale: Scale,
+) -> Vec<ThroughputRow> {
+    let d = Dataset::load(which, scale);
+    let model = d.model_sync(func);
+    let (store, alphabet) = d.store_for(func);
+    let engine: SearchEngine<'_, &(dyn wed::WedInstance + Sync)> =
+        SearchEngine::new(&*model, store, alphabet);
+    let workload: Vec<(Vec<Sym>, f64)> = d
+        .sample_queries(func, qlen, nqueries, 11)
+        .into_iter()
+        .map(|q| {
+            let tau = d.tau_for(&*model, &q, tau_ratio);
+            (q, tau)
+        })
+        .collect();
+
+    // Warm-up pass (index pages, allocator) excluded from measurement; its
+    // outcome is the correctness reference for every thread count.
+    let reference = engine.search_batch(&workload, BatchOptions::with_threads(1));
+
+    let mut rows = Vec::with_capacity(threads.len());
+    for &t in threads {
+        let out = engine.search_batch(&workload, BatchOptions::with_threads(t));
+        for (i, (got, want)) in out.outcomes.iter().zip(&reference.outcomes).enumerate() {
+            assert_eq!(
+                got.matches, want.matches,
+                "batch at {t} threads diverged from sequential on query {i}"
+            );
+        }
+        rows.push(ThroughputRow {
+            dataset: d.name.to_string(),
+            func: func.name(),
+            threads: out.stats.threads,
+            queries: out.stats.queries,
+            wall_ms: out.stats.wall_time.as_secs_f64() * 1e3,
+            cpu_ms: out.stats.cpu_time.as_secs_f64() * 1e3,
+            qps: out.stats.queries_per_sec(),
+            speedup: 1.0,
+            results: out.stats.merged.results,
+        });
+    }
+    // Normalize speedup against the 1-thread row (first row if none).
+    let base = rows
+        .iter()
+        .find(|r| r.threads == 1)
+        .or(rows.first())
+        .map(|r| r.qps)
+        .unwrap_or(1.0)
+        .max(f64::MIN_POSITIVE);
+    for r in &mut rows {
+        r.speedup = r.qps / base;
+    }
+    rows
+}
+
+pub fn print(rows: &[ThroughputRow]) {
+    println!(
+        "\nBatch throughput: queries/sec vs worker threads ({} host cpus)",
+        host_cpus()
+    );
+    print_table(
+        &[
+            "Dataset", "Func", "Threads", "Queries", "Wall ms", "CPU ms", "q/s", "Speedup",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.dataset.clone(),
+                    r.func.to_string(),
+                    r.threads.to_string(),
+                    r.queries.to_string(),
+                    fmt_ms(r.wall_ms),
+                    fmt_ms(r.cpu_ms),
+                    format!("{:.1}", r.qps),
+                    format!("{:.2}x", r.speedup),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}
+
+fn host_cpus() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Machine-checks the scaling claim: panics when the best multi-threaded
+/// row's speedup falls below `floor`. Skipped (with a notice) on hosts with
+/// fewer than 4 cpus, where the parallel path cannot express a speedup —
+/// there the correctness self-check inside [`run`] is the only meaningful
+/// gate. Wired to `repro throughput --min-speedup X` for CI.
+pub fn enforce_speedup_floor(rows: &[ThroughputRow], floor: f64) {
+    let cpus = host_cpus();
+    if cpus < 4 {
+        eprintln!("speedup floor {floor}x not enforced: host has only {cpus} cpu(s)");
+        return;
+    }
+    let best = rows
+        .iter()
+        .filter(|r| r.threads > 1)
+        .map(|r| r.speedup)
+        .fold(f64::NEG_INFINITY, f64::max);
+    assert!(
+        best >= floor,
+        "parallel batch engine scaling regression: best multi-thread speedup \
+         {best:.2}x is below the {floor:.2}x floor on a {cpus}-cpu host"
+    );
+    eprintln!("speedup floor {floor}x satisfied: best multi-thread speedup {best:.2}x");
+}
+
+/// Writes the rows as a machine-readable JSON document (hand-rolled — the
+/// build environment is offline, no serde). Every value is a number or a
+/// plain string, so any JSON parser can consume it.
+pub fn write_json(rows: &[ThroughputRow], path: &str) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "{{")?;
+    writeln!(f, "  \"experiment\": \"throughput\",")?;
+    writeln!(f, "  \"unit\": \"queries_per_sec\",")?;
+    writeln!(f, "  \"host_cpus\": {},", host_cpus())?;
+    writeln!(f, "  \"rows\": [")?;
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        writeln!(
+            f,
+            "    {{\"dataset\": \"{}\", \"func\": \"{}\", \"threads\": {}, \
+             \"queries\": {}, \"wall_ms\": {:.3}, \"cpu_ms\": {:.3}, \
+             \"qps\": {:.3}, \"speedup\": {:.3}, \"results\": {}}}{}",
+            r.dataset,
+            r.func,
+            r.threads,
+            r.queries,
+            r.wall_ms,
+            r.cpu_ms,
+            r.qps,
+            r.speedup,
+            r.results,
+            sep
+        )?;
+    }
+    writeln!(f, "  ]")?;
+    writeln!(f, "}}")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_rows_cover_thread_counts_and_agree() {
+        let rows = run("beijing", FuncKind::Lev, &[1, 2], 8, 3, 0.2, Scale(0.01));
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].threads, 1);
+        assert!(rows.iter().all(|r| r.qps > 0.0));
+        assert!(rows.iter().all(|r| r.queries == 3));
+        // Same workload, identical (asserted inside run) → same result count.
+        assert_eq!(rows[0].results, rows[1].results);
+        assert!((rows[0].speedup - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_dump_is_parsable_shape() {
+        let rows = run("beijing", FuncKind::Lev, &[1], 8, 2, 0.2, Scale(0.01));
+        let path = std::env::temp_dir().join("trajsearch_throughput_test.json");
+        let path = path.to_str().unwrap();
+        write_json(&rows, path).unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        std::fs::remove_file(path).ok();
+        assert!(text.starts_with('{') && text.trim_end().ends_with('}'));
+        assert!(text.contains("\"experiment\": \"throughput\""));
+        assert!(text.contains("\"threads\": 1"));
+        assert!(text.contains("\"host_cpus\""));
+        // Balanced braces/brackets — cheap well-formedness proxy.
+        assert_eq!(text.matches('{').count(), text.matches('}').count(),);
+        assert_eq!(text.matches('[').count(), text.matches(']').count());
+    }
+}

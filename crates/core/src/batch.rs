@@ -1,0 +1,284 @@
+//! Parallel batched query execution.
+//!
+//! The paper's engine (and [`SearchEngine::search_opts`]) answers one query
+//! at a time; a serving deployment sees a *workload*. Candidate verification
+//! is embarrassingly parallel per trajectory and queries are independent, so
+//! a batch fans out across `std::thread::scope` workers (no external
+//! thread-pool dependency):
+//!
+//! * **Across queries** — each worker claims whole queries from a shared
+//!   atomic cursor and runs the ordinary sequential pipeline on them. A
+//!   query's bidirectional-trie caches stay on the worker that built them
+//!   (the [`Verifier`](crate::verify::Verifier) is thread-local), so cache
+//!   locality is exactly that of the sequential engine.
+//! * **Within a query** — [`SearchEngine::par_search_opts`] shards one
+//!   query's candidate trajectories across workers; useful for tail-latency
+//!   on a single heavy query, not for throughput.
+//!
+//! Either way the result sets — distances included — are identical to
+//! sequential execution: workers never share mutable state, and the
+//! per-triple min-merge is associative.
+//!
+//! [`BatchStats`] complements the per-query [`SearchStats`] with wall-clock
+//! vs summed-CPU time so a throughput experiment can report queries/sec and
+//! effective parallel speedup directly.
+
+use crate::search::{SearchEngine, SearchOptions, SearchOutcome};
+use crate::stats::SearchStats;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+use wed::{Sym, WedInstance};
+
+/// Options for one batch run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchOptions {
+    /// Worker count; `0` means [`std::thread::available_parallelism`].
+    pub threads: usize,
+    /// Per-query options, applied to every query in the workload.
+    pub search: SearchOptions,
+}
+
+impl BatchOptions {
+    /// `threads` workers, default search options.
+    pub fn with_threads(threads: usize) -> Self {
+        BatchOptions {
+            threads,
+            ..Default::default()
+        }
+    }
+
+    fn resolve_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// Workload-level instrumentation: wall-clock vs CPU time plus the merged
+/// per-phase aggregates of every query.
+#[derive(Debug, Clone, Default)]
+pub struct BatchStats {
+    /// Wall-clock time of the whole batch (dispatch to last join).
+    pub wall_time: Duration,
+    /// Summed per-query phase time across all workers (`Σ total_time()`),
+    /// i.e. the time a 1-thread run would have spent inside the engine.
+    pub cpu_time: Duration,
+    /// Worker count actually used.
+    pub threads: usize,
+    /// Number of queries executed.
+    pub queries: usize,
+    /// Per-phase and counter aggregates merged over every query.
+    pub merged: SearchStats,
+}
+
+impl BatchStats {
+    /// Batch throughput in queries per second (wall-clock).
+    pub fn queries_per_sec(&self) -> f64 {
+        let secs = self.wall_time.as_secs_f64();
+        if secs > 0.0 {
+            self.queries as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Effective parallel speedup: engine CPU time over wall-clock time.
+    /// Bounded by `threads` (minus scheduling overhead); ≈ 1 on one core.
+    pub fn speedup(&self) -> f64 {
+        let wall = self.wall_time.as_secs_f64();
+        if wall > 0.0 {
+            self.cpu_time.as_secs_f64() / wall
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A batch answer: per-query outcomes in workload order plus batch stats.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// One [`SearchOutcome`] per workload entry, in input order.
+    pub outcomes: Vec<SearchOutcome>,
+    pub stats: BatchStats,
+}
+
+impl<'a, M: WedInstance + Sync> SearchEngine<'a, M> {
+    /// Executes a workload of `(query, τ)` pairs across scoped worker
+    /// threads and returns per-query outcomes in input order.
+    ///
+    /// Work distribution is dynamic (an atomic cursor), so a few heavy
+    /// queries cannot strand idle workers behind a static partition. Each
+    /// query runs the ordinary sequential pipeline, so outcomes are
+    /// *identical* — matches, distances and per-query counters — to calling
+    /// [`search_opts`](SearchEngine::search_opts) in a loop, for any thread
+    /// count.
+    ///
+    /// Requires `M: Sync`; memoizing wrappers with interior mutability (e.g.
+    /// `wed::models::Memo`) are not shareable — use the unmemoized model.
+    pub fn search_batch(&self, workload: &[(Vec<Sym>, f64)], opts: BatchOptions) -> BatchOutcome {
+        let threads = opts.resolve_threads().min(workload.len().max(1));
+        let t0 = Instant::now();
+
+        let mut slots: Vec<Option<SearchOutcome>> = Vec::with_capacity(workload.len());
+        slots.resize_with(workload.len(), || None);
+
+        if threads <= 1 {
+            for (slot, (q, tau)) in slots.iter_mut().zip(workload) {
+                *slot = Some(self.search_opts(q, *tau, opts.search));
+            }
+        } else {
+            let cursor = AtomicUsize::new(0);
+            let collected = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        let cursor = &cursor;
+                        scope.spawn(move || {
+                            let mut local: Vec<(usize, SearchOutcome)> = Vec::new();
+                            loop {
+                                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                                let Some((q, tau)) = workload.get(i) else {
+                                    break;
+                                };
+                                local.push((i, self.search_opts(q, *tau, opts.search)));
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("batch worker panicked"))
+                    .collect::<Vec<_>>()
+            });
+            for (i, outcome) in collected.into_iter().flatten() {
+                slots[i] = Some(outcome);
+            }
+        }
+        let wall_time = t0.elapsed();
+
+        let outcomes: Vec<SearchOutcome> = slots
+            .into_iter()
+            .map(|s| s.expect("every workload slot is filled"))
+            .collect();
+        let mut merged = SearchStats::default();
+        for o in &outcomes {
+            merged.merge(&o.stats);
+        }
+        let cpu_time = merged.total_time();
+        BatchOutcome {
+            stats: BatchStats {
+                wall_time,
+                cpu_time,
+                threads,
+                queries: outcomes.len(),
+                merged,
+            },
+            outcomes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::VerifyMode;
+    use traj::{Trajectory, TrajectoryStore};
+    use wed::models::Lev;
+
+    fn store() -> TrajectoryStore {
+        let mut s = TrajectoryStore::new();
+        s.push(Trajectory::untimed(vec![0, 1, 2, 3, 4]));
+        s.push(Trajectory::untimed(vec![3, 1, 5, 1, 2]));
+        s.push(Trajectory::untimed(vec![9, 8, 7, 6]));
+        s.push(Trajectory::untimed(vec![1, 2, 1, 2, 1]));
+        s
+    }
+
+    fn workload() -> Vec<(Vec<Sym>, f64)> {
+        vec![
+            (vec![1, 5, 2], 2.0),
+            (vec![1, 2], 1.0),
+            (vec![9, 8], 1.5),
+            (vec![7, 7, 7], 4.0), // infeasible for Lev: exercises fallback
+            (vec![0, 1, 2, 3], 2.0),
+        ]
+    }
+
+    #[test]
+    fn batch_equals_sequential_loop_in_order() {
+        let store = store();
+        let engine = SearchEngine::new(&Lev, &store, 10);
+        let wl = workload();
+        for mode in [VerifyMode::Trie, VerifyMode::Local, VerifyMode::Sw] {
+            let search = SearchOptions {
+                verify: mode,
+                ..Default::default()
+            };
+            let want: Vec<_> = wl
+                .iter()
+                .map(|(q, tau)| engine.search_opts(q, *tau, search))
+                .collect();
+            for threads in [1, 2, 3, 16] {
+                let got = engine.search_batch(&wl, BatchOptions { threads, search });
+                assert_eq!(got.outcomes.len(), want.len());
+                for (i, (g, w)) in got.outcomes.iter().zip(&want).enumerate() {
+                    assert_eq!(
+                        g.matches, w.matches,
+                        "query {i} diverged at threads={threads} mode={mode:?}"
+                    );
+                    assert_eq!(g.stats.candidates, w.stats.candidates);
+                    assert_eq!(g.stats.fallback, w.stats.fallback);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_stats_aggregate_the_workload() {
+        let store = store();
+        let engine = SearchEngine::new(&Lev, &store, 10);
+        let wl = workload();
+        let out = engine.search_batch(&wl, BatchOptions::with_threads(2));
+        assert_eq!(out.stats.queries, wl.len());
+        assert_eq!(out.stats.threads, 2);
+        assert!(out.stats.merged.fallback, "workload contains a fallback");
+        let sum: usize = out.outcomes.iter().map(|o| o.stats.results).sum();
+        assert_eq!(out.stats.merged.results, sum);
+        assert!(out.stats.wall_time > Duration::ZERO);
+        assert!(out.stats.cpu_time >= out.stats.merged.verify_time);
+        assert!(out.stats.queries_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn empty_workload_is_fine() {
+        let store = store();
+        let engine = SearchEngine::new(&Lev, &store, 10);
+        let out = engine.search_batch(&[], BatchOptions::with_threads(4));
+        assert!(out.outcomes.is_empty());
+        assert_eq!(out.stats.queries, 0);
+    }
+
+    #[test]
+    fn more_threads_than_queries_is_capped() {
+        let store = store();
+        let engine = SearchEngine::new(&Lev, &store, 10);
+        let wl = vec![(vec![1, 2], 1.0)];
+        let out = engine.search_batch(&wl, BatchOptions::with_threads(64));
+        assert_eq!(out.stats.threads, 1);
+        assert_eq!(out.outcomes.len(), 1);
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_available_parallelism() {
+        let store = store();
+        let engine = SearchEngine::new(&Lev, &store, 10);
+        let wl = workload();
+        let out = engine.search_batch(&wl, BatchOptions::default());
+        assert!(out.stats.threads >= 1);
+        assert_eq!(out.outcomes.len(), wl.len());
+    }
+}

@@ -123,6 +123,12 @@ impl FilterPlan {
 
     /// Predicted candidate count (the Definition 5 objective for the chosen
     /// subsequence); equals `candidates().len()`.
+    ///
+    /// This is the **pre-dedup upper bound**: when substitution
+    /// neighborhoods overlap, [`candidates`](FilterPlan::candidates) can
+    /// emit the same `(id, j, iq)` triple more than once, and verification
+    /// dedups exact triples before doing any DP work (compare
+    /// `SearchStats::candidates` against `SearchStats::candidates_deduped`).
     pub fn predicted_candidates(&self, index: &InvertedIndex) -> usize {
         self.chosen
             .iter()
@@ -186,6 +192,81 @@ mod tests {
         let plan = FilterPlan::build(&Lev, &idx, &[1, 3], 3.0);
         assert!(!plan.feasible);
         assert!(plan.candidates(&idx).is_empty());
+    }
+
+    /// A unit-cost model whose neighborhood enumeration repeats symbols —
+    /// the shape produced by overlapping `B(q)` sets — so that
+    /// `FilterPlan::candidates` emits exact duplicate triples.
+    #[derive(Clone, Copy)]
+    struct OverlappingNbr;
+
+    impl wed::CostModel for OverlappingNbr {
+        fn sub(&self, a: Sym, b: Sym) -> f64 {
+            if a == b {
+                0.0
+            } else {
+                1.0
+            }
+        }
+        fn ins(&self, _a: Sym) -> f64 {
+            1.0
+        }
+    }
+
+    impl WedInstance for OverlappingNbr {
+        fn name(&self) -> &'static str {
+            "OverlappingNbr"
+        }
+        fn neighbors(&self, q: Sym) -> Vec<Sym> {
+            // q's neighborhood overlaps itself: symbol 2 is enumerated from
+            // two sources, so its postings are read twice.
+            vec![q, 2, 2]
+        }
+        fn lower_cost(&self, _q: Sym) -> f64 {
+            1.0
+        }
+    }
+
+    #[test]
+    fn overlapping_neighborhoods_emit_duplicates_and_verification_dedups() {
+        use crate::stats::SearchStats;
+        use crate::verify::{verify_candidates, VerifyMode};
+
+        let (s, idx) = setup();
+        let q: Vec<Sym> = vec![3];
+        let plan = FilterPlan::build(&OverlappingNbr, &idx, &q, 1.0);
+        assert!(plan.feasible);
+        let cands = plan.candidates(&idx);
+        // predicted_candidates is the pre-dedup upper bound and matches the
+        // emitted (duplicate-carrying) list.
+        assert_eq!(plan.predicted_candidates(&idx), cands.len());
+        let mut unique = cands.clone();
+        unique.sort_unstable_by_key(|c| (c.id, c.j, c.iq));
+        unique.dedup();
+        assert!(
+            unique.len() < cands.len(),
+            "overlapping B(q) must emit duplicate triples ({} unique of {})",
+            unique.len(),
+            cands.len()
+        );
+
+        // Verification sees the duplicates but only verifies distinct
+        // triples.
+        let mut stats = SearchStats::default();
+        let _ = verify_candidates(
+            &OverlappingNbr,
+            &s,
+            |id| s.get(id).span(),
+            &q,
+            1.0,
+            &cands,
+            VerifyMode::Trie,
+            None,
+            false,
+            &mut stats,
+        );
+        assert_eq!(stats.candidates, cands.len());
+        assert_eq!(stats.candidates_deduped, unique.len());
     }
 
     #[test]

@@ -20,6 +20,10 @@
 //!   **bidirectional tries** caching DP columns across candidates (§5).
 //! * [`temporal`] — temporal constraints and the TF pre-filter (§4.3).
 //! * [`stats`] — the instrumentation behind Tables 4 and 5.
+//! * [`batch`] — parallel batched query execution over scoped threads
+//!   (per-query fan-out, thread-local tries), plus the in-query
+//!   per-trajectory sharding of
+//!   [`SearchEngine::par_search_opts`](search::SearchEngine::par_search_opts).
 //!
 //! ## Quick example
 //!
@@ -39,6 +43,7 @@
 //! assert!(hits.matches.iter().any(|m| m.id == 1 && m.dist == 1.0));
 //! ```
 
+pub mod batch;
 pub mod filter;
 pub mod index;
 pub mod mincand;
@@ -49,10 +54,11 @@ pub mod temporal;
 pub mod topk;
 pub mod verify;
 
+pub use batch::{BatchOptions, BatchOutcome, BatchStats};
 pub use filter::FilterPlan;
 pub use index::InvertedIndex;
 pub use results::{MatchResult, ResultSet};
-pub use search::{SearchEngine, SearchOptions, SearchOutcome};
+pub use search::{exact_fallback_scan, SearchEngine, SearchOptions, SearchOutcome};
 pub use stats::SearchStats;
 pub use temporal::{TemporalConstraint, TemporalPredicate, TimeInterval};
 pub use topk::{per_trajectory_best, TopKEntry};

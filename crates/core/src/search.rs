@@ -109,29 +109,29 @@ impl<'a, M: WedInstance> SearchEngine<'a, M> {
         self.search_opts(q, tau, SearchOptions::default())
     }
 
-    /// Algorithm 2 with configurable verification and temporal handling.
-    ///
-    /// When no τ-subsequence exists (`c(Q) < τ`, possible for continuous
-    /// cost models with small η), subsequence filtering would be unsound;
-    /// the engine transparently falls back to an exact Smith–Waterman scan
-    /// and sets `stats.fallback`.
-    pub fn search_opts(&self, q: &[Sym], tau: f64, opts: SearchOptions) -> SearchOutcome {
+    /// Phases 1–2, shared by the sequential and parallel paths: the MinCand
+    /// τ-subsequence plan, then candidate lookup (binary-searched when the
+    /// §4.3 temporal postings are available and requested). `None` means no
+    /// τ-subsequence exists and the caller must fall back to an exact scan.
+    fn filter_and_lookup(
+        &self,
+        q: &[Sym],
+        tau: f64,
+        opts: &SearchOptions,
+        stats: &mut SearchStats,
+    ) -> Option<Vec<crate::verify::Candidate>> {
         assert!(tau > 0.0, "threshold must be positive");
         assert!(!q.is_empty(), "query must be non-empty");
-        let mut stats = SearchStats::default();
 
-        // Phase 1: τ-subsequence optimization (MinCand).
         let t0 = Instant::now();
         let plan = FilterPlan::build(&self.model, &self.index, q, tau);
         stats.mincand_time = t0.elapsed();
         stats.tsubseq_len = plan.chosen.len();
 
         if !plan.feasible {
-            return self.fallback_scan(q, tau, opts, stats);
+            return None;
         }
 
-        // Phase 2: index lookup (binary-searched when the §4.3 temporal
-        // postings are available and requested).
         let t1 = Instant::now();
         let candidates = match (
             &opts.temporal,
@@ -141,6 +141,20 @@ impl<'a, M: WedInstance> SearchEngine<'a, M> {
             _ => plan.candidates(&self.index),
         };
         stats.lookup_time = t1.elapsed();
+        Some(candidates)
+    }
+
+    /// Algorithm 2 with configurable verification and temporal handling.
+    ///
+    /// When no τ-subsequence exists (`c(Q) < τ`, possible for continuous
+    /// cost models with small η), subsequence filtering would be unsound;
+    /// the engine transparently falls back to an exact Smith–Waterman scan
+    /// and sets `stats.fallback`.
+    pub fn search_opts(&self, q: &[Sym], tau: f64, opts: SearchOptions) -> SearchOutcome {
+        let mut stats = SearchStats::default();
+        let Some(candidates) = self.filter_and_lookup(q, tau, &opts, &mut stats) else {
+            return self.fallback_scan(q, tau, opts, stats);
+        };
 
         // Phase 3: verification.
         let t2 = Instant::now();
@@ -161,7 +175,52 @@ impl<'a, M: WedInstance> SearchEngine<'a, M> {
         SearchOutcome { matches, stats }
     }
 
-    /// Exact full scan used when filtering is infeasible.
+    /// [`search_opts`](SearchEngine::search_opts) with the verification
+    /// phase — the dominant cost in the paper's Table 4 breakdown — sharded
+    /// across `threads` scoped workers, each verifying whole trajectories
+    /// with its own thread-local [`Verifier`](crate::verify::Verifier). The
+    /// result set (distances included) is identical to the sequential path
+    /// for any thread count; `threads <= 1` *is* the sequential path.
+    ///
+    /// For throughput over many queries prefer
+    /// [`search_batch`](SearchEngine::search_batch), which parallelizes
+    /// across queries and keeps each query's trie cache on one worker.
+    pub fn par_search_opts(
+        &self,
+        q: &[Sym],
+        tau: f64,
+        opts: SearchOptions,
+        threads: usize,
+    ) -> SearchOutcome
+    where
+        M: Sync,
+    {
+        let mut stats = SearchStats::default();
+        let Some(candidates) = self.filter_and_lookup(q, tau, &opts, &mut stats) else {
+            return self.fallback_scan(q, tau, opts, stats);
+        };
+
+        let t2 = Instant::now();
+        let matches = crate::verify::par_verify_candidates(
+            &self.model,
+            self.store,
+            |id| self.index.span(id),
+            q,
+            tau,
+            &candidates,
+            opts.verify,
+            opts.temporal.as_ref(),
+            opts.temporal_filter,
+            threads,
+            &mut stats,
+        );
+        stats.verify_time = t2.elapsed();
+
+        SearchOutcome { matches, stats }
+    }
+
+    /// Exact full scan used when filtering is infeasible; see
+    /// [`exact_fallback_scan`] for the stats contract.
     fn fallback_scan(
         &self,
         q: &[Sym],
@@ -169,31 +228,80 @@ impl<'a, M: WedInstance> SearchEngine<'a, M> {
         opts: SearchOptions,
         mut stats: SearchStats,
     ) -> SearchOutcome {
-        stats.fallback = true;
-        let t = Instant::now();
-        let mut rs = crate::results::ResultSet::new();
-        for (id, traj) in self.store.iter() {
-            if let (Some(c), true) = (opts.temporal.as_ref(), opts.temporal_filter) {
-                if !c.may_contain_match(traj.span()) {
-                    continue;
-                }
-            }
-            stats.sw_columns += traj.len() as u64;
-            for m in sw_scan_all(&self.model, traj.path(), q, tau) {
-                rs.push(id, m.start, m.end, m.dist);
-            }
-        }
-        if let Some(c) = opts.temporal.as_ref() {
-            rs.retain(|id, s, t| {
-                let times = self.store.get(id).times();
-                c.accepts(times[s], times[t])
-            });
-        }
-        let matches = rs.into_sorted_vec();
-        stats.results = matches.len();
-        stats.verify_time = t.elapsed();
+        let matches = exact_fallback_scan(
+            &self.model,
+            self.store,
+            q,
+            tau,
+            opts.temporal.as_ref(),
+            opts.temporal_filter,
+            &mut stats,
+        );
         SearchOutcome { matches, stats }
     }
+}
+
+/// Exact Smith–Waterman scan of a whole store — the soundness fallback when
+/// no τ-subsequence exists (`c(Q) < τ`). Shared by [`SearchEngine`] and the
+/// filtering baselines so every method reports the same stats shape.
+///
+/// Sets `stats.fallback` and populates the counters coherently with the
+/// indexed path so that merging a workload's stats never mixes incomparable
+/// rows: every trajectory position counts as a candidate (that is what the
+/// scan verifies), the TF pre-filter is charged to `lookup_time`, and
+/// `sw_columns` counts each scanned trajectory once — hence
+/// `sw_columns == candidates_after_temporal` on this path.
+pub fn exact_fallback_scan<M: wed::CostModel>(
+    model: &M,
+    store: &TrajectoryStore,
+    q: &[Sym],
+    tau: f64,
+    temporal: Option<&TemporalConstraint>,
+    temporal_filter: bool,
+    stats: &mut SearchStats,
+) -> Vec<crate::results::MatchResult> {
+    stats.fallback = true;
+
+    // "Lookup" phase: select the trajectories to scan (TF pre-filter),
+    // mirroring candidate generation on the indexed path.
+    let t1 = Instant::now();
+    let mut scan: Vec<traj::TrajId> = Vec::with_capacity(store.len());
+    let mut total_positions = 0usize;
+    let mut scanned_positions = 0usize;
+    for (id, traj) in store.iter() {
+        total_positions += traj.len();
+        if let (Some(c), true) = (temporal, temporal_filter) {
+            if !c.may_contain_match(traj.span()) {
+                continue;
+            }
+        }
+        scanned_positions += traj.len();
+        scan.push(id);
+    }
+    stats.candidates = total_positions;
+    stats.candidates_after_temporal = scanned_positions;
+    stats.candidates_deduped = scanned_positions;
+    stats.lookup_time = t1.elapsed();
+
+    let t2 = Instant::now();
+    let mut rs = crate::results::ResultSet::new();
+    for id in scan {
+        let traj = store.get(id);
+        stats.sw_columns += traj.len() as u64;
+        for m in sw_scan_all(model, traj.path(), q, tau) {
+            rs.push(id, m.start, m.end, m.dist);
+        }
+    }
+    if let Some(c) = temporal {
+        rs.retain(|id, s, t| {
+            let times = store.get(id).times();
+            c.accepts(times[s], times[t])
+        });
+    }
+    let matches = rs.into_sorted_vec();
+    stats.results = matches.len();
+    stats.verify_time = t2.elapsed();
+    matches
 }
 
 #[cfg(test)]
@@ -303,6 +411,67 @@ mod tests {
         // Every substring of every trajectory matches at that tau.
         let total: usize = store.iter().map(|(_, t)| t.len() * (t.len() + 1) / 2).sum();
         assert_eq!(out.matches.len(), total);
+    }
+
+    #[test]
+    fn fallback_stats_are_coherent() {
+        // Regression: the fallback path used to leave `candidates`,
+        // `candidates_after_temporal` and `lookup_time` zeroed, so merged
+        // workload stats silently mixed incomparable rows.
+        use crate::temporal::{TemporalConstraint, TimeInterval};
+        let net = Arc::new(CityParams::tiny(NetworkKind::Grid).generate());
+        let erp = Erp::new(net.clone(), 5.0);
+        let mut store = TrajectoryStore::new();
+        store.push(Trajectory::new(vec![0, 1, 2], vec![0.0, 1.0, 2.0]));
+        store.push(Trajectory::new(vec![10, 11], vec![100.0, 101.0]));
+        let engine = SearchEngine::new(&erp, &store, net.num_vertices());
+        let total_positions: usize = store.iter().map(|(_, t)| t.len()).sum();
+
+        // No temporal constraint: every position is a candidate and gets
+        // scanned.
+        let out = engine.search(&[0, 1], 1e9);
+        assert!(out.stats.fallback);
+        assert_eq!(out.stats.candidates, total_positions);
+        assert_eq!(out.stats.candidates_after_temporal, total_positions);
+        assert_eq!(out.stats.candidates_deduped, total_positions);
+        assert_eq!(out.stats.sw_columns, total_positions as u64);
+        assert_eq!(out.stats.results, out.matches.len());
+
+        // TF pre-filter prunes the late trajectory before scanning.
+        let opts = SearchOptions {
+            temporal: Some(TemporalConstraint::overlaps(TimeInterval::new(0.0, 50.0))),
+            temporal_filter: true,
+            ..Default::default()
+        };
+        let out_tf = engine.search_opts(&[0, 1], 1e9, opts);
+        assert!(out_tf.stats.fallback);
+        assert_eq!(out_tf.stats.candidates, total_positions);
+        assert_eq!(out_tf.stats.candidates_after_temporal, 3);
+        assert_eq!(out_tf.stats.sw_columns, 3);
+        assert!(out_tf.stats.candidates_after_temporal < out_tf.stats.candidates);
+    }
+
+    #[test]
+    fn par_search_matches_sequential() {
+        let store = toy_store();
+        let engine = SearchEngine::new(&Lev, &store, 10);
+        let q: Vec<Sym> = vec![1, 5, 2];
+        for tau in [1.0, 2.0, 3.0] {
+            for mode in [VerifyMode::Trie, VerifyMode::Local, VerifyMode::Sw] {
+                let opts = SearchOptions {
+                    verify: mode,
+                    ..Default::default()
+                };
+                let want = engine.search_opts(&q, tau, opts);
+                for threads in [1, 2, 4] {
+                    let got = engine.par_search_opts(&q, tau, opts, threads);
+                    assert_eq!(
+                        got.matches, want.matches,
+                        "tau={tau} mode={mode:?} threads={threads}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -16,18 +16,31 @@ pub struct SearchStats {
     pub lookup_time: Duration,
     /// Time spent verifying candidates (Algorithms 3–6).
     pub verify_time: Duration,
-    /// Number of generated candidates `(id, j, iq)`.
+    /// Number of generated candidates `(id, j, iq)`. On the fallback path
+    /// (no τ-subsequence) every trajectory position counts as a candidate —
+    /// that is exactly what the exact scan verifies — so workload-merged
+    /// stats stay comparable across the two paths.
     pub candidates: usize,
     /// Candidates surviving the temporal filter (equals `candidates` when no
     /// temporal constraint is active).
     pub candidates_after_temporal: usize,
+    /// Candidates remaining after exact-triple deduplication (overlapping
+    /// substitution neighborhoods can emit the same `(id, j, iq)` several
+    /// times; only distinct triples are verified). Always
+    /// `≤ candidates_after_temporal`.
+    pub candidates_deduped: usize,
     /// Length of the chosen τ-subsequence `|Q'|`.
     pub tsubseq_len: usize,
     /// True when no τ-subsequence exists (`c(Q) < τ`) and the engine fell
     /// back to an exact Smith–Waterman scan.
     pub fallback: bool,
-    /// DP columns a Smith–Waterman verification of every candidate would
-    /// compute (`Σ |P|` over candidates) — the UPR denominator.
+    /// DP columns an exact Smith–Waterman verification would compute — the
+    /// UPR denominator. In SW mode the scan runs once per **distinct**
+    /// candidate trajectory, so `Σ |P|` is accumulated once per deduped id
+    /// (not per candidate, which would inflate the Table 5 denominator
+    /// whenever one trajectory carries several anchors). Local/Trie modes
+    /// accumulate `|P|` per verified (deduped) candidate, the work a
+    /// per-candidate scan would have done in their place.
     pub sw_columns: u64,
     /// DP columns actually visited before early termination (Eq. 11) —
     /// UPR numerator / CMR denominator.
@@ -68,6 +81,7 @@ impl SearchStats {
         self.verify_time += other.verify_time;
         self.candidates += other.candidates;
         self.candidates_after_temporal += other.candidates_after_temporal;
+        self.candidates_deduped += other.candidates_deduped;
         self.tsubseq_len += other.tsubseq_len;
         self.fallback |= other.fallback;
         self.sw_columns += other.sw_columns;

@@ -120,8 +120,11 @@ impl DpTrie {
         self.nodes.len()
     }
 
+    /// True when nothing beyond the always-present root column is cached
+    /// (root-only semantics: a fresh trie holds no data-symbol columns, so
+    /// `is_empty() == (len() == 1)`).
     pub fn is_empty(&self) -> bool {
-        false // root always exists
+        self.nodes.len() == 1
     }
 }
 
@@ -282,12 +285,116 @@ fn prefix_weds_local<M: CostModel>(
 // Top-level verification (Algorithm 3)
 // ---------------------------------------------------------------------------
 
+/// Applies the TF pre-filter, sorts by `(id, j, iq)` and removes exact
+/// duplicate triples. Overlapping substitution neighborhoods can emit the
+/// same `(id, j, iq)` several times; verifying each copy repeats the whole
+/// bidirectional DP (correctness survives only through the ResultSet
+/// min-merge), so only distinct triples proceed. The sort doubles as the
+/// per-trajectory grouping the shard runner relies on.
+fn prepare_candidates(
+    index_span: impl Fn(TrajId) -> (f64, f64),
+    candidates: &[Candidate],
+    temporal: Option<&TemporalConstraint>,
+    temporal_filter: bool,
+    stats: &mut SearchStats,
+) -> Vec<Candidate> {
+    stats.candidates = candidates.len();
+    let mut filtered: Vec<Candidate> = match (temporal, temporal_filter) {
+        (Some(c), true) => candidates
+            .iter()
+            .filter(|cand| c.may_contain_match(index_span(cand.id)))
+            .cloned()
+            .collect(),
+        _ => candidates.to_vec(),
+    };
+    stats.candidates_after_temporal = filtered.len();
+    filtered.sort_unstable_by_key(|c| (c.id, c.j, c.iq));
+    filtered.dedup();
+    stats.candidates_deduped = filtered.len();
+    filtered
+}
+
+/// Contiguous `[start, end)` runs of equal trajectory id in a sorted
+/// candidate slice — the unit of work distribution: a whole trajectory's
+/// anchors stay together so one worker's tries and scans share its locality.
+fn trajectory_groups(sorted: &[Candidate]) -> Vec<(usize, usize)> {
+    let mut groups = Vec::new();
+    let mut start = 0;
+    for i in 1..=sorted.len() {
+        if i == sorted.len() || sorted[i].id != sorted[start].id {
+            groups.push((start, i));
+            start = i;
+        }
+    }
+    groups
+}
+
+/// Verifies a set of whole-trajectory groups with one [`Verifier`] (one set
+/// of tries) into a private result set — the unit both the sequential path
+/// (all groups, one call) and each parallel worker run.
+fn verify_shard<M: CostModel>(
+    model: &M,
+    store: &TrajectoryStore,
+    q: &[Sym],
+    tau: f64,
+    sorted: &[Candidate],
+    groups: &[(usize, usize)],
+    mode: VerifyMode,
+    results: &mut ResultSet,
+    stats: &mut SearchStats,
+) {
+    match mode {
+        VerifyMode::Sw => {
+            // One exact scan per distinct candidate trajectory; the UPR
+            // denominator counts each scanned trajectory once.
+            for &(start, _) in groups {
+                let id = sorted[start].id;
+                let path = store.get(id).path();
+                stats.sw_columns += path.len() as u64;
+                for m in sw_scan_all(model, path, q, tau) {
+                    results.push(id, m.start, m.end, m.dist);
+                }
+            }
+        }
+        VerifyMode::Local | VerifyMode::Trie => {
+            let mut verifier = Verifier::new(model, q, tau, mode);
+            for &(start, end) in groups {
+                let path = store.get(sorted[start].id).path();
+                for cand in &sorted[start..end] {
+                    verifier.verify_candidate(path, *cand, results, stats);
+                }
+            }
+        }
+    }
+}
+
+/// Exact temporal post-check, deterministic ordering, result count.
+fn finish_verification(
+    mut results: ResultSet,
+    store: &TrajectoryStore,
+    temporal: Option<&TemporalConstraint>,
+    stats: &mut SearchStats,
+) -> Vec<crate::results::MatchResult> {
+    if let Some(c) = temporal {
+        results.retain(|id, s, t| {
+            let times = store.get(id).times();
+            c.accepts(times[s], times[t])
+        });
+    }
+    let out = results.into_sorted_vec();
+    stats.results = out.len();
+    out
+}
+
 /// Verifies a candidate set and returns the exact Definition 3 result set.
 ///
 /// With a [`TemporalConstraint`] and `temporal_filter = true`, candidates
 /// whose trajectory span cannot overlap the query interval are pruned before
 /// verification (the TF strategy of §4.3); the exact per-match span check is
-/// applied afterwards in both cases.
+/// applied afterwards in both cases. Exact duplicate triples are verified
+/// once (`stats.candidates_deduped`).
+///
+/// This is the single-shard special case of [`par_verify_candidates`].
 #[allow(clippy::too_many_arguments)]
 pub fn verify_candidates<M: CostModel>(
     model: &M,
@@ -301,56 +408,133 @@ pub fn verify_candidates<M: CostModel>(
     temporal_filter: bool,
     stats: &mut SearchStats,
 ) -> Vec<crate::results::MatchResult> {
+    let sorted = prepare_candidates(index_span, candidates, temporal, temporal_filter, stats);
+    let groups = trajectory_groups(&sorted);
     let mut results = ResultSet::new();
-    stats.candidates = candidates.len();
+    verify_shard(
+        model,
+        store,
+        q,
+        tau,
+        &sorted,
+        &groups,
+        mode,
+        &mut results,
+        stats,
+    );
+    finish_verification(results, store, temporal, stats)
+}
 
-    // Optional temporal pre-filter (TF).
-    let filtered: Vec<Candidate> = match (temporal, temporal_filter) {
-        (Some(c), true) => candidates
-            .iter()
-            .filter(|cand| c.may_contain_match(index_span(cand.id)))
-            .cloned()
-            .collect(),
-        _ => candidates.to_vec(),
-    };
-    stats.candidates_after_temporal = filtered.len();
-
-    match mode {
-        VerifyMode::Sw => {
-            // One exact scan per distinct candidate trajectory.
-            let mut ids: Vec<TrajId> = filtered.iter().map(|c| c.id).collect();
-            ids.sort_unstable();
-            ids.dedup();
-            for cand in &filtered {
-                stats.sw_columns += store.get(cand.id).len() as u64;
-            }
-            for id in ids {
-                let path = store.get(id).path();
-                for m in sw_scan_all(model, path, q, tau) {
-                    results.push(id, m.start, m.end, m.dist);
-                }
-            }
-        }
-        VerifyMode::Local | VerifyMode::Trie => {
-            let mut verifier = Verifier::new(model, q, tau, mode);
-            for cand in &filtered {
-                let path = store.get(cand.id).path();
-                verifier.verify_candidate(path, *cand, &mut results, stats);
-            }
+/// Splits the group list into at most `shards` contiguous slices of roughly
+/// equal candidate count (groups are never split: a trajectory's anchors
+/// stay on one worker).
+fn partition_groups(
+    groups: &[(usize, usize)],
+    total: usize,
+    shards: usize,
+) -> Vec<&[(usize, usize)]> {
+    if groups.is_empty() {
+        return Vec::new();
+    }
+    let shards = shards.clamp(1, groups.len());
+    let target = total.div_ceil(shards);
+    let mut out = Vec::with_capacity(shards);
+    let mut start = 0;
+    let mut acc = 0;
+    for (i, &(s, e)) in groups.iter().enumerate() {
+        acc += e - s;
+        // Close the shard once it carries its share; the last shard takes
+        // whatever remains (at most `shards` slices, each non-empty).
+        if acc >= target && out.len() + 1 < shards {
+            out.push(&groups[start..=i]);
+            start = i + 1;
+            acc = 0;
         }
     }
-
-    // Exact temporal check on matched spans.
-    if let Some(c) = temporal {
-        results.retain(|id, s, t| {
-            let times = store.get(id).times();
-            c.accepts(times[s], times[t])
-        });
+    if start < groups.len() {
+        out.push(&groups[start..]);
     }
-
-    let out = results.into_sorted_vec();
-    stats.results = out.len();
     out
+}
+
+/// Parallel [`verify_candidates`]: trajectory groups are sharded across
+/// `threads` scoped workers, each holding its own [`Verifier`] (thread-local
+/// DP-trie caches) and private [`ResultSet`]; shard outputs are min-merged,
+/// so the result set — distances included — is identical to the sequential
+/// path for any thread count.
+///
+/// Counter totals (`sw_columns`, `columns_passed`, `stepdp_calls`) are
+/// summed across shards; Trie-mode cache-hit counters can legitimately
+/// differ from a 1-thread run because tries are per-worker.
+#[allow(clippy::too_many_arguments)]
+pub fn par_verify_candidates<M: CostModel + Sync>(
+    model: &M,
+    store: &TrajectoryStore,
+    index_span: impl Fn(TrajId) -> (f64, f64),
+    q: &[Sym],
+    tau: f64,
+    candidates: &[Candidate],
+    mode: VerifyMode,
+    temporal: Option<&TemporalConstraint>,
+    temporal_filter: bool,
+    threads: usize,
+    stats: &mut SearchStats,
+) -> Vec<crate::results::MatchResult> {
+    let sorted = prepare_candidates(index_span, candidates, temporal, temporal_filter, stats);
+    let groups = trajectory_groups(&sorted);
+    let shards = partition_groups(&groups, sorted.len(), threads);
+
+    let mut results = ResultSet::new();
+    if shards.len() <= 1 {
+        // Sequential special case: no threads, no merge.
+        verify_shard(
+            model,
+            store,
+            q,
+            tau,
+            &sorted,
+            &groups,
+            mode,
+            &mut results,
+            stats,
+        );
+    } else {
+        let outputs = std::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .iter()
+                .map(|shard| {
+                    let sorted = &sorted;
+                    scope.spawn(move || {
+                        let mut local_results = ResultSet::new();
+                        let mut local_stats = SearchStats::default();
+                        verify_shard(
+                            model,
+                            store,
+                            q,
+                            tau,
+                            sorted,
+                            shard,
+                            mode,
+                            &mut local_results,
+                            &mut local_stats,
+                        );
+                        (local_results, local_stats)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("verification worker panicked"))
+                .collect::<Vec<_>>()
+        });
+        for (shard_results, shard_stats) in outputs {
+            results.merge(shard_results);
+            stats.sw_columns += shard_stats.sw_columns;
+            stats.columns_passed += shard_stats.columns_passed;
+            stats.stepdp_calls += shard_stats.stepdp_calls;
+        }
+    }
+    finish_verification(results, store, temporal, stats)
 }
 
 #[cfg(test)]
@@ -602,5 +786,150 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(trie.len(), 2);
         assert!(!trie.is_empty());
+    }
+
+    #[test]
+    fn trie_is_empty_iff_root_only() {
+        // Regression: `is_empty` used to return `false` unconditionally,
+        // contradicting the root-only state that `len() == 1` reports.
+        let mut trie = DpTrie::new(&Lev, vec![1, 2]);
+        assert!(trie.is_empty(), "a fresh trie caches no data columns");
+        assert_eq!(trie.len(), 1);
+        trie.child(&Lev, 0, 9);
+        assert!(!trie.is_empty());
+        assert_eq!(trie.len(), 2);
+    }
+
+    #[test]
+    fn sw_mode_counts_columns_per_distinct_trajectory() {
+        // Regression: SW mode used to accumulate `sw_columns` once per
+        // candidate while scanning once per distinct trajectory, inflating
+        // the UPR denominator whenever a trajectory carries several anchors.
+        let store = store_of(&[&[1, 2, 1, 2, 1]]);
+        let q: Vec<Sym> = vec![1];
+        let cands = all_candidates(&store, &q);
+        assert_eq!(cands.len(), 3, "three anchors in the single trajectory");
+        let mut stats = SearchStats::default();
+        let _ = verify_candidates(
+            &Lev,
+            &store,
+            |id| store.get(id).span(),
+            &q,
+            0.5,
+            &cands,
+            VerifyMode::Sw,
+            None,
+            false,
+            &mut stats,
+        );
+        // Exactly one scan of the length-5 trajectory.
+        assert_eq!(stats.sw_columns, 5);
+    }
+
+    #[test]
+    fn duplicate_candidates_verified_once() {
+        // Regression: exact duplicate `(id, j, iq)` triples used to be fully
+        // re-verified (correctness survived only via the ResultSet
+        // min-merge). They must be deduped before verification.
+        let store = store_of(&[&[0, 1, 2, 3, 4]]);
+        let q: Vec<Sym> = vec![1, 2];
+        let unique = all_candidates(&store, &q);
+        let mut dup = unique.clone();
+        dup.extend_from_slice(&unique);
+        dup.extend_from_slice(&unique);
+
+        let run_with = |cands: &[Candidate]| {
+            let mut stats = SearchStats::default();
+            let got = verify_candidates(
+                &Lev,
+                &store,
+                |id| store.get(id).span(),
+                &q,
+                1.5,
+                cands,
+                VerifyMode::Trie,
+                None,
+                false,
+                &mut stats,
+            );
+            (got, stats)
+        };
+        let (got_unique, stats_unique) = run_with(&unique);
+        let (got_dup, stats_dup) = run_with(&dup);
+
+        assert_eq!(got_dup, got_unique, "dedup must not change results");
+        assert_eq!(stats_dup.candidates, 3 * unique.len());
+        assert_eq!(stats_dup.candidates_deduped, unique.len());
+        // The DP work is that of the unique set, not three times it.
+        assert_eq!(stats_dup.sw_columns, stats_unique.sw_columns);
+        assert_eq!(stats_dup.columns_passed, stats_unique.columns_passed);
+        assert_eq!(stats_dup.stepdp_calls, stats_unique.stepdp_calls);
+    }
+
+    #[test]
+    fn par_verify_matches_sequential_for_all_thread_counts() {
+        let store = store_of(&[
+            &[0, 1, 2, 3, 4],
+            &[3, 1, 5, 1, 2],
+            &[9, 8, 7],
+            &[1, 2, 1, 2, 1, 2],
+            &[5, 1, 2, 5],
+        ]);
+        let q: Vec<Sym> = vec![1, 5, 2];
+        for tau in [1.0, 2.0, 3.0] {
+            let cands = all_candidates(&store, &q);
+            for mode in [VerifyMode::Sw, VerifyMode::Local, VerifyMode::Trie] {
+                let mut seq_stats = SearchStats::default();
+                let want = verify_candidates(
+                    &Lev,
+                    &store,
+                    |id| store.get(id).span(),
+                    &q,
+                    tau,
+                    &cands,
+                    mode,
+                    None,
+                    false,
+                    &mut seq_stats,
+                );
+                for threads in [1, 2, 3, 8] {
+                    let mut stats = SearchStats::default();
+                    let got = par_verify_candidates(
+                        &Lev,
+                        &store,
+                        |id| store.get(id).span(),
+                        &q,
+                        tau,
+                        &cands,
+                        mode,
+                        None,
+                        false,
+                        threads,
+                        &mut stats,
+                    );
+                    assert_eq!(got, want, "mode {mode:?} tau {tau} threads {threads}");
+                    assert_eq!(stats.candidates_deduped, seq_stats.candidates_deduped);
+                    // SW columns are per distinct trajectory, independent of
+                    // sharding.
+                    if mode == VerifyMode::Sw {
+                        assert_eq!(stats.sw_columns, seq_stats.sw_columns);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partition_groups_is_a_complete_cover() {
+        // Groups of candidate counts 3, 1, 4, 1, 5 (total 14).
+        let groups = vec![(0, 3), (3, 4), (4, 8), (8, 9), (9, 14)];
+        for shards in 1..=7 {
+            let parts = partition_groups(&groups, 14, shards);
+            assert!(parts.len() <= shards.max(1));
+            assert!(parts.iter().all(|p| !p.is_empty()));
+            let flat: Vec<(usize, usize)> = parts.iter().flat_map(|p| p.iter().copied()).collect();
+            assert_eq!(flat, groups, "shards={shards} must cover every group once");
+        }
+        assert!(partition_groups(&[], 0, 4).is_empty());
     }
 }

@@ -1,0 +1,188 @@
+//! Randomized equivalence: batched/parallel execution must be byte-identical
+//! to the sequential engine.
+//!
+//! `search_batch` runs each query on one worker and `par_search_opts` shards
+//! one query's verification across workers; in both cases workers never
+//! share mutable state and the per-triple min-merge is associative, so the
+//! outcomes — match triples *and* `f64` distances — must equal the
+//! sequential `search_opts` exactly (`assert_eq!`, no epsilon) across verify
+//! modes, temporal constraints, thread counts, and the fallback path.
+
+use proptest::prelude::*;
+use rnet::{CityParams, NetworkKind, RoadNetwork};
+use std::sync::Arc;
+use traj::{Trajectory, TrajectoryStore};
+use trajsearch_core::batch::BatchOptions;
+use trajsearch_core::{SearchEngine, SearchOptions, TemporalConstraint, TimeInterval, VerifyMode};
+use wed::models::{Edr, Erp, Lev};
+use wed::{Sym, WedInstance};
+
+fn net() -> Arc<RoadNetwork> {
+    Arc::new(CityParams::tiny(NetworkKind::Grid).generate())
+}
+
+/// Timed store: trajectory `i` departs at `10·i` with unit steps, so small
+/// query intervals split the store into in-window and out-of-window parts.
+fn timed_store(paths: Vec<Vec<Sym>>) -> TrajectoryStore {
+    paths
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let t0 = 10.0 * i as f64;
+            let times: Vec<f64> = (0..p.len()).map(|k| t0 + k as f64).collect();
+            Trajectory::new(p, times)
+        })
+        .collect()
+}
+
+/// Asserts batch (at several worker counts) and in-query parallel
+/// verification both reproduce the sequential outcome exactly.
+fn check_equivalence<M: WedInstance + Sync>(
+    model: M,
+    store: &TrajectoryStore,
+    alphabet: usize,
+    workload: &[(Vec<Sym>, f64)],
+    opts: SearchOptions,
+) -> Result<(), TestCaseError> {
+    let engine = SearchEngine::new(model, store, alphabet);
+    let want: Vec<_> = workload
+        .iter()
+        .map(|(q, tau)| engine.search_opts(q, *tau, opts))
+        .collect();
+
+    for threads in [1, 2, 4] {
+        let got = engine.search_batch(
+            workload,
+            BatchOptions {
+                threads,
+                search: opts,
+            },
+        );
+        prop_assert_eq!(got.outcomes.len(), want.len());
+        for (i, (g, w)) in got.outcomes.iter().zip(&want).enumerate() {
+            // Byte-identical: same triples, same f64 distances, same order.
+            prop_assert_eq!(
+                &g.matches,
+                &w.matches,
+                "batch query {} at {} threads",
+                i,
+                threads
+            );
+            prop_assert_eq!(g.stats.fallback, w.stats.fallback);
+            prop_assert_eq!(g.stats.candidates, w.stats.candidates);
+            prop_assert_eq!(g.stats.candidates_deduped, w.stats.candidates_deduped);
+            prop_assert_eq!(g.stats.results, w.stats.results);
+        }
+
+        for (i, (q, tau)) in workload.iter().enumerate() {
+            let g = engine.par_search_opts(q, *tau, opts, threads);
+            prop_assert_eq!(
+                &g.matches,
+                &want[i].matches,
+                "par_search query {} at {} threads",
+                i,
+                threads
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Unit costs, every verify mode, including infeasible-τ workloads that
+    /// exercise the fallback scan inside a batch.
+    #[test]
+    fn batch_equals_sequential_for_lev(
+        paths in proptest::collection::vec(proptest::collection::vec(0u32..12, 1..12), 1..8),
+        queries in proptest::collection::vec(
+            (proptest::collection::vec(0u32..12, 1..6), 1u32..4),
+            1..5,
+        ),
+        mode_i in 0usize..3,
+    ) {
+        let store: TrajectoryStore = paths.into_iter().map(Trajectory::untimed).collect();
+        // tau > |Q| makes Lev filtering infeasible: mixing feasible and
+        // fallback queries in one workload is the interesting case.
+        let workload: Vec<(Vec<Sym>, f64)> = queries
+            .into_iter()
+            .map(|(q, tau_i)| {
+                let tau = tau_i as f64;
+                (q, tau)
+            })
+            .collect();
+        let mode = [VerifyMode::Trie, VerifyMode::Local, VerifyMode::Sw][mode_i];
+        let opts = SearchOptions { verify: mode, ..Default::default() };
+        check_equivalence(Lev, &store, 12, &workload, opts)?;
+    }
+
+    /// Network-backed EDR with spatial neighborhoods.
+    #[test]
+    fn batch_equals_sequential_for_edr(
+        paths in proptest::collection::vec(proptest::collection::vec(0u32..64, 1..10), 1..6),
+        queries in proptest::collection::vec(
+            (proptest::collection::vec(0u32..64, 1..5), 1u32..4),
+            1..4,
+        ),
+        mode_i in 0usize..3,
+    ) {
+        let n = net();
+        let edr = Edr::new(n.clone(), 130.0);
+        let store: TrajectoryStore = paths.into_iter().map(Trajectory::untimed).collect();
+        let workload: Vec<(Vec<Sym>, f64)> = queries
+            .into_iter()
+            .map(|(q, tau_i)| (q, tau_i as f64))
+            .collect();
+        let mode = [VerifyMode::Trie, VerifyMode::Local, VerifyMode::Sw][mode_i];
+        let opts = SearchOptions { verify: mode, ..Default::default() };
+        check_equivalence(&edr, &store, n.num_vertices(), &workload, opts)?;
+    }
+
+    /// ERP: continuous costs where large τ forces the fallback scan.
+    #[test]
+    fn batch_equals_sequential_for_erp_with_fallback(
+        paths in proptest::collection::vec(proptest::collection::vec(0u32..64, 1..8), 1..5),
+        queries in proptest::collection::vec(
+            (proptest::collection::vec(0u32..64, 1..4), 30.0f64..3000.0),
+            1..4,
+        ),
+    ) {
+        let n = net();
+        let erp = Erp::new(n.clone(), 150.0);
+        let store: TrajectoryStore = paths.into_iter().map(Trajectory::untimed).collect();
+        let workload: Vec<(Vec<Sym>, f64)> = queries.into_iter().collect();
+        let opts = SearchOptions::default();
+        check_equivalence(&erp, &store, n.num_vertices(), &workload, opts)?;
+    }
+
+    /// Temporal constraints, with and without the TF candidate pre-filter.
+    #[test]
+    fn batch_equals_sequential_under_temporal_constraints(
+        paths in proptest::collection::vec(proptest::collection::vec(0u32..12, 1..10), 1..8),
+        queries in proptest::collection::vec(
+            (proptest::collection::vec(0u32..12, 1..5), 1u32..4),
+            1..4,
+        ),
+        win_start in 0.0f64..60.0,
+        win_len in 1.0f64..40.0,
+        tf_i in 0u32..2,
+        mode_i in 0usize..3,
+    ) {
+        let tf = tf_i == 1;
+        let store = timed_store(paths);
+        let workload: Vec<(Vec<Sym>, f64)> = queries
+            .into_iter()
+            .map(|(q, tau_i)| (q, tau_i as f64))
+            .collect();
+        let constraint =
+            TemporalConstraint::overlaps(TimeInterval::new(win_start, win_start + win_len));
+        let opts = SearchOptions {
+            verify: [VerifyMode::Trie, VerifyMode::Local, VerifyMode::Sw][mode_i],
+            temporal: Some(constraint),
+            temporal_filter: tf,
+            ..Default::default()
+        };
+        check_equivalence(Lev, &store, 12, &workload, opts)?;
+    }
+}

@@ -1,0 +1,74 @@
+//! Batch throughput: answer a whole query workload with the parallel batch
+//! engine and compare queries/sec across worker-thread counts.
+//!
+//! The batch engine fans whole queries out across scoped threads (each
+//! worker keeps its own DP-trie caches), so results are identical to running
+//! the queries one by one — this example asserts that, then prints the
+//! throughput curve. Expect the speedup to flatten at the host's core count.
+//!
+//! ```sh
+//! cargo run --release --example batch_throughput
+//! ```
+
+use rnet::{CityParams, NetworkKind};
+use std::sync::Arc;
+use traj::TripConfig;
+use trajsearch_core::batch::BatchOptions;
+use trajsearch_core::SearchEngine;
+use wed::models::Edr;
+use wed::Sym;
+
+fn main() {
+    // A synthetic city and a trajectory database of purposeful trips.
+    let net = Arc::new(CityParams::small(NetworkKind::City).seed(42).generate());
+    let store = TripConfig::default()
+        .count(800)
+        .lengths(30, 80)
+        .seed(7)
+        .generate(&net);
+    println!(
+        "database: {} trajectories on {} vertices; host has {} cpu(s)",
+        store.len(),
+        net.num_vertices(),
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+
+    // EDR with a 100 m matching threshold; a workload of 32 queries cut from
+    // stored trips, each allowed ~10% edits.
+    let model = Edr::new(net.clone(), 100.0);
+    let engine = SearchEngine::new(&model, &store, net.num_vertices());
+    let workload: Vec<(Vec<Sym>, f64)> = (0..32)
+        .map(|i| {
+            let t = store.get((i * 13) % store.len() as u32);
+            let len = t.len().min(40);
+            let q = t.subpath(0, len - 1).to_vec();
+            let tau = (0.1 * len as f64).max(1.0);
+            (q, tau)
+        })
+        .collect();
+
+    // Sequential reference (1 worker) — every parallel run must match it.
+    let reference = engine.search_batch(&workload, BatchOptions::with_threads(1));
+    println!(
+        "workload: {} queries, {} total matches\n",
+        reference.stats.queries, reference.stats.merged.results
+    );
+
+    println!("threads  wall ms    cpu ms     q/s    speedup");
+    let base_qps = reference.stats.queries_per_sec();
+    for threads in [1, 2, 4, 8] {
+        let out = engine.search_batch(&workload, BatchOptions::with_threads(threads));
+        for (got, want) in out.outcomes.iter().zip(&reference.outcomes) {
+            assert_eq!(got.matches, want.matches, "parallel run diverged");
+        }
+        println!(
+            "{:>7}  {:>8.2}  {:>8.2}  {:>6.1}  {:>6.2}x",
+            out.stats.threads,
+            out.stats.wall_time.as_secs_f64() * 1e3,
+            out.stats.cpu_time.as_secs_f64() * 1e3,
+            out.stats.queries_per_sec(),
+            out.stats.queries_per_sec() / base_qps.max(f64::MIN_POSITIVE),
+        );
+    }
+    println!("\nall thread counts returned identical results");
+}
