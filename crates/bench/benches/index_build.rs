@@ -1,0 +1,35 @@
+//! Sharded-index construction (criterion): `ShardedIndex::build_parallel`
+//! at 1/2/4 shards, plus the serial `InvertedIndex::build` baseline.
+//!
+//! Tiny scale so `cargo bench` stays fast; the full sweep with the JSON dump
+//! is `repro index-build`. On a single-core host the shard counts should
+//! tie — the interesting signal is that the parallel path adds no gross
+//! spawning or partitioning cost over the single-list build.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use trajsearch_bench::data::{Dataset, Scale};
+use trajsearch_core::{InvertedIndex, ShardedIndex};
+
+fn bench(c: &mut Criterion) {
+    let d = Dataset::load("beijing", Scale::tiny());
+    let alphabet = d.net.num_vertices();
+
+    let mut g = c.benchmark_group("index_build");
+    g.sample_size(10);
+    g.bench_function("inverted", |b| {
+        b.iter(|| std::hint::black_box(InvertedIndex::build(&d.store, alphabet)))
+    });
+    for shards in [1, 2, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("sharded", format!("s={shards}")),
+            &shards,
+            |b, &s| {
+                b.iter(|| std::hint::black_box(ShardedIndex::build_parallel(&d.store, alphabet, s)))
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -21,6 +21,8 @@
 //!   fig13    eta sweep (ERP / NetERP)
 //!   throughput  batch-engine queries/sec at 1/2/4/8 threads
 //!               (also writes BENCH_throughput.json)
+//!   index-build sharded-index construction at 1/2/4/8 shards
+//!               (also writes BENCH_index.json)
 //!   all      everything above
 //! ```
 //!
@@ -79,7 +81,7 @@ fn parse_args() -> Args {
 
 fn print_usage() {
     eprintln!(
-        "usage: repro <table2|fig4|table3|fig5|fig6|fig7|fig8|fig9|fig10|table4|table5|table6|fig11|fig12|fig13|throughput|all> [--scale S] [--queries N] [--min-speedup X]"
+        "usage: repro <table2|fig4|table3|fig5|fig6|fig7|fig8|fig9|fig10|table4|table5|table6|fig11|fig12|fig13|throughput|index-build|all> [--scale S] [--queries N] [--min-speedup X]"
     );
 }
 
@@ -250,6 +252,14 @@ fn main() {
             throughput::enforce_speedup_floor(&rows, floor);
         }
     }
+    if all || exp == "index-build" {
+        let rows = index_build::run("beijing", &[1, 2, 4, 8], scale);
+        index_build::print(&rows);
+        let path = "BENCH_index.json";
+        index_build::write_json(&rows, path)
+            .unwrap_or_else(|e| panic!("could not write {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
     if !all
         && ![
             "table2",
@@ -268,6 +278,7 @@ fn main() {
             "fig12",
             "fig13",
             "throughput",
+            "index-build",
         ]
         .contains(&exp)
     {

@@ -1,0 +1,166 @@
+//! Sharded-index construction scaling: build wall-time at 1/2/4/8 shards.
+//!
+//! Not a paper experiment — the paper builds its index once, serially
+//! (Table 6) — but the ROADMAP's scaling direction needs index
+//! *construction* and appends to parallelize, which is what
+//! `ShardedIndex::build_parallel` provides. This measures the same store
+//! indexed at several shard counts, self-checks every build against the
+//! single-list `InvertedIndex`, and emits a machine-readable JSON dump
+//! (`BENCH_index.json`) for CI trend tracking.
+//!
+//! Speedup is hardware-bound exactly like `BENCH_throughput.json`: the
+//! curve flattens at the host's core count (recorded as `host_cpus`), and a
+//! 1-core runner legitimately reports ≈ 1.0x.
+
+use super::{host_cpus, write_bench_json};
+use crate::data::{Dataset, Scale};
+use crate::table::{fmt_bytes, fmt_ms, print_table};
+use std::time::Instant;
+use trajsearch_core::{InvertedIndex, PostingSource, ShardedIndex};
+
+/// One measured point: a full parallel build at one shard count.
+#[derive(Debug, Clone)]
+pub struct IndexBuildRow {
+    pub dataset: String,
+    pub shards: usize,
+    pub trajectories: usize,
+    pub postings: usize,
+    pub build_ms: f64,
+    /// Build-time speedup relative to the 1-shard row of the same sweep.
+    pub speedup: f64,
+    pub size_bytes: usize,
+}
+
+/// Builds the index at each shard count and self-checks equivalence: every
+/// sharded build must report the same trajectory count, postings total and
+/// per-symbol frequencies as the `InvertedIndex` reference (full postings
+/// equivalence is proptested in `core/tests/index_equivalence.rs`; here the
+/// cheap invariants run at experiment scale on every CI run).
+pub fn run(which: &str, shard_counts: &[usize], scale: Scale) -> Vec<IndexBuildRow> {
+    let d = Dataset::load(which, scale);
+    let alphabet = d.net.num_vertices();
+    let reference = InvertedIndex::build(&d.store, alphabet);
+
+    let mut rows = Vec::with_capacity(shard_counts.len());
+    for &shards in shard_counts {
+        let t0 = Instant::now();
+        let idx = ShardedIndex::build_parallel(&d.store, alphabet, shards);
+        let wall = t0.elapsed();
+
+        assert_eq!(idx.num_trajectories(), reference.num_trajectories());
+        assert_eq!(idx.total_postings(), reference.total_postings());
+        for q in 0..alphabet as u32 {
+            assert_eq!(
+                PostingSource::freq(&idx, q),
+                reference.freq(q),
+                "freq({q}) diverged at {shards} shards"
+            );
+        }
+
+        rows.push(IndexBuildRow {
+            dataset: d.name.to_string(),
+            shards: idx.num_shards(),
+            trajectories: idx.num_trajectories(),
+            postings: idx.total_postings(),
+            build_ms: wall.as_secs_f64() * 1e3,
+            speedup: 1.0,
+            size_bytes: idx.size_bytes(),
+        });
+    }
+    // Normalize speedup against the 1-shard row (first row if none).
+    let base = rows
+        .iter()
+        .find(|r| r.shards == 1)
+        .or(rows.first())
+        .map(|r| r.build_ms)
+        .unwrap_or(1.0)
+        .max(f64::MIN_POSITIVE);
+    for r in &mut rows {
+        r.speedup = base / r.build_ms.max(f64::MIN_POSITIVE);
+    }
+    rows
+}
+
+pub fn print(rows: &[IndexBuildRow]) {
+    println!(
+        "\nSharded index construction: build time vs shard count ({} host cpus)",
+        host_cpus()
+    );
+    print_table(
+        &[
+            "Dataset", "Shards", "Traj", "Postings", "Build ms", "Speedup", "Size",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.dataset.clone(),
+                    r.shards.to_string(),
+                    r.trajectories.to_string(),
+                    r.postings.to_string(),
+                    fmt_ms(r.build_ms),
+                    format!("{:.2}x", r.speedup),
+                    fmt_bytes(r.size_bytes),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}
+
+/// Writes the rows as a machine-readable JSON document mirroring
+/// `BENCH_throughput.json` (shared envelope:
+/// [`write_bench_json`](super::write_bench_json)).
+pub fn write_json(rows: &[IndexBuildRow], path: &str) -> std::io::Result<()> {
+    let rendered: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"dataset\": \"{}\", \"shards\": {}, \"trajectories\": {}, \
+                 \"postings\": {}, \"build_ms\": {:.3}, \"speedup\": {:.3}, \
+                 \"size_bytes\": {}}}",
+                r.dataset,
+                r.shards,
+                r.trajectories,
+                r.postings,
+                r.build_ms,
+                r.speedup,
+                r.size_bytes
+            )
+        })
+        .collect();
+    write_bench_json(path, "index_build", "build_ms", &rendered)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_cover_shard_counts_and_agree_on_totals() {
+        let rows = run("beijing", &[1, 2, 4], Scale(0.01));
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].shards, 1);
+        assert!(rows.iter().all(|r| r.build_ms > 0.0));
+        // Same store at every shard count → identical totals.
+        assert!(rows
+            .windows(2)
+            .all(|w| w[0].postings == w[1].postings && w[0].trajectories == w[1].trajectories));
+        assert!((rows[0].speedup - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_dump_is_parsable_shape() {
+        let rows = run("beijing", &[1, 2], Scale(0.01));
+        let path = std::env::temp_dir().join("trajsearch_index_build_test.json");
+        let path = path.to_str().unwrap();
+        write_json(&rows, path).unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        std::fs::remove_file(path).ok();
+        assert!(text.starts_with('{') && text.trim_end().ends_with('}'));
+        assert!(text.contains("\"experiment\": \"index_build\""));
+        assert!(text.contains("\"shards\": 1"));
+        assert!(text.contains("\"host_cpus\""));
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
+        assert_eq!(text.matches('[').count(), text.matches(']').count());
+    }
+}

@@ -1,15 +1,52 @@
 //! One module per table/figure of the paper's evaluation (§6), plus
 //! engineering experiments beyond the paper ([`throughput`]: the parallel
-//! batch engine's queries/sec scaling).
+//! batch engine's queries/sec scaling; [`index_build`]: sharded index
+//! construction time vs shard count).
 //!
 //! Each module exposes a `run_*` function returning plain rows plus a
 //! `print_*` helper; the `repro` binary wires them to subcommands. The
 //! mapping to the paper is tabulated in `DESIGN.md` §5 and the measured
 //! shapes are recorded in `EXPERIMENTS.md`.
 
+use std::io::Write as _;
+
+/// Host core count, recorded in every `BENCH_*.json` dump so a 1-core CI
+/// runner's flat speedup curve is not mistaken for a regression.
+pub(crate) fn host_cpus() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Writes the shared `BENCH_*.json` envelope (hand-rolled — the build
+/// environment is offline, no serde): experiment name, unit, `host_cpus`,
+/// and a `rows` array of pre-rendered JSON objects. Keeping one writer
+/// guarantees every dump stays consumable by the same CI trend tooling.
+pub(crate) fn write_bench_json(
+    path: &str,
+    experiment: &str,
+    unit: &str,
+    rows: &[String],
+) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "{{")?;
+    writeln!(f, "  \"experiment\": \"{experiment}\",")?;
+    writeln!(f, "  \"unit\": \"{unit}\",")?;
+    writeln!(f, "  \"host_cpus\": {},", host_cpus())?;
+    writeln!(f, "  \"rows\": [")?;
+    for (i, row) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        writeln!(f, "    {row}{sep}")?;
+    }
+    writeln!(f, "  ]")?;
+    writeln!(f, "}}")?;
+    Ok(())
+}
+
 pub mod candidates;
 pub mod enum_baselines;
 pub mod eta;
+pub mod index_build;
 pub mod naturalness;
 pub mod query_time;
 pub mod table2;

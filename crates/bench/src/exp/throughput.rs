@@ -11,9 +11,9 @@
 //! (the JSON records `host_cpus` so a 1-core CI runner's flat curve is not
 //! mistaken for a regression).
 
+use super::{host_cpus, write_bench_json};
 use crate::data::{Dataset, FuncKind, Scale};
 use crate::table::{fmt_ms, print_table};
-use std::io::Write as _;
 use trajsearch_core::batch::BatchOptions;
 use trajsearch_core::SearchEngine;
 use wed::Sym;
@@ -125,12 +125,6 @@ pub fn print(rows: &[ThroughputRow]) {
     );
 }
 
-fn host_cpus() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-}
-
 /// Machine-checks the scaling claim: panics when the best multi-threaded
 /// row's speedup falls below `floor`. Skipped (with a notice) on hosts with
 /// fewer than 4 cpus, where the parallel path cannot express a speedup —
@@ -155,38 +149,30 @@ pub fn enforce_speedup_floor(rows: &[ThroughputRow], floor: f64) {
     eprintln!("speedup floor {floor}x satisfied: best multi-thread speedup {best:.2}x");
 }
 
-/// Writes the rows as a machine-readable JSON document (hand-rolled — the
-/// build environment is offline, no serde). Every value is a number or a
-/// plain string, so any JSON parser can consume it.
+/// Writes the rows as a machine-readable JSON document (shared envelope:
+/// [`write_bench_json`](super::write_bench_json)). Every value is a number
+/// or a plain string, so any JSON parser can consume it.
 pub fn write_json(rows: &[ThroughputRow], path: &str) -> std::io::Result<()> {
-    let mut f = std::fs::File::create(path)?;
-    writeln!(f, "{{")?;
-    writeln!(f, "  \"experiment\": \"throughput\",")?;
-    writeln!(f, "  \"unit\": \"queries_per_sec\",")?;
-    writeln!(f, "  \"host_cpus\": {},", host_cpus())?;
-    writeln!(f, "  \"rows\": [")?;
-    for (i, r) in rows.iter().enumerate() {
-        let sep = if i + 1 == rows.len() { "" } else { "," };
-        writeln!(
-            f,
-            "    {{\"dataset\": \"{}\", \"func\": \"{}\", \"threads\": {}, \
-             \"queries\": {}, \"wall_ms\": {:.3}, \"cpu_ms\": {:.3}, \
-             \"qps\": {:.3}, \"speedup\": {:.3}, \"results\": {}}}{}",
-            r.dataset,
-            r.func,
-            r.threads,
-            r.queries,
-            r.wall_ms,
-            r.cpu_ms,
-            r.qps,
-            r.speedup,
-            r.results,
-            sep
-        )?;
-    }
-    writeln!(f, "  ]")?;
-    writeln!(f, "}}")?;
-    Ok(())
+    let rendered: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"dataset\": \"{}\", \"func\": \"{}\", \"threads\": {}, \
+                 \"queries\": {}, \"wall_ms\": {:.3}, \"cpu_ms\": {:.3}, \
+                 \"qps\": {:.3}, \"speedup\": {:.3}, \"results\": {}}}",
+                r.dataset,
+                r.func,
+                r.threads,
+                r.queries,
+                r.wall_ms,
+                r.cpu_ms,
+                r.qps,
+                r.speedup,
+                r.results
+            )
+        })
+        .collect();
+    write_bench_json(path, "throughput", "queries_per_sec", &rendered)
 }
 
 #[cfg(test)]

@@ -23,6 +23,7 @@
 //! vs summed-CPU time so a throughput experiment can report queries/sec and
 //! effective parallel speedup directly.
 
+use crate::index::PostingSource;
 use crate::search::{SearchEngine, SearchOptions, SearchOutcome};
 use crate::stats::SearchStats;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -106,7 +107,7 @@ pub struct BatchOutcome {
     pub stats: BatchStats,
 }
 
-impl<'a, M: WedInstance + Sync> SearchEngine<'a, M> {
+impl<'a, M: WedInstance + Sync, I: PostingSource + Sync> SearchEngine<'a, M, I> {
     /// Executes a workload of `(query, τ)` pairs across scoped worker
     /// threads and returns per-query outcomes in input order.
     ///

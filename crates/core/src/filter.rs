@@ -8,7 +8,7 @@
 //! off the postings lists of all `b ∈ B(q)`, `q ∈ Q'` (Algorithm 2 lines
 //! 3–6).
 
-use crate::index::InvertedIndex;
+use crate::index::PostingSource;
 use crate::mincand::{min_cand, Item, Selection};
 use crate::verify::Candidate;
 use std::collections::HashMap;
@@ -33,7 +33,17 @@ impl FilterPlan {
     /// Builds the plan: materializes `B(q)` and `c(q)` per query position
     /// (memoized per distinct symbol), prices positions by
     /// `N_q = Σ_{b∈B(q)} n(b)`, and runs MinCand.
-    pub fn build<M: WedInstance>(model: &M, index: &InvertedIndex, q: &[Sym], tau: f64) -> Self {
+    ///
+    /// Generic over the [`PostingSource`] layout; only `n(q)` is consumed
+    /// here and frequencies are layout-independent, so the plan — and hence
+    /// the candidate multiset — is identical for every source over the same
+    /// store.
+    pub fn build<M: WedInstance, I: PostingSource>(
+        model: &M,
+        index: &I,
+        q: &[Sym],
+        tau: f64,
+    ) -> Self {
         assert!(tau > 0.0, "threshold must be positive");
         assert!(!q.is_empty(), "query must be non-empty");
         let mut memo: HashMap<Sym, (Vec<Sym>, f64, f64)> = HashMap::new();
@@ -74,11 +84,15 @@ impl FilterPlan {
 
     /// Algorithm 2 lines 3–6: candidates from the postings lists of every
     /// substitution neighbor of every chosen element.
-    pub fn candidates(&self, index: &InvertedIndex) -> Vec<Candidate> {
+    ///
+    /// Candidate *order* follows the source's iteration order (shard-major
+    /// for a sharded source); verification sorts and dedups before any DP
+    /// work, so results do not depend on it.
+    pub fn candidates<I: PostingSource>(&self, index: &I) -> Vec<Candidate> {
         let mut out = Vec::new();
         for (pos, _sym, nbrs) in &self.chosen {
             for &b in nbrs {
-                for &(id, j) in index.postings(b) {
+                for (id, j) in index.postings(b) {
                     out.push(Candidate {
                         id,
                         j,
@@ -92,22 +106,24 @@ impl FilterPlan {
 
     /// §4.3 extension: candidate generation that skips trajectories unable
     /// to satisfy the temporal constraint, using binary search on
-    /// by-departure postings ([`InvertedIndex::enable_temporal_postings`]).
+    /// by-departure postings
+    /// ([`PostingSource::postings_departing_by`]).
     ///
     /// A trajectory can only contain a satisfying match if its span
     /// intersects the query interval: departure ≤ `I.end` (binary-searched
-    /// prefix) and arrival ≥ `I.start` (checked per record). Sound for both
-    /// `Overlaps` and `Within` predicates.
-    pub fn candidates_temporal(
+    /// prefix, per shard for a sharded source) and arrival ≥ `I.start`
+    /// (checked per record). Sound for both `Overlaps` and `Within`
+    /// predicates.
+    pub fn candidates_temporal<I: PostingSource>(
         &self,
-        index: &InvertedIndex,
+        index: &I,
         constraint: &crate::temporal::TemporalConstraint,
     ) -> Vec<Candidate> {
         let interval = constraint.interval;
         let mut out = Vec::new();
         for (pos, _sym, nbrs) in &self.chosen {
             for &b in nbrs {
-                for &(_dep, (id, j)) in index.postings_departing_by(b, interval.end) {
+                for (_dep, (id, j)) in index.postings_departing_by(b, interval.end) {
                     if index.span(id).1 >= interval.start {
                         out.push(Candidate {
                             id,
@@ -129,7 +145,7 @@ impl FilterPlan {
     /// emit the same `(id, j, iq)` triple more than once, and verification
     /// dedups exact triples before doing any DP work (compare
     /// `SearchStats::candidates` against `SearchStats::candidates_deduped`).
-    pub fn predicted_candidates(&self, index: &InvertedIndex) -> usize {
+    pub fn predicted_candidates<I: PostingSource>(&self, index: &I) -> usize {
         self.chosen
             .iter()
             .map(|(_, _, nbrs)| nbrs.iter().map(|&b| index.freq(b) as usize).sum::<usize>())
@@ -140,6 +156,7 @@ impl FilterPlan {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::index::InvertedIndex;
     use traj::{Trajectory, TrajectoryStore};
     use wed::models::Lev;
 

@@ -13,6 +13,67 @@ use wed::Sym;
 /// position `j` (0-based).
 pub type Posting = (TrajId, u32);
 
+/// Everything the filtering and search layers consume from a postings
+/// index, abstracted so the storage layout is swappable: contiguous
+/// per-symbol lists ([`InvertedIndex`]), postings partitioned by trajectory
+/// id ([`ShardedIndex`](crate::sharded::ShardedIndex)), or future layouts
+/// (compressed, trie-backed, remote shards) — without changing query
+/// semantics.
+///
+/// All consumers are monomorphized over the implementor (no `dyn` in the
+/// hot path). The contract mirrors the paper's §4.1 index:
+///
+/// * [`postings`](PostingSource::postings) iterates `L_q`. **Iteration
+///   order is source-defined** — a sharded source yields shard-major order
+///   — and consumers must not rely on it; verification sorts and dedups
+///   candidates before any DP work, which is what makes search results
+///   independent of the layout.
+/// * [`freq`](PostingSource::freq) is the global `n(q)` (with
+///   multiplicity), identical across layouts so the MinCand plan — and
+///   hence the candidate set — is byte-identical.
+/// * [`postings_departing_by`](PostingSource::postings_departing_by) is the
+///   §4.3 temporal refinement: every posting of `L_q` whose trajectory
+///   departs no later than `t_max`, again in source-defined order.
+pub trait PostingSource {
+    /// Iterates the postings list `L_q` in source-defined order.
+    fn postings(&self, q: Sym) -> impl Iterator<Item = Posting> + '_;
+
+    /// Symbol frequency `n(q)` (with multiplicity, per the Definition 5
+    /// remark). Layout-independent: equals `postings(q).count()`.
+    fn freq(&self, q: Sym) -> u32;
+
+    /// Trajectory time span `[T_1, T_n]` (the `I^(id)` of §4.3).
+    fn span(&self, id: TrajId) -> (f64, f64);
+
+    /// Every posting of `L_q` whose trajectory departs no later than
+    /// `t_max`, in source-defined order, paired with the departure time.
+    ///
+    /// # Panics
+    /// Panics if temporal postings were not enabled on the source.
+    fn postings_departing_by(
+        &self,
+        q: Sym,
+        t_max: f64,
+    ) -> impl Iterator<Item = (f64, Posting)> + '_;
+
+    /// Whether the by-departure ordering is available (and hence
+    /// [`postings_departing_by`](PostingSource::postings_departing_by) may
+    /// be called).
+    fn has_temporal_postings(&self) -> bool;
+
+    /// `|Σ|`: the number of per-symbol postings lists.
+    fn alphabet_size(&self) -> usize;
+
+    /// Number of indexed trajectories.
+    fn num_trajectories(&self) -> usize;
+
+    /// Total number of postings records across all symbols.
+    fn total_postings(&self) -> usize;
+
+    /// Approximate index memory footprint in bytes (Table 6).
+    fn size_bytes(&self) -> usize;
+}
+
 /// Inverted index with per-symbol postings and frequencies.
 #[derive(Debug, Clone)]
 pub struct InvertedIndex {
@@ -62,9 +123,17 @@ impl InvertedIndex {
     /// appending a new record to the corresponding postings list"). The id
     /// must be the next dense id (i.e. the store's `push` return value).
     ///
-    /// Invalidates the optional by-departure ordering, which is rebuilt on
-    /// the next [`enable_temporal_postings`] call.
+    /// **Drops the optional by-departure ordering**: keeping `dep_postings`
+    /// across an append would let `postings_departing_by` serve answers that
+    /// silently omit the appended trajectory, so the ordering is invalidated
+    /// instead — [`has_temporal_postings`] reports `false` (searches with
+    /// `use_temporal_postings` fall back to full-list candidate generation)
+    /// and [`postings_departing_by`] panics until the next
+    /// [`enable_temporal_postings`] call rebuilds the ordering with the new
+    /// records included.
     ///
+    /// [`has_temporal_postings`]: InvertedIndex::has_temporal_postings
+    /// [`postings_departing_by`]: InvertedIndex::postings_departing_by
     /// [`enable_temporal_postings`]: InvertedIndex::enable_temporal_postings
     pub fn append(&mut self, id: TrajId, t: &traj::Trajectory) {
         assert_eq!(
@@ -164,6 +233,55 @@ impl InvertedIndex {
     }
 }
 
+/// The contiguous single-list layout is the canonical [`PostingSource`]
+/// (and the 1-shard special case of
+/// [`ShardedIndex`](crate::sharded::ShardedIndex)). The trait methods
+/// delegate to the inherent slice-returning accessors, which remain the
+/// preferred API when the concrete type is known.
+impl PostingSource for InvertedIndex {
+    fn postings(&self, q: Sym) -> impl Iterator<Item = Posting> + '_ {
+        self.postings[q as usize].iter().copied()
+    }
+
+    fn freq(&self, q: Sym) -> u32 {
+        InvertedIndex::freq(self, q)
+    }
+
+    fn span(&self, id: TrajId) -> (f64, f64) {
+        InvertedIndex::span(self, id)
+    }
+
+    fn postings_departing_by(
+        &self,
+        q: Sym,
+        t_max: f64,
+    ) -> impl Iterator<Item = (f64, Posting)> + '_ {
+        InvertedIndex::postings_departing_by(self, q, t_max)
+            .iter()
+            .copied()
+    }
+
+    fn has_temporal_postings(&self) -> bool {
+        InvertedIndex::has_temporal_postings(self)
+    }
+
+    fn alphabet_size(&self) -> usize {
+        InvertedIndex::alphabet_size(self)
+    }
+
+    fn num_trajectories(&self) -> usize {
+        InvertedIndex::num_trajectories(self)
+    }
+
+    fn total_postings(&self) -> usize {
+        InvertedIndex::total_postings(self)
+    }
+
+    fn size_bytes(&self) -> usize {
+        InvertedIndex::size_bytes(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,11 +343,103 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "ids must stay dense")]
+    #[should_panic(expected = "ids must stay dense: expected 2, got 7")]
     fn append_rejects_gaps() {
         let s = store();
         let mut idx = InvertedIndex::build(&s, 4);
         idx.append(7, &Trajectory::untimed(vec![1]));
+    }
+
+    #[test]
+    fn empty_store_builds_an_empty_index() {
+        let s = TrajectoryStore::new();
+        let mut idx = InvertedIndex::build(&s, 5);
+        assert_eq!(idx.num_trajectories(), 0);
+        assert_eq!(idx.total_postings(), 0);
+        assert_eq!(idx.alphabet_size(), 5);
+        for q in 0..5u32 {
+            assert!(idx.postings(q).is_empty());
+            assert_eq!(idx.freq(q), 0);
+        }
+        // Headers are still accounted for.
+        assert_eq!(idx.size_bytes(), 5 * std::mem::size_of::<Vec<Posting>>());
+        // Temporal ordering over nothing is fine.
+        idx.enable_temporal_postings();
+        assert!(idx.has_temporal_postings());
+        assert!(idx.postings_departing_by(0, f64::INFINITY).is_empty());
+    }
+
+    #[test]
+    fn symbol_with_no_postings_is_empty_everywhere() {
+        let mut idx = InvertedIndex::build(&store(), 4);
+        assert!(idx.postings(3).is_empty());
+        assert_eq!(idx.freq(3), 0);
+        idx.enable_temporal_postings();
+        assert!(idx.postings_departing_by(3, f64::INFINITY).is_empty());
+        // The trait view agrees with the inherent one.
+        assert_eq!(PostingSource::postings(&idx, 3).count(), 0);
+        assert_eq!(
+            PostingSource::postings_departing_by(&idx, 3, 1e9).count(),
+            0
+        );
+    }
+
+    #[test]
+    fn append_drops_temporal_postings_and_rebuild_sees_new_records() {
+        // Regression: serving by-departure answers across an append would
+        // silently omit the appended trajectory, so `append` must drop the
+        // ordering and the next enable must rebuild it with the new records.
+        let mut s = store();
+        let mut idx = InvertedIndex::build(&s, 4);
+        idx.enable_temporal_postings();
+        assert_eq!(idx.postings_departing_by(1, 100.0).len(), 2);
+
+        let extra = Trajectory::new(vec![1, 3], vec![1.0, 2.0]);
+        let id = s.push(extra.clone());
+        idx.append(id, &extra);
+        assert!(
+            !idx.has_temporal_postings(),
+            "append must invalidate the by-departure ordering"
+        );
+
+        idx.enable_temporal_postings();
+        let all = idx.postings_departing_by(1, 100.0);
+        assert_eq!(all.len(), 3, "rebuild must include the appended record");
+        // The appended trajectory departs earliest, so it sorts first and
+        // is the only one departing by t=4.
+        assert_eq!(all[0].1, (id, 0));
+        let early = idx.postings_departing_by(1, 4.0);
+        assert_eq!(early, &[(1.0, (id, 0))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "temporal postings not enabled")]
+    fn departing_by_after_append_panics_until_reenabled() {
+        let mut s = store();
+        let mut idx = InvertedIndex::build(&s, 4);
+        idx.enable_temporal_postings();
+        let extra = Trajectory::untimed(vec![1]);
+        let id = s.push(extra.clone());
+        idx.append(id, &extra);
+        idx.postings_departing_by(1, 100.0);
+    }
+
+    #[test]
+    fn size_bytes_monotone_under_appends() {
+        let mut s = store();
+        let mut idx = InvertedIndex::build(&s, 4);
+        let mut last = idx.size_bytes();
+        for path in [vec![0], vec![1, 2, 3], vec![2, 2, 2, 2]] {
+            let t = Trajectory::untimed(path);
+            let id = s.push(t.clone());
+            idx.append(id, &t);
+            let now = idx.size_bytes();
+            assert!(
+                now > last,
+                "size_bytes must grow strictly with every append ({now} <= {last})"
+            );
+            last = now;
+        }
     }
 
     #[test]

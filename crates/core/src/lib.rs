@@ -14,7 +14,12 @@
 //!   substitution neighborhood `B(Q')`; the choice of `Q'` minimizing the
 //!   candidate count is NP-hard and solved by the 2-approximate
 //!   [`mincand`] greedy (Algorithm 1).
-//! * [`index`] — inverted index with per-symbol postings `(id, j)` (§4.1).
+//! * [`index`] — inverted index with per-symbol postings `(id, j)` (§4.1),
+//!   behind the [`PostingSource`] abstraction so the storage layout is
+//!   swappable without touching query semantics.
+//! * [`sharded`] — postings partitioned by `traj_id % num_shards`: parallel
+//!   construction on scoped threads, appends touching one shard, identical
+//!   search results at any shard count.
 //! * [`verify`] — **local verification** growing bidirectionally from
 //!   candidate anchors with the Eq. (11) early-termination bound, and
 //!   **bidirectional tries** caching DP columns across candidates (§5).
@@ -49,6 +54,7 @@ pub mod index;
 pub mod mincand;
 pub mod results;
 pub mod search;
+pub mod sharded;
 pub mod stats;
 pub mod temporal;
 pub mod topk;
@@ -56,9 +62,10 @@ pub mod verify;
 
 pub use batch::{BatchOptions, BatchOutcome, BatchStats};
 pub use filter::FilterPlan;
-pub use index::InvertedIndex;
+pub use index::{InvertedIndex, Posting, PostingSource};
 pub use results::{MatchResult, ResultSet};
 pub use search::{exact_fallback_scan, SearchEngine, SearchOptions, SearchOutcome};
+pub use sharded::ShardedIndex;
 pub use stats::SearchStats;
 pub use temporal::{TemporalConstraint, TemporalPredicate, TimeInterval};
 pub use topk::{per_trajectory_best, TopKEntry};

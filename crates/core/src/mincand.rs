@@ -10,7 +10,10 @@
 //! Lev, EDR and NetEDR (Proposition 4).
 
 /// One selectable item: query position `pos`, its lower cost `c` (Eq. 7) and
-/// its candidate weight `n = Σ_{b∈B(q)} n(b)`.
+/// its candidate weight `n = Σ_{b∈B(q)} n(b)` — the frequencies come from
+/// [`PostingSource::freq`](crate::index::PostingSource::freq) and are
+/// layout-independent, so the selection is identical for every postings
+/// layout over the same store.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Item {
     pub pos: usize,

@@ -12,8 +12,9 @@
 //! strategy of §4.3.
 
 use crate::filter::FilterPlan;
-use crate::index::InvertedIndex;
+use crate::index::{InvertedIndex, PostingSource};
 use crate::results::MatchResult;
+use crate::sharded::ShardedIndex;
 use crate::stats::SearchStats;
 use crate::temporal::TemporalConstraint;
 use crate::verify::{verify_candidates, VerifyMode};
@@ -45,11 +46,15 @@ pub struct SearchOutcome {
 }
 
 /// Subtrajectory similarity search engine (OSF filtering + pluggable
-/// verification).
-pub struct SearchEngine<'a, M: WedInstance> {
+/// verification), generic over the postings layout `I` — the single-list
+/// [`InvertedIndex`] by default, or any other [`PostingSource`] (e.g. the
+/// parallel-built [`ShardedIndex`]). All search paths are monomorphized
+/// over `I`; results are byte-identical for every layout over the same
+/// store.
+pub struct SearchEngine<'a, M: WedInstance, I: PostingSource = InvertedIndex> {
     model: M,
     store: &'a TrajectoryStore,
-    index: InvertedIndex,
+    index: I,
     build_time: Duration,
 }
 
@@ -85,8 +90,52 @@ impl<'a, M: WedInstance> SearchEngine<'a, M> {
             build_time: t0.elapsed(),
         }
     }
+}
 
-    pub fn index(&self) -> &InvertedIndex {
+impl<'a, M: WedInstance> SearchEngine<'a, M, ShardedIndex> {
+    /// Builds a [`ShardedIndex`] over `store` with `num_shards` shards
+    /// constructed in parallel
+    /// ([`build_parallel`](ShardedIndex::build_parallel)); searching it
+    /// returns exactly the results of the default engine. Pick a shard
+    /// count near the host's core count for build throughput — the layout
+    /// never changes results.
+    pub fn new_sharded(
+        model: M,
+        store: &'a TrajectoryStore,
+        alphabet_size: usize,
+        num_shards: usize,
+    ) -> Self {
+        let t0 = Instant::now();
+        let index = ShardedIndex::build_parallel(store, alphabet_size, num_shards);
+        SearchEngine {
+            model,
+            store,
+            index,
+            build_time: t0.elapsed(),
+        }
+    }
+}
+
+impl<'a, M: WedInstance, I: PostingSource> SearchEngine<'a, M, I> {
+    /// Wraps a pre-built posting source (built, appended to, or
+    /// temporal-enabled by the caller). The index must cover exactly the
+    /// trajectories of `store`; [`build_time`](SearchEngine::build_time)
+    /// reports zero since construction happened outside.
+    pub fn with_index(model: M, store: &'a TrajectoryStore, index: I) -> Self {
+        assert_eq!(
+            index.num_trajectories(),
+            store.len(),
+            "index and store must cover the same trajectories"
+        );
+        SearchEngine {
+            model,
+            store,
+            index,
+            build_time: Duration::ZERO,
+        }
+    }
+
+    pub fn index(&self) -> &I {
         &self.index
     }
 
@@ -194,6 +243,7 @@ impl<'a, M: WedInstance> SearchEngine<'a, M> {
     ) -> SearchOutcome
     where
         M: Sync,
+        I: Sync,
     {
         let mut stats = SearchStats::default();
         let Some(candidates) = self.filter_and_lookup(q, tau, &opts, &mut stats) else {

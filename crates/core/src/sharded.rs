@@ -1,0 +1,424 @@
+//! Sharded inverted index: postings partitioned by trajectory id.
+//!
+//! The paper's index (§4.1) is one set of per-symbol postings lists;
+//! [`InvertedIndex`](crate::index::InvertedIndex) realizes that directly and
+//! PR 2's batch engine parallelizes *queries* against it — but construction
+//! and appends stayed serial. [`ShardedIndex`] removes that bottleneck by
+//! partitioning every postings list by `traj_id % num_shards`:
+//!
+//! * **Parallel build** — each shard indexes a disjoint subset of
+//!   trajectories, so [`ShardedIndex::build_parallel`] constructs all shards
+//!   concurrently on `std::thread::scope` workers with no synchronization
+//!   (workers share only the read-only store).
+//! * **Single-shard appends** — a new trajectory's id determines its shard,
+//!   so [`ShardedIndex::append`] touches exactly one shard; the other
+//!   shards' lists (and their by-departure orderings) are untouched, which
+//!   also makes the temporal-ordering rebuild after appends incremental.
+//! * **Lock-free reads** — queries iterate shards through the
+//!   [`PostingSource`] trait with plain shared references; there is no
+//!   interior mutability anywhere.
+//!
+//! The layout is invisible to search: `freq`, spans and the candidate
+//! *multiset* are identical to the single-list index, and verification
+//! sorts/dedups candidates, so `SearchEngine` results are byte-identical at
+//! any shard count (enforced by `tests/index_equivalence.rs`). This is the
+//! stepping stone to shards living on different machines (see ROADMAP).
+
+use crate::index::{Posting, PostingSource};
+use traj::{TrajId, TrajectoryStore};
+use wed::Sym;
+
+/// One shard: a complete mini inverted index over the trajectories with
+/// `id % num_shards == shard_id`. Postings carry *global* ids; the
+/// per-trajectory spans are stored densely at local slot `id / num_shards`.
+#[derive(Debug, Clone)]
+struct Shard {
+    postings: Vec<Vec<Posting>>,
+    departures: Vec<f64>,
+    arrivals: Vec<f64>,
+    total_postings: usize,
+    /// By-departure ordering of this shard's lists (§4.3), built on demand;
+    /// dropped by appends *to this shard only*.
+    dep_postings: Option<Vec<Vec<(f64, Posting)>>>,
+}
+
+impl Shard {
+    fn build(
+        store: &TrajectoryStore,
+        alphabet_size: usize,
+        shard_id: usize,
+        num_shards: usize,
+    ) -> Self {
+        let mut shard = Shard {
+            postings: vec![Vec::new(); alphabet_size],
+            departures: Vec::new(),
+            arrivals: Vec::new(),
+            total_postings: 0,
+            dep_postings: None,
+        };
+        // Visit only owned ids (ascending, so local slots stay dense):
+        // per-worker cost is O(total/num_shards), not a full store scan.
+        for id in (shard_id..store.len()).step_by(num_shards) {
+            shard.push(id as TrajId, store.get(id as TrajId));
+        }
+        shard
+    }
+
+    /// Records one trajectory. Callers guarantee `id` belongs to this shard
+    /// and arrives in ascending order, so local slots stay dense.
+    fn push(&mut self, id: TrajId, t: &traj::Trajectory) {
+        for (j, &q) in t.path().iter().enumerate() {
+            self.postings[q as usize].push((id, j as u32));
+            self.total_postings += 1;
+        }
+        self.departures.push(t.departure());
+        self.arrivals.push(t.arrival());
+        self.dep_postings = None;
+    }
+
+    fn enable_temporal_postings(&mut self, num_shards: usize) {
+        if self.dep_postings.is_some() {
+            return;
+        }
+        let mut dp: Vec<Vec<(f64, Posting)>> = Vec::with_capacity(self.postings.len());
+        for list in &self.postings {
+            let mut v: Vec<(f64, Posting)> = list
+                .iter()
+                .map(|&(id, j)| (self.departures[id as usize / num_shards], (id, j)))
+                .collect();
+            v.sort_by(|a, b| a.0.total_cmp(&b.0));
+            dp.push(v);
+        }
+        self.dep_postings = Some(dp);
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.total_postings * std::mem::size_of::<Posting>()
+            + self.postings.len() * std::mem::size_of::<Vec<Posting>>()
+            + self.departures.len() * 2 * std::mem::size_of::<f64>()
+    }
+}
+
+/// Inverted index partitioned by `traj_id % num_shards` — same query
+/// semantics as [`InvertedIndex`](crate::index::InvertedIndex) (which is the
+/// 1-shard special case), parallel construction and per-shard growth. See
+/// the [module docs](self) for the layout.
+#[derive(Debug, Clone)]
+pub struct ShardedIndex {
+    shards: Vec<Shard>,
+    alphabet_size: usize,
+    num_trajectories: usize,
+}
+
+impl ShardedIndex {
+    /// Builds the index serially (one shard at a time). Prefer
+    /// [`build_parallel`](ShardedIndex::build_parallel); this exists as the
+    /// reference implementation and for single-threaded contexts.
+    ///
+    /// # Panics
+    /// Panics if `num_shards == 0`.
+    pub fn build(store: &TrajectoryStore, alphabet_size: usize, num_shards: usize) -> Self {
+        assert!(num_shards >= 1, "need at least one shard");
+        let shards = (0..num_shards)
+            .map(|s| Shard::build(store, alphabet_size, s, num_shards))
+            .collect();
+        ShardedIndex {
+            shards,
+            alphabet_size,
+            num_trajectories: store.len(),
+        }
+    }
+
+    /// Builds all shards concurrently, one `std::thread::scope` worker per
+    /// shard. Workers share only the read-only store, so no locks are
+    /// needed; the result is identical to [`build`](ShardedIndex::build).
+    ///
+    /// # Panics
+    /// Panics if `num_shards == 0`.
+    pub fn build_parallel(
+        store: &TrajectoryStore,
+        alphabet_size: usize,
+        num_shards: usize,
+    ) -> Self {
+        assert!(num_shards >= 1, "need at least one shard");
+        if num_shards == 1 {
+            return Self::build(store, alphabet_size, 1);
+        }
+        let shards = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..num_shards)
+                .map(|s| scope.spawn(move || Shard::build(store, alphabet_size, s, num_shards)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard build worker panicked"))
+                .collect::<Vec<_>>()
+        });
+        ShardedIndex {
+            shards,
+            alphabet_size,
+            num_trajectories: store.len(),
+        }
+    }
+
+    /// Appends one trajectory, touching exactly the shard that owns its id
+    /// (`id % num_shards`). The id must be the next dense global id (the
+    /// store's `push` return value).
+    ///
+    /// Only the touched shard's by-departure ordering is dropped — the
+    /// source-wide [`has_temporal_postings`] reports `false` until the next
+    /// [`enable_temporal_postings`] call, which rebuilds *only* the stale
+    /// shard (append-then-re-enable costs one shard's sort, not the whole
+    /// index's).
+    ///
+    /// [`has_temporal_postings`]: PostingSource::has_temporal_postings
+    /// [`enable_temporal_postings`]: ShardedIndex::enable_temporal_postings
+    pub fn append(&mut self, id: TrajId, t: &traj::Trajectory) {
+        assert_eq!(
+            id as usize, self.num_trajectories,
+            "ids must stay dense: expected {}, got {id}",
+            self.num_trajectories
+        );
+        let n = self.shards.len();
+        self.shards[id as usize % n].push(id, t);
+        self.num_trajectories += 1;
+    }
+
+    /// Builds the by-departure ordering of every shard's postings lists
+    /// (§4.3), in parallel (one scoped worker per shard that needs it).
+    /// Shards whose ordering is already current are skipped, so re-enabling
+    /// after [`append`](ShardedIndex::append) is incremental.
+    pub fn enable_temporal_postings(&mut self) {
+        let n = self.shards.len();
+        std::thread::scope(|scope| {
+            for shard in self.shards.iter_mut().filter(|s| s.dep_postings.is_none()) {
+                scope.spawn(move || shard.enable_temporal_postings(n));
+            }
+        });
+    }
+
+    /// Number of shards the postings are partitioned into.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+}
+
+impl PostingSource for ShardedIndex {
+    /// Shard-major order: shard 0's records (in build/append order), then
+    /// shard 1's, … Consumers must treat `L_q` as a multiset.
+    fn postings(&self, q: Sym) -> impl Iterator<Item = Posting> + '_ {
+        self.shards
+            .iter()
+            .flat_map(move |s| s.postings[q as usize].iter().copied())
+    }
+
+    fn freq(&self, q: Sym) -> u32 {
+        self.shards
+            .iter()
+            .map(|s| s.postings[q as usize].len() as u32)
+            .sum()
+    }
+
+    fn span(&self, id: TrajId) -> (f64, f64) {
+        let n = self.shards.len();
+        let shard = &self.shards[id as usize % n];
+        let slot = id as usize / n;
+        (shard.departures[slot], shard.arrivals[slot])
+    }
+
+    /// Shard-major; **departure-sorted within each shard only**. Complete
+    /// (every qualifying record appears exactly once), which is all the
+    /// temporal candidate generation needs.
+    fn postings_departing_by(
+        &self,
+        q: Sym,
+        t_max: f64,
+    ) -> impl Iterator<Item = (f64, Posting)> + '_ {
+        self.shards.iter().flat_map(move |s| {
+            let list = &s
+                .dep_postings
+                .as_ref()
+                .expect("temporal postings not enabled")[q as usize];
+            let cut = list.partition_point(|&(dep, _)| dep <= t_max);
+            list[..cut].iter().copied()
+        })
+    }
+
+    fn has_temporal_postings(&self) -> bool {
+        self.shards.iter().all(|s| s.dep_postings.is_some())
+    }
+
+    fn alphabet_size(&self) -> usize {
+        self.alphabet_size
+    }
+
+    fn num_trajectories(&self) -> usize {
+        self.num_trajectories
+    }
+
+    fn total_postings(&self) -> usize {
+        self.shards.iter().map(|s| s.total_postings).sum()
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.shards.iter().map(Shard::size_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::InvertedIndex;
+    use traj::Trajectory;
+
+    fn store() -> TrajectoryStore {
+        let mut s = TrajectoryStore::new();
+        s.push(Trajectory::new(vec![0, 1, 2], vec![10.0, 11.0, 12.0]));
+        s.push(Trajectory::new(vec![2, 1, 2], vec![5.0, 6.0, 7.0]));
+        s.push(Trajectory::new(vec![3, 0], vec![20.0, 21.0]));
+        s.push(Trajectory::new(vec![1, 1, 1, 3], vec![1.0, 2.0, 3.0, 4.0]));
+        s.push(Trajectory::new(vec![2], vec![30.0]));
+        s
+    }
+
+    fn sorted_postings(idx: &impl PostingSource, q: Sym) -> Vec<Posting> {
+        let mut v: Vec<Posting> = idx.postings(q).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn parallel_build_equals_serial_build_equals_inverted() {
+        let s = store();
+        let reference = InvertedIndex::build(&s, 6);
+        for shards in [1, 2, 3, 5, 8] {
+            let serial = ShardedIndex::build(&s, 6, shards);
+            let parallel = ShardedIndex::build_parallel(&s, 6, shards);
+            assert_eq!(parallel.num_shards(), shards);
+            assert_eq!(parallel.num_trajectories(), reference.num_trajectories());
+            assert_eq!(parallel.total_postings(), reference.total_postings());
+            for q in 0..6u32 {
+                let want: Vec<Posting> = reference.postings(q).to_vec();
+                assert_eq!(sorted_postings(&serial, q), want, "serial, q={q}");
+                assert_eq!(sorted_postings(&parallel, q), want, "parallel, q={q}");
+                assert_eq!(PostingSource::freq(&parallel, q), reference.freq(q));
+            }
+            for id in 0..s.len() as TrajId {
+                assert_eq!(parallel.span(id), reference.span(id));
+            }
+        }
+    }
+
+    #[test]
+    fn one_shard_preserves_build_order() {
+        // The 1-shard layout *is* the InvertedIndex layout, order included.
+        let s = store();
+        let reference = InvertedIndex::build(&s, 6);
+        let sharded = ShardedIndex::build_parallel(&s, 6, 1);
+        for q in 0..6u32 {
+            let got: Vec<Posting> = PostingSource::postings(&sharded, q).collect();
+            assert_eq!(got, reference.postings(q));
+        }
+    }
+
+    #[test]
+    fn append_touches_one_shard_and_matches_rebuild() {
+        let mut s = store();
+        let mut idx = ShardedIndex::build_parallel(&s, 6, 3);
+        idx.enable_temporal_postings();
+        let extra = Trajectory::new(vec![4, 1], vec![50.0, 51.0]);
+        let id = s.push(extra.clone());
+        idx.append(id, &extra);
+        assert!(
+            !idx.has_temporal_postings(),
+            "the owning shard's ordering must be dropped"
+        );
+        // Untouched shards keep their ordering: exactly one shard is stale.
+        let stale = idx
+            .shards
+            .iter()
+            .filter(|sh| sh.dep_postings.is_none())
+            .count();
+        assert_eq!(stale, 1);
+
+        idx.enable_temporal_postings();
+        assert!(idx.has_temporal_postings());
+        let rebuilt = ShardedIndex::build(&s, 6, 3);
+        assert_eq!(idx.total_postings(), rebuilt.total_postings());
+        for q in 0..6u32 {
+            assert_eq!(sorted_postings(&idx, q), sorted_postings(&rebuilt, q));
+        }
+        assert_eq!(idx.span(id), (50.0, 51.0));
+        let mut deps: Vec<(f64, Posting)> = idx.postings_departing_by(4, 1e9).collect();
+        deps.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        assert_eq!(deps, vec![(50.0, (id, 0))]);
+    }
+
+    #[test]
+    fn departing_by_is_complete_and_bounded() {
+        let s = store();
+        let mut idx = ShardedIndex::build_parallel(&s, 6, 3);
+        idx.enable_temporal_postings();
+        let mut reference = InvertedIndex::build(&s, 6);
+        reference.enable_temporal_postings();
+        for q in 0..6u32 {
+            for t_max in [0.0, 4.5, 10.0, 25.0, 1e9] {
+                let mut got: Vec<(f64, Posting)> = idx.postings_departing_by(q, t_max).collect();
+                got.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+                let mut want = reference.postings_departing_by(q, t_max).to_vec();
+                want.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+                assert_eq!(got, want, "q={q} t_max={t_max}");
+            }
+        }
+    }
+
+    #[test]
+    fn size_bytes_monotone_under_appends() {
+        let mut s = store();
+        let mut idx = ShardedIndex::build_parallel(&s, 6, 4);
+        let mut last = idx.size_bytes();
+        for path in [vec![0u32], vec![1, 2], vec![3, 3, 3]] {
+            let t = Trajectory::untimed(path);
+            let id = s.push(t.clone());
+            idx.append(id, &t);
+            assert!(idx.size_bytes() > last);
+            last = idx.size_bytes();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ids must stay dense: expected 5, got 9")]
+    fn append_rejects_gaps() {
+        let s = store();
+        let mut idx = ShardedIndex::build_parallel(&s, 6, 2);
+        idx.append(9, &Trajectory::untimed(vec![1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        ShardedIndex::build_parallel(&store(), 6, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "temporal postings not enabled")]
+    fn departing_by_requires_enabling() {
+        let idx = ShardedIndex::build_parallel(&store(), 6, 2);
+        let _ = idx.postings_departing_by(1, 10.0).count();
+    }
+
+    #[test]
+    fn empty_store_and_more_shards_than_trajectories() {
+        let empty = ShardedIndex::build_parallel(&TrajectoryStore::new(), 4, 3);
+        assert_eq!(empty.num_trajectories(), 0);
+        assert_eq!(empty.total_postings(), 0);
+        assert_eq!(PostingSource::postings(&empty, 0).count(), 0);
+
+        let s = store();
+        let idx = ShardedIndex::build_parallel(&s, 6, 16);
+        assert_eq!(idx.num_trajectories(), s.len());
+        let reference = InvertedIndex::build(&s, 6);
+        for q in 0..6u32 {
+            assert_eq!(sorted_postings(&idx, q), reference.postings(q));
+        }
+    }
+}

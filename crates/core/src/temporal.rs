@@ -10,7 +10,11 @@
 //!   sound because the match span is contained in the trajectory span;
 //! * **no-TF**: verify everything, filter match spans afterwards.
 //!
-//! Both finish with an exact per-match check on `[T_s, T_t]`.
+//! Both finish with an exact per-match check on `[T_s, T_t]`. The §4.3
+//! by-departure refinement reads
+//! [`PostingSource::postings_departing_by`](crate::index::PostingSource::postings_departing_by)
+//! and is sound for any postings layout (a sharded source binary-searches
+//! each shard's own departure-sorted lists).
 
 /// A closed time interval `[start, end]`.
 #[derive(Debug, Clone, Copy, PartialEq)]

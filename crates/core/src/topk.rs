@@ -9,6 +9,7 @@
 //! below τ, any unseen trajectory's best distance is ≥ τ and cannot enter
 //! the top `k`.
 
+use crate::index::PostingSource;
 use crate::results::MatchResult;
 use crate::search::{SearchEngine, SearchOptions};
 use std::collections::HashMap;
@@ -22,7 +23,7 @@ pub struct TopKEntry {
     pub best: MatchResult,
 }
 
-impl<'a, M: WedInstance> SearchEngine<'a, M> {
+impl<'a, M: WedInstance, I: PostingSource> SearchEngine<'a, M, I> {
     /// The `k` trajectories most similar to `q` (by their best-matching
     /// subtrajectory), or fewer if the whole database has fewer matching
     /// trajectories below `max_tau`.

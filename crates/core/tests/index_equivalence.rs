@@ -1,0 +1,310 @@
+//! Randomized equivalence: `ShardedIndex` must be indistinguishable from
+//! `InvertedIndex` through every consumer surface.
+//!
+//! Sharding partitions the postings lists by `traj_id % num_shards`; nothing
+//! downstream may observe that. The suite checks, for random stores and
+//! shard counts in {1, 2, 3, 7}:
+//!
+//! * the *index* surface — postings sets, `freq`, spans,
+//!   `postings_departing_by` — agrees record-for-record (as multisets; the
+//!   trait documents iteration order as source-defined);
+//! * the *engine* surface — full `SearchEngine` results — is byte-identical
+//!   (`assert_eq!` on matches including `f64` distances, no epsilon) across
+//!   shard counts, for all verify modes × temporal on/off (TF and
+//!   by-departure postings included) × append-after-build.
+
+use proptest::prelude::*;
+use traj::{TrajId, Trajectory, TrajectoryStore};
+use trajsearch_core::batch::BatchOptions;
+use trajsearch_core::{
+    InvertedIndex, Posting, PostingSource, SearchEngine, SearchOptions, ShardedIndex,
+    TemporalConstraint, TimeInterval, VerifyMode,
+};
+use wed::models::Lev;
+use wed::Sym;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 3, 7];
+const ALPHABET: usize = 12;
+
+/// Timed store: trajectory `i` departs at `10·i` with unit steps, so small
+/// query intervals split the store into in-window and out-of-window parts.
+fn timed_store(paths: Vec<Vec<Sym>>) -> TrajectoryStore {
+    paths
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let t0 = 10.0 * i as f64;
+            let times: Vec<f64> = (0..p.len()).map(|k| t0 + k as f64).collect();
+            Trajectory::new(p, times)
+        })
+        .collect()
+}
+
+fn sorted_postings(idx: &impl PostingSource, q: Sym) -> Vec<Posting> {
+    let mut v: Vec<Posting> = idx.postings(q).collect();
+    v.sort_unstable();
+    v
+}
+
+fn sorted_departing(idx: &impl PostingSource, q: Sym, t_max: f64) -> Vec<(f64, Posting)> {
+    let mut v: Vec<(f64, Posting)> = idx.postings_departing_by(q, t_max).collect();
+    v.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    v
+}
+
+/// Index-surface equivalence: sizes, freqs, spans, postings sets, and (when
+/// both sides have temporal postings) the by-departure prefixes at several
+/// cut points.
+fn check_index_surface(
+    sharded: &ShardedIndex,
+    reference: &InvertedIndex,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(sharded.alphabet_size(), reference.alphabet_size());
+    prop_assert_eq!(sharded.num_trajectories(), reference.num_trajectories());
+    prop_assert_eq!(sharded.total_postings(), reference.total_postings());
+    for q in 0..reference.alphabet_size() as Sym {
+        prop_assert_eq!(PostingSource::freq(sharded, q), reference.freq(q));
+        prop_assert_eq!(
+            sorted_postings(sharded, q),
+            reference.postings(q).to_vec(),
+            "postings set of symbol {} diverged",
+            q
+        );
+    }
+    for id in 0..reference.num_trajectories() as TrajId {
+        prop_assert_eq!(PostingSource::span(sharded, id), reference.span(id));
+    }
+    prop_assert_eq!(
+        PostingSource::has_temporal_postings(sharded),
+        reference.has_temporal_postings()
+    );
+    if reference.has_temporal_postings() {
+        let horizon = 10.0 * reference.num_trajectories() as f64 + 20.0;
+        for q in 0..reference.alphabet_size() as Sym {
+            for t_max in [-1.0, 0.0, 5.0, 17.0, horizon] {
+                prop_assert_eq!(
+                    sorted_departing(sharded, q, t_max),
+                    sorted_departing(reference, q, t_max),
+                    "departing-by set of symbol {} at t_max {} diverged",
+                    q,
+                    t_max
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Engine-surface equivalence: byte-identical outcomes for one option set,
+/// through the sequential, batch and in-query-parallel paths (the latter
+/// two are generic over the source as well, so a regression that makes
+/// them sensitive to shard-major candidate order must fail here).
+fn check_outcomes<I: PostingSource + Sync>(
+    reference: &SearchEngine<'_, Lev>,
+    engine: &SearchEngine<'_, Lev, I>,
+    workload: &[(Vec<Sym>, f64)],
+    opts: SearchOptions,
+    label: &str,
+) -> Result<(), TestCaseError> {
+    for (q, tau) in workload {
+        let want = reference.search_opts(q, *tau, opts);
+        let got = engine.search_opts(q, *tau, opts);
+        prop_assert_eq!(
+            &got.matches,
+            &want.matches,
+            "matches diverged ({}, q={:?}, tau={})",
+            label,
+            q,
+            tau
+        );
+        prop_assert_eq!(got.stats.fallback, want.stats.fallback);
+        prop_assert_eq!(got.stats.candidates, want.stats.candidates);
+        prop_assert_eq!(got.stats.candidates_deduped, want.stats.candidates_deduped);
+        prop_assert_eq!(got.stats.tsubseq_len, want.stats.tsubseq_len);
+        prop_assert_eq!(got.stats.results, want.stats.results);
+
+        let par = engine.par_search_opts(q, *tau, opts, 2);
+        prop_assert_eq!(
+            &par.matches,
+            &want.matches,
+            "par_search_opts diverged ({}, q={:?}, tau={})",
+            label,
+            q,
+            tau
+        );
+    }
+    let batch = engine.search_batch(
+        workload,
+        BatchOptions {
+            threads: 2,
+            search: opts,
+        },
+    );
+    for (i, ((q, tau), got)) in workload.iter().zip(&batch.outcomes).enumerate() {
+        let want = reference.search_opts(q, *tau, opts);
+        prop_assert_eq!(
+            &got.matches,
+            &want.matches,
+            "search_batch query {} diverged ({})",
+            i,
+            label
+        );
+    }
+    Ok(())
+}
+
+/// The full option grid: every verify mode × no-temporal / temporal with
+/// and without the TF pre-filter and the by-departure postings path.
+fn option_grid(constraint: TemporalConstraint) -> Vec<SearchOptions> {
+    let mut grid = Vec::new();
+    for verify in [VerifyMode::Trie, VerifyMode::Local, VerifyMode::Sw] {
+        grid.push(SearchOptions {
+            verify,
+            ..Default::default()
+        });
+        for (tf, use_dep) in [(false, false), (true, false), (false, true), (true, true)] {
+            grid.push(SearchOptions {
+                verify,
+                temporal: Some(constraint),
+                temporal_filter: tf,
+                use_temporal_postings: use_dep,
+            });
+        }
+    }
+    grid
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Index surface: build — and append-after-build — agree with the
+    /// single-list reference at every shard count.
+    #[test]
+    fn sharded_index_surface_matches_inverted(
+        paths in proptest::collection::vec(
+            proptest::collection::vec(0u32..(ALPHABET as u32), 1..10),
+            0..10,
+        ),
+        split in 0usize..10,
+        shard_i in 0usize..SHARD_COUNTS.len(),
+    ) {
+        let shards = SHARD_COUNTS[shard_i];
+        let full = timed_store(paths);
+        let split = split.min(full.len());
+
+        // Straight build over the whole store.
+        let mut reference = InvertedIndex::build(&full, ALPHABET);
+        let mut sharded = ShardedIndex::build_parallel(&full, ALPHABET, shards);
+        check_index_surface(&sharded, &reference)?;
+        reference.enable_temporal_postings();
+        sharded.enable_temporal_postings();
+        check_index_surface(&sharded, &reference)?;
+
+        // Build on a prefix, then append the rest to both sides: appends
+        // must land exactly where a fresh build would have put them, and
+        // must drop both sides' temporal orderings symmetrically.
+        let base = full.prefix(split);
+        let mut ref_app = InvertedIndex::build(&base, ALPHABET);
+        let mut sh_app = ShardedIndex::build_parallel(&base, ALPHABET, shards);
+        ref_app.enable_temporal_postings();
+        sh_app.enable_temporal_postings();
+        for id in split..full.len() {
+            let t = full.get(id as TrajId);
+            ref_app.append(id as TrajId, t);
+            sh_app.append(id as TrajId, t);
+        }
+        check_index_surface(&sh_app, &ref_app)?;
+        ref_app.enable_temporal_postings();
+        sh_app.enable_temporal_postings();
+        check_index_surface(&sh_app, &ref_app)?;
+        // And the appended result equals the straight build.
+        check_index_surface(&sh_app, &reference)?;
+    }
+
+    /// Engine surface: full search results are byte-identical across shard
+    /// counts, for all verify modes × temporal on/off.
+    #[test]
+    fn search_results_identical_across_shard_counts(
+        paths in proptest::collection::vec(
+            proptest::collection::vec(0u32..(ALPHABET as u32), 1..10),
+            1..8,
+        ),
+        queries in proptest::collection::vec(
+            // tau up to 4 > |Q| is possible: exercises the fallback scan.
+            (proptest::collection::vec(0u32..(ALPHABET as u32), 1..5), 1u32..4),
+            1..4,
+        ),
+        win_start in 0.0f64..60.0,
+        win_len in 1.0f64..40.0,
+    ) {
+        let store = timed_store(paths);
+        let workload: Vec<(Vec<Sym>, f64)> = queries
+            .into_iter()
+            .map(|(q, tau_i)| (q, tau_i as f64))
+            .collect();
+        let constraint =
+            TemporalConstraint::overlaps(TimeInterval::new(win_start, win_start + win_len));
+        let reference = SearchEngine::with_temporal_postings(Lev, &store, ALPHABET);
+
+        for &shards in &SHARD_COUNTS {
+            let mut idx = ShardedIndex::build_parallel(&store, ALPHABET, shards);
+            idx.enable_temporal_postings();
+            let engine = SearchEngine::with_index(Lev, &store, idx);
+            for opts in option_grid(constraint) {
+                check_outcomes(
+                    &reference,
+                    &engine,
+                    &workload,
+                    opts,
+                    &format!("{shards} shards, opts={opts:?}"),
+                )?;
+            }
+        }
+    }
+
+    /// Engine surface after appends: an index grown by `append` serves the
+    /// same results as one built from scratch, at every shard count.
+    #[test]
+    fn search_results_identical_after_appends(
+        paths in proptest::collection::vec(
+            proptest::collection::vec(0u32..(ALPHABET as u32), 1..10),
+            2..8,
+        ),
+        queries in proptest::collection::vec(
+            (proptest::collection::vec(0u32..(ALPHABET as u32), 1..5), 1u32..3),
+            1..4,
+        ),
+        split_i in 0usize..8,
+        mode_i in 0usize..3,
+    ) {
+        let store = timed_store(paths);
+        // Keep at least one trajectory in the base so the build is not
+        // degenerate, and append at least zero (split may equal len).
+        let split = 1 + split_i % store.len();
+        let workload: Vec<(Vec<Sym>, f64)> = queries
+            .into_iter()
+            .map(|(q, tau_i)| (q, tau_i as f64))
+            .collect();
+        let opts = SearchOptions {
+            verify: [VerifyMode::Trie, VerifyMode::Local, VerifyMode::Sw][mode_i],
+            ..Default::default()
+        };
+        let reference = SearchEngine::new(Lev, &store, ALPHABET);
+
+        let base = store.prefix(split);
+        for &shards in &SHARD_COUNTS {
+            let mut idx = ShardedIndex::build_parallel(&base, ALPHABET, shards);
+            for id in split..store.len() {
+                idx.append(id as TrajId, store.get(id as TrajId));
+            }
+            let engine = SearchEngine::with_index(Lev, &store, idx);
+            check_outcomes(
+                &reference,
+                &engine,
+                &workload,
+                opts,
+                &format!("{shards} shards after {} appends", store.len() - split),
+            )?;
+        }
+    }
+}

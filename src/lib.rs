@@ -28,7 +28,9 @@ pub use wed;
 pub mod prelude {
     pub use rnet::{CityParams, NetworkKind, RoadNetwork};
     pub use traj::{Trajectory, TrajectoryStore, TripConfig};
-    pub use trajsearch_core::{BatchOptions, SearchEngine, SearchOptions};
+    pub use trajsearch_core::{
+        BatchOptions, InvertedIndex, PostingSource, SearchEngine, SearchOptions, ShardedIndex,
+    };
     pub use wed::models::{Edr, Erp, Lev, NetEdr, NetErp, Surs};
     pub use wed::{CostModel, Sym, WedInstance};
 }
