@@ -104,7 +104,7 @@ mod tests {
     use rand::{Rng, SeedableRng};
     use rand_chacha::ChaCha8Rng;
     use traj::Trajectory;
-    use trajsearch_core::SearchEngine;
+    use trajsearch_core::{EngineBuilder, Query};
     use wed::models::Lev;
 
     fn random_store(rng: &mut ChaCha8Rng, n: usize) -> TrajectoryStore {
@@ -138,12 +138,14 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(12);
         let store = random_store(&mut rng, 30);
         let torch = Torch::new(&Lev, &store, 8, VerifyMode::Trie);
-        let engine = SearchEngine::new(&Lev, &store, 8);
+        let engine = EngineBuilder::new(&Lev, &store, 8).build();
         for _ in 0..6 {
             let q: Vec<Sym> = (0..4).map(|_| rng.gen_range(0..8)).collect();
             let tau = 1.5;
             let (_, torch_stats) = torch.search(&q, tau);
-            let osf = engine.search(&q, tau);
+            let osf = engine
+                .run(&Query::threshold(q.clone(), tau).build().unwrap())
+                .unwrap();
             assert!(
                 torch_stats.candidates >= osf.stats.candidates,
                 "Torch candidates {} < OSF {}",

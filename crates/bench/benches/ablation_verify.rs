@@ -4,15 +4,14 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use trajsearch_bench::data::{Dataset, FuncKind, Scale};
-use trajsearch_core::{SearchEngine, SearchOptions, VerifyMode};
-use wed::WedInstance;
+use trajsearch_core::{EngineBuilder, Query, VerifyMode};
 
 fn bench(c: &mut Criterion) {
     let d = Dataset::load("beijing", Scale::tiny());
     let func = FuncKind::Edr;
     let model = d.model(func);
     let (store, alphabet) = d.store_for(func);
-    let engine: SearchEngine<'_, &dyn WedInstance> = SearchEngine::new(&*model, store, alphabet);
+    let engine = EngineBuilder::new(&*model, store, alphabet).build();
     let wl: Vec<(Vec<wed::Sym>, f64)> = d
         .sample_queries(func, 30, 5, 7)
         .into_iter()
@@ -32,15 +31,11 @@ fn bench(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new(name, "r=0.2"), &wl, |b, wl| {
             b.iter(|| {
                 for (q, tau) in wl {
-                    let out = engine.search_opts(
-                        q,
-                        *tau,
-                        SearchOptions {
-                            verify: mode,
-                            ..Default::default()
-                        },
-                    );
-                    std::hint::black_box(out);
+                    let query = Query::threshold(q.clone(), *tau)
+                        .verify(mode)
+                        .build()
+                        .expect("valid");
+                    std::hint::black_box(engine.run(&query).expect("run"));
                 }
             })
         });

@@ -1,0 +1,87 @@
+//! Dispatch overhead of the unified API: `run(&Query)` vs the legacy entry
+//! points it replaced.
+//!
+//! The legacy methods are now thin `#[deprecated]` wrappers that build a
+//! `Query` per call, so three variants bracket the redesign's cost on an
+//! identical workload:
+//!
+//! * `legacy_search_opts` — the old call shape (wrapper: per-call `Query`
+//!   build + `run`);
+//! * `run_prebuilt` — `run` with queries built once outside the loop (what
+//!   a serving layer holding decoded wire queries does);
+//! * `run_with_build` — `Query` construction + validation + `run` per call.
+//!
+//! All three must land within noise of each other: validation is a handful
+//! of float/len checks and the dispatch is a monomorphized match, so the
+//! unified surface adds no measurable overhead over the legacy direct
+//! calls. The `wire_decode` variant adds a full JSON `from_json` per call
+//! to price the serving path itself.
+
+#![allow(deprecated)] // comparing against the legacy entry points is the point
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use trajsearch_bench::data::{Dataset, FuncKind, Scale};
+use trajsearch_core::{EngineBuilder, Query, SearchOptions};
+
+fn bench(c: &mut Criterion) {
+    let d = Dataset::load("beijing", Scale::tiny());
+    let func = FuncKind::Edr;
+    let model = d.model(func);
+    let (store, alphabet) = d.store_for(func);
+    let engine = EngineBuilder::new(&*model, store, alphabet).build();
+
+    let workload: Vec<(Vec<wed::Sym>, f64)> = d
+        .sample_queries(func, 30, 8, 3)
+        .into_iter()
+        .map(|q| {
+            let tau = d.tau_for(&*model, &q, 0.1);
+            (q, tau)
+        })
+        .collect();
+    let prebuilt: Vec<Query> = workload
+        .iter()
+        .map(|(q, tau)| Query::threshold(q.clone(), *tau).build().expect("valid"))
+        .collect();
+    let wire: Vec<String> = prebuilt.iter().map(|q| q.to_json()).collect();
+
+    let mut g = c.benchmark_group("api_dispatch");
+    g.sample_size(10);
+    g.bench_with_input(
+        BenchmarkId::from("legacy_search_opts"),
+        &workload,
+        |b, wl| {
+            b.iter(|| {
+                for (q, tau) in wl {
+                    std::hint::black_box(engine.search_opts(q, *tau, SearchOptions::default()));
+                }
+            })
+        },
+    );
+    g.bench_with_input(BenchmarkId::from("run_prebuilt"), &prebuilt, |b, qs| {
+        b.iter(|| {
+            for q in qs {
+                std::hint::black_box(engine.run(q).expect("run"));
+            }
+        })
+    });
+    g.bench_with_input(BenchmarkId::from("run_with_build"), &workload, |b, wl| {
+        b.iter(|| {
+            for (q, tau) in wl {
+                let query = Query::threshold(q.clone(), *tau).build().expect("valid");
+                std::hint::black_box(engine.run(&query).expect("run"));
+            }
+        })
+    });
+    g.bench_with_input(BenchmarkId::from("wire_decode"), &wire, |b, wire| {
+        b.iter(|| {
+            for text in wire {
+                let query = Query::from_json(text).expect("wire");
+                std::hint::black_box(engine.run(&query).expect("run"));
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

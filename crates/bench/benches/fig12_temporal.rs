@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use trajsearch_bench::data::{Dataset, FuncKind, Scale};
 use trajsearch_bench::methods::MethodSet;
-use trajsearch_core::{SearchOptions, TemporalConstraint, TimeInterval, VerifyMode};
+use trajsearch_core::{Query, TemporalConstraint, TimeInterval, VerifyMode};
 
 fn bench(c: &mut Criterion) {
     let d = Dataset::load("beijing", Scale::tiny());
@@ -36,17 +36,13 @@ fn bench(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new(name, "ts=2%"), &wl, |b, wl| {
             b.iter(|| {
                 for (q, tau) in wl {
-                    let out = set.engine().search_opts(
-                        q,
-                        *tau,
-                        SearchOptions {
-                            verify: VerifyMode::Trie,
-                            temporal: Some(constraint),
-                            temporal_filter: tf,
-                            ..Default::default()
-                        },
-                    );
-                    std::hint::black_box(out);
+                    let query = Query::threshold(q.clone(), *tau)
+                        .verify(VerifyMode::Trie)
+                        .temporal(constraint)
+                        .temporal_filter(tf)
+                        .build()
+                        .expect("valid");
+                    std::hint::black_box(set.engine().run(&query).expect("run"));
                 }
             })
         });

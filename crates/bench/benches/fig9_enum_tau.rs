@@ -4,7 +4,7 @@
 use baselines::{DitaIndex, ErpIndex};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use trajsearch_bench::data::{Dataset, FuncKind, Scale};
-use trajsearch_core::SearchEngine;
+use trajsearch_core::{EngineBuilder, Query};
 use wed::models::Erp;
 
 fn bench(c: &mut Criterion) {
@@ -21,7 +21,7 @@ fn bench(c: &mut Criterion) {
         .collect();
 
     let erp = Erp::new(d.net.clone(), 1e-4 * d.median_nn_distance());
-    let engine = SearchEngine::new(&erp, &store, d.net.num_vertices());
+    let engine = EngineBuilder::new(&erp, &store, d.net.num_vertices()).build();
     let dita = DitaIndex::new(&erp, &store, 6);
     let erpi = ErpIndex::new(&erp, &store);
     let queries = d.sample_queries(FuncKind::Erp, 12, 5, 4);
@@ -39,7 +39,8 @@ fn bench(c: &mut Criterion) {
             |b, wl| {
                 b.iter(|| {
                     for (q, tau) in wl {
-                        std::hint::black_box(engine.search(q, *tau));
+                        let query = Query::threshold(q.clone(), *tau).build().expect("valid");
+                        std::hint::black_box(engine.run(&query).expect("run"));
                     }
                 })
             },

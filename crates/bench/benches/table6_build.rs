@@ -4,7 +4,7 @@
 use baselines::{DitaIndex, ErpIndex, QGramIndex};
 use criterion::{criterion_group, criterion_main, Criterion};
 use trajsearch_bench::data::{Dataset, FuncKind, Scale};
-use trajsearch_core::SearchEngine;
+use trajsearch_core::EngineBuilder;
 use wed::models::Erp;
 
 fn bench(c: &mut Criterion) {
@@ -27,7 +27,7 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("table6_build");
     g.sample_size(10);
     g.bench_function("postings_index", |b| {
-        b.iter(|| std::hint::black_box(SearchEngine::new(&*model, store, alphabet)))
+        b.iter(|| std::hint::black_box(EngineBuilder::new(&*model, store, alphabet).build()))
     });
     g.bench_function("qgram_index", |b| {
         b.iter(|| std::hint::black_box(QGramIndex::new(&*model, store, 3)))

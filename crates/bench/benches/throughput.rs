@@ -1,5 +1,5 @@
 //! Batch-engine throughput (criterion): one workload through
-//! `SearchEngine::search_batch` at 1/2/4 worker threads.
+//! `SearchEngine::run_batch` at 1/2/4 worker threads.
 //!
 //! Tiny scale so `cargo bench` stays fast; the full sweep with the JSON dump
 //! is `repro throughput`. On a single-core host the thread counts should
@@ -9,21 +9,20 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use trajsearch_bench::data::{Dataset, FuncKind, Scale};
 use trajsearch_core::batch::BatchOptions;
-use trajsearch_core::SearchEngine;
+use trajsearch_core::{EngineBuilder, Query};
 
 fn bench(c: &mut Criterion) {
     let d = Dataset::load("beijing", Scale::tiny());
     let func = FuncKind::Edr;
-    let model = d.model_sync(func);
+    let model = d.model(func);
     let (store, alphabet) = d.store_for(func);
-    let engine: SearchEngine<'_, &(dyn wed::WedInstance + Sync)> =
-        SearchEngine::new(&*model, store, alphabet);
-    let workload: Vec<(Vec<wed::Sym>, f64)> = d
+    let engine = EngineBuilder::new(&*model, store, alphabet).build();
+    let workload: Vec<Query> = d
         .sample_queries(func, 30, 8, 1)
         .into_iter()
         .map(|q| {
             let tau = d.tau_for(&*model, &q, 0.1);
-            (q, tau)
+            Query::threshold(q, tau).build().expect("valid")
         })
         .collect();
 
@@ -31,12 +30,14 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     for threads in [1, 2, 4] {
         g.bench_with_input(
-            BenchmarkId::new("search_batch", format!("t={threads}")),
+            BenchmarkId::new("run_batch", format!("t={threads}")),
             &workload,
             |b, wl| {
                 b.iter(|| {
                     std::hint::black_box(
-                        engine.search_batch(wl, BatchOptions::with_threads(threads)),
+                        engine
+                            .run_batch(wl, BatchOptions::with_threads(threads))
+                            .expect("admitted"),
                     )
                 })
             },

@@ -23,6 +23,9 @@
 //!               (also writes BENCH_throughput.json)
 //!   index-build sharded-index construction at 1/2/4/8 shards
 //!               (also writes BENCH_index.json)
+//!   api      mixed threshold/top-k/temporal workload through the unified
+//!               Query/Response API at 1/2/4/8 threads, queries arriving
+//!               over their JSON wire format (also writes BENCH_api.json)
 //!   all      everything above
 //! ```
 //!
@@ -81,7 +84,7 @@ fn parse_args() -> Args {
 
 fn print_usage() {
     eprintln!(
-        "usage: repro <table2|fig4|table3|fig5|fig6|fig7|fig8|fig9|fig10|table4|table5|table6|fig11|fig12|fig13|throughput|index-build|all> [--scale S] [--queries N] [--min-speedup X]"
+        "usage: repro <table2|fig4|table3|fig5|fig6|fig7|fig8|fig9|fig10|table4|table5|table6|fig11|fig12|fig13|throughput|index-build|api|all> [--scale S] [--queries N] [--min-speedup X]"
     );
 }
 
@@ -260,6 +263,22 @@ fn main() {
             .unwrap_or_else(|e| panic!("could not write {path}: {e}"));
         eprintln!("wrote {path}");
     }
+    if all || exp == "api" {
+        let rows = api_workload::run(
+            "beijing",
+            FuncKind::Edr,
+            &[1, 2, 4, 8],
+            60,
+            nq.max(9),
+            0.1,
+            scale,
+        );
+        api_workload::print(&rows);
+        let path = "BENCH_api.json";
+        api_workload::write_json(&rows, path)
+            .unwrap_or_else(|e| panic!("could not write {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
     if !all
         && ![
             "table2",
@@ -279,6 +298,7 @@ fn main() {
             "fig13",
             "throughput",
             "index-build",
+            "api",
         ]
         .contains(&exp)
     {

@@ -191,9 +191,8 @@ impl Dataset {
         ds[ds.len() / 2]
     }
 
-    // One constructor per parameterized model, so the memoized (`model`) and
-    // thread-shareable (`model_sync`) entry points read a single source of
-    // truth for the §6.1 defaults.
+    // One constructor per parameterized model, so every entry point reads a
+    // single source of truth for the §6.1 defaults.
 
     /// Paper: ε = 0.001 in lat/lon ≈ a city block; here 100 m.
     fn make_edr(&self) -> Edr {
@@ -216,36 +215,22 @@ impl Dataset {
     }
 
     /// Instantiates a similarity function with the paper's §6.1 defaults
-    /// (scaled to meters). NetEDR/NetERP come memoized.
-    pub fn model(&self, kind: FuncKind) -> Box<dyn WedInstance> {
+    /// (scaled to meters). NetEDR/NetERP come memoized; since `Memo` grew a
+    /// sharded-lock cache every instance is `Sync`, so one model serves the
+    /// sequential pipeline and the parallel batch engine alike (the old
+    /// unmemoized `model_sync` split is retired).
+    pub fn model(&self, kind: FuncKind) -> Box<dyn WedInstance + Sync> {
         self.model_with_eta(kind, None)
     }
 
     /// Same, with an explicit η override (Figure 13 sweeps).
-    pub fn model_with_eta(&self, kind: FuncKind, eta: Option<f64>) -> Box<dyn WedInstance> {
+    pub fn model_with_eta(&self, kind: FuncKind, eta: Option<f64>) -> Box<dyn WedInstance + Sync> {
         match kind {
             FuncKind::Lev => Box::new(Lev),
             FuncKind::Edr => Box::new(self.make_edr()),
             FuncKind::Erp => Box::new(self.make_erp(eta)),
             FuncKind::NetEdr => Box::new(Memo::new(self.make_net_edr())),
             FuncKind::NetErp => Box::new(Memo::new(self.make_net_erp(eta))),
-            FuncKind::Surs => Box::new(Surs::new(self.net.clone())),
-        }
-    }
-
-    /// Like [`model`](Dataset::model), but returns a thread-shareable
-    /// instance for the parallel batch engine (`SearchEngine::search_batch`
-    /// requires `M: Sync`). NetEDR/NetERP come **unmemoized** here — the
-    /// `Memo` wrapper's `RefCell` cache is not `Sync` — so they pay a hub-
-    /// label query per substitution; the other four are the same instances
-    /// `model` returns.
-    pub fn model_sync(&self, kind: FuncKind) -> Box<dyn WedInstance + Sync> {
-        match kind {
-            FuncKind::Lev => Box::new(Lev),
-            FuncKind::Edr => Box::new(self.make_edr()),
-            FuncKind::Erp => Box::new(self.make_erp(None)),
-            FuncKind::NetEdr => Box::new(self.make_net_edr()),
-            FuncKind::NetErp => Box::new(self.make_net_erp(None)),
             FuncKind::Surs => Box::new(Surs::new(self.net.clone())),
         }
     }
@@ -414,17 +399,17 @@ mod tests {
 
     #[test]
     fn noisy_queries_recoverable_by_similarity_search() {
-        use trajsearch_core::SearchEngine;
+        use trajsearch_core::{EngineBuilder, Query};
         let d = Dataset::test_tiny();
         let model = d.model(FuncKind::Edr);
-        let engine: trajsearch_core::SearchEngine<'_, &dyn WedInstance> =
-            SearchEngine::new(&*model, &d.store, d.net.num_vertices());
+        let engine = EngineBuilder::new(&*model, &d.store, d.net.num_vertices()).build();
         let noisy = d.sample_noisy_queries(10, 10, 0.2, 3);
         let mut found = 0;
         for q in &noisy {
             // Budget: 40% of the query may differ.
             let tau = (0.4 * q.len() as f64).max(1.0);
-            if !engine.search(q, tau).matches.is_empty() {
+            let query = Query::threshold(q.clone(), tau).build().unwrap();
+            if !engine.run(&query).unwrap().matches.is_empty() {
                 found += 1;
             }
         }

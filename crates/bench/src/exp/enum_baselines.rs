@@ -9,7 +9,7 @@ use crate::table::{fmt_ms, print_table};
 use baselines::{DitaIndex, ErpIndex};
 use std::time::Instant;
 use traj::TrajectoryStore;
-use trajsearch_core::{SearchEngine, SearchOptions, VerifyMode};
+use trajsearch_core::{EngineBuilder, Query, VerifyMode};
 use wed::models::Erp;
 use wed::Sym;
 
@@ -83,20 +83,14 @@ pub fn run(
                 .collect();
 
             // OSF engine (both verifications).
-            let engine = SearchEngine::new(&*model, &store, d.net.num_vertices());
+            let engine = EngineBuilder::new(&*model, &store, d.net.num_vertices()).build();
             for (name, mode) in [("OSF-BT", VerifyMode::Trie), ("OSF-SW", VerifyMode::Sw)] {
                 let (ms, cands) = time_queries(&queries, |q, tau| {
-                    engine
-                        .search_opts(
-                            q,
-                            tau,
-                            SearchOptions {
-                                verify: mode,
-                                ..Default::default()
-                            },
-                        )
-                        .stats
-                        .candidates
+                    let query = Query::threshold(q.to_vec(), tau)
+                        .verify(mode)
+                        .build()
+                        .expect("valid");
+                    engine.run(&query).expect("run").stats.candidates
                 });
                 rows.push(EnumRow {
                     func: func.name(),

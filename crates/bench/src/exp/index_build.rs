@@ -109,7 +109,7 @@ pub fn print(rows: &[IndexBuildRow]) {
 
 /// Writes the rows as a machine-readable JSON document mirroring
 /// `BENCH_throughput.json` (shared envelope:
-/// [`write_bench_json`](super::write_bench_json)).
+/// the crate's private `write_bench_json`).
 pub fn write_json(rows: &[IndexBuildRow], path: &str) -> std::io::Result<()> {
     let rendered: Vec<String> = rows
         .iter()

@@ -1,7 +1,9 @@
 //! One module per table/figure of the paper's evaluation (§6), plus
 //! engineering experiments beyond the paper ([`throughput`]: the parallel
 //! batch engine's queries/sec scaling; [`index_build`]: sharded index
-//! construction time vs shard count).
+//! construction time vs shard count; [`api_workload`]: a mixed
+//! threshold/top-k/temporal workload through the unified `run_batch`,
+//! queries arriving over their JSON wire format).
 //!
 //! Each module exposes a `run_*` function returning plain rows plus a
 //! `print_*` helper; the `repro` binary wires them to subcommands. The
@@ -43,6 +45,7 @@ pub(crate) fn write_bench_json(
     Ok(())
 }
 
+pub mod api_workload;
 pub mod candidates;
 pub mod enum_baselines;
 pub mod eta;

@@ -10,8 +10,8 @@ use crate::data::{Dataset, FuncKind, Scale};
 use crate::table::print_table;
 use std::collections::HashMap;
 use traj::TrajId;
-use trajsearch_core::SearchEngine;
-use wed::{Sym, WedInstance};
+use trajsearch_core::{EngineBuilder, Query};
+use wed::Sym;
 
 #[derive(Debug, Clone)]
 pub struct NaturalnessRow {
@@ -56,8 +56,7 @@ pub fn run(
     for &func in &FuncKind::ALL {
         let model = d.model(func);
         let (store, alphabet) = d.store_for(func);
-        let engine: SearchEngine<'_, &dyn WedInstance> =
-            SearchEngine::new(&*model, store, alphabet);
+        let engine = EngineBuilder::new(&*model, store, alphabet).build();
         for &qlen in qlens {
             // Vertex-length alignment: edge queries have qlen-1 symbols so
             // the route covers the same number of vertices.
@@ -73,7 +72,9 @@ pub fn run(
                         (q[0], *q.last().unwrap())
                     };
                     let tau = d.tau_for(&*model, q, ratio.max(1e-9));
-                    let out = engine.search(q, tau);
+                    let out = engine
+                        .run(&Query::threshold(q.clone(), tau).build().expect("valid"))
+                        .expect("run");
                     // Routes: per-trajectory best match that starts at u and
                     // ends at v.
                     let mut routes: HashMap<TrajId, (f64, Vec<Sym>)> = HashMap::new();

@@ -12,7 +12,7 @@ use rnet::{CityParams, NetworkKind};
 use std::sync::Arc;
 use std::time::Duration;
 use traj::TripConfig;
-use trajsearch_core::SearchEngine;
+use trajsearch_core::{EngineBuilder, PostingSource};
 use wed::models::{Erp, Lev};
 
 #[derive(Debug, Clone)]
@@ -31,7 +31,7 @@ pub fn run(scale: Scale) -> Vec<BuildRow> {
         let model = d.model(FuncKind::Edr);
         let (store, alphabet) = d.store_for(FuncKind::Edr);
 
-        let engine = SearchEngine::new(&*model, store, alphabet);
+        let engine = EngineBuilder::new(&*model, store, alphabet).build();
         rows.push(BuildRow {
             dataset: d.name.to_string(),
             method: "OSF-BT (postings)",

@@ -5,7 +5,7 @@ use crate::data::{Dataset, FuncKind, Scale};
 use crate::methods::MethodSet;
 use crate::table::{fmt_ms, print_table};
 use std::time::Instant;
-use trajsearch_core::{SearchOptions, TemporalConstraint, TimeInterval, VerifyMode};
+use trajsearch_core::{Query, TemporalConstraint, TimeInterval, VerifyMode};
 use wed::Sym;
 
 #[derive(Debug, Clone)]
@@ -55,16 +55,13 @@ pub fn run(
                 let t0 = Instant::now();
                 let mut results = 0usize;
                 for (q, tau) in &queries {
-                    let out = set.engine().search_opts(
-                        q,
-                        *tau,
-                        SearchOptions {
-                            verify: VerifyMode::Trie,
-                            temporal: Some(constraint),
-                            temporal_filter: tf,
-                            ..Default::default()
-                        },
-                    );
+                    let query = Query::threshold(q.clone(), *tau)
+                        .verify(VerifyMode::Trie)
+                        .temporal(constraint)
+                        .temporal_filter(tf)
+                        .build()
+                        .expect("valid");
+                    let out = set.engine().run(&query).expect("run");
                     results += out.matches.len();
                 }
                 (

@@ -2,10 +2,17 @@
 //!
 //! Not a paper experiment — the paper measures single-query latency — but
 //! the ROADMAP north-star is serving heavy traffic, so this measures what
-//! the parallel batch engine (`SearchEngine::search_batch`) actually buys:
+//! the parallel batch engine (`SearchEngine::run_batch`) actually buys:
 //! the same workload at several thread counts, with wall-clock vs summed
 //! per-query CPU time, speedup over the 1-thread run, and a machine-readable
 //! JSON dump (`BENCH_throughput.json`) for CI trend tracking.
+//!
+//! Since `wed::models::Memo` moved to a sharded-lock cache, batch runs use
+//! the *same memoized models* as the sequential pipeline (`Dataset::model`;
+//! the unmemoized `model_sync` split is retired). For NetEDR/NetERP this
+//! removes a hub-label query from the innermost DP loop of every worker —
+//! on a 1-core container the recorded effect is a lower `cpu_ms` at every
+//! thread count rather than a speedup change.
 //!
 //! Speedup is hardware-bound: on an N-core host the curve flattens at ≈ N
 //! (the JSON records `host_cpus` so a 1-core CI runner's flat curve is not
@@ -15,8 +22,7 @@ use super::{host_cpus, write_bench_json};
 use crate::data::{Dataset, FuncKind, Scale};
 use crate::table::{fmt_ms, print_table};
 use trajsearch_core::batch::BatchOptions;
-use trajsearch_core::SearchEngine;
-use wed::Sym;
+use trajsearch_core::{EngineBuilder, Query};
 
 /// One measured point: a full workload at one thread count.
 #[derive(Debug, Clone)]
@@ -46,27 +52,31 @@ pub fn run(
     scale: Scale,
 ) -> Vec<ThroughputRow> {
     let d = Dataset::load(which, scale);
-    let model = d.model_sync(func);
+    let model = d.model(func);
     let (store, alphabet) = d.store_for(func);
-    let engine: SearchEngine<'_, &(dyn wed::WedInstance + Sync)> =
-        SearchEngine::new(&*model, store, alphabet);
-    let workload: Vec<(Vec<Sym>, f64)> = d
+    let engine = EngineBuilder::new(&*model, store, alphabet).build();
+    let workload: Vec<Query> = d
         .sample_queries(func, qlen, nqueries, 11)
         .into_iter()
         .map(|q| {
             let tau = d.tau_for(&*model, &q, tau_ratio);
-            (q, tau)
+            Query::threshold(q, tau).build().expect("valid workload")
         })
         .collect();
 
-    // Warm-up pass (index pages, allocator) excluded from measurement; its
-    // outcome is the correctness reference for every thread count.
-    let reference = engine.search_batch(&workload, BatchOptions::with_threads(1));
+    // Warm-up pass (index pages, allocator, memo cache) excluded from
+    // measurement; its outcome is the correctness reference for every
+    // thread count.
+    let reference = engine
+        .run_batch(&workload, BatchOptions::with_threads(1))
+        .expect("admitted");
 
     let mut rows = Vec::with_capacity(threads.len());
     for &t in threads {
-        let out = engine.search_batch(&workload, BatchOptions::with_threads(t));
-        for (i, (got, want)) in out.outcomes.iter().zip(&reference.outcomes).enumerate() {
+        let out = engine
+            .run_batch(&workload, BatchOptions::with_threads(t))
+            .expect("admitted");
+        for (i, (got, want)) in out.responses.iter().zip(&reference.responses).enumerate() {
             assert_eq!(
                 got.matches, want.matches,
                 "batch at {t} threads diverged from sequential on query {i}"
@@ -150,7 +160,7 @@ pub fn enforce_speedup_floor(rows: &[ThroughputRow], floor: f64) {
 }
 
 /// Writes the rows as a machine-readable JSON document (shared envelope:
-/// [`write_bench_json`](super::write_bench_json)). Every value is a number
+/// the crate's private `write_bench_json`). Every value is a number
 /// or a plain string, so any JSON parser can consume it.
 pub fn write_json(rows: &[ThroughputRow], path: &str) -> std::io::Result<()> {
     let rendered: Vec<String> = rows
@@ -178,6 +188,49 @@ pub fn write_json(rows: &[ThroughputRow], path: &str) -> std::io::Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Regression for the sharded-lock `Memo` (ROADMAP "memo under
+    /// parallelism"): a memoized network model shared across batch workers
+    /// must return exactly the results of the unmemoized model — and of a
+    /// sequential run — at every thread count. Before `Memo` became `Sync`
+    /// this path was forced through the unmemoized `model_sync` fallback.
+    #[test]
+    fn memoized_net_model_batch_results_unchanged() {
+        use trajsearch_core::{EngineBuilder, Query};
+        use wed::models::{Memo, NetEdr};
+
+        let d = Dataset::test_tiny();
+        let eps = d.median_edge_length();
+        let memo = Memo::new(NetEdr::new(d.net.clone(), d.hubs(), eps));
+        let raw = NetEdr::new(d.net.clone(), d.hubs(), eps);
+        let alphabet = d.net.num_vertices();
+
+        let workload: Vec<Query> = d
+            .sample_queries(FuncKind::NetEdr, 8, 6, 21)
+            .into_iter()
+            .map(|q| {
+                let tau = d.tau_for(&raw, &q, 0.2);
+                Query::threshold(q, tau).build().expect("valid")
+            })
+            .collect();
+
+        let memo_engine = EngineBuilder::new(&memo, &d.store, alphabet).build();
+        let raw_engine = EngineBuilder::new(&raw, &d.store, alphabet).build();
+        let want = raw_engine
+            .run_batch(&workload, BatchOptions::with_threads(1))
+            .expect("admitted");
+        for threads in [1, 2, 4] {
+            let got = memo_engine
+                .run_batch(&workload, BatchOptions::with_threads(threads))
+                .expect("admitted");
+            for (i, (g, w)) in got.responses.iter().zip(&want.responses).enumerate() {
+                assert_eq!(
+                    g.matches, w.matches,
+                    "memoized batch diverged on query {i} at {threads} threads"
+                );
+            }
+        }
+    }
 
     #[test]
     fn throughput_rows_cover_thread_counts_and_agree() {

@@ -18,7 +18,7 @@ use crate::table::print_table;
 use rnet::Point;
 use std::collections::HashMap;
 use traj::TrajId;
-use trajsearch_core::{InvertedIndex, SearchEngine};
+use trajsearch_core::{AnyIndex, EngineBuilder, InvertedIndex, Query, SearchEngine};
 use wed::nonwed::{dtw, lcrs, lcss, lors};
 use wed::{wed, Sym};
 
@@ -105,14 +105,17 @@ fn loocv_mse(truth: &HashMap<TrajId, f64>, sample: &HashMap<TrajId, f64>) -> Opt
 fn sparse_queries(d: &Dataset, qlen: usize, want: usize) -> Vec<GroundTruth> {
     let lev = d.model(FuncKind::Lev);
     let (store, alphabet) = d.store_for(FuncKind::Lev);
-    let engine = SearchEngine::new(&*lev, store, alphabet);
+    let engine = EngineBuilder::new(&*lev, store, alphabet).build();
     let mut out = Vec::new();
     for salt in 0..200u64 {
         if out.len() >= want {
             break;
         }
         for q in d.sample_queries(FuncKind::Lev, qlen, 4, 1000 + salt) {
-            let hits = engine.search(&q, 0.5); // dist < 0.5 <=> exact under Lev
+            // dist < 0.5 <=> exact under Lev
+            let hits = engine
+                .run(&Query::threshold(q.clone(), 0.5).build().expect("valid"))
+                .expect("run");
             let mut exact: HashMap<TrajId, f64> = HashMap::new();
             for m in &hits.matches {
                 let t = store.get(m.id);
@@ -136,7 +139,7 @@ fn sparse_queries(d: &Dataset, qlen: usize, want: usize) -> Vec<GroundTruth> {
 fn wed_sample(
     d: &Dataset,
     func: FuncKind,
-    engine: &SearchEngine<'_, &dyn wed::WedInstance>,
+    engine: &SearchEngine<'_, &(dyn wed::WedInstance + Sync), AnyIndex>,
     q_vertex: &[Sym],
     tau_ratio: f64,
 ) -> HashMap<TrajId, f64> {
@@ -146,8 +149,10 @@ fn wed_sample(
     } else {
         q_vertex.to_vec()
     };
-    let tau = d.tau_for(engine.model(), &q, tau_ratio);
-    let out = engine.search(&q, tau);
+    let tau = d.tau_for(*engine.model(), &q, tau_ratio);
+    let out = engine
+        .run(&Query::threshold(q, tau).build().expect("valid"))
+        .expect("run");
     let mut best: HashMap<TrajId, (f64, usize, usize)> = HashMap::new();
     for m in &out.matches {
         let len = m.end - m.start;
@@ -265,13 +270,16 @@ pub fn run_fig4(qlen: usize, nqueries: usize, tau_ratios: &[f64], scale: Scale) 
     );
 
     // Engines per WED function (built once).
-    let models: Vec<(FuncKind, Box<dyn wed::WedInstance>)> =
+    let models: Vec<(FuncKind, Box<dyn wed::WedInstance + Sync>)> =
         FuncKind::ALL.iter().map(|&k| (k, d.model(k))).collect();
-    let engines: Vec<(FuncKind, SearchEngine<'_, &dyn wed::WedInstance>)> = models
+    let engines: Vec<(
+        FuncKind,
+        SearchEngine<'_, &(dyn wed::WedInstance + Sync), AnyIndex>,
+    )> = models
         .iter()
         .map(|(k, m)| {
             let (store, alphabet) = d.store_for(*k);
-            (*k, SearchEngine::new(&**m as _, store, alphabet))
+            (*k, EngineBuilder::new(&**m as _, store, alphabet).build())
         })
         .collect();
     let vertex_index = InvertedIndex::build(&d.store, d.net.num_vertices());
@@ -352,8 +360,7 @@ pub fn run_table3(qlen: usize, nqueries: usize, ks: &[usize], scale: Scale) -> V
     assert!(!truths.is_empty());
     let surs = d.model(FuncKind::Surs);
     let (estore, alphabet) = d.store_for(FuncKind::Surs);
-    let engine: SearchEngine<'_, &dyn wed::WedInstance> =
-        SearchEngine::new(&*surs, estore, alphabet);
+    let engine = EngineBuilder::new(&*surs, estore, alphabet).build();
 
     let mut rows = Vec::new();
     for &k in ks {
@@ -370,7 +377,9 @@ pub fn run_table3(qlen: usize, nqueries: usize, ks: &[usize], scale: Scale) -> V
             // Subtrajectory: per-id best match under a generous threshold,
             // then top-k by distance.
             let tau = d.tau_for(&*surs, &qe, 0.5);
-            let out = engine.search(&qe, tau);
+            let out = engine
+                .run(&Query::threshold(qe.clone(), tau).build().expect("valid"))
+                .expect("run");
             let mut best: HashMap<TrajId, (f64, usize, usize)> = HashMap::new();
             for m in &out.matches {
                 let e = best.entry(m.id).or_insert((f64::INFINITY, 0, 0));

@@ -6,7 +6,9 @@
 use baselines::{plain_sw_search, Dison, QGramIndex, Torch};
 use std::time::{Duration, Instant};
 use traj::TrajectoryStore;
-use trajsearch_core::{MatchResult, SearchEngine, SearchOptions, SearchStats, VerifyMode};
+use trajsearch_core::{
+    AnyIndex, EngineBuilder, MatchResult, Query, SearchEngine, SearchStats, VerifyMode,
+};
 use wed::{Sym, WedInstance};
 
 /// The eight methods of Figure 6.
@@ -61,10 +63,10 @@ impl MethodKind {
 
 /// Pre-built indexes for one `(model, store)` pair; query methods reuse them
 /// (index construction is excluded from query-time measurements, §6.3).
-pub struct MethodSet<'a, M: WedInstance + Copy> {
+pub struct MethodSet<'a, M: WedInstance + Copy + Sync> {
     model: M,
     store: &'a TrajectoryStore,
-    engine: SearchEngine<'a, M>,
+    engine: SearchEngine<'a, M, AnyIndex>,
     dison_bt: Dison<'a, M>,
     dison_sw: Dison<'a, M>,
     torch_bt: Torch<'a, M>,
@@ -80,12 +82,12 @@ pub struct RunResult {
     pub stats: SearchStats,
 }
 
-impl<'a, M: WedInstance + Copy> MethodSet<'a, M> {
+impl<'a, M: WedInstance + Copy + Sync> MethodSet<'a, M> {
     pub fn new(model: M, store: &'a TrajectoryStore, alphabet_size: usize) -> Self {
         MethodSet {
             model,
             store,
-            engine: SearchEngine::new(model, store, alphabet_size),
+            engine: EngineBuilder::new(model, store, alphabet_size).build(),
             dison_bt: Dison::new(model, store, alphabet_size, VerifyMode::Trie),
             dison_sw: Dison::new(model, store, alphabet_size, VerifyMode::Sw),
             torch_bt: Torch::new(model, store, alphabet_size, VerifyMode::Trie),
@@ -94,36 +96,24 @@ impl<'a, M: WedInstance + Copy> MethodSet<'a, M> {
         }
     }
 
-    pub fn engine(&self) -> &SearchEngine<'a, M> {
+    pub fn engine(&self) -> &SearchEngine<'a, M, AnyIndex> {
         &self.engine
     }
 
     /// Runs one method on one query, measuring wall-clock time.
     pub fn run(&self, kind: MethodKind, q: &[Sym], tau: f64) -> RunResult {
         let t0 = Instant::now();
+        let osf = |mode: VerifyMode| {
+            let query = Query::threshold(q, tau)
+                .verify(mode)
+                .build()
+                .expect("workload queries are valid");
+            let out = self.engine.run(&query).expect("run");
+            (out.matches, out.stats)
+        };
         let (matches, stats) = match kind {
-            MethodKind::OsfBt => {
-                let out = self.engine.search_opts(
-                    q,
-                    tau,
-                    SearchOptions {
-                        verify: VerifyMode::Trie,
-                        ..Default::default()
-                    },
-                );
-                (out.matches, out.stats)
-            }
-            MethodKind::OsfSw => {
-                let out = self.engine.search_opts(
-                    q,
-                    tau,
-                    SearchOptions {
-                        verify: VerifyMode::Sw,
-                        ..Default::default()
-                    },
-                );
-                (out.matches, out.stats)
-            }
+            MethodKind::OsfBt => osf(VerifyMode::Trie),
+            MethodKind::OsfSw => osf(VerifyMode::Sw),
             MethodKind::DisonBt => self.dison_bt.search(q, tau),
             MethodKind::DisonSw => self.dison_sw.search(q, tau),
             MethodKind::TorchBt => self.torch_bt.search(q, tau),

@@ -1,0 +1,694 @@
+//! The unified request/response surface: [`EngineBuilder`] constructs a
+//! [`SearchEngine`], [`SearchEngine::run`] answers a [`Query`], and
+//! [`SearchEngine::run_batch`] answers a mixed workload of them.
+//!
+//! Everything the engine can do — threshold and top-k objectives, all
+//! verification strategies, temporal constraints, sequential / in-query /
+//! whole-batch parallelism, single or sharded postings layouts — is reached
+//! through these two methods; the pre-redesign entry points remain as
+//! `#[deprecated]` wrappers over them. Dispatch stays monomorphized over
+//! [`PostingSource`], and [`Response`] carries the same wire-format JSON as
+//! [`Query`], so a serving front-end or shard server can speak this exact
+//! type over a socket.
+
+use crate::batch::{BatchOptions, BatchStats};
+use crate::index::{InvertedIndex, Posting, PostingSource};
+use crate::json::JsonValue;
+use crate::query::{Objective, Parallelism, Query, QueryError};
+use crate::results::MatchResult;
+use crate::search::{SearchEngine, SearchOutcome};
+use crate::sharded::ShardedIndex;
+use crate::stats::SearchStats;
+use crate::topk::TopKEntry;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+use traj::{TrajId, TrajectoryStore};
+use wed::{Sym, WedInstance};
+
+// ---------------------------------------------------------------------------
+// Engine construction
+// ---------------------------------------------------------------------------
+
+/// Postings storage layout for [`EngineBuilder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexLayout {
+    /// One contiguous postings list per symbol ([`InvertedIndex`]).
+    Single,
+    /// Postings partitioned by `traj_id % n`, built in parallel
+    /// ([`ShardedIndex`]); results are identical at any shard count.
+    Sharded(usize),
+}
+
+/// Either postings layout behind one engine type, so the layout is a
+/// runtime choice ([`EngineBuilder::layout`]) while every search path stays
+/// monomorphized (a two-arm match, no `dyn`, in each [`PostingSource`]
+/// call).
+#[derive(Debug, Clone)]
+pub enum AnyIndex {
+    Single(InvertedIndex),
+    Sharded(ShardedIndex),
+}
+
+/// `impl Iterator` returned from a two-arm match.
+enum EitherIter<A, B> {
+    A(A),
+    B(B),
+}
+
+impl<T, A: Iterator<Item = T>, B: Iterator<Item = T>> Iterator for EitherIter<A, B> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        match self {
+            EitherIter::A(it) => it.next(),
+            EitherIter::B(it) => it.next(),
+        }
+    }
+}
+
+impl PostingSource for AnyIndex {
+    fn postings(&self, q: Sym) -> impl Iterator<Item = Posting> + '_ {
+        match self {
+            AnyIndex::Single(i) => EitherIter::A(i.postings(q).iter().copied()),
+            AnyIndex::Sharded(i) => EitherIter::B(i.postings(q)),
+        }
+    }
+
+    fn freq(&self, q: Sym) -> u32 {
+        match self {
+            AnyIndex::Single(i) => i.freq(q),
+            AnyIndex::Sharded(i) => PostingSource::freq(i, q),
+        }
+    }
+
+    fn span(&self, id: TrajId) -> (f64, f64) {
+        match self {
+            AnyIndex::Single(i) => i.span(id),
+            AnyIndex::Sharded(i) => PostingSource::span(i, id),
+        }
+    }
+
+    fn postings_departing_by(
+        &self,
+        q: Sym,
+        t_max: f64,
+    ) -> impl Iterator<Item = (f64, Posting)> + '_ {
+        match self {
+            AnyIndex::Single(i) => EitherIter::A(i.postings_departing_by(q, t_max).iter().copied()),
+            AnyIndex::Sharded(i) => EitherIter::B(i.postings_departing_by(q, t_max)),
+        }
+    }
+
+    fn has_temporal_postings(&self) -> bool {
+        match self {
+            AnyIndex::Single(i) => i.has_temporal_postings(),
+            AnyIndex::Sharded(i) => PostingSource::has_temporal_postings(i),
+        }
+    }
+
+    fn alphabet_size(&self) -> usize {
+        match self {
+            AnyIndex::Single(i) => i.alphabet_size(),
+            AnyIndex::Sharded(i) => PostingSource::alphabet_size(i),
+        }
+    }
+
+    fn num_trajectories(&self) -> usize {
+        match self {
+            AnyIndex::Single(i) => i.num_trajectories(),
+            AnyIndex::Sharded(i) => PostingSource::num_trajectories(i),
+        }
+    }
+
+    fn total_postings(&self) -> usize {
+        match self {
+            AnyIndex::Single(i) => i.total_postings(),
+            AnyIndex::Sharded(i) => PostingSource::total_postings(i),
+        }
+    }
+
+    fn size_bytes(&self) -> usize {
+        match self {
+            AnyIndex::Single(i) => i.size_bytes(),
+            AnyIndex::Sharded(i) => PostingSource::size_bytes(i),
+        }
+    }
+}
+
+/// One constructor for every engine configuration, replacing the four
+/// pre-redesign constructors (`new`, `with_temporal_postings`,
+/// `new_sharded`, `with_index`):
+///
+/// ```
+/// use trajsearch_core::{EngineBuilder, IndexLayout, Query};
+/// use traj::{Trajectory, TrajectoryStore};
+/// use wed::models::Lev;
+///
+/// let mut store = TrajectoryStore::new();
+/// store.push(Trajectory::untimed(vec![0, 1, 2, 3]));
+/// let engine = EngineBuilder::new(Lev, &store, 8)
+///     .layout(IndexLayout::Sharded(2))
+///     .temporal_postings(true)
+///     .build();
+/// let response = engine.run(&Query::threshold(vec![1, 2], 0.5).build()?)?;
+/// assert_eq!(response.matches.len(), 1); // [1, 2] at distance 0
+/// # Ok::<(), trajsearch_core::QueryError>(())
+/// ```
+#[derive(Debug)]
+pub struct EngineBuilder<'a, M: WedInstance> {
+    model: M,
+    store: &'a TrajectoryStore,
+    alphabet_size: usize,
+    layout: IndexLayout,
+    temporal_postings: bool,
+}
+
+impl<'a, M: WedInstance> EngineBuilder<'a, M> {
+    /// Starts a builder over `store`; `alphabet_size` is `|V|` or `|E|`
+    /// depending on the representation the store uses.
+    pub fn new(model: M, store: &'a TrajectoryStore, alphabet_size: usize) -> Self {
+        EngineBuilder {
+            model,
+            store,
+            alphabet_size,
+            layout: IndexLayout::Single,
+            temporal_postings: false,
+        }
+    }
+
+    /// Postings layout (default [`IndexLayout::Single`]). The layout never
+    /// changes results; pick a shard count near the host's core count for
+    /// build throughput.
+    pub fn layout(mut self, layout: IndexLayout) -> Self {
+        self.layout = layout;
+        self
+    }
+
+    /// Additionally builds the by-departure postings orderings so queries
+    /// may set [`QueryBuilder::temporal_postings`](crate::QueryBuilder::temporal_postings);
+    /// without this, such queries are rejected with
+    /// [`QueryError::TemporalPostingsUnavailable`].
+    pub fn temporal_postings(mut self, on: bool) -> Self {
+        self.temporal_postings = on;
+        self
+    }
+
+    /// Builds the index and wraps it into an engine.
+    pub fn build(self) -> SearchEngine<'a, M, AnyIndex> {
+        let t0 = Instant::now();
+        let index = match self.layout {
+            IndexLayout::Single => {
+                let mut index = InvertedIndex::build(self.store, self.alphabet_size);
+                if self.temporal_postings {
+                    index.enable_temporal_postings();
+                }
+                AnyIndex::Single(index)
+            }
+            IndexLayout::Sharded(n) => {
+                let mut index = ShardedIndex::build_parallel(self.store, self.alphabet_size, n);
+                if self.temporal_postings {
+                    index.enable_temporal_postings();
+                }
+                AnyIndex::Sharded(index)
+            }
+        };
+        SearchEngine::from_parts(self.model, self.store, index, t0.elapsed())
+    }
+
+    /// Wraps a pre-built posting source instead (built, appended to, or
+    /// temporal-enabled by the caller) — the expert escape hatch that
+    /// replaces the old `with_index`. The index must cover exactly the
+    /// trajectories of the store; `layout`/`temporal_postings` settings are
+    /// ignored, and [`build_time`](SearchEngine::build_time) reports zero
+    /// since construction happened outside.
+    ///
+    /// # Panics
+    /// Panics if `index.num_trajectories() != store.len()`.
+    pub fn build_with<I: PostingSource>(self, index: I) -> SearchEngine<'a, M, I> {
+        assert_eq!(
+            index.num_trajectories(),
+            self.store.len(),
+            "index and store must cover the same trajectories"
+        );
+        SearchEngine::from_parts(self.model, self.store, index, Duration::ZERO)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Response envelope
+// ---------------------------------------------------------------------------
+
+/// A query answer behind one envelope, whatever the objective:
+///
+/// * **Threshold** — `matches` is the exact Definition 3 result set in
+///   canonical `(id, start, end)` order;
+/// * **Top-k** — `matches` holds each ranked trajectory's best match in
+///   rank order (position = rank; see [`Response::ranked`]).
+///
+/// `stats` carries the per-query instrumentation (merged over the
+/// threshold-growth rounds for top-k). [`Response::to_json`] /
+/// [`Response::from_json`] are the wire format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    pub matches: Vec<MatchResult>,
+    pub stats: SearchStats,
+}
+
+impl Response {
+    /// Top-k view of the matches: entry `i` is rank `i`.
+    pub fn ranked(&self) -> Vec<TopKEntry> {
+        self.matches
+            .iter()
+            .enumerate()
+            .map(|(rank, &best)| TopKEntry { rank, best })
+            .collect()
+    }
+
+    /// Encodes the response for the wire; [`Response::from_json`] inverts
+    /// it losslessly (distances bit-for-bit, durations in nanoseconds).
+    pub fn to_json(&self) -> String {
+        let matches = JsonValue::Arr(
+            self.matches
+                .iter()
+                .map(|m| {
+                    JsonValue::Obj(vec![
+                        ("id".into(), JsonValue::num_u64(m.id as u64)),
+                        ("start".into(), JsonValue::num_usize(m.start)),
+                        ("end".into(), JsonValue::num_usize(m.end)),
+                        ("dist".into(), JsonValue::num_f64(m.dist)),
+                    ])
+                })
+                .collect(),
+        );
+        let s = &self.stats;
+        let stats = JsonValue::Obj(vec![
+            ("mincand_ns".into(), nanos(s.mincand_time)),
+            ("lookup_ns".into(), nanos(s.lookup_time)),
+            ("verify_ns".into(), nanos(s.verify_time)),
+            ("candidates".into(), JsonValue::num_usize(s.candidates)),
+            (
+                "candidates_after_temporal".into(),
+                JsonValue::num_usize(s.candidates_after_temporal),
+            ),
+            (
+                "candidates_deduped".into(),
+                JsonValue::num_usize(s.candidates_deduped),
+            ),
+            ("tsubseq_len".into(), JsonValue::num_usize(s.tsubseq_len)),
+            ("fallback".into(), JsonValue::Bool(s.fallback)),
+            ("sw_columns".into(), JsonValue::num_u64(s.sw_columns)),
+            (
+                "columns_passed".into(),
+                JsonValue::num_u64(s.columns_passed),
+            ),
+            ("stepdp_calls".into(), JsonValue::num_u64(s.stepdp_calls)),
+            ("results".into(), JsonValue::num_usize(s.results)),
+        ]);
+        JsonValue::Obj(vec![("matches".into(), matches), ("stats".into(), stats)]).to_string()
+    }
+
+    /// Decodes a wire response.
+    pub fn from_json(text: &str) -> Result<Response, QueryError> {
+        let doc = JsonValue::parse(text).map_err(QueryError::Parse)?;
+        let parse = |msg: &str| QueryError::Parse(msg.to_string());
+        let matches = doc
+            .get("matches")
+            .and_then(|v| v.as_arr())
+            .ok_or_else(|| parse("missing \"matches\" array"))?
+            .iter()
+            .map(|m| {
+                Some(MatchResult {
+                    id: u32::try_from(m.get("id")?.as_u64()?).ok()?,
+                    start: m.get("start")?.as_usize()?,
+                    end: m.get("end")?.as_usize()?,
+                    dist: m.get("dist")?.as_f64()?,
+                })
+            })
+            .collect::<Option<Vec<_>>>()
+            .ok_or_else(|| parse("malformed match entry"))?;
+        let s = doc.get("stats").ok_or_else(|| parse("missing \"stats\""))?;
+        let dur = |key: &str| -> Result<Duration, QueryError> {
+            s.get(key)
+                .and_then(|v| v.as_u64())
+                .map(Duration::from_nanos)
+                .ok_or_else(|| parse(&format!("stats field \"{key}\" must be u64 nanoseconds")))
+        };
+        let count = |key: &str| -> Result<usize, QueryError> {
+            s.get(key)
+                .and_then(|v| v.as_usize())
+                .ok_or_else(|| parse(&format!("stats field \"{key}\" must be an integer")))
+        };
+        let count64 = |key: &str| -> Result<u64, QueryError> {
+            s.get(key)
+                .and_then(|v| v.as_u64())
+                .ok_or_else(|| parse(&format!("stats field \"{key}\" must be an integer")))
+        };
+        let stats = SearchStats {
+            mincand_time: dur("mincand_ns")?,
+            lookup_time: dur("lookup_ns")?,
+            verify_time: dur("verify_ns")?,
+            candidates: count("candidates")?,
+            candidates_after_temporal: count("candidates_after_temporal")?,
+            candidates_deduped: count("candidates_deduped")?,
+            tsubseq_len: count("tsubseq_len")?,
+            fallback: s
+                .get("fallback")
+                .and_then(|v| v.as_bool())
+                .ok_or_else(|| parse("stats field \"fallback\" must be a boolean"))?,
+            sw_columns: count64("sw_columns")?,
+            columns_passed: count64("columns_passed")?,
+            stepdp_calls: count64("stepdp_calls")?,
+            results: count("results")?,
+        };
+        Ok(Response { matches, stats })
+    }
+}
+
+fn nanos(d: Duration) -> JsonValue {
+    JsonValue::num_u64(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+}
+
+/// A batch answer: per-query responses in workload order plus the
+/// wall-vs-CPU [`BatchStats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchResponse {
+    pub responses: Vec<Response>,
+    pub stats: BatchStats,
+}
+
+// ---------------------------------------------------------------------------
+// run / run_batch
+// ---------------------------------------------------------------------------
+
+impl<'a, M: WedInstance + Sync, I: PostingSource + Sync> SearchEngine<'a, M, I> {
+    /// Engine-dependent admission checks; shape checks already ran in
+    /// [`QueryBuilder::build`](crate::QueryBuilder::build).
+    fn admit(&self, query: &Query) -> Result<(), QueryError> {
+        if query.temporal_postings() && !self.index().has_temporal_postings() {
+            return Err(QueryError::TemporalPostingsUnavailable);
+        }
+        Ok(())
+    }
+
+    /// Answers one [`Query`] — the single entry point for every search
+    /// path. Returns [`QueryError::TemporalPostingsUnavailable`] when the
+    /// query asks for by-departure candidate generation on an index built
+    /// without it (formerly a silent fallback); every other invalid shape
+    /// was already rejected by [`QueryBuilder::build`](crate::QueryBuilder::build).
+    pub fn run(&self, query: &Query) -> Result<Response, QueryError> {
+        self.admit(query)?;
+        Ok(self.run_admitted(query))
+    }
+
+    /// Post-admission execution, shared by `run` and the batch workers.
+    pub(crate) fn run_admitted(&self, query: &Query) -> Response {
+        let opts = query.search_options();
+        match query.objective() {
+            Objective::Threshold { tau } => {
+                let out = self.threshold_outcome(query.pattern(), tau, opts, query.parallelism());
+                Response {
+                    matches: out.matches,
+                    stats: out.stats,
+                }
+            }
+            Objective::TopK {
+                k,
+                initial_tau,
+                max_tau,
+            } => {
+                let (matches, stats) = crate::topk::top_k_growth(
+                    self,
+                    query.pattern(),
+                    k,
+                    initial_tau,
+                    max_tau,
+                    opts,
+                    query.parallelism(),
+                );
+                Response { matches, stats }
+            }
+        }
+    }
+
+    pub(crate) fn threshold_outcome(
+        &self,
+        q: &[Sym],
+        tau: f64,
+        opts: crate::search::SearchOptions,
+        parallelism: Parallelism,
+    ) -> SearchOutcome {
+        match parallelism {
+            Parallelism::Sequential | Parallelism::InQuery(1) => {
+                self.search_opts_impl(q, tau, opts)
+            }
+            Parallelism::InQuery(threads) => self.par_search_opts_impl(q, tau, opts, threads),
+        }
+    }
+
+    /// Answers a workload of queries across scoped worker threads, outcomes
+    /// in input order. Unlike the retired `search_batch`, one batch may
+    /// freely mix thresholds, top-k, temporal constraints and verify modes
+    /// — each [`Query`] is self-contained.
+    ///
+    /// All queries are admission-checked up front: an invalid one fails the
+    /// whole batch *before* any work starts, so a partially executed batch
+    /// is impossible. Work distribution is dynamic (an atomic cursor);
+    /// every query runs exactly as [`run`](SearchEngine::run) would
+    /// (including its own [`Parallelism`] — note that `InQuery` inside a
+    /// multi-threaded batch oversubscribes the host), so responses are
+    /// byte-identical to calling `run` in a loop, for any thread count.
+    pub fn run_batch(
+        &self,
+        queries: &[Query],
+        opts: BatchOptions,
+    ) -> Result<BatchResponse, QueryError> {
+        for query in queries {
+            self.admit(query)?;
+        }
+        let threads = opts.resolve_threads().min(queries.len().max(1));
+        let t0 = Instant::now();
+
+        let mut slots: Vec<Option<Response>> = Vec::with_capacity(queries.len());
+        slots.resize_with(queries.len(), || None);
+
+        if threads <= 1 {
+            for (slot, query) in slots.iter_mut().zip(queries) {
+                *slot = Some(self.run_admitted(query));
+            }
+        } else {
+            let cursor = AtomicUsize::new(0);
+            let collected = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        let cursor = &cursor;
+                        scope.spawn(move || {
+                            let mut local: Vec<(usize, Response)> = Vec::new();
+                            loop {
+                                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                                let Some(query) = queries.get(i) else {
+                                    break;
+                                };
+                                local.push((i, self.run_admitted(query)));
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("batch worker panicked"))
+                    .collect::<Vec<_>>()
+            });
+            for (i, response) in collected.into_iter().flatten() {
+                slots[i] = Some(response);
+            }
+        }
+        let wall_time = t0.elapsed();
+
+        let responses: Vec<Response> = slots
+            .into_iter()
+            .map(|s| s.expect("every workload slot is filled"))
+            .collect();
+        let mut merged = SearchStats::default();
+        for r in &responses {
+            merged.merge(&r.stats);
+        }
+        let cpu_time = merged.total_time();
+        Ok(BatchResponse {
+            stats: BatchStats {
+                wall_time,
+                cpu_time,
+                threads,
+                queries: responses.len(),
+                merged,
+            },
+            responses,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Parallelism;
+    use crate::temporal::{TemporalConstraint, TimeInterval};
+    use crate::verify::VerifyMode;
+    use traj::Trajectory;
+    use wed::models::Lev;
+
+    fn store() -> TrajectoryStore {
+        let mut s = TrajectoryStore::new();
+        s.push(Trajectory::new(
+            vec![0, 1, 2, 3, 4],
+            vec![0.0, 1.0, 2.0, 3.0, 4.0],
+        ));
+        s.push(Trajectory::new(
+            vec![3, 1, 5, 1, 2],
+            vec![10.0, 11.0, 12.0, 13.0, 14.0],
+        ));
+        s.push(Trajectory::new(
+            vec![9, 8, 7, 6],
+            vec![20.0, 21.0, 22.0, 23.0],
+        ));
+        s.push(Trajectory::new(
+            vec![1, 2, 1, 2, 1],
+            vec![30.0, 31.0, 32.0, 33.0, 34.0],
+        ));
+        s
+    }
+
+    #[test]
+    fn builder_layouts_agree() {
+        let store = store();
+        let single = EngineBuilder::new(Lev, &store, 10).build();
+        let sharded = EngineBuilder::new(Lev, &store, 10)
+            .layout(IndexLayout::Sharded(3))
+            .build();
+        let q = Query::threshold(vec![1, 5, 2], 2.0).build().unwrap();
+        assert_eq!(
+            single.run(&q).unwrap().matches,
+            sharded.run(&q).unwrap().matches
+        );
+        assert!(matches!(single.index(), AnyIndex::Single(_)));
+        assert!(matches!(sharded.index(), AnyIndex::Sharded(_)));
+    }
+
+    #[test]
+    fn run_rejects_temporal_postings_without_index_support() {
+        let store = store();
+        let engine = EngineBuilder::new(Lev, &store, 10).build();
+        let q = Query::threshold(vec![1, 2], 1.0)
+            .temporal(TemporalConstraint::overlaps(TimeInterval::new(0.0, 5.0)))
+            .temporal_postings(true)
+            .build()
+            .unwrap();
+        assert_eq!(
+            engine.run(&q).unwrap_err(),
+            QueryError::TemporalPostingsUnavailable
+        );
+        // With temporal postings built, the same query is admitted.
+        let engine = EngineBuilder::new(Lev, &store, 10)
+            .temporal_postings(true)
+            .build();
+        assert!(engine.run(&q).is_ok());
+    }
+
+    #[test]
+    fn run_batch_rejects_before_executing() {
+        let store = store();
+        let engine = EngineBuilder::new(Lev, &store, 10).build();
+        let good = Query::threshold(vec![1, 2], 1.0).build().unwrap();
+        let bad = Query::threshold(vec![1, 2], 1.0)
+            .temporal(TemporalConstraint::overlaps(TimeInterval::new(0.0, 5.0)))
+            .temporal_postings(true)
+            .build()
+            .unwrap();
+        let err = engine
+            .run_batch(&[good, bad], BatchOptions::with_threads(2))
+            .unwrap_err();
+        assert_eq!(err, QueryError::TemporalPostingsUnavailable);
+    }
+
+    #[test]
+    fn mixed_batch_equals_run_loop() {
+        let store = store();
+        let engine = EngineBuilder::new(Lev, &store, 10)
+            .temporal_postings(true)
+            .build();
+        let queries = vec![
+            Query::threshold(vec![1, 5, 2], 2.0).build().unwrap(),
+            Query::top_k(vec![1, 2], 2, 0.5, 4.0).build().unwrap(),
+            Query::threshold(vec![1, 2], 1.5)
+                .verify(VerifyMode::Sw)
+                .temporal(TemporalConstraint::overlaps(TimeInterval::new(0.0, 15.0)))
+                .temporal_filter(true)
+                .temporal_postings(true)
+                .build()
+                .unwrap(),
+            Query::threshold(vec![9, 8], 1.0)
+                .parallelism(Parallelism::InQuery(2))
+                .build()
+                .unwrap(),
+        ];
+        let want: Vec<Response> = queries.iter().map(|q| engine.run(q).unwrap()).collect();
+        for threads in [1, 2, 4] {
+            let got = engine
+                .run_batch(&queries, BatchOptions::with_threads(threads))
+                .unwrap();
+            assert_eq!(got.responses.len(), want.len());
+            for (g, w) in got.responses.iter().zip(&want) {
+                // Matches byte-identical; stats counters identical (timings
+                // necessarily differ between runs).
+                assert_eq!(g.matches, w.matches, "threads={threads}");
+                assert_eq!(g.stats.candidates, w.stats.candidates);
+                assert_eq!(g.stats.results, w.stats.results);
+                assert_eq!(g.stats.fallback, w.stats.fallback);
+            }
+            assert_eq!(got.stats.queries, queries.len());
+        }
+    }
+
+    #[test]
+    fn top_k_response_is_ranked() {
+        let store = store();
+        let engine = EngineBuilder::new(Lev, &store, 10).build();
+        let q = Query::top_k(vec![1, 2], 3, 0.5, 4.0).build().unwrap();
+        let r = engine.run(&q).unwrap();
+        assert!(!r.matches.is_empty());
+        let ranked = r.ranked();
+        assert_eq!(ranked[0].rank, 0);
+        for pair in ranked.windows(2) {
+            assert!(pair[0].best.dist <= pair[1].best.dist, "ranks out of order");
+        }
+    }
+
+    #[test]
+    fn response_json_round_trip() {
+        let store = store();
+        let engine = EngineBuilder::new(Lev, &store, 10).build();
+        let q = Query::threshold(vec![1, 5, 2], 2.5).build().unwrap();
+        let r = engine.run(&q).unwrap();
+        assert!(!r.matches.is_empty());
+        let back = Response::from_json(&r.to_json()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn prebuilt_index_escape_hatch() {
+        let store = store();
+        let index = InvertedIndex::build(&store, 10);
+        let engine = EngineBuilder::new(Lev, &store, 10).build_with(index);
+        let q = Query::threshold(vec![1, 2], 1.0).build().unwrap();
+        assert!(!engine.run(&q).unwrap().matches.is_empty());
+        assert_eq!(engine.build_time(), Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "same trajectories")]
+    fn prebuilt_index_must_cover_store() {
+        let store = store();
+        let partial = store.prefix(2);
+        let index = InvertedIndex::build(&partial, 10);
+        EngineBuilder::new(Lev, &store, 10).build_with(index);
+    }
+}

@@ -1,54 +1,53 @@
-//! Parallel batched query execution.
+//! Batch execution support types.
 //!
-//! The paper's engine (and [`SearchEngine::search_opts`]) answers one query
-//! at a time; a serving deployment sees a *workload*. Candidate verification
-//! is embarrassingly parallel per trajectory and queries are independent, so
-//! a batch fans out across `std::thread::scope` workers (no external
-//! thread-pool dependency):
+//! The paper's engine answers one query at a time; a serving deployment
+//! sees a *workload*. [`SearchEngine::run_batch`](crate::SearchEngine::run_batch)
+//! fans whole queries out across `std::thread::scope` workers (no external
+//! thread-pool dependency) claiming from a shared atomic cursor:
 //!
-//! * **Across queries** — each worker claims whole queries from a shared
-//!   atomic cursor and runs the ordinary sequential pipeline on them. A
-//!   query's bidirectional-trie caches stay on the worker that built them
-//!   (the [`Verifier`](crate::verify::Verifier) is thread-local), so cache
-//!   locality is exactly that of the sequential engine.
-//! * **Within a query** — [`SearchEngine::par_search_opts`] shards one
-//!   query's candidate trajectories across workers; useful for tail-latency
-//!   on a single heavy query, not for throughput.
+//! * **Across queries** — each worker claims whole [`Query`]
+//!   values and runs the ordinary pipeline on them. A query's
+//!   bidirectional-trie caches stay on the worker that built them (the
+//!   [`Verifier`](crate::verify::Verifier) is thread-local), so cache
+//!   locality is exactly that of sequential execution. One batch may mix
+//!   thresholds, top-k, temporal and plain queries freely.
+//! * **Within a query** —
+//!   [`Parallelism::InQuery`] shards one
+//!   query's candidate trajectories across workers; useful for
+//!   tail-latency on a single heavy query, not for throughput.
 //!
 //! Either way the result sets — distances included — are identical to
 //! sequential execution: workers never share mutable state, and the
 //! per-triple min-merge is associative.
 //!
-//! [`BatchStats`] complements the per-query [`SearchStats`] with wall-clock
-//! vs summed-CPU time so a throughput experiment can report queries/sec and
-//! effective parallel speedup directly.
+//! This module holds the workload-level types: [`BatchOptions`] (worker
+//! count), [`BatchStats`] (wall-clock vs summed-CPU time so a throughput
+//! experiment can report queries/sec and effective parallel speedup
+//! directly), and the legacy `(pattern, tau)` wrapper
+//! [`SearchEngine::search_batch`].
 
 use crate::index::PostingSource;
+use crate::query::{Parallelism, Query};
 use crate::search::{SearchEngine, SearchOptions, SearchOutcome};
 use crate::stats::SearchStats;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 use wed::{Sym, WedInstance};
 
-/// Options for one batch run.
+/// Options for one batch run. Per-query behavior lives in each
+/// [`Query`]; this only schedules the workload.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct BatchOptions {
     /// Worker count; `0` means [`std::thread::available_parallelism`].
     pub threads: usize,
-    /// Per-query options, applied to every query in the workload.
-    pub search: SearchOptions,
 }
 
 impl BatchOptions {
-    /// `threads` workers, default search options.
+    /// `threads` workers.
     pub fn with_threads(threads: usize) -> Self {
-        BatchOptions {
-            threads,
-            ..Default::default()
-        }
+        BatchOptions { threads }
     }
 
-    fn resolve_threads(&self) -> usize {
+    pub(crate) fn resolve_threads(&self) -> usize {
         if self.threads > 0 {
             self.threads
         } else {
@@ -61,7 +60,7 @@ impl BatchOptions {
 
 /// Workload-level instrumentation: wall-clock vs CPU time plus the merged
 /// per-phase aggregates of every query.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct BatchStats {
     /// Wall-clock time of the whole batch (dispatch to last join).
     pub wall_time: Duration,
@@ -99,7 +98,9 @@ impl BatchStats {
     }
 }
 
-/// A batch answer: per-query outcomes in workload order plus batch stats.
+/// A batch answer in the legacy shape: per-query outcomes in workload order
+/// plus batch stats. The unified surface returns the equivalent
+/// [`BatchResponse`](crate::BatchResponse).
 #[derive(Debug, Clone)]
 pub struct BatchOutcome {
     /// One [`SearchOutcome`] per workload entry, in input order.
@@ -108,77 +109,34 @@ pub struct BatchOutcome {
 }
 
 impl<'a, M: WedInstance + Sync, I: PostingSource + Sync> SearchEngine<'a, M, I> {
-    /// Executes a workload of `(query, τ)` pairs across scoped worker
-    /// threads and returns per-query outcomes in input order.
-    ///
-    /// Work distribution is dynamic (an atomic cursor), so a few heavy
-    /// queries cannot strand idle workers behind a static partition. Each
-    /// query runs the ordinary sequential pipeline, so outcomes are
-    /// *identical* — matches, distances and per-query counters — to calling
-    /// [`search_opts`](SearchEngine::search_opts) in a loop, for any thread
-    /// count.
-    ///
-    /// Requires `M: Sync`; memoizing wrappers with interior mutability (e.g.
-    /// `wed::models::Memo`) are not shareable — use the unmemoized model.
-    pub fn search_batch(&self, workload: &[(Vec<Sym>, f64)], opts: BatchOptions) -> BatchOutcome {
-        let threads = opts.resolve_threads().min(workload.len().max(1));
-        let t0 = Instant::now();
-
-        let mut slots: Vec<Option<SearchOutcome>> = Vec::with_capacity(workload.len());
-        slots.resize_with(workload.len(), || None);
-
-        if threads <= 1 {
-            for (slot, (q, tau)) in slots.iter_mut().zip(workload) {
-                *slot = Some(self.search_opts(q, *tau, opts.search));
-            }
-        } else {
-            let cursor = AtomicUsize::new(0);
-            let collected = std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..threads)
-                    .map(|_| {
-                        let cursor = &cursor;
-                        scope.spawn(move || {
-                            let mut local: Vec<(usize, SearchOutcome)> = Vec::new();
-                            loop {
-                                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                                let Some((q, tau)) = workload.get(i) else {
-                                    break;
-                                };
-                                local.push((i, self.search_opts(q, *tau, opts.search)));
-                            }
-                            local
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("batch worker panicked"))
-                    .collect::<Vec<_>>()
-            });
-            for (i, outcome) in collected.into_iter().flatten() {
-                slots[i] = Some(outcome);
-            }
-        }
-        let wall_time = t0.elapsed();
-
-        let outcomes: Vec<SearchOutcome> = slots
-            .into_iter()
-            .map(|s| s.expect("every workload slot is filled"))
+    /// Executes a workload of `(query, τ)` pairs, all with the same
+    /// [`SearchOptions`], across scoped worker threads.
+    #[deprecated(
+        note = "build `Query` values and call `run_batch` (one batch may now mix objectives)"
+    )]
+    pub fn search_batch(
+        &self,
+        workload: &[(Vec<Sym>, f64)],
+        opts: BatchOptions,
+        search: SearchOptions,
+    ) -> BatchOutcome {
+        let queries: Vec<Query> = workload
+            .iter()
+            .map(|(q, tau)| self.legacy_threshold_query(q, *tau, search, Parallelism::Sequential))
             .collect();
-        let mut merged = SearchStats::default();
-        for o in &outcomes {
-            merged.merge(&o.stats);
-        }
-        let cpu_time = merged.total_time();
+        let response = self
+            .run_batch(&queries, opts)
+            .expect("legacy queries are admissible by construction");
         BatchOutcome {
-            stats: BatchStats {
-                wall_time,
-                cpu_time,
-                threads,
-                queries: outcomes.len(),
-                merged,
-            },
-            outcomes,
+            outcomes: response
+                .responses
+                .into_iter()
+                .map(|r| SearchOutcome {
+                    matches: r.matches,
+                    stats: r.stats,
+                })
+                .collect(),
+            stats: response.stats,
         }
     }
 }
@@ -187,6 +145,7 @@ impl<'a, M: WedInstance + Sync, I: PostingSource + Sync> SearchEngine<'a, M, I> 
 mod tests {
     use super::*;
     use crate::verify::VerifyMode;
+    use crate::{EngineBuilder, Query};
     use traj::{Trajectory, TrajectoryStore};
     use wed::models::Lev;
 
@@ -209,24 +168,26 @@ mod tests {
         ]
     }
 
+    fn queries(mode: VerifyMode) -> Vec<Query> {
+        workload()
+            .into_iter()
+            .map(|(q, tau)| Query::threshold(q, tau).verify(mode).build().unwrap())
+            .collect()
+    }
+
     #[test]
-    fn batch_equals_sequential_loop_in_order() {
+    fn batch_equals_run_loop_in_order() {
         let store = store();
-        let engine = SearchEngine::new(&Lev, &store, 10);
-        let wl = workload();
+        let engine = EngineBuilder::new(&Lev, &store, 10).build();
         for mode in [VerifyMode::Trie, VerifyMode::Local, VerifyMode::Sw] {
-            let search = SearchOptions {
-                verify: mode,
-                ..Default::default()
-            };
-            let want: Vec<_> = wl
-                .iter()
-                .map(|(q, tau)| engine.search_opts(q, *tau, search))
-                .collect();
+            let qs = queries(mode);
+            let want: Vec<_> = qs.iter().map(|q| engine.run(q).unwrap()).collect();
             for threads in [1, 2, 3, 16] {
-                let got = engine.search_batch(&wl, BatchOptions { threads, search });
-                assert_eq!(got.outcomes.len(), want.len());
-                for (i, (g, w)) in got.outcomes.iter().zip(&want).enumerate() {
+                let got = engine
+                    .run_batch(&qs, BatchOptions::with_threads(threads))
+                    .unwrap();
+                assert_eq!(got.responses.len(), want.len());
+                for (i, (g, w)) in got.responses.iter().zip(&want).enumerate() {
                     assert_eq!(
                         g.matches, w.matches,
                         "query {i} diverged at threads={threads} mode={mode:?}"
@@ -239,15 +200,47 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn legacy_search_batch_matches_run_batch() {
+        let store = store();
+        let engine = EngineBuilder::new(&Lev, &store, 10).build();
+        let wl = workload();
+        let search = SearchOptions {
+            verify: VerifyMode::Local,
+            ..Default::default()
+        };
+        let legacy = engine.search_batch(&wl, BatchOptions::with_threads(2), search);
+        let qs: Vec<Query> = wl
+            .iter()
+            .map(|(q, tau)| {
+                Query::threshold(q.clone(), *tau)
+                    .verify(VerifyMode::Local)
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        let unified = engine
+            .run_batch(&qs, BatchOptions::with_threads(2))
+            .unwrap();
+        assert_eq!(legacy.outcomes.len(), unified.responses.len());
+        for (l, u) in legacy.outcomes.iter().zip(&unified.responses) {
+            assert_eq!(l.matches, u.matches);
+            assert_eq!(l.stats.candidates, u.stats.candidates);
+        }
+    }
+
+    #[test]
     fn batch_stats_aggregate_the_workload() {
         let store = store();
-        let engine = SearchEngine::new(&Lev, &store, 10);
-        let wl = workload();
-        let out = engine.search_batch(&wl, BatchOptions::with_threads(2));
-        assert_eq!(out.stats.queries, wl.len());
+        let engine = EngineBuilder::new(&Lev, &store, 10).build();
+        let qs = queries(VerifyMode::Trie);
+        let out = engine
+            .run_batch(&qs, BatchOptions::with_threads(2))
+            .unwrap();
+        assert_eq!(out.stats.queries, qs.len());
         assert_eq!(out.stats.threads, 2);
         assert!(out.stats.merged.fallback, "workload contains a fallback");
-        let sum: usize = out.outcomes.iter().map(|o| o.stats.results).sum();
+        let sum: usize = out.responses.iter().map(|o| o.stats.results).sum();
         assert_eq!(out.stats.merged.results, sum);
         assert!(out.stats.wall_time > Duration::ZERO);
         assert!(out.stats.cpu_time >= out.stats.merged.verify_time);
@@ -257,29 +250,33 @@ mod tests {
     #[test]
     fn empty_workload_is_fine() {
         let store = store();
-        let engine = SearchEngine::new(&Lev, &store, 10);
-        let out = engine.search_batch(&[], BatchOptions::with_threads(4));
-        assert!(out.outcomes.is_empty());
+        let engine = EngineBuilder::new(&Lev, &store, 10).build();
+        let out = engine
+            .run_batch(&[], BatchOptions::with_threads(4))
+            .unwrap();
+        assert!(out.responses.is_empty());
         assert_eq!(out.stats.queries, 0);
     }
 
     #[test]
     fn more_threads_than_queries_is_capped() {
         let store = store();
-        let engine = SearchEngine::new(&Lev, &store, 10);
-        let wl = vec![(vec![1, 2], 1.0)];
-        let out = engine.search_batch(&wl, BatchOptions::with_threads(64));
+        let engine = EngineBuilder::new(&Lev, &store, 10).build();
+        let qs = vec![Query::threshold(vec![1, 2], 1.0).build().unwrap()];
+        let out = engine
+            .run_batch(&qs, BatchOptions::with_threads(64))
+            .unwrap();
         assert_eq!(out.stats.threads, 1);
-        assert_eq!(out.outcomes.len(), 1);
+        assert_eq!(out.responses.len(), 1);
     }
 
     #[test]
     fn zero_threads_resolves_to_available_parallelism() {
         let store = store();
-        let engine = SearchEngine::new(&Lev, &store, 10);
-        let wl = workload();
-        let out = engine.search_batch(&wl, BatchOptions::default());
+        let engine = EngineBuilder::new(&Lev, &store, 10).build();
+        let qs = queries(VerifyMode::Trie);
+        let out = engine.run_batch(&qs, BatchOptions::default()).unwrap();
         assert!(out.stats.threads >= 1);
-        assert_eq!(out.outcomes.len(), wl.len());
+        assert_eq!(out.responses.len(), qs.len());
     }
 }

@@ -25,15 +25,20 @@
 //!   **bidirectional tries** caching DP columns across candidates (§5).
 //! * [`temporal`] — temporal constraints and the TF pre-filter (§4.3).
 //! * [`stats`] — the instrumentation behind Tables 4 and 5.
-//! * [`batch`] — parallel batched query execution over scoped threads
-//!   (per-query fan-out, thread-local tries), plus the in-query
-//!   per-trajectory sharding of
-//!   [`SearchEngine::par_search_opts`](search::SearchEngine::par_search_opts).
+//! * [`batch`] — workload-level execution types; one batch may mix
+//!   thresholds, top-k and temporal queries.
+//! * [`query`] / [`api`] — the unified request/response surface:
+//!   a validated, JSON-serializable [`Query`] answered by
+//!   [`SearchEngine::run`](search::SearchEngine::run) /
+//!   [`run_batch`](search::SearchEngine::run_batch), with engines built by
+//!   [`EngineBuilder`]. These two methods are the only non-deprecated query
+//!   entry points; the pre-redesign methods remain as `#[deprecated]`
+//!   wrappers with byte-identical results.
 //!
 //! ## Quick example
 //!
 //! ```
-//! use trajsearch_core::SearchEngine;
+//! use trajsearch_core::{EngineBuilder, IndexLayout, Query};
 //! use traj::{Trajectory, TrajectoryStore};
 //! use wed::models::Lev;
 //!
@@ -41,17 +46,28 @@
 //! store.push(Trajectory::untimed(vec![0, 1, 2, 3, 4]));
 //! store.push(Trajectory::untimed(vec![7, 1, 9, 3, 7]));
 //!
-//! let engine = SearchEngine::new(&Lev, &store, 10);
-//! let hits = engine.search(&[1, 2, 3], 2.0);
+//! let engine = EngineBuilder::new(&Lev, &store, 10)
+//!     .layout(IndexLayout::Sharded(2)) // layouts never change results
+//!     .build();
+//! let query = Query::threshold(vec![1, 2, 3], 2.0).build()?;
+//! let hits = engine.run(&query)?;
 //! // Trajectory 0 contains [1,2,3] exactly; trajectory 1 within distance 1.
 //! assert!(hits.matches.iter().any(|m| m.id == 0 && m.dist == 0.0));
 //! assert!(hits.matches.iter().any(|m| m.id == 1 && m.dist == 1.0));
+//!
+//! // The same `Query`/`Response` types are the wire format.
+//! let wire = query.to_json();
+//! assert_eq!(Query::from_json(&wire)?, query);
+//! # Ok::<(), trajsearch_core::QueryError>(())
 //! ```
 
+pub mod api;
 pub mod batch;
 pub mod filter;
 pub mod index;
+pub mod json;
 pub mod mincand;
+pub mod query;
 pub mod results;
 pub mod search;
 pub mod sharded;
@@ -60,9 +76,11 @@ pub mod temporal;
 pub mod topk;
 pub mod verify;
 
+pub use api::{AnyIndex, BatchResponse, EngineBuilder, IndexLayout, Response};
 pub use batch::{BatchOptions, BatchOutcome, BatchStats};
 pub use filter::FilterPlan;
 pub use index::{InvertedIndex, Posting, PostingSource};
+pub use query::{Objective, Parallelism, Query, QueryBuilder, QueryError};
 pub use results::{MatchResult, ResultSet};
 pub use search::{exact_fallback_scan, SearchEngine, SearchOptions, SearchOutcome};
 pub use sharded::ShardedIndex;

@@ -1,0 +1,667 @@
+//! The unified, validated, serializable query type.
+//!
+//! Every search path of the engine — threshold and top-k objectives, all
+//! three verification strategies, temporal constraints with the TF
+//! pre-filter and the §4.3 by-departure postings, sequential and in-query
+//! parallel execution — is described by one [`Query`] value, built through
+//! [`QueryBuilder`] and answered by
+//! [`SearchEngine::run`](crate::SearchEngine::run) /
+//! [`run_batch`](crate::SearchEngine::run_batch). This mirrors the paper's
+//! headline property (one filter-and-verify engine for every WED workload,
+//! §1) at the API layer: adding a constraint is a builder call, not a new
+//! entry point.
+//!
+//! A `Query` is **validated at construction** ([`QueryBuilder::build`]
+//! returns a typed [`QueryError`] instead of panicking deep inside the
+//! engine) and **wire-ready**: [`Query::to_json`] / [`Query::from_json`]
+//! round-trip losslessly, so the exact same type serves as the request
+//! format for a serving front-end or a remote shard protocol.
+
+use crate::json::JsonValue;
+use crate::search::SearchOptions;
+use crate::temporal::{TemporalConstraint, TemporalPredicate, TimeInterval};
+use crate::verify::VerifyMode;
+use std::fmt;
+use wed::Sym;
+
+/// What the query asks for.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Objective {
+    /// Every subtrajectory with `wed < tau` (Definition 3).
+    Threshold { tau: f64 },
+    /// The `k` trajectories whose best-matching subtrajectory is closest to
+    /// the pattern (Table 3 setting), found by geometric threshold growth
+    /// from `initial_tau` up to at most `max_tau`.
+    TopK {
+        k: usize,
+        initial_tau: f64,
+        max_tau: f64,
+    },
+}
+
+/// How one query's work is scheduled.
+///
+/// For throughput over many queries prefer
+/// [`run_batch`](crate::SearchEngine::run_batch) (whole-query fan-out) over
+/// `InQuery`, which shards a single query's verification phase and exists
+/// for tail latency on one heavy query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// The paper's single-threaded pipeline.
+    #[default]
+    Sequential,
+    /// Verification sharded across this many scoped worker threads
+    /// (`>= 1`; `1` is equivalent to `Sequential`).
+    InQuery(usize),
+}
+
+/// Why a query was rejected — at [`QueryBuilder::build`] for
+/// shape errors, at [`SearchEngine::run`](crate::SearchEngine::run) for
+/// engine-dependent ones, or at [`Query::from_json`] for wire errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// The pattern must be non-empty.
+    EmptyPattern,
+    /// `tau` must be finite and positive.
+    InvalidTau(f64),
+    /// Top-k needs `k >= 1`.
+    InvalidK,
+    /// Top-k needs `0 < initial_tau <= max_tau`, both finite.
+    InvalidTauRange { initial_tau: f64, max_tau: f64 },
+    /// Temporal interval bounds must be finite and ordered.
+    InvalidTemporalInterval { start: f64, end: f64 },
+    /// `temporal_postings(true)` without a temporal constraint to serve.
+    TemporalPostingsWithoutConstraint,
+    /// The engine's index has no by-departure orderings; build it with
+    /// temporal postings enabled (this used to be a silent fallback).
+    TemporalPostingsUnavailable,
+    /// `Parallelism::InQuery(0)` is meaningless.
+    ZeroThreads,
+    /// The JSON document could not be decoded into a query/response.
+    Parse(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::EmptyPattern => write!(f, "query pattern must be non-empty"),
+            QueryError::InvalidTau(tau) => {
+                write!(f, "threshold must be finite and positive, got {tau}")
+            }
+            QueryError::InvalidK => write!(f, "top-k requires k >= 1"),
+            QueryError::InvalidTauRange {
+                initial_tau,
+                max_tau,
+            } => write!(
+                f,
+                "top-k requires 0 < initial_tau <= max_tau (both finite), \
+                 got initial_tau={initial_tau}, max_tau={max_tau}"
+            ),
+            QueryError::InvalidTemporalInterval { start, end } => write!(
+                f,
+                "temporal interval must have finite ordered bounds, got [{start}, {end}]"
+            ),
+            QueryError::TemporalPostingsWithoutConstraint => write!(
+                f,
+                "temporal postings requested without a temporal constraint"
+            ),
+            QueryError::TemporalPostingsUnavailable => write!(
+                f,
+                "temporal postings requested but the index has no by-departure \
+                 orderings (enable temporal postings when building the engine)"
+            ),
+            QueryError::ZeroThreads => write!(f, "in-query parallelism requires >= 1 thread"),
+            QueryError::Parse(msg) => write!(f, "malformed query/response JSON: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// A validated subtrajectory similarity query. Construct via
+/// [`Query::threshold`] / [`Query::top_k`]; decode from the wire via
+/// [`Query::from_json`]. Fields are private — a `Query` in hand is always
+/// valid (engine-dependent checks excepted, which `run` performs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    pattern: Vec<Sym>,
+    objective: Objective,
+    verify: VerifyMode,
+    temporal: Option<TemporalConstraint>,
+    temporal_filter: bool,
+    temporal_postings: bool,
+    parallelism: Parallelism,
+}
+
+impl Query {
+    /// Starts a threshold query: all subtrajectories with `wed < tau`.
+    pub fn threshold(pattern: impl Into<Vec<Sym>>, tau: f64) -> QueryBuilder {
+        QueryBuilder::new(pattern.into(), Objective::Threshold { tau })
+    }
+
+    /// Starts a top-k query: the `k` trajectories with the best-matching
+    /// subtrajectory, via threshold growth from `initial_tau` to `max_tau`
+    /// (e.g. 10% and 100% of `Σ c(q)`).
+    pub fn top_k(
+        pattern: impl Into<Vec<Sym>>,
+        k: usize,
+        initial_tau: f64,
+        max_tau: f64,
+    ) -> QueryBuilder {
+        QueryBuilder::new(
+            pattern.into(),
+            Objective::TopK {
+                k,
+                initial_tau,
+                max_tau,
+            },
+        )
+    }
+
+    pub fn pattern(&self) -> &[Sym] {
+        &self.pattern
+    }
+
+    pub fn objective(&self) -> Objective {
+        self.objective
+    }
+
+    pub fn verify_mode(&self) -> VerifyMode {
+        self.verify
+    }
+
+    pub fn temporal(&self) -> Option<TemporalConstraint> {
+        self.temporal
+    }
+
+    pub fn temporal_filter(&self) -> bool {
+        self.temporal_filter
+    }
+
+    pub fn temporal_postings(&self) -> bool {
+        self.temporal_postings
+    }
+
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
+    }
+
+    /// Returns a copy with a different execution schedule — the one field a
+    /// serving layer may want to override per deployment without rebuilding
+    /// the query. Validity is preserved (`InQuery(0)` is still rejected).
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Result<Query, QueryError> {
+        if parallelism == Parallelism::InQuery(0) {
+            return Err(QueryError::ZeroThreads);
+        }
+        self.parallelism = parallelism;
+        Ok(self)
+    }
+
+    /// The per-query options of the internal pipeline.
+    pub(crate) fn search_options(&self) -> SearchOptions {
+        SearchOptions {
+            verify: self.verify,
+            temporal: self.temporal,
+            temporal_filter: self.temporal_filter,
+            use_temporal_postings: self.temporal_postings,
+        }
+    }
+
+    /// Encodes the query as its wire format. [`Query::from_json`] inverts
+    /// this losslessly: `from_json(to_json()) == self`.
+    pub fn to_json(&self) -> String {
+        let objective = match self.objective {
+            Objective::Threshold { tau } => JsonValue::Obj(vec![
+                ("type".into(), JsonValue::Str("threshold".into())),
+                ("tau".into(), JsonValue::num_f64(tau)),
+            ]),
+            Objective::TopK {
+                k,
+                initial_tau,
+                max_tau,
+            } => JsonValue::Obj(vec![
+                ("type".into(), JsonValue::Str("top_k".into())),
+                ("k".into(), JsonValue::num_usize(k)),
+                ("initial_tau".into(), JsonValue::num_f64(initial_tau)),
+                ("max_tau".into(), JsonValue::num_f64(max_tau)),
+            ]),
+        };
+        let mut pairs = vec![
+            (
+                "pattern".into(),
+                JsonValue::Arr(
+                    self.pattern
+                        .iter()
+                        .map(|&s| JsonValue::num_u64(s as u64))
+                        .collect(),
+                ),
+            ),
+            ("objective".into(), objective),
+            (
+                "verify".into(),
+                JsonValue::Str(verify_name(self.verify).into()),
+            ),
+        ];
+        if let Some(c) = &self.temporal {
+            pairs.push((
+                "temporal".into(),
+                JsonValue::Obj(vec![
+                    (
+                        "predicate".into(),
+                        JsonValue::Str(
+                            match c.predicate {
+                                TemporalPredicate::Overlaps => "overlaps",
+                                TemporalPredicate::Within => "within",
+                            }
+                            .into(),
+                        ),
+                    ),
+                    ("start".into(), JsonValue::num_f64(c.interval.start)),
+                    ("end".into(), JsonValue::num_f64(c.interval.end)),
+                ]),
+            ));
+        }
+        pairs.push((
+            "temporal_filter".into(),
+            JsonValue::Bool(self.temporal_filter),
+        ));
+        pairs.push((
+            "temporal_postings".into(),
+            JsonValue::Bool(self.temporal_postings),
+        ));
+        let parallelism = match self.parallelism {
+            Parallelism::Sequential => {
+                JsonValue::Obj(vec![("type".into(), JsonValue::Str("sequential".into()))])
+            }
+            Parallelism::InQuery(n) => JsonValue::Obj(vec![
+                ("type".into(), JsonValue::Str("in_query".into())),
+                ("threads".into(), JsonValue::num_usize(n)),
+            ]),
+        };
+        pairs.push(("parallelism".into(), parallelism));
+        JsonValue::Obj(pairs).to_string()
+    }
+
+    /// Decodes and **validates** a wire query — the result went through the
+    /// same [`QueryBuilder::build`] checks as a locally built one, so a
+    /// deserialized `Query` is as trustworthy as any other.
+    pub fn from_json(text: &str) -> Result<Query, QueryError> {
+        let doc = JsonValue::parse(text).map_err(QueryError::Parse)?;
+        let parse = |msg: &str| QueryError::Parse(msg.to_string());
+
+        let pattern: Vec<Sym> = doc
+            .get("pattern")
+            .and_then(|v| v.as_arr())
+            .ok_or_else(|| parse("missing \"pattern\" array"))?
+            .iter()
+            .map(|v| {
+                v.as_u64()
+                    .and_then(|x| u32::try_from(x).ok())
+                    .ok_or_else(|| parse("pattern symbols must be u32"))
+            })
+            .collect::<Result<_, _>>()?;
+
+        let obj = doc
+            .get("objective")
+            .ok_or_else(|| parse("missing \"objective\""))?;
+        let objective = match obj.get("type").and_then(|v| v.as_str()) {
+            Some("threshold") => Objective::Threshold {
+                tau: obj
+                    .get("tau")
+                    .and_then(|v| v.as_f64())
+                    .ok_or_else(|| parse("threshold objective needs a numeric \"tau\""))?,
+            },
+            Some("top_k") => Objective::TopK {
+                k: obj
+                    .get("k")
+                    .and_then(|v| v.as_usize())
+                    .ok_or_else(|| parse("top_k objective needs an integer \"k\""))?,
+                initial_tau: obj
+                    .get("initial_tau")
+                    .and_then(|v| v.as_f64())
+                    .ok_or_else(|| parse("top_k objective needs \"initial_tau\""))?,
+                max_tau: obj
+                    .get("max_tau")
+                    .and_then(|v| v.as_f64())
+                    .ok_or_else(|| parse("top_k objective needs \"max_tau\""))?,
+            },
+            other => return Err(parse(&format!("unknown objective type {other:?}"))),
+        };
+
+        let verify = match doc.get("verify").and_then(|v| v.as_str()) {
+            None | Some("trie") => VerifyMode::Trie,
+            Some("local") => VerifyMode::Local,
+            Some("sw") => VerifyMode::Sw,
+            Some(other) => return Err(parse(&format!("unknown verify mode {other:?}"))),
+        };
+
+        let temporal = match doc.get("temporal") {
+            None | Some(JsonValue::Null) => None,
+            Some(t) => {
+                let start = t
+                    .get("start")
+                    .and_then(|v| v.as_f64())
+                    .ok_or_else(|| parse("temporal constraint needs numeric \"start\""))?;
+                let end = t
+                    .get("end")
+                    .and_then(|v| v.as_f64())
+                    .ok_or_else(|| parse("temporal constraint needs numeric \"end\""))?;
+                if !(start.is_finite() && end.is_finite() && start <= end) {
+                    return Err(QueryError::InvalidTemporalInterval { start, end });
+                }
+                let interval = TimeInterval::new(start, end);
+                Some(match t.get("predicate").and_then(|v| v.as_str()) {
+                    None | Some("overlaps") => TemporalConstraint::overlaps(interval),
+                    Some("within") => TemporalConstraint::within(interval),
+                    Some(other) => {
+                        return Err(parse(&format!("unknown temporal predicate {other:?}")))
+                    }
+                })
+            }
+        };
+
+        let flag = |key: &str| -> Result<bool, QueryError> {
+            match doc.get(key) {
+                None => Ok(false),
+                Some(v) => v
+                    .as_bool()
+                    .ok_or_else(|| parse(&format!("\"{key}\" must be a boolean"))),
+            }
+        };
+
+        let parallelism = match doc.get("parallelism") {
+            None => Parallelism::Sequential,
+            Some(p) => match p.get("type").and_then(|v| v.as_str()) {
+                None | Some("sequential") => Parallelism::Sequential,
+                Some("in_query") => Parallelism::InQuery(
+                    p.get("threads")
+                        .and_then(|v| v.as_usize())
+                        .ok_or_else(|| parse("in_query parallelism needs \"threads\""))?,
+                ),
+                Some(other) => return Err(parse(&format!("unknown parallelism {other:?}"))),
+            },
+        };
+
+        let mut builder = QueryBuilder::new(pattern, objective)
+            .verify(verify)
+            .temporal_filter(flag("temporal_filter")?)
+            .temporal_postings(flag("temporal_postings")?)
+            .parallelism(parallelism);
+        if let Some(c) = temporal {
+            builder = builder.temporal(c);
+        }
+        builder.build()
+    }
+}
+
+/// Builder for [`Query`]; see [`Query::threshold`] / [`Query::top_k`].
+#[derive(Debug, Clone)]
+pub struct QueryBuilder {
+    pattern: Vec<Sym>,
+    objective: Objective,
+    verify: VerifyMode,
+    temporal: Option<TemporalConstraint>,
+    temporal_filter: bool,
+    temporal_postings: bool,
+    parallelism: Parallelism,
+}
+
+impl QueryBuilder {
+    fn new(pattern: Vec<Sym>, objective: Objective) -> Self {
+        QueryBuilder {
+            pattern,
+            objective,
+            verify: VerifyMode::default(),
+            temporal: None,
+            temporal_filter: false,
+            temporal_postings: false,
+            parallelism: Parallelism::default(),
+        }
+    }
+
+    /// Verification strategy (default: the paper's bidirectional tries).
+    pub fn verify(mut self, mode: VerifyMode) -> Self {
+        self.verify = mode;
+        self
+    }
+
+    /// Restricts matched spans to a temporal constraint (§2.3).
+    pub fn temporal(mut self, constraint: TemporalConstraint) -> Self {
+        self.temporal = Some(constraint);
+        self
+    }
+
+    /// Applies the TF candidate pre-filter (§4.3) when a temporal
+    /// constraint is set.
+    pub fn temporal_filter(mut self, on: bool) -> Self {
+        self.temporal_filter = on;
+        self
+    }
+
+    /// Generates candidates by binary search on by-departure-sorted
+    /// postings (§4.3). Requires a temporal constraint *and* an engine
+    /// whose index was built with temporal postings —
+    /// [`run`](crate::SearchEngine::run) rejects it otherwise instead of
+    /// silently falling back.
+    pub fn temporal_postings(mut self, on: bool) -> Self {
+        self.temporal_postings = on;
+        self
+    }
+
+    /// Execution schedule (default sequential).
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Validates and freezes the query.
+    pub fn build(self) -> Result<Query, QueryError> {
+        if self.pattern.is_empty() {
+            return Err(QueryError::EmptyPattern);
+        }
+        match self.objective {
+            Objective::Threshold { tau } => {
+                if !(tau.is_finite() && tau > 0.0) {
+                    return Err(QueryError::InvalidTau(tau));
+                }
+            }
+            Objective::TopK {
+                k,
+                initial_tau,
+                max_tau,
+            } => {
+                if k == 0 {
+                    return Err(QueryError::InvalidK);
+                }
+                if !(initial_tau.is_finite()
+                    && max_tau.is_finite()
+                    && initial_tau > 0.0
+                    && initial_tau <= max_tau)
+                {
+                    return Err(QueryError::InvalidTauRange {
+                        initial_tau,
+                        max_tau,
+                    });
+                }
+            }
+        }
+        if let Some(c) = &self.temporal {
+            // `TimeInterval`'s fields are public, so an unordered interval
+            // can be constructed without `TimeInterval::new`; validate the
+            // same `start <= end` invariant `from_json` enforces, keeping
+            // the to_json/from_json round-trip total over built queries.
+            let (start, end) = (c.interval.start, c.interval.end);
+            if !(start.is_finite() && end.is_finite() && start <= end) {
+                return Err(QueryError::InvalidTemporalInterval { start, end });
+            }
+        }
+        if self.temporal_postings && self.temporal.is_none() {
+            return Err(QueryError::TemporalPostingsWithoutConstraint);
+        }
+        if self.parallelism == Parallelism::InQuery(0) {
+            return Err(QueryError::ZeroThreads);
+        }
+        Ok(Query {
+            pattern: self.pattern,
+            objective: self.objective,
+            verify: self.verify,
+            temporal: self.temporal,
+            temporal_filter: self.temporal_filter,
+            temporal_postings: self.temporal_postings,
+            parallelism: self.parallelism,
+        })
+    }
+}
+
+pub(crate) fn verify_name(mode: VerifyMode) -> &'static str {
+    match mode {
+        VerifyMode::Trie => "trie",
+        VerifyMode::Local => "local",
+        VerifyMode::Sw => "sw",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_rejects_empty_pattern() {
+        assert_eq!(
+            Query::threshold(Vec::new(), 1.0).build().unwrap_err(),
+            QueryError::EmptyPattern
+        );
+    }
+
+    #[test]
+    fn build_rejects_bad_tau() {
+        for tau in [0.0, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = Query::threshold(vec![1, 2], tau).build().unwrap_err();
+            assert!(matches!(err, QueryError::InvalidTau(_)), "tau={tau}: {err}");
+        }
+    }
+
+    #[test]
+    fn build_rejects_zero_k_and_bad_ranges() {
+        assert_eq!(
+            Query::top_k(vec![1], 0, 0.5, 2.0).build().unwrap_err(),
+            QueryError::InvalidK
+        );
+        for (lo, hi) in [(0.0, 1.0), (2.0, 1.0), (f64::NAN, 1.0), (0.5, f64::NAN)] {
+            let err = Query::top_k(vec![1], 3, lo, hi).build().unwrap_err();
+            assert!(
+                matches!(err, QueryError::InvalidTauRange { .. }),
+                "({lo},{hi}): {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn build_rejects_postings_without_constraint() {
+        assert_eq!(
+            Query::threshold(vec![1], 1.0)
+                .temporal_postings(true)
+                .build()
+                .unwrap_err(),
+            QueryError::TemporalPostingsWithoutConstraint
+        );
+    }
+
+    #[test]
+    fn build_rejects_zero_in_query_threads() {
+        assert_eq!(
+            Query::threshold(vec![1], 1.0)
+                .parallelism(Parallelism::InQuery(0))
+                .build()
+                .unwrap_err(),
+            QueryError::ZeroThreads
+        );
+    }
+
+    #[test]
+    fn build_rejects_non_finite_interval() {
+        let c = TemporalConstraint::overlaps(TimeInterval::new(0.0, f64::INFINITY));
+        assert!(matches!(
+            Query::threshold(vec![1], 1.0).temporal(c).build(),
+            Err(QueryError::InvalidTemporalInterval { .. })
+        ));
+    }
+
+    #[test]
+    fn build_rejects_unordered_interval() {
+        // `TimeInterval`'s fields are pub, so `new`'s ordering assert can
+        // be bypassed; `build()` must enforce the same `start <= end`
+        // invariant `from_json` does, or round-trips would not be total.
+        let c = TemporalConstraint::overlaps(TimeInterval {
+            start: 5.0,
+            end: 1.0,
+        });
+        assert_eq!(
+            Query::threshold(vec![1], 1.0)
+                .temporal(c)
+                .build()
+                .unwrap_err(),
+            QueryError::InvalidTemporalInterval {
+                start: 5.0,
+                end: 1.0
+            }
+        );
+    }
+
+    #[test]
+    fn json_round_trip_exact() {
+        let q = Query::top_k(vec![3, 1, 4, 1, 5], 7, 0.1, 1.0 / 3.0)
+            .verify(VerifyMode::Local)
+            .temporal(TemporalConstraint::within(TimeInterval::new(-1.5, 9e9)))
+            .temporal_filter(true)
+            .temporal_postings(true)
+            .parallelism(Parallelism::InQuery(4))
+            .build()
+            .unwrap();
+        let text = q.to_json();
+        assert_eq!(Query::from_json(&text).unwrap(), q);
+        // Defaults round-trip too (temporal omitted entirely).
+        let q = Query::threshold(vec![0], 2.5).build().unwrap();
+        let text = q.to_json();
+        assert!(!text.contains("temporal\":{"));
+        assert_eq!(Query::from_json(&text).unwrap(), q);
+    }
+
+    #[test]
+    fn from_json_revalidates() {
+        // Structurally valid JSON, semantically invalid query.
+        let err = Query::from_json(r#"{"pattern":[],"objective":{"type":"threshold","tau":1}}"#)
+            .unwrap_err();
+        assert_eq!(err, QueryError::EmptyPattern);
+        let err = Query::from_json(
+            r#"{"pattern":[1],"objective":{"type":"top_k","k":0,"initial_tau":1,"max_tau":2}}"#,
+        )
+        .unwrap_err();
+        assert_eq!(err, QueryError::InvalidK);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed() {
+        for bad in [
+            "",
+            "{}",
+            r#"{"pattern":[1]}"#,
+            r#"{"pattern":[1],"objective":{"type":"nope"}}"#,
+            r#"{"pattern":["x"],"objective":{"type":"threshold","tau":1}}"#,
+            r#"{"pattern":[1],"objective":{"type":"threshold","tau":1},"verify":"fast"}"#,
+        ] {
+            assert!(
+                matches!(Query::from_json(bad), Err(QueryError::Parse(_))),
+                "accepted {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = QueryError::InvalidTau(f64::NAN);
+        assert!(e.to_string().contains("finite and positive"));
+        let e = QueryError::TemporalPostingsUnavailable;
+        assert!(e.to_string().contains("by-departure"));
+    }
+}

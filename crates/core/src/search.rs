@@ -5,14 +5,24 @@
 //! paper's headline property is that switching similarity functions requires
 //! no algorithmic adaptation, only a different cost model.
 //!
+//! Construct engines with [`EngineBuilder`](crate::EngineBuilder) and query
+//! them through the unified surface: [`SearchEngine::run`] answers one
+//! [`Query`]; [`SearchEngine::run_batch`] answers a workload of
+//! them.
+//! The pre-redesign entry points (`search`, `search_opts`,
+//! `par_search_opts`, plus the constructors) remain as `#[deprecated]`
+//! wrappers over that surface and return byte-identical results.
+//!
 //! The default configuration is the paper's **OSF-BT**: optimized
 //! subsequence filtering (MinCand) + bidirectional-trie verification.
-//! [`SearchOptions`] selects the verification strategy (for the `OSF-SW`
-//! baseline and the `Local` ablation), temporal constraints, and the TF
-//! strategy of §4.3.
+//! [`SearchOptions`] (the legacy per-query option bag, now produced from a
+//! [`Query`]) selects the verification strategy (for the
+//! `OSF-SW` baseline and the `Local` ablation), temporal constraints, and
+//! the TF strategy of §4.3.
 
 use crate::filter::FilterPlan;
 use crate::index::{InvertedIndex, PostingSource};
+use crate::query::{Parallelism, Query, QueryError};
 use crate::results::MatchResult;
 use crate::sharded::ShardedIndex;
 use crate::stats::SearchStats;
@@ -22,7 +32,8 @@ use std::time::{Duration, Instant};
 use traj::TrajectoryStore;
 use wed::{sw_scan_all, Sym, WedInstance};
 
-/// Per-query options.
+/// Per-query options of the internal pipeline. [`Query`]
+/// produces one of these; the legacy wrappers still accept them directly.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SearchOptions {
     pub verify: VerifyMode,
@@ -32,13 +43,16 @@ pub struct SearchOptions {
     /// temporal constraint.
     pub temporal_filter: bool,
     /// §4.3 extension: generate candidates by binary search on
-    /// by-departure-sorted postings instead of scanning full lists. Needs
-    /// [`SearchEngine::with_temporal_postings`] and a temporal constraint;
-    /// silently falls back to plain generation otherwise.
+    /// by-departure-sorted postings instead of scanning full lists. The
+    /// unified surface validates availability up front
+    /// ([`QueryError::TemporalPostingsUnavailable`]); the legacy wrappers
+    /// keep their historical silent fallback.
     pub use_temporal_postings: bool,
 }
 
 /// A query answer: the exact Definition 3 result set plus instrumentation.
+/// The unified surface returns the equivalent [`Response`](crate::Response)
+/// envelope; this type remains for the legacy wrappers.
 #[derive(Debug, Clone)]
 pub struct SearchOutcome {
     pub matches: Vec<MatchResult>,
@@ -47,10 +61,11 @@ pub struct SearchOutcome {
 
 /// Subtrajectory similarity search engine (OSF filtering + pluggable
 /// verification), generic over the postings layout `I` — the single-list
-/// [`InvertedIndex`] by default, or any other [`PostingSource`] (e.g. the
-/// parallel-built [`ShardedIndex`]). All search paths are monomorphized
-/// over `I`; results are byte-identical for every layout over the same
-/// store.
+/// [`InvertedIndex`] by default, [`ShardedIndex`], or the
+/// [`AnyIndex`](crate::AnyIndex) produced by
+/// [`EngineBuilder`](crate::EngineBuilder). All search paths are
+/// monomorphized over `I`; results are byte-identical for every layout over
+/// the same store.
 pub struct SearchEngine<'a, M: WedInstance, I: PostingSource = InvertedIndex> {
     model: M,
     store: &'a TrajectoryStore,
@@ -61,20 +76,16 @@ pub struct SearchEngine<'a, M: WedInstance, I: PostingSource = InvertedIndex> {
 impl<'a, M: WedInstance> SearchEngine<'a, M> {
     /// Builds the inverted index over `store`. `alphabet_size` is `|V|` or
     /// `|E|` depending on the representation the store uses.
+    #[deprecated(note = "use `EngineBuilder::new(model, store, alphabet_size).build()`")]
     pub fn new(model: M, store: &'a TrajectoryStore, alphabet_size: usize) -> Self {
         let t0 = Instant::now();
         let index = InvertedIndex::build(store, alphabet_size);
-        SearchEngine {
-            model,
-            store,
-            index,
-            build_time: t0.elapsed(),
-        }
+        SearchEngine::from_parts(model, store, index, t0.elapsed())
     }
 
-    /// Like [`new`](SearchEngine::new), additionally building the
-    /// by-departure postings ordering so that
-    /// [`SearchOptions::use_temporal_postings`] can take effect.
+    /// Like `new`, additionally building the by-departure postings ordering
+    /// for temporal-postings queries.
+    #[deprecated(note = "use `EngineBuilder::new(..).temporal_postings(true).build()`")]
     pub fn with_temporal_postings(
         model: M,
         store: &'a TrajectoryStore,
@@ -83,22 +94,14 @@ impl<'a, M: WedInstance> SearchEngine<'a, M> {
         let t0 = Instant::now();
         let mut index = InvertedIndex::build(store, alphabet_size);
         index.enable_temporal_postings();
-        SearchEngine {
-            model,
-            store,
-            index,
-            build_time: t0.elapsed(),
-        }
+        SearchEngine::from_parts(model, store, index, t0.elapsed())
     }
 }
 
 impl<'a, M: WedInstance> SearchEngine<'a, M, ShardedIndex> {
     /// Builds a [`ShardedIndex`] over `store` with `num_shards` shards
-    /// constructed in parallel
-    /// ([`build_parallel`](ShardedIndex::build_parallel)); searching it
-    /// returns exactly the results of the default engine. Pick a shard
-    /// count near the host's core count for build throughput — the layout
-    /// never changes results.
+    /// constructed in parallel.
+    #[deprecated(note = "use `EngineBuilder::new(..).layout(IndexLayout::Sharded(n)).build()`")]
     pub fn new_sharded(
         model: M,
         store: &'a TrajectoryStore,
@@ -107,31 +110,36 @@ impl<'a, M: WedInstance> SearchEngine<'a, M, ShardedIndex> {
     ) -> Self {
         let t0 = Instant::now();
         let index = ShardedIndex::build_parallel(store, alphabet_size, num_shards);
-        SearchEngine {
-            model,
-            store,
-            index,
-            build_time: t0.elapsed(),
-        }
+        SearchEngine::from_parts(model, store, index, t0.elapsed())
     }
 }
 
 impl<'a, M: WedInstance, I: PostingSource> SearchEngine<'a, M, I> {
     /// Wraps a pre-built posting source (built, appended to, or
-    /// temporal-enabled by the caller). The index must cover exactly the
-    /// trajectories of `store`; [`build_time`](SearchEngine::build_time)
-    /// reports zero since construction happened outside.
+    /// temporal-enabled by the caller).
+    #[deprecated(note = "use `EngineBuilder::new(..).build_with(index)`")]
     pub fn with_index(model: M, store: &'a TrajectoryStore, index: I) -> Self {
         assert_eq!(
             index.num_trajectories(),
             store.len(),
             "index and store must cover the same trajectories"
         );
+        SearchEngine::from_parts(model, store, index, Duration::ZERO)
+    }
+
+    /// The one real constructor, used by [`EngineBuilder`](crate::EngineBuilder)
+    /// and the deprecated constructor wrappers.
+    pub(crate) fn from_parts(
+        model: M,
+        store: &'a TrajectoryStore,
+        index: I,
+        build_time: Duration,
+    ) -> Self {
         SearchEngine {
             model,
             store,
             index,
-            build_time: Duration::ZERO,
+            build_time,
         }
     }
 
@@ -150,12 +158,6 @@ impl<'a, M: WedInstance, I: PostingSource> SearchEngine<'a, M, I> {
     /// Index construction time (Table 6).
     pub fn build_time(&self) -> Duration {
         self.build_time
-    }
-
-    /// OSF-BT search with defaults: trie verification, no temporal
-    /// constraint.
-    pub fn search(&self, q: &[Sym], tau: f64) -> SearchOutcome {
-        self.search_opts(q, tau, SearchOptions::default())
     }
 
     /// Phases 1–2, shared by the sequential and parallel paths: the MinCand
@@ -193,13 +195,20 @@ impl<'a, M: WedInstance, I: PostingSource> SearchEngine<'a, M, I> {
         Some(candidates)
     }
 
-    /// Algorithm 2 with configurable verification and temporal handling.
+    /// Algorithm 2 with configurable verification and temporal handling —
+    /// the sequential execution path behind
+    /// [`run`](SearchEngine::run).
     ///
     /// When no τ-subsequence exists (`c(Q) < τ`, possible for continuous
     /// cost models with small η), subsequence filtering would be unsound;
     /// the engine transparently falls back to an exact Smith–Waterman scan
     /// and sets `stats.fallback`.
-    pub fn search_opts(&self, q: &[Sym], tau: f64, opts: SearchOptions) -> SearchOutcome {
+    pub(crate) fn search_opts_impl(
+        &self,
+        q: &[Sym],
+        tau: f64,
+        opts: SearchOptions,
+    ) -> SearchOutcome {
         let mut stats = SearchStats::default();
         let Some(candidates) = self.filter_and_lookup(q, tau, &opts, &mut stats) else {
             return self.fallback_scan(q, tau, opts, stats);
@@ -217,51 +226,6 @@ impl<'a, M: WedInstance, I: PostingSource> SearchEngine<'a, M, I> {
             opts.verify,
             opts.temporal.as_ref(),
             opts.temporal_filter,
-            &mut stats,
-        );
-        stats.verify_time = t2.elapsed();
-
-        SearchOutcome { matches, stats }
-    }
-
-    /// [`search_opts`](SearchEngine::search_opts) with the verification
-    /// phase — the dominant cost in the paper's Table 4 breakdown — sharded
-    /// across `threads` scoped workers, each verifying whole trajectories
-    /// with its own thread-local [`Verifier`](crate::verify::Verifier). The
-    /// result set (distances included) is identical to the sequential path
-    /// for any thread count; `threads <= 1` *is* the sequential path.
-    ///
-    /// For throughput over many queries prefer
-    /// [`search_batch`](SearchEngine::search_batch), which parallelizes
-    /// across queries and keeps each query's trie cache on one worker.
-    pub fn par_search_opts(
-        &self,
-        q: &[Sym],
-        tau: f64,
-        opts: SearchOptions,
-        threads: usize,
-    ) -> SearchOutcome
-    where
-        M: Sync,
-        I: Sync,
-    {
-        let mut stats = SearchStats::default();
-        let Some(candidates) = self.filter_and_lookup(q, tau, &opts, &mut stats) else {
-            return self.fallback_scan(q, tau, opts, stats);
-        };
-
-        let t2 = Instant::now();
-        let matches = crate::verify::par_verify_candidates(
-            &self.model,
-            self.store,
-            |id| self.index.span(id),
-            q,
-            tau,
-            &candidates,
-            opts.verify,
-            opts.temporal.as_ref(),
-            opts.temporal_filter,
-            threads,
             &mut stats,
         );
         stats.verify_time = t2.elapsed();
@@ -288,6 +252,141 @@ impl<'a, M: WedInstance, I: PostingSource> SearchEngine<'a, M, I> {
             &mut stats,
         );
         SearchOutcome { matches, stats }
+    }
+}
+
+impl<'a, M: WedInstance + Sync, I: PostingSource + Sync> SearchEngine<'a, M, I> {
+    /// The in-query parallel execution path behind
+    /// [`run`](SearchEngine::run) with
+    /// [`Parallelism::InQuery`](crate::Parallelism::InQuery): verification
+    /// — the dominant cost in the paper's Table 4 breakdown — sharded
+    /// across `threads` scoped workers, each verifying whole trajectories
+    /// with its own thread-local [`Verifier`](crate::verify::Verifier). The
+    /// result set (distances included) is identical to the sequential path
+    /// for any thread count; `threads <= 1` *is* the sequential path.
+    pub(crate) fn par_search_opts_impl(
+        &self,
+        q: &[Sym],
+        tau: f64,
+        opts: SearchOptions,
+        threads: usize,
+    ) -> SearchOutcome {
+        let mut stats = SearchStats::default();
+        let Some(candidates) = self.filter_and_lookup(q, tau, &opts, &mut stats) else {
+            return self.fallback_scan(q, tau, opts, stats);
+        };
+
+        let t2 = Instant::now();
+        let matches = crate::verify::par_verify_candidates(
+            &self.model,
+            self.store,
+            |id| self.index.span(id),
+            q,
+            tau,
+            &candidates,
+            opts.verify,
+            opts.temporal.as_ref(),
+            opts.temporal_filter,
+            threads,
+            &mut stats,
+        );
+        stats.verify_time = t2.elapsed();
+
+        SearchOutcome { matches, stats }
+    }
+
+    /// Translates a legacy `(pattern, tau, options)` call into a [`Query`],
+    /// preserving the historical contract exactly: panics (not errors) on
+    /// the old assertion failures, the silent fallback to plain candidate
+    /// generation when temporal postings are requested but unavailable or
+    /// no temporal constraint is set, and acceptance of `tau = +∞` (which
+    /// the old `assert!(tau > 0.0)` admitted) — mapped to [`f64::MAX`],
+    /// behaviorally identical for the finite-cost WED models since every
+    /// finite distance is below both.
+    pub(crate) fn legacy_threshold_query(
+        &self,
+        q: &[Sym],
+        tau: f64,
+        opts: SearchOptions,
+        parallelism: Parallelism,
+    ) -> Query {
+        let tau = legacy_tau(tau);
+        let use_tp = opts.use_temporal_postings
+            && opts.temporal.is_some()
+            && self.index.has_temporal_postings();
+        let mut builder = Query::threshold(q, tau)
+            .verify(opts.verify)
+            .temporal_filter(opts.temporal_filter)
+            .temporal_postings(use_tp)
+            .parallelism(parallelism);
+        if let Some(c) = opts.temporal {
+            builder = builder.temporal(c);
+        }
+        match builder.build() {
+            Ok(query) => query,
+            Err(QueryError::EmptyPattern) => panic!("query must be non-empty"),
+            Err(QueryError::InvalidTau(_)) => panic!("threshold must be positive"),
+            Err(e) => panic!("invalid legacy query: {e}"),
+        }
+    }
+
+    /// OSF-BT search with defaults: trie verification, no temporal
+    /// constraint.
+    #[deprecated(note = "build a `Query::threshold(..)` and call `SearchEngine::run`")]
+    pub fn search(&self, q: &[Sym], tau: f64) -> SearchOutcome {
+        #[allow(deprecated)]
+        self.search_opts(q, tau, SearchOptions::default())
+    }
+
+    /// Algorithm 2 with configurable verification and temporal handling.
+    #[deprecated(note = "build a `Query::threshold(..)` and call `SearchEngine::run`")]
+    pub fn search_opts(&self, q: &[Sym], tau: f64, opts: SearchOptions) -> SearchOutcome {
+        let query = self.legacy_threshold_query(q, tau, opts, Parallelism::Sequential);
+        let r = self
+            .run(&query)
+            .expect("legacy queries are admissible by construction");
+        SearchOutcome {
+            matches: r.matches,
+            stats: r.stats,
+        }
+    }
+
+    /// `search_opts` with verification sharded across `threads` workers.
+    #[deprecated(
+        note = "build a `Query::threshold(..).parallelism(Parallelism::InQuery(n))` and call `run`"
+    )]
+    pub fn par_search_opts(
+        &self,
+        q: &[Sym],
+        tau: f64,
+        opts: SearchOptions,
+        threads: usize,
+    ) -> SearchOutcome {
+        let parallelism = if threads <= 1 {
+            Parallelism::Sequential
+        } else {
+            Parallelism::InQuery(threads)
+        };
+        let query = self.legacy_threshold_query(q, tau, opts, parallelism);
+        let r = self
+            .run(&query)
+            .expect("legacy queries are admissible by construction");
+        SearchOutcome {
+            matches: r.matches,
+            stats: r.stats,
+        }
+    }
+}
+
+/// Legacy thresholds admitted `+∞` ("match everything"); the unified
+/// surface requires finite τ (the wire format has no ∞ token). `f64::MAX`
+/// is an exact stand-in: WED distances are finite sums of finite costs, so
+/// `d < MAX` and `d < ∞` select the same matches.
+pub(crate) fn legacy_tau(tau: f64) -> f64 {
+    if tau == f64::INFINITY {
+        f64::MAX
+    } else {
+        tau
     }
 }
 
@@ -357,6 +456,8 @@ pub fn exact_fallback_scan<M: wed::CostModel>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::query::Parallelism;
+    use crate::{EngineBuilder, Query};
     use rnet::{CityParams, NetworkKind};
     use std::sync::Arc;
     use traj::Trajectory;
@@ -391,19 +492,16 @@ mod tests {
     #[test]
     fn engine_matches_brute_force_all_modes() {
         let store = toy_store();
-        let engine = SearchEngine::new(&Lev, &store, 10);
+        let engine = EngineBuilder::new(&Lev, &store, 10).build();
         let q: Vec<Sym> = vec![1, 5, 2];
         for tau in [1.0, 2.0, 3.0] {
             let want = brute_lev(&store, &q, tau);
             for mode in [VerifyMode::Trie, VerifyMode::Local, VerifyMode::Sw] {
-                let got = engine.search_opts(
-                    &q,
-                    tau,
-                    SearchOptions {
-                        verify: mode,
-                        ..Default::default()
-                    },
-                );
+                let query = Query::threshold(q.clone(), tau)
+                    .verify(mode)
+                    .build()
+                    .unwrap();
+                let got = engine.run(&query).unwrap();
                 let keys: Vec<_> = got.matches.iter().map(|m| (m.id, m.start, m.end)).collect();
                 assert_eq!(keys, want, "tau={tau} mode={mode:?}");
                 assert!(!got.stats.fallback);
@@ -414,9 +512,11 @@ mod tests {
     #[test]
     fn exact_distances_reported() {
         let store = toy_store();
-        let engine = SearchEngine::new(&Lev, &store, 10);
+        let engine = EngineBuilder::new(&Lev, &store, 10).build();
         let q: Vec<Sym> = vec![1, 5, 2];
-        let got = engine.search(&q, 2.5);
+        let got = engine
+            .run(&Query::threshold(q.clone(), 2.5).build().unwrap())
+            .unwrap();
         assert!(!got.matches.is_empty());
         for m in &got.matches {
             let p = store.get(m.id).path();
@@ -433,8 +533,10 @@ mod tests {
     #[test]
     fn timing_breakdown_is_populated() {
         let store = toy_store();
-        let engine = SearchEngine::new(&Lev, &store, 10);
-        let out = engine.search(&[1, 2], 1.0);
+        let engine = EngineBuilder::new(&Lev, &store, 10).build();
+        let out = engine
+            .run(&Query::threshold(vec![1, 2], 1.0).build().unwrap())
+            .unwrap();
         let s = &out.stats;
         assert!(s.candidates > 0);
         assert_eq!(s.tsubseq_len, 1);
@@ -451,12 +553,13 @@ mod tests {
         let mut store = TrajectoryStore::new();
         store.push(Trajectory::untimed(vec![0, 1, 2]));
         store.push(Trajectory::untimed(vec![10, 11]));
-        let engine = SearchEngine::new(&erp, &store, net.num_vertices());
-        let q: Vec<Sym> = vec![0, 1];
+        let engine = EngineBuilder::new(&erp, &store, net.num_vertices()).build();
         // total ins(q) is on the order of hundreds of meters; choose tau
         // larger than c(Q) (which is bounded by sum of dist-to-barycenter).
         let huge_tau = 1e9;
-        let out = engine.search(&q, huge_tau);
+        let out = engine
+            .run(&Query::threshold(vec![0, 1], huge_tau).build().unwrap())
+            .unwrap();
         assert!(out.stats.fallback);
         // Every substring of every trajectory matches at that tau.
         let total: usize = store.iter().map(|(_, t)| t.len() * (t.len() + 1) / 2).sum();
@@ -474,12 +577,14 @@ mod tests {
         let mut store = TrajectoryStore::new();
         store.push(Trajectory::new(vec![0, 1, 2], vec![0.0, 1.0, 2.0]));
         store.push(Trajectory::new(vec![10, 11], vec![100.0, 101.0]));
-        let engine = SearchEngine::new(&erp, &store, net.num_vertices());
+        let engine = EngineBuilder::new(&erp, &store, net.num_vertices()).build();
         let total_positions: usize = store.iter().map(|(_, t)| t.len()).sum();
 
         // No temporal constraint: every position is a candidate and gets
         // scanned.
-        let out = engine.search(&[0, 1], 1e9);
+        let out = engine
+            .run(&Query::threshold(vec![0, 1], 1e9).build().unwrap())
+            .unwrap();
         assert!(out.stats.fallback);
         assert_eq!(out.stats.candidates, total_positions);
         assert_eq!(out.stats.candidates_after_temporal, total_positions);
@@ -488,12 +593,12 @@ mod tests {
         assert_eq!(out.stats.results, out.matches.len());
 
         // TF pre-filter prunes the late trajectory before scanning.
-        let opts = SearchOptions {
-            temporal: Some(TemporalConstraint::overlaps(TimeInterval::new(0.0, 50.0))),
-            temporal_filter: true,
-            ..Default::default()
-        };
-        let out_tf = engine.search_opts(&[0, 1], 1e9, opts);
+        let query = Query::threshold(vec![0, 1], 1e9)
+            .temporal(TemporalConstraint::overlaps(TimeInterval::new(0.0, 50.0)))
+            .temporal_filter(true)
+            .build()
+            .unwrap();
+        let out_tf = engine.run(&query).unwrap();
         assert!(out_tf.stats.fallback);
         assert_eq!(out_tf.stats.candidates, total_positions);
         assert_eq!(out_tf.stats.candidates_after_temporal, 3);
@@ -502,19 +607,27 @@ mod tests {
     }
 
     #[test]
-    fn par_search_matches_sequential() {
+    fn in_query_parallelism_matches_sequential() {
         let store = toy_store();
-        let engine = SearchEngine::new(&Lev, &store, 10);
+        let engine = EngineBuilder::new(&Lev, &store, 10).build();
         let q: Vec<Sym> = vec![1, 5, 2];
         for tau in [1.0, 2.0, 3.0] {
             for mode in [VerifyMode::Trie, VerifyMode::Local, VerifyMode::Sw] {
-                let opts = SearchOptions {
-                    verify: mode,
-                    ..Default::default()
-                };
-                let want = engine.search_opts(&q, tau, opts);
+                let want = engine
+                    .run(
+                        &Query::threshold(q.clone(), tau)
+                            .verify(mode)
+                            .build()
+                            .unwrap(),
+                    )
+                    .unwrap();
                 for threads in [1, 2, 4] {
-                    let got = engine.par_search_opts(&q, tau, opts, threads);
+                    let query = Query::threshold(q.clone(), tau)
+                        .verify(mode)
+                        .parallelism(Parallelism::InQuery(threads))
+                        .build()
+                        .unwrap();
+                    let got = engine.run(&query).unwrap();
                     assert_eq!(
                         got.matches, want.matches,
                         "tau={tau} mode={mode:?} threads={threads}"
@@ -525,7 +638,68 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn legacy_wrappers_match_run() {
+        // The deprecated entry points are wrappers over `run`; spot-check
+        // byte-identical matches and the preserved constructor behavior.
+        let store = toy_store();
+        let legacy = SearchEngine::new(&Lev, &store, 10);
+        let unified = EngineBuilder::new(&Lev, &store, 10).build();
+        let q: Vec<Sym> = vec![1, 5, 2];
+        let want = unified
+            .run(&Query::threshold(q.clone(), 2.0).build().unwrap())
+            .unwrap();
+        assert_eq!(legacy.search(&q, 2.0).matches, want.matches);
+        assert_eq!(
+            legacy
+                .search_opts(&q, 2.0, SearchOptions::default())
+                .matches,
+            want.matches
+        );
+        assert_eq!(
+            legacy
+                .par_search_opts(&q, 2.0, SearchOptions::default(), 2)
+                .matches,
+            want.matches
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_silent_fallback_preserved() {
+        // use_temporal_postings without index support silently degrades on
+        // the legacy wrapper (the unified surface rejects it instead).
+        use crate::temporal::{TemporalConstraint, TimeInterval};
+        let mut store = TrajectoryStore::new();
+        store.push(Trajectory::new(vec![1, 2, 3], vec![0.0, 1.0, 2.0]));
+        let engine = SearchEngine::new(&Lev, &store, 8);
+        let opts = SearchOptions {
+            temporal: Some(TemporalConstraint::overlaps(TimeInterval::new(0.0, 5.0))),
+            use_temporal_postings: true,
+            ..Default::default()
+        };
+        let out = engine.search_opts(&[1, 2], 1.0, opts);
+        assert_eq!(out.matches.len(), 1);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_infinite_tau_still_matches_everything() {
+        // The old `assert!(tau > 0.0)` admitted +∞ ("match everything");
+        // the wrappers must keep accepting it even though the unified
+        // surface requires finite τ for the wire format.
+        let mut store = TrajectoryStore::new();
+        store.push(Trajectory::untimed(vec![1, 2, 3]));
+        let engine = SearchEngine::new(&Lev, &store, 8);
+        let out = engine.search(&[1, 2], f64::INFINITY);
+        assert_eq!(out.matches.len(), 6, "every substring matches at tau=∞");
+        let top = engine.search_top_k(&[1, 2], 1, 0.5, f64::INFINITY);
+        assert_eq!(top.len(), 1);
+    }
+
+    #[test]
     #[should_panic(expected = "query must be non-empty")]
+    #[allow(deprecated)]
     fn empty_query_rejected() {
         let store = toy_store();
         let engine = SearchEngine::new(&Lev, &store, 10);
@@ -538,11 +712,15 @@ mod tests {
         // tau is not a match.
         let mut store = TrajectoryStore::new();
         store.push(Trajectory::untimed(vec![1, 2, 3]));
-        let engine = SearchEngine::new(&Lev, &store, 8);
+        let engine = EngineBuilder::new(&Lev, &store, 8).build();
         // Q = [1,4,3]: best substring [1,2,3] at distance 1.
-        let out = engine.search(&[1, 4, 3], 1.0);
+        let out = engine
+            .run(&Query::threshold(vec![1, 4, 3], 1.0).build().unwrap())
+            .unwrap();
         assert!(out.matches.is_empty());
-        let out2 = engine.search(&[1, 4, 3], 1.0 + 1e-9);
+        let out2 = engine
+            .run(&Query::threshold(vec![1, 4, 3], 1.0 + 1e-9).build().unwrap())
+            .unwrap();
         assert_eq!(out2.matches.len(), 1);
     }
 }

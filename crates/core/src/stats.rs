@@ -7,8 +7,11 @@
 
 use std::time::Duration;
 
-/// Counters and timings collected during one query.
-#[derive(Debug, Clone, Default)]
+/// Counters and timings collected during one query. `PartialEq` compares
+/// every field (timings included) — it exists for the wire-format
+/// round-trip guarantee of [`Response`](crate::Response), not for
+/// cross-run comparisons.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SearchStats {
     /// Time spent choosing the τ-subsequence (Algorithm 1).
     pub mincand_time: Duration,

@@ -8,10 +8,17 @@
 //! double τ and retry. The result is exact: once `k` trajectories match
 //! below τ, any unseen trajectory's best distance is ≥ τ and cannot enter
 //! the top `k`.
+//!
+//! Reached through the unified surface as
+//! [`Query::top_k`](crate::Query::top_k) +
+//! [`SearchEngine::run`](crate::SearchEngine::run); the responses' `matches`
+//! are the ranked best matches (position = rank).
 
 use crate::index::PostingSource;
+use crate::query::Parallelism;
 use crate::results::MatchResult;
 use crate::search::{SearchEngine, SearchOptions};
+use crate::stats::SearchStats;
 use std::collections::HashMap;
 use traj::TrajId;
 use wed::{Sym, WedInstance};
@@ -23,7 +30,41 @@ pub struct TopKEntry {
     pub best: MatchResult,
 }
 
-impl<'a, M: WedInstance, I: PostingSource> SearchEngine<'a, M, I> {
+/// The threshold-growth loop behind [`Objective::TopK`](crate::Objective):
+/// ranked best matches (rank order) plus the per-round stats merged over
+/// every growth round, with `results` set to the returned entry count.
+pub(crate) fn top_k_growth<M: WedInstance + Sync, I: PostingSource + Sync>(
+    engine: &SearchEngine<'_, M, I>,
+    q: &[Sym],
+    k: usize,
+    initial_tau: f64,
+    max_tau: f64,
+    opts: SearchOptions,
+    parallelism: Parallelism,
+) -> (Vec<MatchResult>, SearchStats) {
+    let mut stats = SearchStats::default();
+    let mut tau = initial_tau;
+    loop {
+        let out = engine.threshold_outcome(q, tau, opts, parallelism);
+        stats.merge(&out.stats);
+        let best = per_trajectory_best(&out.matches);
+        if best.len() >= k || tau >= max_tau {
+            let mut ranked: Vec<MatchResult> = best.into_values().collect();
+            ranked.sort_by(|a, b| {
+                a.dist
+                    .total_cmp(&b.dist)
+                    .then((a.end - a.start).cmp(&(b.end - b.start)))
+                    .then((a.id, a.start).cmp(&(b.id, b.start)))
+            });
+            ranked.truncate(k);
+            stats.results = ranked.len();
+            return (ranked, stats);
+        }
+        tau = (tau * 2.0).min(max_tau);
+    }
+}
+
+impl<'a, M: WedInstance + Sync, I: PostingSource + Sync> SearchEngine<'a, M, I> {
     /// The `k` trajectories most similar to `q` (by their best-matching
     /// subtrajectory), or fewer if the whole database has fewer matching
     /// trajectories below `max_tau`.
@@ -31,6 +72,7 @@ impl<'a, M: WedInstance, I: PostingSource> SearchEngine<'a, M, I> {
     /// `initial_tau` seeds the threshold-growth loop (e.g. 10% of
     /// `Σ c(q)`); `max_tau` bounds it (e.g. the total insertion cost of `q`,
     /// above which everything matches).
+    #[deprecated(note = "build a `Query::top_k(..)` and call `SearchEngine::run`")]
     pub fn search_top_k(
         &self,
         q: &[Sym],
@@ -38,29 +80,19 @@ impl<'a, M: WedInstance, I: PostingSource> SearchEngine<'a, M, I> {
         initial_tau: f64,
         max_tau: f64,
     ) -> Vec<TopKEntry> {
-        assert!(k >= 1, "k must be positive");
-        assert!(initial_tau > 0.0 && initial_tau <= max_tau);
-        let mut tau = initial_tau;
-        loop {
-            let out = self.search_opts(q, tau, SearchOptions::default());
-            let best = per_trajectory_best(&out.matches);
-            if best.len() >= k || tau >= max_tau {
-                let mut ranked: Vec<MatchResult> = best.into_values().collect();
-                ranked.sort_by(|a, b| {
-                    a.dist
-                        .total_cmp(&b.dist)
-                        .then((a.end - a.start).cmp(&(b.end - b.start)))
-                        .then((a.id, a.start).cmp(&(b.id, b.start)))
-                });
-                ranked.truncate(k);
-                return ranked
-                    .into_iter()
-                    .enumerate()
-                    .map(|(rank, best)| TopKEntry { rank, best })
-                    .collect();
-            }
-            tau = (tau * 2.0).min(max_tau);
-        }
+        // The old asserts admitted infinite bounds; `legacy_tau` maps them
+        // to the behaviorally identical `f64::MAX` (see its docs).
+        let initial_tau = crate::search::legacy_tau(initial_tau);
+        let max_tau = crate::search::legacy_tau(max_tau);
+        let query = match crate::query::Query::top_k(q, k, initial_tau, max_tau).build() {
+            Ok(query) => query,
+            Err(crate::query::QueryError::InvalidK) => panic!("k must be positive"),
+            Err(crate::query::QueryError::EmptyPattern) => panic!("query must be non-empty"),
+            Err(e) => panic!("invalid legacy top-k query: {e}"),
+        };
+        self.run(&query)
+            .expect("legacy queries are admissible by construction")
+            .ranked()
     }
 }
 
@@ -91,6 +123,7 @@ pub fn per_trajectory_best(matches: &[MatchResult]) -> HashMap<TrajId, MatchResu
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{EngineBuilder, Query};
     use traj::{Trajectory, TrajectoryStore};
     use wed::models::Lev;
 
@@ -103,12 +136,25 @@ mod tests {
         s
     }
 
+    fn run_top_k(
+        engine: &SearchEngine<'_, &Lev, crate::AnyIndex>,
+        q: &[u32],
+        k: usize,
+        initial_tau: f64,
+        max_tau: f64,
+    ) -> Vec<TopKEntry> {
+        engine
+            .run(&Query::top_k(q, k, initial_tau, max_tau).build().unwrap())
+            .unwrap()
+            .ranked()
+    }
+
     #[test]
     fn top_k_ranks_by_best_distance() {
         let s = store();
-        let engine = SearchEngine::new(&Lev, &s, 12);
+        let engine = EngineBuilder::new(&Lev, &s, 12).build();
         let q = [1u32, 2, 3, 4];
-        let top = engine.search_top_k(&q, 3, 0.5, 10.0);
+        let top = run_top_k(&engine, &q, 3, 0.5, 10.0);
         assert_eq!(top.len(), 3);
         let ids: Vec<TrajId> = top.iter().map(|e| e.best.id).collect();
         assert_eq!(ids, vec![0, 1, 2]);
@@ -121,10 +167,10 @@ mod tests {
     #[test]
     fn threshold_growth_finds_far_matches() {
         let s = store();
-        let engine = SearchEngine::new(&Lev, &s, 12);
+        let engine = EngineBuilder::new(&Lev, &s, 12).build();
         let q = [1u32, 2, 3, 4];
         // k = 4 forces tau to grow until trajectory 3 (distance 4) matches.
-        let top = engine.search_top_k(&q, 4, 0.5, 16.0);
+        let top = run_top_k(&engine, &q, 4, 0.5, 16.0);
         assert_eq!(top.len(), 4);
         assert_eq!(top[3].best.id, 3);
         assert_eq!(top[3].best.dist, 4.0);
@@ -133,10 +179,10 @@ mod tests {
     #[test]
     fn max_tau_caps_the_result() {
         let s = store();
-        let engine = SearchEngine::new(&Lev, &s, 12);
+        let engine = EngineBuilder::new(&Lev, &s, 12).build();
         let q = [1u32, 2, 3, 4];
         // With max_tau = 1.5 only distances < 1.5 can be found.
-        let top = engine.search_top_k(&q, 4, 1.5, 1.5);
+        let top = run_top_k(&engine, &q, 4, 1.5, 1.5);
         assert_eq!(top.len(), 2);
         assert!(top.iter().all(|e| e.best.dist < 1.5));
     }
@@ -146,10 +192,38 @@ mod tests {
         let mut s = TrajectoryStore::new();
         // Two distance-0 matches in the same trajectory: [1,2] at 0 and 3.
         s.push(Trajectory::untimed(vec![1, 2, 9, 1, 2]));
-        let engine = SearchEngine::new(&Lev, &s, 12);
-        let top = engine.search_top_k(&[1, 2], 1, 0.5, 4.0);
+        let engine = EngineBuilder::new(&Lev, &s, 12).build();
+        let top = run_top_k(&engine, &[1, 2], 1, 0.5, 4.0);
         assert_eq!(top[0].best.start, 0, "earlier span must win the tie");
         assert_eq!(top[0].best.end, 1);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_search_top_k_matches_run() {
+        let s = store();
+        let engine = EngineBuilder::new(&Lev, &s, 12).build();
+        let q = [1u32, 2, 3, 4];
+        assert_eq!(
+            engine.search_top_k(&q, 3, 0.5, 10.0),
+            run_top_k(&engine, &q, 3, 0.5, 10.0)
+        );
+    }
+
+    #[test]
+    fn top_k_stats_cover_growth_rounds() {
+        let s = store();
+        let engine = EngineBuilder::new(&Lev, &s, 12).build();
+        // Forcing growth (k=4) merges several rounds' counters.
+        let r = engine
+            .run(
+                &Query::top_k(vec![1, 2, 3, 4], 4, 0.5, 16.0)
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+        assert_eq!(r.stats.results, r.matches.len());
+        assert!(r.stats.candidates > 0);
     }
 
     #[test]

@@ -1,0 +1,283 @@
+//! Randomized equivalence of the unified surface vs every legacy entry
+//! point, plus wire-format round-trip properties.
+//!
+//! The API redesign's contract is that `SearchEngine::run`/`run_batch` are
+//! pure re-plumbing: for every option combination the legacy methods could
+//! express — verify modes × temporal constraints (TF and by-departure
+//! postings included) × index layouts × thread counts — the unified surface
+//! returns **byte-identical** results (`assert_eq!` on matches including
+//! `f64` distances, no epsilon) to `search`, `search_opts`,
+//! `par_search_opts`, `search_top_k` and `search_batch`. JSON round-trips
+//! (`from_json(to_json(q)) == q`, same for responses) are property-tested
+//! on the same random workloads.
+
+#![allow(deprecated)] // exercising the legacy entry points is the point
+
+use proptest::prelude::*;
+use traj::{Trajectory, TrajectoryStore};
+use trajsearch_core::batch::BatchOptions;
+use trajsearch_core::{
+    EngineBuilder, IndexLayout, Parallelism, Query, Response, SearchEngine, SearchOptions,
+    SearchOutcome, TemporalConstraint, TimeInterval, VerifyMode,
+};
+use wed::models::Lev;
+use wed::Sym;
+
+const ALPHABET: usize = 12;
+
+/// Timed store: trajectory `i` departs at `10·i` with unit steps, so small
+/// query intervals split the store into in-window and out-of-window parts.
+fn timed_store(paths: Vec<Vec<Sym>>) -> TrajectoryStore {
+    paths
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let t0 = 10.0 * i as f64;
+            let times: Vec<f64> = (0..p.len()).map(|k| t0 + k as f64).collect();
+            Trajectory::new(p, times)
+        })
+        .collect()
+}
+
+/// The full legacy option grid: every verify mode × no-temporal / temporal
+/// with and without the TF pre-filter and the by-departure postings path.
+fn option_grid(constraint: TemporalConstraint) -> Vec<SearchOptions> {
+    let mut grid = Vec::new();
+    for verify in [VerifyMode::Trie, VerifyMode::Local, VerifyMode::Sw] {
+        grid.push(SearchOptions {
+            verify,
+            ..Default::default()
+        });
+        for (tf, use_dep) in [(false, false), (true, false), (false, true), (true, true)] {
+            grid.push(SearchOptions {
+                verify,
+                temporal: Some(constraint),
+                temporal_filter: tf,
+                use_temporal_postings: use_dep,
+            });
+        }
+    }
+    grid
+}
+
+/// The unified `Query` equivalent of a legacy `(pattern, tau, opts)` call
+/// against an engine whose temporal-postings availability is `available`
+/// (the legacy path silently fell back; the unified path must be told).
+fn unified(q: &[Sym], tau: f64, opts: SearchOptions, available: bool) -> Query {
+    let mut b = Query::threshold(q, tau)
+        .verify(opts.verify)
+        .temporal_filter(opts.temporal_filter)
+        .temporal_postings(opts.use_temporal_postings && available && opts.temporal.is_some());
+    if let Some(c) = opts.temporal {
+        b = b.temporal(c);
+    }
+    b.build().expect("legacy-expressible queries are valid")
+}
+
+fn assert_same(got: &Response, want: &SearchOutcome, label: &str) -> Result<(), TestCaseError> {
+    prop_assert_eq!(&got.matches, &want.matches, "matches diverged ({})", label);
+    prop_assert_eq!(got.stats.fallback, want.stats.fallback, "{}", label);
+    prop_assert_eq!(got.stats.candidates, want.stats.candidates, "{}", label);
+    prop_assert_eq!(
+        got.stats.candidates_after_temporal,
+        want.stats.candidates_after_temporal,
+        "{}",
+        label
+    );
+    prop_assert_eq!(
+        got.stats.candidates_deduped,
+        want.stats.candidates_deduped,
+        "{}",
+        label
+    );
+    prop_assert_eq!(got.stats.tsubseq_len, want.stats.tsubseq_len, "{}", label);
+    prop_assert_eq!(got.stats.results, want.stats.results, "{}", label);
+    prop_assert_eq!(got.stats.sw_columns, want.stats.sw_columns, "{}", label);
+    prop_assert_eq!(
+        got.stats.columns_passed,
+        want.stats.columns_passed,
+        "{}",
+        label
+    );
+    prop_assert_eq!(got.stats.stepdp_calls, want.stats.stepdp_calls, "{}", label);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// `run` / `run_batch` vs `search` / `search_opts` / `par_search_opts` /
+    /// `search_batch`, across the whole option grid and three layouts
+    /// (legacy single-list engine, builder single, builder sharded).
+    #[test]
+    fn run_matches_every_legacy_threshold_path(
+        paths in proptest::collection::vec(
+            proptest::collection::vec(0u32..(ALPHABET as u32), 1..10),
+            1..8,
+        ),
+        queries in proptest::collection::vec(
+            // tau up to 4 > |Q| is possible: exercises the fallback scan.
+            (proptest::collection::vec(0u32..(ALPHABET as u32), 1..5), 1u32..4),
+            1..4,
+        ),
+        win_start in 0.0f64..60.0,
+        win_len in 1.0f64..40.0,
+    ) {
+        let store = timed_store(paths);
+        let workload: Vec<(Vec<Sym>, f64)> = queries
+            .into_iter()
+            .map(|(q, tau_i)| (q, tau_i as f64))
+            .collect();
+        let constraint =
+            TemporalConstraint::overlaps(TimeInterval::new(win_start, win_start + win_len));
+
+        // The legacy engine answers through the deprecated wrappers; the
+        // unified engines answer through `run`. All three must agree.
+        let legacy = SearchEngine::with_temporal_postings(Lev, &store, ALPHABET);
+        let single = EngineBuilder::new(Lev, &store, ALPHABET)
+            .temporal_postings(true)
+            .build();
+        let sharded = EngineBuilder::new(Lev, &store, ALPHABET)
+            .layout(IndexLayout::Sharded(3))
+            .temporal_postings(true)
+            .build();
+
+        for opts in option_grid(constraint) {
+            let unified_queries: Vec<Query> = workload
+                .iter()
+                .map(|(q, tau)| unified(q, *tau, opts, true))
+                .collect();
+            for ((q, tau), query) in workload.iter().zip(&unified_queries) {
+                let want = legacy.search_opts(q, *tau, opts);
+                let label = format!("opts={opts:?}, q={q:?}, tau={tau}");
+                assert_same(&legacy.run(query).unwrap(), &want, &format!("legacy/run {label}"))?;
+                assert_same(&single.run(query).unwrap(), &want, &format!("single {label}"))?;
+                assert_same(&sharded.run(query).unwrap(), &want, &format!("sharded {label}"))?;
+
+                // In-query parallelism vs the legacy parallel wrapper.
+                let par_want = legacy.par_search_opts(q, *tau, opts, 2);
+                let par_query = query
+                    .clone()
+                    .with_parallelism(Parallelism::InQuery(2))
+                    .unwrap();
+                assert_same(
+                    &single.run(&par_query).unwrap(),
+                    &par_want,
+                    &format!("par {label}"),
+                )?;
+            }
+
+            // Whole-batch path vs the legacy tuple-workload wrapper.
+            let want_batch = legacy.search_batch(&workload, BatchOptions::with_threads(2), opts);
+            for engine_batch in [
+                single.run_batch(&unified_queries, BatchOptions::with_threads(2)).unwrap(),
+                sharded.run_batch(&unified_queries, BatchOptions::with_threads(2)).unwrap(),
+            ] {
+                prop_assert_eq!(engine_batch.responses.len(), want_batch.outcomes.len());
+                for (i, (got, want)) in engine_batch
+                    .responses
+                    .iter()
+                    .zip(&want_batch.outcomes)
+                    .enumerate()
+                {
+                    assert_same(got, want, &format!("batch query {i}, opts={opts:?}"))?;
+                }
+            }
+        }
+    }
+
+    /// Top-k: `run(Query::top_k)` vs the legacy `search_top_k`, at both
+    /// layouts, including k larger than the match count and tight max_tau.
+    #[test]
+    fn run_matches_legacy_top_k(
+        paths in proptest::collection::vec(
+            proptest::collection::vec(0u32..(ALPHABET as u32), 1..10),
+            1..8,
+        ),
+        q in proptest::collection::vec(0u32..(ALPHABET as u32), 1..5),
+        k in 1usize..6,
+        tau0_i in 1u32..3,
+        growth in 1u32..4,
+    ) {
+        let store = timed_store(paths);
+        let initial_tau = tau0_i as f64 * 0.5;
+        let max_tau = initial_tau * (1 << growth) as f64;
+        let legacy = SearchEngine::new(Lev, &store, ALPHABET);
+        let want = legacy.search_top_k(&q, k, initial_tau, max_tau);
+        for layout in [IndexLayout::Single, IndexLayout::Sharded(2)] {
+            let engine = EngineBuilder::new(Lev, &store, ALPHABET).layout(layout).build();
+            let query = Query::top_k(q.clone(), k, initial_tau, max_tau).build().unwrap();
+            let got = engine.run(&query).unwrap().ranked();
+            prop_assert_eq!(
+                &got,
+                &want,
+                "top-k diverged (layout={:?}, k={}, tau0={}, max={})",
+                layout,
+                k,
+                initial_tau,
+                max_tau
+            );
+        }
+    }
+
+    /// Wire format: `Query::from_json(q.to_json()) == q` over the whole
+    /// builder space, and responses round-trip bit-for-bit off real runs.
+    #[test]
+    fn json_round_trips(
+        paths in proptest::collection::vec(
+            proptest::collection::vec(0u32..(ALPHABET as u32), 1..10),
+            1..6,
+        ),
+        pattern in proptest::collection::vec(0u32..(ALPHABET as u32), 1..6),
+        tau in 0.1f64..10.0,
+        k in 1usize..5,
+        verify_i in 0usize..3,
+        predicate_i in 0usize..2,
+        temporal_i in 0usize..3,
+        tf in 0u32..2,
+        par_i in 0usize..3,
+        win_start in -5.0f64..60.0,
+        win_len in 0.0f64..40.0,
+    ) {
+        let interval = TimeInterval::new(win_start, win_start + win_len);
+        let constraint = if predicate_i == 0 {
+            TemporalConstraint::overlaps(interval)
+        } else {
+            TemporalConstraint::within(interval)
+        };
+        // temporal_i: 0 = none, 1 = constraint only, 2 = constraint + postings
+        let mut builder = Query::threshold(pattern.clone(), tau)
+            .verify([VerifyMode::Trie, VerifyMode::Local, VerifyMode::Sw][verify_i])
+            .temporal_filter(tf == 1 && temporal_i > 0)
+            .parallelism([
+                Parallelism::Sequential,
+                Parallelism::InQuery(2),
+                Parallelism::InQuery(7),
+            ][par_i]);
+        if temporal_i > 0 {
+            builder = builder.temporal(constraint).temporal_postings(temporal_i == 2);
+        }
+        let query = builder.build().unwrap();
+        prop_assert_eq!(&Query::from_json(&query.to_json()).unwrap(), &query);
+
+        // Top-k queries round-trip too.
+        let topk = Query::top_k(pattern, k, tau, tau * 4.0).build().unwrap();
+        prop_assert_eq!(&Query::from_json(&topk.to_json()).unwrap(), &topk);
+
+        // Responses (matches with f64 distances + stats counters/timings)
+        // round-trip bit-for-bit off a real engine run.
+        let store = timed_store(paths);
+        let engine = EngineBuilder::new(Lev, &store, ALPHABET)
+            .temporal_postings(true)
+            .build();
+        for q in [&query, &topk] {
+            let response = engine.run(q).unwrap();
+            prop_assert_eq!(
+                Response::from_json(&response.to_json()).unwrap(),
+                response,
+                "response round-trip for {}",
+                q.to_json()
+            );
+        }
+    }
+}

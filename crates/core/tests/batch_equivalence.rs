@@ -1,19 +1,21 @@
 //! Randomized equivalence: batched/parallel execution must be byte-identical
 //! to the sequential engine.
 //!
-//! `search_batch` runs each query on one worker and `par_search_opts` shards
-//! one query's verification across workers; in both cases workers never
-//! share mutable state and the per-triple min-merge is associative, so the
-//! outcomes — match triples *and* `f64` distances — must equal the
-//! sequential `search_opts` exactly (`assert_eq!`, no epsilon) across verify
-//! modes, temporal constraints, thread counts, and the fallback path.
+//! `run_batch` runs each query on one worker and `Parallelism::InQuery`
+//! shards one query's verification across workers; in both cases workers
+//! never share mutable state and the per-triple min-merge is associative,
+//! so the outcomes — match triples *and* `f64` distances — must equal the
+//! sequential `run` exactly (`assert_eq!`, no epsilon) across verify modes,
+//! temporal constraints, thread counts, and the fallback path.
 
 use proptest::prelude::*;
 use rnet::{CityParams, NetworkKind, RoadNetwork};
 use std::sync::Arc;
 use traj::{Trajectory, TrajectoryStore};
 use trajsearch_core::batch::BatchOptions;
-use trajsearch_core::{SearchEngine, SearchOptions, TemporalConstraint, TimeInterval, VerifyMode};
+use trajsearch_core::{
+    EngineBuilder, Parallelism, Query, SearchOptions, TemporalConstraint, TimeInterval, VerifyMode,
+};
 use wed::models::{Edr, Erp, Lev};
 use wed::{Sym, WedInstance};
 
@@ -37,6 +39,21 @@ fn timed_store(paths: Vec<Vec<Sym>>) -> TrajectoryStore {
 
 /// Asserts batch (at several worker counts) and in-query parallel
 /// verification both reproduce the sequential outcome exactly.
+fn queries_for(workload: &[(Vec<Sym>, f64)], opts: SearchOptions) -> Vec<Query> {
+    workload
+        .iter()
+        .map(|(q, tau)| {
+            let mut b = Query::threshold(q.clone(), *tau)
+                .verify(opts.verify)
+                .temporal_filter(opts.temporal_filter);
+            if let Some(c) = opts.temporal {
+                b = b.temporal(c);
+            }
+            b.build().expect("workload queries are valid")
+        })
+        .collect()
+}
+
 fn check_equivalence<M: WedInstance + Sync>(
     model: M,
     store: &TrajectoryStore,
@@ -44,22 +61,19 @@ fn check_equivalence<M: WedInstance + Sync>(
     workload: &[(Vec<Sym>, f64)],
     opts: SearchOptions,
 ) -> Result<(), TestCaseError> {
-    let engine = SearchEngine::new(model, store, alphabet);
-    let want: Vec<_> = workload
+    let engine = EngineBuilder::new(model, store, alphabet).build();
+    let queries = queries_for(workload, opts);
+    let want: Vec<_> = queries
         .iter()
-        .map(|(q, tau)| engine.search_opts(q, *tau, opts))
+        .map(|q| engine.run(q).expect("sequential run"))
         .collect();
 
     for threads in [1, 2, 4] {
-        let got = engine.search_batch(
-            workload,
-            BatchOptions {
-                threads,
-                search: opts,
-            },
-        );
-        prop_assert_eq!(got.outcomes.len(), want.len());
-        for (i, (g, w)) in got.outcomes.iter().zip(&want).enumerate() {
+        let got = engine
+            .run_batch(&queries, BatchOptions::with_threads(threads))
+            .expect("batch admitted");
+        prop_assert_eq!(got.responses.len(), want.len());
+        for (i, (g, w)) in got.responses.iter().zip(&want).enumerate() {
             // Byte-identical: same triples, same f64 distances, same order.
             prop_assert_eq!(
                 &g.matches,
@@ -74,12 +88,16 @@ fn check_equivalence<M: WedInstance + Sync>(
             prop_assert_eq!(g.stats.results, w.stats.results);
         }
 
-        for (i, (q, tau)) in workload.iter().enumerate() {
-            let g = engine.par_search_opts(q, *tau, opts, threads);
+        for (i, query) in queries.iter().enumerate() {
+            let par = Query::from_json(&query.to_json())
+                .expect("wire round-trip")
+                .with_parallelism(Parallelism::InQuery(threads))
+                .expect("threads >= 1");
+            let g = engine.run(&par).expect("parallel run");
             prop_assert_eq!(
                 &g.matches,
                 &want[i].matches,
-                "par_search query {} at {} threads",
+                "in-query parallel query {} at {} threads",
                 i,
                 threads
             );

@@ -17,8 +17,8 @@ use proptest::prelude::*;
 use traj::{TrajId, Trajectory, TrajectoryStore};
 use trajsearch_core::batch::BatchOptions;
 use trajsearch_core::{
-    InvertedIndex, Posting, PostingSource, SearchEngine, SearchOptions, ShardedIndex,
-    TemporalConstraint, TimeInterval, VerifyMode,
+    AnyIndex, EngineBuilder, InvertedIndex, Parallelism, Posting, PostingSource, Query,
+    SearchEngine, SearchOptions, ShardedIndex, TemporalConstraint, TimeInterval, VerifyMode,
 };
 use wed::models::Lev;
 use wed::Sym;
@@ -99,16 +99,42 @@ fn check_index_surface(
 /// through the sequential, batch and in-query-parallel paths (the latter
 /// two are generic over the source as well, so a regression that makes
 /// them sensitive to shard-major candidate order must fail here).
+fn unified_queries(
+    workload: &[(Vec<Sym>, f64)],
+    opts: SearchOptions,
+    available: bool,
+) -> Vec<Query> {
+    workload
+        .iter()
+        .map(|(q, tau)| {
+            let mut b = Query::threshold(q.clone(), *tau)
+                .verify(opts.verify)
+                .temporal_filter(opts.temporal_filter)
+                // The unified surface rejects temporal-postings requests the
+                // index cannot serve, so mirror availability here.
+                .temporal_postings(
+                    opts.use_temporal_postings && available && opts.temporal.is_some(),
+                );
+            if let Some(c) = opts.temporal {
+                b = b.temporal(c);
+            }
+            b.build().expect("workload queries are valid")
+        })
+        .collect()
+}
+
 fn check_outcomes<I: PostingSource + Sync>(
-    reference: &SearchEngine<'_, Lev>,
+    reference: &SearchEngine<'_, Lev, AnyIndex>,
     engine: &SearchEngine<'_, Lev, I>,
     workload: &[(Vec<Sym>, f64)],
     opts: SearchOptions,
     label: &str,
 ) -> Result<(), TestCaseError> {
-    for (q, tau) in workload {
-        let want = reference.search_opts(q, *tau, opts);
-        let got = engine.search_opts(q, *tau, opts);
+    let available = engine.index().has_temporal_postings();
+    let queries = unified_queries(workload, opts, available);
+    for ((q, tau), query) in workload.iter().zip(&queries) {
+        let want = reference.run(query).expect("reference run");
+        let got = engine.run(query).expect("run");
         prop_assert_eq!(
             &got.matches,
             &want.matches,
@@ -123,29 +149,32 @@ fn check_outcomes<I: PostingSource + Sync>(
         prop_assert_eq!(got.stats.tsubseq_len, want.stats.tsubseq_len);
         prop_assert_eq!(got.stats.results, want.stats.results);
 
-        let par = engine.par_search_opts(q, *tau, opts, 2);
+        let par = engine
+            .run(
+                &query
+                    .clone()
+                    .with_parallelism(Parallelism::InQuery(2))
+                    .expect("threads >= 1"),
+            )
+            .expect("parallel run");
         prop_assert_eq!(
             &par.matches,
             &want.matches,
-            "par_search_opts diverged ({}, q={:?}, tau={})",
+            "in-query parallel run diverged ({}, q={:?}, tau={})",
             label,
             q,
             tau
         );
     }
-    let batch = engine.search_batch(
-        workload,
-        BatchOptions {
-            threads: 2,
-            search: opts,
-        },
-    );
-    for (i, ((q, tau), got)) in workload.iter().zip(&batch.outcomes).enumerate() {
-        let want = reference.search_opts(q, *tau, opts);
+    let batch = engine
+        .run_batch(&queries, BatchOptions::with_threads(2))
+        .expect("batch admitted");
+    for (i, (query, got)) in queries.iter().zip(&batch.responses).enumerate() {
+        let want = reference.run(query).expect("reference run");
         prop_assert_eq!(
             &got.matches,
             &want.matches,
-            "search_batch query {} diverged ({})",
+            "run_batch query {} diverged ({})",
             i,
             label
         );
@@ -244,12 +273,14 @@ proptest! {
             .collect();
         let constraint =
             TemporalConstraint::overlaps(TimeInterval::new(win_start, win_start + win_len));
-        let reference = SearchEngine::with_temporal_postings(Lev, &store, ALPHABET);
+        let reference = EngineBuilder::new(Lev, &store, ALPHABET)
+            .temporal_postings(true)
+            .build();
 
         for &shards in &SHARD_COUNTS {
             let mut idx = ShardedIndex::build_parallel(&store, ALPHABET, shards);
             idx.enable_temporal_postings();
-            let engine = SearchEngine::with_index(Lev, &store, idx);
+            let engine = EngineBuilder::new(Lev, &store, ALPHABET).build_with(idx);
             for opts in option_grid(constraint) {
                 check_outcomes(
                     &reference,
@@ -289,7 +320,7 @@ proptest! {
             verify: [VerifyMode::Trie, VerifyMode::Local, VerifyMode::Sw][mode_i],
             ..Default::default()
         };
-        let reference = SearchEngine::new(Lev, &store, ALPHABET);
+        let reference = EngineBuilder::new(Lev, &store, ALPHABET).build();
 
         let base = store.prefix(split);
         for &shards in &SHARD_COUNTS {
@@ -297,7 +328,7 @@ proptest! {
             for id in split..store.len() {
                 idx.append(id as TrajId, store.get(id as TrajId));
             }
-            let engine = SearchEngine::with_index(Lev, &store, idx);
+            let engine = EngineBuilder::new(Lev, &store, ALPHABET).build_with(idx);
             check_outcomes(
                 &reference,
                 &engine,

@@ -6,7 +6,7 @@ use proptest::prelude::*;
 use rnet::{CityParams, NetworkKind, RoadNetwork};
 use std::sync::Arc;
 use traj::{Trajectory, TrajectoryStore};
-use trajsearch_core::{SearchEngine, SearchOptions, VerifyMode};
+use trajsearch_core::{EngineBuilder, Query, VerifyMode};
 use wed::models::{Edr, Erp, Lev};
 use wed::{wed, Sym};
 
@@ -36,7 +36,7 @@ fn brute<M: wed::CostModel>(
     out
 }
 
-fn check_engine<M: wed::WedInstance + Copy>(
+fn check_engine<M: wed::WedInstance + Copy + Sync>(
     m: M,
     store: &TrajectoryStore,
     alphabet: usize,
@@ -44,16 +44,13 @@ fn check_engine<M: wed::WedInstance + Copy>(
     tau: f64,
 ) -> Result<(), TestCaseError> {
     let want = brute(&m, store, q, tau);
-    let engine = SearchEngine::new(m, store, alphabet);
+    let engine = EngineBuilder::new(m, store, alphabet).build();
     for mode in [VerifyMode::Trie, VerifyMode::Local, VerifyMode::Sw] {
-        let got = engine.search_opts(
-            q,
-            tau,
-            SearchOptions {
-                verify: mode,
-                ..Default::default()
-            },
-        );
+        let query = Query::threshold(q, tau)
+            .verify(mode)
+            .build()
+            .expect("valid test query");
+        let got = engine.run(&query).expect("run");
         prop_assert_eq!(got.matches.len(), want.len(), "mode {:?}", mode);
         for (g, w) in got.matches.iter().zip(&want) {
             prop_assert_eq!((g.id, g.start, g.end), (w.0, w.1, w.2));
@@ -119,8 +116,10 @@ proptest! {
         let n = net();
         let edr = Edr::new(n.clone(), 130.0);
         let store: TrajectoryStore = paths.into_iter().map(Trajectory::untimed).collect();
-        let engine = SearchEngine::new(&edr, &store, n.num_vertices());
-        let out = engine.search(&q, 2.0);
+        let engine = EngineBuilder::new(&edr, &store, n.num_vertices()).build();
+        let out = engine
+            .run(&Query::threshold(q.clone(), 2.0).build().expect("valid"))
+            .expect("run");
         for m in &out.matches {
             let p = store.get(m.id).path();
             let direct = wed(&edr, &p[m.start..=m.end], &q);

@@ -17,9 +17,8 @@ use crate::cost::{CostModel, Sym, WedInstance};
 use rnet::dijkstra::{bounded, Mode};
 use rnet::geo::barycenter;
 use rnet::{HubLabels, KdTree, Point, RoadNetwork};
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 // ---------------------------------------------------------------------------
 // Levenshtein
@@ -334,36 +333,60 @@ impl WedInstance for Surs {
 // Memoizing wrapper
 // ---------------------------------------------------------------------------
 
+/// Shard count of the [`Memo`] cache; a power of two so the shard pick is a
+/// mask. 16 keeps contention negligible at batch-worker thread counts while
+/// the per-shard maps stay cache-friendly.
+const MEMO_SHARDS: usize = 16;
+
 /// Memoizes substitution costs of an inner model. NetEDR/NetERP evaluate
 /// `spd(a, b)` in the innermost DP loop; queries repeat heavily across
-/// verification candidates, so a per-query memo pays off (single-threaded,
-/// as in the paper).
+/// verification candidates, so a memo pays off.
+///
+/// The cache is a **sharded-lock map** (16 mutex-guarded shards, picked by
+/// a hash of the symmetric key), so `Memo<M>` is `Sync` whenever `M` is and
+/// batch workers share one memoized model: parallel
+/// [`run_batch`](../trajsearch_core) runs get cross-query memoization
+/// instead of the unmemoized fallback the old `RefCell` cache forced.
+/// Misses compute `inner.sub` *outside* any lock (hub-label queries are the
+/// expensive part), so two threads may race to fill the same key — both
+/// write the same deterministic value, and results are unaffected.
 pub struct Memo<M> {
     inner: M,
-    cache: RefCell<HashMap<(Sym, Sym), f64>>,
+    shards: Vec<Mutex<HashMap<(Sym, Sym), f64>>>,
 }
 
 impl<M> Memo<M> {
     pub fn new(inner: M) -> Self {
         Memo {
             inner,
-            cache: RefCell::new(HashMap::new()),
+            shards: (0..MEMO_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
         }
     }
 
     pub fn into_inner(self) -> M {
         self.inner
     }
+
+    fn shard(&self, key: (Sym, Sym)) -> &Mutex<HashMap<(Sym, Sym), f64>> {
+        // Fibonacci-style mix of both halves; the top bits select the shard.
+        let h = (key.0 as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((key.1 as u64).wrapping_mul(0x517C_C1B7_2722_0A95));
+        &self.shards[(h >> 60) as usize & (MEMO_SHARDS - 1)]
+    }
 }
 
 impl<M: CostModel> CostModel for Memo<M> {
     fn sub(&self, a: Sym, b: Sym) -> f64 {
         let key = if a <= b { (a, b) } else { (b, a) };
-        if let Some(&v) = self.cache.borrow().get(&key) {
+        let shard = self.shard(key);
+        if let Some(&v) = shard.lock().expect("memo shard poisoned").get(&key) {
             return v;
         }
         let v = self.inner.sub(a, b);
-        self.cache.borrow_mut().insert(key, v);
+        shard.lock().expect("memo shard poisoned").insert(key, v);
         v
     }
     fn ins(&self, a: Sym) -> f64 {
@@ -516,6 +539,43 @@ mod tests {
             assert_eq!(m.sub(v, b), 0.0);
         }
         assert!(nbrs.len() >= 3, "expected grid neighbors in network ball");
+    }
+
+    #[test]
+    fn memo_is_sync_when_inner_is() {
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<Memo<Lev>>();
+        assert_sync::<Memo<NetErp>>();
+        assert_sync::<Memo<NetEdr>>();
+    }
+
+    #[test]
+    fn memo_shared_across_threads_matches_unmemoized() {
+        // The sharded-lock cache must be transparent under concurrency:
+        // many threads hammering overlapping keys observe exactly the
+        // unmemoized values (racing fills write identical numbers).
+        let (net, hubs) = setup();
+        let raw = NetErp::new(net.clone(), hubs.clone(), 2000.0, 130.0);
+        let memo = Memo::new(NetErp::new(net.clone(), hubs.clone(), 2000.0, 130.0));
+        std::thread::scope(|scope| {
+            for t in 0..4u32 {
+                let memo = &memo;
+                let raw = &raw;
+                scope.spawn(move || {
+                    for a in 0..12u32 {
+                        for b in 0..12u32 {
+                            // Overlapping key sets across threads.
+                            let (a, b) = ((a + t) % 12, b);
+                            assert_eq!(raw.sub(a, b), memo.sub(a, b));
+                        }
+                    }
+                });
+            }
+        });
+        // And the cache is actually warm afterwards.
+        for a in 0..12u32 {
+            assert_eq!(raw.sub(a, a + 1), memo.sub(a, a + 1));
+        }
     }
 
     #[test]

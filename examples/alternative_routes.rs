@@ -10,7 +10,7 @@ use rnet::dijkstra::{shortest_path, Mode};
 use rnet::{CityParams, HubLabels, NetworkKind};
 use std::sync::Arc;
 use traj::TripConfig;
-use trajsearch_core::SearchEngine;
+use trajsearch_core::{EngineBuilder, Query};
 use wed::models::Lev;
 
 fn main() {
@@ -21,7 +21,7 @@ fn main() {
         .lengths(20, 70)
         .seed(9)
         .generate(&net);
-    let engine = SearchEngine::new(&Lev, &store, net.num_vertices());
+    let engine = EngineBuilder::new(&Lev, &store, net.num_vertices()).build();
 
     // The planned route: like the paper, take a stretch a real trip
     // traveled, then re-plan it as a shortest path between its endpoints —
@@ -38,7 +38,13 @@ fn main() {
 
     // Subtrajectories similar to the plan (up to 40% of hops edited).
     let tau = (0.4 * q.len() as f64).max(1.0);
-    let out = engine.search(&q, tau);
+    let out = engine
+        .run(
+            &Query::threshold(q.clone(), tau)
+                .build()
+                .expect("valid query"),
+        )
+        .expect("run");
 
     // Keep only true u->v routes and score their naturalness: the fraction
     // of hops that get strictly closer (network distance) to v than ever.

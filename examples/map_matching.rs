@@ -13,7 +13,7 @@ use std::sync::Arc;
 use traj::generator::random_walk;
 use traj::mapmatch::{noisy_trace, MapMatcher};
 use traj::{Trajectory, TrajectoryStore};
-use trajsearch_core::SearchEngine;
+use trajsearch_core::{EngineBuilder, Query};
 use wed::models::Lev;
 
 fn main() {
@@ -55,11 +55,13 @@ fn main() {
         let start = rand::Rng::gen_range(&mut rng, 0..net.num_vertices() as u32);
         store.push(Trajectory::untimed(random_walk(&net, &mut rng, start, 25)));
     }
-    let engine = SearchEngine::new(&Lev, &store, net.num_vertices());
+    let engine = EngineBuilder::new(&Lev, &store, net.num_vertices()).build();
 
     // Query: the middle stretch of the original (pre-noise) route.
     let q = &truth[8..18];
-    let out = engine.search(q, 3.0);
+    let out = engine
+        .run(&Query::threshold(q, 3.0).build().expect("valid query"))
+        .expect("run");
     let hit = out.matches.iter().find(|m| m.id == id);
     match hit {
         Some(m) => println!(

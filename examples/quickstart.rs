@@ -9,7 +9,7 @@
 use rnet::{CityParams, NetworkKind};
 use std::sync::Arc;
 use traj::TripConfig;
-use trajsearch_core::SearchEngine;
+use trajsearch_core::{EngineBuilder, Query};
 use wed::models::{Edr, Lev};
 
 fn main() {
@@ -40,8 +40,11 @@ fn main() {
     println!("query: {} vertices from trajectory 3", q.len());
 
     // 4. Search under Levenshtein distance: allow < 3 edits.
-    let lev_engine = SearchEngine::new(&Lev, &store, net.num_vertices());
-    let out = lev_engine.search(&q, 3.0);
+    let lev_engine = EngineBuilder::new(&Lev, &store, net.num_vertices()).build();
+    let query = Query::threshold(q.clone(), 3.0)
+        .build()
+        .expect("valid query");
+    let out = lev_engine.run(&query).expect("run");
     println!(
         "\nLev, tau=3: {} matching subtrajectories in {} candidate checks",
         out.matches.len(),
@@ -57,8 +60,8 @@ fn main() {
     // 5. Same engine, different similarity function: EDR with a 100 m
     //    matching tolerance. No algorithmic adaptation required.
     let edr = Edr::new(net.clone(), 100.0);
-    let edr_engine = SearchEngine::new(&edr, &store, net.num_vertices());
-    let out = edr_engine.search(&q, 3.0);
+    let edr_engine = EngineBuilder::new(&edr, &store, net.num_vertices()).build();
+    let out = edr_engine.run(&query).expect("run");
     println!(
         "\nEDR(eps=100m), tau=3: {} matches ({} candidates, {:.1}% of columns pruned)",
         out.matches.len(),

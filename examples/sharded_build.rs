@@ -16,7 +16,7 @@ use rnet::{CityParams, NetworkKind};
 use std::sync::Arc;
 use std::time::Instant;
 use traj::TripConfig;
-use trajsearch_core::{PostingSource, SearchEngine, ShardedIndex};
+use trajsearch_core::{EngineBuilder, IndexLayout, PostingSource, Query, ShardedIndex};
 use wed::models::Edr;
 use wed::Sym;
 
@@ -37,9 +37,10 @@ fn main() {
     );
 
     // Reference: the paper's single-list index.
-    let reference = SearchEngine::new(&edr, &store, alphabet);
+    let reference = EngineBuilder::new(&edr, &store, alphabet).build();
     let q: Vec<Sym> = store.get(3).path()[5..25].to_vec();
-    let want = reference.search(&q, 4.0);
+    let query = Query::threshold(q.clone(), 4.0).build().expect("valid");
+    let want = reference.run(&query).expect("run");
     println!(
         "query |Q|={} tau=4: {} matches via the single-list index",
         q.len(),
@@ -50,9 +51,11 @@ fn main() {
     // construction.
     for shards in [1, 2, 4, 8] {
         let t0 = Instant::now();
-        let engine = SearchEngine::new_sharded(&edr, &store, alphabet, shards);
+        let engine = EngineBuilder::new(&edr, &store, alphabet)
+            .layout(IndexLayout::Sharded(shards))
+            .build();
         let built = t0.elapsed();
-        let got = engine.search(&q, 4.0);
+        let got = engine.run(&query).expect("run");
         assert_eq!(
             got.matches, want.matches,
             "sharding must not change results"
@@ -78,10 +81,10 @@ fn main() {
         let id = grown.push(t.clone());
         idx.append(id, &t);
     }
-    let appended = SearchEngine::with_index(&edr, &grown, idx);
-    let rebuilt = SearchEngine::new(&edr, &grown, alphabet);
-    let a = appended.search(&q, 4.0);
-    let b = rebuilt.search(&q, 4.0);
+    let appended = EngineBuilder::new(&edr, &grown, alphabet).build_with(idx);
+    let rebuilt = EngineBuilder::new(&edr, &grown, alphabet).build();
+    let a = appended.run(&query).expect("run");
+    let b = rebuilt.run(&query).expect("run");
     assert_eq!(a.matches, b.matches, "append must equal rebuild");
     println!(
         "appended 50 trajectories shard-locally: {} matches, identical to a fresh build",

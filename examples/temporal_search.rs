@@ -9,7 +9,7 @@
 use rnet::{CityParams, NetworkKind};
 use std::sync::Arc;
 use traj::TripConfig;
-use trajsearch_core::{SearchEngine, SearchOptions, TemporalConstraint, TimeInterval, VerifyMode};
+use trajsearch_core::{EngineBuilder, Query, TemporalConstraint, TimeInterval, VerifyMode};
 use wed::models::Lev;
 
 fn main() {
@@ -19,7 +19,7 @@ fn main() {
         .lengths(15, 50)
         .seed(13)
         .generate(&net);
-    let engine = SearchEngine::new(&Lev, &store, net.num_vertices());
+    let engine = EngineBuilder::new(&Lev, &store, net.num_vertices()).build();
 
     let q = store.get(42).subpath(3, 14).to_vec();
     let tau = 3.0;
@@ -30,26 +30,26 @@ fn main() {
     let rush = TimeInterval::new((depart - 3600.0).max(0.0), depart + 3600.0);
     let constraint = TemporalConstraint::overlaps(rush);
 
-    let tf = engine.search_opts(
-        &q,
-        tau,
-        SearchOptions {
-            verify: VerifyMode::Trie,
-            temporal: Some(constraint),
-            temporal_filter: true,
-            ..Default::default()
-        },
-    );
-    let no_tf = engine.search_opts(
-        &q,
-        tau,
-        SearchOptions {
-            verify: VerifyMode::Trie,
-            temporal: Some(constraint),
-            temporal_filter: false,
-            ..Default::default()
-        },
-    );
+    let tf = engine
+        .run(
+            &Query::threshold(q.clone(), tau)
+                .verify(VerifyMode::Trie)
+                .temporal(constraint)
+                .temporal_filter(true)
+                .build()
+                .expect("valid query"),
+        )
+        .expect("run");
+    let no_tf = engine
+        .run(
+            &Query::threshold(q.clone(), tau)
+                .verify(VerifyMode::Trie)
+                .temporal(constraint)
+                .temporal_filter(false)
+                .build()
+                .expect("valid query"),
+        )
+        .expect("run");
 
     assert_eq!(
         tf.matches.len(),
@@ -82,7 +82,13 @@ fn main() {
     }
 
     // Without the temporal constraint there are at least as many matches.
-    let unconstrained = engine.search(&q, tau);
+    let unconstrained = engine
+        .run(
+            &Query::threshold(q.clone(), tau)
+                .build()
+                .expect("valid query"),
+        )
+        .expect("run");
     assert!(unconstrained.matches.len() >= tf.matches.len());
     println!(
         "without temporal constraint: {} matches",

@@ -15,7 +15,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use traj::edges::store_to_edges;
 use traj::TripConfig;
-use trajsearch_core::SearchEngine;
+use trajsearch_core::{EngineBuilder, Query};
 use wed::models::Surs;
 use wed::WedInstance;
 
@@ -29,7 +29,7 @@ fn main() {
     // SURS works on the edge representation: road segments with lengths.
     let edge_store = store_to_edges(&net, &store);
     let surs = Surs::new(net.clone());
-    let engine = SearchEngine::new(&surs, &edge_store, net.num_edges());
+    let engine = EngineBuilder::new(&surs, &edge_store, net.num_edges()).build();
 
     // Query: a 15-edge stretch of a stored trip.
     let probe = edge_store.get(17);
@@ -37,14 +37,26 @@ fn main() {
     let total_cost: f64 = q.iter().map(|&s| surs.lower_cost(s)).sum();
 
     // Exact matches (tau -> 0+): usually sparse.
-    let exact = engine.search(&q, 1e-9_f64.max(total_cost * 1e-6));
+    let exact = engine
+        .run(
+            &Query::threshold(q.clone(), 1e-9_f64.max(total_cost * 1e-6))
+                .build()
+                .expect("valid query"),
+        )
+        .expect("run");
     let mut exact_ids: Vec<u32> = exact.matches.iter().map(|m| m.id).collect();
     exact_ids.dedup();
     println!("exact matches: {} subtrajectories", exact.matches.len());
 
     // Similar matches: allow 10% of the query's road length to differ.
     let tau = 0.10 * total_cost;
-    let out = engine.search(&q, tau);
+    let out = engine
+        .run(
+            &Query::threshold(q.clone(), tau)
+                .build()
+                .expect("valid query"),
+        )
+        .expect("run");
     println!(
         "similar matches (tau = 10% of path length): {}",
         out.matches.len()

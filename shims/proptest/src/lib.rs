@@ -10,8 +10,8 @@
 //! * **No shrinking.** A failing case panics with the generated inputs
 //!   printed verbatim; cases are generated from a deterministic per-test
 //!   seed, so failures reproduce exactly on re-run.
-//! * **Case counts are CI-tunable.** [`ProptestConfig::with_cases`] and
-//!   [`ProptestConfig::default`] both honor the `PROPTEST_CASES` environment
+//! * **Case counts are CI-tunable.** [`test_runner::ProptestConfig::with_cases`]
+//!   and `ProptestConfig::default` both honor the `PROPTEST_CASES` environment
 //!   variable, which overrides the in-source count (upstream behavior, and
 //!   what CI uses to keep the suites fast).
 
@@ -197,7 +197,7 @@ pub mod collection {
     use rand_chacha::ChaCha8Rng;
     use std::ops::Range;
 
-    /// Length bounds for [`vec`], half-open like upstream's `SizeRange`.
+    /// Length bounds for [`vec()`], half-open like upstream's `SizeRange`.
     #[derive(Clone, Debug)]
     pub struct SizeRange {
         start: usize,
@@ -231,7 +231,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         elem: S,
         size: SizeRange,

@@ -12,7 +12,8 @@
 //! * [`wed`] — weighted edit distance: cost models, DP, Smith–Waterman.
 //! * [`core`] (`trajsearch_core`) — the OSF filter-and-verify engine.
 //! * [`baselines`] — competitor methods from the paper's evaluation.
-//! * [`bench`] (`trajsearch_bench`) — the table/figure experiment harness.
+//! * [`mod@bench`] (`trajsearch_bench`) — the table/figure experiment
+//!   harness.
 //!
 //! This package also owns the repo-level integration tests (`tests/`) and
 //! runnable examples (`examples/`); see the README for the tour.
@@ -24,13 +25,19 @@ pub use trajsearch_bench as bench;
 pub use trajsearch_core as core;
 pub use wed;
 
-/// Convenience re-exports of the types most programs start from.
+/// Convenience re-exports of the types most programs start from: build an
+/// engine with [`EngineBuilder`](trajsearch_core::EngineBuilder), describe
+/// the request with [`Query`](trajsearch_core::Query), answer it with
+/// [`SearchEngine::run`](trajsearch_core::SearchEngine::run) /
+/// [`run_batch`](trajsearch_core::SearchEngine::run_batch).
 pub mod prelude {
     pub use rnet::{CityParams, NetworkKind, RoadNetwork};
     pub use traj::{Trajectory, TrajectoryStore, TripConfig};
     pub use trajsearch_core::{
-        BatchOptions, InvertedIndex, PostingSource, SearchEngine, SearchOptions, ShardedIndex,
+        AnyIndex, BatchOptions, BatchResponse, EngineBuilder, IndexLayout, InvertedIndex,
+        Objective, Parallelism, PostingSource, Query, QueryBuilder, QueryError, Response,
+        SearchEngine, ShardedIndex, TemporalConstraint, TimeInterval, VerifyMode,
     };
-    pub use wed::models::{Edr, Erp, Lev, NetEdr, NetErp, Surs};
+    pub use wed::models::{Edr, Erp, Lev, Memo, NetEdr, NetErp, Surs};
     pub use wed::{CostModel, Sym, WedInstance};
 }

@@ -5,8 +5,7 @@
 
 use baselines::{naive_search, plain_sw_search, Dison, Torch};
 use trajsearch_bench::data::{Dataset, FuncKind};
-use trajsearch_core::{SearchEngine, SearchOptions, VerifyMode};
-use wed::WedInstance;
+use trajsearch_core::{EngineBuilder, Query, VerifyMode};
 
 fn keys(ms: &[trajsearch_core::MatchResult]) -> Vec<(u32, usize, usize)> {
     ms.iter().map(|m| (m.id, m.start, m.end)).collect()
@@ -15,7 +14,7 @@ fn keys(ms: &[trajsearch_core::MatchResult]) -> Vec<(u32, usize, usize)> {
 fn check_function(d: &Dataset, func: FuncKind, qlen: usize, ratios: &[f64]) {
     let model = d.model(func);
     let (store, alphabet) = d.store_for(func);
-    let engine: SearchEngine<'_, &dyn WedInstance> = SearchEngine::new(&*model, store, alphabet);
+    let engine = EngineBuilder::new(&*model, store, alphabet).build();
     let dison = Dison::new(&*model, store, alphabet, VerifyMode::Trie);
     let torch = Torch::new(&*model, store, alphabet, VerifyMode::Trie);
 
@@ -27,14 +26,14 @@ fn check_function(d: &Dataset, func: FuncKind, qlen: usize, ratios: &[f64]) {
                 keys(&m)
             };
             for mode in [VerifyMode::Trie, VerifyMode::Local, VerifyMode::Sw] {
-                let out = engine.search_opts(
-                    q,
-                    tau,
-                    SearchOptions {
-                        verify: mode,
-                        ..Default::default()
-                    },
-                );
+                let out = engine
+                    .run(
+                        &Query::threshold(q.clone(), tau)
+                            .verify(mode)
+                            .build()
+                            .unwrap(),
+                    )
+                    .unwrap();
                 assert_eq!(
                     keys(&out.matches),
                     reference,
@@ -86,11 +85,12 @@ fn engine_equals_naive_oracle_on_small_store() {
     let small = d.store.prefix(15);
     for func in [FuncKind::Lev, FuncKind::Edr, FuncKind::Erp] {
         let model = d.model(func);
-        let engine: SearchEngine<'_, &dyn WedInstance> =
-            SearchEngine::new(&*model, &small, d.net.num_vertices());
+        let engine = EngineBuilder::new(&*model, &small, d.net.num_vertices()).build();
         for q in d.sample_queries(func, 5, 3, 888) {
             let tau = d.tau_for(&*model, &q, 0.3);
-            let got = engine.search(&q, tau);
+            let got = engine
+                .run(&Query::threshold(q.clone(), tau).build().unwrap())
+                .unwrap();
             let want = naive_search(&&*model, &small, &q, tau);
             assert_eq!(keys(&got.matches), keys(&want), "{} vs naive", func.name());
             for (g, w) in got.matches.iter().zip(&want) {
@@ -106,13 +106,14 @@ fn qgram_matches_engine_for_unit_cost_models() {
     for func in [FuncKind::Lev, FuncKind::Edr] {
         let model = d.model(func);
         let (store, alphabet) = d.store_for(func);
-        let engine: SearchEngine<'_, &dyn WedInstance> =
-            SearchEngine::new(&*model, store, alphabet);
+        let engine = EngineBuilder::new(&*model, store, alphabet).build();
         let qg = baselines::QGramIndex::new(&*model, store, 3);
         for q in d.sample_queries(func, 8, 3, 999) {
             let tau = d.tau_for(&*model, &q, 0.2);
             let got = qg.search(&q, tau);
-            let want = engine.search(&q, tau);
+            let want = engine
+                .run(&Query::threshold(q.clone(), tau).build().unwrap())
+                .unwrap();
             assert_eq!(
                 keys(&got.0),
                 keys(&want.matches),

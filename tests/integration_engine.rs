@@ -9,9 +9,8 @@ use std::sync::Arc;
 use traj::generator::random_walk;
 use traj::{Trajectory, TrajectoryStore, TripConfig};
 use trajsearch_bench::data::{Dataset, FuncKind};
-use trajsearch_core::{SearchEngine, SearchOptions, TemporalConstraint, TimeInterval, VerifyMode};
+use trajsearch_core::{EngineBuilder, Query, TemporalConstraint, TimeInterval, VerifyMode};
 use wed::models::Lev;
-use wed::WedInstance;
 
 /// Plants noisy copies of a query inside longer trajectories and checks the
 /// engine finds every planted occurrence at the right positions.
@@ -46,8 +45,11 @@ fn planted_occurrences_are_found() {
         store.push(Trajectory::untimed(random_walk(&net, &mut rng, start, 25)));
     }
 
-    let engine = SearchEngine::new(&Lev, &store, net.num_vertices());
-    let out = engine.search(&motif, 1.0); // exact occurrences only
+    let engine = EngineBuilder::new(&Lev, &store, net.num_vertices()).build();
+    // exact occurrences only
+    let out = engine
+        .run(&Query::threshold(motif.clone(), 1.0).build().unwrap())
+        .unwrap();
     for (id, at) in &planted {
         assert!(
             out.matches
@@ -63,12 +65,14 @@ fn threshold_is_strict_and_monotone() {
     let d = Dataset::test_tiny();
     let model = d.model(FuncKind::Edr);
     let (store, alphabet) = d.store_for(FuncKind::Edr);
-    let engine: SearchEngine<'_, &dyn WedInstance> = SearchEngine::new(&*model, store, alphabet);
+    let engine = EngineBuilder::new(&*model, store, alphabet).build();
     let q = d.sample_queries(FuncKind::Edr, 8, 1, 3).pop().unwrap();
     let mut last = 0usize;
     for ratio in [0.05, 0.1, 0.2, 0.4] {
         let tau = d.tau_for(&*model, &q, ratio);
-        let out = engine.search(&q, tau);
+        let out = engine
+            .run(&Query::threshold(q.clone(), tau).build().unwrap())
+            .unwrap();
         assert!(out.matches.len() >= last, "results must grow with tau");
         for m in &out.matches {
             assert!(
@@ -89,7 +93,7 @@ fn temporal_strategies_agree_and_prune() {
         .lengths(10, 40)
         .seed(21)
         .generate(&net);
-    let engine = SearchEngine::new(&Lev, &store, net.num_vertices());
+    let engine = EngineBuilder::new(&Lev, &store, net.num_vertices()).build();
     let q = store.get(5).subpath(2, 9).to_vec();
 
     let (mut tmin, mut tmax) = (f64::INFINITY, f64::NEG_INFINITY);
@@ -99,26 +103,26 @@ fn temporal_strategies_agree_and_prune() {
     }
     for frac in [0.05, 0.25, 1.0] {
         let c = TemporalConstraint::overlaps(TimeInterval::new(tmin, tmin + frac * (tmax - tmin)));
-        let tf = engine.search_opts(
-            &q,
-            2.0,
-            SearchOptions {
-                verify: VerifyMode::Trie,
-                temporal: Some(c),
-                temporal_filter: true,
-                ..Default::default()
-            },
-        );
-        let no_tf = engine.search_opts(
-            &q,
-            2.0,
-            SearchOptions {
-                verify: VerifyMode::Trie,
-                temporal: Some(c),
-                temporal_filter: false,
-                ..Default::default()
-            },
-        );
+        let tf = engine
+            .run(
+                &Query::threshold(q.clone(), 2.0)
+                    .verify(VerifyMode::Trie)
+                    .temporal(c)
+                    .temporal_filter(true)
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+        let no_tf = engine
+            .run(
+                &Query::threshold(q.clone(), 2.0)
+                    .verify(VerifyMode::Trie)
+                    .temporal(c)
+                    .temporal_filter(false)
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
         assert_eq!(
             tf.matches, no_tf.matches,
             "TF and no-TF must agree at frac={frac}"
@@ -140,29 +144,29 @@ fn within_predicate_is_stricter_than_overlap() {
         .lengths(10, 40)
         .seed(22)
         .generate(&net);
-    let engine = SearchEngine::new(&Lev, &store, net.num_vertices());
+    let engine = EngineBuilder::new(&Lev, &store, net.num_vertices()).build();
     let q = store.get(3).subpath(1, 8).to_vec();
     let interval = TimeInterval::new(0.0, 43_200.0); // first half day
-    let overlap = engine.search_opts(
-        &q,
-        2.0,
-        SearchOptions {
-            verify: VerifyMode::Trie,
-            temporal: Some(TemporalConstraint::overlaps(interval)),
-            temporal_filter: true,
-            ..Default::default()
-        },
-    );
-    let within = engine.search_opts(
-        &q,
-        2.0,
-        SearchOptions {
-            verify: VerifyMode::Trie,
-            temporal: Some(TemporalConstraint::within(interval)),
-            temporal_filter: true,
-            ..Default::default()
-        },
-    );
+    let overlap = engine
+        .run(
+            &Query::threshold(q.clone(), 2.0)
+                .verify(VerifyMode::Trie)
+                .temporal(TemporalConstraint::overlaps(interval))
+                .temporal_filter(true)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+    let within = engine
+        .run(
+            &Query::threshold(q.clone(), 2.0)
+                .verify(VerifyMode::Trie)
+                .temporal(TemporalConstraint::within(interval))
+                .temporal_filter(true)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
     assert!(within.matches.len() <= overlap.matches.len());
     for m in &within.matches {
         assert!(overlap.matches.contains(m), "within ⊆ overlap violated");
@@ -179,8 +183,11 @@ fn temporal_postings_extension_is_equivalent() {
         .lengths(10, 40)
         .seed(33)
         .generate(&net);
-    let plain = SearchEngine::new(&Lev, &store, net.num_vertices());
-    let temporal = SearchEngine::with_temporal_postings(&Lev, &store, net.num_vertices());
+    use trajsearch_core::PostingSource;
+    let plain = EngineBuilder::new(&Lev, &store, net.num_vertices()).build();
+    let temporal = EngineBuilder::new(&Lev, &store, net.num_vertices())
+        .temporal_postings(true)
+        .build();
     assert!(temporal.index().has_temporal_postings());
 
     let (mut tmin, mut tmax) = (f64::INFINITY, f64::NEG_INFINITY);
@@ -191,26 +198,27 @@ fn temporal_postings_extension_is_equivalent() {
     for (qi, frac) in [(2u32, 0.02), (9, 0.1), (23, 0.5)] {
         let q = store.get(qi).subpath(1, 9).to_vec();
         let c = TemporalConstraint::overlaps(TimeInterval::new(tmin, tmin + frac * (tmax - tmin)));
-        let base = plain.search_opts(
-            &q,
-            2.0,
-            SearchOptions {
-                verify: VerifyMode::Trie,
-                temporal: Some(c),
-                temporal_filter: true,
-                ..Default::default()
-            },
-        );
-        let fast = temporal.search_opts(
-            &q,
-            2.0,
-            SearchOptions {
-                verify: VerifyMode::Trie,
-                temporal: Some(c),
-                temporal_filter: false, // already pruned at generation
-                use_temporal_postings: true,
-            },
-        );
+        let base = plain
+            .run(
+                &Query::threshold(q.clone(), 2.0)
+                    .verify(VerifyMode::Trie)
+                    .temporal(c)
+                    .temporal_filter(true)
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+        let fast = temporal
+            .run(
+                &Query::threshold(q.clone(), 2.0)
+                    .verify(VerifyMode::Trie)
+                    .temporal(c)
+                    // already pruned at generation, so no TF pass
+                    .temporal_postings(true)
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
         assert_eq!(base.matches, fast.matches, "frac={frac}");
         assert!(
             fast.stats.candidates <= base.stats.candidates,
@@ -224,14 +232,19 @@ fn top_k_agrees_with_exhaustive_ranking() {
     let d = Dataset::test_tiny();
     let model = d.model(FuncKind::Edr);
     let (store, alphabet) = d.store_for(FuncKind::Edr);
-    let engine: SearchEngine<'_, &dyn WedInstance> = SearchEngine::new(&*model, store, alphabet);
+    let engine = EngineBuilder::new(&*model, store, alphabet).build();
     let q = d.sample_queries(FuncKind::Edr, 8, 1, 6).pop().unwrap();
     let max_tau = q.len() as f64 + 1.0;
     let k = 5;
-    let top = engine.search_top_k(&q, k, 0.5, max_tau);
+    let top = engine
+        .run(&Query::top_k(q.clone(), k, 0.5, max_tau).build().unwrap())
+        .unwrap()
+        .ranked();
     assert!(top.len() <= k);
     // Oracle: best distance per trajectory by exhaustive threshold search.
-    let all = engine.search(&q, max_tau);
+    let all = engine
+        .run(&Query::threshold(q.clone(), max_tau).build().unwrap())
+        .unwrap();
     let best = trajsearch_core::per_trajectory_best(&all.matches);
     let mut oracle: Vec<f64> = best.values().map(|m| m.dist).collect();
     oracle.sort_by(f64::total_cmp);
@@ -253,11 +266,12 @@ fn fallback_scan_equals_filtered_search_semantics() {
     let d = Dataset::test_tiny();
     let model = d.model(FuncKind::Erp);
     let small = d.store.prefix(10);
-    let engine: SearchEngine<'_, &dyn WedInstance> =
-        SearchEngine::new(&*model, &small, d.net.num_vertices());
+    let engine = EngineBuilder::new(&*model, &small, d.net.num_vertices()).build();
     let q = d.sample_queries(FuncKind::Erp, 5, 1, 4).pop().unwrap();
     let tau = 1e12;
-    let out = engine.search(&q, tau);
+    let out = engine
+        .run(&Query::threshold(q.clone(), tau).build().unwrap())
+        .unwrap();
     assert!(out.stats.fallback);
     let (want, _) = baselines::plain_sw_search(&&*model, &small, &q, tau);
     assert_eq!(out.matches.len(), want.len());
@@ -268,10 +282,12 @@ fn stats_are_internally_consistent() {
     let d = Dataset::test_tiny();
     let model = d.model(FuncKind::Edr);
     let (store, alphabet) = d.store_for(FuncKind::Edr);
-    let engine: SearchEngine<'_, &dyn WedInstance> = SearchEngine::new(&*model, store, alphabet);
+    let engine = EngineBuilder::new(&*model, store, alphabet).build();
     for q in d.sample_queries(FuncKind::Edr, 10, 5, 5) {
         let tau = d.tau_for(&*model, &q, 0.2);
-        let out = engine.search(&q, tau);
+        let out = engine
+            .run(&Query::threshold(q.clone(), tau).build().unwrap())
+            .unwrap();
         let s = &out.stats;
         assert_eq!(s.results, out.matches.len());
         assert!(s.stepdp_calls <= s.columns_passed);

@@ -9,9 +9,8 @@ use std::sync::Arc;
 use traj::mapmatch::{noisy_trace, MapMatcher};
 use traj::{Trajectory, TrajectoryStore, TripConfig};
 use trajsearch_bench::data::{Dataset, FuncKind};
-use trajsearch_core::SearchEngine;
+use trajsearch_core::{EngineBuilder, Query};
 use wed::models::Lev;
-use wed::WedInstance;
 
 /// GPS traces with noise are map-matched into a database; searching for a
 /// clean stretch of the original route must find the matched trajectory.
@@ -45,13 +44,19 @@ fn gps_to_search_pipeline() {
         store.len()
     );
 
-    let engine = SearchEngine::new(&Lev, &store, net.num_vertices());
+    let engine = EngineBuilder::new(&Lev, &store, net.num_vertices()).build();
     let mut found = 0;
     for (truth, matched) in truths.iter().zip(&matched_of) {
         let Some(id) = matched else { continue };
         // Query: the middle stretch of the ground truth.
         let q = &truth[5..15.min(truth.len())];
-        let out = engine.search(q, (q.len() as f64 * 0.5).max(1.0));
+        let out = engine
+            .run(
+                &Query::threshold(q.to_vec(), (q.len() as f64 * 0.5).max(1.0))
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
         if out.matches.iter().any(|m| m.id == *id) {
             found += 1;
         }
@@ -70,16 +75,18 @@ fn gps_to_search_pipeline() {
 fn representation_consistency() {
     let d = Dataset::test_tiny();
     let lev = d.model(FuncKind::Lev);
-    let vertex_engine: SearchEngine<'_, &dyn WedInstance> =
-        SearchEngine::new(&*lev, &d.store, d.net.num_vertices());
-    let edge_engine: SearchEngine<'_, &dyn WedInstance> =
-        SearchEngine::new(&*lev, &d.edge_store, d.net.num_edges());
+    let vertex_engine = EngineBuilder::new(&*lev, &d.store, d.net.num_vertices()).build();
+    let edge_engine = EngineBuilder::new(&*lev, &d.edge_store, d.net.num_edges()).build();
 
     for qv in d.sample_queries(FuncKind::Lev, 6, 5, 31) {
         let qe = d.net.path_to_edges(&qv).expect("query is a path");
         // Exact matches only (tau < 1 under unit costs).
-        let vm = vertex_engine.search(&qv, 0.5);
-        let em = edge_engine.search(&qe, 0.5);
+        let vm = vertex_engine
+            .run(&Query::threshold(qv.clone(), 0.5).build().unwrap())
+            .unwrap();
+        let em = edge_engine
+            .run(&Query::threshold(qe.clone(), 0.5).build().unwrap())
+            .unwrap();
         // Every edge-space exact occurrence implies the vertex-space one.
         for m in &em.matches {
             assert!(
@@ -134,14 +141,16 @@ fn self_retrieval_of_every_sampled_query() {
         .lengths(12, 40)
         .seed(3)
         .generate(&net);
-    let engine = SearchEngine::new(&Lev, &store, net.num_vertices());
+    let engine = EngineBuilder::new(&Lev, &store, net.num_vertices()).build();
     let mut rng = ChaCha8Rng::seed_from_u64(123);
     for _ in 0..20 {
         let id = rng.gen_range(0..store.len() as u32);
         let t = store.get(id);
         let s = rng.gen_range(0..t.len() - 8);
         let q = t.subpath(s, s + 7).to_vec();
-        let out = engine.search(&q, 1.0);
+        let out = engine
+            .run(&Query::threshold(q.clone(), 1.0).build().unwrap())
+            .unwrap();
         assert!(
             out.matches
                 .iter()

@@ -12,7 +12,7 @@ use rnet::{CityParams, NetworkKind, RoadNetwork};
 use std::sync::Arc;
 use traj::{Trajectory, TrajectoryStore};
 use trajsearch_core::mincand::{min_cand, min_cand_exhaustive, objective, Item, Selection};
-use trajsearch_core::SearchEngine;
+use trajsearch_core::{EngineBuilder, Query};
 use wed::models::{Edr, Lev};
 use wed::{wed, CostModel, Sym, WedInstance};
 
@@ -97,8 +97,10 @@ proptest! {
     ) {
         let tau = tau_i as f64;
         let store: TrajectoryStore = paths.iter().cloned().map(Trajectory::untimed).collect();
-        let engine = SearchEngine::new(&Lev, &store, 10);
-        let got = engine.search(&q, tau);
+        let engine = EngineBuilder::new(&Lev, &store, 10).build();
+        let got = engine
+            .run(&Query::threshold(q.clone(), tau).build().unwrap())
+            .unwrap();
         let mut want = Vec::new();
         for (id, t) in store.iter() {
             let p = t.path();
@@ -153,9 +155,13 @@ proptest! {
         q in proptest::collection::vec(0u32..8, 1..5),
     ) {
         let store: TrajectoryStore = paths.iter().cloned().map(Trajectory::untimed).collect();
-        let engine = SearchEngine::new(&Lev, &store, 8);
-        let small = engine.search(&q, 1.0);
-        let large = engine.search(&q, 2.5);
+        let engine = EngineBuilder::new(&Lev, &store, 8).build();
+        let small = engine
+            .run(&Query::threshold(q.clone(), 1.0).build().unwrap())
+            .unwrap();
+        let large = engine
+            .run(&Query::threshold(q.clone(), 2.5).build().unwrap())
+            .unwrap();
         let large_keys: std::collections::HashSet<_> =
             large.matches.iter().map(|m| (m.id, m.start, m.end)).collect();
         for m in &small.matches {

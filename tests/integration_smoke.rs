@@ -11,7 +11,7 @@ use baselines::naive_search;
 use rnet::{CityParams, NetworkKind};
 use std::sync::Arc;
 use traj::TripConfig;
-use trajsearch_core::{MatchResult, SearchEngine, SearchOptions, VerifyMode};
+use trajsearch_core::{EngineBuilder, MatchResult, Query, VerifyMode};
 use wed::models::{Edr, Lev};
 
 fn keys(ms: &[MatchResult]) -> Vec<(u32, usize, usize)> {
@@ -39,23 +39,23 @@ fn engine_matches_naive_oracle_on_tiny_city() {
         .collect();
     queries.push(vec![0, 2, 4, 6, 8]);
 
-    let lev_engine = SearchEngine::new(&Lev, &store, net.num_vertices());
+    let lev_engine = EngineBuilder::new(&Lev, &store, net.num_vertices()).build();
     let edr = Edr::new(net.clone(), 120.0);
-    let edr_engine = SearchEngine::new(&edr, &store, net.num_vertices());
+    let edr_engine = EngineBuilder::new(&edr, &store, net.num_vertices()).build();
 
     let mut total_matches = 0usize;
     for q in &queries {
         for tau in [1.0, 2.5] {
             let expected = keys(&naive_search(&Lev, &store, q, tau));
             for mode in [VerifyMode::Trie, VerifyMode::Local, VerifyMode::Sw] {
-                let out = lev_engine.search_opts(
-                    q,
-                    tau,
-                    SearchOptions {
-                        verify: mode,
-                        ..Default::default()
-                    },
-                );
+                let out = lev_engine
+                    .run(
+                        &Query::threshold(q.clone(), tau)
+                            .verify(mode)
+                            .build()
+                            .unwrap(),
+                    )
+                    .unwrap();
                 assert_eq!(
                     keys(&out.matches),
                     expected,
@@ -65,7 +65,9 @@ fn engine_matches_naive_oracle_on_tiny_city() {
             total_matches += expected.len();
 
             let expected_edr = keys(&naive_search(&edr, &store, q, tau));
-            let out = edr_engine.search(q, tau);
+            let out = edr_engine
+                .run(&Query::threshold(q.clone(), tau).build().unwrap())
+                .unwrap();
             assert_eq!(
                 keys(&out.matches),
                 expected_edr,
