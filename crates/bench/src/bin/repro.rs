@@ -26,6 +26,9 @@
 //!   api      mixed threshold/top-k/temporal workload through the unified
 //!               Query/Response API at 1/2/4/8 threads, queries arriving
 //!               over their JSON wire format (also writes BENCH_api.json)
+//!   serve    mixed threshold/top-k workload through the loopback TCP
+//!               front-end (trajsearch-serve) at 1/2/4 workers vs
+//!               in-process run_batch (also writes BENCH_serve.json)
 //!   all      everything above
 //! ```
 //!
@@ -84,7 +87,7 @@ fn parse_args() -> Args {
 
 fn print_usage() {
     eprintln!(
-        "usage: repro <table2|fig4|table3|fig5|fig6|fig7|fig8|fig9|fig10|table4|table5|table6|fig11|fig12|fig13|throughput|index-build|api|all> [--scale S] [--queries N] [--min-speedup X]"
+        "usage: repro <table2|fig4|table3|fig5|fig6|fig7|fig8|fig9|fig10|table4|table5|table6|fig11|fig12|fig13|throughput|index-build|api|serve|all> [--scale S] [--queries N] [--min-speedup X]"
     );
 }
 
@@ -279,6 +282,22 @@ fn main() {
             .unwrap_or_else(|e| panic!("could not write {path}: {e}"));
         eprintln!("wrote {path}");
     }
+    if all || exp == "serve" {
+        let rows = serve_load::run(
+            "beijing",
+            FuncKind::Edr,
+            &[1, 2, 4],
+            60,
+            nq.max(9),
+            0.1,
+            scale,
+        );
+        serve_load::print(&rows);
+        let path = "BENCH_serve.json";
+        serve_load::write_json(&rows, path)
+            .unwrap_or_else(|e| panic!("could not write {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
     if !all
         && ![
             "table2",
@@ -299,6 +318,7 @@ fn main() {
             "throughput",
             "index-build",
             "api",
+            "serve",
         ]
         .contains(&exp)
     {

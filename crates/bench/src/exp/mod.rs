@@ -3,7 +3,9 @@
 //! batch engine's queries/sec scaling; [`index_build`]: sharded index
 //! construction time vs shard count; [`api_workload`]: a mixed
 //! threshold/top-k/temporal workload through the unified `run_batch`,
-//! queries arriving over their JSON wire format).
+//! queries arriving over their JSON wire format; [`serve_load`]: the same
+//! style of workload through the `trajsearch-serve` TCP front-end vs
+//! in-process execution).
 //!
 //! Each module exposes a `run_*` function returning plain rows plus a
 //! `print_*` helper; the `repro` binary wires them to subcommands. The
@@ -24,6 +26,13 @@ pub(crate) fn host_cpus() -> usize {
 /// environment is offline, no serde): experiment name, unit, `host_cpus`,
 /// and a `rows` array of pre-rendered JSON objects. Keeping one writer
 /// guarantees every dump stays consumable by the same CI trend tooling.
+///
+/// Every write also appends a timestamped single-line copy to
+/// `BENCH_history.jsonl` next to `path` and prints a delta against the
+/// previous entry of the same experiment when one exists, so regressions
+/// are visible *across* runs, not just within one (ROADMAP "throughput
+/// trend tracking"). History failures are warnings, never errors — trend
+/// tracking must not fail a benchmark run.
 pub(crate) fn write_bench_json(
     path: &str,
     experiment: &str,
@@ -42,7 +51,118 @@ pub(crate) fn write_bench_json(
     }
     writeln!(f, "  ]")?;
     writeln!(f, "}}")?;
+    if let Err(e) = track_history(path, experiment, unit, rows) {
+        eprintln!(
+            "warning: could not update {}: {e}",
+            history_path(path).display()
+        );
+    }
     Ok(())
+}
+
+/// The history file lives next to the dump it tracks (so tests writing to
+/// temp directories never touch the repo's history).
+fn history_path(bench_path: &str) -> std::path::PathBuf {
+    std::path::Path::new(bench_path).with_file_name("BENCH_history.jsonl")
+}
+
+/// Appends this run to the history and prints a delta vs the previous
+/// entry for the same experiment, when present.
+fn track_history(
+    bench_path: &str,
+    experiment: &str,
+    unit: &str,
+    rows: &[String],
+) -> std::io::Result<()> {
+    use trajsearch_core::json::JsonValue;
+
+    let path = history_path(bench_path);
+    // Previous entry: the last well-formed line for this experiment.
+    let previous: Option<JsonValue> = std::fs::read_to_string(&path).ok().and_then(|text| {
+        text.lines()
+            .rev()
+            .filter_map(|line| JsonValue::parse(line).ok())
+            .find(|v| v.get("experiment").and_then(|e| e.as_str()) == Some(experiment))
+    });
+
+    let ts = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let line = format!(
+        "{{\"ts\": {ts}, \"experiment\": \"{experiment}\", \"unit\": \"{unit}\", \
+         \"host_cpus\": {}, \"rows\": [{}]}}",
+        host_cpus(),
+        rows.join(", ")
+    );
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)?;
+    writeln!(f, "{line}")?;
+
+    if let Some(previous) = previous {
+        print_history_delta(experiment, &previous, rows);
+    }
+    Ok(())
+}
+
+/// Prints the per-row numeric deltas (≥ 1% change) against the previous
+/// history entry. Row order is positional: every experiment emits its rows
+/// in a fixed sweep order, so index `i` compares like with like.
+fn print_history_delta(
+    experiment: &str,
+    previous: &trajsearch_core::json::JsonValue,
+    rows: &[String],
+) {
+    use trajsearch_core::json::JsonValue;
+
+    let prev_ts = previous.get("ts").and_then(|v| v.as_u64()).unwrap_or(0);
+    let prev_cpus = previous.get("host_cpus").and_then(|v| v.as_u64());
+    let empty = Vec::new();
+    let prev_rows = previous
+        .get("rows")
+        .and_then(|v| v.as_arr())
+        .unwrap_or(&empty);
+    let mut lines: Vec<String> = Vec::new();
+    for (i, row) in rows.iter().enumerate() {
+        let (Ok(JsonValue::Obj(pairs)), Some(prev_row)) = (JsonValue::parse(row), prev_rows.get(i))
+        else {
+            continue;
+        };
+        for (key, value) in &pairs {
+            let (Some(new), Some(old)) =
+                (value.as_f64(), prev_row.get(key).and_then(|v| v.as_f64()))
+            else {
+                continue;
+            };
+            if old == 0.0 || new == old {
+                continue;
+            }
+            let pct = (new - old) / old * 100.0;
+            if pct.abs() >= 1.0 {
+                lines.push(format!(
+                    "  row {i} {key}: {old:.3} -> {new:.3} ({pct:+.1}%)"
+                ));
+            }
+        }
+    }
+    if let Some(prev_cpus) = prev_cpus {
+        if prev_cpus != host_cpus() as u64 {
+            lines.push(format!(
+                "  (host_cpus changed: {prev_cpus} -> {}; timing deltas are not comparable)",
+                host_cpus()
+            ));
+        }
+    }
+    if lines.is_empty() {
+        eprintln!("trend {experiment}: no numeric change >= 1% vs previous run (ts {prev_ts})");
+    } else {
+        eprintln!("trend {experiment}: delta vs previous run (ts {prev_ts}):");
+        for line in lines.iter().take(40) {
+            eprintln!("{line}");
+        }
+    }
 }
 
 pub mod api_workload;
@@ -52,6 +172,7 @@ pub mod eta;
 pub mod index_build;
 pub mod naturalness;
 pub mod query_time;
+pub mod serve_load;
 pub mod table2;
 pub mod table6;
 pub mod temporal;

@@ -1,0 +1,253 @@
+//! End-to-end serving throughput (`repro serve`): the network front-end
+//! (`trajsearch-serve`) vs in-process `run_batch` on the same workload.
+//!
+//! A real loopback TCP server is started on an ephemeral port with 1/2/4…
+//! workers; a [`Client`] pipelines a mixed threshold/top-k workload through
+//! one connection; every served `Response` is checked byte-identical
+//! (matches) against the in-process reference, so the measurement doubles
+//! as the serve-smoke correctness gate in CI. The dump (`BENCH_serve.json`)
+//! uses the shared envelope; `net_overhead` (served wall / in-process wall
+//! at the same worker count) is the cost of the socket + framing + queue
+//! layer. As with every dump, `host_cpus` contextualizes flat speedups on
+//! small CI runners.
+
+use super::{host_cpus, write_bench_json};
+use crate::data::{Dataset, FuncKind, Scale};
+use crate::table::{fmt_ms, print_table};
+use std::time::Instant;
+use trajsearch_core::batch::BatchOptions;
+use trajsearch_core::{EngineBuilder, Query};
+use trajsearch_serve::{Client, Server, ServerConfig};
+
+/// One measured point: the workload through the server at one worker count,
+/// with the same-thread-count in-process run as the baseline.
+#[derive(Debug, Clone)]
+pub struct ServeRow {
+    pub dataset: String,
+    pub func: &'static str,
+    pub workers: usize,
+    pub queries: usize,
+    pub inproc_wall_ms: f64,
+    pub inproc_qps: f64,
+    pub served_wall_ms: f64,
+    pub served_qps: f64,
+    /// Served wall time over in-process wall time (socket+framing+queue
+    /// overhead factor; 1.0 would be a free network layer).
+    pub net_overhead: f64,
+    pub results: usize,
+    /// p99 wall latency (ns) reported by the server's own metrics.
+    pub p99_wall_ns: u64,
+}
+
+/// Mixed threshold/top-k workload, every query round-tripped through its
+/// wire form (the exact bytes a remote client would send).
+fn workload(
+    d: &Dataset,
+    func: FuncKind,
+    qlen: usize,
+    nqueries: usize,
+    tau_ratio: f64,
+) -> Vec<Query> {
+    let model = d.model(func);
+    d.sample_queries(func, qlen, nqueries, 31)
+        .into_iter()
+        .enumerate()
+        .map(|(i, q)| {
+            let tau = d.tau_for(&*model, &q, tau_ratio);
+            let query = match i % 3 {
+                0 | 1 => Query::threshold(q, tau).build(),
+                _ => Query::top_k(q, 5, tau, 4.0 * tau).build(),
+            }
+            .expect("workload queries are valid");
+            Query::from_json(&query.to_json()).expect("wire round-trip")
+        })
+        .collect()
+}
+
+/// Runs the workload in-process and through the loopback server at each
+/// worker count. Every served response must match the in-process reference.
+pub fn run(
+    which: &str,
+    func: FuncKind,
+    workers: &[usize],
+    qlen: usize,
+    nqueries: usize,
+    tau_ratio: f64,
+    scale: Scale,
+) -> Vec<ServeRow> {
+    let d = Dataset::load(which, scale);
+    let model = d.model(func);
+    let (store, alphabet) = d.store_for(func);
+    let engine = EngineBuilder::new(&*model, store, alphabet).build();
+    let workload = workload(&d, func, qlen, nqueries, tau_ratio);
+
+    // Warm-up pass; doubles as the correctness reference.
+    let reference = engine
+        .run_batch(&workload, BatchOptions::with_threads(1))
+        .expect("workload admitted");
+
+    let mut rows = Vec::with_capacity(workers.len());
+    for &w in workers {
+        // In-process baseline at the same parallelism.
+        let t0 = Instant::now();
+        let inproc = engine
+            .run_batch(&workload, BatchOptions::with_threads(w))
+            .expect("workload admitted");
+        let inproc_wall = t0.elapsed();
+        for (i, (got, want)) in inproc
+            .responses
+            .iter()
+            .zip(&reference.responses)
+            .enumerate()
+        {
+            assert_eq!(
+                got.matches, want.matches,
+                "in-process diverged on query {i}"
+            );
+        }
+
+        // The same workload through a real socket. The queue is sized to
+        // the workload: this experiment measures throughput, not admission
+        // control, so a `--queries` above the default capacity must not
+        // turn pipelined submissions into overload rejections.
+        let server = Server::bind(ServerConfig {
+            workers: w,
+            queue_capacity: workload.len().max(1024),
+            ..ServerConfig::default()
+        })
+        .expect("bind loopback server");
+        let handle = server.handle();
+        let (served_wall, p99_wall_ns) = std::thread::scope(|scope| {
+            let serving = scope.spawn(|| server.serve(&engine));
+            let mut client = Client::connect(handle.local_addr()).expect("connect");
+            let t0 = Instant::now();
+            let outcomes = client.query_batch(&workload).expect("pipelined batch");
+            let served_wall = t0.elapsed();
+            for (i, (got, want)) in outcomes.iter().zip(&reference.responses).enumerate() {
+                let got = got
+                    .as_ref()
+                    .unwrap_or_else(|e| panic!("served workload rejected query {i}: {e}"));
+                assert_eq!(got.matches, want.matches, "served diverged on query {i}");
+            }
+            handle.shutdown();
+            let metrics = serving.join().expect("serve thread").expect("serve ok");
+            assert_eq!(metrics.completed, workload.len() as u64);
+            assert_eq!(metrics.rejected_overload, 0);
+            assert_eq!(metrics.timed_out, 0);
+            (served_wall, metrics.wall.p99_ns)
+        });
+
+        let inproc_ms = inproc_wall.as_secs_f64() * 1e3;
+        let served_ms = served_wall.as_secs_f64() * 1e3;
+        rows.push(ServeRow {
+            dataset: d.name.to_string(),
+            func: func.name(),
+            workers: w,
+            queries: workload.len(),
+            inproc_wall_ms: inproc_ms,
+            inproc_qps: workload.len() as f64 / inproc_wall.as_secs_f64().max(1e-9),
+            served_wall_ms: served_ms,
+            served_qps: workload.len() as f64 / served_wall.as_secs_f64().max(1e-9),
+            net_overhead: served_ms / inproc_ms.max(1e-9),
+            results: inproc.stats.merged.results,
+            p99_wall_ns,
+        });
+    }
+    rows
+}
+
+pub fn print(rows: &[ServeRow]) {
+    println!(
+        "\nServing throughput: loopback TCP front-end vs in-process run_batch \
+         ({} host cpus)",
+        host_cpus()
+    );
+    print_table(
+        &[
+            "Dataset",
+            "Func",
+            "Workers",
+            "Queries",
+            "Inproc ms",
+            "Served ms",
+            "Inproc q/s",
+            "Served q/s",
+            "Overhead",
+            "p99 ms",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.dataset.clone(),
+                    r.func.to_string(),
+                    r.workers.to_string(),
+                    r.queries.to_string(),
+                    fmt_ms(r.inproc_wall_ms),
+                    fmt_ms(r.served_wall_ms),
+                    format!("{:.1}", r.inproc_qps),
+                    format!("{:.1}", r.served_qps),
+                    format!("{:.2}x", r.net_overhead),
+                    fmt_ms(r.p99_wall_ns as f64 / 1e6),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}
+
+/// Writes the rows in the shared `BENCH_*.json` envelope.
+pub fn write_json(rows: &[ServeRow], path: &str) -> std::io::Result<()> {
+    let rendered: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"dataset\": \"{}\", \"func\": \"{}\", \"workers\": {}, \
+                 \"queries\": {}, \"inproc_wall_ms\": {:.3}, \"served_wall_ms\": {:.3}, \
+                 \"inproc_qps\": {:.3}, \"served_qps\": {:.3}, \"net_overhead\": {:.3}, \
+                 \"results\": {}, \"p99_wall_ns\": {}}}",
+                r.dataset,
+                r.func,
+                r.workers,
+                r.queries,
+                r.inproc_wall_ms,
+                r.served_wall_ms,
+                r.inproc_qps,
+                r.served_qps,
+                r.net_overhead,
+                r.results,
+                r.p99_wall_ns
+            )
+        })
+        .collect();
+    write_bench_json(path, "serve", "queries_per_sec", &rendered)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn served_rows_agree_with_in_process() {
+        let rows = run("beijing", FuncKind::Lev, &[1, 2], 8, 6, 0.2, Scale(0.01));
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].workers, 1);
+        assert!(rows.iter().all(|r| r.queries == 6));
+        assert!(rows.iter().all(|r| r.served_qps > 0.0));
+        // Identical matches asserted inside run → identical result counts.
+        assert_eq!(rows[0].results, rows[1].results);
+    }
+
+    #[test]
+    fn json_dump_uses_shared_envelope() {
+        let rows = run("beijing", FuncKind::Lev, &[1], 8, 3, 0.2, Scale(0.01));
+        let path = std::env::temp_dir().join("trajsearch_serve_test.json");
+        let path = path.to_str().unwrap();
+        write_json(&rows, path).unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        std::fs::remove_file(path).ok();
+        assert!(text.contains("\"experiment\": \"serve\""));
+        assert!(text.contains("\"host_cpus\""));
+        assert!(text.contains("\"net_overhead\""));
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
+    }
+}

@@ -39,7 +39,7 @@ pub struct ThroughputRow {
     pub results: usize,
 }
 
-/// Runs the same workload through `search_batch` at each thread count.
+/// Runs the same workload through `run_batch` at each thread count.
 /// The 1-thread run doubles as the correctness reference: every other run
 /// must return identical matches.
 pub fn run(

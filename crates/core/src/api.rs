@@ -12,6 +12,7 @@
 //! type over a socket.
 
 use crate::batch::{BatchOptions, BatchStats};
+use crate::deadline::Deadline;
 use crate::index::{InvertedIndex, Posting, PostingSource};
 use crate::json::JsonValue;
 use crate::query::{Objective, Parallelism, Query, QueryError};
@@ -267,6 +268,13 @@ impl Response {
     /// Encodes the response for the wire; [`Response::from_json`] inverts
     /// it losslessly (distances bit-for-bit, durations in nanoseconds).
     pub fn to_json(&self) -> String {
+        self.to_value().to_string()
+    }
+
+    /// The document-model form of [`Response::to_json`] — for embedding a
+    /// response inside a larger envelope (as the serve protocol does)
+    /// without a render-and-reparse round trip.
+    pub fn to_value(&self) -> JsonValue {
         let matches = JsonValue::Arr(
             self.matches
                 .iter()
@@ -304,12 +312,18 @@ impl Response {
             ("stepdp_calls".into(), JsonValue::num_u64(s.stepdp_calls)),
             ("results".into(), JsonValue::num_usize(s.results)),
         ]);
-        JsonValue::Obj(vec![("matches".into(), matches), ("stats".into(), stats)]).to_string()
+        JsonValue::Obj(vec![("matches".into(), matches), ("stats".into(), stats)])
     }
 
     /// Decodes a wire response.
     pub fn from_json(text: &str) -> Result<Response, QueryError> {
         let doc = JsonValue::parse(text).map_err(QueryError::Parse)?;
+        Response::from_value(&doc)
+    }
+
+    /// The document-model form of [`Response::from_json`] — for decoding a
+    /// response already sitting inside a parsed envelope.
+    pub fn from_value(doc: &JsonValue) -> Result<Response, QueryError> {
         let parse = |msg: &str| QueryError::Parse(msg.to_string());
         let matches = doc
             .get("matches")
@@ -395,21 +409,52 @@ impl<'a, M: WedInstance + Sync, I: PostingSource + Sync> SearchEngine<'a, M, I> 
     /// query asks for by-departure candidate generation on an index built
     /// without it (formerly a silent fallback); every other invalid shape
     /// was already rejected by [`QueryBuilder::build`](crate::QueryBuilder::build).
+    ///
+    /// A [`Query::deadline_ms`] budget starts counting *now*: expiry at any
+    /// cooperative checkpoint (see [`crate::deadline`]) returns
+    /// [`QueryError::DeadlineExceeded`] instead of a late answer.
     pub fn run(&self, query: &Query) -> Result<Response, QueryError> {
+        self.run_with_deadline(
+            query,
+            Deadline::for_query(Instant::now(), query.deadline_ms()),
+        )
+    }
+
+    /// [`run`](SearchEngine::run) against a caller-supplied [`Deadline`] —
+    /// the serving entry point. The deadline is used **exactly as given**
+    /// (it replaces, not combines with, [`Query::deadline_ms`]), so a
+    /// front-end can start the clock at admission and make queue time count
+    /// against the budget.
+    pub fn run_with_deadline(
+        &self,
+        query: &Query,
+        deadline: Deadline,
+    ) -> Result<Response, QueryError> {
         self.admit(query)?;
-        Ok(self.run_admitted(query))
+        deadline.check()?;
+        self.run_admitted(query, deadline)
     }
 
     /// Post-admission execution, shared by `run` and the batch workers.
-    pub(crate) fn run_admitted(&self, query: &Query) -> Response {
+    pub(crate) fn run_admitted(
+        &self,
+        query: &Query,
+        deadline: Deadline,
+    ) -> Result<Response, QueryError> {
         let opts = query.search_options();
         match query.objective() {
             Objective::Threshold { tau } => {
-                let out = self.threshold_outcome(query.pattern(), tau, opts, query.parallelism());
-                Response {
+                let out = self.threshold_outcome(
+                    query.pattern(),
+                    tau,
+                    opts,
+                    query.parallelism(),
+                    deadline,
+                )?;
+                Ok(Response {
                     matches: out.matches,
                     stats: out.stats,
-                }
+                })
             }
             Objective::TopK {
                 k,
@@ -424,8 +469,9 @@ impl<'a, M: WedInstance + Sync, I: PostingSource + Sync> SearchEngine<'a, M, I> 
                     max_tau,
                     opts,
                     query.parallelism(),
-                );
-                Response { matches, stats }
+                    deadline,
+                )?;
+                Ok(Response { matches, stats })
             }
         }
     }
@@ -436,12 +482,15 @@ impl<'a, M: WedInstance + Sync, I: PostingSource + Sync> SearchEngine<'a, M, I> 
         tau: f64,
         opts: crate::search::SearchOptions,
         parallelism: Parallelism,
-    ) -> SearchOutcome {
+        deadline: Deadline,
+    ) -> Result<SearchOutcome, QueryError> {
         match parallelism {
             Parallelism::Sequential | Parallelism::InQuery(1) => {
-                self.search_opts_impl(q, tau, opts)
+                self.search_opts_impl(q, tau, opts, deadline)
             }
-            Parallelism::InQuery(threads) => self.par_search_opts_impl(q, tau, opts, threads),
+            Parallelism::InQuery(threads) => {
+                self.par_search_opts_impl(q, tau, opts, threads, deadline)
+            }
         }
     }
 
@@ -457,6 +506,15 @@ impl<'a, M: WedInstance + Sync, I: PostingSource + Sync> SearchEngine<'a, M, I> 
     /// (including its own [`Parallelism`] — note that `InQuery` inside a
     /// multi-threaded batch oversubscribes the host), so responses are
     /// byte-identical to calling `run` in a loop, for any thread count.
+    ///
+    /// A query's [`deadline_ms`](Query::deadline_ms) clock starts when a
+    /// worker **dequeues** it (claims it from the cursor), mirroring `run`'s
+    /// call-time epoch; time spent behind earlier queries in the batch does
+    /// not count. Since [`BatchResponse`] has no per-query error slot, an
+    /// expired deadline fails the whole batch with
+    /// [`QueryError::DeadlineExceeded`] — a workload mixing deadlines with
+    /// per-query timeout *responses* is the serving front-end's job
+    /// (`trajsearch-serve`), not `run_batch`'s.
     pub fn run_batch(
         &self,
         queries: &[Query],
@@ -471,26 +529,50 @@ impl<'a, M: WedInstance + Sync, I: PostingSource + Sync> SearchEngine<'a, M, I> 
         let mut slots: Vec<Option<Response>> = Vec::with_capacity(queries.len());
         slots.resize_with(queries.len(), || None);
 
+        // Deadline epoch = dequeue time, for the sequential and the
+        // fanned-out path alike.
+        let run_claimed = |query: &Query| -> Result<Response, QueryError> {
+            self.run_admitted(
+                query,
+                Deadline::for_query(Instant::now(), query.deadline_ms()),
+            )
+        };
+
         if threads <= 1 {
             for (slot, query) in slots.iter_mut().zip(queries) {
-                *slot = Some(self.run_admitted(query));
+                *slot = Some(run_claimed(query)?);
             }
         } else {
             let cursor = AtomicUsize::new(0);
+            // First failure (a deadline expiry) flips the flag so the other
+            // workers stop claiming: the batch's result is already decided,
+            // running out the remaining queries would be pure waste.
+            let abort = std::sync::atomic::AtomicBool::new(false);
             let collected = std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..threads)
                     .map(|_| {
                         let cursor = &cursor;
+                        let abort = &abort;
+                        let run_claimed = &run_claimed;
                         scope.spawn(move || {
                             let mut local: Vec<(usize, Response)> = Vec::new();
                             loop {
+                                if abort.load(Ordering::Relaxed) {
+                                    break;
+                                }
                                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                                 let Some(query) = queries.get(i) else {
                                     break;
                                 };
-                                local.push((i, self.run_admitted(query)));
+                                match run_claimed(query) {
+                                    Ok(response) => local.push((i, response)),
+                                    Err(e) => {
+                                        abort.store(true, Ordering::Relaxed);
+                                        return Err(e);
+                                    }
+                                }
                             }
-                            local
+                            Ok::<_, QueryError>(local)
                         })
                     })
                     .collect();
@@ -499,8 +581,10 @@ impl<'a, M: WedInstance + Sync, I: PostingSource + Sync> SearchEngine<'a, M, I> 
                     .map(|h| h.join().expect("batch worker panicked"))
                     .collect::<Vec<_>>()
             });
-            for (i, response) in collected.into_iter().flatten() {
-                slots[i] = Some(response);
+            for worker in collected {
+                for (i, response) in worker? {
+                    slots[i] = Some(response);
+                }
             }
         }
         let wall_time = t0.elapsed();
@@ -646,6 +730,78 @@ mod tests {
             }
             assert_eq!(got.stats.queries, queries.len());
         }
+    }
+
+    #[test]
+    fn expired_deadline_is_typed_on_every_entry_point() {
+        let store = store();
+        let engine = EngineBuilder::new(Lev, &store, 10).build();
+        let past = Deadline::at(Instant::now() - Duration::from_millis(5));
+        for q in [
+            Query::threshold(vec![1, 5, 2], 2.0).build().unwrap(),
+            Query::top_k(vec![1, 2], 2, 0.5, 4.0).build().unwrap(),
+            Query::threshold(vec![1, 2], 1.0)
+                .parallelism(Parallelism::InQuery(2))
+                .build()
+                .unwrap(),
+        ] {
+            assert_eq!(
+                engine.run_with_deadline(&q, past).unwrap_err(),
+                QueryError::DeadlineExceeded
+            );
+        }
+        // A generous explicit deadline (or a generous deadline_ms through
+        // `run`) is byte-identical to no deadline at all.
+        let q = Query::threshold(vec![1, 5, 2], 2.0)
+            .deadline_ms(3_600_000)
+            .build()
+            .unwrap();
+        let relaxed = engine.run(&q).unwrap();
+        let bare = engine
+            .run(&Query::threshold(vec![1, 5, 2], 2.0).build().unwrap())
+            .unwrap();
+        assert_eq!(relaxed.matches, bare.matches);
+        assert_eq!(relaxed.stats.candidates, bare.stats.candidates);
+        assert_eq!(
+            engine
+                .run_with_deadline(&q, Deadline::within(Duration::from_secs(3600)))
+                .unwrap()
+                .matches,
+            bare.matches
+        );
+    }
+
+    #[test]
+    fn run_batch_honors_deadlines_from_dequeue() {
+        let store = store();
+        let engine = EngineBuilder::new(Lev, &store, 10).build();
+        // Generous per-query deadlines: the batch completes normally even
+        // though the deadline clock only starts at each query's dequeue.
+        let qs: Vec<Query> = (0..4)
+            .map(|_| {
+                Query::threshold(vec![1, 2], 1.0)
+                    .deadline_ms(3_600_000)
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        for threads in [1, 3] {
+            let out = engine
+                .run_batch(&qs, BatchOptions::with_threads(threads))
+                .unwrap();
+            assert_eq!(out.responses.len(), qs.len());
+        }
+    }
+
+    #[test]
+    fn deadline_round_trips_through_the_wire() {
+        let q = Query::threshold(vec![1, 2], 1.0)
+            .deadline_ms(750)
+            .build()
+            .unwrap();
+        let back = Query::from_json(&q.to_json()).unwrap();
+        assert_eq!(back.deadline_ms(), Some(750));
+        assert_eq!(back, q);
     }
 
     #[test]

@@ -14,11 +14,19 @@
 //!   equal strings (usable as cache keys by a serving layer).
 //!
 //! The parser is a strict recursive-descent JSON reader (escapes and
-//! `\uXXXX` surrogate pairs included). It rejects trailing garbage; nesting
-//! depth is bounded by the caller's document shape, which for the query
-//! wire format is a small constant.
+//! `\uXXXX` surrogate pairs included). It rejects trailing garbage, and —
+//! because this codec now fronts a network socket where the *sender* picks
+//! the document shape — bounds nesting at [`MAX_DEPTH`] so a frame of ten
+//! thousand `[`s is a typed parse error, not a stack overflow. Malformed
+//! input of any kind returns `Err`; the parser never panics (fuzzed in
+//! `tests/json_hardening.rs`).
 
 use std::fmt;
+
+/// Maximum container nesting the parser accepts. The wire formats use a
+/// small constant depth (≤ 4); 128 leaves two orders of magnitude of
+/// headroom while keeping recursion far from the stack guard.
+pub const MAX_DEPTH: usize = 128;
 
 /// One JSON document node.
 #[derive(Debug, Clone, PartialEq)]
@@ -100,11 +108,12 @@ impl JsonValue {
         }
     }
 
-    /// Parses a complete JSON document; trailing non-whitespace is an error.
+    /// Parses a complete JSON document; trailing non-whitespace is an
+    /// error, as is nesting deeper than [`MAX_DEPTH`].
     pub fn parse(text: &str) -> Result<JsonValue, String> {
         let bytes = text.as_bytes();
         let mut pos = 0usize;
-        let value = parse_value(bytes, &mut pos)?;
+        let value = parse_value(bytes, &mut pos, 0)?;
         skip_ws(bytes, &mut pos);
         if pos != bytes.len() {
             return Err(format!("trailing garbage at byte {pos}"));
@@ -181,12 +190,15 @@ fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<JsonValue, String> {
+    if depth > MAX_DEPTH {
+        return Err(format!("nesting deeper than {MAX_DEPTH} at byte {pos}"));
+    }
     skip_ws(bytes, pos);
     match bytes.get(*pos) {
         None => Err("unexpected end of input".into()),
-        Some(b'{') => parse_obj(bytes, pos),
-        Some(b'[') => parse_arr(bytes, pos),
+        Some(b'{') => parse_obj(bytes, pos, depth),
+        Some(b'[') => parse_arr(bytes, pos, depth),
         Some(b'"') => Ok(JsonValue::Str(parse_string(bytes, pos)?)),
         Some(b't') => parse_keyword(bytes, pos, "true", JsonValue::Bool(true)),
         Some(b'f') => parse_keyword(bytes, pos, "false", JsonValue::Bool(false)),
@@ -316,7 +328,7 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
     }
 }
 
-fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+fn parse_arr(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<JsonValue, String> {
     expect(bytes, pos, b'[')?;
     let mut items = Vec::new();
     skip_ws(bytes, pos);
@@ -325,7 +337,7 @@ fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
         return Ok(JsonValue::Arr(items));
     }
     loop {
-        items.push(parse_value(bytes, pos)?);
+        items.push(parse_value(bytes, pos, depth + 1)?);
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
             Some(b',') => *pos += 1,
@@ -338,7 +350,7 @@ fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
     }
 }
 
-fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+fn parse_obj(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<JsonValue, String> {
     expect(bytes, pos, b'{')?;
     let mut pairs = Vec::new();
     skip_ws(bytes, pos);
@@ -351,7 +363,7 @@ fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
         let key = parse_string(bytes, pos)?;
         skip_ws(bytes, pos);
         expect(bytes, pos, b':')?;
-        let value = parse_value(bytes, pos)?;
+        let value = parse_value(bytes, pos, depth + 1)?;
         pairs.push((key, value));
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
@@ -413,6 +425,47 @@ mod tests {
         ] {
             assert!(JsonValue::parse(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn depth_limit_is_a_typed_error() {
+        // A hostile frame of nested containers must be a parse error, not a
+        // stack overflow (this parser fronts a network socket).
+        for open in ["[", "{\"k\":"] {
+            let bomb = open.repeat(50_000);
+            let err = JsonValue::parse(&bomb).unwrap_err();
+            assert!(err.contains("nesting deeper"), "got {err:?}");
+        }
+        // Depth exactly at the limit parses; one past it does not.
+        let ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(JsonValue::parse(&ok).is_ok());
+        let too_deep = format!(
+            "{}1{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        assert!(JsonValue::parse(&too_deep).is_err());
+    }
+
+    #[test]
+    fn non_finite_tokens_are_rejected() {
+        // JSON has no NaN/Infinity literals; they must not sneak in as
+        // keywords or numbers.
+        for bad in ["NaN", "nan", "Infinity", "-Infinity", "inf", "-inf"] {
+            assert!(JsonValue::parse(bad).is_err(), "accepted {bad:?}");
+        }
+        // Huge exponents still parse as raw tokens; the conversion is what
+        // saturates, and callers validate finiteness downstream.
+        let v = JsonValue::parse("1e999").unwrap();
+        assert_eq!(v.as_f64(), Some(f64::INFINITY));
+        assert_eq!(v.as_u64(), None);
+    }
+
+    #[test]
+    fn duplicate_keys_keep_first_wins_semantics() {
+        let v = JsonValue::parse(r#"{"a":1,"a":2,"b":3}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_usize(), Some(1));
+        assert_eq!(v.get("b").unwrap().as_usize(), Some(3));
     }
 
     #[test]

@@ -27,6 +27,9 @@
 //! * [`stats`] — the instrumentation behind Tables 4 and 5.
 //! * [`batch`] — workload-level execution types; one batch may mix
 //!   thresholds, top-k and temporal queries.
+//! * [`deadline`] — per-query latency budgets with cooperative
+//!   cancellation checkpoints, the engine-side half of a serving layer's
+//!   typed-timeout contract.
 //! * [`query`] / [`api`] — the unified request/response surface:
 //!   a validated, JSON-serializable [`Query`] answered by
 //!   [`SearchEngine::run`](search::SearchEngine::run) /
@@ -63,6 +66,7 @@
 
 pub mod api;
 pub mod batch;
+pub mod deadline;
 pub mod filter;
 pub mod index;
 pub mod json;
@@ -78,6 +82,7 @@ pub mod verify;
 
 pub use api::{AnyIndex, BatchResponse, EngineBuilder, IndexLayout, Response};
 pub use batch::{BatchOptions, BatchOutcome, BatchStats};
+pub use deadline::Deadline;
 pub use filter::FilterPlan;
 pub use index::{InvertedIndex, Posting, PostingSource};
 pub use query::{Objective, Parallelism, Query, QueryBuilder, QueryError};

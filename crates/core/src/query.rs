@@ -77,6 +77,12 @@ pub enum QueryError {
     TemporalPostingsUnavailable,
     /// `Parallelism::InQuery(0)` is meaningless.
     ZeroThreads,
+    /// `deadline_ms` must be at least 1 (a zero budget can never be met).
+    InvalidDeadline,
+    /// The query's deadline passed before execution finished; the engine
+    /// stopped at a cooperative checkpoint (see [`crate::deadline`]) and
+    /// returned no partial results.
+    DeadlineExceeded,
     /// The JSON document could not be decoded into a query/response.
     Parse(String),
 }
@@ -111,6 +117,8 @@ impl fmt::Display for QueryError {
                  orderings (enable temporal postings when building the engine)"
             ),
             QueryError::ZeroThreads => write!(f, "in-query parallelism requires >= 1 thread"),
+            QueryError::InvalidDeadline => write!(f, "deadline_ms must be at least 1"),
+            QueryError::DeadlineExceeded => write!(f, "query deadline exceeded"),
             QueryError::Parse(msg) => write!(f, "malformed query/response JSON: {msg}"),
         }
     }
@@ -131,6 +139,7 @@ pub struct Query {
     temporal_filter: bool,
     temporal_postings: bool,
     parallelism: Parallelism,
+    deadline_ms: Option<u64>,
 }
 
 impl Query {
@@ -186,6 +195,15 @@ impl Query {
         self.parallelism
     }
 
+    /// The query's latency budget in milliseconds, if any. The clock starts
+    /// when execution begins — at [`run`](crate::SearchEngine::run) entry
+    /// in-process, at *admission* in a serving layer (so queue time counts;
+    /// see [`crate::deadline`]). Expiry is the typed
+    /// [`QueryError::DeadlineExceeded`], never a late answer.
+    pub fn deadline_ms(&self) -> Option<u64> {
+        self.deadline_ms
+    }
+
     /// Returns a copy with a different execution schedule — the one field a
     /// serving layer may want to override per deployment without rebuilding
     /// the query. Validity is preserved (`InQuery(0)` is still rejected).
@@ -210,6 +228,13 @@ impl Query {
     /// Encodes the query as its wire format. [`Query::from_json`] inverts
     /// this losslessly: `from_json(to_json()) == self`.
     pub fn to_json(&self) -> String {
+        self.to_value().to_string()
+    }
+
+    /// The document-model form of [`Query::to_json`] — for embedding a
+    /// query inside a larger envelope (as the serve protocol does) without
+    /// a render-and-reparse round trip.
+    pub fn to_value(&self) -> JsonValue {
         let objective = match self.objective {
             Objective::Threshold { tau } => JsonValue::Obj(vec![
                 ("type".into(), JsonValue::Str("threshold".into())),
@@ -279,7 +304,10 @@ impl Query {
             ]),
         };
         pairs.push(("parallelism".into(), parallelism));
-        JsonValue::Obj(pairs).to_string()
+        if let Some(ms) = self.deadline_ms {
+            pairs.push(("deadline_ms".into(), JsonValue::num_u64(ms)));
+        }
+        JsonValue::Obj(pairs)
     }
 
     /// Decodes and **validates** a wire query — the result went through the
@@ -287,6 +315,13 @@ impl Query {
     /// deserialized `Query` is as trustworthy as any other.
     pub fn from_json(text: &str) -> Result<Query, QueryError> {
         let doc = JsonValue::parse(text).map_err(QueryError::Parse)?;
+        Query::from_value(&doc)
+    }
+
+    /// The document-model form of [`Query::from_json`], validating the
+    /// same way — for decoding a query already sitting inside a parsed
+    /// envelope.
+    pub fn from_value(doc: &JsonValue) -> Result<Query, QueryError> {
         let parse = |msg: &str| QueryError::Parse(msg.to_string());
 
         let pattern: Vec<Sym> = doc
@@ -382,6 +417,14 @@ impl Query {
             },
         };
 
+        let deadline_ms = match doc.get("deadline_ms") {
+            None | Some(JsonValue::Null) => None,
+            Some(v) => Some(
+                v.as_u64()
+                    .ok_or_else(|| parse("\"deadline_ms\" must be a u64 millisecond count"))?,
+            ),
+        };
+
         let mut builder = QueryBuilder::new(pattern, objective)
             .verify(verify)
             .temporal_filter(flag("temporal_filter")?)
@@ -389,6 +432,9 @@ impl Query {
             .parallelism(parallelism);
         if let Some(c) = temporal {
             builder = builder.temporal(c);
+        }
+        if let Some(ms) = deadline_ms {
+            builder = builder.deadline_ms(ms);
         }
         builder.build()
     }
@@ -404,6 +450,7 @@ pub struct QueryBuilder {
     temporal_filter: bool,
     temporal_postings: bool,
     parallelism: Parallelism,
+    deadline_ms: Option<u64>,
 }
 
 impl QueryBuilder {
@@ -416,6 +463,7 @@ impl QueryBuilder {
             temporal_filter: false,
             temporal_postings: false,
             parallelism: Parallelism::default(),
+            deadline_ms: None,
         }
     }
 
@@ -451,6 +499,14 @@ impl QueryBuilder {
     /// Execution schedule (default sequential).
     pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
         self.parallelism = parallelism;
+        self
+    }
+
+    /// Latency budget in milliseconds (default: none). Must be at least 1;
+    /// see [`Query::deadline_ms`] for when the clock starts and
+    /// [`crate::deadline`] for the enforcement points.
+    pub fn deadline_ms(mut self, ms: u64) -> Self {
+        self.deadline_ms = Some(ms);
         self
     }
 
@@ -501,6 +557,9 @@ impl QueryBuilder {
         if self.parallelism == Parallelism::InQuery(0) {
             return Err(QueryError::ZeroThreads);
         }
+        if self.deadline_ms == Some(0) {
+            return Err(QueryError::InvalidDeadline);
+        }
         Ok(Query {
             pattern: self.pattern,
             objective: self.objective,
@@ -509,6 +568,7 @@ impl QueryBuilder {
             temporal_filter: self.temporal_filter,
             temporal_postings: self.temporal_postings,
             parallelism: self.parallelism,
+            deadline_ms: self.deadline_ms,
         })
     }
 }
@@ -609,6 +669,49 @@ mod tests {
     }
 
     #[test]
+    fn build_rejects_zero_deadline() {
+        assert_eq!(
+            Query::threshold(vec![1], 1.0)
+                .deadline_ms(0)
+                .build()
+                .unwrap_err(),
+            QueryError::InvalidDeadline
+        );
+        let q = Query::threshold(vec![1], 1.0)
+            .deadline_ms(250)
+            .build()
+            .unwrap();
+        assert_eq!(q.deadline_ms(), Some(250));
+    }
+
+    #[test]
+    fn deadline_round_trips_and_revalidates() {
+        let q = Query::threshold(vec![1, 2], 1.0)
+            .deadline_ms(1500)
+            .build()
+            .unwrap();
+        let text = q.to_json();
+        assert!(text.contains("\"deadline_ms\":1500"));
+        assert_eq!(Query::from_json(&text).unwrap(), q);
+        // Absent on the wire means no deadline.
+        let q = Query::threshold(vec![1, 2], 1.0).build().unwrap();
+        assert!(!q.to_json().contains("deadline_ms"));
+        assert_eq!(Query::from_json(&q.to_json()).unwrap().deadline_ms(), None);
+        // A zero wire deadline is re-validated, not silently accepted.
+        let err = Query::from_json(
+            r#"{"pattern":[1],"objective":{"type":"threshold","tau":1},"deadline_ms":0}"#,
+        )
+        .unwrap_err();
+        assert_eq!(err, QueryError::InvalidDeadline);
+        // Non-integer deadlines are a parse error.
+        let err = Query::from_json(
+            r#"{"pattern":[1],"objective":{"type":"threshold","tau":1},"deadline_ms":"soon"}"#,
+        )
+        .unwrap_err();
+        assert!(matches!(err, QueryError::Parse(_)));
+    }
+
+    #[test]
     fn json_round_trip_exact() {
         let q = Query::top_k(vec![3, 1, 4, 1, 5], 7, 0.1, 1.0 / 3.0)
             .verify(VerifyMode::Local)
@@ -616,6 +719,7 @@ mod tests {
             .temporal_filter(true)
             .temporal_postings(true)
             .parallelism(Parallelism::InQuery(4))
+            .deadline_ms(2000)
             .build()
             .unwrap();
         let text = q.to_json();

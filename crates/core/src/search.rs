@@ -20,6 +20,7 @@
 //! `OSF-SW` baseline and the `Local` ablation), temporal constraints, and
 //! the TF strategy of §4.3.
 
+use crate::deadline::Deadline;
 use crate::filter::FilterPlan;
 use crate::index::{InvertedIndex, PostingSource};
 use crate::query::{Parallelism, Query, QueryError};
@@ -27,7 +28,7 @@ use crate::results::MatchResult;
 use crate::sharded::ShardedIndex;
 use crate::stats::SearchStats;
 use crate::temporal::TemporalConstraint;
-use crate::verify::{verify_candidates, VerifyMode};
+use crate::verify::VerifyMode;
 use std::time::{Duration, Instant};
 use traj::TrajectoryStore;
 use wed::{sw_scan_all, Sym, WedInstance};
@@ -208,15 +209,17 @@ impl<'a, M: WedInstance, I: PostingSource> SearchEngine<'a, M, I> {
         q: &[Sym],
         tau: f64,
         opts: SearchOptions,
-    ) -> SearchOutcome {
+        deadline: Deadline,
+    ) -> Result<SearchOutcome, QueryError> {
         let mut stats = SearchStats::default();
         let Some(candidates) = self.filter_and_lookup(q, tau, &opts, &mut stats) else {
-            return self.fallback_scan(q, tau, opts, stats);
+            return self.fallback_scan(q, tau, opts, stats, deadline);
         };
+        deadline.check()?;
 
         // Phase 3: verification.
         let t2 = Instant::now();
-        let matches = verify_candidates(
+        let matches = crate::verify::verify_candidates_deadline(
             &self.model,
             self.store,
             |id| self.index.span(id),
@@ -226,11 +229,12 @@ impl<'a, M: WedInstance, I: PostingSource> SearchEngine<'a, M, I> {
             opts.verify,
             opts.temporal.as_ref(),
             opts.temporal_filter,
+            deadline,
             &mut stats,
-        );
+        )?;
         stats.verify_time = t2.elapsed();
 
-        SearchOutcome { matches, stats }
+        Ok(SearchOutcome { matches, stats })
     }
 
     /// Exact full scan used when filtering is infeasible; see
@@ -241,17 +245,19 @@ impl<'a, M: WedInstance, I: PostingSource> SearchEngine<'a, M, I> {
         tau: f64,
         opts: SearchOptions,
         mut stats: SearchStats,
-    ) -> SearchOutcome {
-        let matches = exact_fallback_scan(
+        deadline: Deadline,
+    ) -> Result<SearchOutcome, QueryError> {
+        let matches = fallback_scan_deadline(
             &self.model,
             self.store,
             q,
             tau,
             opts.temporal.as_ref(),
             opts.temporal_filter,
+            deadline,
             &mut stats,
-        );
-        SearchOutcome { matches, stats }
+        )?;
+        Ok(SearchOutcome { matches, stats })
     }
 }
 
@@ -270,14 +276,16 @@ impl<'a, M: WedInstance + Sync, I: PostingSource + Sync> SearchEngine<'a, M, I> 
         tau: f64,
         opts: SearchOptions,
         threads: usize,
-    ) -> SearchOutcome {
+        deadline: Deadline,
+    ) -> Result<SearchOutcome, QueryError> {
         let mut stats = SearchStats::default();
         let Some(candidates) = self.filter_and_lookup(q, tau, &opts, &mut stats) else {
-            return self.fallback_scan(q, tau, opts, stats);
+            return self.fallback_scan(q, tau, opts, stats, deadline);
         };
+        deadline.check()?;
 
         let t2 = Instant::now();
-        let matches = crate::verify::par_verify_candidates(
+        let matches = crate::verify::par_verify_candidates_deadline(
             &self.model,
             self.store,
             |id| self.index.span(id),
@@ -288,11 +296,12 @@ impl<'a, M: WedInstance + Sync, I: PostingSource + Sync> SearchEngine<'a, M, I> 
             opts.temporal.as_ref(),
             opts.temporal_filter,
             threads,
+            deadline,
             &mut stats,
-        );
+        )?;
         stats.verify_time = t2.elapsed();
 
-        SearchOutcome { matches, stats }
+        Ok(SearchOutcome { matches, stats })
     }
 
     /// Translates a legacy `(pattern, tau, options)` call into a [`Query`],
@@ -409,6 +418,33 @@ pub fn exact_fallback_scan<M: wed::CostModel>(
     temporal_filter: bool,
     stats: &mut SearchStats,
 ) -> Vec<crate::results::MatchResult> {
+    fallback_scan_deadline(
+        model,
+        store,
+        q,
+        tau,
+        temporal,
+        temporal_filter,
+        Deadline::NONE,
+        stats,
+    )
+    .expect("a scan without a deadline cannot expire")
+}
+
+/// [`exact_fallback_scan`] with a cooperative [`Deadline`] checked between
+/// scanned trajectories — the fallback path's equivalent of the
+/// between-group checkpoints in verification.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn fallback_scan_deadline<M: wed::CostModel>(
+    model: &M,
+    store: &TrajectoryStore,
+    q: &[Sym],
+    tau: f64,
+    temporal: Option<&TemporalConstraint>,
+    temporal_filter: bool,
+    deadline: Deadline,
+    stats: &mut SearchStats,
+) -> Result<Vec<crate::results::MatchResult>, QueryError> {
     stats.fallback = true;
 
     // "Lookup" phase: select the trajectories to scan (TF pre-filter),
@@ -435,6 +471,7 @@ pub fn exact_fallback_scan<M: wed::CostModel>(
     let t2 = Instant::now();
     let mut rs = crate::results::ResultSet::new();
     for id in scan {
+        deadline.check()?;
         let traj = store.get(id);
         stats.sw_columns += traj.len() as u64;
         for m in sw_scan_all(model, traj.path(), q, tau) {
@@ -450,7 +487,7 @@ pub fn exact_fallback_scan<M: wed::CostModel>(
     let matches = rs.into_sorted_vec();
     stats.results = matches.len();
     stats.verify_time = t2.elapsed();
-    matches
+    Ok(matches)
 }
 
 #[cfg(test)]

@@ -14,8 +14,9 @@
 //! [`SearchEngine::run`](crate::SearchEngine::run); the responses' `matches`
 //! are the ranked best matches (position = rank).
 
+use crate::deadline::Deadline;
 use crate::index::PostingSource;
-use crate::query::Parallelism;
+use crate::query::{Parallelism, QueryError};
 use crate::results::MatchResult;
 use crate::search::{SearchEngine, SearchOptions};
 use crate::stats::SearchStats;
@@ -33,6 +34,11 @@ pub struct TopKEntry {
 /// The threshold-growth loop behind [`Objective::TopK`](crate::Objective):
 /// ranked best matches (rank order) plus the per-round stats merged over
 /// every growth round, with `results` set to the returned entry count.
+///
+/// The [`Deadline`] is checked between growth rounds (on top of the
+/// checkpoints each round's threshold search performs internally); expiry
+/// is [`QueryError::DeadlineExceeded`] — a partially grown ranking is never
+/// returned.
 pub(crate) fn top_k_growth<M: WedInstance + Sync, I: PostingSource + Sync>(
     engine: &SearchEngine<'_, M, I>,
     q: &[Sym],
@@ -41,11 +47,13 @@ pub(crate) fn top_k_growth<M: WedInstance + Sync, I: PostingSource + Sync>(
     max_tau: f64,
     opts: SearchOptions,
     parallelism: Parallelism,
-) -> (Vec<MatchResult>, SearchStats) {
+    deadline: Deadline,
+) -> Result<(Vec<MatchResult>, SearchStats), QueryError> {
     let mut stats = SearchStats::default();
     let mut tau = initial_tau;
     loop {
-        let out = engine.threshold_outcome(q, tau, opts, parallelism);
+        deadline.check()?;
+        let out = engine.threshold_outcome(q, tau, opts, parallelism, deadline)?;
         stats.merge(&out.stats);
         let best = per_trajectory_best(&out.matches);
         if best.len() >= k || tau >= max_tau {
@@ -58,7 +66,7 @@ pub(crate) fn top_k_growth<M: WedInstance + Sync, I: PostingSource + Sync>(
             });
             ranked.truncate(k);
             stats.results = ranked.len();
-            return (ranked, stats);
+            return Ok((ranked, stats));
         }
         tau = (tau * 2.0).min(max_tau);
     }

@@ -21,6 +21,8 @@
 //! `τ' = τ − sub(P[j], Q[iq])` recovers exactly the Definition 3 result set
 //! (Lemma 1), with per-triple min-merge restoring exact distances.
 
+use crate::deadline::Deadline;
+use crate::query::QueryError;
 use crate::results::ResultSet;
 use crate::stats::SearchStats;
 use crate::temporal::TemporalConstraint;
@@ -332,6 +334,13 @@ fn trajectory_groups(sorted: &[Candidate]) -> Vec<(usize, usize)> {
 /// Verifies a set of whole-trajectory groups with one [`Verifier`] (one set
 /// of tries) into a private result set — the unit both the sequential path
 /// (all groups, one call) and each parallel worker run.
+///
+/// The deadline is checked **between trajectory groups** — the same
+/// granularity the parallel scheduler distributes work at — so an expired
+/// query stops within one trajectory's worth of DP work
+/// ([`QueryError::DeadlineExceeded`]; `results` may then hold partial
+/// output and must be discarded by the caller).
+#[allow(clippy::too_many_arguments)]
 fn verify_shard<M: CostModel>(
     model: &M,
     store: &TrajectoryStore,
@@ -340,14 +349,16 @@ fn verify_shard<M: CostModel>(
     sorted: &[Candidate],
     groups: &[(usize, usize)],
     mode: VerifyMode,
+    deadline: Deadline,
     results: &mut ResultSet,
     stats: &mut SearchStats,
-) {
+) -> Result<(), QueryError> {
     match mode {
         VerifyMode::Sw => {
             // One exact scan per distinct candidate trajectory; the UPR
             // denominator counts each scanned trajectory once.
             for &(start, _) in groups {
+                deadline.check()?;
                 let id = sorted[start].id;
                 let path = store.get(id).path();
                 stats.sw_columns += path.len() as u64;
@@ -359,6 +370,7 @@ fn verify_shard<M: CostModel>(
         VerifyMode::Local | VerifyMode::Trie => {
             let mut verifier = Verifier::new(model, q, tau, mode);
             for &(start, end) in groups {
+                deadline.check()?;
                 let path = store.get(sorted[start].id).path();
                 for cand in &sorted[start..end] {
                     verifier.verify_candidate(path, *cand, results, stats);
@@ -366,6 +378,7 @@ fn verify_shard<M: CostModel>(
             }
         }
     }
+    Ok(())
 }
 
 /// Exact temporal post-check, deterministic ordering, result count.
@@ -408,6 +421,39 @@ pub fn verify_candidates<M: CostModel>(
     temporal_filter: bool,
     stats: &mut SearchStats,
 ) -> Vec<crate::results::MatchResult> {
+    verify_candidates_deadline(
+        model,
+        store,
+        index_span,
+        q,
+        tau,
+        candidates,
+        mode,
+        temporal,
+        temporal_filter,
+        Deadline::NONE,
+        stats,
+    )
+    .expect("verification without a deadline cannot expire")
+}
+
+/// [`verify_candidates`] with a cooperative [`Deadline`], checked between
+/// trajectory groups; expiry returns [`QueryError::DeadlineExceeded`] and no
+/// partial results.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn verify_candidates_deadline<M: CostModel>(
+    model: &M,
+    store: &TrajectoryStore,
+    index_span: impl Fn(TrajId) -> (f64, f64),
+    q: &[Sym],
+    tau: f64,
+    candidates: &[Candidate],
+    mode: VerifyMode,
+    temporal: Option<&TemporalConstraint>,
+    temporal_filter: bool,
+    deadline: Deadline,
+    stats: &mut SearchStats,
+) -> Result<Vec<crate::results::MatchResult>, QueryError> {
     let sorted = prepare_candidates(index_span, candidates, temporal, temporal_filter, stats);
     let groups = trajectory_groups(&sorted);
     let mut results = ResultSet::new();
@@ -419,10 +465,11 @@ pub fn verify_candidates<M: CostModel>(
         &sorted,
         &groups,
         mode,
+        deadline,
         &mut results,
         stats,
-    );
-    finish_verification(results, store, temporal, stats)
+    )?;
+    Ok(finish_verification(results, store, temporal, stats))
 }
 
 /// Splits the group list into at most `shards` contiguous slices of roughly
@@ -480,6 +527,42 @@ pub fn par_verify_candidates<M: CostModel + Sync>(
     threads: usize,
     stats: &mut SearchStats,
 ) -> Vec<crate::results::MatchResult> {
+    par_verify_candidates_deadline(
+        model,
+        store,
+        index_span,
+        q,
+        tau,
+        candidates,
+        mode,
+        temporal,
+        temporal_filter,
+        threads,
+        Deadline::NONE,
+        stats,
+    )
+    .expect("verification without a deadline cannot expire")
+}
+
+/// [`par_verify_candidates`] with a cooperative [`Deadline`]: every worker
+/// checks it between its trajectory groups and bails out early; if any shard
+/// expired the whole verification returns [`QueryError::DeadlineExceeded`]
+/// (partial shard outputs are discarded, never merged into an answer).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn par_verify_candidates_deadline<M: CostModel + Sync>(
+    model: &M,
+    store: &TrajectoryStore,
+    index_span: impl Fn(TrajId) -> (f64, f64),
+    q: &[Sym],
+    tau: f64,
+    candidates: &[Candidate],
+    mode: VerifyMode,
+    temporal: Option<&TemporalConstraint>,
+    temporal_filter: bool,
+    threads: usize,
+    deadline: Deadline,
+    stats: &mut SearchStats,
+) -> Result<Vec<crate::results::MatchResult>, QueryError> {
     let sorted = prepare_candidates(index_span, candidates, temporal, temporal_filter, stats);
     let groups = trajectory_groups(&sorted);
     let shards = partition_groups(&groups, sorted.len(), threads);
@@ -495,9 +578,10 @@ pub fn par_verify_candidates<M: CostModel + Sync>(
             &sorted,
             &groups,
             mode,
+            deadline,
             &mut results,
             stats,
-        );
+        )?;
     } else {
         let outputs = std::thread::scope(|scope| {
             let handles: Vec<_> = shards
@@ -507,7 +591,7 @@ pub fn par_verify_candidates<M: CostModel + Sync>(
                     scope.spawn(move || {
                         let mut local_results = ResultSet::new();
                         let mut local_stats = SearchStats::default();
-                        verify_shard(
+                        let status = verify_shard(
                             model,
                             store,
                             q,
@@ -515,10 +599,11 @@ pub fn par_verify_candidates<M: CostModel + Sync>(
                             sorted,
                             shard,
                             mode,
+                            deadline,
                             &mut local_results,
                             &mut local_stats,
                         );
-                        (local_results, local_stats)
+                        (status, local_results, local_stats)
                     })
                 })
                 .collect();
@@ -527,14 +612,15 @@ pub fn par_verify_candidates<M: CostModel + Sync>(
                 .map(|h| h.join().expect("verification worker panicked"))
                 .collect::<Vec<_>>()
         });
-        for (shard_results, shard_stats) in outputs {
+        for (status, shard_results, shard_stats) in outputs {
+            status?;
             results.merge(shard_results);
             stats.sw_columns += shard_stats.sw_columns;
             stats.columns_passed += shard_stats.columns_passed;
             stats.stepdp_calls += shard_stats.stepdp_calls;
         }
     }
-    finish_verification(results, store, temporal, stats)
+    Ok(finish_verification(results, store, temporal, stats))
 }
 
 #[cfg(test)]
@@ -917,6 +1003,74 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn expired_deadline_is_typed_and_yields_no_partial_results() {
+        use std::time::{Duration, Instant};
+        let store = store_of(&[&[0, 1, 2, 3, 4], &[3, 1, 5, 1, 2], &[1, 2, 1, 2, 1, 2]]);
+        let q: Vec<Sym> = vec![1, 5, 2];
+        let cands = all_candidates(&store, &q);
+        let past = Deadline::at(Instant::now() - Duration::from_millis(1));
+        for mode in [VerifyMode::Sw, VerifyMode::Local, VerifyMode::Trie] {
+            let mut stats = SearchStats::default();
+            let err = verify_candidates_deadline(
+                &Lev,
+                &store,
+                |id| store.get(id).span(),
+                &q,
+                2.0,
+                &cands,
+                mode,
+                None,
+                false,
+                past,
+                &mut stats,
+            )
+            .unwrap_err();
+            assert_eq!(err, QueryError::DeadlineExceeded, "mode {mode:?}");
+            for threads in [1, 3] {
+                let mut stats = SearchStats::default();
+                let err = par_verify_candidates_deadline(
+                    &Lev,
+                    &store,
+                    |id| store.get(id).span(),
+                    &q,
+                    2.0,
+                    &cands,
+                    mode,
+                    None,
+                    false,
+                    threads,
+                    past,
+                    &mut stats,
+                )
+                .unwrap_err();
+                assert_eq!(
+                    err,
+                    QueryError::DeadlineExceeded,
+                    "mode {mode:?} x{threads}"
+                );
+            }
+        }
+        // A generous deadline changes nothing about the results.
+        let relaxed = Deadline::within(Duration::from_secs(3600));
+        let mut s1 = SearchStats::default();
+        let got = verify_candidates_deadline(
+            &Lev,
+            &store,
+            |id| store.get(id).span(),
+            &q,
+            2.0,
+            &cands,
+            VerifyMode::Trie,
+            None,
+            false,
+            relaxed,
+            &mut s1,
+        )
+        .unwrap();
+        assert_eq!(got, run(&store, &q, 2.0, VerifyMode::Trie));
     }
 
     #[test]

@@ -1,0 +1,185 @@
+//! Synchronous client for the serve protocol, with pipelined batch
+//! submission.
+//!
+//! [`Client::query`] is one request / one reply. [`Client::query_batch`]
+//! pipelines a whole workload, keeping a bounded window of requests in
+//! flight ahead of the replies it reads, and collects replies **by id** —
+//! the server's workers finish out of order — returning them in
+//! submission order. One TCP connection carries the
+//! whole conversation; a transport failure is a [`ClientError`], while a
+//! per-query server-side rejection (overload, deadline, invalid query) is
+//! a typed [`ServerError`] *value* so a batch can mix successes and
+//! rejections.
+
+use crate::metrics::MetricsSnapshot;
+use crate::proto::{read_frame, write_frame, Reply, Request, ServerError};
+use std::fmt;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use trajsearch_core::{Query, Response};
+
+/// A client-side failure. `Server` wraps the typed per-query error for the
+/// single-query convenience APIs; transport and protocol failures poison
+/// the connection (drop the client and reconnect).
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// The server spoke something that is not the protocol (or closed
+    /// mid-conversation).
+    Protocol(String),
+    /// The server answered with a typed error frame.
+    Server(ServerError),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ClientError::Server(e) => write!(f, "server error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+/// Maximum requests in flight per connection during
+/// [`Client::query_batch`]. Deep enough to keep every worker busy and
+/// amortize flushes; bounded so the pipeline can never wedge both sockets'
+/// buffers with unread frames.
+const PIPELINE_WINDOW: usize = 64;
+
+/// One connection to a serve front-end.
+pub struct Client {
+    writer: BufWriter<TcpStream>,
+    reader: BufReader<TcpStream>,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects (blocking, no read timeout: replies to admitted queries
+    /// always arrive — the server's drain guarantee).
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            writer: BufWriter::new(stream),
+            reader,
+            next_id: 1,
+        })
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    fn read_reply(&mut self) -> Result<Reply, ClientError> {
+        let frame = read_frame(&mut self.reader)?
+            .ok_or_else(|| ClientError::Protocol("server closed the connection".into()))?;
+        Reply::from_json(&frame).map_err(ClientError::Protocol)
+    }
+
+    /// Sends one query and waits for its reply. A typed server-side
+    /// rejection surfaces as [`ClientError::Server`].
+    pub fn query(&mut self, query: &Query) -> Result<Response, ClientError> {
+        let mut outcomes = self.query_batch(std::slice::from_ref(query))?;
+        outcomes
+            .pop()
+            .expect("one outcome per submitted query")
+            .map_err(ClientError::Server)
+    }
+
+    /// Pipelines the whole workload on this connection: request frames
+    /// are written ahead of the replies being read — but never more than
+    /// `PIPELINE_WINDOW` (64) ahead, so the client is always draining
+    /// replies whenever the window is full. (Writing an unbounded batch before
+    /// reading anything can deadlock once both sockets' kernel buffers
+    /// fill: the server blocks writing replies nobody reads, the client
+    /// blocks writing requests nobody accepts.) Replies are collected by
+    /// id and returned in submission order. Per-query outcomes are
+    /// independent — one query's overload/deadline rejection does not fail
+    /// its neighbors.
+    pub fn query_batch(
+        &mut self,
+        queries: &[Query],
+    ) -> Result<Vec<Result<Response, ServerError>>, ClientError> {
+        let ids: Vec<u64> = queries.iter().map(|_| self.fresh_id()).collect();
+
+        let mut slots: Vec<Option<Result<Response, ServerError>>> = vec![None; queries.len()];
+        let mut sent = 0usize;
+        let mut remaining = queries.len();
+        while remaining > 0 {
+            // Top the window up, then flush once for the burst.
+            if sent < queries.len() && sent - (queries.len() - remaining) < PIPELINE_WINDOW {
+                while sent < queries.len() && sent - (queries.len() - remaining) < PIPELINE_WINDOW {
+                    let frame = Request::Query {
+                        id: ids[sent],
+                        query: queries[sent].clone(),
+                    }
+                    .to_json();
+                    write_frame(&mut self.writer, &frame)?;
+                    sent += 1;
+                }
+                self.writer.flush()?;
+            }
+            let reply = self.read_reply()?;
+            let (id, outcome) = match reply {
+                Reply::Response { id, response } => (id, Ok(response)),
+                Reply::Error {
+                    id: Some(id),
+                    error,
+                } => (id, Err(error)),
+                Reply::Error { id: None, error } => {
+                    // The server could not attribute the failure to a
+                    // request — the conversation is broken.
+                    return Err(ClientError::Protocol(format!(
+                        "unattributed server error: {error}"
+                    )));
+                }
+                Reply::Stats { .. } => {
+                    return Err(ClientError::Protocol(
+                        "unexpected stats reply during a query batch".into(),
+                    ));
+                }
+            };
+            let slot = ids
+                .iter()
+                .position(|&want| want == id)
+                .ok_or_else(|| ClientError::Protocol(format!("reply for unknown id {id}")))?;
+            if slots[slot].replace(outcome).is_some() {
+                return Err(ClientError::Protocol(format!(
+                    "duplicate reply for id {id}"
+                )));
+            }
+            remaining -= 1;
+        }
+        Ok(slots
+            .into_iter()
+            .map(|s| s.expect("all slots filled when remaining hits zero"))
+            .collect())
+    }
+
+    /// Fetches the server's metrics snapshot over the wire.
+    pub fn stats(&mut self) -> Result<MetricsSnapshot, ClientError> {
+        let id = self.fresh_id();
+        let frame = Request::Stats { id }.to_json();
+        write_frame(&mut self.writer, &frame)?;
+        self.writer.flush()?;
+        match self.read_reply()? {
+            Reply::Stats { id: got, stats } if got == id => Ok(stats),
+            other => Err(ClientError::Protocol(format!(
+                "expected stats reply for id {id}, got {other:?}"
+            ))),
+        }
+    }
+}

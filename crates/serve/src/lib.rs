@@ -1,0 +1,71 @@
+//! # trajsearch-serve — a concurrent network front-end for the engine
+//!
+//! The paper's engine answers queries in-process; a production deployment
+//! answers them over a socket, under overload, with latency budgets. This
+//! crate is that layer: a **`std`-only TCP server** (thread-per-acceptor +
+//! bounded worker pool — no async runtime, mirroring the scoped-thread
+//! scheduling of [`run_batch`](trajsearch_core::SearchEngine::run_batch))
+//! speaking the *same* [`Query`](trajsearch_core::Query) /
+//! [`Response`](trajsearch_core::Response) JSON wire format the core
+//! already round-trips, in newline-delimited frames.
+//!
+//! What the server guarantees:
+//!
+//! * **Typed backpressure** — a bounded admission queue; when it is full,
+//!   the reply is an `overloaded` [`ServerError`], never unbounded
+//!   buffering ([`queue`]).
+//! * **Per-query deadlines** — [`Query::deadline_ms`](trajsearch_core::Query::deadline_ms)
+//!   starts counting at admission; expiry while queued or at a cooperative
+//!   engine checkpoint returns a `deadline_exceeded` error, not a late
+//!   answer ([`trajsearch_core::deadline`]).
+//! * **Graceful drain** — shutdown stops admission but answers every
+//!   admitted query before [`Server::serve`] returns.
+//! * **Observability** — counters and wall/CPU latency percentiles, live
+//!   via [`ServerHandle::metrics`] or over the wire via a `stats` request
+//!   ([`metrics`]).
+//!
+//! Responses over the socket are **byte-identical** (matches and stats
+//! counters) to in-process [`SearchEngine::run`](trajsearch_core::SearchEngine::run)
+//! — the loopback equivalence suite in `tests/loopback.rs` enforces this
+//! across both index layouts.
+//!
+//! ## Example
+//!
+//! ```
+//! use std::thread;
+//! use trajsearch_core::{EngineBuilder, Query};
+//! use trajsearch_serve::{Client, Server, ServerConfig};
+//! use traj::{Trajectory, TrajectoryStore};
+//! use wed::models::Lev;
+//!
+//! let mut store = TrajectoryStore::new();
+//! store.push(Trajectory::untimed(vec![0, 1, 2, 3, 4]));
+//! let engine = EngineBuilder::new(Lev, &store, 8).build();
+//!
+//! let server = Server::bind(ServerConfig::default())?; // 127.0.0.1, ephemeral port
+//! let handle = server.handle();
+//! thread::scope(|scope| -> Result<(), Box<dyn std::error::Error>> {
+//!     scope.spawn(|| server.serve(&engine));
+//!
+//!     let mut client = Client::connect(handle.local_addr())?;
+//!     let query = Query::threshold(vec![1, 2], 0.5).deadline_ms(2_000).build()?;
+//!     let response = client.query(&query)?;
+//!     assert_eq!(response.matches.len(), 1);
+//!
+//!     handle.shutdown(); // drains in-flight queries, then serve() returns
+//!     Ok(())
+//! })?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod client;
+pub mod metrics;
+pub mod proto;
+pub mod queue;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use metrics::{LatencySummary, Metrics, MetricsSnapshot};
+pub use proto::{Reply, Request, ServerError, ServerErrorKind, MAX_FRAME_BYTES};
+pub use queue::{BoundedQueue, Pop, PushError};
+pub use server::{Server, ServerConfig, ServerHandle};

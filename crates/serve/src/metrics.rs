@@ -1,0 +1,318 @@
+//! Per-server metrics: admission counters and latency percentiles,
+//! exposed live through [`ServerHandle::metrics`](crate::ServerHandle::metrics)
+//! and over the wire via the `stats` request.
+//!
+//! Counters are lock-free atomics bumped on the hot path. Latencies go into
+//! a fixed-size ring of the most recent [`SAMPLE_CAP`] queries (bounded
+//! memory under unbounded traffic, recency-weighted percentiles — the
+//! usual dashboard trade-off). Two series are kept per query: **wall** time
+//! (dequeue → reply written, what the client experiences minus queueing)
+//! and **CPU** time (the engine's summed phase time from
+//! [`SearchStats::total_time`](trajsearch_core::SearchStats)), whose gap
+//! measures in-query parallelism and scheduling overhead.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use trajsearch_core::json::JsonValue;
+
+/// Ring capacity for each latency series.
+pub const SAMPLE_CAP: usize = 4096;
+
+/// Fixed-size ring of the most recent samples.
+struct Ring {
+    samples: Vec<u64>,
+    next: usize,
+    seen: u64,
+}
+
+impl Ring {
+    fn new() -> Ring {
+        Ring {
+            samples: Vec::with_capacity(SAMPLE_CAP),
+            next: 0,
+            seen: 0,
+        }
+    }
+
+    fn push(&mut self, v: u64) {
+        if self.samples.len() < SAMPLE_CAP {
+            self.samples.push(v);
+        } else {
+            self.samples[self.next] = v;
+        }
+        self.next = (self.next + 1) % SAMPLE_CAP;
+        self.seen += 1;
+    }
+
+    fn summary(&self) -> LatencySummary {
+        if self.samples.is_empty() {
+            return LatencySummary::default();
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let at = |q: f64| {
+            let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+            sorted[idx]
+        };
+        LatencySummary {
+            count: self.seen,
+            p50_ns: at(0.50),
+            p95_ns: at(0.95),
+            p99_ns: at(0.99),
+            max_ns: *sorted.last().unwrap(),
+        }
+    }
+}
+
+/// Percentiles over the retained window; `count` is total observations
+/// (may exceed the window size).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    pub count: u64,
+    pub p50_ns: u64,
+    pub p95_ns: u64,
+    pub p99_ns: u64,
+    pub max_ns: u64,
+}
+
+impl LatencySummary {
+    fn to_json_value(self) -> JsonValue {
+        JsonValue::Obj(vec![
+            ("count".into(), JsonValue::num_u64(self.count)),
+            ("p50_ns".into(), JsonValue::num_u64(self.p50_ns)),
+            ("p95_ns".into(), JsonValue::num_u64(self.p95_ns)),
+            ("p99_ns".into(), JsonValue::num_u64(self.p99_ns)),
+            ("max_ns".into(), JsonValue::num_u64(self.max_ns)),
+        ])
+    }
+
+    fn from_json_value(v: &JsonValue) -> Result<LatencySummary, String> {
+        let field = |key: &str| {
+            v.get(key)
+                .and_then(|x| x.as_u64())
+                .ok_or_else(|| format!("latency summary needs u64 \"{key}\""))
+        };
+        Ok(LatencySummary {
+            count: field("count")?,
+            p50_ns: field("p50_ns")?,
+            p95_ns: field("p95_ns")?,
+            p99_ns: field("p99_ns")?,
+            max_ns: field("max_ns")?,
+        })
+    }
+}
+
+/// Live server metrics; snapshot with [`Metrics::snapshot`].
+#[derive(Default)]
+pub struct Metrics {
+    pub admitted: AtomicU64,
+    pub rejected_overload: AtomicU64,
+    pub rejected_shutdown: AtomicU64,
+    pub timed_out: AtomicU64,
+    pub completed: AtomicU64,
+    pub invalid: AtomicU64,
+    pub malformed: AtomicU64,
+    wall_ns: Mutex<Option<Ring>>,
+    cpu_ns: Mutex<Option<Ring>>,
+}
+
+impl Metrics {
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    #[inline]
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one completed query's wall and engine-CPU time.
+    pub fn record_latency(&self, wall_ns: u64, cpu_ns: u64) {
+        self.wall_ns
+            .lock()
+            .expect("metrics mutex poisoned")
+            .get_or_insert_with(Ring::new)
+            .push(wall_ns);
+        self.cpu_ns
+            .lock()
+            .expect("metrics mutex poisoned")
+            .get_or_insert_with(Ring::new)
+            .push(cpu_ns);
+    }
+
+    /// Consistent-enough snapshot for dashboards (counters are relaxed;
+    /// each series is internally consistent).
+    pub fn snapshot(
+        &self,
+        queue_depth: usize,
+        queue_capacity: usize,
+        workers: usize,
+    ) -> MetricsSnapshot {
+        let ring_summary = |m: &Mutex<Option<Ring>>| {
+            m.lock()
+                .expect("metrics mutex poisoned")
+                .as_ref()
+                .map(Ring::summary)
+                .unwrap_or_default()
+        };
+        MetricsSnapshot {
+            queue_depth,
+            queue_capacity,
+            workers,
+            admitted: self.admitted.load(Ordering::Relaxed),
+            rejected_overload: self.rejected_overload.load(Ordering::Relaxed),
+            rejected_shutdown: self.rejected_shutdown.load(Ordering::Relaxed),
+            timed_out: self.timed_out.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            invalid: self.invalid.load(Ordering::Relaxed),
+            malformed: self.malformed.load(Ordering::Relaxed),
+            wall: ring_summary(&self.wall_ns),
+            cpu: ring_summary(&self.cpu_ns),
+        }
+    }
+}
+
+/// A point-in-time copy of the server's metrics — what a `stats` request
+/// returns over the wire.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Queries currently waiting for a worker.
+    pub queue_depth: usize,
+    /// The admission bound those queries sit under.
+    pub queue_capacity: usize,
+    /// Worker pool size.
+    pub workers: usize,
+    /// Queries accepted into the queue.
+    pub admitted: u64,
+    /// Queries rejected because the queue was full (backpressure).
+    pub rejected_overload: u64,
+    /// Queries rejected because the server was draining.
+    pub rejected_shutdown: u64,
+    /// Queries whose deadline expired (queued or mid-execution).
+    pub timed_out: u64,
+    /// Queries answered successfully.
+    pub completed: u64,
+    /// Queries failing engine admission (typed `invalid_query` replies).
+    pub invalid: u64,
+    /// Frames that were not well-formed requests.
+    pub malformed: u64,
+    /// Dequeue → reply-written wall time of completed queries.
+    pub wall: LatencySummary,
+    /// Engine CPU time (summed phases) of completed queries.
+    pub cpu: LatencySummary,
+}
+
+impl MetricsSnapshot {
+    pub(crate) fn to_json_value(self) -> JsonValue {
+        JsonValue::Obj(vec![
+            ("queue_depth".into(), JsonValue::num_usize(self.queue_depth)),
+            (
+                "queue_capacity".into(),
+                JsonValue::num_usize(self.queue_capacity),
+            ),
+            ("workers".into(), JsonValue::num_usize(self.workers)),
+            ("admitted".into(), JsonValue::num_u64(self.admitted)),
+            (
+                "rejected_overload".into(),
+                JsonValue::num_u64(self.rejected_overload),
+            ),
+            (
+                "rejected_shutdown".into(),
+                JsonValue::num_u64(self.rejected_shutdown),
+            ),
+            ("timed_out".into(), JsonValue::num_u64(self.timed_out)),
+            ("completed".into(), JsonValue::num_u64(self.completed)),
+            ("invalid".into(), JsonValue::num_u64(self.invalid)),
+            ("malformed".into(), JsonValue::num_u64(self.malformed)),
+            ("wall".into(), self.wall.to_json_value()),
+            ("cpu".into(), self.cpu.to_json_value()),
+        ])
+    }
+
+    pub(crate) fn from_json_value(v: &JsonValue) -> Result<MetricsSnapshot, String> {
+        let u64_field = |key: &str| {
+            v.get(key)
+                .and_then(|x| x.as_u64())
+                .ok_or_else(|| format!("metrics snapshot needs u64 \"{key}\""))
+        };
+        let usize_field = |key: &str| {
+            v.get(key)
+                .and_then(|x| x.as_usize())
+                .ok_or_else(|| format!("metrics snapshot needs usize \"{key}\""))
+        };
+        Ok(MetricsSnapshot {
+            queue_depth: usize_field("queue_depth")?,
+            queue_capacity: usize_field("queue_capacity")?,
+            workers: usize_field("workers")?,
+            admitted: u64_field("admitted")?,
+            rejected_overload: u64_field("rejected_overload")?,
+            rejected_shutdown: u64_field("rejected_shutdown")?,
+            timed_out: u64_field("timed_out")?,
+            completed: u64_field("completed")?,
+            invalid: u64_field("invalid")?,
+            malformed: u64_field("malformed")?,
+            wall: LatencySummary::from_json_value(
+                v.get("wall").ok_or("metrics snapshot needs \"wall\"")?,
+            )?,
+            cpu: LatencySummary::from_json_value(
+                v.get("cpu").ok_or("metrics snapshot needs \"cpu\"")?,
+            )?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_over_a_known_series() {
+        let m = Metrics::new();
+        for i in 1..=100u64 {
+            m.record_latency(i * 1000, i * 10);
+        }
+        let s = m.snapshot(3, 64, 4);
+        assert_eq!(s.wall.count, 100);
+        // Nearest-rank at q=0.5 over 100 samples: index round(99·0.5) = 50.
+        assert_eq!(s.wall.p50_ns, 51_000);
+        assert_eq!(s.wall.p95_ns, 95_000);
+        assert_eq!(s.wall.max_ns, 100_000);
+        assert_eq!(s.cpu.max_ns, 1000);
+        assert_eq!(s.queue_depth, 3);
+        assert_eq!(s.queue_capacity, 64);
+        assert_eq!(s.workers, 4);
+    }
+
+    #[test]
+    fn ring_retains_only_the_recent_window() {
+        let mut r = Ring::new();
+        for i in 0..(SAMPLE_CAP as u64 + 10) {
+            r.push(i);
+        }
+        let s = r.summary();
+        assert_eq!(s.count, SAMPLE_CAP as u64 + 10);
+        // The 10 oldest samples were evicted, so the minimum retained is 10.
+        assert_eq!(r.samples.len(), SAMPLE_CAP);
+        assert!(r.samples.iter().all(|&v| v >= 10));
+        assert_eq!(s.max_ns, SAMPLE_CAP as u64 + 9);
+    }
+
+    #[test]
+    fn empty_metrics_snapshot_is_zeroed() {
+        let s = Metrics::new().snapshot(0, 8, 1);
+        assert_eq!(s.wall, LatencySummary::default());
+        assert_eq!(s.completed, 0);
+    }
+
+    #[test]
+    fn snapshot_json_round_trips() {
+        let m = Metrics::new();
+        Metrics::bump(&m.admitted);
+        Metrics::bump(&m.completed);
+        Metrics::bump(&m.rejected_overload);
+        m.record_latency(123_456, 98_765);
+        let s = m.snapshot(1, 32, 2);
+        let v = s.to_json_value();
+        assert_eq!(MetricsSnapshot::from_json_value(&v).unwrap(), s);
+    }
+}

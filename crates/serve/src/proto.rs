@@ -1,0 +1,400 @@
+//! The wire protocol: newline-delimited JSON frames over TCP.
+//!
+//! One frame is one JSON document followed by `\n`. The core codec
+//! ([`trajsearch_core::json`]) never emits a raw newline (control
+//! characters are `\u`-escaped inside strings), so the framing is
+//! unambiguous and a plain `read_line` recovers frame boundaries. Frames
+//! larger than [`MAX_FRAME_BYTES`] are rejected before parsing — the peer
+//! controls the bytes, the server bounds the memory.
+//!
+//! Requests (client → server):
+//!
+//! ```json
+//! {"type":"query","id":7,"query":{ ...Query::to_json()... }}
+//! {"type":"stats","id":8}
+//! ```
+//!
+//! Replies (server → client), correlated by `id` — pipelined requests may
+//! be answered **out of submission order**, workers finish when they
+//! finish:
+//!
+//! ```json
+//! {"type":"response","id":7,"response":{ ...Response::to_json()... }}
+//! {"type":"error","id":7,"error":{"kind":"overloaded","message":"..."}}
+//! {"type":"stats","id":8,"stats":{ ...MetricsSnapshot... }}
+//! ```
+//!
+//! An error frame's `id` is `null` when the offending frame was too
+//! malformed to carry one.
+
+use crate::metrics::MetricsSnapshot;
+use std::fmt;
+use std::io::{self, BufRead, Write};
+use trajsearch_core::json::JsonValue;
+use trajsearch_core::{Query, Response};
+
+/// Hard bound on a single frame's size, both directions. Large enough for
+/// any realistic query batch element; small enough that a hostile peer
+/// cannot balloon server memory through one connection.
+pub const MAX_FRAME_BYTES: usize = 8 << 20;
+
+// ---------------------------------------------------------------------------
+// Typed server errors
+// ---------------------------------------------------------------------------
+
+/// Why the server answered a request with an error instead of a response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerErrorKind {
+    /// The bounded admission queue was full — backpressure, retry later.
+    Overloaded,
+    /// The query's `deadline_ms` budget expired (while queued or at a
+    /// cooperative checkpoint mid-execution); no partial answer exists.
+    DeadlineExceeded,
+    /// The server is draining for shutdown and admits no new queries.
+    ShuttingDown,
+    /// The query failed validation or admission in the engine (the message
+    /// carries the `QueryError` rendering).
+    InvalidQuery,
+    /// The frame was not a well-formed request envelope.
+    Malformed,
+}
+
+impl ServerErrorKind {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ServerErrorKind::Overloaded => "overloaded",
+            ServerErrorKind::DeadlineExceeded => "deadline_exceeded",
+            ServerErrorKind::ShuttingDown => "shutting_down",
+            ServerErrorKind::InvalidQuery => "invalid_query",
+            ServerErrorKind::Malformed => "malformed",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<ServerErrorKind> {
+        Some(match s {
+            "overloaded" => ServerErrorKind::Overloaded,
+            "deadline_exceeded" => ServerErrorKind::DeadlineExceeded,
+            "shutting_down" => ServerErrorKind::ShuttingDown,
+            "invalid_query" => ServerErrorKind::InvalidQuery,
+            "malformed" => ServerErrorKind::Malformed,
+            _ => return None,
+        })
+    }
+}
+
+/// A typed error reply; `kind` is the machine-readable classification
+/// (overload vs timeout vs invalid), `message` the human-readable detail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerError {
+    pub kind: ServerErrorKind,
+    pub message: String,
+}
+
+impl ServerError {
+    pub fn new(kind: ServerErrorKind, message: impl Into<String>) -> ServerError {
+        ServerError {
+            kind,
+            message: message.into(),
+        }
+    }
+
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Obj(vec![
+            ("kind".into(), JsonValue::Str(self.kind.as_str().into())),
+            ("message".into(), JsonValue::Str(self.message.clone())),
+        ])
+    }
+
+    fn from_json_value(v: &JsonValue) -> Result<ServerError, String> {
+        let kind = v
+            .get("kind")
+            .and_then(|k| k.as_str())
+            .and_then(ServerErrorKind::from_str)
+            .ok_or("error frame needs a known \"kind\"")?;
+        let message = v
+            .get("message")
+            .and_then(|m| m.as_str())
+            .unwrap_or_default()
+            .to_string();
+        Ok(ServerError { kind, message })
+    }
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind.as_str(), self.message)
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+// ---------------------------------------------------------------------------
+// Request / Reply envelopes
+// ---------------------------------------------------------------------------
+
+/// A client → server frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Answer one query. `id` correlates the eventual reply.
+    Query { id: u64, query: Query },
+    /// Return the server's metrics snapshot.
+    Stats { id: u64 },
+}
+
+impl Request {
+    pub fn id(&self) -> u64 {
+        match self {
+            Request::Query { id, .. } | Request::Stats { id } => *id,
+        }
+    }
+
+    pub fn to_json(&self) -> String {
+        match self {
+            Request::Query { id, query } => JsonValue::Obj(vec![
+                ("type".into(), JsonValue::Str("query".into())),
+                ("id".into(), JsonValue::num_u64(*id)),
+                // The query's canonical wire object, embedded directly —
+                // not re-rendered and re-parsed, and not a string.
+                ("query".into(), query.to_value()),
+            ])
+            .to_string(),
+            Request::Stats { id } => JsonValue::Obj(vec![
+                ("type".into(), JsonValue::Str("stats".into())),
+                ("id".into(), JsonValue::num_u64(*id)),
+            ])
+            .to_string(),
+        }
+    }
+
+    /// Decodes a request frame. The error side carries the frame's `id`
+    /// when one could be extracted, so the server can still address its
+    /// error reply.
+    pub fn from_json(text: &str) -> Result<Request, (Option<u64>, ServerError)> {
+        let malformed =
+            |id: Option<u64>, msg: &str| (id, ServerError::new(ServerErrorKind::Malformed, msg));
+        let doc = match JsonValue::parse(text) {
+            Ok(doc) => doc,
+            Err(e) => return Err(malformed(None, &format!("unparseable frame: {e}"))),
+        };
+        let id = doc.get("id").and_then(|v| v.as_u64());
+        let Some(id) = id else {
+            return Err(malformed(None, "request frame needs a u64 \"id\""));
+        };
+        match doc.get("type").and_then(|v| v.as_str()) {
+            Some("query") => {
+                let Some(query) = doc.get("query") else {
+                    return Err(malformed(Some(id), "query request needs a \"query\""));
+                };
+                match Query::from_value(query) {
+                    Ok(query) => Ok(Request::Query { id, query }),
+                    Err(e) => Err((
+                        Some(id),
+                        ServerError::new(ServerErrorKind::InvalidQuery, e.to_string()),
+                    )),
+                }
+            }
+            Some("stats") => Ok(Request::Stats { id }),
+            other => Err(malformed(
+                Some(id),
+                &format!("unknown request type {other:?}"),
+            )),
+        }
+    }
+}
+
+/// A server → client frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    Response { id: u64, response: Response },
+    Error { id: Option<u64>, error: ServerError },
+    Stats { id: u64, stats: MetricsSnapshot },
+}
+
+impl Reply {
+    pub fn to_json(&self) -> String {
+        match self {
+            Reply::Response { id, response } => JsonValue::Obj(vec![
+                ("type".into(), JsonValue::Str("response".into())),
+                ("id".into(), JsonValue::num_u64(*id)),
+                ("response".into(), response.to_value()),
+            ])
+            .to_string(),
+            Reply::Error { id, error } => JsonValue::Obj(vec![
+                ("type".into(), JsonValue::Str("error".into())),
+                ("id".into(), id.map_or(JsonValue::Null, JsonValue::num_u64)),
+                ("error".into(), error.to_json_value()),
+            ])
+            .to_string(),
+            Reply::Stats { id, stats } => JsonValue::Obj(vec![
+                ("type".into(), JsonValue::Str("stats".into())),
+                ("id".into(), JsonValue::num_u64(*id)),
+                ("stats".into(), stats.to_json_value()),
+            ])
+            .to_string(),
+        }
+    }
+
+    pub fn from_json(text: &str) -> Result<Reply, String> {
+        let doc = JsonValue::parse(text)?;
+        match doc.get("type").and_then(|v| v.as_str()) {
+            Some("response") => {
+                let id = doc
+                    .get("id")
+                    .and_then(|v| v.as_u64())
+                    .ok_or("response frame needs a u64 \"id\"")?;
+                let response = doc.get("response").ok_or("missing \"response\"")?;
+                let response = Response::from_value(response).map_err(|e| e.to_string())?;
+                Ok(Reply::Response { id, response })
+            }
+            Some("error") => {
+                let id = doc.get("id").and_then(|v| v.as_u64());
+                let error = doc.get("error").ok_or("missing \"error\"")?;
+                Ok(Reply::Error {
+                    id,
+                    error: ServerError::from_json_value(error)?,
+                })
+            }
+            Some("stats") => {
+                let id = doc
+                    .get("id")
+                    .and_then(|v| v.as_u64())
+                    .ok_or("stats frame needs a u64 \"id\"")?;
+                let stats = doc.get("stats").ok_or("missing \"stats\"")?;
+                Ok(Reply::Stats {
+                    id,
+                    stats: MetricsSnapshot::from_json_value(stats)?,
+                })
+            }
+            other => Err(format!("unknown reply type {other:?}")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+/// Writes one frame (document + `\n`). The caller flushes — batch writers
+/// amortize one flush over many frames.
+pub fn write_frame(w: &mut impl Write, json: &str) -> io::Result<()> {
+    debug_assert!(!json.contains('\n'), "frames are single-line by contract");
+    w.write_all(json.as_bytes())?;
+    w.write_all(b"\n")
+}
+
+/// Reads one frame from a blocking buffered reader. `Ok(None)` is a clean
+/// EOF; an oversized frame is an `InvalidData` error.
+pub fn read_frame(r: &mut impl BufRead) -> io::Result<Option<String>> {
+    let mut line = String::new();
+    let mut total = 0usize;
+    loop {
+        let n = r.read_line(&mut line)?;
+        if n == 0 {
+            return if total == 0 {
+                Ok(None)
+            } else {
+                Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                ))
+            };
+        }
+        total += n;
+        if total > MAX_FRAME_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "frame exceeds MAX_FRAME_BYTES",
+            ));
+        }
+        if line.ends_with('\n') {
+            line.pop();
+            return Ok(Some(line));
+        }
+        // read_line only returns without a trailing '\n' at EOF; loop once
+        // more to observe the n == 0 and report the truncation.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn request_frames_round_trip() {
+        let query = Query::threshold(vec![1, 2, 3], 1.5)
+            .deadline_ms(250)
+            .build()
+            .unwrap();
+        let req = Request::Query { id: 42, query };
+        let back = Request::from_json(&req.to_json()).unwrap();
+        assert_eq!(back, req);
+        assert_eq!(back.id(), 42);
+        let req = Request::Stats { id: 7 };
+        assert_eq!(Request::from_json(&req.to_json()).unwrap(), req);
+    }
+
+    #[test]
+    fn malformed_requests_carry_ids_when_possible() {
+        // No id at all → addressable to nobody.
+        let (id, err) = Request::from_json("{}").unwrap_err();
+        assert_eq!(id, None);
+        assert_eq!(err.kind, ServerErrorKind::Malformed);
+        // Unparseable bytes.
+        let (id, err) = Request::from_json("not json").unwrap_err();
+        assert_eq!(id, None);
+        assert_eq!(err.kind, ServerErrorKind::Malformed);
+        // Id present, type wrong → the error reply can be addressed.
+        let (id, err) = Request::from_json(r#"{"type":"nope","id":3}"#).unwrap_err();
+        assert_eq!(id, Some(3));
+        assert_eq!(err.kind, ServerErrorKind::Malformed);
+        // Id present, query invalid → typed InvalidQuery.
+        let (id, err) =
+            Request::from_json(r#"{"type":"query","id":4,"query":{"pattern":[]}}"#).unwrap_err();
+        assert_eq!(id, Some(4));
+        assert_eq!(err.kind, ServerErrorKind::InvalidQuery);
+    }
+
+    #[test]
+    fn error_reply_round_trips_with_and_without_id() {
+        for id in [Some(9u64), None] {
+            let reply = Reply::Error {
+                id,
+                error: ServerError::new(ServerErrorKind::Overloaded, "queue full (cap 64)"),
+            };
+            assert_eq!(Reply::from_json(&reply.to_json()).unwrap(), reply);
+        }
+    }
+
+    #[test]
+    fn framing_round_trips_and_bounds_size() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, r#"{"a":1}"#).unwrap();
+        write_frame(&mut buf, r#"{"b":2}"#).unwrap();
+        let mut r = BufReader::new(&buf[..]);
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(r#"{"a":1}"#));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(r#"{"b":2}"#));
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+
+        // A frame cut off mid-document is an error, not a silent partial.
+        let mut r = BufReader::new(&b"{\"a\":1"[..]);
+        assert_eq!(
+            read_frame(&mut r).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+    }
+
+    #[test]
+    fn server_error_kinds_are_stable_strings() {
+        for kind in [
+            ServerErrorKind::Overloaded,
+            ServerErrorKind::DeadlineExceeded,
+            ServerErrorKind::ShuttingDown,
+            ServerErrorKind::InvalidQuery,
+            ServerErrorKind::Malformed,
+        ] {
+            assert_eq!(ServerErrorKind::from_str(kind.as_str()), Some(kind));
+        }
+        assert_eq!(ServerErrorKind::from_str("nope"), None);
+    }
+}

@@ -1,0 +1,209 @@
+//! The bounded admission queue between connection readers and the worker
+//! pool.
+//!
+//! Backpressure is the whole point: a full queue **rejects at admission**
+//! ([`PushError::Full`] → a typed `overloaded` reply) instead of buffering
+//! without bound, so server memory is capped by `capacity × frame size`
+//! regardless of client behavior. Closing the queue ([`BoundedQueue::close`])
+//! makes the shutdown drain race-free, because "no new work" and "queue
+//! empty" are decided under the same mutex: once a reader observes
+//! [`PushError::Closed`], no push can interleave with a worker observing
+//! [`Pop::Drained`].
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Why a push was refused; the item comes back to the caller either way.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// At capacity — the backpressure signal.
+    Full(T),
+    /// Closed for shutdown — no new work is admitted.
+    Closed(T),
+}
+
+/// What a pop observed.
+#[derive(Debug)]
+pub enum Pop<T> {
+    /// A unit of work.
+    Item(T),
+    /// Timed out with the queue still open (or still holding a race with
+    /// another worker); poll again.
+    Empty,
+    /// Closed **and** empty: the drain is complete, workers may exit.
+    Drained,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A mutex+condvar MPMC queue with a hard capacity; see the module docs for
+/// the backpressure and drain contracts.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity.min(1024)),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Admits `item` unless the queue is full or closed — never blocks.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut inner = self.inner.lock().expect("queue mutex poisoned");
+        if inner.closed {
+            return Err(PushError::Closed(item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Waits up to `timeout` for work. Workers loop on this: `Item` is
+    /// processed, `Empty` re-polls (giving the caller a chance to observe
+    /// external state), `Drained` ends the worker.
+    pub fn pop_timeout(&self, timeout: Duration) -> Pop<T> {
+        let mut inner = self.inner.lock().expect("queue mutex poisoned");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Pop::Item(item);
+            }
+            if inner.closed {
+                return Pop::Drained;
+            }
+            let (guard, wait) = self
+                .ready
+                .wait_timeout(inner, timeout)
+                .expect("queue mutex poisoned");
+            inner = guard;
+            if wait.timed_out() {
+                return if inner.items.is_empty() && inner.closed {
+                    Pop::Drained
+                } else if let Some(item) = inner.items.pop_front() {
+                    Pop::Item(item)
+                } else {
+                    Pop::Empty
+                };
+            }
+        }
+    }
+
+    /// Closes admission. Queued items stay poppable (the drain); wakes all
+    /// waiting workers so they can observe the transition.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue mutex poisoned").closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Current depth — the live gauge behind the metrics snapshot.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue mutex poisoned").items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn rejects_when_full_and_after_close() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert!(matches!(q.try_push(3), Err(PushError::Full(3))));
+        assert_eq!(q.len(), 2);
+        q.close();
+        assert!(matches!(q.try_push(4), Err(PushError::Closed(4))));
+    }
+
+    #[test]
+    fn zero_capacity_rejects_everything() {
+        let q = BoundedQueue::new(0);
+        assert!(matches!(q.try_push(1), Err(PushError::Full(1))));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn drain_pops_queued_items_then_reports_drained() {
+        let q = BoundedQueue::new(8);
+        q.try_push("a").unwrap();
+        q.try_push("b").unwrap();
+        q.close();
+        assert!(matches!(
+            q.pop_timeout(Duration::from_millis(1)),
+            Pop::Item("a")
+        ));
+        assert!(matches!(
+            q.pop_timeout(Duration::from_millis(1)),
+            Pop::Item("b")
+        ));
+        assert!(matches!(
+            q.pop_timeout(Duration::from_millis(1)),
+            Pop::Drained
+        ));
+        // Drained is sticky.
+        assert!(matches!(
+            q.pop_timeout(Duration::from_millis(1)),
+            Pop::Drained
+        ));
+    }
+
+    #[test]
+    fn empty_open_queue_times_out_as_empty() {
+        let q: BoundedQueue<u8> = BoundedQueue::new(1);
+        assert!(matches!(
+            q.pop_timeout(Duration::from_millis(1)),
+            Pop::Empty
+        ));
+    }
+
+    #[test]
+    fn push_wakes_a_blocked_popper() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || match q2.pop_timeout(Duration::from_secs(10)) {
+            Pop::Item(v) => v,
+            other => panic!("expected an item, got {other:?}"),
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        q.try_push(99).unwrap();
+        assert_eq!(h.join().unwrap(), 99);
+    }
+
+    #[test]
+    fn close_wakes_blocked_poppers() {
+        let q: Arc<BoundedQueue<u8>> = Arc::new(BoundedQueue::new(4));
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || {
+            matches!(q2.pop_timeout(Duration::from_secs(10)), Pop::Drained)
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert!(h.join().unwrap());
+    }
+}

@@ -1,0 +1,478 @@
+//! The server: one acceptor thread, one reader thread per connection, and a
+//! bounded worker pool — all `std` scoped threads, no async runtime.
+//!
+//! ```text
+//!           accept()            try_push (bounded)          pop_timeout
+//! clients ──────────▶ readers ───────────────────▶ queue ──────────────▶ workers
+//!    ▲                  │  overloaded / malformed /           │ deadline check at
+//!    │                  ▼  shutting-down replies              ▼ dequeue, then
+//!    └───────────── shared per-connection writer ◀── engine.run_with_deadline
+//! ```
+//!
+//! Design points, mirroring the batch engine's scheduling:
+//!
+//! * **Backpressure, never unbounded memory** — admission is
+//!   [`BoundedQueue::try_push`]; a full queue is a typed `overloaded`
+//!   reply, and per-frame size is capped by
+//!   [`crate::proto::MAX_FRAME_BYTES`].
+//! * **Deadlines start at admission** — the reader stamps arrival; workers
+//!   re-check at dequeue (a query that aged out while queued is answered
+//!   `deadline_exceeded` without touching the engine) and the engine checks
+//!   cooperatively between verification groups
+//!   ([`trajsearch_core::deadline`]).
+//! * **Graceful drain** — [`ServerHandle::shutdown`] closes admission
+//!   (readers answer `shutting_down`), workers finish every query already
+//!   admitted and write its reply, then [`Server::serve`] returns a final
+//!   [`MetricsSnapshot`]. In-flight queries are never dropped.
+//! * **Scoped threads** — `serve` borrows the engine (and through it the
+//!   trajectory store), so serving needs no `'static` gymnastics and no
+//!   `Arc` over the dataset.
+
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::proto::{write_frame, Reply, Request, ServerError, ServerErrorKind, MAX_FRAME_BYTES};
+use crate::queue::{BoundedQueue, Pop, PushError};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use trajsearch_core::{Deadline, PostingSource, Query, QueryError, SearchEngine};
+use wed::WedInstance;
+
+/// Server configuration; the [`Default`] is a loopback server on an
+/// ephemeral port sized to the host.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address. Port 0 picks an ephemeral port — read the real one
+    /// from [`Server::local_addr`].
+    pub addr: SocketAddr,
+    /// Worker pool size (`0` means [`std::thread::available_parallelism`]).
+    pub workers: usize,
+    /// Admission queue bound. `0` is legal and rejects every query with
+    /// `overloaded` — useful for drills and tests.
+    pub queue_capacity: usize,
+    /// Poll granularity for shutdown checks (reader read timeouts and
+    /// worker pop timeouts). Bounds how long shutdown can lag.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: SocketAddr::from(([127, 0, 0, 1], 0)),
+            workers: 0,
+            queue_capacity: 1024,
+            poll_interval: Duration::from_millis(20),
+        }
+    }
+}
+
+impl ServerConfig {
+    fn resolve_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// One admitted query waiting for (or held by) a worker.
+struct Job {
+    id: u64,
+    query: Query,
+    /// Admission time — the deadline epoch, so queueing counts against the
+    /// budget.
+    accepted_at: Instant,
+    writer: Arc<Mutex<TcpStream>>,
+}
+
+/// State shared between acceptor, readers, workers and handles.
+struct Shared {
+    shutdown: AtomicBool,
+    queue: BoundedQueue<Job>,
+    metrics: Metrics,
+    workers: usize,
+}
+
+/// A bound-but-not-yet-serving server. [`Server::serve`] blocks the calling
+/// thread; grab a [`ServerHandle`] first for shutdown and metrics.
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    poll_interval: Duration,
+}
+
+/// Clonable remote control for a serving [`Server`].
+#[derive(Clone)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the real port when the config used 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Initiates graceful shutdown: admission closes immediately, queued
+    /// and in-flight queries drain to completion, then
+    /// [`Server::serve`] returns. Idempotent; returns without waiting for
+    /// the drain (join the thread running `serve` to wait).
+    pub fn shutdown(&self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.shared.queue.close();
+        // Wake the acceptor out of `accept()` with a throwaway connection;
+        // if connect fails the listener is already gone, which is fine.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Live metrics snapshot, no round trip needed.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot(
+            self.shared.queue.len(),
+            self.shared.queue.capacity(),
+            self.shared.workers,
+        )
+    }
+}
+
+impl Server {
+    /// Binds the listener. The server is not yet accepting — call
+    /// [`serve`](Server::serve).
+    pub fn bind(config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(config.addr)?;
+        let addr = listener.local_addr()?;
+        let workers = config.resolve_workers();
+        Ok(Server {
+            listener,
+            addr,
+            shared: Arc::new(Shared {
+                shutdown: AtomicBool::new(false),
+                queue: BoundedQueue::new(config.queue_capacity),
+                metrics: Metrics::new(),
+                workers,
+            }),
+            poll_interval: config.poll_interval,
+        })
+    }
+
+    /// Binds to `addr` with otherwise-default configuration.
+    pub fn bind_addr(addr: impl ToSocketAddrs) -> io::Result<Server> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address resolved"))?;
+        Server::bind(ServerConfig {
+            addr,
+            ..ServerConfig::default()
+        })
+    }
+
+    /// The bound address (with the real port when the config used 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The remote control; clone freely across threads.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            addr: self.addr,
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Serves `engine` until [`ServerHandle::shutdown`]. Blocks the calling
+    /// thread (spawn it inside [`std::thread::scope`] to keep borrowing the
+    /// engine); returns the final metrics snapshot once every admitted
+    /// query has been answered and all threads have joined.
+    pub fn serve<M, I>(self, engine: &SearchEngine<'_, M, I>) -> io::Result<MetricsSnapshot>
+    where
+        M: WedInstance + Sync,
+        I: PostingSource + Sync,
+    {
+        let Server {
+            listener,
+            addr,
+            shared,
+            poll_interval: poll,
+        } = self;
+        let handle = ServerHandle {
+            addr,
+            shared: Arc::clone(&shared),
+        };
+        let shared = &*handle.shared;
+        let accept_result = std::thread::scope(|scope| {
+            for _ in 0..shared.workers {
+                scope.spawn(move || worker_loop(shared, engine, poll));
+            }
+            // Transient accept() failures must not kill a long-running
+            // server: ECONNABORTED/ECONNRESET mean one *client* vanished
+            // mid-handshake (accept(2) documents these as retryable), and
+            // resource exhaustion (EMFILE/ENFILE) clears when connections
+            // close. Only a persistent failure streak is listener death.
+            let mut consecutive_errors = 0u32;
+            const MAX_CONSECUTIVE_ACCEPT_ERRORS: u32 = 16;
+            let accept_result = loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        consecutive_errors = 0;
+                        if shared.shutdown.load(Ordering::SeqCst) {
+                            // The shutdown wake-up connection (or a client
+                            // racing it) — drop it and stop accepting.
+                            break Ok(());
+                        }
+                        scope.spawn(move || connection_loop(stream, shared, poll));
+                    }
+                    Err(_) if shared.shutdown.load(Ordering::SeqCst) => break Ok(()),
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            io::ErrorKind::Interrupted
+                                | io::ErrorKind::ConnectionAborted
+                                | io::ErrorKind::ConnectionReset
+                        ) =>
+                    {
+                        continue
+                    }
+                    Err(e) => {
+                        consecutive_errors += 1;
+                        if consecutive_errors < MAX_CONSECUTIVE_ACCEPT_ERRORS {
+                            // Likely fd exhaustion or another transient
+                            // condition: back off one poll tick and retry.
+                            std::thread::sleep(poll);
+                            continue;
+                        }
+                        // Listener is persistently broken: fail, but still
+                        // drain what was admitted so no client hangs.
+                        shared.shutdown.store(true, Ordering::SeqCst);
+                        shared.queue.close();
+                        break Err(e);
+                    }
+                }
+            };
+            drop(listener);
+            accept_result
+            // Scope join: readers exit on their next poll tick (shutdown
+            // flag), workers after Pop::Drained — the graceful drain.
+        });
+        accept_result?;
+        Ok(handle.metrics())
+    }
+}
+
+/// Writes one reply frame on a connection's shared writer. A send failure
+/// means the client vanished; the query's work is simply discarded.
+fn send_reply(writer: &Mutex<TcpStream>, reply: &Reply) {
+    let json = reply.to_json();
+    let mut w = writer.lock().expect("connection writer poisoned");
+    let _ = write_frame(&mut *w, &json).and_then(|()| w.flush());
+}
+
+/// Per-connection reader: splits frames, answers `stats` and protocol
+/// errors inline, admits queries to the bounded queue.
+fn connection_loop(stream: TcpStream, shared: &Shared, poll: Duration) {
+    // Read timeouts turn the blocking reader into a shutdown-aware poller.
+    if stream.set_read_timeout(Some(poll)).is_err() {
+        return;
+    }
+    let writer = match stream.try_clone() {
+        Ok(clone) => Arc::new(Mutex::new(clone)),
+        Err(_) => return,
+    };
+    let mut reader = stream;
+    let mut acc: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        // Drain complete frames from the accumulator first.
+        while let Some(nl) = acc.iter().position(|&b| b == b'\n') {
+            let frame: Vec<u8> = acc.drain(..=nl).collect();
+            let text = String::from_utf8_lossy(&frame[..frame.len() - 1]).into_owned();
+            handle_frame(&text, shared, &writer);
+        }
+        if acc.len() > MAX_FRAME_BYTES {
+            Metrics::bump(&shared.metrics.malformed);
+            send_reply(
+                &writer,
+                &Reply::Error {
+                    id: None,
+                    error: ServerError::new(
+                        ServerErrorKind::Malformed,
+                        "frame exceeds MAX_FRAME_BYTES",
+                    ),
+                },
+            );
+            return; // close the connection: framing is unrecoverable
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // Stop reading new requests. Replies for this connection's
+            // in-flight queries are written by workers through `writer`,
+            // which stays alive inside their jobs until drained.
+            return;
+        }
+        match reader.read(&mut chunk) {
+            Ok(0) => return, // client closed
+            Ok(n) => acc.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue; // poll tick: loop re-checks shutdown
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return,
+        }
+    }
+}
+
+fn handle_frame(text: &str, shared: &Shared, writer: &Arc<Mutex<TcpStream>>) {
+    if text.trim().is_empty() {
+        return; // tolerate blank keep-alive lines
+    }
+    let request = match Request::from_json(text) {
+        Ok(request) => request,
+        Err((id, error)) => {
+            Metrics::bump(if error.kind == ServerErrorKind::InvalidQuery {
+                &shared.metrics.invalid
+            } else {
+                &shared.metrics.malformed
+            });
+            send_reply(writer, &Reply::Error { id, error });
+            return;
+        }
+    };
+    match request {
+        Request::Stats { id } => {
+            let stats = shared.metrics.snapshot(
+                shared.queue.len(),
+                shared.queue.capacity(),
+                shared.workers,
+            );
+            send_reply(writer, &Reply::Stats { id, stats });
+        }
+        Request::Query { id, query } => {
+            let job = Job {
+                id,
+                query,
+                accepted_at: Instant::now(),
+                writer: Arc::clone(writer),
+            };
+            match shared.queue.try_push(job) {
+                Ok(()) => Metrics::bump(&shared.metrics.admitted),
+                Err(PushError::Full(job)) => {
+                    Metrics::bump(&shared.metrics.rejected_overload);
+                    send_reply(
+                        writer,
+                        &Reply::Error {
+                            id: Some(job.id),
+                            error: ServerError::new(
+                                ServerErrorKind::Overloaded,
+                                format!(
+                                    "admission queue full (capacity {})",
+                                    shared.queue.capacity()
+                                ),
+                            ),
+                        },
+                    );
+                }
+                Err(PushError::Closed(job)) => {
+                    Metrics::bump(&shared.metrics.rejected_shutdown);
+                    send_reply(
+                        writer,
+                        &Reply::Error {
+                            id: Some(job.id),
+                            error: ServerError::new(
+                                ServerErrorKind::ShuttingDown,
+                                "server is draining; no new queries admitted",
+                            ),
+                        },
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Worker: claim → dequeue-time deadline check → engine (with cooperative
+/// checkpoints) → reply.
+fn worker_loop<M, I>(shared: &Shared, engine: &SearchEngine<'_, M, I>, poll: Duration)
+where
+    M: WedInstance + Sync,
+    I: PostingSource + Sync,
+{
+    loop {
+        match shared.queue.pop_timeout(poll) {
+            Pop::Item(job) => process(job, shared, engine),
+            Pop::Empty => continue,
+            Pop::Drained => return,
+        }
+    }
+}
+
+fn process<M, I>(job: Job, shared: &Shared, engine: &SearchEngine<'_, M, I>)
+where
+    M: WedInstance + Sync,
+    I: PostingSource + Sync,
+{
+    let deadline = Deadline::for_query(job.accepted_at, job.query.deadline_ms());
+    // Dequeue-time check: a query that aged out while queued is answered
+    // without paying for any engine work.
+    if deadline.expired() {
+        Metrics::bump(&shared.metrics.timed_out);
+        send_reply(
+            &job.writer,
+            &Reply::Error {
+                id: Some(job.id),
+                error: ServerError::new(
+                    ServerErrorKind::DeadlineExceeded,
+                    "deadline expired while queued",
+                ),
+            },
+        );
+        return;
+    }
+    let t0 = Instant::now();
+    match engine.run_with_deadline(&job.query, deadline) {
+        Ok(response) => {
+            let wall_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            let cpu_ns = u64::try_from(response.stats.total_time().as_nanos()).unwrap_or(u64::MAX);
+            shared.metrics.record_latency(wall_ns, cpu_ns);
+            Metrics::bump(&shared.metrics.completed);
+            send_reply(
+                &job.writer,
+                &Reply::Response {
+                    id: job.id,
+                    response,
+                },
+            );
+        }
+        Err(QueryError::DeadlineExceeded) => {
+            Metrics::bump(&shared.metrics.timed_out);
+            send_reply(
+                &job.writer,
+                &Reply::Error {
+                    id: Some(job.id),
+                    error: ServerError::new(
+                        ServerErrorKind::DeadlineExceeded,
+                        "deadline expired during execution",
+                    ),
+                },
+            );
+        }
+        Err(e) => {
+            Metrics::bump(&shared.metrics.invalid);
+            send_reply(
+                &job.writer,
+                &Reply::Error {
+                    id: Some(job.id),
+                    error: ServerError::new(ServerErrorKind::InvalidQuery, e.to_string()),
+                },
+            );
+        }
+    }
+}

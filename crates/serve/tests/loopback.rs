@@ -1,0 +1,449 @@
+//! Loopback integration suite: the server's externally observable
+//! semantics, end to end over real sockets.
+//!
+//! * **Equivalence** — every `Response` received over the socket is
+//!   byte-identical (matches and stats counters) to in-process
+//!   `SearchEngine::run_batch` on the same workload, across both index
+//!   layouts.
+//! * **Backpressure** — a full admission queue answers a typed
+//!   `overloaded` error; nothing buffers without bound.
+//! * **Deadlines** — an expired `deadline_ms` answers a typed
+//!   `deadline_exceeded` error (queued or mid-execution), never a late
+//!   answer.
+//! * **Drain** — shutdown with in-flight queries answers every admitted
+//!   query before `serve` returns.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::time::Duration;
+use traj::{Trajectory, TrajectoryStore};
+use trajsearch_core::{
+    BatchOptions, EngineBuilder, IndexLayout, Parallelism, Query, Response, TemporalConstraint,
+    TimeInterval, VerifyMode,
+};
+use trajsearch_serve::{Client, ClientError, Server, ServerConfig, ServerErrorKind, ServerHandle};
+use wed::models::Lev;
+use wed::Sym;
+
+const ALPHABET: usize = 64;
+
+/// Shuts the server down when dropped, so a failing assertion inside a
+/// `thread::scope` unwinds into a clean server exit instead of a hang
+/// (the scope joins the serving thread before propagating the panic).
+struct ShutdownOnDrop(ServerHandle);
+
+impl Drop for ShutdownOnDrop {
+    fn drop(&mut self) {
+        self.0.shutdown();
+    }
+}
+
+/// Synthetic store: `n` random walks of length `len` with increasing
+/// timestamps, seeded for reproducibility.
+fn store(n: usize, len: usize, seed: u64) -> TrajectoryStore {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut store = TrajectoryStore::new();
+    for i in 0..n {
+        let path: Vec<Sym> = (0..len)
+            .map(|_| rng.gen_range(0..ALPHABET as u32))
+            .collect();
+        let t0 = (i * 7) as f64;
+        let times: Vec<f64> = (0..len).map(|j| t0 + j as f64).collect();
+        store.push(Trajectory::new(path, times));
+    }
+    store
+}
+
+/// A pattern copied out of the store (so matches exist), possibly perturbed.
+fn pattern_from(store: &TrajectoryStore, rng: &mut ChaCha8Rng, len: usize) -> Vec<Sym> {
+    let id = rng.gen_range(0..store.len() as u32);
+    let path = store.get(id).path();
+    let start = rng.gen_range(0..path.len().saturating_sub(len).max(1));
+    let mut q: Vec<Sym> = path[start..(start + len).min(path.len())].to_vec();
+    if rng.gen_range(0..2) == 1 && !q.is_empty() {
+        let at = rng.gen_range(0..q.len());
+        q[at] = rng.gen_range(0..ALPHABET as u32);
+    }
+    q
+}
+
+/// A mixed workload: thresholds (all verify modes), top-k, temporal and
+/// in-query-parallel queries.
+fn mixed_workload(store: &TrajectoryStore, n: usize, seed: u64) -> Vec<Query> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let q = pattern_from(store, &mut rng, 4 + i % 4);
+            let tau = 1.0 + (i % 3) as f64 * 0.75;
+            match i % 5 {
+                0 => Query::threshold(q, tau).build().unwrap(),
+                1 => Query::threshold(q, tau)
+                    .verify(VerifyMode::Sw)
+                    .build()
+                    .unwrap(),
+                2 => Query::top_k(q, 3, 0.5, 6.0).build().unwrap(),
+                3 => Query::threshold(q, tau)
+                    .verify(VerifyMode::Local)
+                    .temporal(TemporalConstraint::overlaps(TimeInterval::new(0.0, 200.0)))
+                    .temporal_filter(true)
+                    .build()
+                    .unwrap(),
+                _ => Query::threshold(q, tau)
+                    .parallelism(Parallelism::InQuery(2))
+                    .build()
+                    .unwrap(),
+            }
+        })
+        .collect()
+}
+
+/// "Byte-identical" in the sense the wire can preserve: matches exactly
+/// equal (ids, spans, bit-for-bit distances) and every deterministic stats
+/// counter equal. Timings are execution-dependent and excluded.
+fn assert_equivalent(got: &Response, want: &Response, ctx: &str) {
+    assert_eq!(got.matches, want.matches, "{ctx}: matches diverged");
+    let (g, w) = (&got.stats, &want.stats);
+    assert_eq!(g.candidates, w.candidates, "{ctx}: candidates");
+    assert_eq!(
+        g.candidates_after_temporal, w.candidates_after_temporal,
+        "{ctx}: candidates_after_temporal"
+    );
+    assert_eq!(
+        g.candidates_deduped, w.candidates_deduped,
+        "{ctx}: candidates_deduped"
+    );
+    assert_eq!(g.tsubseq_len, w.tsubseq_len, "{ctx}: tsubseq_len");
+    assert_eq!(g.fallback, w.fallback, "{ctx}: fallback");
+    assert_eq!(g.sw_columns, w.sw_columns, "{ctx}: sw_columns");
+    assert_eq!(g.results, w.results, "{ctx}: results");
+}
+
+/// A query whose *cost* is a full exact scan of the store (Lev is
+/// infeasible once `tau > |Q|`, forcing the fallback) but whose *response*
+/// stays tiny: the temporal post-check discards almost every match after
+/// the scan has already paid for them. The deterministic "slow query" for
+/// deadline and drain tests — its runtime scales with the store, its reply
+/// does not.
+fn slow_query(deadline_ms: Option<u64>) -> Query {
+    let pattern: Vec<Sym> = (0..8).map(|i| (i % ALPHABET) as u32).collect();
+    let builder = Query::threshold(pattern, 8.5)
+        .verify(VerifyMode::Sw)
+        .temporal(TemporalConstraint::within(TimeInterval::new(0.0, 2.0)));
+    match deadline_ms {
+        Some(ms) => builder.deadline_ms(ms).build().unwrap(),
+        None => builder.build().unwrap(),
+    }
+}
+
+#[test]
+fn loopback_responses_match_in_process_run_batch_across_layouts() {
+    let store = store(120, 24, 0xA11CE);
+    let workload = mixed_workload(&store, 25, 0xB0B);
+    for (layout, layout_name) in [
+        (IndexLayout::Single, "single"),
+        (IndexLayout::Sharded(3), "sharded(3)"),
+    ] {
+        let engine = EngineBuilder::new(Lev, &store, ALPHABET)
+            .layout(layout)
+            .build();
+        let want = engine
+            .run_batch(&workload, BatchOptions::with_threads(2))
+            .expect("workload admissible");
+
+        let server = Server::bind(ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        })
+        .expect("bind loopback");
+        let handle = server.handle();
+        std::thread::scope(|scope| {
+            let guard = ShutdownOnDrop(handle.clone());
+            let serving = scope.spawn(|| server.serve(&engine));
+
+            let mut client = Client::connect(handle.local_addr()).expect("connect");
+            // Pipelined batch: replies may arrive out of order, the client
+            // restores submission order.
+            let outcomes = client.query_batch(&workload).expect("transport ok");
+            assert_eq!(outcomes.len(), workload.len());
+            for (i, (got, want)) in outcomes.iter().zip(&want.responses).enumerate() {
+                let got = got.as_ref().expect("no rejections in this workload");
+                assert_equivalent(got, want, &format!("{layout_name} query {i}"));
+            }
+            // Single-query path agrees too.
+            let got = client.query(&workload[0]).expect("single query");
+            assert_equivalent(&got, &want.responses[0], &format!("{layout_name} single"));
+
+            let stats = client.stats().expect("stats over the wire");
+            assert_eq!(stats.completed, workload.len() as u64 + 1);
+            assert_eq!(stats.rejected_overload, 0);
+            assert!(stats.wall.count >= stats.completed);
+
+            drop(guard); // orderly shutdown
+            let final_metrics = serving.join().expect("serve thread").expect("serve ok");
+            assert_eq!(final_metrics.completed, workload.len() as u64 + 1);
+            assert_eq!(final_metrics.queue_depth, 0, "drained");
+        });
+    }
+}
+
+#[test]
+fn full_admission_queue_rejects_with_typed_overload() {
+    let store = store(40, 16, 7);
+    let engine = EngineBuilder::new(Lev, &store, ALPHABET).build();
+    // Capacity 0: every query meets a full queue — the deterministic
+    // worst-case overload.
+    let server = Server::bind(ServerConfig {
+        workers: 1,
+        queue_capacity: 0,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let handle = server.handle();
+    std::thread::scope(|scope| {
+        let guard = ShutdownOnDrop(handle.clone());
+        let serving = scope.spawn(|| server.serve(&engine));
+        let mut client = Client::connect(handle.local_addr()).expect("connect");
+
+        let q = Query::threshold(vec![1, 2], 1.0).build().unwrap();
+        let err = client.query(&q).expect_err("must be rejected");
+        match err {
+            ClientError::Server(e) => {
+                assert_eq!(e.kind, ServerErrorKind::Overloaded);
+                assert!(e.message.contains("capacity 0"), "got {e}");
+            }
+            other => panic!("expected a typed overload, got {other}"),
+        }
+        // Batch submission: every outcome is an independent typed
+        // rejection; the transport stays healthy.
+        let outcomes = client
+            .query_batch(&vec![q.clone(); 8])
+            .expect("transport ok");
+        assert!(outcomes
+            .iter()
+            .all(|o| matches!(o, Err(e) if e.kind == ServerErrorKind::Overloaded)));
+
+        let stats = client.stats().expect("stats");
+        assert_eq!(stats.rejected_overload, 9);
+        assert_eq!(stats.admitted, 0);
+        assert_eq!(stats.completed, 0);
+        assert_eq!(stats.queue_capacity, 0);
+
+        drop(guard);
+        serving.join().expect("serve thread").expect("serve ok");
+    });
+}
+
+#[test]
+fn expired_deadline_returns_typed_timeout_not_a_slow_answer() {
+    // Big enough that the slow query's store-wide scan takes well over a
+    // millisecond (the scan checks its deadline between trajectories).
+    let store = store(1200, 64, 0xDEAD);
+    let engine = EngineBuilder::new(Lev, &store, ALPHABET).build();
+    let server = Server::bind(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let handle = server.handle();
+    std::thread::scope(|scope| {
+        let guard = ShutdownOnDrop(handle.clone());
+        let serving = scope.spawn(|| server.serve(&engine));
+        let mut client = Client::connect(handle.local_addr()).expect("connect");
+
+        // 1ms against a store-wide scan: expires while queued or at a
+        // cooperative checkpoint — either way the reply is typed.
+        let err = client
+            .query(&slow_query(Some(1)))
+            .expect_err("must time out");
+        match err {
+            ClientError::Server(e) => assert_eq!(e.kind, ServerErrorKind::DeadlineExceeded),
+            other => panic!("expected a typed timeout, got {other}"),
+        }
+
+        // The same query with a generous budget completes fine.
+        let ok = client
+            .query(&slow_query(Some(120_000)))
+            .expect("generous deadline");
+        assert!(ok.stats.fallback, "slow query exercises the fallback scan");
+
+        // Pipelined mix: the timeout of one query does not disturb the
+        // others' responses.
+        let fast = Query::threshold(vec![1, 2], 1.0).build().unwrap();
+        let outcomes = client
+            .query_batch(&[fast.clone(), slow_query(Some(1)), fast])
+            .expect("transport ok");
+        assert!(outcomes[0].is_ok());
+        assert!(matches!(
+            &outcomes[1],
+            Err(e) if e.kind == ServerErrorKind::DeadlineExceeded
+        ));
+        assert!(outcomes[2].is_ok());
+
+        let stats = client.stats().expect("stats");
+        assert!(stats.timed_out >= 2, "got {}", stats.timed_out);
+        assert!(stats.completed >= 3);
+
+        drop(guard);
+        serving.join().expect("serve thread").expect("serve ok");
+    });
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_queries() {
+    let store = store(1000, 64, 42);
+    let engine = EngineBuilder::new(Lev, &store, ALPHABET).build();
+    let server = Server::bind(ServerConfig {
+        workers: 1,
+        poll_interval: Duration::from_millis(5),
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let handle = server.handle();
+    let addr = handle.local_addr();
+    std::thread::scope(|scope| {
+        let guard = ShutdownOnDrop(handle.clone());
+        let serving = scope.spawn(|| server.serve(&engine));
+        let mut client = Client::connect(addr).expect("connect");
+
+        // Pipeline several store-wide scans, then shut down while most of
+        // them are still queued behind the single worker.
+        const N: usize = 6;
+        let workload = vec![slow_query(None); N];
+        let shutdown_handle = handle.clone();
+        let drainer = scope.spawn(move || {
+            // Wait until every query is admitted (admission happens in the
+            // reader, well before the worker drains them), then pull the
+            // plug. Returns whether shutdown really caught work in flight;
+            // asserted after the joins so a failure cannot hang the scope.
+            for _ in 0..2000 {
+                if shutdown_handle.metrics().admitted >= N as u64 {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            let caught_in_flight = shutdown_handle.metrics().completed < N as u64;
+            shutdown_handle.shutdown();
+            caught_in_flight
+        });
+        // Every admitted query still gets its real answer.
+        let outcomes = client.query_batch(&workload).expect("transport ok");
+        assert_eq!(outcomes.len(), N);
+        for (i, o) in outcomes.iter().enumerate() {
+            let r = o
+                .as_ref()
+                .unwrap_or_else(|e| panic!("query {i} rejected: {e}"));
+            assert!(r.stats.fallback);
+        }
+        let caught_in_flight = drainer.join().expect("drainer");
+
+        drop(guard);
+        let final_metrics = serving.join().expect("serve thread").expect("serve ok");
+        assert!(
+            caught_in_flight,
+            "shutdown must have caught queries in flight"
+        );
+        assert_eq!(final_metrics.completed, N as u64, "all in-flight drained");
+        assert_eq!(final_metrics.queue_depth, 0);
+
+        // The drained server is really gone: new connections are refused.
+        assert!(Client::connect(addr).is_err(), "listener must be closed");
+    });
+}
+
+#[test]
+fn queries_after_shutdown_are_rejected_as_shutting_down() {
+    let store = store(400, 48, 43);
+    let engine = EngineBuilder::new(Lev, &store, ALPHABET).build();
+    let server = Server::bind(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let handle = server.handle();
+    std::thread::scope(|scope| {
+        let guard = ShutdownOnDrop(handle.clone());
+        let serving = scope.spawn(|| server.serve(&engine));
+        let mut client = Client::connect(handle.local_addr()).expect("connect");
+
+        // Complete one query so the connection is known-good, then close
+        // admission and try another on the same connection.
+        let fast = Query::threshold(vec![1, 2], 1.0).build().unwrap();
+        client.query(&fast).expect("pre-shutdown query");
+        handle.shutdown();
+        let err = client.query(&fast).expect_err("admission is closed");
+        match err {
+            // The queue rejects atomically: never admitted, typed refusal.
+            ClientError::Server(e) => assert_eq!(e.kind, ServerErrorKind::ShuttingDown),
+            // Or the reader already exited on the shutdown tick and the
+            // connection dropped — an acceptable transport-level refusal.
+            ClientError::Io(_) | ClientError::Protocol(_) => {}
+        }
+        drop(guard);
+        serving.join().expect("serve thread").expect("serve ok");
+    });
+}
+
+#[test]
+fn malformed_and_invalid_frames_get_typed_errors() {
+    use std::io::{BufRead, BufReader, Write};
+    let store = store(30, 16, 9);
+    // No temporal postings in the index: a temporal-postings query is a
+    // typed engine-admission failure.
+    let engine = EngineBuilder::new(Lev, &store, ALPHABET).build();
+    let server = Server::bind(ServerConfig::default()).expect("bind");
+    let handle = server.handle();
+    std::thread::scope(|scope| {
+        let guard = ShutdownOnDrop(handle.clone());
+        let serving = scope.spawn(|| server.serve(&engine));
+
+        let mut raw = std::net::TcpStream::connect(handle.local_addr()).expect("connect");
+        let mut reader = BufReader::new(raw.try_clone().expect("clone"));
+        let mut read_line = || {
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("read");
+            line
+        };
+
+        // Unparseable frame → malformed, unattributed.
+        raw.write_all(b"this is not json\n").expect("write");
+        let line = read_line();
+        assert!(
+            line.contains("\"malformed\"") && line.contains("\"id\":null"),
+            "{line}"
+        );
+
+        // Parseable envelope, bad query → invalid_query, attributed.
+        raw.write_all(b"{\"type\":\"query\",\"id\":5,\"query\":{\"pattern\":[]}}\n")
+            .expect("write");
+        let line = read_line();
+        assert!(
+            line.contains("\"invalid_query\"") && line.contains("\"id\":5"),
+            "{line}"
+        );
+
+        // Valid query shape, engine-admission failure → invalid_query.
+        let q = Query::threshold(vec![1, 2], 1.0)
+            .temporal(TemporalConstraint::overlaps(TimeInterval::new(0.0, 5.0)))
+            .temporal_postings(true)
+            .build()
+            .unwrap();
+        let mut client = Client::connect(handle.local_addr()).expect("connect");
+        let err = client
+            .query(&q)
+            .expect_err("index has no temporal postings");
+        match err {
+            ClientError::Server(e) => {
+                assert_eq!(e.kind, ServerErrorKind::InvalidQuery);
+                assert!(e.message.contains("temporal postings"), "{e}");
+            }
+            other => panic!("expected invalid_query, got {other}"),
+        }
+
+        let stats = client.stats().expect("stats");
+        assert!(stats.malformed >= 1);
+        assert!(stats.invalid >= 2);
+
+        drop(guard);
+        serving.join().expect("serve thread").expect("serve ok");
+    });
+}

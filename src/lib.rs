@@ -11,6 +11,9 @@
 //! * [`traj`] — trajectories: model, store, synthetic trips, map matching.
 //! * [`wed`] — weighted edit distance: cost models, DP, Smith–Waterman.
 //! * [`core`] (`trajsearch_core`) — the OSF filter-and-verify engine.
+//! * [`serve`] (`trajsearch_serve`) — the concurrent TCP front-end over
+//!   the `Query`/`Response` wire format (bounded admission, deadlines,
+//!   graceful drain, metrics).
 //! * [`baselines`] — competitor methods from the paper's evaluation.
 //! * [`mod@bench`] (`trajsearch_bench`) — the table/figure experiment
 //!   harness.
@@ -23,6 +26,7 @@ pub use rnet;
 pub use traj;
 pub use trajsearch_bench as bench;
 pub use trajsearch_core as core;
+pub use trajsearch_serve as serve;
 pub use wed;
 
 /// Convenience re-exports of the types most programs start from: build an
@@ -34,9 +38,13 @@ pub mod prelude {
     pub use rnet::{CityParams, NetworkKind, RoadNetwork};
     pub use traj::{Trajectory, TrajectoryStore, TripConfig};
     pub use trajsearch_core::{
-        AnyIndex, BatchOptions, BatchResponse, EngineBuilder, IndexLayout, InvertedIndex,
+        AnyIndex, BatchOptions, BatchResponse, Deadline, EngineBuilder, IndexLayout, InvertedIndex,
         Objective, Parallelism, PostingSource, Query, QueryBuilder, QueryError, Response,
         SearchEngine, ShardedIndex, TemporalConstraint, TimeInterval, VerifyMode,
+    };
+    pub use trajsearch_serve::{
+        Client, ClientError, MetricsSnapshot, Server, ServerConfig, ServerError, ServerErrorKind,
+        ServerHandle,
     };
     pub use wed::models::{Edr, Erp, Lev, Memo, NetEdr, NetErp, Surs};
     pub use wed::{CostModel, Sym, WedInstance};
