@@ -29,6 +29,9 @@
 //!   serve    mixed threshold/top-k workload through the loopback TCP
 //!               front-end (trajsearch-serve) at 1/2/4 workers vs
 //!               in-process run_batch (also writes BENCH_serve.json)
+//!   distrib  the same style of workload through a coordinator over 1/2/3
+//!               loopback shard servers (trajsearch-distrib) vs in-process
+//!               run_batch (also writes BENCH_distrib.json)
 //!   all      everything above
 //! ```
 //!
@@ -87,7 +90,7 @@ fn parse_args() -> Args {
 
 fn print_usage() {
     eprintln!(
-        "usage: repro <table2|fig4|table3|fig5|fig6|fig7|fig8|fig9|fig10|table4|table5|table6|fig11|fig12|fig13|throughput|index-build|api|serve|all> [--scale S] [--queries N] [--min-speedup X]"
+        "usage: repro <table2|fig4|table3|fig5|fig6|fig7|fig8|fig9|fig10|table4|table5|table6|fig11|fig12|fig13|throughput|index-build|api|serve|distrib|all> [--scale S] [--queries N] [--min-speedup X]"
     );
 }
 
@@ -298,6 +301,21 @@ fn main() {
             .unwrap_or_else(|e| panic!("could not write {path}: {e}"));
         eprintln!("wrote {path}");
     }
+    if all || exp == "distrib" {
+        let rows = distrib::run(
+            "beijing",
+            FuncKind::Edr,
+            &[1, 2, 3],
+            60,
+            nq.max(9),
+            0.1,
+            scale,
+        );
+        distrib::print(&rows);
+        let path = "BENCH_distrib.json";
+        distrib::write_json(&rows, path).unwrap_or_else(|e| panic!("could not write {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
     if !all
         && ![
             "table2",
@@ -319,6 +337,7 @@ fn main() {
             "index-build",
             "api",
             "serve",
+            "distrib",
         ]
         .contains(&exp)
     {

@@ -1,0 +1,283 @@
+//! Distributed serving cost (`repro distrib`): the coordinator +
+//! shard-server topology (`trajsearch-distrib`) vs in-process `run_batch`
+//! on the same workload.
+//!
+//! The shard servers are real `serve_shard` instances on loopback TCP —
+//! run as in-process threads so the bench needs no helper binaries — and
+//! the coordinator is a [`Coordinator`] whose engine pulls every posting
+//! over the shard-RPC surface. Every remote `Response` is checked
+//! byte-identical (matches) against the in-process reference, so the
+//! measurement doubles as the cluster-smoke correctness gate in CI. The
+//! dump (`BENCH_distrib.json`) uses the shared envelope; `rpc_overhead`
+//! (remote wall / in-process wall) is the price of moving the postings
+//! fetches onto sockets. As always, `host_cpus` contextualizes numbers
+//! from small CI runners.
+
+use super::{host_cpus, write_bench_json};
+use crate::data::{Dataset, FuncKind, Scale};
+use crate::table::{fmt_ms, print_table};
+use std::time::Instant;
+use trajsearch_core::batch::BatchOptions;
+use trajsearch_core::{EngineBuilder, IndexShard, PostingSource, Query, RemoteSpec};
+use trajsearch_distrib::Coordinator;
+use trajsearch_serve::{IndexShardSource, Server, ServerConfig};
+
+/// One measured point: the workload through a coordinator over `shards`
+/// shard servers, with the in-process run as the baseline.
+#[derive(Debug, Clone)]
+pub struct DistribRow {
+    pub dataset: String,
+    pub func: &'static str,
+    pub shards: usize,
+    pub queries: usize,
+    pub inproc_wall_ms: f64,
+    pub inproc_qps: f64,
+    pub remote_wall_ms: f64,
+    pub remote_qps: f64,
+    /// Remote wall over in-process wall (shard-RPC + framing overhead
+    /// factor; 1.0 would be free postings fetches).
+    pub rpc_overhead: f64,
+    pub results: usize,
+    /// Postings bytes held per shard server, summed (the distributed
+    /// memory footprint the topology buys).
+    pub shard_bytes: usize,
+}
+
+/// Mixed threshold/top-k workload, each query round-tripped through its
+/// wire form — the exact bytes a remote client would send the coordinator.
+fn workload(
+    d: &Dataset,
+    func: FuncKind,
+    qlen: usize,
+    nqueries: usize,
+    tau_ratio: f64,
+) -> Vec<Query> {
+    let model = d.model(func);
+    d.sample_queries(func, qlen, nqueries, 47)
+        .into_iter()
+        .enumerate()
+        .map(|(i, q)| {
+            let tau = d.tau_for(&*model, &q, tau_ratio);
+            let query = match i % 3 {
+                0 | 1 => Query::threshold(q, tau).build(),
+                _ => Query::top_k(q, 5, tau, 4.0 * tau).build(),
+            }
+            .expect("workload queries are valid");
+            Query::from_json(&query.to_json()).expect("wire round-trip")
+        })
+        .collect()
+}
+
+/// Runs the workload in-process and through a loopback shard cluster at
+/// each shard count. Every remote response must match the in-process
+/// reference, and a healthy cluster must never degrade.
+pub fn run(
+    which: &str,
+    func: FuncKind,
+    shard_counts: &[usize],
+    qlen: usize,
+    nqueries: usize,
+    tau_ratio: f64,
+    scale: Scale,
+) -> Vec<DistribRow> {
+    const EPOCH: u64 = 1;
+
+    let d = Dataset::load(which, scale);
+    let model = d.model(func);
+    let (store, alphabet) = d.store_for(func);
+    let engine = EngineBuilder::new(&*model, store, alphabet).build();
+    let workload = workload(&d, func, qlen, nqueries, tau_ratio);
+
+    // Warm-up pass; doubles as the correctness reference.
+    let reference = engine
+        .run_batch(&workload, BatchOptions::with_threads(1))
+        .expect("workload admitted");
+
+    let mut rows = Vec::with_capacity(shard_counts.len());
+    for &n in shard_counts {
+        // In-process baseline, re-measured per row so the delta is taken
+        // against the same machine state.
+        let t0 = Instant::now();
+        engine
+            .run_batch(&workload, BatchOptions::with_threads(2))
+            .expect("workload admitted");
+        let inproc_wall = t0.elapsed();
+
+        // One real shard server per shard, on loopback ephemeral ports.
+        let shards: Vec<IndexShard> = (0..n)
+            .map(|k| IndexShard::build(store, alphabet, k, n))
+            .collect();
+        let shard_bytes: usize = shards.iter().map(|s| s.size_bytes()).sum();
+        let sources: Vec<IndexShardSource<'_>> = shards
+            .iter()
+            .map(|s| IndexShardSource::new(s, EPOCH))
+            .collect();
+        let servers: Vec<Server> = sources
+            .iter()
+            .map(|_| Server::bind(ServerConfig::default()).expect("bind shard server"))
+            .collect();
+        let handles: Vec<_> = servers.iter().map(Server::handle).collect();
+        let endpoints: Vec<String> = servers.iter().map(|s| s.local_addr().to_string()).collect();
+
+        let (remote_wall, results) = std::thread::scope(|scope| {
+            let mut serving = Vec::new();
+            for (server, source) in servers.into_iter().zip(&sources) {
+                serving.push(scope.spawn(move || server.serve_shard(source)));
+            }
+
+            let coordinator = Coordinator::connect(
+                &*model,
+                store,
+                alphabet,
+                &RemoteSpec::new(endpoints.iter().cloned()),
+            )
+            .expect("connect loopback cluster");
+
+            let t0 = Instant::now();
+            let remote = coordinator
+                .engine()
+                .run_batch(&workload, BatchOptions::with_threads(2))
+                .expect("workload admitted");
+            let remote_wall = t0.elapsed();
+
+            for (i, (got, want)) in remote
+                .responses
+                .iter()
+                .zip(&reference.responses)
+                .enumerate()
+            {
+                assert_eq!(
+                    got.matches, want.matches,
+                    "remote diverged on query {i} with {n} shards"
+                );
+            }
+            assert_eq!(
+                coordinator.remote().degraded_total(),
+                0,
+                "healthy loopback cluster must not degrade"
+            );
+            assert_eq!(coordinator.remote().num_trajectories(), store.len());
+
+            for handle in &handles {
+                handle.shutdown();
+            }
+            for join in serving {
+                join.join().expect("shard thread").expect("serve ok");
+            }
+            (remote_wall, remote.stats.merged.results)
+        });
+
+        let inproc_ms = inproc_wall.as_secs_f64() * 1e3;
+        let remote_ms = remote_wall.as_secs_f64() * 1e3;
+        rows.push(DistribRow {
+            dataset: d.name.to_string(),
+            func: func.name(),
+            shards: n,
+            queries: workload.len(),
+            inproc_wall_ms: inproc_ms,
+            inproc_qps: workload.len() as f64 / inproc_wall.as_secs_f64().max(1e-9),
+            remote_wall_ms: remote_ms,
+            remote_qps: workload.len() as f64 / remote_wall.as_secs_f64().max(1e-9),
+            rpc_overhead: remote_ms / inproc_ms.max(1e-9),
+            results,
+            shard_bytes,
+        });
+    }
+    rows
+}
+
+pub fn print(rows: &[DistribRow]) {
+    println!(
+        "\nDistributed serving: coordinator over loopback shard servers vs \
+         in-process run_batch ({} host cpus)",
+        host_cpus()
+    );
+    print_table(
+        &[
+            "Dataset",
+            "Func",
+            "Shards",
+            "Queries",
+            "Inproc ms",
+            "Remote ms",
+            "Inproc q/s",
+            "Remote q/s",
+            "Overhead",
+            "Shard MiB",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.dataset.clone(),
+                    r.func.to_string(),
+                    r.shards.to_string(),
+                    r.queries.to_string(),
+                    fmt_ms(r.inproc_wall_ms),
+                    fmt_ms(r.remote_wall_ms),
+                    format!("{:.1}", r.inproc_qps),
+                    format!("{:.1}", r.remote_qps),
+                    format!("{:.2}x", r.rpc_overhead),
+                    format!("{:.2}", r.shard_bytes as f64 / (1024.0 * 1024.0)),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}
+
+/// Writes the rows in the shared `BENCH_*.json` envelope.
+pub fn write_json(rows: &[DistribRow], path: &str) -> std::io::Result<()> {
+    let rendered: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"dataset\": \"{}\", \"func\": \"{}\", \"shards\": {}, \
+                 \"queries\": {}, \"inproc_wall_ms\": {:.3}, \"remote_wall_ms\": {:.3}, \
+                 \"inproc_qps\": {:.3}, \"remote_qps\": {:.3}, \"rpc_overhead\": {:.3}, \
+                 \"results\": {}, \"shard_bytes\": {}}}",
+                r.dataset,
+                r.func,
+                r.shards,
+                r.queries,
+                r.inproc_wall_ms,
+                r.remote_wall_ms,
+                r.inproc_qps,
+                r.remote_qps,
+                r.rpc_overhead,
+                r.results,
+                r.shard_bytes
+            )
+        })
+        .collect();
+    write_bench_json(path, "distrib", "queries_per_sec", &rendered)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remote_rows_agree_with_in_process() {
+        let rows = run("beijing", FuncKind::Lev, &[1, 3], 8, 6, 0.2, Scale(0.01));
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].shards, 1);
+        assert!(rows.iter().all(|r| r.queries == 6));
+        assert!(rows.iter().all(|r| r.remote_qps > 0.0));
+        // Identical matches asserted inside run → identical result counts.
+        assert_eq!(rows[0].results, rows[1].results);
+    }
+
+    #[test]
+    fn json_dump_uses_shared_envelope() {
+        let rows = run("beijing", FuncKind::Lev, &[2], 8, 3, 0.2, Scale(0.01));
+        let path = std::env::temp_dir().join("trajsearch_distrib_test.json");
+        let path = path.to_str().unwrap();
+        write_json(&rows, path).unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        std::fs::remove_file(path).ok();
+        assert!(text.contains("\"experiment\": \"distrib\""));
+        assert!(text.contains("\"host_cpus\""));
+        assert!(text.contains("\"rpc_overhead\""));
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
+    }
+}

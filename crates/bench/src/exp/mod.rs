@@ -5,7 +5,9 @@
 //! threshold/top-k/temporal workload through the unified `run_batch`,
 //! queries arriving over their JSON wire format; [`serve_load`]: the same
 //! style of workload through the `trajsearch-serve` TCP front-end vs
-//! in-process execution).
+//! in-process execution; [`distrib`]: the workload through a coordinator
+//! over loopback shard servers, postings arriving over the shard-RPC
+//! surface).
 //!
 //! Each module exposes a `run_*` function returning plain rows plus a
 //! `print_*` helper; the `repro` binary wires them to subcommands. The
@@ -167,6 +169,7 @@ fn print_history_delta(
 
 pub mod api_workload;
 pub mod candidates;
+pub mod distrib;
 pub mod enum_baselines;
 pub mod eta;
 pub mod index_build;

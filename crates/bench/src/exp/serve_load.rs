@@ -125,8 +125,8 @@ pub fn run(
             let served_wall = t0.elapsed();
             for (i, (got, want)) in outcomes.iter().zip(&reference.responses).enumerate() {
                 let got = got
-                    .as_ref()
-                    .unwrap_or_else(|e| panic!("served workload rejected query {i}: {e}"));
+                    .response()
+                    .unwrap_or_else(|| panic!("served workload rejected query {i}"));
                 assert_eq!(got.matches, want.matches, "served diverged on query {i}");
             }
             handle.shutdown();

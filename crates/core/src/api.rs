@@ -31,13 +31,39 @@ use wed::{Sym, WedInstance};
 // ---------------------------------------------------------------------------
 
 /// Postings storage layout for [`EngineBuilder`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Migration note (PR 6): the enum gained [`IndexLayout::Remote`] and, since
+/// that variant carries endpoint strings, the type is now `Clone` but no
+/// longer `Copy` — clone it where a copy was implicit before.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum IndexLayout {
     /// One contiguous postings list per symbol ([`InvertedIndex`]).
     Single,
     /// Postings partitioned by `traj_id % n`, built in parallel
     /// ([`ShardedIndex`]); results are identical at any shard count.
     Sharded(usize),
+    /// Postings served by remote shard servers. This is a *descriptor*:
+    /// `trajsearch-core` has no networking, so [`EngineBuilder::build`]
+    /// panics on it — connect a `trajsearch_distrib::RemoteShards` from the
+    /// spec and pass it to [`EngineBuilder::build_with`] instead (the
+    /// `trajsearch-distrib` coordinator does exactly that). Results are
+    /// byte-identical to `Sharded(spec.endpoints.len())` at any placement.
+    Remote(RemoteSpec),
+}
+
+/// Endpoint list for [`IndexLayout::Remote`]: one `host:port` per shard
+/// server, ordered by shard id.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RemoteSpec {
+    pub endpoints: Vec<String>,
+}
+
+impl RemoteSpec {
+    pub fn new(endpoints: impl IntoIterator<Item = impl Into<String>>) -> RemoteSpec {
+        RemoteSpec {
+            endpoints: endpoints.into_iter().map(Into::into).collect(),
+        }
+    }
 }
 
 /// Either postings layout behind one engine type, so the layout is a
@@ -195,9 +221,20 @@ impl<'a, M: WedInstance> EngineBuilder<'a, M> {
     }
 
     /// Builds the index and wraps it into an engine.
+    ///
+    /// # Panics
+    /// Panics on [`IndexLayout::Remote`] — that layout is a descriptor for
+    /// the networked builder in `trajsearch-distrib`
+    /// (`RemoteShards::connect` + [`EngineBuilder::build_with`]); core
+    /// cannot dial sockets.
     pub fn build(self) -> SearchEngine<'a, M, AnyIndex> {
         let t0 = Instant::now();
         let index = match self.layout {
+            IndexLayout::Remote(spec) => panic!(
+                "IndexLayout::Remote({} endpoints) cannot be built by trajsearch-core: \
+                 connect trajsearch_distrib::RemoteShards and use EngineBuilder::build_with",
+                spec.endpoints.len()
+            ),
             IndexLayout::Single => {
                 let mut index = InvertedIndex::build(self.store, self.alphabet_size);
                 if self.temporal_postings {
@@ -655,6 +692,18 @@ mod tests {
         );
         assert!(matches!(single.index(), AnyIndex::Single(_)));
         assert!(matches!(sharded.index(), AnyIndex::Sharded(_)));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be built by trajsearch-core")]
+    fn remote_layout_is_a_descriptor_not_a_local_build() {
+        let store = store();
+        let _ = EngineBuilder::new(Lev, &store, 10)
+            .layout(IndexLayout::Remote(RemoteSpec::new([
+                "127.0.0.1:7001",
+                "127.0.0.1:7002",
+            ])))
+            .build();
     }
 
     #[test]

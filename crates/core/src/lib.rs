@@ -80,7 +80,7 @@ pub mod temporal;
 pub mod topk;
 pub mod verify;
 
-pub use api::{AnyIndex, BatchResponse, EngineBuilder, IndexLayout, Response};
+pub use api::{AnyIndex, BatchResponse, EngineBuilder, IndexLayout, RemoteSpec, Response};
 pub use batch::{BatchOptions, BatchOutcome, BatchStats};
 pub use deadline::Deadline;
 pub use filter::FilterPlan;
@@ -88,7 +88,7 @@ pub use index::{InvertedIndex, Posting, PostingSource};
 pub use query::{Objective, Parallelism, Query, QueryBuilder, QueryError};
 pub use results::{MatchResult, ResultSet};
 pub use search::{exact_fallback_scan, SearchEngine, SearchOptions, SearchOutcome};
-pub use sharded::ShardedIndex;
+pub use sharded::{IndexShard, ShardedIndex};
 pub use stats::SearchStats;
 pub use temporal::{TemporalConstraint, TemporalPredicate, TimeInterval};
 pub use topk::{per_trajectory_best, TopKEntry};

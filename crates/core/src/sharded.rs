@@ -202,6 +202,127 @@ impl ShardedIndex {
     }
 }
 
+/// One shard of the partitioned index as a **standalone, servable** unit —
+/// the building block for running shards in separate processes (see the
+/// `trajsearch-serve` shard-server role and `trajsearch-distrib`).
+///
+/// `IndexShard::build(store, a, k, n)` constructs byte-for-byte the same
+/// postings, orderings and spans as shard `k` inside
+/// `ShardedIndex::build(store, a, n)` — both delegate to the same internal
+/// shard builder. That identity is what makes remote placement provably
+/// equivalent to in-process sharding: a coordinator concatenating remote
+/// shards in shard-id order reproduces [`ShardedIndex`]'s iteration order
+/// exactly.
+///
+/// Postings carry **global** trajectory ids; spans are stored densely at
+/// local slot `id / num_shards`. Accessors return borrowed slices so a
+/// serving layer can encode them without copies.
+#[derive(Debug, Clone)]
+pub struct IndexShard {
+    shard: Shard,
+    shard_id: usize,
+    num_shards: usize,
+    alphabet_size: usize,
+    num_trajectories: usize,
+}
+
+impl IndexShard {
+    /// Builds shard `shard_id` of an `num_shards`-way partition over
+    /// `store`. Cost is `O(total_postings / num_shards)`.
+    ///
+    /// # Panics
+    /// Panics if `num_shards == 0` or `shard_id >= num_shards`.
+    pub fn build(
+        store: &TrajectoryStore,
+        alphabet_size: usize,
+        shard_id: usize,
+        num_shards: usize,
+    ) -> Self {
+        assert!(num_shards >= 1, "need at least one shard");
+        assert!(
+            shard_id < num_shards,
+            "shard_id {shard_id} out of range for {num_shards} shards"
+        );
+        IndexShard {
+            shard: Shard::build(store, alphabet_size, shard_id, num_shards),
+            shard_id,
+            num_shards,
+            alphabet_size,
+            num_trajectories: store.len(),
+        }
+    }
+
+    /// Builds this shard's by-departure orderings (§4.3); idempotent.
+    pub fn enable_temporal_postings(&mut self) {
+        self.shard.enable_temporal_postings(self.num_shards);
+    }
+
+    pub fn has_temporal_postings(&self) -> bool {
+        self.shard.dep_postings.is_some()
+    }
+
+    pub fn shard_id(&self) -> usize {
+        self.shard_id
+    }
+
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    pub fn alphabet_size(&self) -> usize {
+        self.alphabet_size
+    }
+
+    /// Trajectories owned by this shard.
+    pub fn num_local_trajectories(&self) -> usize {
+        self.shard.departures.len()
+    }
+
+    /// Trajectories in the *whole* store the shard was cut from — what the
+    /// assembled [`PostingSource`] must report.
+    pub fn num_trajectories(&self) -> usize {
+        self.num_trajectories
+    }
+
+    /// This shard's share of symbol `q`'s postings list, in build order
+    /// (ascending global id, then position).
+    pub fn postings(&self, q: Sym) -> &[Posting] {
+        &self.shard.postings[q as usize]
+    }
+
+    pub fn freq(&self, q: Sym) -> u32 {
+        self.shard.postings[q as usize].len() as u32
+    }
+
+    /// Departure-sorted prefix of this shard's list for `q` with departure
+    /// `<= t_max`; `None` until
+    /// [`enable_temporal_postings`](IndexShard::enable_temporal_postings).
+    pub fn postings_departing_by(&self, q: Sym, t_max: f64) -> Option<&[(f64, Posting)]> {
+        let list = &self.shard.dep_postings.as_ref()?[q as usize];
+        let cut = list.partition_point(|&(dep, _)| dep <= t_max);
+        Some(&list[..cut])
+    }
+
+    /// Departures of the owned trajectories, dense by local slot
+    /// (`global_id / num_shards`).
+    pub fn departures(&self) -> &[f64] {
+        &self.shard.departures
+    }
+
+    /// Arrivals, same layout as [`departures`](IndexShard::departures).
+    pub fn arrivals(&self) -> &[f64] {
+        &self.shard.arrivals
+    }
+
+    pub fn total_postings(&self) -> usize {
+        self.shard.total_postings
+    }
+
+    pub fn size_bytes(&self) -> usize {
+        self.shard.size_bytes()
+    }
+}
+
 impl PostingSource for ShardedIndex {
     /// Shard-major order: shard 0's records (in build/append order), then
     /// shard 1's, … Consumers must treat `L_q` as a multiset.
@@ -369,6 +490,53 @@ mod tests {
                 assert_eq!(got, want, "q={q} t_max={t_max}");
             }
         }
+    }
+
+    #[test]
+    fn index_shard_is_byte_identical_to_the_sharded_index_shard() {
+        let s = store();
+        for num_shards in [1, 2, 3, 5] {
+            let mut whole = ShardedIndex::build(&s, 6, num_shards);
+            whole.enable_temporal_postings();
+            for k in 0..num_shards {
+                let mut solo = IndexShard::build(&s, 6, k, num_shards);
+                solo.enable_temporal_postings();
+                let inner = &whole.shards[k];
+                assert_eq!(solo.shard_id(), k);
+                assert_eq!(solo.num_shards(), num_shards);
+                assert_eq!(solo.num_trajectories(), s.len());
+                assert_eq!(solo.num_local_trajectories(), inner.departures.len());
+                assert_eq!(solo.total_postings(), inner.total_postings);
+                assert_eq!(solo.departures(), &inner.departures[..]);
+                assert_eq!(solo.arrivals(), &inner.arrivals[..]);
+                for q in 0..6u32 {
+                    assert_eq!(solo.postings(q), &inner.postings[q as usize][..]);
+                    assert_eq!(solo.freq(q), inner.postings[q as usize].len() as u32);
+                    for t_max in [0.0, 6.0, 25.0, 1e9] {
+                        let want = &inner.dep_postings.as_ref().unwrap()[q as usize];
+                        let cut = want.partition_point(|&(dep, _)| dep <= t_max);
+                        assert_eq!(
+                            solo.postings_departing_by(q, t_max).unwrap(),
+                            &want[..cut],
+                            "shards={num_shards} k={k} q={q} t_max={t_max}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn index_shard_without_temporal_returns_none() {
+        let solo = IndexShard::build(&store(), 6, 0, 2);
+        assert!(!solo.has_temporal_postings());
+        assert!(solo.postings_departing_by(1, 10.0).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn index_shard_rejects_out_of_range_ids() {
+        IndexShard::build(&store(), 6, 3, 3);
     }
 
     #[test]

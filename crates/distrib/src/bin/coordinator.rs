@@ -1,0 +1,85 @@
+//! `coordinator` — the query-serving front of a test cluster.
+//!
+//! Regenerates the same deterministic store as its `shard_server` peers,
+//! connects a [`RemoteShards`](trajsearch_distrib::RemoteShards) over
+//! `--shards`, and serves the ordinary
+//! query protocol: clients send `query` frames, postings come from the
+//! shard servers, and a missing shard turns the reply into a typed
+//! `degraded` envelope instead of a wrong answer. Prints `LISTENING
+//! <addr>` once bound; serves until killed.
+//!
+//! ```text
+//! coordinator --shards 127.0.0.1:4001,127.0.0.1:4002 --trajectories 90 \
+//!             --len 16 --seed 7 --alphabet 32 [--workers 1] [--addr 127.0.0.1:0]
+//! ```
+
+use trajsearch_core::RemoteSpec;
+use trajsearch_distrib::{testdata, Coordinator};
+use trajsearch_serve::{Server, ServerConfig};
+use wed::models::Lev;
+
+struct Args {
+    shards: Vec<String>,
+    trajectories: usize,
+    len: usize,
+    seed: u64,
+    alphabet: usize,
+    workers: usize,
+    addr: std::net::SocketAddr,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        shards: Vec::new(),
+        trajectories: 90,
+        len: 16,
+        seed: 7,
+        alphabet: 32,
+        workers: 1,
+        addr: std::net::SocketAddr::from(([127, 0, 0, 1], 0)),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let value = it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+        let fail = |what: &str| -> ! { panic!("{flag} must be {what}, got {value:?}") };
+        match flag.as_str() {
+            "--shards" => args.shards = value.split(',').map(str::to_string).collect(),
+            "--trajectories" => {
+                args.trajectories = value.parse().unwrap_or_else(|_| fail("an integer"))
+            }
+            "--len" => args.len = value.parse().unwrap_or_else(|_| fail("an integer")),
+            "--seed" => args.seed = value.parse().unwrap_or_else(|_| fail("an integer")),
+            "--alphabet" => args.alphabet = value.parse().unwrap_or_else(|_| fail("an integer")),
+            "--workers" => args.workers = value.parse().unwrap_or_else(|_| fail("an integer")),
+            "--addr" => args.addr = value.parse().unwrap_or_else(|_| fail("a socket address")),
+            other => panic!("unknown flag {other:?}"),
+        }
+    }
+    assert!(!args.shards.is_empty(), "--shards is required");
+    args
+}
+
+fn main() {
+    use std::io::Write as _;
+
+    let args = parse_args();
+    let store = testdata::store(args.trajectories, args.len, args.seed, args.alphabet);
+    let coordinator = Coordinator::connect(
+        Lev,
+        &store,
+        args.alphabet,
+        &RemoteSpec::new(args.shards.iter().cloned()),
+    )
+    .expect("connect shard cluster");
+
+    let server = Server::bind(ServerConfig {
+        addr: args.addr,
+        workers: args.workers,
+        ..ServerConfig::default()
+    })
+    .expect("bind coordinator");
+    println!("LISTENING {}", server.handle().local_addr());
+    std::io::stdout().flush().expect("flush stdout");
+
+    server.serve(&coordinator).expect("serve queries");
+}

@@ -1,0 +1,85 @@
+//! The coordinator role: the full search engine (store, model, MinCand
+//! plan, verification) running locally, with *only the postings* fetched
+//! from remote shard servers through [`RemoteShards`].
+//!
+//! A [`Coordinator`] implements
+//! [`QueryHandler`], so
+//! [`Server::serve`](trajsearch_serve::Server::serve) turns it into a
+//! network front-end: clients speak the ordinary query protocol and never
+//! see the shard RPCs behind it. Each query is bracketed with a degraded
+//! mark — if any shard failed to answer while the query ran, the reply is
+//! a typed `degraded` envelope naming the missing shards (carrying the
+//! partial answer), never a silent partial result.
+
+use crate::remote::{DistribError, RemoteShards, ShardEndpoint};
+use traj::TrajectoryStore;
+use trajsearch_core::{Deadline, EngineBuilder, PostingSource, Query, RemoteSpec, SearchEngine};
+use trajsearch_serve::{Handled, QueryHandler};
+use wed::{Sym, WedInstance};
+
+/// A [`SearchEngine`] over [`RemoteShards`] plus the degraded-reply
+/// bookkeeping; build one with [`Coordinator::connect`] (or wrap an
+/// engine you built yourself with [`Coordinator::new`]).
+pub struct Coordinator<'a, M: WedInstance> {
+    engine: SearchEngine<'a, M, RemoteShards>,
+}
+
+impl<'a, M: WedInstance + Sync> Coordinator<'a, M> {
+    /// Connects a [`RemoteShards`] from `spec` and wires it under an
+    /// engine over `store` — the networked counterpart of
+    /// [`EngineBuilder::build`] with
+    /// [`IndexLayout::Remote`](trajsearch_core::IndexLayout::Remote).
+    /// The store must be the same one the shard servers indexed.
+    pub fn connect(
+        model: M,
+        store: &'a TrajectoryStore,
+        alphabet_size: usize,
+        spec: &RemoteSpec,
+    ) -> Result<Coordinator<'a, M>, DistribError> {
+        let endpoints: Vec<ShardEndpoint> = spec.endpoints.iter().map(ShardEndpoint::new).collect();
+        let remote = RemoteShards::connect(&endpoints)?;
+        if remote.num_trajectories() != store.len() {
+            return Err(DistribError::Topology(format!(
+                "shards index {} trajectories, the coordinator's store holds {}",
+                remote.num_trajectories(),
+                store.len()
+            )));
+        }
+        Ok(Coordinator::new(
+            EngineBuilder::new(model, store, alphabet_size).build_with(remote),
+        ))
+    }
+
+    pub fn new(engine: SearchEngine<'a, M, RemoteShards>) -> Coordinator<'a, M> {
+        Coordinator { engine }
+    }
+
+    pub fn engine(&self) -> &SearchEngine<'a, M, RemoteShards> {
+        &self.engine
+    }
+
+    pub fn remote(&self) -> &RemoteShards {
+        self.engine.index()
+    }
+}
+
+impl<M: WedInstance + Sync> QueryHandler for Coordinator<'_, M> {
+    fn handle(&self, query: &Query, deadline: Deadline) -> Handled {
+        let remote = self.engine.index();
+        let mark = remote.degraded_mark();
+        // Coalesce the pattern's frequency fetches into one RPC per shard
+        // before the MinCand plan asks for them one by one.
+        let syms: Vec<Sym> = query.pattern().to_vec();
+        remote.prime_freqs(&syms);
+        match self.engine.run_with_deadline(query, deadline) {
+            Ok(response) => match remote.degraded_since(mark) {
+                Some(degraded) => Handled::Degraded {
+                    degraded,
+                    response: Some(response),
+                },
+                None => Handled::Response(response),
+            },
+            Err(e) => Handled::Rejected(e),
+        }
+    }
+}

@@ -1,0 +1,695 @@
+//! [`RemoteShards`]: the [`PostingSource`] contract answered by remote
+//! shard servers over the serve wire protocol.
+//!
+//! One `RemoteShards` holds a pooled [`Client`] connection per shard server
+//! and fans every postings fetch out across them, reassembling the replies
+//! in **shard-major order** — exactly the iteration order of the in-process
+//! [`ShardedIndex`](trajsearch_core::ShardedIndex), so a search over
+//! `RemoteShards` is byte-identical to one over `Sharded(n)` at any
+//! placement of the shards onto processes.
+//!
+//! The `PostingSource` trait is sync and infallible; the network is
+//! neither. The gap is bridged three ways:
+//!
+//! * **Prefetch** — the per-trajectory span table is paged down once at
+//!   connect time ([`RemoteShards::connect`]), so `span(id)` never touches
+//!   the network.
+//! * **Caching** — postings, frequencies and departing-by prefixes are
+//!   cached after the first fetch. Only *complete* results (every shard
+//!   answered) enter the cache, so a degraded fetch is retried on the next
+//!   query rather than frozen in.
+//! * **Degradation** — a shard that fails to answer (transport error,
+//!   epoch mismatch, expired RPC deadline) contributes nothing to that
+//!   fetch and the failure is recorded in a degraded log. A coordinator
+//!   brackets each query with [`degraded_mark`](RemoteShards::degraded_mark)
+//!   / [`degraded_since`](RemoteShards::degraded_since) and turns a
+//!   non-empty window into a typed degraded reply
+//!   ([`DegradedInfo`]) instead of passing
+//!   off a partial answer as complete.
+//!
+//! Fan-outs are pipelined: requests are written to every live shard before
+//! any reply is read, so a k-shard fetch costs one round trip, not k. Data
+//! RPCs echo each shard's build **epoch** (learned from `shard_info` at
+//! connect) and carry the configured RPC deadline, so a restarted shard or
+//! an overloaded one degrades loudly instead of answering from the wrong
+//! index build or stalling the coordinator.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io;
+use std::net::ToSocketAddrs;
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+use traj::TrajId;
+use trajsearch_core::{Posting, PostingSource};
+use trajsearch_serve::{Client, ClientError, DegradedInfo, Reply, Request, ShardInfo};
+use wed::Sym;
+
+/// One shard server's address, as given to [`RemoteShards::connect`].
+/// Order does not matter: shards identify themselves via `shard_info` and
+/// the pool is arranged by shard id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardEndpoint {
+    addr: String,
+}
+
+impl ShardEndpoint {
+    pub fn new(addr: impl Into<String>) -> ShardEndpoint {
+        ShardEndpoint { addr: addr.into() }
+    }
+
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+}
+
+impl<T: Into<String>> From<T> for ShardEndpoint {
+    fn from(addr: T) -> ShardEndpoint {
+        ShardEndpoint::new(addr)
+    }
+}
+
+/// Connection-time tuning for [`RemoteShards::connect_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RemoteOptions {
+    /// Dial timeout per endpoint (a dead endpoint fails the connect fast
+    /// instead of hanging the whole cluster bring-up).
+    pub dial_timeout: Duration,
+    /// Per-RPC budget: sent as `deadline_ms` on every data RPC *and*
+    /// installed as the socket read timeout, so a stalled shard degrades
+    /// within this bound instead of blocking a query forever.
+    pub rpc_deadline: Duration,
+}
+
+impl Default for RemoteOptions {
+    fn default() -> RemoteOptions {
+        RemoteOptions {
+            dial_timeout: Duration::from_secs(2),
+            rpc_deadline: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Why a [`RemoteShards::connect`] failed.
+#[derive(Debug)]
+pub enum DistribError {
+    /// Could not reach or negotiate with an endpoint.
+    Connect {
+        endpoint: String,
+        source: ClientError,
+    },
+    /// The endpoints do not form one coherent cluster (wrong shard count,
+    /// duplicate or missing shard ids, inconsistent store shapes).
+    Topology(String),
+}
+
+impl fmt::Display for DistribError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistribError::Connect { endpoint, source } => {
+                write!(f, "shard endpoint {endpoint}: {source}")
+            }
+            DistribError::Topology(msg) => write!(f, "cluster topology: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DistribError {}
+
+/// One pooled shard connection. The [`Client`] is behind a mutex because
+/// the engine may call the posting source from several threads (batch
+/// workers, in-query parallelism); `dead` latches after a transport
+/// failure so later fetches degrade immediately instead of re-timing-out.
+struct ShardConn {
+    endpoint: String,
+    info: ShardInfo,
+    client: Mutex<ConnState>,
+}
+
+struct ConnState {
+    client: Client,
+    dead: bool,
+}
+
+/// Append-only record of shard failures; `events.len()` is the generation
+/// counter handed out by [`RemoteShards::degraded_mark`].
+#[derive(Default)]
+struct DegradedLog {
+    events: Vec<(u32, String)>,
+}
+
+/// `(departure_time, posting)` entries, sorted by departure — the shape
+/// `postings_departing_by` returns and the departing cache stores.
+type DepartingEntries = Vec<(f64, Posting)>;
+
+/// A [`PostingSource`] whose postings live in remote shard-server
+/// processes; see the [module docs](self) for the contract.
+pub struct RemoteShards {
+    /// Ordered by shard id (position == `shard_id`).
+    conns: Vec<ShardConn>,
+    rpc_deadline_ms: u64,
+    alphabet_size: usize,
+    num_trajectories: usize,
+    total_postings: usize,
+    size_bytes: usize,
+    has_temporal: bool,
+    /// Global-id span table, prefetched at connect (`span` is on the
+    /// temporal-filter hot path and must be infallible).
+    spans: Vec<(f64, f64)>,
+    freq_cache: Mutex<HashMap<Sym, u32>>,
+    postings_cache: Mutex<HashMap<Sym, Vec<Posting>>>,
+    /// Keyed by `(symbol, t_max bits)` — the engine re-asks the same
+    /// constraint boundary within one query.
+    departing_cache: Mutex<HashMap<(Sym, u64), DepartingEntries>>,
+    log: Mutex<DegradedLog>,
+}
+
+impl fmt::Debug for RemoteShards {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RemoteShards")
+            .field(
+                "endpoints",
+                &self.conns.iter().map(|c| &c.endpoint).collect::<Vec<_>>(),
+            )
+            .field("num_trajectories", &self.num_trajectories)
+            .field("alphabet_size", &self.alphabet_size)
+            .field("has_temporal", &self.has_temporal)
+            .finish_non_exhaustive()
+    }
+}
+
+impl RemoteShards {
+    /// Connects to one shard server per endpoint with default
+    /// [`RemoteOptions`]; see [`connect_with`](RemoteShards::connect_with).
+    pub fn connect(endpoints: &[ShardEndpoint]) -> Result<RemoteShards, DistribError> {
+        RemoteShards::connect_with(endpoints, RemoteOptions::default())
+    }
+
+    /// Dials every endpoint, negotiates the protocol version (`hello`),
+    /// learns each shard's identity and epoch (`shard_info`), checks the
+    /// endpoints form exactly one shard 0..n cluster over one store, and
+    /// prefetches the span table. Endpoint order is irrelevant — shards
+    /// are arranged by their self-reported id.
+    pub fn connect_with(
+        endpoints: &[ShardEndpoint],
+        options: RemoteOptions,
+    ) -> Result<RemoteShards, DistribError> {
+        if endpoints.is_empty() {
+            return Err(DistribError::Topology("no shard endpoints given".into()));
+        }
+        let n = endpoints.len();
+        let mut by_id: Vec<Option<ShardConn>> = Vec::new();
+        by_id.resize_with(n, || None);
+        for ep in endpoints {
+            let fail = |source: ClientError| DistribError::Connect {
+                endpoint: ep.addr.clone(),
+                source,
+            };
+            let mut client = dial(&ep.addr, options.dial_timeout).map_err(|e| fail(e.into()))?;
+            client
+                .set_read_timeout(Some(options.rpc_deadline))
+                .map_err(|e| fail(e.into()))?;
+            // hello: a major-version mismatch surfaces here as a typed
+            // `unsupported_version` server error, before any data moves.
+            client.hello().map_err(fail)?;
+            let info = client.shard_info().map_err(fail)?;
+            if info.num_shards as usize != n {
+                return Err(DistribError::Topology(format!(
+                    "{} believes the cluster has {} shards, but {} endpoints were given",
+                    ep.addr, info.num_shards, n
+                )));
+            }
+            let slot = info.shard_id as usize;
+            if slot >= n || by_id[slot].is_some() {
+                return Err(DistribError::Topology(format!(
+                    "shard id {} at {} is {} for this cluster",
+                    info.shard_id,
+                    ep.addr,
+                    if slot >= n {
+                        "out of range"
+                    } else {
+                        "duplicated"
+                    }
+                )));
+            }
+            by_id[slot] = Some(ShardConn {
+                endpoint: ep.addr.clone(),
+                info,
+                client: Mutex::new(ConnState {
+                    client,
+                    dead: false,
+                }),
+            });
+        }
+        let conns: Vec<ShardConn> = by_id
+            .into_iter()
+            .map(|c| c.expect("all slots filled: n endpoints, n distinct ids in range"))
+            .collect();
+
+        let first = &conns[0].info;
+        for c in &conns[1..] {
+            if c.info.alphabet_size != first.alphabet_size
+                || c.info.num_trajectories != first.num_trajectories
+            {
+                return Err(DistribError::Topology(format!(
+                    "shard {} at {} indexes a different store (alphabet {}, {} trajectories) \
+                     than shard 0 (alphabet {}, {} trajectories)",
+                    c.info.shard_id,
+                    c.endpoint,
+                    c.info.alphabet_size,
+                    c.info.num_trajectories,
+                    first.alphabet_size,
+                    first.num_trajectories
+                )));
+            }
+        }
+        let num_trajectories = first.num_trajectories as usize;
+        let local_sum: u64 = conns.iter().map(|c| c.info.local_trajectories).sum();
+        if local_sum != first.num_trajectories {
+            return Err(DistribError::Topology(format!(
+                "shards hold {local_sum} trajectories between them, store has {}",
+                first.num_trajectories
+            )));
+        }
+
+        let mut remote = RemoteShards {
+            rpc_deadline_ms: options.rpc_deadline.as_millis().max(1) as u64,
+            alphabet_size: first.alphabet_size as usize,
+            num_trajectories,
+            total_postings: conns.iter().map(|c| c.info.total_postings as usize).sum(),
+            size_bytes: conns.iter().map(|c| c.info.size_bytes as usize).sum(),
+            has_temporal: conns.iter().all(|c| c.info.has_temporal_postings),
+            spans: vec![(0.0, 0.0); num_trajectories],
+            conns,
+            freq_cache: Mutex::new(HashMap::new()),
+            postings_cache: Mutex::new(HashMap::new()),
+            departing_cache: Mutex::new(HashMap::new()),
+            log: Mutex::new(DegradedLog::default()),
+        };
+        remote.prefetch_spans()?;
+        Ok(remote)
+    }
+
+    /// Pages the whole span table down from every shard. Shard `k`'s local
+    /// slot `j` is global trajectory `j * n + k` — the `id % n` placement
+    /// of [`ShardedIndex`](trajsearch_core::ShardedIndex).
+    fn prefetch_spans(&mut self) -> Result<(), DistribError> {
+        let n = self.conns.len();
+        for k in 0..n {
+            let conn = &self.conns[k];
+            let local = conn.info.local_trajectories;
+            let mut start = 0u64;
+            while start < local {
+                let mut state = conn.client.lock().expect("shard client mutex poisoned");
+                let id = state.client.allocate_id();
+                let page = (|| -> Result<_, ClientError> {
+                    state.client.send_request(&Request::ShardSpans {
+                        id,
+                        epoch: conn.info.epoch,
+                        deadline_ms: Some(self.rpc_deadline_ms),
+                        start,
+                        count: local - start,
+                    })?;
+                    state.client.flush()?;
+                    match state.client.recv_reply()? {
+                        Reply::ShardSpans { id: got, page } if got == id => Ok(page),
+                        Reply::Error { error, .. } => Err(ClientError::Server(error)),
+                        other => Err(ClientError::Protocol(format!(
+                            "expected shard_spans reply, got {other:?}"
+                        ))),
+                    }
+                })()
+                .map_err(|source| DistribError::Connect {
+                    endpoint: conn.endpoint.clone(),
+                    source,
+                })?;
+                drop(state);
+                if page.departures.is_empty() {
+                    return Err(DistribError::Topology(format!(
+                        "shard {k} returned an empty span page at {start}/{local}"
+                    )));
+                }
+                for (i, (&dep, &arr)) in page.departures.iter().zip(&page.arrivals).enumerate() {
+                    let slot = page.start as usize + i;
+                    self.spans[slot * n + k] = (dep, arr);
+                }
+                start = page.start + page.departures.len() as u64;
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of shard servers in the pool.
+    pub fn num_shards(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// The generation mark for [`degraded_since`](RemoteShards::degraded_since):
+    /// take it before running a query.
+    pub fn degraded_mark(&self) -> u64 {
+        self.log.lock().expect("degraded log poisoned").events.len() as u64
+    }
+
+    /// Folds every shard failure recorded after `mark` into one
+    /// [`DegradedInfo`]; `None` when the window is clean. With concurrent
+    /// queries the log is shared, so a window may include a *neighbor*
+    /// query's failures — degradation is over-reported under concurrency,
+    /// never under-reported.
+    pub fn degraded_since(&self, mark: u64) -> Option<DegradedInfo> {
+        let log = self.log.lock().expect("degraded log poisoned");
+        let events = log.events.get(mark as usize..).unwrap_or(&[]);
+        if events.is_empty() {
+            return None;
+        }
+        let mut missing: Vec<u32> = events.iter().map(|&(shard, _)| shard).collect();
+        missing.sort_unstable();
+        missing.dedup();
+        let reason = events
+            .iter()
+            .map(|(shard, what)| format!("shard {shard}: {what}"))
+            .collect::<Vec<_>>()
+            .join("; ");
+        Some(DegradedInfo {
+            missing_shards: missing,
+            reason,
+        })
+    }
+
+    /// Total shard failures ever recorded — zero on a healthy cluster.
+    pub fn degraded_total(&self) -> u64 {
+        self.degraded_mark()
+    }
+
+    fn record_degraded(&self, shard: u32, what: impl Into<String>) {
+        self.log
+            .lock()
+            .expect("degraded log poisoned")
+            .events
+            .push((shard, what.into()));
+    }
+
+    /// Pipelined fan-out of one data RPC to every live shard: all requests
+    /// are written and flushed before any reply is read (one round trip for
+    /// the whole cluster), holding each shard's client lock from send to
+    /// receive so concurrent fan-outs cannot steal each other's replies.
+    /// Locks are taken in shard order, which makes the lock acquisition
+    /// deadlock-free. Returns one `Some(reply)` per answering shard;
+    /// failures are logged and yield `None`.
+    fn fanout(&self, make: impl Fn(u64, &ShardInfo) -> Request) -> Vec<Option<Reply>> {
+        let mut guards: Vec<Option<(MutexGuard<'_, ConnState>, u64)>> = Vec::new();
+        for (k, conn) in self.conns.iter().enumerate() {
+            let mut state = conn.client.lock().expect("shard client mutex poisoned");
+            if state.dead {
+                self.record_degraded(k as u32, "connection previously failed");
+                guards.push(None);
+                continue;
+            }
+            let id = state.client.allocate_id();
+            let request = make(id, &conn.info);
+            let sent = state
+                .client
+                .send_request(&request)
+                .and_then(|()| state.client.flush());
+            match sent {
+                Ok(()) => guards.push(Some((state, id))),
+                Err(e) => {
+                    state.dead = true;
+                    self.record_degraded(k as u32, format!("send failed: {e}"));
+                    guards.push(None);
+                }
+            }
+        }
+        guards
+            .into_iter()
+            .enumerate()
+            .map(|(k, guard)| {
+                let (mut state, id) = guard?;
+                match state.client.recv_reply() {
+                    Ok(Reply::Error { error, .. }) => {
+                        // A typed per-RPC refusal (epoch mismatch, expired
+                        // deadline): the connection itself is still good.
+                        self.record_degraded(k as u32, error.to_string());
+                        None
+                    }
+                    Ok(reply) if reply.id() == Some(id) => Some(reply),
+                    Ok(other) => {
+                        state.dead = true;
+                        self.record_degraded(
+                            k as u32,
+                            format!("protocol error: unexpected reply {other:?}"),
+                        );
+                        None
+                    }
+                    Err(e) => {
+                        state.dead = true;
+                        self.record_degraded(k as u32, format!("receive failed: {e}"));
+                        None
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Batch-fetches and caches the frequencies of `syms` in **one** RPC
+    /// per shard — the request-coalescing entry a coordinator calls before
+    /// running a query, so the MinCand plan does not pay one cluster round
+    /// trip per pattern symbol.
+    pub fn prime_freqs(&self, syms: &[Sym]) {
+        let missing: Vec<Sym> = {
+            let cache = self.freq_cache.lock().expect("freq cache poisoned");
+            let mut missing: Vec<Sym> = syms
+                .iter()
+                .copied()
+                .filter(|q| !cache.contains_key(q))
+                .collect();
+            missing.sort_unstable();
+            missing.dedup();
+            missing
+        };
+        if missing.is_empty() {
+            return;
+        }
+        let deadline = self.rpc_deadline_ms;
+        let replies = self.fanout(|id, info| Request::ShardFreqs {
+            id,
+            epoch: info.epoch,
+            deadline_ms: Some(deadline),
+            syms: missing.clone(),
+        });
+        let mut sums = vec![0u32; missing.len()];
+        let mut complete = true;
+        for reply in replies {
+            match reply {
+                Some(Reply::ShardFreqs { freqs, .. }) if freqs.len() == missing.len() => {
+                    for (sum, f) in sums.iter_mut().zip(freqs) {
+                        *sum += f;
+                    }
+                }
+                _ => complete = false,
+            }
+        }
+        if complete {
+            let mut cache = self.freq_cache.lock().expect("freq cache poisoned");
+            for (&q, &sum) in missing.iter().zip(&sums) {
+                cache.insert(q, sum);
+            }
+        }
+    }
+
+    /// Fetches one symbol's postings from every shard, concatenated
+    /// shard-major; cached only when every shard answered.
+    fn fetch_postings(&self, q: Sym) -> Vec<Posting> {
+        if let Some(hit) = self
+            .postings_cache
+            .lock()
+            .expect("postings cache poisoned")
+            .get(&q)
+        {
+            return hit.clone();
+        }
+        let deadline = self.rpc_deadline_ms;
+        let replies = self.fanout(|id, info| Request::ShardPostings {
+            id,
+            epoch: info.epoch,
+            deadline_ms: Some(deadline),
+            syms: vec![q],
+        });
+        let mut out: Vec<Posting> = Vec::new();
+        let mut complete = true;
+        for reply in replies {
+            match reply {
+                Some(Reply::ShardPostings { mut lists, .. }) if lists.len() == 1 => {
+                    out.append(&mut lists[0]);
+                }
+                _ => complete = false,
+            }
+        }
+        if complete {
+            self.postings_cache
+                .lock()
+                .expect("postings cache poisoned")
+                .insert(q, out.clone());
+        }
+        out
+    }
+}
+
+/// Resolve-and-dial with a timeout; `ToSocketAddrs` may yield several
+/// candidates, any one suffices.
+fn dial(addr: &str, timeout: Duration) -> io::Result<Client> {
+    let mut last = io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing");
+    for candidate in addr.to_socket_addrs()? {
+        match Client::connect_timeout(&candidate, timeout) {
+            Ok(client) => return Ok(client),
+            Err(e) => last = e,
+        }
+    }
+    Err(last)
+}
+
+impl PostingSource for RemoteShards {
+    /// Shard-major, matching
+    /// [`ShardedIndex::postings`](trajsearch_core::ShardedIndex) exactly:
+    /// shard 0's build-order records, then shard 1's, …
+    fn postings(&self, q: Sym) -> impl Iterator<Item = Posting> + '_ {
+        self.fetch_postings(q).into_iter()
+    }
+
+    fn freq(&self, q: Sym) -> u32 {
+        if let Some(&hit) = self.freq_cache.lock().expect("freq cache poisoned").get(&q) {
+            return hit;
+        }
+        self.prime_freqs(std::slice::from_ref(&q));
+        if let Some(&hit) = self.freq_cache.lock().expect("freq cache poisoned").get(&q) {
+            return hit;
+        }
+        // Degraded: some shard did not answer (already logged). The partial
+        // count keeps the plan total; the coordinator flags the query.
+        let deadline = self.rpc_deadline_ms;
+        self.fanout(|id, info| Request::ShardFreqs {
+            id,
+            epoch: info.epoch,
+            deadline_ms: Some(deadline),
+            syms: vec![q],
+        })
+        .into_iter()
+        .filter_map(|reply| match reply {
+            Some(Reply::ShardFreqs { freqs, .. }) => freqs.first().copied(),
+            _ => None,
+        })
+        .sum()
+    }
+
+    fn span(&self, id: TrajId) -> (f64, f64) {
+        self.spans[id as usize]
+    }
+
+    /// Shard-major concatenation of each shard's departure-sorted prefix —
+    /// the same "sorted within each shard only" order the in-process
+    /// [`ShardedIndex`](trajsearch_core::ShardedIndex) produces.
+    fn postings_departing_by(
+        &self,
+        q: Sym,
+        t_max: f64,
+    ) -> impl Iterator<Item = (f64, Posting)> + '_ {
+        assert!(
+            self.has_temporal,
+            "temporal postings not enabled on the remote shards"
+        );
+        let key = (q, t_max.to_bits());
+        if let Some(hit) = self
+            .departing_cache
+            .lock()
+            .expect("departing cache poisoned")
+            .get(&key)
+        {
+            return hit.clone().into_iter();
+        }
+        let deadline = self.rpc_deadline_ms;
+        let replies = self.fanout(|id, info| Request::ShardDepartingBy {
+            id,
+            epoch: info.epoch,
+            deadline_ms: Some(deadline),
+            sym: q,
+            t_max,
+        });
+        let mut out: Vec<(f64, Posting)> = Vec::new();
+        let mut complete = true;
+        for reply in replies {
+            match reply {
+                Some(Reply::ShardDepartingBy { mut entries, .. }) => out.append(&mut entries),
+                _ => complete = false,
+            }
+        }
+        if complete {
+            self.departing_cache
+                .lock()
+                .expect("departing cache poisoned")
+                .insert(key, out.clone());
+        }
+        out.into_iter()
+    }
+
+    fn has_temporal_postings(&self) -> bool {
+        self.has_temporal
+    }
+
+    fn alphabet_size(&self) -> usize {
+        self.alphabet_size
+    }
+
+    fn num_trajectories(&self) -> usize {
+        self.num_trajectories
+    }
+
+    fn total_postings(&self) -> usize {
+        self.total_postings
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.size_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_conversions() {
+        let a: ShardEndpoint = "127.0.0.1:9000".into();
+        assert_eq!(a.addr(), "127.0.0.1:9000");
+        assert_eq!(ShardEndpoint::new(String::from("h:1")).addr(), "h:1");
+    }
+
+    #[test]
+    fn connect_rejects_an_empty_cluster() {
+        match RemoteShards::connect(&[]) {
+            Err(DistribError::Topology(msg)) => assert!(msg.contains("no shard endpoints")),
+            other => panic!("expected a topology error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn connect_fails_fast_on_a_dead_endpoint() {
+        // A port nothing listens on: the dial must fail, not hang.
+        let dead = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        }; // listener dropped — the port is free again
+        let err = RemoteShards::connect_with(
+            &[ShardEndpoint::new(dead.to_string())],
+            RemoteOptions {
+                dial_timeout: Duration::from_millis(500),
+                ..RemoteOptions::default()
+            },
+        )
+        .expect_err("nothing listens there");
+        match err {
+            DistribError::Connect { endpoint, .. } => {
+                assert_eq!(endpoint, dead.to_string())
+            }
+            other => panic!("expected a connect error, got {other}"),
+        }
+    }
+}

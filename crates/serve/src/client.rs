@@ -1,21 +1,34 @@
 //! Synchronous client for the serve protocol, with pipelined batch
-//! submission.
+//! submission, typed per-query outcomes and an opt-in retry policy.
 //!
 //! [`Client::query`] is one request / one reply. [`Client::query_batch`]
 //! pipelines a whole workload, keeping a bounded window of requests in
 //! flight ahead of the replies it reads, and collects replies **by id** —
 //! the server's workers finish out of order — returning them in
-//! submission order. One TCP connection carries the
-//! whole conversation; a transport failure is a [`ClientError`], while a
-//! per-query server-side rejection (overload, deadline, invalid query) is
-//! a typed [`ServerError`] *value* so a batch can mix successes and
-//! rejections.
+//! submission order. One TCP connection carries the whole conversation; a
+//! transport failure is a [`ClientError`], while each query's server-side
+//! fate is a typed [`QueryOutcome`] *value* so a batch can mix answers,
+//! degraded answers and rejections.
+//!
+//! # Retry policy
+//!
+//! A [`RetryPolicy`] re-submits **only `overloaded` rejections** — the one
+//! typed kind that guarantees the server never admitted the query, so a
+//! retry can never double-apply work (and results stay exactly-once even
+//! for hypothetical non-idempotent handlers). `deadline_exceeded` is never
+//! retried: the caller's budget is spent, and the reply proves the server
+//! already aged the query out. Everything else (`invalid_query`,
+//! `shutting_down`, …) is deterministic and equally unretryable.
 
 use crate::metrics::MetricsSnapshot;
-use crate::proto::{read_frame, write_frame, Reply, Request, ServerError};
+use crate::proto::{
+    read_frame, write_frame, DegradedInfo, Reply, Request, ServerError, ServerErrorKind, ShardInfo,
+    PROTO_MAJOR, PROTO_MINOR,
+};
 use std::fmt;
 use std::io::{self, BufReader, BufWriter, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 use trajsearch_core::{Query, Response};
 
 /// A client-side failure. `Server` wraps the typed per-query error for the
@@ -30,6 +43,10 @@ pub enum ClientError {
     Protocol(String),
     /// The server answered with a typed error frame.
     Server(ServerError),
+    /// The server answered, but with a degraded reply (shards missing) —
+    /// surfaced as an error only by the strict single-query [`Client::query`];
+    /// [`Client::query_batch`] returns it as a [`QueryOutcome`] value.
+    Degraded(DegradedInfo),
 }
 
 impl fmt::Display for ClientError {
@@ -38,6 +55,7 @@ impl fmt::Display for ClientError {
             ClientError::Io(e) => write!(f, "transport error: {e}"),
             ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
             ClientError::Server(e) => write!(f, "server error: {e}"),
+            ClientError::Degraded(d) => write!(f, "{d}"),
         }
     }
 }
@@ -50,95 +68,323 @@ impl From<io::Error> for ClientError {
     }
 }
 
+/// One query's fate inside a [`Client::query_batch`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryOutcome {
+    /// A complete answer.
+    Answered(Response),
+    /// The query ran on a coordinator that lost shards; the partial answer
+    /// (when the server chose to include one) plus the typed account of
+    /// what is missing.
+    Degraded {
+        degraded: DegradedInfo,
+        response: Option<Response>,
+    },
+    /// A typed server-side rejection (overload, deadline, invalid, …).
+    Rejected(ServerError),
+}
+
+impl QueryOutcome {
+    /// The complete answer, if this outcome is one.
+    pub fn response(&self) -> Option<&Response> {
+        match self {
+            QueryOutcome::Answered(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    pub fn is_answered(&self) -> bool {
+        matches!(self, QueryOutcome::Answered(_))
+    }
+
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, QueryOutcome::Degraded { .. })
+    }
+
+    /// The typed rejection, if this outcome is one.
+    pub fn rejection(&self) -> Option<&ServerError> {
+        match self {
+            QueryOutcome::Rejected(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Strict view: only a complete answer is `Ok`.
+    pub fn into_result(self) -> Result<Response, ClientError> {
+        match self {
+            QueryOutcome::Answered(r) => Ok(r),
+            QueryOutcome::Degraded { degraded, .. } => Err(ClientError::Degraded(degraded)),
+            QueryOutcome::Rejected(e) => Err(ClientError::Server(e)),
+        }
+    }
+}
+
+/// When and how often to re-submit rejected queries; see the
+/// [module docs](self) for why only `overloaded` qualifies.
+///
+/// ```
+/// use trajsearch_serve::RetryPolicy;
+/// use std::time::Duration;
+/// let policy = RetryPolicy::new()
+///     .max_attempts(3)
+///     .backoff(Duration::from_millis(5));
+/// assert_eq!(policy.attempts(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    max_attempts: u32,
+    backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// No retries — every rejection surfaces immediately.
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff: Duration::ZERO,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Starts from the no-retry default; chain
+    /// [`max_attempts`](RetryPolicy::max_attempts) /
+    /// [`backoff`](RetryPolicy::backoff).
+    pub fn new() -> RetryPolicy {
+        RetryPolicy::default()
+    }
+
+    /// Total attempts per query including the first; clamped to at least 1.
+    pub fn max_attempts(mut self, n: u32) -> RetryPolicy {
+        self.max_attempts = n.max(1);
+        self
+    }
+
+    /// Fixed sleep before each retry round (the server signals overload
+    /// when its queue is full — hammering it back instantly defeats the
+    /// backpressure).
+    pub fn backoff(mut self, d: Duration) -> RetryPolicy {
+        self.backoff = d;
+        self
+    }
+
+    pub fn attempts(&self) -> u32 {
+        self.max_attempts
+    }
+
+    pub fn backoff_duration(&self) -> Duration {
+        self.backoff
+    }
+
+    /// The retry predicate: `overloaded` only.
+    pub fn retries(&self, error: &ServerError) -> bool {
+        self.max_attempts > 1 && error.kind == ServerErrorKind::Overloaded
+    }
+}
+
 /// Maximum requests in flight per connection during
 /// [`Client::query_batch`]. Deep enough to keep every worker busy and
 /// amortize flushes; bounded so the pipeline can never wedge both sockets'
 /// buffers with unread frames.
 const PIPELINE_WINDOW: usize = 64;
 
-/// One connection to a serve front-end.
+/// One connection to a serve front-end (query server, coordinator or shard
+/// server — the framing and the `stats`/`hello` surface are shared).
 pub struct Client {
     writer: BufWriter<TcpStream>,
     reader: BufReader<TcpStream>,
     next_id: u64,
+    retry: RetryPolicy,
 }
 
 impl Client {
     /// Connects (blocking, no read timeout: replies to admitted queries
     /// always arrive — the server's drain guarantee).
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
+        Client::from_stream(TcpStream::connect(addr)?)
+    }
+
+    /// Connects with a dial timeout — what a fan-out client uses so one
+    /// dead shard endpoint cannot block the whole cluster connect.
+    pub fn connect_timeout(addr: &SocketAddr, timeout: Duration) -> io::Result<Client> {
+        Client::from_stream(TcpStream::connect_timeout(addr, timeout)?)
+    }
+
+    fn from_stream(stream: TcpStream) -> io::Result<Client> {
         stream.set_nodelay(true).ok();
         let reader = BufReader::new(stream.try_clone()?);
         Ok(Client {
             writer: BufWriter::new(stream),
             reader,
             next_id: 1,
+            retry: RetryPolicy::default(),
         })
     }
 
-    fn fresh_id(&mut self) -> u64 {
+    /// Sets the retry policy for [`query`](Client::query) /
+    /// [`query_batch`](Client::query_batch) (builder style).
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Client {
+        self.retry = policy;
+        self
+    }
+
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Bounds every reply wait; `None` restores blocking reads. With a
+    /// timeout set, a slow or dead server surfaces as
+    /// [`ClientError::Io`] (`WouldBlock`/`TimedOut`) instead of a hang —
+    /// the per-shard deadline mechanism of the fan-out client.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
+    /// Allocates the next request id — for callers driving
+    /// [`send_request`](Client::send_request) /
+    /// [`recv_reply`](Client::recv_reply) directly.
+    pub fn allocate_id(&mut self) -> u64 {
         let id = self.next_id;
         self.next_id += 1;
         id
     }
 
-    fn read_reply(&mut self) -> Result<Reply, ClientError> {
+    /// Writes one request frame without flushing — callers batch frames
+    /// and [`flush`](Client::flush) once.
+    pub fn send_request(&mut self, request: &Request) -> Result<(), ClientError> {
+        write_frame(&mut self.writer, &request.to_json())?;
+        Ok(())
+    }
+
+    pub fn flush(&mut self) -> Result<(), ClientError> {
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Reads one reply frame (respecting any read timeout).
+    pub fn recv_reply(&mut self) -> Result<Reply, ClientError> {
         let frame = read_frame(&mut self.reader)?
             .ok_or_else(|| ClientError::Protocol("server closed the connection".into()))?;
         Reply::from_json(&frame).map_err(ClientError::Protocol)
     }
 
-    /// Sends one query and waits for its reply. A typed server-side
-    /// rejection surfaces as [`ClientError::Server`].
+    fn round_trip(&mut self, request: &Request) -> Result<Reply, ClientError> {
+        self.send_request(request)?;
+        self.flush()?;
+        self.recv_reply()
+    }
+
+    /// Version negotiation: announces [`PROTO_MAJOR`]/[`PROTO_MINOR`],
+    /// returns the server's `(major, minor)`. A major mismatch comes back
+    /// as [`ClientError::Server`] with kind `unsupported_version`.
+    pub fn hello(&mut self) -> Result<(u32, u32), ClientError> {
+        let id = self.allocate_id();
+        match self.round_trip(&Request::Hello {
+            id,
+            major: PROTO_MAJOR,
+            minor: PROTO_MINOR,
+        })? {
+            Reply::Hello {
+                id: got,
+                major,
+                minor,
+            } if got == id => Ok((major, minor)),
+            Reply::Error { error, .. } => Err(ClientError::Server(error)),
+            other => Err(ClientError::Protocol(format!(
+                "expected hello reply for id {id}, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches a shard server's self-description.
+    pub fn shard_info(&mut self) -> Result<ShardInfo, ClientError> {
+        let id = self.allocate_id();
+        match self.round_trip(&Request::ShardInfo { id })? {
+            Reply::ShardInfo { id: got, info } if got == id => Ok(info),
+            Reply::Error { error, .. } => Err(ClientError::Server(error)),
+            other => Err(ClientError::Protocol(format!(
+                "expected shard_info reply for id {id}, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Sends one query and waits for its reply. Strict: a degraded reply
+    /// or typed rejection is an `Err` here — use
+    /// [`query_batch`](Client::query_batch) to observe outcomes as values.
     pub fn query(&mut self, query: &Query) -> Result<Response, ClientError> {
         let mut outcomes = self.query_batch(std::slice::from_ref(query))?;
         outcomes
             .pop()
             .expect("one outcome per submitted query")
-            .map_err(ClientError::Server)
+            .into_result()
     }
 
-    /// Pipelines the whole workload on this connection: request frames
-    /// are written ahead of the replies being read — but never more than
-    /// `PIPELINE_WINDOW` (64) ahead, so the client is always draining
-    /// replies whenever the window is full. (Writing an unbounded batch before
-    /// reading anything can deadlock once both sockets' kernel buffers
-    /// fill: the server blocks writing replies nobody reads, the client
-    /// blocks writing requests nobody accepts.) Replies are collected by
-    /// id and returned in submission order. Per-query outcomes are
-    /// independent — one query's overload/deadline rejection does not fail
-    /// its neighbors.
-    pub fn query_batch(
-        &mut self,
-        queries: &[Query],
-    ) -> Result<Vec<Result<Response, ServerError>>, ClientError> {
-        let ids: Vec<u64> = queries.iter().map(|_| self.fresh_id()).collect();
+    /// Pipelines the whole workload on this connection, then applies the
+    /// retry policy to `overloaded` rejections (only — see the
+    /// [module docs](self)). Outcomes come back in submission order;
+    /// per-query outcomes are independent — one query's rejection does not
+    /// fail its neighbors.
+    pub fn query_batch(&mut self, queries: &[Query]) -> Result<Vec<QueryOutcome>, ClientError> {
+        let mut outcomes = self.query_batch_once(queries)?;
+        let policy = self.retry;
+        for _round in 1..policy.attempts() {
+            let pending: Vec<usize> = outcomes
+                .iter()
+                .enumerate()
+                .filter(|(_, o)| matches!(o, QueryOutcome::Rejected(e) if policy.retries(e)))
+                .map(|(i, _)| i)
+                .collect();
+            if pending.is_empty() {
+                break;
+            }
+            std::thread::sleep(policy.backoff_duration());
+            let retry_queries: Vec<Query> = pending.iter().map(|&i| queries[i].clone()).collect();
+            let retried = self.query_batch_once(&retry_queries)?;
+            for (slot, outcome) in pending.into_iter().zip(retried) {
+                outcomes[slot] = outcome;
+            }
+        }
+        Ok(outcomes)
+    }
 
-        let mut slots: Vec<Option<Result<Response, ServerError>>> = vec![None; queries.len()];
+    /// One pipelined pass: request frames are written ahead of the replies
+    /// being read — but never more than `PIPELINE_WINDOW` (64) ahead, so
+    /// the client is always draining replies whenever the window is full.
+    /// (Writing an unbounded batch before reading anything can deadlock
+    /// once both sockets' kernel buffers fill: the server blocks writing
+    /// replies nobody reads, the client blocks writing requests nobody
+    /// accepts.) Replies are collected by id and returned in submission
+    /// order.
+    fn query_batch_once(&mut self, queries: &[Query]) -> Result<Vec<QueryOutcome>, ClientError> {
+        let ids: Vec<u64> = queries.iter().map(|_| self.allocate_id()).collect();
+
+        let mut slots: Vec<Option<QueryOutcome>> = vec![None; queries.len()];
         let mut sent = 0usize;
         let mut remaining = queries.len();
         while remaining > 0 {
             // Top the window up, then flush once for the burst.
             if sent < queries.len() && sent - (queries.len() - remaining) < PIPELINE_WINDOW {
                 while sent < queries.len() && sent - (queries.len() - remaining) < PIPELINE_WINDOW {
-                    let frame = Request::Query {
+                    self.send_request(&Request::Query {
                         id: ids[sent],
                         query: queries[sent].clone(),
-                    }
-                    .to_json();
-                    write_frame(&mut self.writer, &frame)?;
+                    })?;
                     sent += 1;
                 }
-                self.writer.flush()?;
+                self.flush()?;
             }
-            let reply = self.read_reply()?;
+            let reply = self.recv_reply()?;
             let (id, outcome) = match reply {
-                Reply::Response { id, response } => (id, Ok(response)),
+                Reply::Response { id, response } => (id, QueryOutcome::Answered(response)),
+                Reply::Degraded {
+                    id,
+                    degraded,
+                    response,
+                } => (id, QueryOutcome::Degraded { degraded, response }),
                 Reply::Error {
                     id: Some(id),
                     error,
-                } => (id, Err(error)),
+                } => (id, QueryOutcome::Rejected(error)),
                 Reply::Error { id: None, error } => {
                     // The server could not attribute the failure to a
                     // request — the conversation is broken.
@@ -146,10 +392,10 @@ impl Client {
                         "unattributed server error: {error}"
                     )));
                 }
-                Reply::Stats { .. } => {
-                    return Err(ClientError::Protocol(
-                        "unexpected stats reply during a query batch".into(),
-                    ));
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "unexpected {other:?} during a query batch"
+                    )));
                 }
             };
             let slot = ids
@@ -171,15 +417,43 @@ impl Client {
 
     /// Fetches the server's metrics snapshot over the wire.
     pub fn stats(&mut self) -> Result<MetricsSnapshot, ClientError> {
-        let id = self.fresh_id();
-        let frame = Request::Stats { id }.to_json();
-        write_frame(&mut self.writer, &frame)?;
-        self.writer.flush()?;
-        match self.read_reply()? {
+        let id = self.allocate_id();
+        match self.round_trip(&Request::Stats { id })? {
             Reply::Stats { id: got, stats } if got == id => Ok(stats),
             other => Err(ClientError::Protocol(format!(
                 "expected stats reply for id {id}, got {other:?}"
             ))),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_policy_is_overloaded_only() {
+        let policy = RetryPolicy::new().max_attempts(3);
+        assert!(policy.retries(&ServerError::new(ServerErrorKind::Overloaded, "")));
+        for kind in [
+            ServerErrorKind::DeadlineExceeded,
+            ServerErrorKind::ShuttingDown,
+            ServerErrorKind::InvalidQuery,
+            ServerErrorKind::Malformed,
+            ServerErrorKind::UnsupportedVersion,
+            ServerErrorKind::EpochMismatch,
+        ] {
+            assert!(
+                !policy.retries(&ServerError::new(kind, "")),
+                "{kind:?} must not be retried"
+            );
+        }
+        // The no-retry default refuses even overloaded.
+        assert!(!RetryPolicy::default().retries(&ServerError::new(ServerErrorKind::Overloaded, "")));
+    }
+
+    #[test]
+    fn retry_policy_clamps_attempts() {
+        assert_eq!(RetryPolicy::new().max_attempts(0).attempts(), 1);
     }
 }

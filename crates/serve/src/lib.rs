@@ -29,6 +29,25 @@
 //! — the loopback equivalence suite in `tests/loopback.rs` enforces this
 //! across both index layouts.
 //!
+//! ## Roles (PR 6)
+//!
+//! The same listener machinery serves two personalities:
+//!
+//! * **Query server / coordinator** — [`Server::serve`] over any
+//!   [`QueryHandler`] (a [`SearchEngine`](trajsearch_core::SearchEngine)
+//!   works as-is; a `trajsearch-distrib` coordinator adds typed
+//!   [`degraded`](proto::DegradedInfo) replies when shards go missing).
+//! * **Shard server** — [`Server::serve_shard`] over a [`ShardSource`]
+//!   answers the `shard_*` RPCs ([`proto`]): the remote half of the
+//!   [`PostingSource`](trajsearch_core::PostingSource) contract, with
+//!   epoch and deadline guards ([`shard`]).
+//!
+//! Frames are versioned (`"v"`, [`proto::PROTO_MAJOR`]) with a `hello`
+//! negotiation and a typed `unsupported_version` rejection; see the
+//! [`proto`] module docs for the compatibility rule. Clients get typed
+//! per-query [`QueryOutcome`]s and an opt-in, overloaded-only
+//! [`RetryPolicy`] ([`client`]).
+//!
 //! ## Example
 //!
 //! ```
@@ -63,9 +82,14 @@ pub mod metrics;
 pub mod proto;
 pub mod queue;
 pub mod server;
+pub mod shard;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, QueryOutcome, RetryPolicy};
 pub use metrics::{LatencySummary, Metrics, MetricsSnapshot};
-pub use proto::{Reply, Request, ServerError, ServerErrorKind, MAX_FRAME_BYTES};
+pub use proto::{
+    DegradedInfo, Reply, Request, ServerError, ServerErrorKind, ShardInfo, SpanPage,
+    MAX_FRAME_BYTES, PROTO_MAJOR, PROTO_MINOR, SPAN_PAGE_MAX,
+};
 pub use queue::{BoundedQueue, Pop, PushError};
-pub use server::{Server, ServerConfig, ServerHandle};
+pub use server::{Handled, QueryHandler, Server, ServerConfig, ServerHandle};
+pub use shard::{IndexShardSource, ShardSource};

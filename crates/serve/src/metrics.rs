@@ -110,6 +110,7 @@ pub struct Metrics {
     pub rejected_shutdown: AtomicU64,
     pub timed_out: AtomicU64,
     pub completed: AtomicU64,
+    pub degraded: AtomicU64,
     pub invalid: AtomicU64,
     pub malformed: AtomicU64,
     wall_ns: Mutex<Option<Ring>>,
@@ -164,6 +165,7 @@ impl Metrics {
             rejected_shutdown: self.rejected_shutdown.load(Ordering::Relaxed),
             timed_out: self.timed_out.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
             invalid: self.invalid.load(Ordering::Relaxed),
             malformed: self.malformed.load(Ordering::Relaxed),
             wall: ring_summary(&self.wall_ns),
@@ -192,6 +194,9 @@ pub struct MetricsSnapshot {
     pub timed_out: u64,
     /// Queries answered successfully.
     pub completed: u64,
+    /// Queries answered with a typed `degraded` reply (shards missing; the
+    /// coordinator role only — always 0 on single-process servers).
+    pub degraded: u64,
     /// Queries failing engine admission (typed `invalid_query` replies).
     pub invalid: u64,
     /// Frames that were not well-formed requests.
@@ -222,6 +227,7 @@ impl MetricsSnapshot {
             ),
             ("timed_out".into(), JsonValue::num_u64(self.timed_out)),
             ("completed".into(), JsonValue::num_u64(self.completed)),
+            ("degraded".into(), JsonValue::num_u64(self.degraded)),
             ("invalid".into(), JsonValue::num_u64(self.invalid)),
             ("malformed".into(), JsonValue::num_u64(self.malformed)),
             ("wall".into(), self.wall.to_json_value()),
@@ -249,6 +255,9 @@ impl MetricsSnapshot {
             rejected_shutdown: u64_field("rejected_shutdown")?,
             timed_out: u64_field("timed_out")?,
             completed: u64_field("completed")?,
+            // Absent on snapshots from pre-PR6 servers (minor-version
+            // tolerance: added fields default rather than fail).
+            degraded: v.get("degraded").and_then(|x| x.as_u64()).unwrap_or(0),
             invalid: u64_field("invalid")?,
             malformed: u64_field("malformed")?,
             wall: LatencySummary::from_json_value(

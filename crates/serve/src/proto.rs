@@ -26,17 +26,110 @@
 //!
 //! An error frame's `id` is `null` when the offending frame was too
 //! malformed to carry one.
+//!
+//! # Protocol versioning
+//!
+//! Every frame carries the protocol-version field `"v"` (the
+//! `proto_version` of the envelope), holding the **major** version the
+//! sender speaks — currently [`PROTO_MAJOR`]. The compatibility rule:
+//!
+//! * **Absent `"v"`** means major 1 — frames from pre-versioning (PR 5)
+//!   peers keep working, and because the decoder has always ignored unknown
+//!   object keys, versioned frames parse on old peers too.
+//! * **Same major, any minor** is compatible. Minors only *add* frame
+//!   types and optional fields; a peer that doesn't know a frame type
+//!   answers it `malformed`, never mis-parses it. Minors are discovered via
+//!   `hello`, not carried per frame.
+//! * **Different major** is incompatible: the receiver rejects the frame
+//!   with the typed [`ServerErrorKind::UnsupportedVersion`] — distinct from
+//!   `malformed`, so clients can tell "speak an older protocol" apart from
+//!   "you sent garbage".
+//!
+//! Peers that care negotiate up front with `hello` (and get the server's
+//! `major`/`minor` back); peers that don't just send frames and rely on the
+//! typed rejection:
+//!
+//! ```json
+//! {"v":1,"type":"hello","id":1,"major":1,"minor":1}
+//! {"v":1,"type":"hello","id":1,"major":1,"minor":1}
+//! ```
+//!
+//! # Shard RPCs
+//!
+//! A server in the *shard-server role* (`Server::serve_shard`) exposes one
+//! shard of the partitioned index over the same framing — the remote half
+//! of the [`trajsearch_core::PostingSource`] contract. Data RPCs carry the
+//! shard's build `epoch` (stale epoch → typed `epoch_mismatch`, so a
+//! coordinator can never mix results from different index builds) and an
+//! optional `deadline_ms` budget measured from frame arrival:
+//!
+//! ```json
+//! {"v":1,"type":"shard_info","id":2}
+//! {"v":1,"type":"shard_freqs","id":3,"epoch":7,"deadline_ms":250,"syms":[4,9]}
+//! {"v":1,"type":"shard_postings","id":4,"epoch":7,"syms":[4]}
+//! {"v":1,"type":"shard_departing_by","id":5,"epoch":7,"sym":4,"t_max":180.5}
+//! {"v":1,"type":"shard_spans","id":6,"epoch":7,"start":0,"count":65536}
+//! ```
+//!
+//! Postings are `[traj_id, pos]` pairs (global ids), departing entries
+//! `[departure, traj_id, pos]` triples, spans two parallel arrays pages at
+//! a time (`count` is clamped to [`SPAN_PAGE_MAX`]; the client continues
+//! from `start + departures.len()` until `total` is covered). Floats use
+//! Rust's shortest round-trip rendering, so values survive the wire
+//! bit-for-bit.
+//!
+//! # Degraded replies
+//!
+//! A coordinator that lost shards mid-query answers with a typed
+//! `degraded` frame instead of overloading `error` — the query *ran*, but
+//! its answer may be missing contributions from [`DegradedInfo::missing_shards`]:
+//!
+//! ```json
+//! {"v":1,"type":"degraded","id":7,"degraded":{"missing_shards":[2],"reason":"..."}}
+//! ```
 
 use crate::metrics::MetricsSnapshot;
 use std::fmt;
 use std::io::{self, BufRead, Write};
 use trajsearch_core::json::JsonValue;
-use trajsearch_core::{Query, Response};
+use trajsearch_core::{Posting, Query, Response};
+use wed::Sym;
 
 /// Hard bound on a single frame's size, both directions. Large enough for
 /// any realistic query batch element; small enough that a hostile peer
 /// cannot balloon server memory through one connection.
 pub const MAX_FRAME_BYTES: usize = 8 << 20;
+
+/// Wire-protocol major version — breaking changes only. Carried on every
+/// frame as `"v"`; see the [module docs](self) for the compatibility rule.
+pub const PROTO_MAJOR: u32 = 1;
+
+/// Wire-protocol minor version — additive changes (minor 1 added `hello`,
+/// the shard RPCs and `degraded`). Exchanged via `hello`, not per frame.
+pub const PROTO_MINOR: u32 = 1;
+
+/// Hard cap on spans returned per `shard_spans` page, keeping every reply
+/// frame far below [`MAX_FRAME_BYTES`] even for huge shards.
+pub const SPAN_PAGE_MAX: usize = 65_536;
+
+/// Checks a decoded frame's `"v"` field against [`PROTO_MAJOR`]. Absent
+/// means major 1 (pre-versioning peers).
+fn check_version(doc: &JsonValue) -> Result<(), ServerError> {
+    match doc.get("v") {
+        None => Ok(()),
+        Some(v) => match v.as_u64() {
+            Some(m) if m == PROTO_MAJOR as u64 => Ok(()),
+            Some(m) => Err(ServerError::new(
+                ServerErrorKind::UnsupportedVersion,
+                format!("unsupported protocol major {m}; this peer speaks {PROTO_MAJOR}"),
+            )),
+            None => Err(ServerError::new(
+                ServerErrorKind::Malformed,
+                "\"v\" must be an unsigned integer",
+            )),
+        },
+    }
+}
 
 // ---------------------------------------------------------------------------
 // Typed server errors
@@ -57,6 +150,13 @@ pub enum ServerErrorKind {
     InvalidQuery,
     /// The frame was not a well-formed request envelope.
     Malformed,
+    /// The frame declared a protocol major this peer does not speak
+    /// (distinct from [`Malformed`](ServerErrorKind::Malformed): the bytes
+    /// were fine, the dialect was not).
+    UnsupportedVersion,
+    /// A shard RPC carried an `epoch` that does not match the shard's
+    /// current index build; the caller must re-`shard_info` and retry.
+    EpochMismatch,
 }
 
 impl ServerErrorKind {
@@ -67,6 +167,8 @@ impl ServerErrorKind {
             ServerErrorKind::ShuttingDown => "shutting_down",
             ServerErrorKind::InvalidQuery => "invalid_query",
             ServerErrorKind::Malformed => "malformed",
+            ServerErrorKind::UnsupportedVersion => "unsupported_version",
+            ServerErrorKind::EpochMismatch => "epoch_mismatch",
         }
     }
 
@@ -77,6 +179,8 @@ impl ServerErrorKind {
             "shutting_down" => ServerErrorKind::ShuttingDown,
             "invalid_query" => ServerErrorKind::InvalidQuery,
             "malformed" => ServerErrorKind::Malformed,
+            "unsupported_version" => ServerErrorKind::UnsupportedVersion,
+            "epoch_mismatch" => ServerErrorKind::EpochMismatch,
             _ => return None,
         })
     }
@@ -129,46 +233,410 @@ impl fmt::Display for ServerError {
 impl std::error::Error for ServerError {}
 
 // ---------------------------------------------------------------------------
+// Shard-RPC payloads
+// ---------------------------------------------------------------------------
+
+/// Why a reply is partial: the answer was computed, but these shards did
+/// not contribute (dropped connection, missed deadline, stale epoch).
+/// Carried by the `degraded` reply frame — an explicit envelope, *not* an
+/// error: the caller gets real matches plus an honest account of what may
+/// be missing.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DegradedInfo {
+    /// Shard ids (ascending, deduplicated) whose data may be missing.
+    pub missing_shards: Vec<u32>,
+    /// Human-readable detail for the first failure observed.
+    pub reason: String,
+}
+
+impl DegradedInfo {
+    pub fn to_json_value(&self) -> JsonValue {
+        JsonValue::Obj(vec![
+            (
+                "missing_shards".into(),
+                JsonValue::Arr(
+                    self.missing_shards
+                        .iter()
+                        .map(|&s| JsonValue::num_u64(s as u64))
+                        .collect(),
+                ),
+            ),
+            ("reason".into(), JsonValue::Str(self.reason.clone())),
+        ])
+    }
+
+    pub fn from_json_value(v: &JsonValue) -> Result<DegradedInfo, String> {
+        let shards = v
+            .get("missing_shards")
+            .and_then(|a| a.as_arr())
+            .ok_or("degraded info needs a \"missing_shards\" array")?;
+        let missing_shards = shards
+            .iter()
+            .map(|s| {
+                s.as_u64()
+                    .and_then(|x| u32::try_from(x).ok())
+                    .ok_or("missing_shards entries must be u32")
+            })
+            .collect::<Result<Vec<u32>, _>>()?;
+        let reason = v
+            .get("reason")
+            .and_then(|r| r.as_str())
+            .unwrap_or_default()
+            .to_string();
+        Ok(DegradedInfo {
+            missing_shards,
+            reason,
+        })
+    }
+}
+
+impl fmt::Display for DegradedInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "degraded (missing shards {:?}): {}",
+            self.missing_shards, self.reason
+        )
+    }
+}
+
+/// What a shard server reports about itself — everything a coordinator
+/// needs to validate a cluster (complete, non-overlapping partition of one
+/// dataset) and to fill the size/count half of the `PostingSource`
+/// contract without further round trips.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardInfo {
+    /// This server's slice: trajectories with `id % num_shards == shard_id`.
+    pub shard_id: u32,
+    pub num_shards: u32,
+    /// Identifies the index build; all data RPCs must echo it.
+    pub epoch: u64,
+    pub alphabet_size: u64,
+    /// Trajectories owned by this shard.
+    pub local_trajectories: u64,
+    /// Trajectories in the whole dataset the shard was cut from.
+    pub num_trajectories: u64,
+    /// Postings held by this shard.
+    pub total_postings: u64,
+    pub size_bytes: u64,
+    pub has_temporal_postings: bool,
+}
+
+impl ShardInfo {
+    pub fn to_json_value(&self) -> JsonValue {
+        JsonValue::Obj(vec![
+            ("shard_id".into(), JsonValue::num_u64(self.shard_id as u64)),
+            (
+                "num_shards".into(),
+                JsonValue::num_u64(self.num_shards as u64),
+            ),
+            ("epoch".into(), JsonValue::num_u64(self.epoch)),
+            (
+                "alphabet_size".into(),
+                JsonValue::num_u64(self.alphabet_size),
+            ),
+            (
+                "local_trajectories".into(),
+                JsonValue::num_u64(self.local_trajectories),
+            ),
+            (
+                "num_trajectories".into(),
+                JsonValue::num_u64(self.num_trajectories),
+            ),
+            (
+                "total_postings".into(),
+                JsonValue::num_u64(self.total_postings),
+            ),
+            ("size_bytes".into(), JsonValue::num_u64(self.size_bytes)),
+            (
+                "has_temporal_postings".into(),
+                JsonValue::Bool(self.has_temporal_postings),
+            ),
+        ])
+    }
+
+    pub fn from_json_value(v: &JsonValue) -> Result<ShardInfo, String> {
+        let field = |key: &str| {
+            v.get(key)
+                .and_then(|x| x.as_u64())
+                .ok_or_else(|| format!("shard info needs u64 \"{key}\""))
+        };
+        let u32_field = |key: &str| {
+            field(key)?
+                .try_into()
+                .map_err(|_| format!("shard info \"{key}\" exceeds u32"))
+        };
+        Ok(ShardInfo {
+            shard_id: u32_field("shard_id")?,
+            num_shards: u32_field("num_shards")?,
+            epoch: field("epoch")?,
+            alphabet_size: field("alphabet_size")?,
+            local_trajectories: field("local_trajectories")?,
+            num_trajectories: field("num_trajectories")?,
+            total_postings: field("total_postings")?,
+            size_bytes: field("size_bytes")?,
+            has_temporal_postings: v
+                .get("has_temporal_postings")
+                .and_then(|b| b.as_bool())
+                .ok_or("shard info needs bool \"has_temporal_postings\"")?,
+        })
+    }
+}
+
+/// One page of a shard's span table (parallel departure/arrival arrays,
+/// dense by local slot). `total` is the shard's local trajectory count;
+/// the caller pages until `start + departures.len() == total`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SpanPage {
+    pub start: u64,
+    pub total: u64,
+    pub departures: Vec<f64>,
+    pub arrivals: Vec<f64>,
+}
+
+impl SpanPage {
+    pub fn to_json_value(&self) -> JsonValue {
+        let floats =
+            |xs: &[f64]| JsonValue::Arr(xs.iter().map(|&x| JsonValue::num_f64(x)).collect());
+        JsonValue::Obj(vec![
+            ("start".into(), JsonValue::num_u64(self.start)),
+            ("total".into(), JsonValue::num_u64(self.total)),
+            ("departures".into(), floats(&self.departures)),
+            ("arrivals".into(), floats(&self.arrivals)),
+        ])
+    }
+
+    pub fn from_json_value(v: &JsonValue) -> Result<SpanPage, String> {
+        let floats = |key: &str| {
+            v.get(key)
+                .and_then(|a| a.as_arr())
+                .ok_or_else(|| format!("span page needs array \"{key}\""))?
+                .iter()
+                .map(|x| {
+                    x.as_f64()
+                        .filter(|f| f.is_finite())
+                        .ok_or("span entries must be finite numbers")
+                })
+                .collect::<Result<Vec<f64>, _>>()
+                .map_err(String::from)
+        };
+        let page = SpanPage {
+            start: v
+                .get("start")
+                .and_then(|x| x.as_u64())
+                .ok_or("span page needs u64 \"start\"")?,
+            total: v
+                .get("total")
+                .and_then(|x| x.as_u64())
+                .ok_or("span page needs u64 \"total\"")?,
+            departures: floats("departures")?,
+            arrivals: floats("arrivals")?,
+        };
+        if page.departures.len() != page.arrivals.len() {
+            return Err("span page arrays must have equal length".into());
+        }
+        Ok(page)
+    }
+}
+
+fn syms_to_value(syms: &[Sym]) -> JsonValue {
+    JsonValue::Arr(syms.iter().map(|&q| JsonValue::num_u64(q as u64)).collect())
+}
+
+fn syms_from_value(v: &JsonValue, what: &str) -> Result<Vec<Sym>, String> {
+    v.as_arr()
+        .ok_or_else(|| format!("{what} must be an array"))?
+        .iter()
+        .map(|x| {
+            x.as_u64()
+                .and_then(|n| Sym::try_from(n).ok())
+                .ok_or_else(|| format!("{what} entries must be u32 symbols"))
+        })
+        .collect()
+}
+
+fn posting_to_value(p: Posting) -> JsonValue {
+    JsonValue::Arr(vec![
+        JsonValue::num_u64(p.0 as u64),
+        JsonValue::num_u64(p.1 as u64),
+    ])
+}
+
+fn posting_from_slice(pair: &[JsonValue]) -> Option<Posting> {
+    match pair {
+        [id, pos] => Some((
+            u32::try_from(id.as_u64()?).ok()?,
+            u32::try_from(pos.as_u64()?).ok()?,
+        )),
+        _ => None,
+    }
+}
+
+fn postings_from_value(v: &JsonValue, what: &str) -> Result<Vec<Posting>, String> {
+    v.as_arr()
+        .ok_or_else(|| format!("{what} must be an array"))?
+        .iter()
+        .map(|e| {
+            e.as_arr()
+                .and_then(posting_from_slice)
+                .ok_or_else(|| format!("{what} entries must be [traj_id, pos] pairs"))
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
 // Request / Reply envelopes
 // ---------------------------------------------------------------------------
 
-/// A client → server frame.
+/// A client → server frame. Every variant's first field is the `id` that
+/// correlates the eventual reply.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
-    /// Answer one query. `id` correlates the eventual reply.
+    /// Answer one query.
     Query { id: u64, query: Query },
     /// Return the server's metrics snapshot.
     Stats { id: u64 },
+    /// Version negotiation: the client announces what it speaks, the
+    /// server replies with its own `major`/`minor`.
+    Hello { id: u64, major: u32, minor: u32 },
+    /// Describe the served shard ([`ShardInfo`]), including the `epoch`
+    /// every data RPC must echo.
+    ShardInfo { id: u64 },
+    /// Postings-list lengths for a batch of symbols (one round trip primes
+    /// a whole pattern's frequencies).
+    ShardFreqs {
+        id: u64,
+        epoch: u64,
+        deadline_ms: Option<u64>,
+        syms: Vec<Sym>,
+    },
+    /// Full postings lists for a batch of symbols, in this shard's build
+    /// order.
+    ShardPostings {
+        id: u64,
+        epoch: u64,
+        deadline_ms: Option<u64>,
+        syms: Vec<Sym>,
+    },
+    /// The departure-sorted prefix of one symbol's list with departure
+    /// `<= t_max` (finite).
+    ShardDepartingBy {
+        id: u64,
+        epoch: u64,
+        deadline_ms: Option<u64>,
+        sym: Sym,
+        t_max: f64,
+    },
+    /// One page of the shard's span table, `count` clamped to
+    /// [`SPAN_PAGE_MAX`].
+    ShardSpans {
+        id: u64,
+        epoch: u64,
+        deadline_ms: Option<u64>,
+        start: u64,
+        count: u64,
+    },
 }
 
 impl Request {
     pub fn id(&self) -> u64 {
         match self {
-            Request::Query { id, .. } | Request::Stats { id } => *id,
+            Request::Query { id, .. }
+            | Request::Stats { id }
+            | Request::Hello { id, .. }
+            | Request::ShardInfo { id }
+            | Request::ShardFreqs { id, .. }
+            | Request::ShardPostings { id, .. }
+            | Request::ShardDepartingBy { id, .. }
+            | Request::ShardSpans { id, .. } => *id,
         }
     }
 
     pub fn to_json(&self) -> String {
-        match self {
-            Request::Query { id, query } => JsonValue::Obj(vec![
-                ("type".into(), JsonValue::Str("query".into())),
-                ("id".into(), JsonValue::num_u64(*id)),
+        let envelope = |ty: &str, id: u64| {
+            vec![
+                ("v".into(), JsonValue::num_u64(PROTO_MAJOR as u64)),
+                ("type".into(), JsonValue::Str(ty.into())),
+                ("id".into(), JsonValue::num_u64(id)),
+            ]
+        };
+        let with_shard_args =
+            |mut fields: Vec<(String, JsonValue)>, epoch: u64, deadline_ms: Option<u64>| {
+                fields.push(("epoch".into(), JsonValue::num_u64(epoch)));
+                if let Some(ms) = deadline_ms {
+                    fields.push(("deadline_ms".into(), JsonValue::num_u64(ms)));
+                }
+                fields
+            };
+        let fields = match self {
+            Request::Query { id, query } => {
+                let mut f = envelope("query", *id);
                 // The query's canonical wire object, embedded directly —
                 // not re-rendered and re-parsed, and not a string.
-                ("query".into(), query.to_value()),
-            ])
-            .to_string(),
-            Request::Stats { id } => JsonValue::Obj(vec![
-                ("type".into(), JsonValue::Str("stats".into())),
-                ("id".into(), JsonValue::num_u64(*id)),
-            ])
-            .to_string(),
-        }
+                f.push(("query".into(), query.to_value()));
+                f
+            }
+            Request::Stats { id } => envelope("stats", *id),
+            Request::Hello { id, major, minor } => {
+                let mut f = envelope("hello", *id);
+                f.push(("major".into(), JsonValue::num_u64(*major as u64)));
+                f.push(("minor".into(), JsonValue::num_u64(*minor as u64)));
+                f
+            }
+            Request::ShardInfo { id } => envelope("shard_info", *id),
+            Request::ShardFreqs {
+                id,
+                epoch,
+                deadline_ms,
+                syms,
+            } => {
+                let mut f = with_shard_args(envelope("shard_freqs", *id), *epoch, *deadline_ms);
+                f.push(("syms".into(), syms_to_value(syms)));
+                f
+            }
+            Request::ShardPostings {
+                id,
+                epoch,
+                deadline_ms,
+                syms,
+            } => {
+                let mut f = with_shard_args(envelope("shard_postings", *id), *epoch, *deadline_ms);
+                f.push(("syms".into(), syms_to_value(syms)));
+                f
+            }
+            Request::ShardDepartingBy {
+                id,
+                epoch,
+                deadline_ms,
+                sym,
+                t_max,
+            } => {
+                let mut f =
+                    with_shard_args(envelope("shard_departing_by", *id), *epoch, *deadline_ms);
+                f.push(("sym".into(), JsonValue::num_u64(*sym as u64)));
+                f.push(("t_max".into(), JsonValue::num_f64(*t_max)));
+                f
+            }
+            Request::ShardSpans {
+                id,
+                epoch,
+                deadline_ms,
+                start,
+                count,
+            } => {
+                let mut f = with_shard_args(envelope("shard_spans", *id), *epoch, *deadline_ms);
+                f.push(("start".into(), JsonValue::num_u64(*start)));
+                f.push(("count".into(), JsonValue::num_u64(*count)));
+                f
+            }
+        };
+        JsonValue::Obj(fields).to_string()
     }
 
     /// Decodes a request frame. The error side carries the frame's `id`
     /// when one could be extracted, so the server can still address its
-    /// error reply.
+    /// error reply. An unknown protocol major is a typed
+    /// `unsupported_version`, not `malformed`.
     pub fn from_json(text: &str) -> Result<Request, (Option<u64>, ServerError)> {
         let malformed =
             |id: Option<u64>, msg: &str| (id, ServerError::new(ServerErrorKind::Malformed, msg));
@@ -177,8 +645,90 @@ impl Request {
             Err(e) => return Err(malformed(None, &format!("unparseable frame: {e}"))),
         };
         let id = doc.get("id").and_then(|v| v.as_u64());
+        if let Err(error) = check_version(&doc) {
+            return Err((id, error));
+        }
         let Some(id) = id else {
             return Err(malformed(None, "request frame needs a u64 \"id\""));
+        };
+        let u64_field = |key: &str| {
+            doc.get(key)
+                .and_then(|v| v.as_u64())
+                .ok_or_else(|| format!("request needs u64 \"{key}\""))
+        };
+        let shard_args = || -> Result<(u64, Option<u64>), String> {
+            let epoch = u64_field("epoch")?;
+            let deadline_ms = match doc.get("deadline_ms") {
+                None => None,
+                Some(v) => Some(v.as_u64().ok_or("\"deadline_ms\" must be a u64")?),
+            };
+            Ok((epoch, deadline_ms))
+        };
+        let decode = |what: &str| -> Result<Request, String> {
+            match what {
+                "stats" => Ok(Request::Stats { id }),
+                "hello" => Ok(Request::Hello {
+                    id,
+                    major: u64_field("major")?
+                        .try_into()
+                        .map_err(|_| "\"major\" exceeds u32")?,
+                    minor: u64_field("minor")?
+                        .try_into()
+                        .map_err(|_| "\"minor\" exceeds u32")?,
+                }),
+                "shard_info" => Ok(Request::ShardInfo { id }),
+                "shard_freqs" | "shard_postings" => {
+                    let (epoch, deadline_ms) = shard_args()?;
+                    let syms = syms_from_value(
+                        doc.get("syms").ok_or("request needs \"syms\"")?,
+                        "\"syms\"",
+                    )?;
+                    Ok(if what == "shard_freqs" {
+                        Request::ShardFreqs {
+                            id,
+                            epoch,
+                            deadline_ms,
+                            syms,
+                        }
+                    } else {
+                        Request::ShardPostings {
+                            id,
+                            epoch,
+                            deadline_ms,
+                            syms,
+                        }
+                    })
+                }
+                "shard_departing_by" => {
+                    let (epoch, deadline_ms) = shard_args()?;
+                    let sym = u64_field("sym")?
+                        .try_into()
+                        .map_err(|_| "\"sym\" exceeds u32")?;
+                    let t_max = doc
+                        .get("t_max")
+                        .and_then(|v| v.as_f64())
+                        .filter(|t| t.is_finite())
+                        .ok_or("request needs finite \"t_max\"")?;
+                    Ok(Request::ShardDepartingBy {
+                        id,
+                        epoch,
+                        deadline_ms,
+                        sym,
+                        t_max,
+                    })
+                }
+                "shard_spans" => {
+                    let (epoch, deadline_ms) = shard_args()?;
+                    Ok(Request::ShardSpans {
+                        id,
+                        epoch,
+                        deadline_ms,
+                        start: u64_field("start")?,
+                        count: u64_field("count")?,
+                    })
+                }
+                other => Err(format!("unknown request type {other:?}")),
+            }
         };
         match doc.get("type").and_then(|v| v.as_str()) {
             Some("query") => {
@@ -193,11 +743,8 @@ impl Request {
                     )),
                 }
             }
-            Some("stats") => Ok(Request::Stats { id }),
-            other => Err(malformed(
-                Some(id),
-                &format!("unknown request type {other:?}"),
-            )),
+            Some(what) => decode(what).map_err(|e| malformed(Some(id), &e)),
+            None => Err(malformed(Some(id), "request frame needs a \"type\"")),
         }
     }
 }
@@ -205,46 +752,201 @@ impl Request {
 /// A server → client frame.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Reply {
-    Response { id: u64, response: Response },
-    Error { id: Option<u64>, error: ServerError },
-    Stats { id: u64, stats: MetricsSnapshot },
+    Response {
+        id: u64,
+        response: Response,
+    },
+    /// The query ran but the answer may be missing shard contributions —
+    /// a first-class outcome, deliberately not an [`Reply::Error`].
+    Degraded {
+        id: u64,
+        degraded: DegradedInfo,
+        response: Option<Response>,
+    },
+    Error {
+        id: Option<u64>,
+        error: ServerError,
+    },
+    Stats {
+        id: u64,
+        stats: MetricsSnapshot,
+    },
+    Hello {
+        id: u64,
+        major: u32,
+        minor: u32,
+    },
+    ShardInfo {
+        id: u64,
+        info: ShardInfo,
+    },
+    /// Lengths, parallel to the request's `syms`.
+    ShardFreqs {
+        id: u64,
+        freqs: Vec<u32>,
+    },
+    /// Lists, parallel to the request's `syms`.
+    ShardPostings {
+        id: u64,
+        lists: Vec<Vec<Posting>>,
+    },
+    ShardDepartingBy {
+        id: u64,
+        entries: Vec<(f64, Posting)>,
+    },
+    ShardSpans {
+        id: u64,
+        page: SpanPage,
+    },
 }
 
 impl Reply {
-    pub fn to_json(&self) -> String {
+    pub fn id(&self) -> Option<u64> {
         match self {
-            Reply::Response { id, response } => JsonValue::Obj(vec![
-                ("type".into(), JsonValue::Str("response".into())),
-                ("id".into(), JsonValue::num_u64(*id)),
-                ("response".into(), response.to_value()),
-            ])
-            .to_string(),
-            Reply::Error { id, error } => JsonValue::Obj(vec![
+            Reply::Error { id, .. } => *id,
+            Reply::Response { id, .. }
+            | Reply::Degraded { id, .. }
+            | Reply::Stats { id, .. }
+            | Reply::Hello { id, .. }
+            | Reply::ShardInfo { id, .. }
+            | Reply::ShardFreqs { id, .. }
+            | Reply::ShardPostings { id, .. }
+            | Reply::ShardDepartingBy { id, .. }
+            | Reply::ShardSpans { id, .. } => Some(*id),
+        }
+    }
+
+    pub fn to_json(&self) -> String {
+        let envelope = |ty: &str, id: u64| {
+            vec![
+                ("v".into(), JsonValue::num_u64(PROTO_MAJOR as u64)),
+                ("type".into(), JsonValue::Str(ty.into())),
+                ("id".into(), JsonValue::num_u64(id)),
+            ]
+        };
+        let fields = match self {
+            Reply::Response { id, response } => {
+                let mut f = envelope("response", *id);
+                f.push(("response".into(), response.to_value()));
+                f
+            }
+            Reply::Degraded {
+                id,
+                degraded,
+                response,
+            } => {
+                let mut f = envelope("degraded", *id);
+                f.push(("degraded".into(), degraded.to_json_value()));
+                if let Some(r) = response {
+                    f.push(("response".into(), r.to_value()));
+                }
+                f
+            }
+            Reply::Error { id, error } => vec![
+                ("v".into(), JsonValue::num_u64(PROTO_MAJOR as u64)),
                 ("type".into(), JsonValue::Str("error".into())),
                 ("id".into(), id.map_or(JsonValue::Null, JsonValue::num_u64)),
                 ("error".into(), error.to_json_value()),
-            ])
-            .to_string(),
-            Reply::Stats { id, stats } => JsonValue::Obj(vec![
-                ("type".into(), JsonValue::Str("stats".into())),
-                ("id".into(), JsonValue::num_u64(*id)),
-                ("stats".into(), stats.to_json_value()),
-            ])
-            .to_string(),
-        }
+            ],
+            Reply::Stats { id, stats } => {
+                let mut f = envelope("stats", *id);
+                f.push(("stats".into(), stats.to_json_value()));
+                f
+            }
+            Reply::Hello { id, major, minor } => {
+                let mut f = envelope("hello", *id);
+                f.push(("major".into(), JsonValue::num_u64(*major as u64)));
+                f.push(("minor".into(), JsonValue::num_u64(*minor as u64)));
+                f
+            }
+            Reply::ShardInfo { id, info } => {
+                let mut f = envelope("shard_info", *id);
+                f.push(("info".into(), info.to_json_value()));
+                f
+            }
+            Reply::ShardFreqs { id, freqs } => {
+                let mut f = envelope("shard_freqs", *id);
+                f.push((
+                    "freqs".into(),
+                    JsonValue::Arr(
+                        freqs
+                            .iter()
+                            .map(|&n| JsonValue::num_u64(n as u64))
+                            .collect(),
+                    ),
+                ));
+                f
+            }
+            Reply::ShardPostings { id, lists } => {
+                let mut f = envelope("shard_postings", *id);
+                f.push((
+                    "lists".into(),
+                    JsonValue::Arr(
+                        lists
+                            .iter()
+                            .map(|list| {
+                                JsonValue::Arr(list.iter().map(|&p| posting_to_value(p)).collect())
+                            })
+                            .collect(),
+                    ),
+                ));
+                f
+            }
+            Reply::ShardDepartingBy { id, entries } => {
+                let mut f = envelope("shard_departing_by", *id);
+                f.push((
+                    "entries".into(),
+                    JsonValue::Arr(
+                        entries
+                            .iter()
+                            .map(|&(dep, (tid, pos))| {
+                                JsonValue::Arr(vec![
+                                    JsonValue::num_f64(dep),
+                                    JsonValue::num_u64(tid as u64),
+                                    JsonValue::num_u64(pos as u64),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ));
+                f
+            }
+            Reply::ShardSpans { id, page } => {
+                let mut f = envelope("shard_spans", *id);
+                f.push(("page".into(), page.to_json_value()));
+                f
+            }
+        };
+        JsonValue::Obj(fields).to_string()
     }
 
     pub fn from_json(text: &str) -> Result<Reply, String> {
         let doc = JsonValue::parse(text)?;
+        check_version(&doc).map_err(|e| e.to_string())?;
+        let need_id = |what: &str| {
+            doc.get("id")
+                .and_then(|v| v.as_u64())
+                .ok_or_else(|| format!("{what} frame needs a u64 \"id\""))
+        };
         match doc.get("type").and_then(|v| v.as_str()) {
             Some("response") => {
-                let id = doc
-                    .get("id")
-                    .and_then(|v| v.as_u64())
-                    .ok_or("response frame needs a u64 \"id\"")?;
+                let id = need_id("response")?;
                 let response = doc.get("response").ok_or("missing \"response\"")?;
                 let response = Response::from_value(response).map_err(|e| e.to_string())?;
                 Ok(Reply::Response { id, response })
+            }
+            Some("degraded") => {
+                let id = need_id("degraded")?;
+                let degraded = doc.get("degraded").ok_or("missing \"degraded\"")?;
+                let response = match doc.get("response") {
+                    None => None,
+                    Some(r) => Some(Response::from_value(r).map_err(|e| e.to_string())?),
+                };
+                Ok(Reply::Degraded {
+                    id,
+                    degraded: DegradedInfo::from_json_value(degraded)?,
+                    response,
+                })
             }
             Some("error") => {
                 let id = doc.get("id").and_then(|v| v.as_u64());
@@ -255,14 +957,94 @@ impl Reply {
                 })
             }
             Some("stats") => {
-                let id = doc
-                    .get("id")
-                    .and_then(|v| v.as_u64())
-                    .ok_or("stats frame needs a u64 \"id\"")?;
+                let id = need_id("stats")?;
                 let stats = doc.get("stats").ok_or("missing \"stats\"")?;
                 Ok(Reply::Stats {
                     id,
                     stats: MetricsSnapshot::from_json_value(stats)?,
+                })
+            }
+            Some("hello") => {
+                let id = need_id("hello")?;
+                let field = |key: &str| {
+                    doc.get(key)
+                        .and_then(|v| v.as_u64())
+                        .and_then(|n| u32::try_from(n).ok())
+                        .ok_or_else(|| format!("hello frame needs u32 \"{key}\""))
+                };
+                Ok(Reply::Hello {
+                    id,
+                    major: field("major")?,
+                    minor: field("minor")?,
+                })
+            }
+            Some("shard_info") => {
+                let id = need_id("shard_info")?;
+                let info = doc.get("info").ok_or("missing \"info\"")?;
+                Ok(Reply::ShardInfo {
+                    id,
+                    info: ShardInfo::from_json_value(info)?,
+                })
+            }
+            Some("shard_freqs") => {
+                let id = need_id("shard_freqs")?;
+                let freqs = doc
+                    .get("freqs")
+                    .and_then(|a| a.as_arr())
+                    .ok_or("missing \"freqs\" array")?
+                    .iter()
+                    .map(|x| {
+                        x.as_u64()
+                            .and_then(|n| u32::try_from(n).ok())
+                            .ok_or("freqs entries must be u32")
+                    })
+                    .collect::<Result<Vec<u32>, _>>()?;
+                Ok(Reply::ShardFreqs { id, freqs })
+            }
+            Some("shard_postings") => {
+                let id = need_id("shard_postings")?;
+                let lists = doc
+                    .get("lists")
+                    .and_then(|a| a.as_arr())
+                    .ok_or("missing \"lists\" array")?
+                    .iter()
+                    .map(|l| postings_from_value(l, "\"lists\""))
+                    .collect::<Result<Vec<Vec<Posting>>, _>>()?;
+                Ok(Reply::ShardPostings { id, lists })
+            }
+            Some("shard_departing_by") => {
+                let id = need_id("shard_departing_by")?;
+                let entries = doc
+                    .get("entries")
+                    .and_then(|a| a.as_arr())
+                    .ok_or("missing \"entries\" array")?
+                    .iter()
+                    .map(|e| {
+                        let triple = e.as_arr().ok_or("entries must be arrays")?;
+                        match triple {
+                            [dep, tid, pos] => {
+                                let dep = dep
+                                    .as_f64()
+                                    .filter(|d| d.is_finite())
+                                    .ok_or("departure must be finite")?;
+                                let posting = posting_from_slice(&[tid.clone(), pos.clone()])
+                                    .ok_or("entry ids must be u32")?;
+                                Ok((dep, posting))
+                            }
+                            _ => {
+                                Err("entries must be [departure, traj_id, pos] triples".to_string())
+                            }
+                        }
+                    })
+                    .collect::<Result<Vec<(f64, Posting)>, String>>()?;
+                Ok(Reply::ShardDepartingBy { id, entries })
+            }
+            Some("shard_spans") => {
+                let id = need_id("shard_spans")?;
+                let page = doc.get("page").ok_or("missing \"page\"")?;
+                Ok(Reply::ShardSpans {
+                    id,
+                    page: SpanPage::from_json_value(page)?,
                 })
             }
             other => Err(format!("unknown reply type {other:?}")),
@@ -392,9 +1174,207 @@ mod tests {
             ServerErrorKind::ShuttingDown,
             ServerErrorKind::InvalidQuery,
             ServerErrorKind::Malformed,
+            ServerErrorKind::UnsupportedVersion,
+            ServerErrorKind::EpochMismatch,
         ] {
             assert_eq!(ServerErrorKind::from_str(kind.as_str()), Some(kind));
         }
         assert_eq!(ServerErrorKind::from_str("nope"), None);
+        assert_eq!(
+            ServerErrorKind::UnsupportedVersion.as_str(),
+            "unsupported_version"
+        );
+    }
+
+    #[test]
+    fn frames_carry_the_protocol_major() {
+        let frame = Request::Stats { id: 1 }.to_json();
+        assert!(frame.contains("\"v\":1"), "frame: {frame}");
+        let frame = Reply::Error {
+            id: None,
+            error: ServerError::new(ServerErrorKind::Malformed, "x"),
+        }
+        .to_json();
+        assert!(frame.contains("\"v\":1"), "frame: {frame}");
+    }
+
+    #[test]
+    fn version_rule_absent_means_major_one_and_unknown_major_is_typed() {
+        // Pre-versioning peers (no "v") keep working.
+        assert_eq!(
+            Request::from_json(r#"{"type":"stats","id":1}"#).unwrap(),
+            Request::Stats { id: 1 }
+        );
+        // A future major is a typed unsupported_version, not malformed —
+        // and it still carries the frame id so the reply is addressable.
+        let (id, err) = Request::from_json(r#"{"v":2,"type":"stats","id":5}"#).unwrap_err();
+        assert_eq!(id, Some(5));
+        assert_eq!(err.kind, ServerErrorKind::UnsupportedVersion);
+        // A non-numeric "v" is garbage, hence malformed.
+        let (_, err) = Request::from_json(r#"{"v":"x","type":"stats","id":5}"#).unwrap_err();
+        assert_eq!(err.kind, ServerErrorKind::Malformed);
+        // Same rule on the client side.
+        let e = Reply::from_json(r#"{"v":9,"type":"stats","id":1,"stats":{}}"#).unwrap_err();
+        assert!(e.contains("unsupported protocol major 9"), "got: {e}");
+    }
+
+    #[test]
+    fn hello_round_trips_both_directions() {
+        let req = Request::Hello {
+            id: 3,
+            major: PROTO_MAJOR,
+            minor: PROTO_MINOR,
+        };
+        assert_eq!(Request::from_json(&req.to_json()).unwrap(), req);
+        let reply = Reply::Hello {
+            id: 3,
+            major: 1,
+            minor: 4,
+        };
+        assert_eq!(Reply::from_json(&reply.to_json()).unwrap(), reply);
+    }
+
+    #[test]
+    fn shard_rpc_requests_round_trip() {
+        let frames = [
+            Request::ShardInfo { id: 10 },
+            Request::ShardFreqs {
+                id: 11,
+                epoch: 7,
+                deadline_ms: Some(250),
+                syms: vec![0, 4, 9],
+            },
+            Request::ShardPostings {
+                id: 12,
+                epoch: 7,
+                deadline_ms: None,
+                syms: vec![4],
+            },
+            Request::ShardDepartingBy {
+                id: 13,
+                epoch: 7,
+                deadline_ms: Some(1),
+                sym: 4,
+                t_max: 180.5,
+            },
+            Request::ShardSpans {
+                id: 14,
+                epoch: 7,
+                deadline_ms: None,
+                start: 0,
+                count: 65536,
+            },
+        ];
+        for req in frames {
+            let back = Request::from_json(&req.to_json()).unwrap();
+            assert_eq!(back, req);
+            assert_eq!(back.id(), req.id());
+        }
+    }
+
+    #[test]
+    fn shard_rpc_replies_round_trip() {
+        let frames = [
+            Reply::ShardInfo {
+                id: 20,
+                info: ShardInfo {
+                    shard_id: 1,
+                    num_shards: 3,
+                    epoch: 7,
+                    alphabet_size: 64,
+                    local_trajectories: 40,
+                    num_trajectories: 120,
+                    total_postings: 960,
+                    size_bytes: 7680,
+                    has_temporal_postings: true,
+                },
+            },
+            Reply::ShardFreqs {
+                id: 21,
+                freqs: vec![0, 3, 17],
+            },
+            Reply::ShardPostings {
+                id: 22,
+                lists: vec![vec![(1, 0), (4, 2)], vec![]],
+            },
+            Reply::ShardDepartingBy {
+                id: 23,
+                entries: vec![(0.25, (1, 0)), (180.5, (4, 2))],
+            },
+            Reply::ShardSpans {
+                id: 24,
+                page: SpanPage {
+                    start: 0,
+                    total: 40,
+                    departures: vec![0.25, 1.5],
+                    arrivals: vec![2.75, 9.0],
+                },
+            },
+            Reply::Degraded {
+                id: 25,
+                degraded: DegradedInfo {
+                    missing_shards: vec![2],
+                    reason: "shard 2: connection reset".into(),
+                },
+                response: None,
+            },
+        ];
+        for reply in frames {
+            assert_eq!(
+                Reply::from_json(&reply.to_json()).unwrap(),
+                reply,
+                "{reply:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_rpc_argument_validation_is_malformed_not_a_panic() {
+        // Missing epoch.
+        let (id, err) =
+            Request::from_json(r#"{"v":1,"type":"shard_freqs","id":1,"syms":[1]}"#).unwrap_err();
+        assert_eq!(id, Some(1));
+        assert_eq!(err.kind, ServerErrorKind::Malformed);
+        // Non-finite t_max (JSON can't write NaN; overflowing exponent
+        // parses to infinity and must be rejected).
+        let (_, err) = Request::from_json(
+            r#"{"v":1,"type":"shard_departing_by","id":2,"epoch":0,"sym":1,"t_max":1e999}"#,
+        )
+        .unwrap_err();
+        assert_eq!(err.kind, ServerErrorKind::Malformed);
+        // Negative symbol.
+        let (_, err) =
+            Request::from_json(r#"{"v":1,"type":"shard_postings","id":3,"epoch":0,"syms":[-1]}"#)
+                .unwrap_err();
+        assert_eq!(err.kind, ServerErrorKind::Malformed);
+        // Mismatched span arrays on the reply side.
+        let e = Reply::from_json(
+            r#"{"v":1,"type":"shard_spans","id":4,"page":{"start":0,"total":1,"departures":[1.0],"arrivals":[]}}"#,
+        )
+        .unwrap_err();
+        assert!(e.contains("equal length"), "got: {e}");
+    }
+
+    #[test]
+    fn degraded_with_partial_response_round_trips() {
+        // A degraded reply may still carry the partial answer it computed.
+        let text = Reply::Degraded {
+            id: 9,
+            degraded: DegradedInfo {
+                missing_shards: vec![0, 2],
+                reason: "deadline".into(),
+            },
+            response: None,
+        }
+        .to_json();
+        match Reply::from_json(&text).unwrap() {
+            Reply::Degraded {
+                degraded, response, ..
+            } => {
+                assert_eq!(degraded.missing_shards, vec![0, 2]);
+                assert!(response.is_none());
+            }
+            other => panic!("expected degraded, got {other:?}"),
+        }
     }
 }

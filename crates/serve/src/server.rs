@@ -29,15 +29,59 @@
 //!   `Arc` over the dataset.
 
 use crate::metrics::{Metrics, MetricsSnapshot};
-use crate::proto::{write_frame, Reply, Request, ServerError, ServerErrorKind, MAX_FRAME_BYTES};
+use crate::proto::{
+    write_frame, DegradedInfo, Reply, Request, ServerError, ServerErrorKind, MAX_FRAME_BYTES,
+    PROTO_MAJOR, PROTO_MINOR,
+};
 use crate::queue::{BoundedQueue, Pop, PushError};
+use crate::shard::{answer_shard_rpc, RpcDisposition, ShardSource};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
-use trajsearch_core::{Deadline, PostingSource, Query, QueryError, SearchEngine};
+use trajsearch_core::{Deadline, PostingSource, Query, QueryError, Response, SearchEngine};
 use wed::WedInstance;
+
+/// How a [`QueryHandler`] answered one query — the server maps each arm
+/// onto the corresponding wire reply.
+#[derive(Debug)]
+pub enum Handled {
+    /// A complete answer.
+    Response(Response),
+    /// The query ran but shards were missing; becomes a typed `degraded`
+    /// reply (optionally carrying the partial answer).
+    Degraded {
+        degraded: DegradedInfo,
+        response: Option<Response>,
+    },
+    /// The query was not answered (validation, deadline, …); becomes a
+    /// typed `error` reply.
+    Rejected(QueryError),
+}
+
+/// What [`Server::serve`] serves: anything that can answer a [`Query`]
+/// under a [`Deadline`]. [`SearchEngine`] implements it directly (the
+/// single-process server), and `trajsearch-distrib`'s coordinator
+/// implements it over [`RemoteShards`-backed
+/// engines](trajsearch_core::PostingSource) to add degraded-reply
+/// tracking. Handlers run concurrently on the worker pool, hence `Sync`.
+pub trait QueryHandler: Sync {
+    fn handle(&self, query: &Query, deadline: Deadline) -> Handled;
+}
+
+impl<M, I> QueryHandler for SearchEngine<'_, M, I>
+where
+    M: WedInstance + Sync,
+    I: PostingSource + Sync,
+{
+    fn handle(&self, query: &Query, deadline: Deadline) -> Handled {
+        match self.run_with_deadline(query, deadline) {
+            Ok(response) => Handled::Response(response),
+            Err(e) => Handled::Rejected(e),
+        }
+    }
+}
 
 /// Server configuration; the [`Default`] is a loopback server on an
 /// ephemeral port sized to the host.
@@ -188,15 +232,27 @@ impl Server {
         }
     }
 
-    /// Serves `engine` until [`ServerHandle::shutdown`]. Blocks the calling
-    /// thread (spawn it inside [`std::thread::scope`] to keep borrowing the
-    /// engine); returns the final metrics snapshot once every admitted
-    /// query has been answered and all threads have joined.
-    pub fn serve<M, I>(self, engine: &SearchEngine<'_, M, I>) -> io::Result<MetricsSnapshot>
-    where
-        M: WedInstance + Sync,
-        I: PostingSource + Sync,
-    {
+    /// Serves queries until [`ServerHandle::shutdown`]. The handler is
+    /// usually a [`SearchEngine`] (which implements [`QueryHandler`]
+    /// directly); a distributed coordinator passes its own handler to add
+    /// degraded-reply tracking. Blocks the calling thread (spawn it inside
+    /// [`std::thread::scope`] to keep borrowing the engine); returns the
+    /// final metrics snapshot once every admitted query has been answered
+    /// and all threads have joined.
+    pub fn serve<H: QueryHandler>(self, handler: &H) -> io::Result<MetricsSnapshot> {
+        self.serve_role(&QueryRole { handler })
+    }
+
+    /// Serves shard RPCs (`shard_info`, `shard_freqs`, …) from `source`
+    /// until shutdown — the *shard-server role*. RPCs are answered inline
+    /// on reader threads (no worker pool: every RPC is a bounded slice
+    /// lookup); `query` frames get a typed `invalid_query` pointing the
+    /// client at a coordinator.
+    pub fn serve_shard<S: ShardSource>(self, source: &S) -> io::Result<MetricsSnapshot> {
+        self.serve_role(&ShardRole { source })
+    }
+
+    fn serve_role<R: Role>(self, role: &R) -> io::Result<MetricsSnapshot> {
         let Server {
             listener,
             addr,
@@ -209,9 +265,7 @@ impl Server {
         };
         let shared = &*handle.shared;
         let accept_result = std::thread::scope(|scope| {
-            for _ in 0..shared.workers {
-                scope.spawn(move || worker_loop(shared, engine, poll));
-            }
+            role.spawn_pool(scope, shared, poll);
             // Transient accept() failures must not kill a long-running
             // server: ECONNABORTED/ECONNRESET mean one *client* vanished
             // mid-handshake (accept(2) documents these as retryable), and
@@ -228,7 +282,11 @@ impl Server {
                             // racing it) — drop it and stop accepting.
                             break Ok(());
                         }
-                        scope.spawn(move || connection_loop(stream, shared, poll));
+                        // Replies are small frames answered immediately;
+                        // Nagle + the peer's delayed ACK would add ~40ms to
+                        // every request/reply round trip without this.
+                        stream.set_nodelay(true).ok();
+                        scope.spawn(move || connection_loop(stream, shared, poll, role));
                     }
                     Err(_) if shared.shutdown.load(Ordering::SeqCst) => break Ok(()),
                     Err(e)
@@ -267,6 +325,156 @@ impl Server {
     }
 }
 
+/// A server personality: what runs alongside the acceptor, and how frames
+/// other than the common `stats`/`hello` are answered.
+trait Role: Sync {
+    /// Spawns any pool threads (the query role's workers) inside the serve
+    /// scope; the shard role spawns nothing.
+    fn spawn_pool<'scope, 'env>(
+        &'env self,
+        scope: &'scope std::thread::Scope<'scope, 'env>,
+        shared: &'env Shared,
+        poll: Duration,
+    );
+
+    /// Handles one decoded request. `arrived` is the frame's read-off-the-
+    /// socket time — the deadline epoch for whatever budget it carries.
+    fn dispatch(
+        &self,
+        request: Request,
+        arrived: Instant,
+        shared: &Shared,
+        writer: &Arc<Mutex<TcpStream>>,
+    );
+}
+
+/// The query-serving personality (PR 5): queries go through the bounded
+/// admission queue to the worker pool; shard RPCs are refused.
+struct QueryRole<'h, H: QueryHandler> {
+    handler: &'h H,
+}
+
+impl<H: QueryHandler> Role for QueryRole<'_, H> {
+    fn spawn_pool<'scope, 'env>(
+        &'env self,
+        scope: &'scope std::thread::Scope<'scope, 'env>,
+        shared: &'env Shared,
+        poll: Duration,
+    ) {
+        for _ in 0..shared.workers {
+            let handler = self.handler;
+            scope.spawn(move || worker_loop(shared, handler, poll));
+        }
+    }
+
+    fn dispatch(
+        &self,
+        request: Request,
+        arrived: Instant,
+        shared: &Shared,
+        writer: &Arc<Mutex<TcpStream>>,
+    ) {
+        let Request::Query { id, query } = request else {
+            Metrics::bump(&shared.metrics.invalid);
+            send_reply(
+                writer,
+                &Reply::Error {
+                    id: Some(request.id()),
+                    error: ServerError::new(
+                        ServerErrorKind::InvalidQuery,
+                        "shard RPCs are answered by shard servers, not query servers",
+                    ),
+                },
+            );
+            return;
+        };
+        let job = Job {
+            id,
+            query,
+            accepted_at: arrived,
+            writer: Arc::clone(writer),
+        };
+        match shared.queue.try_push(job) {
+            Ok(()) => Metrics::bump(&shared.metrics.admitted),
+            Err(PushError::Full(job)) => {
+                Metrics::bump(&shared.metrics.rejected_overload);
+                send_reply(
+                    writer,
+                    &Reply::Error {
+                        id: Some(job.id),
+                        error: ServerError::new(
+                            ServerErrorKind::Overloaded,
+                            format!(
+                                "admission queue full (capacity {})",
+                                shared.queue.capacity()
+                            ),
+                        ),
+                    },
+                );
+            }
+            Err(PushError::Closed(job)) => {
+                Metrics::bump(&shared.metrics.rejected_shutdown);
+                send_reply(
+                    writer,
+                    &Reply::Error {
+                        id: Some(job.id),
+                        error: ServerError::new(
+                            ServerErrorKind::ShuttingDown,
+                            "server is draining; no new queries admitted",
+                        ),
+                    },
+                );
+            }
+        }
+    }
+}
+
+/// The shard-serving personality: shard RPCs answered inline on reader
+/// threads; queries are refused.
+struct ShardRole<'s, S: ShardSource> {
+    source: &'s S,
+}
+
+impl<S: ShardSource> Role for ShardRole<'_, S> {
+    fn spawn_pool<'scope, 'env>(
+        &'env self,
+        _scope: &'scope std::thread::Scope<'scope, 'env>,
+        _shared: &'env Shared,
+        _poll: Duration,
+    ) {
+    }
+
+    fn dispatch(
+        &self,
+        request: Request,
+        arrived: Instant,
+        shared: &Shared,
+        writer: &Arc<Mutex<TcpStream>>,
+    ) {
+        if let Request::Query { id, .. } = &request {
+            Metrics::bump(&shared.metrics.invalid);
+            send_reply(
+                writer,
+                &Reply::Error {
+                    id: Some(*id),
+                    error: ServerError::new(
+                        ServerErrorKind::InvalidQuery,
+                        "this is a shard server; send queries to a coordinator",
+                    ),
+                },
+            );
+            return;
+        }
+        let (reply, disposition) = answer_shard_rpc(self.source, request, arrived);
+        Metrics::bump(match disposition {
+            RpcDisposition::Ok => &shared.metrics.completed,
+            RpcDisposition::TimedOut => &shared.metrics.timed_out,
+            RpcDisposition::Invalid => &shared.metrics.invalid,
+        });
+        send_reply(writer, &reply);
+    }
+}
+
 /// Writes one reply frame on a connection's shared writer. A send failure
 /// means the client vanished; the query's work is simply discarded.
 fn send_reply(writer: &Mutex<TcpStream>, reply: &Reply) {
@@ -275,9 +483,9 @@ fn send_reply(writer: &Mutex<TcpStream>, reply: &Reply) {
     let _ = write_frame(&mut *w, &json).and_then(|()| w.flush());
 }
 
-/// Per-connection reader: splits frames, answers `stats` and protocol
-/// errors inline, admits queries to the bounded queue.
-fn connection_loop(stream: TcpStream, shared: &Shared, poll: Duration) {
+/// Per-connection reader: splits frames, answers `stats`/`hello` and
+/// protocol errors inline, hands everything else to the role.
+fn connection_loop<R: Role>(stream: TcpStream, shared: &Shared, poll: Duration, role: &R) {
     // Read timeouts turn the blocking reader into a shutdown-aware poller.
     if stream.set_read_timeout(Some(poll)).is_err() {
         return;
@@ -294,7 +502,7 @@ fn connection_loop(stream: TcpStream, shared: &Shared, poll: Duration) {
         while let Some(nl) = acc.iter().position(|&b| b == b'\n') {
             let frame: Vec<u8> = acc.drain(..=nl).collect();
             let text = String::from_utf8_lossy(&frame[..frame.len() - 1]).into_owned();
-            handle_frame(&text, shared, &writer);
+            handle_frame(&text, shared, &writer, role);
         }
         if acc.len() > MAX_FRAME_BYTES {
             Metrics::bump(&shared.metrics.malformed);
@@ -330,10 +538,11 @@ fn connection_loop(stream: TcpStream, shared: &Shared, poll: Duration) {
     }
 }
 
-fn handle_frame(text: &str, shared: &Shared, writer: &Arc<Mutex<TcpStream>>) {
+fn handle_frame<R: Role>(text: &str, shared: &Shared, writer: &Arc<Mutex<TcpStream>>, role: &R) {
     if text.trim().is_empty() {
         return; // tolerate blank keep-alive lines
     }
+    let arrived = Instant::now();
     let request = match Request::from_json(text) {
         Ok(request) => request,
         Err((id, error)) => {
@@ -346,6 +555,7 @@ fn handle_frame(text: &str, shared: &Shared, writer: &Arc<Mutex<TcpStream>>) {
             return;
         }
     };
+    // stats and hello are role-independent and answered inline.
     match request {
         Request::Stats { id } => {
             let stats = shared.metrics.snapshot(
@@ -355,70 +565,49 @@ fn handle_frame(text: &str, shared: &Shared, writer: &Arc<Mutex<TcpStream>>) {
             );
             send_reply(writer, &Reply::Stats { id, stats });
         }
-        Request::Query { id, query } => {
-            let job = Job {
-                id,
-                query,
-                accepted_at: Instant::now(),
-                writer: Arc::clone(writer),
-            };
-            match shared.queue.try_push(job) {
-                Ok(()) => Metrics::bump(&shared.metrics.admitted),
-                Err(PushError::Full(job)) => {
-                    Metrics::bump(&shared.metrics.rejected_overload);
-                    send_reply(
-                        writer,
-                        &Reply::Error {
-                            id: Some(job.id),
-                            error: ServerError::new(
-                                ServerErrorKind::Overloaded,
-                                format!(
-                                    "admission queue full (capacity {})",
-                                    shared.queue.capacity()
-                                ),
+        Request::Hello { id, major, .. } => {
+            if major == PROTO_MAJOR {
+                send_reply(
+                    writer,
+                    &Reply::Hello {
+                        id,
+                        major: PROTO_MAJOR,
+                        minor: PROTO_MINOR,
+                    },
+                );
+            } else {
+                Metrics::bump(&shared.metrics.malformed);
+                send_reply(
+                    writer,
+                    &Reply::Error {
+                        id: Some(id),
+                        error: ServerError::new(
+                            ServerErrorKind::UnsupportedVersion,
+                            format!(
+                                "client speaks major {major}; this server speaks {PROTO_MAJOR}"
                             ),
-                        },
-                    );
-                }
-                Err(PushError::Closed(job)) => {
-                    Metrics::bump(&shared.metrics.rejected_shutdown);
-                    send_reply(
-                        writer,
-                        &Reply::Error {
-                            id: Some(job.id),
-                            error: ServerError::new(
-                                ServerErrorKind::ShuttingDown,
-                                "server is draining; no new queries admitted",
-                            ),
-                        },
-                    );
-                }
+                        ),
+                    },
+                );
             }
         }
+        other => role.dispatch(other, arrived, shared, writer),
     }
 }
 
-/// Worker: claim → dequeue-time deadline check → engine (with cooperative
+/// Worker: claim → dequeue-time deadline check → handler (with cooperative
 /// checkpoints) → reply.
-fn worker_loop<M, I>(shared: &Shared, engine: &SearchEngine<'_, M, I>, poll: Duration)
-where
-    M: WedInstance + Sync,
-    I: PostingSource + Sync,
-{
+fn worker_loop<H: QueryHandler>(shared: &Shared, handler: &H, poll: Duration) {
     loop {
         match shared.queue.pop_timeout(poll) {
-            Pop::Item(job) => process(job, shared, engine),
+            Pop::Item(job) => process(job, shared, handler),
             Pop::Empty => continue,
             Pop::Drained => return,
         }
     }
 }
 
-fn process<M, I>(job: Job, shared: &Shared, engine: &SearchEngine<'_, M, I>)
-where
-    M: WedInstance + Sync,
-    I: PostingSource + Sync,
-{
+fn process<H: QueryHandler>(job: Job, shared: &Shared, handler: &H) {
     let deadline = Deadline::for_query(job.accepted_at, job.query.deadline_ms());
     // Dequeue-time check: a query that aged out while queued is answered
     // without paying for any engine work.
@@ -437,8 +626,8 @@ where
         return;
     }
     let t0 = Instant::now();
-    match engine.run_with_deadline(&job.query, deadline) {
-        Ok(response) => {
+    match handler.handle(&job.query, deadline) {
+        Handled::Response(response) => {
             let wall_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
             let cpu_ns = u64::try_from(response.stats.total_time().as_nanos()).unwrap_or(u64::MAX);
             shared.metrics.record_latency(wall_ns, cpu_ns);
@@ -451,7 +640,18 @@ where
                 },
             );
         }
-        Err(QueryError::DeadlineExceeded) => {
+        Handled::Degraded { degraded, response } => {
+            Metrics::bump(&shared.metrics.degraded);
+            send_reply(
+                &job.writer,
+                &Reply::Degraded {
+                    id: job.id,
+                    degraded,
+                    response,
+                },
+            );
+        }
+        Handled::Rejected(QueryError::DeadlineExceeded) => {
             Metrics::bump(&shared.metrics.timed_out);
             send_reply(
                 &job.writer,
@@ -464,7 +664,7 @@ where
                 },
             );
         }
-        Err(e) => {
+        Handled::Rejected(e) => {
             Metrics::bump(&shared.metrics.invalid);
             send_reply(
                 &job.writer,

@@ -166,7 +166,7 @@ fn loopback_responses_match_in_process_run_batch_across_layouts() {
             let outcomes = client.query_batch(&workload).expect("transport ok");
             assert_eq!(outcomes.len(), workload.len());
             for (i, (got, want)) in outcomes.iter().zip(&want.responses).enumerate() {
-                let got = got.as_ref().expect("no rejections in this workload");
+                let got = got.response().expect("no rejections in this workload");
                 assert_equivalent(got, want, &format!("{layout_name} query {i}"));
             }
             // Single-query path agrees too.
@@ -220,7 +220,7 @@ fn full_admission_queue_rejects_with_typed_overload() {
             .expect("transport ok");
         assert!(outcomes
             .iter()
-            .all(|o| matches!(o, Err(e) if e.kind == ServerErrorKind::Overloaded)));
+            .all(|o| matches!(o.rejection(), Some(e) if e.kind == ServerErrorKind::Overloaded)));
 
         let stats = client.stats().expect("stats");
         assert_eq!(stats.rejected_overload, 9);
@@ -272,12 +272,12 @@ fn expired_deadline_returns_typed_timeout_not_a_slow_answer() {
         let outcomes = client
             .query_batch(&[fast.clone(), slow_query(Some(1)), fast])
             .expect("transport ok");
-        assert!(outcomes[0].is_ok());
+        assert!(outcomes[0].is_answered());
         assert!(matches!(
-            &outcomes[1],
-            Err(e) if e.kind == ServerErrorKind::DeadlineExceeded
+            outcomes[1].rejection(),
+            Some(e) if e.kind == ServerErrorKind::DeadlineExceeded
         ));
-        assert!(outcomes[2].is_ok());
+        assert!(outcomes[2].is_answered());
 
         let stats = client.stats().expect("stats");
         assert!(stats.timed_out >= 2, "got {}", stats.timed_out);
@@ -330,8 +330,8 @@ fn graceful_shutdown_drains_in_flight_queries() {
         assert_eq!(outcomes.len(), N);
         for (i, o) in outcomes.iter().enumerate() {
             let r = o
-                .as_ref()
-                .unwrap_or_else(|e| panic!("query {i} rejected: {e}"));
+                .response()
+                .unwrap_or_else(|| panic!("query {i} not answered"));
             assert!(r.stats.fallback);
         }
         let caught_in_flight = drainer.join().expect("drainer");
@@ -377,6 +377,7 @@ fn queries_after_shutdown_are_rejected_as_shutting_down() {
             // Or the reader already exited on the shutdown tick and the
             // connection dropped — an acceptable transport-level refusal.
             ClientError::Io(_) | ClientError::Protocol(_) => {}
+            ClientError::Degraded(d) => panic!("unexpected degraded reply: {d}"),
         }
         drop(guard);
         serving.join().expect("serve thread").expect("serve ok");

@@ -67,7 +67,7 @@ fn main() {
         let outcomes = client.query_batch(&workload).expect("batch transport");
         let mut total_matches = 0usize;
         for (i, (query, outcome)) in workload.iter().zip(&outcomes).enumerate() {
-            let served = outcome.as_ref().expect("no rejections at this load");
+            let served = outcome.response().expect("no rejections at this load");
             let local = engine.run(query).expect("in-process reference");
             assert_eq!(served.matches, local.matches, "query {i} diverged");
             total_matches += served.matches.len();

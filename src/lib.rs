@@ -13,7 +13,11 @@
 //! * [`core`] (`trajsearch_core`) — the OSF filter-and-verify engine.
 //! * [`serve`] (`trajsearch_serve`) — the concurrent TCP front-end over
 //!   the `Query`/`Response` wire format (bounded admission, deadlines,
-//!   graceful drain, metrics).
+//!   graceful drain, metrics), plus the versioned shard-RPC surface.
+//! * [`distrib`] (`trajsearch_distrib`) — distributed shards over that
+//!   wire protocol: `RemoteShards` (a networked `PostingSource` fanning
+//!   out over shard servers) and the coordinator role serving queries
+//!   with typed degraded replies.
 //! * [`baselines`] — competitor methods from the paper's evaluation.
 //! * [`mod@bench`] (`trajsearch_bench`) — the table/figure experiment
 //!   harness.
@@ -26,6 +30,7 @@ pub use rnet;
 pub use traj;
 pub use trajsearch_bench as bench;
 pub use trajsearch_core as core;
+pub use trajsearch_distrib as distrib;
 pub use trajsearch_serve as serve;
 pub use wed;
 
@@ -38,13 +43,15 @@ pub mod prelude {
     pub use rnet::{CityParams, NetworkKind, RoadNetwork};
     pub use traj::{Trajectory, TrajectoryStore, TripConfig};
     pub use trajsearch_core::{
-        AnyIndex, BatchOptions, BatchResponse, Deadline, EngineBuilder, IndexLayout, InvertedIndex,
-        Objective, Parallelism, PostingSource, Query, QueryBuilder, QueryError, Response,
-        SearchEngine, ShardedIndex, TemporalConstraint, TimeInterval, VerifyMode,
+        AnyIndex, BatchOptions, BatchResponse, Deadline, EngineBuilder, IndexLayout, IndexShard,
+        InvertedIndex, Objective, Parallelism, PostingSource, Query, QueryBuilder, QueryError,
+        RemoteSpec, Response, SearchEngine, ShardedIndex, TemporalConstraint, TimeInterval,
+        VerifyMode,
     };
+    pub use trajsearch_distrib::{Coordinator, RemoteShards, ShardEndpoint};
     pub use trajsearch_serve::{
-        Client, ClientError, MetricsSnapshot, Server, ServerConfig, ServerError, ServerErrorKind,
-        ServerHandle,
+        Client, ClientError, DegradedInfo, MetricsSnapshot, QueryOutcome, RetryPolicy, Server,
+        ServerConfig, ServerError, ServerErrorKind, ServerHandle,
     };
     pub use wed::models::{Edr, Erp, Lev, Memo, NetEdr, NetErp, Surs};
     pub use wed::{CostModel, Sym, WedInstance};
