@@ -5,6 +5,8 @@
 //! strategy, which is precisely what Figures 6–11 measure:
 //!
 //! * [`naive`] — O(Σ|P|³·|Q|) substring enumeration; correctness oracle.
+//! * [`metric_naive`] — the same enumeration under DTW / LCSS(ε) /
+//!   discrete Fréchet; oracles for the engine's non-WED verifiers.
 //! * [`plain_sw`] — index-free Smith–Waterman scan (Plain-SW).
 //! * [`dison`] — DISON adaptation: `Q'` is the shortest query *prefix* with
 //!   `Σ c(q) ≥ τ` (instead of the MinCand-optimized subsequence).
@@ -22,6 +24,7 @@
 pub mod dison;
 pub mod dita;
 pub mod erp_index;
+pub mod metric_naive;
 pub mod naive;
 pub mod plain_sw;
 pub mod qgram;
@@ -30,6 +33,7 @@ pub mod torch;
 pub use dison::Dison;
 pub use dita::DitaIndex;
 pub use erp_index::ErpIndex;
+pub use metric_naive::{naive_dtw_search, naive_frechet_search, naive_lcss_search};
 pub use naive::naive_search;
 pub use plain_sw::plain_sw_search;
 pub use qgram::QGramIndex;

@@ -1,0 +1,128 @@
+//! Naive substring enumeration under the non-WED metrics — the
+//! correctness oracles for the engine's [`Metric`] back halves.
+//!
+//! Each oracle brute-forces every substring of every trajectory through the
+//! *whole-sequence* distance functions of [`wed::metric`]
+//! ([`wed::dtw_dist`] / [`wed::lcss_dist`] / [`wed::frechet_dist`]) — an
+//! independent DP per substring, sharing no code with the incremental
+//! scan-all recurrences the engine verifies with — so agreement is evidence,
+//! not tautology.
+//!
+//! [`Metric`]: trajsearch_core::Metric
+
+use traj::TrajectoryStore;
+use trajsearch_core::results::{sort_results, MatchResult};
+use wed::{dtw_dist, frechet_dist, lcss_dist, CostModel, Sym};
+
+fn naive_metric_search(
+    store: &TrajectoryStore,
+    tau: f64,
+    dist: impl Fn(&[Sym]) -> f64,
+) -> Vec<MatchResult> {
+    let mut out = Vec::new();
+    for (id, t) in store.iter() {
+        let p = t.path();
+        for s in 0..p.len() {
+            for e in s..p.len() {
+                let d = dist(&p[s..=e]);
+                if d < tau {
+                    out.push(MatchResult {
+                        id,
+                        start: s,
+                        end: e,
+                        dist: d,
+                    });
+                }
+            }
+        }
+    }
+    sort_results(&mut out);
+    out
+}
+
+/// All `(id, s, t)` with `dtw(P^(id)[s..=t], Q) < tau`, by brute force.
+pub fn naive_dtw_search<M: CostModel>(
+    model: &M,
+    store: &TrajectoryStore,
+    q: &[Sym],
+    tau: f64,
+) -> Vec<MatchResult> {
+    naive_metric_search(store, tau, |sub| dtw_dist(model, sub, q))
+}
+
+/// All `(id, s, t)` with `lcss_dist(P^(id)[s..=t], Q) < tau` under the
+/// ε-match `sub(a, b) <= eps`, by brute force.
+pub fn naive_lcss_search<M: CostModel>(
+    model: &M,
+    store: &TrajectoryStore,
+    q: &[Sym],
+    tau: f64,
+    eps: f64,
+) -> Vec<MatchResult> {
+    naive_metric_search(store, tau, |sub| lcss_dist(model, sub, q, eps))
+}
+
+/// All `(id, s, t)` with `frechet(P^(id)[s..=t], Q) < tau`, by brute force.
+pub fn naive_frechet_search<M: CostModel>(
+    model: &M,
+    store: &TrajectoryStore,
+    q: &[Sym],
+    tau: f64,
+) -> Vec<MatchResult> {
+    naive_metric_search(store, tau, |sub| frechet_dist(model, sub, q))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj::Trajectory;
+    use wed::models::Lev;
+
+    fn store() -> TrajectoryStore {
+        let mut s = TrajectoryStore::new();
+        s.push(Trajectory::untimed(vec![0, 1, 2, 3]));
+        s.push(Trajectory::untimed(vec![1, 2, 1, 2]));
+        s
+    }
+
+    #[test]
+    fn dtw_finds_exact_matches() {
+        let got = naive_dtw_search(&Lev, &store(), &[1, 2], 0.5);
+        // Exact [1,2] substrings plus repetitions DTW maps for free
+        // (e.g. [1,2,2] warps onto [1,2] at cost 0 only if symbols repeat).
+        assert!(got.iter().any(|m| m.id == 0 && (m.start, m.end) == (1, 2)));
+        assert!(got.iter().all(|m| m.dist < 0.5));
+    }
+
+    #[test]
+    fn lcss_counts_unmatched_query_symbols() {
+        // Under Lev's 0/1 sub costs, eps = 0 means exact symbol matches.
+        let got = naive_lcss_search(&Lev, &store(), &[1, 9], 1.5, 0.0);
+        // Any substring containing a 1 leaves only "9" unmatched: dist 1.
+        assert!(got.iter().any(|m| m.dist == 1.0));
+        assert!(got.iter().all(|m| m.dist < 1.5));
+    }
+
+    #[test]
+    fn frechet_is_a_bottleneck() {
+        // [1,2] vs [1,2] has bottleneck 0; any non-equal coupling pair
+        // costs 1 under Lev, so tau = 0.5 keeps exact alignments only.
+        let got = naive_frechet_search(&Lev, &store(), &[1, 2], 0.5);
+        assert!(!got.is_empty());
+        assert!(got.iter().all(|m| m.dist == 0.0));
+    }
+
+    #[test]
+    fn outputs_are_sorted() {
+        for got in [
+            naive_dtw_search(&Lev, &store(), &[1, 2], 2.0),
+            naive_lcss_search(&Lev, &store(), &[1, 2], 2.0, 0.0),
+            naive_frechet_search(&Lev, &store(), &[1, 2], 2.0),
+        ] {
+            let keys: Vec<_> = got.iter().map(|m| (m.id, m.start, m.end)).collect();
+            let mut sorted = keys.clone();
+            sorted.sort();
+            assert_eq!(keys, sorted);
+        }
+    }
+}

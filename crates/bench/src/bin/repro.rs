@@ -26,6 +26,9 @@
 //!   api      mixed threshold/top-k/temporal workload through the unified
 //!               Query/Response API at 1/2/4/8 threads, queries arriving
 //!               over their JSON wire format (also writes BENCH_api.json)
+//!   metrics  the same patterns under WED/DTW/LCSS/Fréchet through the
+//!               metric-pluggable verifier, per-metric and mixed in one
+//!               run_batch (also writes BENCH_metrics.json)
 //!   serve    mixed threshold/top-k workload through the loopback TCP
 //!               front-end (trajsearch-serve) at 1/2/4 workers vs
 //!               in-process run_batch (also writes BENCH_serve.json)
@@ -90,7 +93,7 @@ fn parse_args() -> Args {
 
 fn print_usage() {
     eprintln!(
-        "usage: repro <table2|fig4|table3|fig5|fig6|fig7|fig8|fig9|fig10|table4|table5|table6|fig11|fig12|fig13|throughput|index-build|api|serve|distrib|all> [--scale S] [--queries N] [--min-speedup X]"
+        "usage: repro <table2|fig4|table3|fig5|fig6|fig7|fig8|fig9|fig10|table4|table5|table6|fig11|fig12|fig13|throughput|index-build|api|metrics|serve|distrib|all> [--scale S] [--queries N] [--min-speedup X]"
     );
 }
 
@@ -285,6 +288,14 @@ fn main() {
             .unwrap_or_else(|e| panic!("could not write {path}: {e}"));
         eprintln!("wrote {path}");
     }
+    if all || exp == "metrics" {
+        let rows = metrics_workload::run("beijing", FuncKind::Edr, 2, 60, nq.max(6), 0.1, scale);
+        metrics_workload::print(&rows);
+        let path = "BENCH_metrics.json";
+        metrics_workload::write_json(&rows, path)
+            .unwrap_or_else(|e| panic!("could not write {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
     if all || exp == "serve" {
         let rows = serve_load::run(
             "beijing",
@@ -336,6 +347,7 @@ fn main() {
             "throughput",
             "index-build",
             "api",
+            "metrics",
             "serve",
             "distrib",
         ]

@@ -1,0 +1,257 @@
+//! Mixed-metric workload through the metric-pluggable verifier (`repro
+//! metrics`).
+//!
+//! Exercises what the `Verifier` refactor made possible: **one**
+//! `run_batch` call answering the same patterns under WED, DTW, LCSS(ε)
+//! and discrete Fréchet at once — per-query metric dispatch, no per-metric
+//! engine. Each metric is also run as its own batch, which gives the
+//! per-metric timing rows *and* the correctness reference the mixed batch
+//! must match response-for-response. `verify_cost` (the metric-neutral
+//! work counter) and the fallback-scan count are recorded per metric, so
+//! the dump shows where each metric's candidate front half is MinCand
+//! (DTW), single-symbol (Fréchet) or an exact scan (LCSS). The dump
+//! (`BENCH_metrics.json`) uses the shared `BENCH_*.json` envelope for CI
+//! trend tracking.
+
+use super::{host_cpus, write_bench_json};
+use crate::data::{Dataset, FuncKind, Scale};
+use crate::table::{fmt_ms, print_table};
+use trajsearch_core::batch::BatchOptions;
+use trajsearch_core::{EngineBuilder, Metric, Query};
+
+/// One measured point: one metric's slice of the workload (plus a final
+/// `mixed` row for the all-metrics batch).
+#[derive(Debug, Clone)]
+pub struct MetricsRow {
+    pub dataset: String,
+    pub func: &'static str,
+    /// `"wed"`, `"dtw"`, `"lcss"`, `"frechet"` — or `"mixed"` for the
+    /// combined batch.
+    pub metric: &'static str,
+    pub threads: usize,
+    pub queries: usize,
+    pub wall_ms: f64,
+    pub cpu_ms: f64,
+    pub qps: f64,
+    pub results: usize,
+    /// Metric-neutral verification work (DP columns/rows evaluated),
+    /// summed over the slice's queries.
+    pub verify_cost: u64,
+    /// Queries answered by the exact fallback scan (always all of them
+    /// for LCSS, whose ε-matching voids the filter bound).
+    pub fallbacks: usize,
+}
+
+const METRICS: [(&str, Metric); 4] = [
+    ("wed", Metric::Wed),
+    ("dtw", Metric::Dtw),
+    ("lcss", Metric::Lcss { eps: 0.0 }),
+    ("frechet", Metric::Frechet),
+];
+
+/// Runs the same patterns under every metric — one batch per metric for
+/// the timing rows, then one mixed batch whose responses must equal the
+/// per-metric ones match-for-match.
+pub fn run(
+    which: &str,
+    func: FuncKind,
+    threads: usize,
+    qlen: usize,
+    nqueries: usize,
+    tau_ratio: f64,
+    scale: Scale,
+) -> Vec<MetricsRow> {
+    let d = Dataset::load(which, scale);
+    let model = d.model(func);
+    let (store, alphabet) = d.store_for(func);
+    let engine = EngineBuilder::new(&*model, store, alphabet).build();
+
+    let patterns = d.sample_queries(func, qlen, nqueries, 31);
+    let per_metric: Vec<(&'static str, Vec<Query>)> = METRICS
+        .iter()
+        .map(|&(name, metric)| {
+            let queries = patterns
+                .iter()
+                .map(|q| {
+                    let tau = d.tau_for(&*model, q, tau_ratio);
+                    // Bottleneck distances do not add over the pattern: for
+                    // Fréchet, any τ at or above one substitution cost
+                    // matches every window of every trajectory. Hand it the
+                    // per-step share of the same budget instead — which
+                    // also keeps its single-symbol filter engaged.
+                    let tau = match metric {
+                        Metric::Frechet => tau / q.len() as f64,
+                        _ => tau,
+                    };
+                    Query::threshold(q.clone(), tau)
+                        .metric(metric)
+                        .build()
+                        .expect("workload queries are valid")
+                })
+                .collect();
+            (name, queries)
+        })
+        .collect();
+
+    let mut rows = Vec::with_capacity(METRICS.len() + 1);
+    let mut reference = Vec::new();
+    for (name, queries) in &per_metric {
+        let out = engine
+            .run_batch(queries, BatchOptions::with_threads(threads))
+            .expect("workload admitted");
+        rows.push(MetricsRow {
+            dataset: d.name.to_string(),
+            func: func.name(),
+            metric: name,
+            threads: out.stats.threads,
+            queries: out.stats.queries,
+            wall_ms: out.stats.wall_time.as_secs_f64() * 1e3,
+            cpu_ms: out.stats.cpu_time.as_secs_f64() * 1e3,
+            qps: out.stats.queries_per_sec(),
+            results: out.stats.merged.results,
+            verify_cost: out.responses.iter().map(|r| r.stats.verify_cost).sum(),
+            fallbacks: out.responses.iter().filter(|r| r.stats.fallback).count(),
+        });
+        reference.extend(out.responses);
+    }
+
+    // The headline capability: all four metrics through one run_batch,
+    // response-identical to the per-metric batches.
+    let mixed: Vec<Query> = per_metric
+        .iter()
+        .flat_map(|(_, queries)| queries.iter().cloned())
+        .collect();
+    let out = engine
+        .run_batch(&mixed, BatchOptions::with_threads(threads))
+        .expect("mixed workload admitted");
+    for (i, (got, want)) in out.responses.iter().zip(&reference).enumerate() {
+        assert_eq!(
+            got.matches, want.matches,
+            "mixed-metric batch diverged from its per-metric batch on query {i}"
+        );
+    }
+    rows.push(MetricsRow {
+        dataset: d.name.to_string(),
+        func: func.name(),
+        metric: "mixed",
+        threads: out.stats.threads,
+        queries: out.stats.queries,
+        wall_ms: out.stats.wall_time.as_secs_f64() * 1e3,
+        cpu_ms: out.stats.cpu_time.as_secs_f64() * 1e3,
+        qps: out.stats.queries_per_sec(),
+        results: out.stats.merged.results,
+        verify_cost: out.stats.merged.verify_cost,
+        fallbacks: out.responses.iter().filter(|r| r.stats.fallback).count(),
+    });
+    rows
+}
+
+pub fn print(rows: &[MetricsRow]) {
+    if let Some(r) = rows.first() {
+        println!(
+            "\nMixed-metric workload: {} patterns per metric through one engine \
+             ({} threads, {} host cpus); the `mixed` row runs all metrics in one run_batch",
+            r.queries,
+            r.threads,
+            host_cpus()
+        );
+    }
+    print_table(
+        &[
+            "Dataset",
+            "Func",
+            "Metric",
+            "Queries",
+            "Wall ms",
+            "CPU ms",
+            "q/s",
+            "Results",
+            "VerifyCost",
+            "Fallbacks",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.dataset.clone(),
+                    r.func.to_string(),
+                    r.metric.to_string(),
+                    r.queries.to_string(),
+                    fmt_ms(r.wall_ms),
+                    fmt_ms(r.cpu_ms),
+                    format!("{:.1}", r.qps),
+                    r.results.to_string(),
+                    r.verify_cost.to_string(),
+                    r.fallbacks.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}
+
+/// Writes the rows in the shared `BENCH_*.json` envelope (the crate's
+/// private `write_bench_json`).
+pub fn write_json(rows: &[MetricsRow], path: &str) -> std::io::Result<()> {
+    let rendered: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"dataset\": \"{}\", \"func\": \"{}\", \"metric\": \"{}\", \
+                 \"threads\": {}, \"queries\": {}, \"wall_ms\": {:.3}, \"cpu_ms\": {:.3}, \
+                 \"qps\": {:.3}, \"results\": {}, \"verify_cost\": {}, \"fallbacks\": {}}}",
+                r.dataset,
+                r.func,
+                r.metric,
+                r.threads,
+                r.queries,
+                r.wall_ms,
+                r.cpu_ms,
+                r.qps,
+                r.results,
+                r.verify_cost,
+                r.fallbacks
+            )
+        })
+        .collect();
+    write_bench_json(path, "metrics", "queries_per_sec", &rendered)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_rows_are_coherent() {
+        let rows = run("beijing", FuncKind::Lev, 2, 8, 4, 0.2, Scale(0.01));
+        assert_eq!(rows.len(), METRICS.len() + 1);
+        for (row, (name, _)) in rows.iter().zip(METRICS.iter()) {
+            assert_eq!(row.metric, *name);
+            assert_eq!(row.queries, 4);
+        }
+        let mixed = rows.last().unwrap();
+        assert_eq!(mixed.metric, "mixed");
+        assert_eq!(mixed.queries, 4 * METRICS.len());
+        // The mixed batch does the same work as the per-metric batches.
+        let split: usize = rows[..METRICS.len()].iter().map(|r| r.results).sum();
+        assert_eq!(mixed.results, split);
+        let lcss = &rows[2];
+        assert_eq!(
+            lcss.fallbacks, lcss.queries,
+            "LCSS always takes the exact fallback scan"
+        );
+    }
+
+    #[test]
+    fn json_dump_uses_shared_envelope() {
+        let rows = run("beijing", FuncKind::Lev, 1, 8, 2, 0.2, Scale(0.01));
+        let path = std::env::temp_dir().join("trajsearch_metrics_test.json");
+        let path = path.to_str().unwrap();
+        write_json(&rows, path).unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        std::fs::remove_file(path).ok();
+        assert!(text.contains("\"experiment\": \"metrics\""));
+        assert!(text.contains("\"verify_cost\""));
+        assert!(text.contains("\"metric\": \"frechet\""));
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
+    }
+}

@@ -3,7 +3,9 @@
 //! batch engine's queries/sec scaling; [`index_build`]: sharded index
 //! construction time vs shard count; [`api_workload`]: a mixed
 //! threshold/top-k/temporal workload through the unified `run_batch`,
-//! queries arriving over their JSON wire format; [`serve_load`]: the same
+//! queries arriving over their JSON wire format; [`metrics_workload`]: the
+//! same patterns under WED/DTW/LCSS/Fréchet through the metric-pluggable
+//! verifier, mixed in one `run_batch`; [`serve_load`]: the same
 //! style of workload through the `trajsearch-serve` TCP front-end vs
 //! in-process execution; [`distrib`]: the workload through a coordinator
 //! over loopback shard servers, postings arriving over the shard-RPC
@@ -173,6 +175,7 @@ pub mod distrib;
 pub mod enum_baselines;
 pub mod eta;
 pub mod index_build;
+pub mod metrics_workload;
 pub mod naturalness;
 pub mod query_time;
 pub mod serve_load;

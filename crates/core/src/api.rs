@@ -347,6 +347,7 @@ impl Response {
                 JsonValue::num_u64(s.columns_passed),
             ),
             ("stepdp_calls".into(), JsonValue::num_u64(s.stepdp_calls)),
+            ("verify_cost".into(), JsonValue::num_u64(s.verify_cost)),
             ("results".into(), JsonValue::num_usize(s.results)),
         ]);
         JsonValue::Obj(vec![("matches".into(), matches), ("stats".into(), stats)])
@@ -409,6 +410,14 @@ impl Response {
             sw_columns: count64("sw_columns")?,
             columns_passed: count64("columns_passed")?,
             stepdp_calls: count64("stepdp_calls")?,
+            // Absent on pre-metric wire responses: decode as 0, not an
+            // error, so a new client can front an old server.
+            verify_cost: match s.get("verify_cost") {
+                None | Some(JsonValue::Null) => 0,
+                Some(v) => v
+                    .as_u64()
+                    .ok_or_else(|| parse("stats field \"verify_cost\" must be an integer"))?,
+            },
             results: count("results")?,
         };
         Ok(Response { matches, stats })

@@ -82,6 +82,53 @@ impl FilterPlan {
         }
     }
 
+    /// Single-element plan for **bottleneck** metrics (discrete Fréchet).
+    ///
+    /// Theorem 1 sums lower costs over `Q'`, which is only sound when the
+    /// metric adds coupled costs. A bottleneck metric still admits a
+    /// one-element plan: every coupling pairs `q` with at least one
+    /// subtrajectory symbol `p`, and `p ∉ B(q)` implies `sub(p, q) ≥ c(q)`
+    /// (Definition 4), so if `c(q) ≥ τ` any subtrajectory disjoint from
+    /// `B(q)` has bottleneck distance `≥ τ` and is prunable. Among eligible
+    /// positions the one with the fewest predicted candidates is chosen;
+    /// the plan is infeasible when no position has `c(q) ≥ τ` and the
+    /// caller must fall back to an exact scan.
+    pub fn build_single<M: WedInstance, I: PostingSource>(
+        model: &M,
+        index: &I,
+        q: &[Sym],
+        tau: f64,
+    ) -> Self {
+        assert!(tau > 0.0, "threshold must be positive");
+        assert!(!q.is_empty(), "query must be non-empty");
+        let mut memo: HashMap<Sym, (Vec<Sym>, f64, f64)> = HashMap::new();
+        let mut best: Option<(f64, usize, Sym)> = None;
+        for (pos, &sym) in q.iter().enumerate() {
+            let (_, c, n) = memo.entry(sym).or_insert_with(|| {
+                let nb = model.neighbors(sym);
+                debug_assert!(nb.contains(&sym), "B(q) must contain q");
+                let n: f64 = nb.iter().map(|&b| index.freq(b) as f64).sum();
+                let c = model.lower_cost(sym);
+                (nb, c, n)
+            });
+            if *c >= tau && best.is_none_or(|(bn, _, _)| *n < bn) {
+                best = Some((*n, pos, sym));
+            }
+        }
+        match best {
+            Some((_, pos, sym)) => FilterPlan {
+                chosen: vec![(pos, sym, memo[&sym].0.clone())],
+                c_total: memo[&sym].1,
+                feasible: true,
+            },
+            None => FilterPlan {
+                chosen: Vec::new(),
+                c_total: 0.0,
+                feasible: false,
+            },
+        }
+    }
+
     /// Algorithm 2 lines 3–6: candidates from the postings lists of every
     /// substitution neighbor of every chosen element.
     ///
@@ -284,6 +331,21 @@ mod tests {
         );
         assert_eq!(stats.candidates, cands.len());
         assert_eq!(stats.candidates_deduped, unique.len());
+    }
+
+    #[test]
+    fn single_symbol_plan_picks_the_rarest_eligible_position() {
+        let (_s, idx) = setup();
+        // Lev: c(q) = 1 ≥ τ for every position; symbol 3 (freq 1) is rarest.
+        let plan = FilterPlan::build_single(&Lev, &idx, &[1, 3, 2], 1.0);
+        assert!(plan.feasible);
+        assert_eq!(plan.chosen.len(), 1);
+        assert_eq!(plan.chosen[0].1, 3);
+        assert_eq!(plan.c_total, 1.0);
+        // τ above every c(q): no single position suffices.
+        let infeasible = FilterPlan::build_single(&Lev, &idx, &[1, 3, 2], 1.5);
+        assert!(!infeasible.feasible);
+        assert!(infeasible.chosen.is_empty());
     }
 
     #[test]

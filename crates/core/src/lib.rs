@@ -23,6 +23,11 @@
 //! * [`verify`] — **local verification** growing bidirectionally from
 //!   candidate anchors with the Eq. (11) early-termination bound, and
 //!   **bidirectional tries** caching DP columns across candidates (§5).
+//!   Verification is metric-pluggable through the [`Verifier`] trait.
+//! * [`metric`] — optional non-WED distances (DTW, LCSS(ε), discrete
+//!   Fréchet) selected per query via [`Metric`], verified against the
+//!   `baselines` crate and reusing the filter front half where its bound
+//!   is sound for the metric.
 //! * [`temporal`] — temporal constraints and the TF pre-filter (§4.3).
 //! * [`stats`] — the instrumentation behind Tables 4 and 5.
 //! * [`batch`] — workload-level execution types; one batch may mix
@@ -70,6 +75,7 @@ pub mod deadline;
 pub mod filter;
 pub mod index;
 pub mod json;
+pub mod metric;
 pub mod mincand;
 pub mod query;
 pub mod results;
@@ -85,6 +91,7 @@ pub use batch::{BatchOptions, BatchOutcome, BatchStats};
 pub use deadline::Deadline;
 pub use filter::FilterPlan;
 pub use index::{InvertedIndex, Posting, PostingSource};
+pub use metric::{DtwVerifier, FrechetVerifier, LcssVerifier, Metric};
 pub use query::{Objective, Parallelism, Query, QueryBuilder, QueryError};
 pub use results::{MatchResult, ResultSet};
 pub use search::{exact_fallback_scan, SearchEngine, SearchOptions, SearchOutcome};
@@ -92,4 +99,4 @@ pub use sharded::{IndexShard, ShardedIndex};
 pub use stats::SearchStats;
 pub use temporal::{TemporalConstraint, TemporalPredicate, TimeInterval};
 pub use topk::{per_trajectory_best, TopKEntry};
-pub use verify::{Candidate, VerifyMode};
+pub use verify::{Candidate, Verifier, VerifyMode, WedVerifier};

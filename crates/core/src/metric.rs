@@ -1,0 +1,299 @@
+//! Distance-metric selection and the non-WED verifier back halves.
+//!
+//! The engine defaults to the paper's weighted edit distance, but a
+//! [`Query`](crate::Query) may select DTW, LCSS(ε) or discrete Fréchet
+//! instead — all grounded in the active cost model's substitution cost (see
+//! [`wed::metric`]). The front half of the pipeline is shared; what changes
+//! per metric is **which filter bound is sound** and which scan verifies a
+//! candidate trajectory:
+//!
+//! | metric  | filter front half                  | why |
+//! |---------|------------------------------------|-----|
+//! | WED     | MinCand τ-subsequence (Theorem 1)  | costs add over edits |
+//! | DTW     | MinCand τ-subsequence              | costs add over couplings; every chosen `q` couples with ≥ 1 subtrajectory symbol, so a subtrajectory disjoint from `B(Q')` costs `≥ Σ c(q) ≥ τ` |
+//! | Fréchet | single symbol with `c(q) ≥ τ` ([`FilterPlan::build_single`](crate::filter::FilterPlan::build_single)) | the bottleneck does not add, but one sufficiently expensive symbol prunes alone |
+//! | LCSS(ε) | none — exact fallback scan         | the ε-match predicate is unrelated to the lower costs `c(q)`, so no neighborhood bound applies |
+//!
+//! Metric verifiers score **whole candidate trajectories** (one scan per
+//! distinct id, like the WED SW strategy) and charge their DP rows to the
+//! metric-neutral `SearchStats::verify_cost`, leaving the WED-specific
+//! counters at zero.
+
+use crate::json::JsonValue;
+use crate::query::QueryError;
+use crate::results::ResultSet;
+use crate::stats::SearchStats;
+use crate::verify::{Candidate, Verifier};
+use wed::{CostModel, SubMatch, Sym};
+
+/// Which distance the query's threshold `τ` ranges over. `Wed` is the
+/// default and the only metric older peers understand; see the module docs
+/// for the per-metric filter bounds and the README "Metrics" section for
+/// the wire form.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Metric {
+    /// Weighted edit distance (the paper's metric; Definition 1).
+    #[default]
+    Wed,
+    /// Dynamic time warping: minimum over monotone couplings of the *sum*
+    /// of `sub` costs.
+    Dtw,
+    /// LCSS distance `|Q| − L` under the ε-match `sub(a, b) ≤ eps`; `τ`
+    /// therefore counts unmatched query symbols (integral distances).
+    Lcss {
+        /// Ground-distance tolerance for a symbol match; must be finite
+        /// and non-negative.
+        eps: f64,
+    },
+    /// Discrete Fréchet: minimum over monotone couplings of the *maximum*
+    /// `sub` cost.
+    Frechet,
+}
+
+impl Metric {
+    /// The wire name (also the capability token advertised by servers).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Metric::Wed => "wed",
+            Metric::Dtw => "dtw",
+            Metric::Lcss { .. } => "lcss",
+            Metric::Frechet => "frechet",
+        }
+    }
+
+    pub fn is_wed(&self) -> bool {
+        matches!(self, Metric::Wed)
+    }
+
+    /// Shape validation shared by the builder and the wire decoder.
+    pub(crate) fn validate(&self) -> Result<(), QueryError> {
+        if let Metric::Lcss { eps } = self {
+            if !(eps.is_finite() && *eps >= 0.0) {
+                return Err(QueryError::InvalidEps(*eps));
+            }
+        }
+        Ok(())
+    }
+
+    /// Wire encoding: `None` for WED — the field is omitted so pre-metric
+    /// query JSON stays byte-identical — otherwise `{"name": ...}` with an
+    /// `"eps"` number for LCSS.
+    pub(crate) fn to_value(self) -> Option<JsonValue> {
+        match self {
+            Metric::Wed => None,
+            Metric::Dtw | Metric::Frechet => Some(JsonValue::Obj(vec![(
+                "name".into(),
+                JsonValue::Str(self.name().into()),
+            )])),
+            Metric::Lcss { eps } => Some(JsonValue::Obj(vec![
+                ("name".into(), JsonValue::Str("lcss".into())),
+                ("eps".into(), JsonValue::num_f64(eps)),
+            ])),
+        }
+    }
+
+    /// Wire decoding: absent (or `null`) means WED for back-compat; an
+    /// unknown name is a typed [`QueryError::Parse`] — never a silent
+    /// fall-back to WED, which would answer under the wrong metric.
+    pub(crate) fn from_value(doc: Option<&JsonValue>) -> Result<Metric, QueryError> {
+        let parse = |msg: String| QueryError::Parse(msg);
+        let Some(doc) = doc else {
+            return Ok(Metric::Wed);
+        };
+        if matches!(doc, JsonValue::Null) {
+            return Ok(Metric::Wed);
+        }
+        match doc.get("name").and_then(|v| v.as_str()) {
+            Some("wed") => Ok(Metric::Wed),
+            Some("dtw") => Ok(Metric::Dtw),
+            Some("frechet") => Ok(Metric::Frechet),
+            Some("lcss") => {
+                let eps = doc
+                    .get("eps")
+                    .and_then(|v| v.as_f64())
+                    .ok_or_else(|| parse("lcss metric needs a numeric \"eps\"".into()))?;
+                Ok(Metric::Lcss { eps })
+            }
+            Some(other) => Err(parse(format!("unknown metric {other:?}"))),
+            None => Err(parse("\"metric\" needs a \"name\" string".into())),
+        }
+    }
+}
+
+/// One scan of a whole data sequence under a non-WED metric: all matching
+/// substrings plus the DP rows evaluated. Shared by the metric verifiers
+/// and the metric fallback scan.
+pub(crate) fn metric_scan_all<M: CostModel>(
+    model: &M,
+    metric: Metric,
+    path: &[Sym],
+    q: &[Sym],
+    tau: f64,
+) -> (Vec<SubMatch>, u64) {
+    match metric {
+        Metric::Wed => unreachable!("WED verification goes through WedVerifier"),
+        Metric::Dtw => wed::metric::dtw_scan_all(model, path, q, tau),
+        Metric::Lcss { eps } => wed::metric::lcss_scan_all(model, path, q, tau, eps),
+        Metric::Frechet => wed::metric::frechet_scan_all(model, path, q, tau),
+    }
+}
+
+macro_rules! scan_verifier {
+    ($(#[$doc:meta])* $name:ident, $metric:expr) => {
+        $(#[$doc])*
+        pub struct $name<'a, M: CostModel> {
+            model: &'a M,
+            q: &'a [Sym],
+            tau: f64,
+            metric: Metric,
+        }
+
+        impl<'a, M: CostModel> $name<'a, M> {
+            pub fn new(model: &'a M, q: &'a [Sym], tau: f64) -> Self {
+                $name {
+                    model,
+                    q,
+                    tau,
+                    metric: $metric,
+                }
+            }
+        }
+
+        impl<M: CostModel> Verifier for $name<'_, M> {
+            fn verify_group(
+                &mut self,
+                path: &[Sym],
+                group: &[Candidate],
+                results: &mut ResultSet,
+                stats: &mut SearchStats,
+            ) {
+                // One exact scan per distinct candidate trajectory,
+                // whatever the number of anchors the group carries.
+                let id = group[0].id;
+                let (matches, rows) =
+                    metric_scan_all(self.model, self.metric, path, self.q, self.tau);
+                stats.verify_cost += rows;
+                for m in matches {
+                    results.push(id, m.start, m.end, m.dist);
+                }
+            }
+        }
+    };
+}
+
+scan_verifier!(
+    /// DTW back half: one [`wed::metric::dtw_scan_all`] per candidate
+    /// trajectory.
+    DtwVerifier,
+    Metric::Dtw
+);
+scan_verifier!(
+    /// Discrete-Fréchet back half: one [`wed::metric::frechet_scan_all`]
+    /// per candidate trajectory.
+    FrechetVerifier,
+    Metric::Frechet
+);
+
+/// LCSS back half: one [`wed::metric::lcss_scan_all`] per candidate
+/// trajectory. In the current pipeline LCSS always takes the fallback scan
+/// (no sound filter bound exists), but the verifier is provided for custom
+/// candidate sets.
+pub struct LcssVerifier<'a, M: CostModel> {
+    model: &'a M,
+    q: &'a [Sym],
+    tau: f64,
+    eps: f64,
+}
+
+impl<'a, M: CostModel> LcssVerifier<'a, M> {
+    pub fn new(model: &'a M, q: &'a [Sym], tau: f64, eps: f64) -> Self {
+        LcssVerifier { model, q, tau, eps }
+    }
+}
+
+impl<M: CostModel> Verifier for LcssVerifier<'_, M> {
+    fn verify_group(
+        &mut self,
+        path: &[Sym],
+        group: &[Candidate],
+        results: &mut ResultSet,
+        stats: &mut SearchStats,
+    ) {
+        let id = group[0].id;
+        let (matches, rows) = metric_scan_all(
+            self.model,
+            Metric::Lcss { eps: self.eps },
+            path,
+            self.q,
+            self.tau,
+        );
+        stats.verify_cost += rows;
+        for m in matches {
+            results.push(id, m.start, m.end, m.dist);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_default() {
+        assert_eq!(Metric::default(), Metric::Wed);
+        assert!(Metric::Wed.is_wed());
+        assert_eq!(Metric::Dtw.name(), "dtw");
+        assert_eq!(Metric::Lcss { eps: 0.5 }.name(), "lcss");
+        assert_eq!(Metric::Frechet.name(), "frechet");
+    }
+
+    #[test]
+    fn wed_is_omitted_on_the_wire() {
+        assert!(Metric::Wed.to_value().is_none());
+        assert_eq!(Metric::from_value(None).unwrap(), Metric::Wed);
+        assert_eq!(
+            Metric::from_value(Some(&JsonValue::Null)).unwrap(),
+            Metric::Wed
+        );
+    }
+
+    #[test]
+    fn non_wed_metrics_round_trip() {
+        for m in [Metric::Dtw, Metric::Frechet, Metric::Lcss { eps: 0.25 }] {
+            let v = m.to_value().expect("non-WED metrics are encoded");
+            let back = Metric::from_value(Some(&v)).unwrap();
+            assert_eq!(back, m);
+        }
+    }
+
+    #[test]
+    fn unknown_metric_is_a_typed_error() {
+        let doc = JsonValue::parse(r#"{"name":"hausdorff"}"#).unwrap();
+        assert!(matches!(
+            Metric::from_value(Some(&doc)),
+            Err(QueryError::Parse(_))
+        ));
+        let doc = JsonValue::parse(r#"{"eps":1}"#).unwrap();
+        assert!(matches!(
+            Metric::from_value(Some(&doc)),
+            Err(QueryError::Parse(_))
+        ));
+        let doc = JsonValue::parse(r#"{"name":"lcss"}"#).unwrap();
+        assert!(matches!(
+            Metric::from_value(Some(&doc)),
+            Err(QueryError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn lcss_eps_is_validated() {
+        for eps in [f64::NAN, f64::INFINITY, -0.5] {
+            assert!(matches!(
+                Metric::Lcss { eps }.validate().unwrap_err(),
+                QueryError::InvalidEps(_)
+            ));
+        }
+        assert!(Metric::Lcss { eps: 0.0 }.validate().is_ok());
+        assert!(Metric::Dtw.validate().is_ok());
+    }
+}

@@ -18,6 +18,7 @@
 //! format for a serving front-end or a remote shard protocol.
 
 use crate::json::JsonValue;
+use crate::metric::Metric;
 use crate::search::SearchOptions;
 use crate::temporal::{TemporalConstraint, TemporalPredicate, TimeInterval};
 use crate::verify::VerifyMode;
@@ -79,6 +80,11 @@ pub enum QueryError {
     ZeroThreads,
     /// `deadline_ms` must be at least 1 (a zero budget can never be met).
     InvalidDeadline,
+    /// LCSS's ε must be finite and non-negative.
+    InvalidEps(f64),
+    /// The target (a remote shard server, typically) does not support the
+    /// query's metric; re-aim at an upgraded server or use WED.
+    UnsupportedMetric(String),
     /// The query's deadline passed before execution finished; the engine
     /// stopped at a cooperative checkpoint (see [`crate::deadline`]) and
     /// returned no partial results.
@@ -118,6 +124,12 @@ impl fmt::Display for QueryError {
             ),
             QueryError::ZeroThreads => write!(f, "in-query parallelism requires >= 1 thread"),
             QueryError::InvalidDeadline => write!(f, "deadline_ms must be at least 1"),
+            QueryError::InvalidEps(eps) => {
+                write!(f, "lcss eps must be finite and non-negative, got {eps}")
+            }
+            QueryError::UnsupportedMetric(name) => {
+                write!(f, "metric {name:?} is not supported by the query target")
+            }
             QueryError::DeadlineExceeded => write!(f, "query deadline exceeded"),
             QueryError::Parse(msg) => write!(f, "malformed query/response JSON: {msg}"),
         }
@@ -135,6 +147,7 @@ pub struct Query {
     pattern: Vec<Sym>,
     objective: Objective,
     verify: VerifyMode,
+    metric: Metric,
     temporal: Option<TemporalConstraint>,
     temporal_filter: bool,
     temporal_postings: bool,
@@ -179,6 +192,12 @@ impl Query {
         self.verify
     }
 
+    /// The distance the threshold ranges over (default
+    /// [`Metric::Wed`]).
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
     pub fn temporal(&self) -> Option<TemporalConstraint> {
         self.temporal
     }
@@ -219,6 +238,7 @@ impl Query {
     pub(crate) fn search_options(&self) -> SearchOptions {
         SearchOptions {
             verify: self.verify,
+            metric: self.metric,
             temporal: self.temporal,
             temporal_filter: self.temporal_filter,
             use_temporal_postings: self.temporal_postings,
@@ -267,6 +287,10 @@ impl Query {
                 JsonValue::Str(verify_name(self.verify).into()),
             ),
         ];
+        // Omitted for WED, so pre-metric query JSON is byte-identical.
+        if let Some(metric) = self.metric.to_value() {
+            pairs.push(("metric".into(), metric));
+        }
         if let Some(c) = &self.temporal {
             pairs.push((
                 "temporal".into(),
@@ -370,6 +394,8 @@ impl Query {
             Some(other) => return Err(parse(&format!("unknown verify mode {other:?}"))),
         };
 
+        let metric = Metric::from_value(doc.get("metric"))?;
+
         let temporal = match doc.get("temporal") {
             None | Some(JsonValue::Null) => None,
             Some(t) => {
@@ -427,6 +453,7 @@ impl Query {
 
         let mut builder = QueryBuilder::new(pattern, objective)
             .verify(verify)
+            .metric(metric)
             .temporal_filter(flag("temporal_filter")?)
             .temporal_postings(flag("temporal_postings")?)
             .parallelism(parallelism);
@@ -446,6 +473,7 @@ pub struct QueryBuilder {
     pattern: Vec<Sym>,
     objective: Objective,
     verify: VerifyMode,
+    metric: Metric,
     temporal: Option<TemporalConstraint>,
     temporal_filter: bool,
     temporal_postings: bool,
@@ -459,6 +487,7 @@ impl QueryBuilder {
             pattern,
             objective,
             verify: VerifyMode::default(),
+            metric: Metric::default(),
             temporal: None,
             temporal_filter: false,
             temporal_postings: false,
@@ -468,8 +497,18 @@ impl QueryBuilder {
     }
 
     /// Verification strategy (default: the paper's bidirectional tries).
+    /// Only WED distinguishes strategies; non-WED metrics verify by one
+    /// exact scan per candidate trajectory regardless of this setting.
     pub fn verify(mut self, mode: VerifyMode) -> Self {
         self.verify = mode;
+        self
+    }
+
+    /// Distance metric the threshold ranges over (default
+    /// [`Metric::Wed`]; see [`crate::metric`] for the alternatives and
+    /// their filter bounds).
+    pub fn metric(mut self, metric: Metric) -> Self {
+        self.metric = metric;
         self
     }
 
@@ -541,6 +580,7 @@ impl QueryBuilder {
                 }
             }
         }
+        self.metric.validate()?;
         if let Some(c) = &self.temporal {
             // `TimeInterval`'s fields are public, so an unordered interval
             // can be constructed without `TimeInterval::new`; validate the
@@ -564,6 +604,7 @@ impl QueryBuilder {
             pattern: self.pattern,
             objective: self.objective,
             verify: self.verify,
+            metric: self.metric,
             temporal: self.temporal,
             temporal_filter: self.temporal_filter,
             temporal_postings: self.temporal_postings,
@@ -759,6 +800,49 @@ mod tests {
                 "accepted {bad:?}"
             );
         }
+    }
+
+    #[test]
+    fn metric_round_trips_and_wed_stays_byte_identical() {
+        // WED queries never carry a "metric" key — pre-metric peers keep
+        // decoding them, and pre-metric wire bytes keep decoding here.
+        let q = Query::threshold(vec![1, 2], 1.5).build().unwrap();
+        assert!(!q.to_json().contains("metric"));
+        assert_eq!(
+            Query::from_json(&q.to_json()).unwrap().metric(),
+            Metric::Wed
+        );
+
+        for metric in [Metric::Dtw, Metric::Frechet, Metric::Lcss { eps: 0.25 }] {
+            let q = Query::threshold(vec![1, 2], 1.5)
+                .metric(metric)
+                .build()
+                .unwrap();
+            let text = q.to_json();
+            assert!(text.contains("\"metric\":{\"name\":"), "{text}");
+            assert_eq!(Query::from_json(&text).unwrap(), q);
+        }
+    }
+
+    #[test]
+    fn metric_wire_errors_are_typed() {
+        let base = r#""objective":{"type":"threshold","tau":1}"#;
+        let err = Query::from_json(&format!(
+            r#"{{"pattern":[1],{base},"metric":{{"name":"hausdorff"}}}}"#
+        ))
+        .unwrap_err();
+        assert!(matches!(err, QueryError::Parse(_)));
+        // A wire eps is re-validated like a builder eps.
+        let err = Query::from_json(&format!(
+            r#"{{"pattern":[1],{base},"metric":{{"name":"lcss","eps":-1}}}}"#
+        ))
+        .unwrap_err();
+        assert_eq!(err, QueryError::InvalidEps(-1.0));
+        let err = Query::threshold(vec![1], 1.0)
+            .metric(Metric::Lcss { eps: f64::NAN })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, QueryError::InvalidEps(eps) if eps.is_nan()));
     }
 
     #[test]

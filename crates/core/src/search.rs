@@ -23,6 +23,7 @@
 use crate::deadline::Deadline;
 use crate::filter::FilterPlan;
 use crate::index::{InvertedIndex, PostingSource};
+use crate::metric::{metric_scan_all, DtwVerifier, FrechetVerifier, LcssVerifier, Metric};
 use crate::query::{Parallelism, Query, QueryError};
 use crate::results::MatchResult;
 use crate::sharded::ShardedIndex;
@@ -38,6 +39,10 @@ use wed::{sw_scan_all, Sym, WedInstance};
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SearchOptions {
     pub verify: VerifyMode,
+    /// Distance metric the threshold ranges over (default WED). Non-WED
+    /// metrics keep the shared candidate front half where its bound is
+    /// sound ([`crate::metric`]) and verify by exact per-trajectory scans.
+    pub metric: Metric,
     /// Optional temporal constraint on matched spans.
     pub temporal: Option<TemporalConstraint>,
     /// Apply the TF candidate pre-filter (§4.3). Ignored without a
@@ -196,6 +201,136 @@ impl<'a, M: WedInstance, I: PostingSource> SearchEngine<'a, M, I> {
         Some(candidates)
     }
 
+    /// Metric variant of [`filter_and_lookup`](Self::filter_and_lookup):
+    /// chooses the strongest candidate bound that is *sound* for the metric
+    /// (see [`crate::metric`]) — the full MinCand plan for DTW, the
+    /// single-symbol plan for Fréchet, none for LCSS (always the exact
+    /// fallback scan). The temporal lookup variants apply unchanged: they
+    /// prune by trajectory time spans, which is metric-independent.
+    fn metric_filter_and_lookup(
+        &self,
+        q: &[Sym],
+        tau: f64,
+        opts: &SearchOptions,
+        stats: &mut SearchStats,
+    ) -> Option<Vec<crate::verify::Candidate>> {
+        assert!(tau > 0.0, "threshold must be positive");
+        assert!(!q.is_empty(), "query must be non-empty");
+
+        let t0 = Instant::now();
+        let plan = match opts.metric {
+            Metric::Wed => unreachable!("WED goes through filter_and_lookup"),
+            Metric::Dtw => FilterPlan::build(&self.model, &self.index, q, tau),
+            Metric::Frechet => FilterPlan::build_single(&self.model, &self.index, q, tau),
+            Metric::Lcss { .. } => return None,
+        };
+        stats.mincand_time = t0.elapsed();
+        stats.tsubseq_len = plan.chosen.len();
+        if !plan.feasible {
+            return None;
+        }
+        let t1 = Instant::now();
+        let candidates = match (
+            &opts.temporal,
+            opts.use_temporal_postings && self.index.has_temporal_postings(),
+        ) {
+            (Some(c), true) => plan.candidates_temporal(&self.index, c),
+            _ => plan.candidates(&self.index),
+        };
+        stats.lookup_time = t1.elapsed();
+        Some(candidates)
+    }
+
+    /// The sequential non-WED execution path: shared front half, one exact
+    /// per-trajectory scan per candidate group in the back half.
+    pub(crate) fn metric_search_impl(
+        &self,
+        q: &[Sym],
+        tau: f64,
+        opts: SearchOptions,
+        deadline: Deadline,
+    ) -> Result<SearchOutcome, QueryError> {
+        let mut stats = SearchStats::default();
+        let Some(candidates) = self.metric_filter_and_lookup(q, tau, &opts, &mut stats) else {
+            return self.metric_fallback_scan(q, tau, opts, stats, deadline);
+        };
+        deadline.check()?;
+
+        let t2 = Instant::now();
+        let matches = match opts.metric {
+            Metric::Wed => unreachable!("WED goes through search_opts_impl"),
+            Metric::Dtw => self.metric_verify(
+                &candidates,
+                DtwVerifier::new(&self.model, q, tau),
+                &opts,
+                deadline,
+                &mut stats,
+            ),
+            Metric::Lcss { eps } => self.metric_verify(
+                &candidates,
+                LcssVerifier::new(&self.model, q, tau, eps),
+                &opts,
+                deadline,
+                &mut stats,
+            ),
+            Metric::Frechet => self.metric_verify(
+                &candidates,
+                FrechetVerifier::new(&self.model, q, tau),
+                &opts,
+                deadline,
+                &mut stats,
+            ),
+        }?;
+        stats.verify_time = t2.elapsed();
+
+        Ok(SearchOutcome { matches, stats })
+    }
+
+    fn metric_verify<V: crate::verify::Verifier>(
+        &self,
+        candidates: &[crate::verify::Candidate],
+        mut verifier: V,
+        opts: &SearchOptions,
+        deadline: Deadline,
+        stats: &mut SearchStats,
+    ) -> Result<Vec<MatchResult>, QueryError> {
+        crate::verify::verify_candidates_with(
+            self.store,
+            |id| self.index.span(id),
+            candidates,
+            &mut verifier,
+            opts.temporal.as_ref(),
+            opts.temporal_filter,
+            deadline,
+            stats,
+        )
+    }
+
+    /// Exact metric full scan used when no sound filter bound exists (LCSS,
+    /// or an infeasible plan); the metric analogue of
+    /// [`exact_fallback_scan`].
+    fn metric_fallback_scan(
+        &self,
+        q: &[Sym],
+        tau: f64,
+        opts: SearchOptions,
+        mut stats: SearchStats,
+        deadline: Deadline,
+    ) -> Result<SearchOutcome, QueryError> {
+        let matches = metric_fallback_scan_deadline(
+            &self.model,
+            self.store,
+            q,
+            tau,
+            opts.metric,
+            opts.temporal.as_ref(),
+            opts.temporal_filter,
+            deadline,
+            &mut stats,
+        )?;
+        Ok(SearchOutcome { matches, stats })
+    }
+
     /// Algorithm 2 with configurable verification and temporal handling —
     /// the sequential execution path behind
     /// [`run`](SearchEngine::run).
@@ -211,6 +346,9 @@ impl<'a, M: WedInstance, I: PostingSource> SearchEngine<'a, M, I> {
         opts: SearchOptions,
         deadline: Deadline,
     ) -> Result<SearchOutcome, QueryError> {
+        if !opts.metric.is_wed() {
+            return self.metric_search_impl(q, tau, opts, deadline);
+        }
         let mut stats = SearchStats::default();
         let Some(candidates) = self.filter_and_lookup(q, tau, &opts, &mut stats) else {
             return self.fallback_scan(q, tau, opts, stats, deadline);
@@ -278,6 +416,9 @@ impl<'a, M: WedInstance + Sync, I: PostingSource + Sync> SearchEngine<'a, M, I> 
         threads: usize,
         deadline: Deadline,
     ) -> Result<SearchOutcome, QueryError> {
+        if !opts.metric.is_wed() {
+            return self.par_metric_search_impl(q, tau, opts, threads, deadline);
+        }
         let mut stats = SearchStats::default();
         let Some(candidates) = self.filter_and_lookup(q, tau, &opts, &mut stats) else {
             return self.fallback_scan(q, tau, opts, stats, deadline);
@@ -302,6 +443,81 @@ impl<'a, M: WedInstance + Sync, I: PostingSource + Sync> SearchEngine<'a, M, I> 
         stats.verify_time = t2.elapsed();
 
         Ok(SearchOutcome { matches, stats })
+    }
+
+    /// In-query parallel non-WED path: same front half as
+    /// [`metric_search_impl`](Self::metric_search_impl), with the exact
+    /// per-trajectory scans sharded across workers (one verifier per
+    /// worker). Falls back to the sequential exact scan when no sound
+    /// filter bound exists, exactly like the WED parallel path does.
+    pub(crate) fn par_metric_search_impl(
+        &self,
+        q: &[Sym],
+        tau: f64,
+        opts: SearchOptions,
+        threads: usize,
+        deadline: Deadline,
+    ) -> Result<SearchOutcome, QueryError> {
+        let mut stats = SearchStats::default();
+        let Some(candidates) = self.metric_filter_and_lookup(q, tau, &opts, &mut stats) else {
+            return self.metric_fallback_scan(q, tau, opts, stats, deadline);
+        };
+        deadline.check()?;
+
+        let t2 = Instant::now();
+        let matches = match opts.metric {
+            Metric::Wed => unreachable!("WED goes through par_search_opts_impl"),
+            Metric::Dtw => self.par_metric_verify(
+                &candidates,
+                || DtwVerifier::new(&self.model, q, tau),
+                &opts,
+                threads,
+                deadline,
+                &mut stats,
+            ),
+            Metric::Lcss { eps } => self.par_metric_verify(
+                &candidates,
+                || LcssVerifier::new(&self.model, q, tau, eps),
+                &opts,
+                threads,
+                deadline,
+                &mut stats,
+            ),
+            Metric::Frechet => self.par_metric_verify(
+                &candidates,
+                || FrechetVerifier::new(&self.model, q, tau),
+                &opts,
+                threads,
+                deadline,
+                &mut stats,
+            ),
+        }?;
+        stats.verify_time = t2.elapsed();
+
+        Ok(SearchOutcome { matches, stats })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn par_metric_verify<V: crate::verify::Verifier, F: Fn() -> V + Sync>(
+        &self,
+        candidates: &[crate::verify::Candidate],
+        make_verifier: F,
+        opts: &SearchOptions,
+        threads: usize,
+        deadline: Deadline,
+        stats: &mut SearchStats,
+    ) -> Result<Vec<MatchResult>, QueryError> {
+        crate::verify::par_verify_candidates_with(
+            self.store,
+            |id| self.index.span(id),
+            candidates,
+            make_verifier,
+            opts.temporal.as_ref(),
+            opts.temporal_filter,
+            threads,
+            deadline,
+            stats,
+        )
     }
 
     /// Translates a legacy `(pattern, tau, options)` call into a [`Query`],
@@ -446,9 +662,65 @@ pub(crate) fn fallback_scan_deadline<M: wed::CostModel>(
     stats: &mut SearchStats,
 ) -> Result<Vec<crate::results::MatchResult>, QueryError> {
     stats.fallback = true;
+    let scan = fallback_selection(store, temporal, temporal_filter, stats);
 
-    // "Lookup" phase: select the trajectories to scan (TF pre-filter),
-    // mirroring candidate generation on the indexed path.
+    let t2 = Instant::now();
+    let mut rs = crate::results::ResultSet::new();
+    for id in scan {
+        deadline.check()?;
+        let traj = store.get(id);
+        stats.sw_columns += traj.len() as u64;
+        stats.verify_cost += traj.len() as u64;
+        for m in sw_scan_all(model, traj.path(), q, tau) {
+            rs.push(id, m.start, m.end, m.dist);
+        }
+    }
+    finish_fallback(rs, store, temporal, t2, stats)
+}
+
+/// Exact full scan under a non-WED metric — used when the metric admits no
+/// sound filter bound (LCSS always; DTW/Fréchet when their plan is
+/// infeasible). Same stats contract as [`exact_fallback_scan`], except the
+/// scan work lands in the metric-neutral `verify_cost` (the WED-specific
+/// `sw_columns` stays zero).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn metric_fallback_scan_deadline<M: wed::CostModel>(
+    model: &M,
+    store: &TrajectoryStore,
+    q: &[Sym],
+    tau: f64,
+    metric: Metric,
+    temporal: Option<&TemporalConstraint>,
+    temporal_filter: bool,
+    deadline: Deadline,
+    stats: &mut SearchStats,
+) -> Result<Vec<crate::results::MatchResult>, QueryError> {
+    stats.fallback = true;
+    let scan = fallback_selection(store, temporal, temporal_filter, stats);
+
+    let t2 = Instant::now();
+    let mut rs = crate::results::ResultSet::new();
+    for id in scan {
+        deadline.check()?;
+        let traj = store.get(id);
+        let (found, rows) = metric_scan_all(model, metric, traj.path(), q, tau);
+        stats.verify_cost += rows;
+        for m in found {
+            rs.push(id, m.start, m.end, m.dist);
+        }
+    }
+    finish_fallback(rs, store, temporal, t2, stats)
+}
+
+/// The fallback paths' "lookup" phase: select the trajectories to scan
+/// (TF pre-filter), mirroring candidate generation on the indexed path.
+/// Span-based, hence sound for every metric.
+fn fallback_selection(
+    store: &TrajectoryStore,
+    temporal: Option<&TemporalConstraint>,
+    temporal_filter: bool,
+    stats: &mut SearchStats,
+) -> Vec<traj::TrajId> {
     let t1 = Instant::now();
     let mut scan: Vec<traj::TrajId> = Vec::with_capacity(store.len());
     let mut total_positions = 0usize;
@@ -467,17 +739,18 @@ pub(crate) fn fallback_scan_deadline<M: wed::CostModel>(
     stats.candidates_after_temporal = scanned_positions;
     stats.candidates_deduped = scanned_positions;
     stats.lookup_time = t1.elapsed();
+    scan
+}
 
-    let t2 = Instant::now();
-    let mut rs = crate::results::ResultSet::new();
-    for id in scan {
-        deadline.check()?;
-        let traj = store.get(id);
-        stats.sw_columns += traj.len() as u64;
-        for m in sw_scan_all(model, traj.path(), q, tau) {
-            rs.push(id, m.start, m.end, m.dist);
-        }
-    }
+/// Exact temporal post-check and deterministic ordering shared by the
+/// fallback scans.
+fn finish_fallback(
+    mut rs: crate::results::ResultSet,
+    store: &TrajectoryStore,
+    temporal: Option<&TemporalConstraint>,
+    t2: Instant,
+    stats: &mut SearchStats,
+) -> Result<Vec<crate::results::MatchResult>, QueryError> {
     if let Some(c) = temporal {
         rs.retain(|id, s, t| {
             let times = store.get(id).times();

@@ -51,6 +51,14 @@ pub struct SearchStats {
     /// Columns computed fresh (trie cache misses; Algorithm 5 line 6) —
     /// the CMR numerator.
     pub stepdp_calls: u64,
+    /// Metric-neutral verification cost: DP columns/rows actually evaluated,
+    /// each `O(|Q|)`. For WED this equals `sw_columns` on scan paths
+    /// (SW verification and the fallback scan) and `columns_passed` on the
+    /// Local/Trie paths; DTW/LCSS/Fréchet verifiers count their per-start DP
+    /// rows here and leave the WED-specific counters (`sw_columns`,
+    /// `columns_passed`, `stepdp_calls`) at zero, so merged workload stats
+    /// never mix incomparable units.
+    pub verify_cost: u64,
     /// Number of result triples `(id, s, t)`.
     pub results: usize,
 }
@@ -90,6 +98,7 @@ impl SearchStats {
         self.sw_columns += other.sw_columns;
         self.columns_passed += other.columns_passed;
         self.stepdp_calls += other.stepdp_calls;
+        self.verify_cost += other.verify_cost;
         self.results += other.results;
     }
 }

@@ -20,6 +20,13 @@
 //! so enumerating pairs of backward/forward prefix WEDs below
 //! `τ' = τ − sub(P[j], Q[iq])` recovers exactly the Definition 3 result set
 //! (Lemma 1), with per-triple min-merge restoring exact distances.
+//!
+//! Verification is **metric-pluggable**: the front half (candidate dedup,
+//! per-trajectory grouping, work distribution, deadline checkpoints,
+//! temporal post-check) is shared, while the back half is a [`Verifier`]
+//! implementation invoked once per trajectory group — [`WedVerifier`] for
+//! the three WED strategies above, or the DTW/LCSS/Fréchet verifiers in
+//! [`crate::metric`].
 
 use crate::deadline::Deadline;
 use crate::query::QueryError;
@@ -131,11 +138,39 @@ impl DpTrie {
 }
 
 // ---------------------------------------------------------------------------
-// Verifier
+// Verifier trait and the WED back half
 // ---------------------------------------------------------------------------
 
-/// Stateful verifier holding the bidirectional tries of one query.
-pub struct Verifier<'a, M: CostModel> {
+/// The metric back half of verification: turns one trajectory group of
+/// sorted, deduped candidates into result triples.
+///
+/// The shared front half hands each implementation one **whole-trajectory
+/// group** at a time (all of a trajectory's anchors, sorted by
+/// `(j, iq)`), together with the trajectory's path. Implementations push
+/// every matching `(id, s, t, dist)` into `results` (duplicates are
+/// min-merged by the [`ResultSet`]) and account their DP work in
+/// `stats.verify_cost` — the metric-neutral unit (columns/rows of `O(|Q|)`
+/// each) that stays comparable when workloads mix metrics.
+///
+/// A verifier may carry state across groups (the WED tries do); the
+/// parallel path constructs one verifier per worker, so implementations
+/// need not be `Sync`.
+pub trait Verifier {
+    /// Verifies one trajectory group. `group` is non-empty and all its
+    /// candidates share one trajectory id; `path` is that trajectory's
+    /// symbol sequence.
+    fn verify_group(
+        &mut self,
+        path: &[Sym],
+        group: &[Candidate],
+        results: &mut ResultSet,
+        stats: &mut SearchStats,
+    );
+}
+
+/// Stateful WED verifier holding the bidirectional tries of one query —
+/// the [`Verifier`] back half for all three [`VerifyMode`] strategies.
+pub struct WedVerifier<'a, M: CostModel> {
     model: &'a M,
     q: &'a [Sym],
     tau: f64,
@@ -145,9 +180,9 @@ pub struct Verifier<'a, M: CostModel> {
     tries: std::collections::HashMap<u32, [DpTrie; 2]>,
 }
 
-impl<'a, M: CostModel> Verifier<'a, M> {
+impl<'a, M: CostModel> WedVerifier<'a, M> {
     pub fn new(model: &'a M, q: &'a [Sym], tau: f64, mode: VerifyMode) -> Self {
-        Verifier {
+        WedVerifier {
             model,
             q,
             tau,
@@ -231,6 +266,34 @@ impl<'a, M: CostModel> Verifier<'a, M> {
     }
 }
 
+impl<M: CostModel> Verifier for WedVerifier<'_, M> {
+    fn verify_group(
+        &mut self,
+        path: &[Sym],
+        group: &[Candidate],
+        results: &mut ResultSet,
+        stats: &mut SearchStats,
+    ) {
+        match self.mode {
+            VerifyMode::Sw => {
+                // One exact scan per distinct candidate trajectory; the UPR
+                // denominator counts each scanned trajectory once.
+                let id = group[0].id;
+                stats.sw_columns += path.len() as u64;
+                stats.verify_cost += path.len() as u64;
+                for m in sw_scan_all(self.model, path, self.q, self.tau) {
+                    results.push(id, m.start, m.end, m.dist);
+                }
+            }
+            VerifyMode::Local | VerifyMode::Trie => {
+                for cand in group {
+                    self.verify_candidate(path, *cand, results, stats);
+                }
+            }
+        }
+    }
+}
+
 /// Algorithm 5 (AllPrefixWED) against a trie: returns
 /// `E^d[k] = wed(P^d[..k], Q^d)` for `k = 0..` until early termination.
 fn walk_trie<M: CostModel>(
@@ -245,6 +308,7 @@ fn walk_trie<M: CostModel>(
     for sym in syms {
         let (child, created) = trie.child(model, node, sym);
         stats.columns_passed += 1;
+        stats.verify_cost += 1;
         if created {
             stats.stepdp_calls += 1;
         }
@@ -273,6 +337,7 @@ fn prefix_weds_local<M: CostModel>(
     for sym in syms {
         col = step_dp(model, qd, sym, &col);
         stats.columns_passed += 1;
+        stats.verify_cost += 1;
         stats.stepdp_calls += 1;
         let min = col.iter().cloned().fold(f64::INFINITY, f64::min);
         if min >= tau_p {
@@ -331,52 +396,28 @@ fn trajectory_groups(sorted: &[Candidate]) -> Vec<(usize, usize)> {
     groups
 }
 
-/// Verifies a set of whole-trajectory groups with one [`Verifier`] (one set
-/// of tries) into a private result set — the unit both the sequential path
-/// (all groups, one call) and each parallel worker run.
+/// Verifies a set of whole-trajectory groups with one [`Verifier`] (for WED,
+/// one set of tries) into a private result set — the unit both the
+/// sequential path (all groups, one call) and each parallel worker run.
 ///
 /// The deadline is checked **between trajectory groups** — the same
 /// granularity the parallel scheduler distributes work at — so an expired
 /// query stops within one trajectory's worth of DP work
 /// ([`QueryError::DeadlineExceeded`]; `results` may then hold partial
 /// output and must be discarded by the caller).
-#[allow(clippy::too_many_arguments)]
-fn verify_shard<M: CostModel>(
-    model: &M,
+fn verify_shard_with<V: Verifier>(
     store: &TrajectoryStore,
-    q: &[Sym],
-    tau: f64,
     sorted: &[Candidate],
     groups: &[(usize, usize)],
-    mode: VerifyMode,
+    verifier: &mut V,
     deadline: Deadline,
     results: &mut ResultSet,
     stats: &mut SearchStats,
 ) -> Result<(), QueryError> {
-    match mode {
-        VerifyMode::Sw => {
-            // One exact scan per distinct candidate trajectory; the UPR
-            // denominator counts each scanned trajectory once.
-            for &(start, _) in groups {
-                deadline.check()?;
-                let id = sorted[start].id;
-                let path = store.get(id).path();
-                stats.sw_columns += path.len() as u64;
-                for m in sw_scan_all(model, path, q, tau) {
-                    results.push(id, m.start, m.end, m.dist);
-                }
-            }
-        }
-        VerifyMode::Local | VerifyMode::Trie => {
-            let mut verifier = Verifier::new(model, q, tau, mode);
-            for &(start, end) in groups {
-                deadline.check()?;
-                let path = store.get(sorted[start].id).path();
-                for cand in &sorted[start..end] {
-                    verifier.verify_candidate(path, *cand, results, stats);
-                }
-            }
-        }
+    for &(start, end) in groups {
+        deadline.check()?;
+        let path = store.get(sorted[start].id).path();
+        verifier.verify_group(path, &sorted[start..end], results, stats);
     }
     Ok(())
 }
@@ -454,17 +495,40 @@ pub(crate) fn verify_candidates_deadline<M: CostModel>(
     deadline: Deadline,
     stats: &mut SearchStats,
 ) -> Result<Vec<crate::results::MatchResult>, QueryError> {
+    verify_candidates_with(
+        store,
+        index_span,
+        candidates,
+        &mut WedVerifier::new(model, q, tau, mode),
+        temporal,
+        temporal_filter,
+        deadline,
+        stats,
+    )
+}
+
+/// Metric-generic sequential verification: the shared front half (TF
+/// pre-filter, sort/dedup, per-trajectory grouping) followed by one
+/// `verifier` pass over all groups and the exact temporal post-check.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn verify_candidates_with<V: Verifier>(
+    store: &TrajectoryStore,
+    index_span: impl Fn(TrajId) -> (f64, f64),
+    candidates: &[Candidate],
+    verifier: &mut V,
+    temporal: Option<&TemporalConstraint>,
+    temporal_filter: bool,
+    deadline: Deadline,
+    stats: &mut SearchStats,
+) -> Result<Vec<crate::results::MatchResult>, QueryError> {
     let sorted = prepare_candidates(index_span, candidates, temporal, temporal_filter, stats);
     let groups = trajectory_groups(&sorted);
     let mut results = ResultSet::new();
-    verify_shard(
-        model,
+    verify_shard_with(
         store,
-        q,
-        tau,
         &sorted,
         &groups,
-        mode,
+        verifier,
         deadline,
         &mut results,
         stats,
@@ -505,14 +569,14 @@ fn partition_groups(
 }
 
 /// Parallel [`verify_candidates`]: trajectory groups are sharded across
-/// `threads` scoped workers, each holding its own [`Verifier`] (thread-local
-/// DP-trie caches) and private [`ResultSet`]; shard outputs are min-merged,
-/// so the result set — distances included — is identical to the sequential
-/// path for any thread count.
+/// `threads` scoped workers, each holding its own [`WedVerifier`]
+/// (thread-local DP-trie caches) and private [`ResultSet`]; shard outputs
+/// are min-merged, so the result set — distances included — is identical to
+/// the sequential path for any thread count.
 ///
-/// Counter totals (`sw_columns`, `columns_passed`, `stepdp_calls`) are
-/// summed across shards; Trie-mode cache-hit counters can legitimately
-/// differ from a 1-thread run because tries are per-worker.
+/// Counter totals (`sw_columns`, `columns_passed`, `stepdp_calls`,
+/// `verify_cost`) are summed across shards; Trie-mode cache-hit counters can
+/// legitimately differ from a 1-thread run because tries are per-worker.
 #[allow(clippy::too_many_arguments)]
 pub fn par_verify_candidates<M: CostModel + Sync>(
     model: &M,
@@ -563,6 +627,36 @@ pub(crate) fn par_verify_candidates_deadline<M: CostModel + Sync>(
     deadline: Deadline,
     stats: &mut SearchStats,
 ) -> Result<Vec<crate::results::MatchResult>, QueryError> {
+    par_verify_candidates_with(
+        store,
+        index_span,
+        candidates,
+        || WedVerifier::new(model, q, tau, mode),
+        temporal,
+        temporal_filter,
+        threads,
+        deadline,
+        stats,
+    )
+}
+
+/// Metric-generic parallel verification: the shared front half, then
+/// trajectory groups sharded across `threads` scoped workers, each running
+/// a fresh verifier from `make_verifier` into a private [`ResultSet`];
+/// shard outputs are min-merged, so the result set — distances included —
+/// is identical to the sequential path for any thread count.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn par_verify_candidates_with<V: Verifier, F: Fn() -> V + Sync>(
+    store: &TrajectoryStore,
+    index_span: impl Fn(TrajId) -> (f64, f64),
+    candidates: &[Candidate],
+    make_verifier: F,
+    temporal: Option<&TemporalConstraint>,
+    temporal_filter: bool,
+    threads: usize,
+    deadline: Deadline,
+    stats: &mut SearchStats,
+) -> Result<Vec<crate::results::MatchResult>, QueryError> {
     let sorted = prepare_candidates(index_span, candidates, temporal, temporal_filter, stats);
     let groups = trajectory_groups(&sorted);
     let shards = partition_groups(&groups, sorted.len(), threads);
@@ -570,14 +664,12 @@ pub(crate) fn par_verify_candidates_deadline<M: CostModel + Sync>(
     let mut results = ResultSet::new();
     if shards.len() <= 1 {
         // Sequential special case: no threads, no merge.
-        verify_shard(
-            model,
+        let mut verifier = make_verifier();
+        verify_shard_with(
             store,
-            q,
-            tau,
             &sorted,
             &groups,
-            mode,
+            &mut verifier,
             deadline,
             &mut results,
             stats,
@@ -588,17 +680,16 @@ pub(crate) fn par_verify_candidates_deadline<M: CostModel + Sync>(
                 .iter()
                 .map(|shard| {
                     let sorted = &sorted;
+                    let make_verifier = &make_verifier;
                     scope.spawn(move || {
+                        let mut verifier = make_verifier();
                         let mut local_results = ResultSet::new();
                         let mut local_stats = SearchStats::default();
-                        let status = verify_shard(
-                            model,
+                        let status = verify_shard_with(
                             store,
-                            q,
-                            tau,
                             sorted,
                             shard,
-                            mode,
+                            &mut verifier,
                             deadline,
                             &mut local_results,
                             &mut local_stats,
@@ -618,6 +709,7 @@ pub(crate) fn par_verify_candidates_deadline<M: CostModel + Sync>(
             stats.sw_columns += shard_stats.sw_columns;
             stats.columns_passed += shard_stats.columns_passed;
             stats.stepdp_calls += shard_stats.stepdp_calls;
+            stats.verify_cost += shard_stats.verify_cost;
         }
     }
     Ok(finish_verification(results, store, temporal, stats))
@@ -745,6 +837,9 @@ mod tests {
             stats.stepdp_calls,
             stats.columns_passed
         );
+        // On the Local/Trie paths the metric-neutral cost is the visited
+        // columns, not the SW upper bound.
+        assert_eq!(stats.verify_cost, stats.columns_passed);
 
         // Local mode computes every visited column fresh.
         let mut stats_local = SearchStats::default();
@@ -908,8 +1003,10 @@ mod tests {
             false,
             &mut stats,
         );
-        // Exactly one scan of the length-5 trajectory.
+        // Exactly one scan of the length-5 trajectory; the metric-neutral
+        // cost counts the same columns.
         assert_eq!(stats.sw_columns, 5);
+        assert_eq!(stats.verify_cost, stats.sw_columns);
     }
 
     #[test]

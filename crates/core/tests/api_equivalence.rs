@@ -54,6 +54,7 @@ fn option_grid(constraint: TemporalConstraint) -> Vec<SearchOptions> {
                 temporal: Some(constraint),
                 temporal_filter: tf,
                 use_temporal_postings: use_dep,
+                ..Default::default()
             });
         }
     }

@@ -13,7 +13,9 @@
 
 use crate::remote::{DistribError, RemoteShards, ShardEndpoint};
 use traj::TrajectoryStore;
-use trajsearch_core::{Deadline, EngineBuilder, PostingSource, Query, RemoteSpec, SearchEngine};
+use trajsearch_core::{
+    Deadline, EngineBuilder, PostingSource, Query, QueryError, RemoteSpec, SearchEngine,
+};
 use trajsearch_serve::{Handled, QueryHandler};
 use wed::{Sym, WedInstance};
 
@@ -66,6 +68,14 @@ impl<'a, M: WedInstance + Sync> Coordinator<'a, M> {
 impl<M: WedInstance + Sync> QueryHandler for Coordinator<'_, M> {
     fn handle(&self, query: &Query, deadline: Deadline) -> Handled {
         let remote = self.engine.index();
+        // Capability gate first: a cluster fronting a pre-metrics shard
+        // server negotiated WED-only at connect, and a metric the pool
+        // cannot honor is a typed rejection — not a mid-query protocol
+        // failure.
+        let metric = query.metric().name();
+        if !remote.supports_metric(metric) {
+            return Handled::Rejected(QueryError::UnsupportedMetric(metric.to_string()));
+        }
         let mark = remote.degraded_mark();
         // Coalesce the pattern's frequency fetches into one RPC per shard
         // before the MinCand plan asks for them one by one.

@@ -153,6 +153,10 @@ pub struct RemoteShards {
     total_postings: usize,
     size_bytes: usize,
     has_temporal: bool,
+    /// Metric names every shard server advertised at `hello` — the
+    /// intersection across the pool, with a pre-metrics server (empty
+    /// advertised list) counting as WED-only.
+    metrics: Vec<String>,
     /// Global-id span table, prefetched at connect (`span` is on the
     /// temporal-filter hot path and must be infallible).
     spans: Vec<(f64, f64)>,
@@ -200,6 +204,7 @@ impl RemoteShards {
         let n = endpoints.len();
         let mut by_id: Vec<Option<ShardConn>> = Vec::new();
         by_id.resize_with(n, || None);
+        let mut cluster_metrics: Option<Vec<String>> = None;
         for ep in endpoints {
             let fail = |source: ClientError| DistribError::Connect {
                 endpoint: ep.addr.clone(),
@@ -211,7 +216,23 @@ impl RemoteShards {
                 .map_err(|e| fail(e.into()))?;
             // hello: a major-version mismatch surfaces here as a typed
             // `unsupported_version` server error, before any data moves.
-            client.hello().map_err(fail)?;
+            // The reply also carries the server's metric capability list
+            // (empty = pre-metrics build = WED only); the cluster supports
+            // the intersection, so one old shard server downgrades the
+            // whole pool to WED instead of failing mid-query.
+            let caps = client.hello_caps().map_err(fail)?;
+            let advertised: Vec<String> = if caps.metrics.is_empty() {
+                vec!["wed".to_string()]
+            } else {
+                caps.metrics
+            };
+            cluster_metrics = Some(match cluster_metrics {
+                None => advertised,
+                Some(prev) => prev
+                    .into_iter()
+                    .filter(|m| advertised.contains(m))
+                    .collect(),
+            });
             let info = client.shard_info().map_err(fail)?;
             if info.num_shards as usize != n {
                 return Err(DistribError::Topology(format!(
@@ -279,6 +300,7 @@ impl RemoteShards {
             total_postings: conns.iter().map(|c| c.info.total_postings as usize).sum(),
             size_bytes: conns.iter().map(|c| c.info.size_bytes as usize).sum(),
             has_temporal: conns.iter().all(|c| c.info.has_temporal_postings),
+            metrics: cluster_metrics.expect("at least one endpoint was negotiated"),
             spans: vec![(0.0, 0.0); num_trajectories],
             conns,
             freq_cache: Mutex::new(HashMap::new()),
@@ -342,6 +364,22 @@ impl RemoteShards {
     /// Number of shard servers in the pool.
     pub fn num_shards(&self) -> usize {
         self.conns.len()
+    }
+
+    /// Whether **every** shard server in the pool advertised support for
+    /// the named metric at `hello`. A pre-metrics server (no capability
+    /// list on its hello reply) counts as WED-only, so a cluster fronting
+    /// one old shard answers `false` for everything but `"wed"` — the
+    /// coordinator turns that into a typed rejection before any shard RPC
+    /// moves.
+    pub fn supports_metric(&self, name: &str) -> bool {
+        self.metrics.iter().any(|m| m == name)
+    }
+
+    /// The negotiated metric capability list: the intersection of what
+    /// every shard server advertised.
+    pub fn supported_metrics(&self) -> &[String] {
+        &self.metrics
     }
 
     /// The generation mark for [`degraded_since`](RemoteShards::degraded_since):

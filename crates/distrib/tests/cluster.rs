@@ -149,6 +149,7 @@ fn assert_equivalent(got: &Response, want: &Response, ctx: &str) {
     assert_eq!(g.tsubseq_len, w.tsubseq_len, "{ctx}: tsubseq_len");
     assert_eq!(g.fallback, w.fallback, "{ctx}: fallback");
     assert_eq!(g.sw_columns, w.sw_columns, "{ctx}: sw_columns");
+    assert_eq!(g.verify_cost, w.verify_cost, "{ctx}: verify_cost");
     assert_eq!(g.results, w.results, "{ctx}: results");
 }
 

@@ -1,0 +1,180 @@
+//! Remote-loopback leg of the metric equivalence matrix (the in-process
+//! Single/Sharded legs live in `crates/core/tests/metric_equivalence.rs`,
+//! which cannot open sockets) plus the capability negotiation a cluster
+//! performs at `hello`:
+//!
+//! * **Equivalence** — DTW / LCSS(ε) / Fréchet / WED queries answered
+//!   through [`RemoteShards`] over real loopback shard servers are
+//!   byte-identical (matches and deterministic stats, `verify_cost`
+//!   included) to the in-process `Single` layout.
+//! * **Negotiation** — every shard server advertising the full metric
+//!   list yields a pool that supports them all; one *legacy* server
+//!   (`advertise_metrics: false`, the pre-minor-2 hello shape) downgrades
+//!   the intersection to WED-only, and the coordinator then rejects a
+//!   non-WED query with the typed [`QueryError::UnsupportedMetric`] —
+//!   never a protocol failure.
+
+use std::thread;
+use traj::TrajectoryStore;
+use trajsearch_core::{
+    Deadline, EngineBuilder, IndexShard, Metric, Parallelism, Query, QueryError,
+};
+use trajsearch_distrib::{testdata, Coordinator, RemoteShards, ShardEndpoint};
+use trajsearch_serve::{
+    Handled, IndexShardSource, QueryHandler, Server, ServerConfig, ServerHandle, SUPPORTED_METRICS,
+};
+use wed::models::Lev;
+use wed::Sym;
+
+const ALPHABET: usize = 16;
+const EPOCH: u64 = 3;
+
+/// Shuts every server down when dropped, so a failing assertion inside the
+/// `thread::scope` unwinds into a clean exit instead of a hang.
+struct ShutdownOnDrop(Vec<ServerHandle>);
+
+impl Drop for ShutdownOnDrop {
+    fn drop(&mut self) {
+        for handle in &self.0 {
+            handle.shutdown();
+        }
+    }
+}
+
+/// Runs `body` against in-process shard servers on loopback sockets, one
+/// per entry of `advertise` (which also sets each server's
+/// `advertise_metrics` flag — `false` simulates a pre-metrics build).
+fn with_shard_servers(
+    store: &TrajectoryStore,
+    advertise: &[bool],
+    body: impl FnOnce(Vec<ShardEndpoint>),
+) {
+    let n = advertise.len();
+    let shards: Vec<IndexShard> = (0..n)
+        .map(|k| IndexShard::build(store, ALPHABET, k, n))
+        .collect();
+    let sources: Vec<IndexShardSource<'_>> = shards
+        .iter()
+        .map(|shard| IndexShardSource::new(shard, EPOCH))
+        .collect();
+    let servers: Vec<Server> = advertise
+        .iter()
+        .map(|&advertise_metrics| {
+            Server::bind(ServerConfig {
+                advertise_metrics,
+                ..ServerConfig::default()
+            })
+            .expect("bind shard server")
+        })
+        .collect();
+    let endpoints: Vec<ShardEndpoint> = servers
+        .iter()
+        .map(|s| ShardEndpoint::new(s.handle().local_addr().to_string()))
+        .collect();
+    let handles: Vec<ServerHandle> = servers.iter().map(|s| s.handle()).collect();
+    thread::scope(|scope| {
+        let guard = ShutdownOnDrop(handles);
+        let serving: Vec<_> = servers
+            .into_iter()
+            .zip(&sources)
+            .map(|(server, source)| scope.spawn(move || server.serve_shard(source)))
+            .collect();
+        body(endpoints);
+        drop(guard);
+        for thread in serving {
+            thread.join().expect("serve thread").expect("serve ok");
+        }
+    });
+}
+
+/// A pattern that occurs verbatim in the store, so τ-ball matches exist
+/// under every metric and the equivalence is non-vacuous.
+fn embedded_pattern(store: &TrajectoryStore) -> Vec<Sym> {
+    store.get(0).path()[2..6].to_vec()
+}
+
+#[test]
+fn metric_queries_over_remote_shards_match_in_process() {
+    let store = testdata::store(40, 12, 11, ALPHABET);
+    with_shard_servers(&store, &[true, true], |endpoints| {
+        let remote = RemoteShards::connect(&endpoints).expect("connect cluster");
+        for metric in SUPPORTED_METRICS {
+            assert!(
+                remote.supports_metric(metric),
+                "full-capability cluster advertises {metric}"
+            );
+        }
+        let remote_engine = EngineBuilder::new(Lev, &store, ALPHABET).build_with(remote);
+        let single = EngineBuilder::new(Lev, &store, ALPHABET).build();
+
+        let pattern = embedded_pattern(&store);
+        for metric in [
+            Metric::Wed,
+            Metric::Dtw,
+            Metric::Lcss { eps: 0.0 },
+            Metric::Frechet,
+        ] {
+            for parallelism in [Parallelism::Sequential, Parallelism::InQuery(2)] {
+                let query = Query::threshold(pattern.clone(), 2.0)
+                    .metric(metric)
+                    .parallelism(parallelism)
+                    .build()
+                    .unwrap();
+                let want = single.run(&query).expect("single run");
+                assert!(
+                    !want.matches.is_empty(),
+                    "embedded pattern must match under {metric:?}"
+                );
+                let got = remote_engine.run(&query).expect("remote run");
+                let ctx = format!("metric={metric:?} par={parallelism:?}");
+                assert_eq!(got.matches, want.matches, "{ctx}: matches diverged");
+                let (g, w) = (&got.stats, &want.stats);
+                assert_eq!(g.candidates, w.candidates, "{ctx}: candidates");
+                assert_eq!(
+                    g.candidates_deduped, w.candidates_deduped,
+                    "{ctx}: candidates_deduped"
+                );
+                assert_eq!(g.fallback, w.fallback, "{ctx}: fallback");
+                assert_eq!(g.verify_cost, w.verify_cost, "{ctx}: verify_cost");
+                assert_eq!(g.results, w.results, "{ctx}: results");
+            }
+        }
+        assert_eq!(
+            remote_engine.index().degraded_total(),
+            0,
+            "healthy cluster must not degrade"
+        );
+    });
+}
+
+#[test]
+fn coordinator_fronting_a_legacy_shard_rejects_non_wed_typed() {
+    let store = testdata::store(24, 10, 5, ALPHABET);
+    with_shard_servers(&store, &[true, false], |endpoints| {
+        let remote = RemoteShards::connect(&endpoints).expect("connect cluster");
+        // One pre-metrics server downgrades the whole pool's intersection.
+        assert_eq!(remote.supported_metrics(), ["wed".to_string()]);
+        assert!(remote.supports_metric("wed"));
+        assert!(!remote.supports_metric("dtw"));
+
+        let coordinator =
+            Coordinator::new(EngineBuilder::new(Lev, &store, ALPHABET).build_with(remote));
+        let pattern = embedded_pattern(&store);
+
+        let dtw = Query::threshold(pattern.clone(), 2.0)
+            .metric(Metric::Dtw)
+            .build()
+            .unwrap();
+        match coordinator.handle(&dtw, Deadline::NONE) {
+            Handled::Rejected(QueryError::UnsupportedMetric(name)) => assert_eq!(name, "dtw"),
+            other => panic!("expected a typed unsupported-metric rejection, got {other:?}"),
+        }
+
+        // WED still flows: the gate narrows capability, not service.
+        let wed = Query::threshold(pattern, 2.0).build().unwrap();
+        match coordinator.handle(&wed, Deadline::NONE) {
+            Handled::Response(response) => assert!(!response.matches.is_empty()),
+            other => panic!("expected a clean WED answer, got {other:?}"),
+        }
+    });
+}

@@ -197,6 +197,36 @@ pub struct Client {
     retry: RetryPolicy,
 }
 
+/// The server's negotiated capabilities, as reported by
+/// [`Client::hello_caps`]: protocol version plus the advertised metric
+/// list.
+///
+/// An **empty** `metrics` list means the peer predates protocol minor 2
+/// (it never sent the field) — such servers verify WED only, which is what
+/// [`supports`](HelloCaps::supports) encodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HelloCaps {
+    /// Server protocol major version.
+    pub major: u32,
+    /// Server protocol minor version.
+    pub minor: u32,
+    /// Metric names the server can verify (`"wed"`, `"dtw"`, …). Empty
+    /// for pre-minor-2 servers.
+    pub metrics: Vec<String>,
+}
+
+impl HelloCaps {
+    /// Whether the server can verify queries under the named metric. A
+    /// legacy server (empty list) supports exactly `"wed"`.
+    pub fn supports(&self, name: &str) -> bool {
+        if self.metrics.is_empty() {
+            name == "wed"
+        } else {
+            self.metrics.iter().any(|m| m == name)
+        }
+    }
+}
+
 impl Client {
     /// Connects (blocking, no read timeout: replies to admitted queries
     /// always arrive — the server's drain guarantee).
@@ -276,8 +306,16 @@ impl Client {
 
     /// Version negotiation: announces [`PROTO_MAJOR`]/[`PROTO_MINOR`],
     /// returns the server's `(major, minor)`. A major mismatch comes back
-    /// as [`ClientError::Server`] with kind `unsupported_version`.
+    /// as [`ClientError::Server`] with kind `unsupported_version`. See
+    /// [`hello_caps`](Client::hello_caps) for the capability list.
     pub fn hello(&mut self) -> Result<(u32, u32), ClientError> {
+        let caps = self.hello_caps()?;
+        Ok((caps.major, caps.minor))
+    }
+
+    /// [`hello`](Client::hello) with the full negotiated capabilities,
+    /// including the server's advertised metric list.
+    pub fn hello_caps(&mut self) -> Result<HelloCaps, ClientError> {
         let id = self.allocate_id();
         match self.round_trip(&Request::Hello {
             id,
@@ -288,7 +326,12 @@ impl Client {
                 id: got,
                 major,
                 minor,
-            } if got == id => Ok((major, minor)),
+                metrics,
+            } if got == id => Ok(HelloCaps {
+                major,
+                minor,
+                metrics,
+            }),
             Reply::Error { error, .. } => Err(ClientError::Server(error)),
             other => Err(ClientError::Protocol(format!(
                 "expected hello reply for id {id}, got {other:?}"

@@ -84,11 +84,11 @@ pub mod queue;
 pub mod server;
 pub mod shard;
 
-pub use client::{Client, ClientError, QueryOutcome, RetryPolicy};
+pub use client::{Client, ClientError, HelloCaps, QueryOutcome, RetryPolicy};
 pub use metrics::{LatencySummary, Metrics, MetricsSnapshot};
 pub use proto::{
     DegradedInfo, Reply, Request, ServerError, ServerErrorKind, ShardInfo, SpanPage,
-    MAX_FRAME_BYTES, PROTO_MAJOR, PROTO_MINOR, SPAN_PAGE_MAX,
+    MAX_FRAME_BYTES, PROTO_MAJOR, PROTO_MINOR, SPAN_PAGE_MAX, SUPPORTED_METRICS,
 };
 pub use queue::{BoundedQueue, Pop, PushError};
 pub use server::{Handled, QueryHandler, Server, ServerConfig, ServerHandle};

@@ -105,8 +105,15 @@ pub const MAX_FRAME_BYTES: usize = 8 << 20;
 pub const PROTO_MAJOR: u32 = 1;
 
 /// Wire-protocol minor version — additive changes (minor 1 added `hello`,
-/// the shard RPCs and `degraded`). Exchanged via `hello`, not per frame.
-pub const PROTO_MINOR: u32 = 1;
+/// the shard RPCs and `degraded`; minor 2 added the `metrics` capability
+/// list on the hello reply). Exchanged via `hello`, not per frame.
+pub const PROTO_MINOR: u32 = 2;
+
+/// Distance metrics this build can verify, in the wire names of
+/// `trajsearch_core::Metric`. Advertised on the hello reply (minor ≥ 2) so
+/// a coordinator can reject a non-WED query aimed at an old shard server
+/// with a typed error instead of a protocol failure.
+pub const SUPPORTED_METRICS: [&str; 4] = ["wed", "dtw", "lcss", "frechet"];
 
 /// Hard cap on spans returned per `shard_spans` page, keeping every reply
 /// frame far below [`MAX_FRAME_BYTES`] even for huge shards.
@@ -775,6 +782,10 @@ pub enum Reply {
         id: u64,
         major: u32,
         minor: u32,
+        /// Metric capability list ([`SUPPORTED_METRICS`] on a current
+        /// server). Empty means the peer predates minor 2 (or chose not to
+        /// advertise): assume WED only.
+        metrics: Vec<String>,
     },
     ShardInfo {
         id: u64,
@@ -853,10 +864,22 @@ impl Reply {
                 f.push(("stats".into(), stats.to_json_value()));
                 f
             }
-            Reply::Hello { id, major, minor } => {
+            Reply::Hello {
+                id,
+                major,
+                minor,
+                metrics,
+            } => {
                 let mut f = envelope("hello", *id);
                 f.push(("major".into(), JsonValue::num_u64(*major as u64)));
                 f.push(("minor".into(), JsonValue::num_u64(*minor as u64)));
+                // Omitted when empty, keeping the minor-1 frame unchanged.
+                if !metrics.is_empty() {
+                    f.push((
+                        "metrics".into(),
+                        JsonValue::Arr(metrics.iter().map(|m| JsonValue::Str(m.clone())).collect()),
+                    ));
+                }
                 f
             }
             Reply::ShardInfo { id, info } => {
@@ -972,10 +995,24 @@ impl Reply {
                         .and_then(|n| u32::try_from(n).ok())
                         .ok_or_else(|| format!("hello frame needs u32 \"{key}\""))
                 };
+                let metrics = match doc.get("metrics") {
+                    None | Some(JsonValue::Null) => Vec::new(),
+                    Some(v) => v
+                        .as_arr()
+                        .ok_or("hello \"metrics\" must be an array")?
+                        .iter()
+                        .map(|m| {
+                            m.as_str()
+                                .map(str::to_string)
+                                .ok_or("hello \"metrics\" entries must be strings")
+                        })
+                        .collect::<Result<Vec<_>, _>>()?,
+                };
                 Ok(Reply::Hello {
                     id,
                     major: field("major")?,
                     minor: field("minor")?,
+                    metrics,
                 })
             }
             Some("shard_info") => {
@@ -1230,8 +1267,19 @@ mod tests {
             id: 3,
             major: 1,
             minor: 4,
+            metrics: SUPPORTED_METRICS.iter().map(|m| m.to_string()).collect(),
         };
         assert_eq!(Reply::from_json(&reply.to_json()).unwrap(), reply);
+        // A minor-1 reply (no "metrics" key) decodes as the empty list, and
+        // an empty list encodes without the key — the legacy frame shape.
+        let legacy = Reply::Hello {
+            id: 3,
+            major: 1,
+            minor: 1,
+            metrics: Vec::new(),
+        };
+        assert!(!legacy.to_json().contains("metrics"));
+        assert_eq!(Reply::from_json(&legacy.to_json()).unwrap(), legacy);
     }
 
     #[test]

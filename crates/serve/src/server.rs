@@ -98,6 +98,10 @@ pub struct ServerConfig {
     /// Poll granularity for shutdown checks (reader read timeouts and
     /// worker pop timeouts). Bounds how long shutdown can lag.
     pub poll_interval: Duration,
+    /// Advertise [`SUPPORTED_METRICS`](crate::proto::SUPPORTED_METRICS) on
+    /// the hello reply (default). `false` sends the pre-minor-2 hello
+    /// (no `metrics` key) — kept for tests simulating an old server.
+    pub advertise_metrics: bool,
 }
 
 impl Default for ServerConfig {
@@ -107,6 +111,7 @@ impl Default for ServerConfig {
             workers: 0,
             queue_capacity: 1024,
             poll_interval: Duration::from_millis(20),
+            advertise_metrics: true,
         }
     }
 }
@@ -139,6 +144,7 @@ struct Shared {
     queue: BoundedQueue<Job>,
     metrics: Metrics,
     workers: usize,
+    advertise_metrics: bool,
 }
 
 /// A bound-but-not-yet-serving server. [`Server::serve`] blocks the calling
@@ -202,6 +208,7 @@ impl Server {
                 queue: BoundedQueue::new(config.queue_capacity),
                 metrics: Metrics::new(),
                 workers,
+                advertise_metrics: config.advertise_metrics,
             }),
             poll_interval: config.poll_interval,
         })
@@ -567,12 +574,21 @@ fn handle_frame<R: Role>(text: &str, shared: &Shared, writer: &Arc<Mutex<TcpStre
         }
         Request::Hello { id, major, .. } => {
             if major == PROTO_MAJOR {
+                let metrics = if shared.advertise_metrics {
+                    crate::proto::SUPPORTED_METRICS
+                        .iter()
+                        .map(|m| m.to_string())
+                        .collect()
+                } else {
+                    Vec::new()
+                };
                 send_reply(
                     writer,
                     &Reply::Hello {
                         id,
                         major: PROTO_MAJOR,
                         minor: PROTO_MINOR,
+                        metrics,
                     },
                 );
             } else {

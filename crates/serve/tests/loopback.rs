@@ -18,8 +18,8 @@ use rand_chacha::ChaCha8Rng;
 use std::time::Duration;
 use traj::{Trajectory, TrajectoryStore};
 use trajsearch_core::{
-    BatchOptions, EngineBuilder, IndexLayout, Parallelism, Query, Response, TemporalConstraint,
-    TimeInterval, VerifyMode,
+    BatchOptions, EngineBuilder, IndexLayout, Metric, Parallelism, Query, Response,
+    TemporalConstraint, TimeInterval, VerifyMode,
 };
 use trajsearch_serve::{Client, ClientError, Server, ServerConfig, ServerErrorKind, ServerHandle};
 use wed::models::Lev;
@@ -115,6 +115,7 @@ fn assert_equivalent(got: &Response, want: &Response, ctx: &str) {
     assert_eq!(g.tsubseq_len, w.tsubseq_len, "{ctx}: tsubseq_len");
     assert_eq!(g.fallback, w.fallback, "{ctx}: fallback");
     assert_eq!(g.sw_columns, w.sw_columns, "{ctx}: sw_columns");
+    assert_eq!(g.verify_cost, w.verify_cost, "{ctx}: verify_cost");
     assert_eq!(g.results, w.results, "{ctx}: results");
 }
 
@@ -184,6 +185,56 @@ fn loopback_responses_match_in_process_run_batch_across_layouts() {
             assert_eq!(final_metrics.queue_depth, 0, "drained");
         });
     }
+}
+
+/// Mixed-metric batches over the serve wire: the metric rides each query's
+/// JSON frame (absent for WED), and every served response — `verify_cost`
+/// included — is byte-identical to in-process `run_batch`.
+#[test]
+fn mixed_metric_batch_over_the_wire_matches_in_process() {
+    let store = store(80, 20, 0x5EED);
+    let mut rng = ChaCha8Rng::seed_from_u64(0xD1CE);
+    let workload: Vec<Query> = (0..12)
+        .map(|i| {
+            let q = pattern_from(&store, &mut rng, 4 + i % 3);
+            let metric = match i % 4 {
+                0 => Metric::Wed,
+                1 => Metric::Dtw,
+                2 => Metric::Lcss { eps: 0.0 },
+                _ => Metric::Frechet,
+            };
+            Query::threshold(q, 1.0 + (i % 3) as f64)
+                .metric(metric)
+                .build()
+                .unwrap()
+        })
+        .collect();
+    let engine = EngineBuilder::new(Lev, &store, ALPHABET).build();
+    let want = engine
+        .run_batch(&workload, BatchOptions::with_threads(2))
+        .expect("workload admissible");
+
+    let server = Server::bind(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback");
+    let handle = server.handle();
+    std::thread::scope(|scope| {
+        let guard = ShutdownOnDrop(handle.clone());
+        let serving = scope.spawn(|| server.serve(&engine));
+
+        let mut client = Client::connect(handle.local_addr()).expect("connect");
+        let outcomes = client.query_batch(&workload).expect("transport ok");
+        assert_eq!(outcomes.len(), workload.len());
+        for (i, (got, want)) in outcomes.iter().zip(&want.responses).enumerate() {
+            let got = got.response().expect("metric queries answered cleanly");
+            assert_equivalent(got, want, &format!("mixed-metric query {i}"));
+        }
+
+        drop(guard);
+        serving.join().expect("serve thread").expect("serve ok");
+    });
 }
 
 #[test]

@@ -31,7 +31,7 @@ use trajsearch_core::{
 use trajsearch_serve::{
     Client, ClientError, DegradedInfo, Handled, IndexShardSource, QueryHandler, QueryOutcome,
     Reply, Request, RetryPolicy, Server, ServerConfig, ServerError, ServerErrorKind, ServerHandle,
-    ShardInfo, ShardSource, SpanPage, PROTO_MAJOR, PROTO_MINOR,
+    ShardInfo, ShardSource, SpanPage, PROTO_MAJOR, PROTO_MINOR, SUPPORTED_METRICS,
 };
 use wed::models::Lev;
 use wed::Sym;
@@ -186,8 +186,14 @@ proptest! {
         let mut missing = shards.clone();
         missing.sort_unstable();
         missing.dedup();
+        // Both hello shapes: the legacy empty list (field omitted on the
+        // wire) and an advertised capability list.
+        let metric_lists: [Vec<String>; 2] = [
+            Vec::new(),
+            vec!["wed".to_string(), "dtw".to_string()],
+        ];
         let frames = vec![
-            Reply::Hello { id, major, minor },
+            Reply::Hello { id, major, minor, metrics: metric_lists[(minor % 2) as usize].clone() },
             Reply::ShardInfo {
                 id,
                 info: ShardInfo {
@@ -451,6 +457,50 @@ fn serve_shard_answers_the_posting_source_contract_over_the_wire() {
         drop(guard);
         serving.join().expect("serve thread").expect("serve ok");
     });
+}
+
+/// The capability half of the handshake (protocol minor 2): a server
+/// advertises its metric list on the hello reply; one configured not to
+/// (simulating a pre-metrics build, which never sent the field) yields
+/// empty caps that [`HelloCaps::supports`] reads as WED-only.
+#[test]
+fn hello_advertises_metric_capabilities() {
+    let store = small_store(8, 6);
+    let shard = IndexShard::build(&store, ALPHABET, 0, 1);
+    let source = IndexShardSource::new(&shard, 1);
+
+    for advertise in [true, false] {
+        let server = Server::bind(ServerConfig {
+            advertise_metrics: advertise,
+            ..ServerConfig::default()
+        })
+        .expect("bind shard server");
+        let handle = server.handle();
+        std::thread::scope(|scope| {
+            let guard = ShutdownOnDrop(handle.clone());
+            let serving = scope.spawn(|| server.serve_shard(&source));
+            let mut client = Client::connect(handle.local_addr()).expect("connect");
+
+            let caps = client.hello_caps().expect("hello");
+            assert_eq!((caps.major, caps.minor), (PROTO_MAJOR, PROTO_MINOR));
+            if advertise {
+                assert_eq!(caps.metrics, SUPPORTED_METRICS.map(String::from));
+                for metric in SUPPORTED_METRICS {
+                    assert!(caps.supports(metric), "advertised {metric}");
+                }
+            } else {
+                assert!(caps.metrics.is_empty(), "legacy hello has no list");
+                assert!(caps.supports("wed"), "legacy servers still do WED");
+                assert!(!caps.supports("dtw"), "…and nothing else");
+            }
+            // The tuple-only negotiation entry is caps with the list
+            // dropped — old call sites keep working against both shapes.
+            assert_eq!(client.hello().expect("hello"), (PROTO_MAJOR, PROTO_MINOR));
+
+            drop(guard);
+            serving.join().expect("serve thread").expect("serve ok");
+        });
+    }
 }
 
 #[test]

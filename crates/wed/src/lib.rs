@@ -18,14 +18,21 @@
 //!   substrings.
 //! * [`nonwed`] — DTW, LCSS, LORS and LCRS, the non-WED comparators of the
 //!   effectiveness experiments (§6.2).
+//! * [`metric`] — engine-facing DTW/LCSS/discrete-Fréchet over symbols, with
+//!   the cost model's `sub` as ground distance, plus their `*_scan_all`
+//!   verification primitives.
 
 pub mod cost;
 pub mod dp;
+pub mod metric;
 pub mod models;
 pub mod nonwed;
 pub mod sw;
 
 pub use cost::{CostModel, Sym, WedInstance};
 pub use dp::{initial_column, step_dp, wed, wed_within};
+pub use metric::{
+    dtw_dist, dtw_scan_all, frechet_dist, frechet_scan_all, lcss_dist, lcss_scan_all,
+};
 pub use models::{Edr, Erp, Lev, NetEdr, NetErp, Surs};
 pub use sw::{sw_best, sw_scan_all, SubMatch};

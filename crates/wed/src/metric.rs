@@ -1,0 +1,383 @@
+//! Non-edit subtrajectory metrics grounded in a [`CostModel`].
+//!
+//! The comparators in [`crate::nonwed`] operate on raw point sequences; this
+//! module provides the engine-facing variants that reuse a cost model's
+//! substitution cost `sub(a, b)` as the ground distance between symbols, so
+//! every network-aware model (NetEDR's road distance, SURS's segment
+//! lengths, …) transfers to DTW, LCSS and discrete Fréchet unchanged:
+//!
+//! * **DTW** — the minimum, over monotone couplings of `P` and `Q` matching
+//!   both endpoints, of the *sum* of coupled `sub` costs (no gaps).
+//! * **LCSS(ε)** — `|Q| − L`, where `L` is the longest common subsequence
+//!   under the ε-match predicate `sub(a, b) ≤ ε`; distances are integral.
+//! * **Discrete Fréchet** — the minimum over the same couplings of the
+//!   *maximum* coupled `sub` cost (the bottleneck variant of DTW).
+//!
+//! Each metric ships a whole-sequence distance and a `*_scan_all`
+//! verification primitive mirroring [`crate::sw::sw_scan_all`]: a per-start
+//! DP over the data sequence that reports every substring within a strict
+//! threshold, plus the number of DP rows it evaluated (each `O(|Q|)`) — the
+//! metric-neutral `verify_cost` unit. DTW and Fréchet rows are monotone
+//! non-decreasing in their minimum entry (costs are non-negative and `max`
+//! only grows), so both scans early-terminate once a row's minimum reaches
+//! `tau`; LCSS distances *shrink* as substrings grow, so its scan must run
+//! each start to the end of the sequence.
+
+use crate::cost::{CostModel, Sym};
+use crate::sw::SubMatch;
+
+/// DTW between whole sequences under `m.sub` ground costs. Empty inputs are
+/// at distance `0` from each other and `+∞` from anything non-empty (no
+/// coupling exists).
+pub fn dtw_dist<M: CostModel + ?Sized>(m: &M, a: &[Sym], b: &[Sym]) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return if a.len() == b.len() {
+            0.0
+        } else {
+            f64::INFINITY
+        };
+    }
+    let n = b.len();
+    let mut prev = vec![f64::INFINITY; n + 1];
+    prev[0] = 0.0;
+    for &x in a {
+        let mut cur = vec![f64::INFINITY; n + 1];
+        for j in 1..=n {
+            let reach = prev[j].min(cur[j - 1]).min(prev[j - 1]);
+            cur[j] = m.sub(x, b[j - 1]) + reach;
+        }
+        prev = cur;
+    }
+    prev[n]
+}
+
+/// Discrete Fréchet between whole sequences under `m.sub` ground costs;
+/// empty-input convention as in [`dtw_dist`].
+pub fn frechet_dist<M: CostModel + ?Sized>(m: &M, a: &[Sym], b: &[Sym]) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return if a.len() == b.len() {
+            0.0
+        } else {
+            f64::INFINITY
+        };
+    }
+    let n = b.len();
+    let mut prev = vec![f64::INFINITY; n + 1];
+    prev[0] = 0.0;
+    for &x in a {
+        let mut cur = vec![f64::INFINITY; n + 1];
+        for j in 1..=n {
+            let reach = prev[j].min(cur[j - 1]).min(prev[j - 1]);
+            cur[j] = m.sub(x, b[j - 1]).max(reach);
+        }
+        prev = cur;
+    }
+    prev[n]
+}
+
+/// LCSS distance `|q| − L` where `L` is the longest common subsequence of
+/// `p` and `q` under the ε-match `sub(a, b) ≤ eps`. Bounded by `|q|`; `0`
+/// iff all of `q` matches into `p` in order.
+pub fn lcss_dist<M: CostModel + ?Sized>(m: &M, p: &[Sym], q: &[Sym], eps: f64) -> f64 {
+    let n = q.len();
+    let mut prev = vec![0usize; n + 1];
+    let mut cur = vec![0usize; n + 1];
+    for &x in p {
+        cur[0] = 0;
+        for j in 0..n {
+            cur[j + 1] = if m.sub(x, q[j]) <= eps {
+                prev[j] + 1
+            } else {
+                prev[j + 1].max(cur[j])
+            };
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    (n - prev[n]) as f64
+}
+
+/// All non-empty substrings `p[s..=t]` with `dtw(p[s..=t], q) < tau`, plus
+/// the number of DP rows evaluated. Per-start DP with early termination:
+/// the row minimum never decreases as the substring grows, so once it
+/// reaches `tau` no extension of this start can match.
+pub fn dtw_scan_all<M: CostModel + ?Sized>(
+    m: &M,
+    p: &[Sym],
+    q: &[Sym],
+    tau: f64,
+) -> (Vec<SubMatch>, u64) {
+    scan_all_sum_or_max(m, p, q, tau, false)
+}
+
+/// All non-empty substrings `p[s..=t]` with discrete Fréchet `< tau`, plus
+/// the number of DP rows evaluated; early termination as in
+/// [`dtw_scan_all`] (the bottleneck cost also never decreases).
+pub fn frechet_scan_all<M: CostModel + ?Sized>(
+    m: &M,
+    p: &[Sym],
+    q: &[Sym],
+    tau: f64,
+) -> (Vec<SubMatch>, u64) {
+    scan_all_sum_or_max(m, p, q, tau, true)
+}
+
+/// Shared per-start DP for DTW (`bottleneck = false`: costs add) and
+/// discrete Fréchet (`bottleneck = true`: costs max). Row `t` holds
+/// `cur[j] = d(p[s..=t], q[..=j])`; the first row of each start couples the
+/// single symbol `p[s]` against every query prefix.
+fn scan_all_sum_or_max<M: CostModel + ?Sized>(
+    m: &M,
+    p: &[Sym],
+    q: &[Sym],
+    tau: f64,
+    bottleneck: bool,
+) -> (Vec<SubMatch>, u64) {
+    assert!(!q.is_empty(), "query must be non-empty");
+    let n = q.len();
+    let mut out = Vec::new();
+    let mut rows = 0u64;
+    let mut prev = vec![0.0f64; n];
+    let mut cur = vec![0.0f64; n];
+    for s in 0..p.len() {
+        for t in s..p.len() {
+            rows += 1;
+            let sym = p[t];
+            if t == s {
+                cur[0] = m.sub(sym, q[0]);
+                for j in 1..n {
+                    let c = m.sub(sym, q[j]);
+                    cur[j] = if bottleneck {
+                        c.max(cur[j - 1])
+                    } else {
+                        c + cur[j - 1]
+                    };
+                }
+            } else {
+                let c0 = m.sub(sym, q[0]);
+                cur[0] = if bottleneck {
+                    c0.max(prev[0])
+                } else {
+                    c0 + prev[0]
+                };
+                for j in 1..n {
+                    let reach = prev[j].min(cur[j - 1]).min(prev[j - 1]);
+                    let c = m.sub(sym, q[j]);
+                    cur[j] = if bottleneck { c.max(reach) } else { c + reach };
+                }
+            }
+            let d = cur[n - 1];
+            if d < tau {
+                out.push(SubMatch {
+                    start: s,
+                    end: t,
+                    dist: d,
+                });
+            }
+            let min = cur.iter().cloned().fold(f64::INFINITY, f64::min);
+            if min >= tau {
+                break;
+            }
+            std::mem::swap(&mut prev, &mut cur);
+        }
+    }
+    (out, rows)
+}
+
+/// All non-empty substrings `p[s..=t]` with `lcss(p[s..=t], q, eps) < tau`,
+/// plus the number of DP rows evaluated. No early termination is possible:
+/// growing a substring can only match more of `q`, so the distance is
+/// non-increasing in `t` and every start scans to the end of `p`.
+pub fn lcss_scan_all<M: CostModel + ?Sized>(
+    m: &M,
+    p: &[Sym],
+    q: &[Sym],
+    tau: f64,
+    eps: f64,
+) -> (Vec<SubMatch>, u64) {
+    assert!(!q.is_empty(), "query must be non-empty");
+    let n = q.len();
+    let mut out = Vec::new();
+    let mut rows = 0u64;
+    let mut prev = vec![0usize; n + 1];
+    let mut cur = vec![0usize; n + 1];
+    for s in 0..p.len() {
+        prev.iter_mut().for_each(|v| *v = 0);
+        for t in s..p.len() {
+            rows += 1;
+            cur[0] = 0;
+            for j in 0..n {
+                cur[j + 1] = if m.sub(p[t], q[j]) <= eps {
+                    prev[j] + 1
+                } else {
+                    prev[j + 1].max(cur[j])
+                };
+            }
+            let d = (n - cur[n]) as f64;
+            if d < tau {
+                out.push(SubMatch {
+                    start: s,
+                    end: t,
+                    dist: d,
+                });
+            }
+            std::mem::swap(&mut prev, &mut cur);
+        }
+    }
+    (out, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::Lev;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_seq(rng: &mut ChaCha8Rng, max_len: usize, alphabet: u32) -> Vec<Sym> {
+        (0..rng.gen_range(1..max_len))
+            .map(|_| rng.gen_range(0..alphabet))
+            .collect()
+    }
+
+    #[test]
+    fn dtw_of_identical_sequences_is_zero() {
+        assert_eq!(dtw_dist(&Lev, &[1, 2, 3], &[1, 2, 3]), 0.0);
+        // Repeats couple for free under DTW.
+        assert_eq!(dtw_dist(&Lev, &[1, 1, 2, 3, 3], &[1, 2, 3]), 0.0);
+    }
+
+    #[test]
+    fn frechet_is_a_bottleneck() {
+        // Two mismatched couplings under Lev: DTW sums them, Fréchet takes
+        // the worst single one.
+        let p = [1, 9, 3, 9];
+        let q = [1, 2, 3, 4];
+        assert_eq!(dtw_dist(&Lev, &p, &q), 2.0);
+        assert_eq!(frechet_dist(&Lev, &p, &q), 1.0);
+    }
+
+    #[test]
+    fn empty_inputs_follow_the_convention() {
+        assert_eq!(dtw_dist(&Lev, &[], &[]), 0.0);
+        assert_eq!(dtw_dist(&Lev, &[1], &[]), f64::INFINITY);
+        assert_eq!(frechet_dist(&Lev, &[], &[1]), f64::INFINITY);
+        assert_eq!(lcss_dist(&Lev, &[], &[1, 2], 0.5), 2.0);
+    }
+
+    #[test]
+    fn lcss_under_lev_is_classic_lcs() {
+        // sub ∈ {0,1} under Lev, so eps = 0.5 means exact equality.
+        let p = [1, 3, 2, 4, 3];
+        let q = [1, 2, 3];
+        // LCS(p, q) = [1, 2, 3] (positions 0, 2, 4) → distance 0.
+        assert_eq!(lcss_dist(&Lev, &p, &q, 0.5), 0.0);
+        assert_eq!(lcss_dist(&Lev, &[5, 6], &q, 0.5), 3.0);
+        // eps = 1.5 matches everything: distance 0 whenever |p| >= |q|.
+        assert_eq!(lcss_dist(&Lev, &[5, 6, 7], &q, 1.5), 0.0);
+    }
+
+    #[test]
+    fn dtw_scan_all_equals_brute_force() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        for _ in 0..40 {
+            let p = random_seq(&mut rng, 16, 5);
+            let q = random_seq(&mut rng, 7, 5);
+            let tau = rng.gen_range(0.5..4.0);
+            let (got, rows) = dtw_scan_all(&Lev, &p, &q, tau);
+            assert!(rows >= 1);
+            let mut brute = Vec::new();
+            for s in 0..p.len() {
+                for t in s..p.len() {
+                    let d = dtw_dist(&Lev, &p[s..=t], &q);
+                    if d < tau {
+                        brute.push((s, t, d));
+                    }
+                }
+            }
+            assert_eq!(got.len(), brute.len(), "p={p:?} q={q:?} tau={tau}");
+            for (a, &(s, t, d)) in got.iter().zip(&brute) {
+                assert_eq!((a.start, a.end), (s, t));
+                assert!((a.dist - d).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn frechet_scan_all_equals_brute_force() {
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        for _ in 0..40 {
+            let p = random_seq(&mut rng, 16, 5);
+            let q = random_seq(&mut rng, 7, 5);
+            let tau = rng.gen_range(0.3..1.6);
+            let (got, _) = frechet_scan_all(&Lev, &p, &q, tau);
+            let mut brute = Vec::new();
+            for s in 0..p.len() {
+                for t in s..p.len() {
+                    let d = frechet_dist(&Lev, &p[s..=t], &q);
+                    if d < tau {
+                        brute.push((s, t, d));
+                    }
+                }
+            }
+            assert_eq!(got.len(), brute.len(), "p={p:?} q={q:?} tau={tau}");
+            for (a, &(s, t, d)) in got.iter().zip(&brute) {
+                assert_eq!((a.start, a.end), (s, t));
+                assert!((a.dist - d).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn lcss_scan_all_equals_brute_force() {
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        for _ in 0..40 {
+            let p = random_seq(&mut rng, 14, 4);
+            let q = random_seq(&mut rng, 6, 4);
+            let tau = rng.gen_range(0.5..3.5);
+            let (got, rows) = lcss_scan_all(&Lev, &p, &q, tau, 0.5);
+            // No early termination: every (s, t) pair is one row.
+            let expect_rows = (p.len() * (p.len() + 1) / 2) as u64;
+            assert_eq!(rows, expect_rows);
+            let mut brute = Vec::new();
+            for s in 0..p.len() {
+                for t in s..p.len() {
+                    let d = lcss_dist(&Lev, &p[s..=t], &q, 0.5);
+                    if d < tau {
+                        brute.push((s, t, d));
+                    }
+                }
+            }
+            assert_eq!(got.len(), brute.len(), "p={p:?} q={q:?} tau={tau}");
+            for (a, &(s, t, d)) in got.iter().zip(&brute) {
+                assert_eq!((a.start, a.end), (s, t));
+                assert_eq!(a.dist, d);
+            }
+        }
+    }
+
+    #[test]
+    fn scan_all_early_termination_saves_rows() {
+        // A long sequence sharing nothing with the query: each start should
+        // stop after one row, not scan to the end.
+        let p = vec![9u32; 50];
+        let q = [1, 2];
+        let (got, rows) = dtw_scan_all(&Lev, &p, &q, 1.0);
+        assert!(got.is_empty());
+        assert_eq!(rows, 50, "one row per start, then the bound fires");
+        let (got_f, rows_f) = frechet_scan_all(&Lev, &p, &q, 0.5);
+        assert!(got_f.is_empty());
+        assert_eq!(rows_f, 50);
+    }
+
+    #[test]
+    fn strict_threshold_semantics() {
+        // Distance exactly tau is not a match, mirroring Definition 2.
+        let p = [1, 9, 3];
+        let q = [1, 2, 3];
+        assert_eq!(dtw_dist(&Lev, &p, &q), 1.0);
+        let (at, _) = dtw_scan_all(&Lev, &p, &q, 1.0);
+        assert!(at.iter().all(|m| (m.start, m.end) != (0, 2)));
+        let (above, _) = dtw_scan_all(&Lev, &p, &q, 1.0 + 1e-9);
+        assert!(above.iter().any(|m| (m.start, m.end) == (0, 2)));
+    }
+}

@@ -36,17 +36,19 @@ pub use wed;
 
 /// Convenience re-exports of the types most programs start from: build an
 /// engine with [`EngineBuilder`](trajsearch_core::EngineBuilder), describe
-/// the request with [`Query`](trajsearch_core::Query), answer it with
+/// the request with [`Query`](trajsearch_core::Query) (optionally picking
+/// a similarity [`Metric`](trajsearch_core::Metric)), answer it with
 /// [`SearchEngine::run`](trajsearch_core::SearchEngine::run) /
 /// [`run_batch`](trajsearch_core::SearchEngine::run_batch).
 pub mod prelude {
     pub use rnet::{CityParams, NetworkKind, RoadNetwork};
     pub use traj::{Trajectory, TrajectoryStore, TripConfig};
     pub use trajsearch_core::{
-        AnyIndex, BatchOptions, BatchResponse, Deadline, EngineBuilder, IndexLayout, IndexShard,
-        InvertedIndex, Objective, Parallelism, PostingSource, Query, QueryBuilder, QueryError,
-        RemoteSpec, Response, SearchEngine, ShardedIndex, TemporalConstraint, TimeInterval,
-        VerifyMode,
+        AnyIndex, BatchOptions, BatchResponse, Deadline, DtwVerifier, EngineBuilder,
+        FrechetVerifier, IndexLayout, IndexShard, InvertedIndex, LcssVerifier, Metric, Objective,
+        Parallelism, PostingSource, Query, QueryBuilder, QueryError, RemoteSpec, Response,
+        SearchEngine, ShardedIndex, TemporalConstraint, TimeInterval, Verifier, VerifyMode,
+        WedVerifier,
     };
     pub use trajsearch_distrib::{Coordinator, RemoteShards, ShardEndpoint};
     pub use trajsearch_serve::{
