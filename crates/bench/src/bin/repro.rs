@@ -35,11 +35,19 @@
 //!   distrib  the same style of workload through a coordinator over 1/2/3
 //!               loopback shard servers (trajsearch-distrib) vs in-process
 //!               run_batch (also writes BENCH_distrib.json)
+//!   verify-cache  repeated/overlapping Trie-mode workloads with private
+//!               vs shared verification tries at 1/2/4 batch threads,
+//!               shared runs self-checked match-identical (also writes
+//!               BENCH_verify_cache.json)
 //!   all      everything above
 //! ```
 //!
 //! Defaults are laptop-scale; `--scale 1.0` roughly doubles the default
 //! workload, `--scale 0.05` matches the criterion benches.
+//! `--fail-on-regress PCT` arms the cross-run trend gate: deterministic
+//! counter columns moving more than PCT percent in the worsening direction
+//! against the previous `BENCH_history.jsonl` entry fail the run instead
+//! of printing an advisory delta.
 
 use trajsearch_bench::data::{FuncKind, Scale};
 use trajsearch_bench::exp::*;
@@ -52,6 +60,10 @@ struct Args {
     /// `throughput` only: panic when the best multi-thread speedup falls
     /// below this (skipped on hosts with < 4 cpus).
     min_speedup: Option<f64>,
+    /// Cross-run trend gate: fail when a deterministic counter column of
+    /// any written `BENCH_*.json` worsens by more than this percentage vs
+    /// the previous `BENCH_history.jsonl` entry.
+    fail_on_regress: Option<f64>,
 }
 
 fn parse_args() -> Args {
@@ -60,6 +72,7 @@ fn parse_args() -> Args {
         scale: Scale::default_repro(),
         queries: 20,
         min_speedup: None,
+        fail_on_regress: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -75,6 +88,11 @@ fn parse_args() -> Args {
             "--min-speedup" => {
                 let v = it.next().expect("--min-speedup needs a value");
                 args.min_speedup = Some(v.parse().expect("min-speedup must be a number"));
+            }
+            "--fail-on-regress" => {
+                let v = it.next().expect("--fail-on-regress needs a value");
+                args.fail_on_regress =
+                    Some(v.parse().expect("fail-on-regress must be a percentage"));
             }
             "--help" | "-h" => {
                 print_usage();
@@ -93,7 +111,7 @@ fn parse_args() -> Args {
 
 fn print_usage() {
     eprintln!(
-        "usage: repro <table2|fig4|table3|fig5|fig6|fig7|fig8|fig9|fig10|table4|table5|table6|fig11|fig12|fig13|throughput|index-build|api|metrics|serve|distrib|all> [--scale S] [--queries N] [--min-speedup X]"
+        "usage: repro <table2|fig4|table3|fig5|fig6|fig7|fig8|fig9|fig10|table4|table5|table6|fig11|fig12|fig13|throughput|index-build|api|metrics|serve|distrib|verify-cache|all> [--scale S] [--queries N] [--min-speedup X] [--fail-on-regress PCT]"
     );
 }
 
@@ -109,6 +127,9 @@ fn main() {
     let nq = args.queries;
     let exp = args.experiment.as_str();
     let all = exp == "all";
+    if let Some(pct) = args.fail_on_regress {
+        set_history_regression_threshold(pct);
+    }
 
     // The Figure 6 method set (Plain-SW included; the paper restricts it to
     // fewer queries for the same cost reasons — use --queries to match).
@@ -327,6 +348,22 @@ fn main() {
         distrib::write_json(&rows, path).unwrap_or_else(|e| panic!("could not write {path}: {e}"));
         eprintln!("wrote {path}");
     }
+    if all || exp == "verify-cache" {
+        let rows = verify_cache::run(
+            "beijing",
+            FuncKind::Edr,
+            &[1, 2, 4],
+            60,
+            nq.max(8),
+            0.1,
+            scale,
+        );
+        verify_cache::print(&rows);
+        let path = "BENCH_verify_cache.json";
+        verify_cache::write_json(&rows, path)
+            .unwrap_or_else(|e| panic!("could not write {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
     if !all
         && ![
             "table2",
@@ -350,6 +387,7 @@ fn main() {
             "metrics",
             "serve",
             "distrib",
+            "verify-cache",
         ]
         .contains(&exp)
     {

@@ -17,6 +17,60 @@
 //! shapes are recorded in `EXPERIMENTS.md`.
 
 use std::io::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// `repro --fail-on-regress PCT` threshold, stored as f64 bits
+/// (`u64::MAX` = unset). See [`set_history_regression_threshold`].
+static REGRESS_THRESHOLD_BITS: AtomicU64 = AtomicU64::new(u64::MAX);
+
+/// Arms the cross-run trend gate: after this call, any experiment whose
+/// **deterministic counter** columns move by more than `pct` percent in the
+/// worsening direction against the previous `BENCH_history.jsonl` entry
+/// panics instead of merely printing a delta. Timing columns (`*_ms`,
+/// `qps`, ...) stay advisory — they jitter with the host — so the gate is
+/// only as strong as the experiment's counter columns, which is exactly
+/// what `verify_cache` and the pruning-rate dumps emit.
+pub fn set_history_regression_threshold(pct: f64) {
+    REGRESS_THRESHOLD_BITS.store(pct.to_bits(), Ordering::Relaxed);
+}
+
+fn history_regression_threshold() -> Option<f64> {
+    match REGRESS_THRESHOLD_BITS.load(Ordering::Relaxed) {
+        u64::MAX => None,
+        bits => Some(f64::from_bits(bits)),
+    }
+}
+
+/// Counter columns the trend gate may fail on: deterministic engine
+/// counters, never wall-clock quantities.
+fn gated_counter(key: &str) -> bool {
+    matches!(
+        key,
+        "stepdp_calls"
+            | "columns_passed"
+            | "sw_columns"
+            | "trie_cache_hits"
+            | "trie_cache_misses"
+            | "verify_cost"
+            | "candidates"
+            | "results"
+            | "cmr"
+            | "upr"
+            | "tur"
+            | "fallbacks"
+    )
+}
+
+/// Is a `pct` move on `key` a change for the worse? Hit counts shrink,
+/// cost counters grow; exact result/candidate counts should not move at
+/// all, so either direction gates.
+fn is_worsening(key: &str, pct: f64) -> bool {
+    match key {
+        "trie_cache_hits" => pct < 0.0,
+        "candidates" | "results" => true,
+        _ => pct > 0.0,
+    }
+}
 
 /// Host core count, recorded in every `BENCH_*.json` dump so a 1-core CI
 /// runner's flat speedup curve is not mistaken for a regression.
@@ -35,8 +89,11 @@ pub(crate) fn host_cpus() -> usize {
 /// `BENCH_history.jsonl` next to `path` and prints a delta against the
 /// previous entry of the same experiment when one exists, so regressions
 /// are visible *across* runs, not just within one (ROADMAP "throughput
-/// trend tracking"). History failures are warnings, never errors — trend
-/// tracking must not fail a benchmark run.
+/// trend tracking"). History I/O failures are warnings, never errors —
+/// trend tracking must not fail a benchmark run. Counter *regressions*
+/// are a different matter: when `repro --fail-on-regress` arms the gate
+/// (see [`set_history_regression_threshold`]), a worsening move beyond the
+/// threshold on a deterministic counter column fails the run.
 pub(crate) fn write_bench_json(
     path: &str,
     experiment: &str,
@@ -107,8 +164,66 @@ fn track_history(
 
     if let Some(previous) = previous {
         print_history_delta(experiment, &previous, rows);
+        gate_history_regressions(experiment, &previous, rows);
     }
     Ok(())
+}
+
+/// The armed half of the trend tracker: with a threshold set (see
+/// [`set_history_regression_threshold`]), a worsening move beyond it on any
+/// gated counter column fails the run. Mixed-host comparisons are skipped —
+/// a different `host_cpus` changes thread-sweep rows legitimately.
+fn gate_history_regressions(
+    experiment: &str,
+    previous: &trajsearch_core::json::JsonValue,
+    rows: &[String],
+) {
+    use trajsearch_core::json::JsonValue;
+
+    let Some(threshold) = history_regression_threshold() else {
+        return;
+    };
+    if previous.get("host_cpus").and_then(|v| v.as_u64()) != Some(host_cpus() as u64) {
+        eprintln!(
+            "trend gate {experiment}: previous entry is from a different host shape; skipping"
+        );
+        return;
+    }
+    let empty = Vec::new();
+    let prev_rows = previous
+        .get("rows")
+        .and_then(|v| v.as_arr())
+        .unwrap_or(&empty);
+    let mut violations: Vec<String> = Vec::new();
+    for (i, row) in rows.iter().enumerate() {
+        let (Ok(JsonValue::Obj(pairs)), Some(prev_row)) = (JsonValue::parse(row), prev_rows.get(i))
+        else {
+            continue;
+        };
+        for (key, value) in &pairs {
+            if !gated_counter(key) {
+                continue;
+            }
+            let (Some(new), Some(old)) =
+                (value.as_f64(), prev_row.get(key).and_then(|v| v.as_f64()))
+            else {
+                continue;
+            };
+            if old == 0.0 || new == old {
+                continue;
+            }
+            let pct = (new - old) / old * 100.0;
+            if pct.abs() >= threshold && is_worsening(key, pct) {
+                violations.push(format!("row {i} {key}: {old:.3} -> {new:.3} ({pct:+.1}%)"));
+            }
+        }
+    }
+    if !violations.is_empty() {
+        panic!(
+            "trend gate {experiment}: counter regression beyond {threshold}% vs previous run:\n  {}",
+            violations.join("\n  ")
+        );
+    }
 }
 
 /// Prints the per-row numeric deltas (≥ 1% change) against the previous
@@ -185,3 +300,4 @@ pub mod temporal;
 pub mod throughput;
 pub mod travel_time;
 pub mod verification;
+pub mod verify_cache;

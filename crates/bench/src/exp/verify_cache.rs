@@ -1,0 +1,268 @@
+//! Shared-trie verification cache on repeated and overlapping workloads
+//! (`repro verify-cache`).
+//!
+//! Measures the cache hierarchy the verifier's [`TrieCache`] added: the
+//! same Trie-mode WED workload runs through `run_batch` with private
+//! per-query tries and again with [`BatchOptions::share_tries`] on, at
+//! several worker counts. Two workload shapes are swept: **repeated**
+//! (identical patterns, the serving hot-key case) and **overlapping**
+//! (same patterns at different thresholds, so queries share anchor
+//! suffixes without being identical). Every shared run is self-checked
+//! match-for-match against its private twin before a row is recorded —
+//! the speedup is only worth reporting if the results are byte-identical.
+//!
+//! The headline column is `stepdp_calls` (fresh DP columns, the CMR
+//! numerator): sharing must cut it on repeated patterns while
+//! `trie_cache_hits` absorbs the difference. The dump
+//! (`BENCH_verify_cache.json`) uses the shared `BENCH_*.json` envelope,
+//! and its counter columns are deterministic — exactly what the history
+//! trend gate (`repro --fail-on-regress`) can hold across runs.
+//!
+//! [`TrieCache`]: trajsearch_core::TrieCache
+//! [`BatchOptions::share_tries`]: trajsearch_core::BatchOptions::share_tries
+
+use super::{host_cpus, write_bench_json};
+use crate::data::{Dataset, FuncKind, Scale};
+use crate::table::{fmt_ms, print_table};
+use trajsearch_core::batch::BatchOptions;
+use trajsearch_core::{BatchResponse, EngineBuilder, Query, VerifyMode};
+
+/// One measured point: one workload shape × sharing setting × thread count.
+#[derive(Debug, Clone)]
+pub struct VerifyCacheRow {
+    pub dataset: String,
+    pub func: &'static str,
+    /// `"repeated"` or `"overlapping"`.
+    pub workload: &'static str,
+    /// `"private"` or `"shared"`.
+    pub sharing: &'static str,
+    pub threads: usize,
+    pub queries: usize,
+    pub wall_ms: f64,
+    pub qps: f64,
+    /// Fresh DP columns over the whole batch (CMR numerator).
+    pub stepdp_calls: u64,
+    /// Trie columns visited over the whole batch (CMR denominator).
+    pub columns_passed: u64,
+    /// Shared-trie acquisitions answered by a warm cache entry.
+    pub cache_hits: u64,
+    /// Shared-trie acquisitions that had to build the entry.
+    pub cache_misses: u64,
+    /// Batch-level cache miss rate `stepdp_calls / columns_passed`.
+    pub cmr: f64,
+    pub results: usize,
+}
+
+/// Runs both workload shapes with sharing off and on at each thread count,
+/// asserting the shared runs are match-identical to the private ones.
+pub fn run(
+    which: &str,
+    func: FuncKind,
+    threads_sweep: &[usize],
+    qlen: usize,
+    nqueries: usize,
+    tau_ratio: f64,
+    scale: Scale,
+) -> Vec<VerifyCacheRow> {
+    let d = Dataset::load(which, scale);
+    let model = d.model(func);
+    let (store, alphabet) = d.store_for(func);
+    let engine = EngineBuilder::new(&*model, store, alphabet).build();
+
+    // A handful of distinct patterns; the workloads below stretch them to
+    // ~nqueries queries each.
+    let distinct = (nqueries / 4).max(2);
+    let patterns = d.sample_queries(func, qlen, distinct, 31);
+    let query = |q: &Vec<u32>, tau: f64| {
+        Query::threshold(q.clone(), tau)
+            .verify(VerifyMode::Trie)
+            .build()
+            .expect("workload queries are valid")
+    };
+
+    // Repeated: each pattern issued 4 times at its own tau — the serving
+    // hot-key case where the batch cache pays off maximally.
+    let repeated: Vec<Query> = patterns
+        .iter()
+        .flat_map(|q| {
+            let tau = d.tau_for(&*model, q, tau_ratio);
+            (0..4).map(move |_| (q, tau))
+        })
+        .map(|(q, tau)| query(q, tau))
+        .collect();
+    // Overlapping: the same pattern at three thresholds — distinct queries
+    // whose anchor suffixes (the cache key) still coincide.
+    let overlapping: Vec<Query> = patterns
+        .iter()
+        .flat_map(|q| {
+            let tau = d.tau_for(&*model, q, tau_ratio);
+            [0.8, 1.0, 1.2].map(move |f| (q, tau * f))
+        })
+        .map(|(q, tau)| query(q, tau))
+        .collect();
+
+    let mut rows = Vec::new();
+    for (workload, queries) in [("repeated", &repeated), ("overlapping", &overlapping)] {
+        for &threads in threads_sweep {
+            let private = engine
+                .run_batch(queries, BatchOptions::with_threads(threads))
+                .expect("workload admitted");
+            let shared = engine
+                .run_batch(
+                    queries,
+                    BatchOptions::with_threads(threads).share_tries(true),
+                )
+                .expect("workload admitted");
+            for (i, (s, p)) in shared.responses.iter().zip(&private.responses).enumerate() {
+                assert_eq!(
+                    s.matches, p.matches,
+                    "shared-cache batch diverged from private tries on query {i} \
+                     ({workload}, {threads} threads)"
+                );
+            }
+            for (sharing, out) in [("private", &private), ("shared", &shared)] {
+                rows.push(row(&d, func, workload, sharing, out));
+            }
+        }
+    }
+    rows
+}
+
+fn row(
+    d: &Dataset,
+    func: FuncKind,
+    workload: &'static str,
+    sharing: &'static str,
+    out: &BatchResponse,
+) -> VerifyCacheRow {
+    let m = &out.stats.merged;
+    VerifyCacheRow {
+        dataset: d.name.to_string(),
+        func: func.name(),
+        workload,
+        sharing,
+        threads: out.stats.threads,
+        queries: out.stats.queries,
+        wall_ms: out.stats.wall_time.as_secs_f64() * 1e3,
+        qps: out.stats.queries_per_sec(),
+        stepdp_calls: m.stepdp_calls,
+        columns_passed: m.columns_passed,
+        cache_hits: m.trie_cache_hits,
+        cache_misses: m.trie_cache_misses,
+        cmr: m.cmr(),
+        results: m.results,
+    }
+}
+
+pub fn print(rows: &[VerifyCacheRow]) {
+    if let Some(r) = rows.first() {
+        println!(
+            "\nShared-trie verification cache: {} ({}, {} host cpus); each shared \
+             run is asserted match-identical to its private twin",
+            r.dataset,
+            r.func,
+            host_cpus()
+        );
+    }
+    print_table(
+        &[
+            "Workload", "Sharing", "Threads", "Queries", "Wall ms", "q/s", "StepDP", "Columns",
+            "Hits", "Misses", "CMR", "Results",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.workload.to_string(),
+                    r.sharing.to_string(),
+                    r.threads.to_string(),
+                    r.queries.to_string(),
+                    fmt_ms(r.wall_ms),
+                    format!("{:.1}", r.qps),
+                    r.stepdp_calls.to_string(),
+                    r.columns_passed.to_string(),
+                    r.cache_hits.to_string(),
+                    r.cache_misses.to_string(),
+                    format!("{:.3}", r.cmr),
+                    r.results.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}
+
+/// Writes the rows in the shared `BENCH_*.json` envelope.
+pub fn write_json(rows: &[VerifyCacheRow], path: &str) -> std::io::Result<()> {
+    let rendered: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"dataset\": \"{}\", \"func\": \"{}\", \"workload\": \"{}\", \
+                 \"sharing\": \"{}\", \"threads\": {}, \"queries\": {}, \
+                 \"wall_ms\": {:.3}, \"qps\": {:.3}, \"stepdp_calls\": {}, \
+                 \"columns_passed\": {}, \"trie_cache_hits\": {}, \
+                 \"trie_cache_misses\": {}, \"cmr\": {:.4}, \"results\": {}}}",
+                r.dataset,
+                r.func,
+                r.workload,
+                r.sharing,
+                r.threads,
+                r.queries,
+                r.wall_ms,
+                r.qps,
+                r.stepdp_calls,
+                r.columns_passed,
+                r.cache_hits,
+                r.cache_misses,
+                r.cmr,
+                r.results
+            )
+        })
+        .collect();
+    write_bench_json(path, "verify_cache", "stepdp_calls", &rendered)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sharing_cuts_fresh_columns_on_repeated_patterns() {
+        let rows = run("beijing", FuncKind::Lev, &[1, 2], 8, 8, 0.2, Scale(0.01));
+        // 2 workloads × 2 thread counts × {private, shared}.
+        assert_eq!(rows.len(), 8);
+        for pair in rows.chunks(2) {
+            let (private, shared) = (&pair[0], &pair[1]);
+            assert_eq!(private.sharing, "private");
+            assert_eq!(shared.sharing, "shared");
+            assert_eq!(private.results, shared.results, "self-check must hold");
+            assert_eq!(private.cache_hits, 0);
+            assert_eq!(private.cache_misses, 0);
+            if private.stepdp_calls > 0 {
+                assert!(
+                    shared.stepdp_calls < private.stepdp_calls,
+                    "{} at {} threads: {} !< {}",
+                    shared.workload,
+                    shared.threads,
+                    shared.stepdp_calls,
+                    private.stepdp_calls
+                );
+                assert!(shared.cache_hits > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn json_dump_uses_shared_envelope() {
+        let rows = run("beijing", FuncKind::Lev, &[1], 8, 4, 0.2, Scale(0.01));
+        let path = std::env::temp_dir().join("trajsearch_verify_cache_test.json");
+        let path = path.to_str().unwrap();
+        write_json(&rows, path).unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        std::fs::remove_file(path).ok();
+        assert!(text.contains("\"experiment\": \"verify_cache\""));
+        assert!(text.contains("\"sharing\": \"shared\""));
+        assert!(text.contains("\"trie_cache_hits\""));
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
+    }
+}

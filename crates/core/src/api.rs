@@ -21,6 +21,7 @@ use crate::search::{SearchEngine, SearchOutcome};
 use crate::sharded::ShardedIndex;
 use crate::stats::SearchStats;
 use crate::topk::TopKEntry;
+use crate::verify::TrieCache;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 use traj::{TrajId, TrajectoryStore};
@@ -348,6 +349,14 @@ impl Response {
             ),
             ("stepdp_calls".into(), JsonValue::num_u64(s.stepdp_calls)),
             ("verify_cost".into(), JsonValue::num_u64(s.verify_cost)),
+            (
+                "trie_cache_hits".into(),
+                JsonValue::num_u64(s.trie_cache_hits),
+            ),
+            (
+                "trie_cache_misses".into(),
+                JsonValue::num_u64(s.trie_cache_misses),
+            ),
             ("results".into(), JsonValue::num_usize(s.results)),
         ]);
         JsonValue::Obj(vec![("matches".into(), matches), ("stats".into(), stats)])
@@ -410,14 +419,12 @@ impl Response {
             sw_columns: count64("sw_columns")?,
             columns_passed: count64("columns_passed")?,
             stepdp_calls: count64("stepdp_calls")?,
-            // Absent on pre-metric wire responses: decode as 0, not an
-            // error, so a new client can front an old server.
-            verify_cost: match s.get("verify_cost") {
-                None | Some(JsonValue::Null) => 0,
-                Some(v) => v
-                    .as_u64()
-                    .ok_or_else(|| parse("stats field \"verify_cost\" must be an integer"))?,
-            },
+            // Absent on older wire responses: decode as 0, not an error, so
+            // a new client can front an old server. (`verify_cost` predates
+            // the trie-cache counters but shares the same rule.)
+            verify_cost: lenient64(s, "verify_cost", &parse)?,
+            trie_cache_hits: lenient64(s, "trie_cache_hits", &parse)?,
+            trie_cache_misses: lenient64(s, "trie_cache_misses", &parse)?,
             results: count("results")?,
         };
         Ok(Response { matches, stats })
@@ -426,6 +433,21 @@ impl Response {
 
 fn nanos(d: Duration) -> JsonValue {
     JsonValue::num_u64(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+}
+
+/// Decodes a u64 stats field that absent (or `null`) on older wire peers:
+/// missing means 0, present-but-not-an-integer is still a parse error.
+fn lenient64(
+    s: &JsonValue,
+    key: &str,
+    parse: &impl Fn(&str) -> QueryError,
+) -> Result<u64, QueryError> {
+    match s.get(key) {
+        None | Some(JsonValue::Null) => Ok(0),
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| parse(&format!("stats field \"{key}\" must be an integer"))),
+    }
 }
 
 /// A batch answer: per-query responses in workload order plus the
@@ -478,14 +500,17 @@ impl<'a, M: WedInstance + Sync, I: PostingSource + Sync> SearchEngine<'a, M, I> 
     ) -> Result<Response, QueryError> {
         self.admit(query)?;
         deadline.check()?;
-        self.run_admitted(query, deadline)
+        self.run_admitted(query, deadline, None)
     }
 
     /// Post-admission execution, shared by `run` and the batch workers.
+    /// `cache` is the batch-level shared [`TrieCache`]
+    /// ([`BatchOptions::share_tries`]); `run` always passes `None`.
     pub(crate) fn run_admitted(
         &self,
         query: &Query,
         deadline: Deadline,
+        cache: Option<&TrieCache>,
     ) -> Result<Response, QueryError> {
         let opts = query.search_options();
         match query.objective() {
@@ -496,6 +521,7 @@ impl<'a, M: WedInstance + Sync, I: PostingSource + Sync> SearchEngine<'a, M, I> 
                     opts,
                     query.parallelism(),
                     deadline,
+                    cache,
                 )?;
                 Ok(Response {
                     matches: out.matches,
@@ -516,6 +542,7 @@ impl<'a, M: WedInstance + Sync, I: PostingSource + Sync> SearchEngine<'a, M, I> 
                     opts,
                     query.parallelism(),
                     deadline,
+                    cache,
                 )?;
                 Ok(Response { matches, stats })
             }
@@ -529,13 +556,14 @@ impl<'a, M: WedInstance + Sync, I: PostingSource + Sync> SearchEngine<'a, M, I> 
         opts: crate::search::SearchOptions,
         parallelism: Parallelism,
         deadline: Deadline,
+        cache: Option<&TrieCache>,
     ) -> Result<SearchOutcome, QueryError> {
         match parallelism {
             Parallelism::Sequential | Parallelism::InQuery(1) => {
-                self.search_opts_impl(q, tau, opts, deadline)
+                self.search_opts_impl(q, tau, opts, deadline, cache)
             }
             Parallelism::InQuery(threads) => {
-                self.par_search_opts_impl(q, tau, opts, threads, deadline)
+                self.par_search_opts_impl(q, tau, opts, threads, deadline, cache)
             }
         }
     }
@@ -575,12 +603,17 @@ impl<'a, M: WedInstance + Sync, I: PostingSource + Sync> SearchEngine<'a, M, I> 
         let mut slots: Vec<Option<Response>> = Vec::with_capacity(queries.len());
         slots.resize_with(queries.len(), || None);
 
+        // Batch-level cache tier: one TrieCache for every WED Trie-mode
+        // query of the batch (opt-in, see `BatchOptions::share_tries`).
+        let trie_cache = opts.share_tries.then(TrieCache::new);
+
         // Deadline epoch = dequeue time, for the sequential and the
         // fanned-out path alike.
         let run_claimed = |query: &Query| -> Result<Response, QueryError> {
             self.run_admitted(
                 query,
                 Deadline::for_query(Instant::now(), query.deadline_ms()),
+                trie_cache.as_ref(),
             )
         };
 

@@ -6,19 +6,23 @@
 //! thread-pool dependency) claiming from a shared atomic cursor:
 //!
 //! * **Across queries** — each worker claims whole [`Query`]
-//!   values and runs the ordinary pipeline on them. A query's
+//!   values and runs the ordinary pipeline on them. By default a query's
 //!   bidirectional-trie caches stay on the worker that built them (the
 //!   [`Verifier`](crate::verify::Verifier) is thread-local), so cache
-//!   locality is exactly that of sequential execution. One batch may mix
-//!   thresholds, top-k, temporal and plain queries freely.
+//!   locality is exactly that of sequential execution;
+//!   [`BatchOptions::share_tries`] opts the whole batch into one shared
+//!   [`TrieCache`](crate::verify::TrieCache) so repeated or overlapping
+//!   patterns reuse each other's DP columns. One batch may mix thresholds,
+//!   top-k, temporal and plain queries freely.
 //! * **Within a query** —
 //!   [`Parallelism::InQuery`] shards one
 //!   query's candidate trajectories across workers; useful for
 //!   tail-latency on a single heavy query, not for throughput.
 //!
 //! Either way the result sets — distances included — are identical to
-//! sequential execution: workers never share mutable state, and the
-//! per-triple min-merge is associative.
+//! sequential execution: the only shared mutable state is the opt-in trie
+//! cache, whose columns are bit-identical to privately computed ones, and
+//! the per-triple min-merge is associative.
 //!
 //! This module holds the workload-level types: [`BatchOptions`] (worker
 //! count), [`BatchStats`] (wall-clock vs summed-CPU time so a throughput
@@ -39,12 +43,31 @@ use wed::{Sym, WedInstance};
 pub struct BatchOptions {
     /// Worker count; `0` means [`std::thread::available_parallelism`].
     pub threads: usize,
+    /// Share one [`TrieCache`](crate::verify::TrieCache) across every WED
+    /// Trie-mode query of the batch, so repeated or overlapping patterns
+    /// reuse warm DP columns (`stats.trie_cache_hits`). Results are
+    /// bit-identical either way.
+    ///
+    /// Off by default: with sharing on, a query's `stepdp_calls` /
+    /// `trie_cache_*` counters (and hence its CMR) depend on which queries
+    /// ran before it in the batch, so per-query counter reproducibility
+    /// against a standalone `run` is deliberately opt-in.
+    pub share_tries: bool,
 }
 
 impl BatchOptions {
-    /// `threads` workers.
+    /// `threads` workers, private tries.
     pub fn with_threads(threads: usize) -> Self {
-        BatchOptions { threads }
+        BatchOptions {
+            threads,
+            share_tries: false,
+        }
+    }
+
+    /// Toggles batch-level trie sharing (see [`BatchOptions::share_tries`]).
+    pub fn share_tries(mut self, on: bool) -> Self {
+        self.share_tries = on;
+        self
     }
 
     pub(crate) fn resolve_threads(&self) -> usize {

@@ -99,4 +99,4 @@ pub use sharded::{IndexShard, ShardedIndex};
 pub use stats::SearchStats;
 pub use temporal::{TemporalConstraint, TemporalPredicate, TimeInterval};
 pub use topk::{per_trajectory_best, TopKEntry};
-pub use verify::{Candidate, Verifier, VerifyMode, WedVerifier};
+pub use verify::{Candidate, TrieCache, Verifier, VerifyMode, WedVerifier};

@@ -29,7 +29,7 @@ use crate::results::MatchResult;
 use crate::sharded::ShardedIndex;
 use crate::stats::SearchStats;
 use crate::temporal::TemporalConstraint;
-use crate::verify::VerifyMode;
+use crate::verify::{TrieCache, VerifyMode};
 use std::time::{Duration, Instant};
 use traj::TrajectoryStore;
 use wed::{sw_scan_all, Sym, WedInstance};
@@ -339,12 +339,15 @@ impl<'a, M: WedInstance, I: PostingSource> SearchEngine<'a, M, I> {
     /// cost models with small η), subsequence filtering would be unsound;
     /// the engine transparently falls back to an exact Smith–Waterman scan
     /// and sets `stats.fallback`.
+    /// `cache` is the batch-level [`TrieCache`], if the workload opted in
+    /// ([`crate::BatchOptions::share_tries`]); metric paths ignore it.
     pub(crate) fn search_opts_impl(
         &self,
         q: &[Sym],
         tau: f64,
         opts: SearchOptions,
         deadline: Deadline,
+        cache: Option<&TrieCache>,
     ) -> Result<SearchOutcome, QueryError> {
         if !opts.metric.is_wed() {
             return self.metric_search_impl(q, tau, opts, deadline);
@@ -368,6 +371,7 @@ impl<'a, M: WedInstance, I: PostingSource> SearchEngine<'a, M, I> {
             opts.temporal.as_ref(),
             opts.temporal_filter,
             deadline,
+            cache,
             &mut stats,
         )?;
         stats.verify_time = t2.elapsed();
@@ -405,9 +409,11 @@ impl<'a, M: WedInstance + Sync, I: PostingSource + Sync> SearchEngine<'a, M, I> 
     /// [`Parallelism::InQuery`](crate::Parallelism::InQuery): verification
     /// — the dominant cost in the paper's Table 4 breakdown — sharded
     /// across `threads` scoped workers, each verifying whole trajectories
-    /// with its own thread-local [`Verifier`](crate::verify::Verifier). The
-    /// result set (distances included) is identical to the sequential path
-    /// for any thread count; `threads <= 1` *is* the sequential path.
+    /// with its own [`Verifier`](crate::verify::Verifier); Trie-mode workers
+    /// share DP columns through one [`TrieCache`] (the batch-level `cache`
+    /// when provided, else a query-local one). The result set (distances
+    /// included) is identical to the sequential path for any thread count;
+    /// `threads <= 1` *is* the sequential path.
     pub(crate) fn par_search_opts_impl(
         &self,
         q: &[Sym],
@@ -415,6 +421,7 @@ impl<'a, M: WedInstance + Sync, I: PostingSource + Sync> SearchEngine<'a, M, I> 
         opts: SearchOptions,
         threads: usize,
         deadline: Deadline,
+        cache: Option<&TrieCache>,
     ) -> Result<SearchOutcome, QueryError> {
         if !opts.metric.is_wed() {
             return self.par_metric_search_impl(q, tau, opts, threads, deadline);
@@ -438,6 +445,7 @@ impl<'a, M: WedInstance + Sync, I: PostingSource + Sync> SearchEngine<'a, M, I> 
             opts.temporal_filter,
             threads,
             deadline,
+            cache,
             &mut stats,
         )?;
         stats.verify_time = t2.elapsed();
@@ -715,6 +723,16 @@ pub(crate) fn metric_fallback_scan_deadline<M: wed::CostModel>(
 /// The fallback paths' "lookup" phase: select the trajectories to scan
 /// (TF pre-filter), mirroring candidate generation on the indexed path.
 /// Span-based, hence sound for every metric.
+///
+/// Counter contract (pinned by `fallback_stats_are_coherent` and
+/// `metric_fallback_stats_are_coherent`): the three candidate counters are
+/// **pre-verification** quantities on every path, exactly as on the indexed
+/// path. `candidates` counts every trajectory position, the TF pre-filter
+/// (and only it) separates `candidates_after_temporal` from `candidates`,
+/// and `candidates_deduped == candidates_after_temporal` because positions
+/// of distinct trajectories are inherently distinct. Rows dropped by the
+/// exact temporal *post*-check never touch these counters — they are
+/// reflected in `results` alone, again matching the indexed path.
 fn fallback_selection(
     store: &TrajectoryStore,
     temporal: Option<&TemporalConstraint>,
@@ -912,8 +930,86 @@ mod tests {
         assert!(out_tf.stats.fallback);
         assert_eq!(out_tf.stats.candidates, total_positions);
         assert_eq!(out_tf.stats.candidates_after_temporal, 3);
+        assert_eq!(out_tf.stats.candidates_deduped, 3);
         assert_eq!(out_tf.stats.sw_columns, 3);
         assert!(out_tf.stats.candidates_after_temporal < out_tf.stats.candidates);
+
+        // Temporal constraint *without* the TF pre-filter: the candidate
+        // counters stay pre-verification quantities (nothing pruned before
+        // the scan), while the exact post-check shrinks `results` only.
+        let query_post = Query::threshold(vec![0, 1], 1e9)
+            .temporal(TemporalConstraint::overlaps(TimeInterval::new(0.0, 50.0)))
+            .temporal_filter(false)
+            .build()
+            .unwrap();
+        let out_post = engine.run(&query_post).unwrap();
+        assert!(out_post.stats.fallback);
+        assert_eq!(out_post.stats.candidates, total_positions);
+        assert_eq!(out_post.stats.candidates_after_temporal, total_positions);
+        assert_eq!(out_post.stats.candidates_deduped, total_positions);
+        assert_eq!(out_post.stats.sw_columns, total_positions as u64);
+        // Same surviving matches as the TF run (post-check is exact), but
+        // counted against an unpruned scan.
+        assert_eq!(out_post.matches, out_tf.matches);
+        assert!(out_post.stats.results < out.stats.results);
+        assert_eq!(out_post.stats.results, out_post.matches.len());
+    }
+
+    #[test]
+    fn metric_fallback_stats_are_coherent() {
+        // LCSS admits no sound filter bound, so `metric_fallback_scan` is
+        // its *only* execution path; pin every counter of that contract.
+        use crate::metric::Metric;
+        use crate::temporal::{TemporalConstraint, TimeInterval};
+        let mut store = TrajectoryStore::new();
+        store.push(Trajectory::new(vec![0, 1, 2], vec![0.0, 1.0, 2.0]));
+        store.push(Trajectory::new(vec![10, 11], vec![100.0, 101.0]));
+        let engine = EngineBuilder::new(&Lev, &store, 16).build();
+        let total_positions: usize = store.iter().map(|(_, t)| t.len()).sum();
+
+        let lcss = |tf: bool, temporal: bool| {
+            let mut b = Query::threshold(vec![0, 1], 1.5)
+                .metric(Metric::Lcss { eps: 0.0 })
+                .temporal_filter(tf);
+            if temporal {
+                b = b.temporal(TemporalConstraint::overlaps(TimeInterval::new(0.0, 50.0)));
+            }
+            engine.run(&b.build().unwrap()).unwrap()
+        };
+
+        // No temporal constraint: all positions counted, scan work lands in
+        // the metric-neutral `verify_cost`, WED counters stay zero.
+        let plain = lcss(false, false);
+        assert!(plain.stats.fallback);
+        assert_eq!(plain.stats.candidates, total_positions);
+        assert_eq!(plain.stats.candidates_after_temporal, total_positions);
+        assert_eq!(plain.stats.candidates_deduped, total_positions);
+        assert_eq!(plain.stats.sw_columns, 0);
+        assert_eq!(plain.stats.columns_passed, 0);
+        assert_eq!(plain.stats.stepdp_calls, 0);
+        assert_eq!(
+            plain.stats.trie_cache_hits + plain.stats.trie_cache_misses,
+            0
+        );
+        assert!(plain.stats.verify_cost > 0);
+        assert_eq!(plain.stats.results, plain.matches.len());
+        // LCSS never has a τ-subsequence plan.
+        assert_eq!(plain.stats.tsubseq_len, 0);
+
+        // TF pre-filter: prunes the late trajectory before the scan, so the
+        // split happens between `candidates` and `candidates_after_temporal`.
+        let tf = lcss(true, true);
+        assert_eq!(tf.stats.candidates, total_positions);
+        assert_eq!(tf.stats.candidates_after_temporal, 3);
+        assert_eq!(tf.stats.candidates_deduped, 3);
+
+        // Post-check only: counters stay at the unpruned scan, results match
+        // the TF run exactly.
+        let post = lcss(false, true);
+        assert_eq!(post.stats.candidates_after_temporal, total_positions);
+        assert_eq!(post.stats.candidates_deduped, total_positions);
+        assert_eq!(post.matches, tf.matches);
+        assert!(post.stats.verify_cost >= tf.stats.verify_cost);
     }
 
     #[test]

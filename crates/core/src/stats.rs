@@ -59,6 +59,18 @@ pub struct SearchStats {
     /// `columns_passed`, `stepdp_calls`) at zero, so merged workload stats
     /// never mix incomparable units.
     pub verify_cost: u64,
+    /// Shared-trie acquisitions that found a [`TrieCache`] entry an earlier
+    /// worker or query had already created (the cross-shard and batch cache
+    /// levels; stays zero with private tries and for non-WED verifiers).
+    ///
+    /// [`TrieCache`]: crate::verify::TrieCache
+    pub trie_cache_hits: u64,
+    /// Shared-trie acquisitions that created the [`TrieCache`] entry —
+    /// exactly one per distinct query suffix regardless of thread
+    /// interleaving (insert-race losers count as hits).
+    ///
+    /// [`TrieCache`]: crate::verify::TrieCache
+    pub trie_cache_misses: u64,
     /// Number of result triples `(id, s, t)`.
     pub results: usize,
 }
@@ -99,6 +111,8 @@ impl SearchStats {
         self.columns_passed += other.columns_passed;
         self.stepdp_calls += other.stepdp_calls;
         self.verify_cost += other.verify_cost;
+        self.trie_cache_hits += other.trie_cache_hits;
+        self.trie_cache_misses += other.trie_cache_misses;
         self.results += other.results;
     }
 }

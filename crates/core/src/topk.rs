@@ -20,6 +20,8 @@ use crate::query::{Parallelism, QueryError};
 use crate::results::MatchResult;
 use crate::search::{SearchEngine, SearchOptions};
 use crate::stats::SearchStats;
+use crate::verify::TrieCache;
+use std::cmp::Ordering;
 use std::collections::HashMap;
 use traj::TrajId;
 use wed::{Sym, WedInstance};
@@ -39,6 +41,7 @@ pub struct TopKEntry {
 /// checkpoints each round's threshold search performs internally); expiry
 /// is [`QueryError::DeadlineExceeded`] — a partially grown ranking is never
 /// returned.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn top_k_growth<M: WedInstance + Sync, I: PostingSource + Sync>(
     engine: &SearchEngine<'_, M, I>,
     q: &[Sym],
@@ -48,28 +51,36 @@ pub(crate) fn top_k_growth<M: WedInstance + Sync, I: PostingSource + Sync>(
     opts: SearchOptions,
     parallelism: Parallelism,
     deadline: Deadline,
+    cache: Option<&TrieCache>,
 ) -> Result<(Vec<MatchResult>, SearchStats), QueryError> {
     let mut stats = SearchStats::default();
     let mut tau = initial_tau;
     loop {
         deadline.check()?;
-        let out = engine.threshold_outcome(q, tau, opts, parallelism, deadline)?;
+        let out = engine.threshold_outcome(q, tau, opts, parallelism, deadline, cache)?;
         stats.merge(&out.stats);
         let best = per_trajectory_best(&out.matches);
         if best.len() >= k || tau >= max_tau {
             let mut ranked: Vec<MatchResult> = best.into_values().collect();
-            ranked.sort_by(|a, b| {
-                a.dist
-                    .total_cmp(&b.dist)
-                    .then((a.end - a.start).cmp(&(b.end - b.start)))
-                    .then((a.id, a.start).cmp(&(b.id, b.start)))
-            });
+            ranked.sort_by(rank_cmp);
             ranked.truncate(k);
             stats.results = ranked.len();
             return Ok((ranked, stats));
         }
         tau = (tau * 2.0).min(max_tau);
     }
+}
+
+/// The one top-k comparator (§6.2.1): exact distance (`total_cmp`, no
+/// epsilon), then shorter span, then `(id, start)` for a total
+/// deterministic order. Both [`per_trajectory_best`] and the final ranking
+/// use it, so near-equal distances can never tie-break by span *within* a
+/// trajectory while ranking by raw float bits *across* trajectories.
+pub(crate) fn rank_cmp(a: &MatchResult, b: &MatchResult) -> Ordering {
+    a.dist
+        .total_cmp(&b.dist)
+        .then((a.end - a.start).cmp(&(b.end - b.start)))
+        .then((a.id, a.start).cmp(&(b.id, b.start)))
 }
 
 impl<'a, M: WedInstance + Sync, I: PostingSource + Sync> SearchEngine<'a, M, I> {
@@ -105,7 +116,10 @@ impl<'a, M: WedInstance + Sync, I: PostingSource + Sync> SearchEngine<'a, M, I> 
 }
 
 /// Per-trajectory best match: smallest distance, tie-broken by shorter span,
-/// then earlier start (the paper's tie-break in §6.2.1).
+/// then earlier start (the paper's tie-break in §6.2.1) — via the same
+/// exact `rank_cmp` comparator the final ranking sorts with. The engine
+/// reports exact (not approximated) distances, so there is no epsilon: two
+/// spans tie only when their distances are bit-equal.
 pub fn per_trajectory_best(matches: &[MatchResult]) -> HashMap<TrajId, MatchResult> {
     let mut best: HashMap<TrajId, MatchResult> = HashMap::new();
     for m in matches {
@@ -114,12 +128,7 @@ pub fn per_trajectory_best(matches: &[MatchResult]) -> HashMap<TrajId, MatchResu
                 best.insert(m.id, *m);
             }
             Some(cur) => {
-                let better = m.dist < cur.dist - 1e-12
-                    || ((m.dist - cur.dist).abs() <= 1e-12
-                        && ((m.end - m.start) < (cur.end - cur.start)
-                            || ((m.end - m.start) == (cur.end - cur.start)
-                                && m.start < cur.start)));
-                if better {
+                if rank_cmp(m, cur) == Ordering::Less {
                     best.insert(m.id, *m);
                 }
             }
@@ -259,5 +268,44 @@ mod tests {
         let best = per_trajectory_best(&ms);
         let b = best[&1];
         assert_eq!((b.start, b.end), (0, 2));
+    }
+
+    #[test]
+    fn sub_epsilon_distances_rank_exactly() {
+        use std::cmp::Ordering;
+        // Regression: `per_trajectory_best` used a 1e-12 epsilon while the
+        // final ranking compared exactly, so distances differing by less
+        // than the epsilon tie-broke by span within a trajectory but by raw
+        // float bits across trajectories.
+        let tiny = 1.0 + 4e-13; // < 1e-12 above 1.0, yet representable
+        assert!(tiny > 1.0);
+        let ms = [
+            MatchResult {
+                id: 1,
+                start: 0,
+                end: 4,
+                dist: 1.0,
+            },
+            MatchResult {
+                id: 1,
+                start: 0,
+                end: 1,
+                dist: tiny,
+            }, // much shorter span, fractionally farther
+            MatchResult {
+                id: 2,
+                start: 3,
+                end: 4,
+                dist: tiny,
+            },
+        ];
+        let best = per_trajectory_best(&ms);
+        // Exact comparison: the strictly smaller distance wins within the
+        // trajectory; the old epsilon would have let the shorter span win.
+        assert_eq!((best[&1].start, best[&1].end), (0, 4));
+        assert_eq!(best[&1].dist, 1.0);
+        // The identical comparator orders the survivors across
+        // trajectories, so the two passes can never disagree.
+        assert_eq!(rank_cmp(&best[&1], &best[&2]), Ordering::Less);
     }
 }

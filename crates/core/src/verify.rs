@@ -14,6 +14,17 @@
 //!   (§5.2): DP columns are cached per `(iq, direction)` in a trie keyed by
 //!   the data symbols, exploiting the small out-degree of road networks.
 //!
+//! Trie-mode caching is a three-level hierarchy. The per-query level above
+//! is always on. When in-query parallelism shards one query's groups across
+//! workers, the workers share one [`TrieCache`] instead of rebuilding
+//! identical tries per worker (cross-shard level). A batch may opt in to
+//! the same cache across its queries (`BatchOptions::share_tries`), so
+//! repeated or overlapping patterns hit warm columns. Sharing never changes
+//! results: a trie is fully determined by its query suffix `Q^d` and the
+//! cost model, and StepDP is deterministic, so shared columns are
+//! bit-identical to privately computed ones. Non-WED verifiers
+//! ([`crate::metric`]) never consult the cache.
+//!
 //! The split at the anchor follows Eq. (10):
 //! `wed(P[s..=t], Q) = wed(P[s..j-1], Q[..iq]) + sub(P[j], Q[iq]) +
 //! wed(P[j+1..=t], Q[iq+1..])` for the optimal alignment of some candidate,
@@ -33,8 +44,12 @@ use crate::query::QueryError;
 use crate::results::ResultSet;
 use crate::stats::SearchStats;
 use crate::temporal::TemporalConstraint;
+use std::collections::hash_map::{DefaultHasher, Entry};
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex};
 use traj::{TrajId, TrajectoryStore};
-use wed::dp::{initial_column, step_dp};
+use wed::dp::{initial_column_into, step_dp_into};
 use wed::{sw_scan_all, CostModel, Sym};
 
 /// A filtering candidate `(id, j, iq)` (§3.1): `P^(id)[j] ∈ B(Q[iq])`.
@@ -61,63 +76,127 @@ pub enum VerifyMode {
 // DP-column trie
 // ---------------------------------------------------------------------------
 
-#[derive(Debug)]
+/// Sentinel for absent node links in the flat arena.
+const NIL: u32 = u32::MAX;
+
+/// Arena node: 24 bytes of links and bound, no owned storage. The DP column
+/// itself lives in the trie's contiguous `cols` slab at the node's index.
+#[derive(Debug, Clone, Copy)]
 struct Node {
-    /// Cached DP column: `col[j] = wed(P^d[..k], Q^d[..j])` for this node's
-    /// depth `k`. Threshold-independent, hence reusable across candidates.
-    col: Box<[f64]>,
     /// Column minimum — the Eq. (11) lower bound `LB^d_k`.
     min: f64,
-    /// Child links; linear scan is optimal at road-network out-degrees (~3).
-    children: Vec<(Sym, u32)>,
+    /// Head of this node's intrusive child list (`NIL` for a leaf).
+    first_child: u32,
+    /// Next child of the same parent (`NIL` at the end of the list).
+    next_sibling: u32,
+    /// The data symbol on the edge from the parent (unused at the root).
+    sym: Sym,
 }
 
-/// A DP-column cache for one `(iq, direction)` pair (§5.2). The paper builds
-/// `2·|Q'|` of these per query.
+/// A DP-column cache for one query suffix `Q^d` (§5.2) — one per
+/// `(iq, direction)` pair in private mode, one per *distinct* suffix when
+/// shared through a [`TrieCache`]. The paper builds `2·|Q'|` of these per
+/// query.
+///
+/// Layout is a flat arena: one contiguous node table plus one contiguous
+/// `f64` slab holding every DP column back to back (node `k`'s column is
+/// `cols[k·stride .. (k+1)·stride]` with `stride = |Q^d| + 1`). Children
+/// form intrusive sibling lists inside the node table, so a trie makes two
+/// allocations' worth of growth instead of two per node, and a walk touches
+/// memory sequentially within each column.
 #[derive(Debug)]
 pub struct DpTrie {
     qd: Vec<Sym>,
     nodes: Vec<Node>,
+    cols: Vec<f64>,
 }
 
 impl DpTrie {
     /// Creates the trie with a root column for the empty data prefix.
     pub fn new<M: CostModel>(model: &M, qd: Vec<Sym>) -> Self {
-        let col = initial_column(model, &qd);
-        let min = col.iter().cloned().fold(f64::INFINITY, f64::min);
+        let mut cols = Vec::new();
+        let min = initial_column_into(model, &qd, &mut cols);
         DpTrie {
             qd,
             nodes: vec![Node {
-                col: col.into_boxed_slice(),
                 min,
-                children: Vec::new(),
+                first_child: NIL,
+                next_sibling: NIL,
+                sym: 0,
             }],
+            cols,
         }
+    }
+
+    #[inline]
+    fn stride(&self) -> usize {
+        self.qd.len() + 1
+    }
+
+    /// The cached DP column of `node`:
+    /// `col[j] = wed(P^d[..k], Q^d[..j])` for the node's depth `k`.
+    /// Threshold-independent, hence reusable across candidates and queries.
+    fn col(&self, node: u32) -> &[f64] {
+        let s = self.stride();
+        let at = node as usize * s;
+        &self.cols[at..at + s]
+    }
+
+    /// Existing child `node --sym-->`, if cached. The linear sibling scan is
+    /// optimal at road-network out-degrees (~3).
+    fn lookup(&self, node: u32, sym: Sym) -> Option<u32> {
+        let mut c = self.nodes[node as usize].first_child;
+        while c != NIL {
+            let n = &self.nodes[c as usize];
+            if n.sym == sym {
+                return Some(c);
+            }
+            c = n.next_sibling;
+        }
+        None
     }
 
     /// Returns `(child id, freshly created?)` for `node --sym-->`.
     fn child<M: CostModel>(&mut self, model: &M, node: u32, sym: Sym) -> (u32, bool) {
-        if let Some(&(_, c)) = self.nodes[node as usize]
-            .children
-            .iter()
-            .find(|&&(s, _)| s == sym)
-        {
+        if let Some(c) = self.lookup(node, sym) {
             return (c, false);
         }
-        let col = step_dp(model, &self.qd, sym, &self.nodes[node as usize].col);
-        let min = col.iter().cloned().fold(f64::INFINITY, f64::min);
+        let s = self.stride();
+        let old_len = self.cols.len();
+        self.cols.resize(old_len + s, 0.0);
+        // The parent's column sits strictly below the freshly reserved tail,
+        // so a split borrow lets StepDP read it while writing in place.
+        let (head, fresh) = self.cols.split_at_mut(old_len);
+        let at = node as usize * s;
+        let min = step_dp_into(model, &self.qd, sym, &head[at..at + s], fresh);
+        (self.link(node, sym, min), true)
+    }
+
+    /// Adopts an externally computed column — the shared-cache path, where
+    /// StepDP ran outside the trie lock.
+    fn insert_child(&mut self, node: u32, sym: Sym, col: &[f64], min: f64) -> u32 {
+        debug_assert_eq!(col.len(), self.stride());
+        self.cols.extend_from_slice(col);
+        self.link(node, sym, min)
+    }
+
+    /// Appends a node and heads it into `parent`'s child list (order among
+    /// siblings is unobservable — lookup is by symbol).
+    fn link(&mut self, parent: u32, sym: Sym, min: f64) -> u32 {
         let id = self.nodes.len() as u32;
+        let head = self.nodes[parent as usize].first_child;
         self.nodes.push(Node {
-            col: col.into_boxed_slice(),
             min,
-            children: Vec::new(),
+            first_child: NIL,
+            next_sibling: head,
+            sym,
         });
-        self.nodes[node as usize].children.push((sym, id));
-        (id, true)
+        self.nodes[parent as usize].first_child = id;
+        id
     }
 
     fn ed(&self, node: u32) -> f64 {
-        *self.nodes[node as usize].col.last().unwrap()
+        self.cols[(node as usize + 1) * self.stride() - 1]
     }
 
     fn min(&self, node: u32) -> f64 {
@@ -135,6 +214,85 @@ impl DpTrie {
     pub fn is_empty(&self) -> bool {
         self.nodes.len() == 1
     }
+}
+
+// ---------------------------------------------------------------------------
+// Shared trie cache (cross-shard / batch levels)
+// ---------------------------------------------------------------------------
+
+const CACHE_SHARDS: usize = 8;
+
+/// A concurrency-safe cache of [`DpTrie`]s keyed by their query suffix
+/// `Q^d`, shared across in-query verification workers and (opt-in,
+/// [`crate::BatchOptions::share_tries`]) across the queries of one batch.
+///
+/// Keying by the suffix symbols alone is strictly more sharing than keying
+/// by `(iq, direction)`: a trie's contents are fully determined by `Q^d`
+/// and the cost model (the direction only decides the order data symbols
+/// are fed in, which the trie never sees), so any two pairs with the same
+/// suffix — even a backward and a forward one — reuse one trie. One cache
+/// must therefore only ever be used with one cost model; the engine scopes
+/// caches per query or per batch, which pins the model.
+///
+/// The locking discipline follows `Memo` in the `wed` crate: the key map is
+/// sharded across [`CACHE_SHARDS`] mutexes, misses build the root column
+/// outside the lock, and a double-checked insert lets race losers adopt the
+/// winner's trie — so `trie_cache_misses` counts each distinct suffix
+/// exactly once regardless of interleaving.
+/// One lock-sharded slice of the cache: suffix symbols → shared trie.
+type TrieShard = Mutex<HashMap<Box<[Sym]>, Arc<Mutex<DpTrie>>>>;
+
+pub struct TrieCache {
+    shards: [TrieShard; CACHE_SHARDS],
+}
+
+impl TrieCache {
+    pub fn new() -> Self {
+        TrieCache {
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+        }
+    }
+
+    fn shard_of(qd: &[Sym]) -> usize {
+        let mut h = DefaultHasher::new();
+        qd.hash(&mut h);
+        h.finish() as usize & (CACHE_SHARDS - 1)
+    }
+
+    /// Returns `(trie, warm?)`: the shared trie for `qd`, and whether it
+    /// already existed (a cache hit at trie granularity).
+    fn get_or_create<M: CostModel>(&self, model: &M, qd: &[Sym]) -> (Arc<Mutex<DpTrie>>, bool) {
+        let shard = &self.shards[Self::shard_of(qd)];
+        if let Some(t) = shard.lock().unwrap().get(qd) {
+            return (t.clone(), true);
+        }
+        // Build the root column outside the lock; losers of the insert race
+        // drop their fresh trie and adopt the winner's.
+        let fresh = Arc::new(Mutex::new(DpTrie::new(model, qd.to_vec())));
+        match shard.lock().unwrap().entry(qd.to_vec().into_boxed_slice()) {
+            Entry::Occupied(e) => (e.get().clone(), true),
+            Entry::Vacant(v) => {
+                v.insert(fresh.clone());
+                (fresh, false)
+            }
+        }
+    }
+}
+
+impl Default for TrieCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A verifier's handle on one trie: owned outright, or a lease on a
+/// [`TrieCache`] entry shared with other workers/queries.
+enum TrieHandle {
+    Private(DpTrie),
+    Shared {
+        qd: Vec<Sym>,
+        trie: Arc<Mutex<DpTrie>>,
+    },
 }
 
 // ---------------------------------------------------------------------------
@@ -175,19 +333,37 @@ pub struct WedVerifier<'a, M: CostModel> {
     q: &'a [Sym],
     tau: f64,
     mode: VerifyMode,
-    /// Tries keyed by candidate query position `iq`; `[0]` backward,
+    /// Shared [`TrieCache`] for the cross-shard/batch levels; `None` keeps
+    /// every trie private to this verifier (the classic §5.2 behavior).
+    cache: Option<&'a TrieCache>,
+    /// Trie handles keyed by candidate query position `iq`; `[0]` backward,
     /// `[1]` forward.
-    tries: std::collections::HashMap<u32, [DpTrie; 2]>,
+    tries: HashMap<u32, [TrieHandle; 2]>,
 }
 
 impl<'a, M: CostModel> WedVerifier<'a, M> {
     pub fn new(model: &'a M, q: &'a [Sym], tau: f64, mode: VerifyMode) -> Self {
+        Self::with_cache(model, q, tau, mode, None)
+    }
+
+    /// [`WedVerifier::new`] resolving Trie-mode tries through a shared
+    /// [`TrieCache`] (hits and misses are accounted per acquisition in
+    /// `stats.trie_cache_hits` / `trie_cache_misses`). Results are
+    /// bit-identical to the private-trie path.
+    pub fn with_cache(
+        model: &'a M,
+        q: &'a [Sym],
+        tau: f64,
+        mode: VerifyMode,
+        cache: Option<&'a TrieCache>,
+    ) -> Self {
         WedVerifier {
             model,
             q,
             tau,
             mode,
-            tries: std::collections::HashMap::new(),
+            cache,
+            tries: HashMap::new(),
         }
     }
 
@@ -213,21 +389,33 @@ impl<'a, M: CostModel> WedVerifier<'a, M> {
 
         let (eb, ef) = match self.mode {
             VerifyMode::Trie => {
+                let (model, q, cache) = (self.model, self.q, self.cache);
                 let tries = self.tries.entry(cand.iq).or_insert_with(|| {
-                    let qb_rev: Vec<Sym> = self.q[..iq].iter().rev().cloned().collect();
-                    let qf: Vec<Sym> = self.q[iq + 1..].to_vec();
-                    [DpTrie::new(self.model, qb_rev), DpTrie::new(self.model, qf)]
+                    let qb_rev: Vec<Sym> = q[..iq].iter().rev().cloned().collect();
+                    let qf: Vec<Sym> = q[iq + 1..].to_vec();
+                    [qb_rev, qf].map(|qd| match cache {
+                        Some(c) => {
+                            let (trie, warm) = c.get_or_create(model, &qd);
+                            if warm {
+                                stats.trie_cache_hits += 1;
+                            } else {
+                                stats.trie_cache_misses += 1;
+                            }
+                            TrieHandle::Shared { qd, trie }
+                        }
+                        None => TrieHandle::Private(DpTrie::new(model, qd)),
+                    })
                 });
-                let eb = walk_trie(
+                let eb = walk_handle(
                     &mut tries[0],
-                    self.model,
+                    model,
                     path[..j].iter().rev().cloned(),
                     tau_p,
                     stats,
                 );
-                let ef = walk_trie(
+                let ef = walk_handle(
                     &mut tries[1],
-                    self.model,
+                    model,
                     path[j + 1..].iter().cloned(),
                     tau_p,
                     stats,
@@ -294,6 +482,20 @@ impl<M: CostModel> Verifier for WedVerifier<'_, M> {
     }
 }
 
+/// Dispatches Algorithm 5 to the private or shared walk.
+fn walk_handle<M: CostModel>(
+    handle: &mut TrieHandle,
+    model: &M,
+    syms: impl Iterator<Item = Sym>,
+    tau_p: f64,
+    stats: &mut SearchStats,
+) -> Vec<f64> {
+    match handle {
+        TrieHandle::Private(trie) => walk_trie(trie, model, syms, tau_p, stats),
+        TrieHandle::Shared { qd, trie } => walk_shared_trie(trie, qd, model, syms, tau_p, stats),
+    }
+}
+
 /// Algorithm 5 (AllPrefixWED) against a trie: returns
 /// `E^d[k] = wed(P^d[..k], Q^d)` for `k = 0..` until early termination.
 fn walk_trie<M: CostModel>(
@@ -324,6 +526,55 @@ fn walk_trie<M: CostModel>(
     ed
 }
 
+/// [`walk_trie`] against a [`TrieCache`] entry other workers walk
+/// concurrently. Misses compute their column *outside* the lock (into a
+/// reused scratch buffer) and re-check on re-lock; a race loser adopts the
+/// winner's bit-identical column and its StepDP is left uncounted, so
+/// `stepdp_calls` equals the number of distinct columns materialized —
+/// deterministic at any thread count (the walks themselves depend only on
+/// column values, never on which worker computed them).
+fn walk_shared_trie<M: CostModel>(
+    shared: &Mutex<DpTrie>,
+    qd: &[Sym],
+    model: &M,
+    syms: impl Iterator<Item = Sym>,
+    tau_p: f64,
+    stats: &mut SearchStats,
+) -> Vec<f64> {
+    let mut parent = Vec::new();
+    let mut fresh = vec![0.0; qd.len() + 1];
+    let mut guard = shared.lock().unwrap();
+    let mut ed = vec![guard.ed(0)];
+    let mut node = 0u32;
+    for sym in syms {
+        let child = match guard.lookup(node, sym) {
+            Some(c) => c,
+            None => {
+                parent.clear();
+                parent.extend_from_slice(guard.col(node));
+                drop(guard);
+                let min = step_dp_into(model, qd, sym, &parent, &mut fresh);
+                guard = shared.lock().unwrap();
+                match guard.lookup(node, sym) {
+                    Some(c) => c, // lost the insert race; adopt the winner's
+                    None => {
+                        stats.stepdp_calls += 1;
+                        guard.insert_child(node, sym, &fresh, min)
+                    }
+                }
+            }
+        };
+        stats.columns_passed += 1;
+        stats.verify_cost += 1;
+        if guard.min(child) >= tau_p {
+            break;
+        }
+        ed.push(guard.ed(child));
+        node = child;
+    }
+    ed
+}
+
 /// AllPrefixWED without caching (ablation; every column is computed fresh).
 fn prefix_weds_local<M: CostModel>(
     model: &M,
@@ -332,14 +583,16 @@ fn prefix_weds_local<M: CostModel>(
     tau_p: f64,
     stats: &mut SearchStats,
 ) -> Vec<f64> {
-    let mut col = initial_column(model, qd);
+    let mut col = Vec::new();
+    initial_column_into(model, qd, &mut col);
+    let mut next = vec![0.0; col.len()];
     let mut ed = vec![col[qd.len()]];
     for sym in syms {
-        col = step_dp(model, qd, sym, &col);
+        let min = step_dp_into(model, qd, sym, &col, &mut next);
+        std::mem::swap(&mut col, &mut next);
         stats.columns_passed += 1;
         stats.verify_cost += 1;
         stats.stepdp_calls += 1;
-        let min = col.iter().cloned().fold(f64::INFINITY, f64::min);
         if min >= tau_p {
             break;
         }
@@ -473,6 +726,7 @@ pub fn verify_candidates<M: CostModel>(
         temporal,
         temporal_filter,
         Deadline::NONE,
+        None,
         stats,
     )
     .expect("verification without a deadline cannot expire")
@@ -480,7 +734,8 @@ pub fn verify_candidates<M: CostModel>(
 
 /// [`verify_candidates`] with a cooperative [`Deadline`], checked between
 /// trajectory groups; expiry returns [`QueryError::DeadlineExceeded`] and no
-/// partial results.
+/// partial results. A `cache` resolves Trie-mode tries through the shared
+/// batch-level [`TrieCache`] instead of building them privately.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn verify_candidates_deadline<M: CostModel>(
     model: &M,
@@ -493,13 +748,14 @@ pub(crate) fn verify_candidates_deadline<M: CostModel>(
     temporal: Option<&TemporalConstraint>,
     temporal_filter: bool,
     deadline: Deadline,
+    cache: Option<&TrieCache>,
     stats: &mut SearchStats,
 ) -> Result<Vec<crate::results::MatchResult>, QueryError> {
     verify_candidates_with(
         store,
         index_span,
         candidates,
-        &mut WedVerifier::new(model, q, tau, mode),
+        &mut WedVerifier::with_cache(model, q, tau, mode, cache),
         temporal,
         temporal_filter,
         deadline,
@@ -569,14 +825,16 @@ fn partition_groups(
 }
 
 /// Parallel [`verify_candidates`]: trajectory groups are sharded across
-/// `threads` scoped workers, each holding its own [`WedVerifier`]
-/// (thread-local DP-trie caches) and private [`ResultSet`]; shard outputs
-/// are min-merged, so the result set — distances included — is identical to
-/// the sequential path for any thread count.
+/// `threads` scoped workers, each with a private [`ResultSet`]; shard
+/// outputs are min-merged, so the result set — distances included — is
+/// identical to the sequential path for any thread count.
 ///
-/// Counter totals (`sw_columns`, `columns_passed`, `stepdp_calls`,
-/// `verify_cost`) are summed across shards; Trie-mode cache-hit counters can
-/// legitimately differ from a 1-thread run because tries are per-worker.
+/// In Trie mode the workers share one [`TrieCache`] (the cross-shard level
+/// of the hierarchy), so a DP column two shards both need is computed once
+/// instead of once per worker and `stepdp_calls` stays the number of
+/// distinct columns rather than multiplying with the thread count. Counter
+/// totals (`sw_columns`, `columns_passed`, `stepdp_calls`, `verify_cost`,
+/// `trie_cache_hits`, `trie_cache_misses`) are summed across shards.
 #[allow(clippy::too_many_arguments)]
 pub fn par_verify_candidates<M: CostModel + Sync>(
     model: &M,
@@ -603,6 +861,7 @@ pub fn par_verify_candidates<M: CostModel + Sync>(
         temporal_filter,
         threads,
         Deadline::NONE,
+        None,
         stats,
     )
     .expect("verification without a deadline cannot expire")
@@ -612,6 +871,9 @@ pub fn par_verify_candidates<M: CostModel + Sync>(
 /// checks it between its trajectory groups and bails out early; if any shard
 /// expired the whole verification returns [`QueryError::DeadlineExceeded`]
 /// (partial shard outputs are discarded, never merged into an answer).
+///
+/// An explicit `cache` (the batch level) takes precedence; otherwise Trie
+/// mode at `threads > 1` gets a query-local [`TrieCache`] for its workers.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn par_verify_candidates_deadline<M: CostModel + Sync>(
     model: &M,
@@ -625,13 +887,23 @@ pub(crate) fn par_verify_candidates_deadline<M: CostModel + Sync>(
     temporal_filter: bool,
     threads: usize,
     deadline: Deadline,
+    cache: Option<&TrieCache>,
     stats: &mut SearchStats,
 ) -> Result<Vec<crate::results::MatchResult>, QueryError> {
+    let local;
+    let cache = match (cache, mode) {
+        (Some(c), VerifyMode::Trie) => Some(c),
+        (None, VerifyMode::Trie) if threads > 1 => {
+            local = TrieCache::new();
+            Some(&local)
+        }
+        _ => None,
+    };
     par_verify_candidates_with(
         store,
         index_span,
         candidates,
-        || WedVerifier::new(model, q, tau, mode),
+        || WedVerifier::with_cache(model, q, tau, mode, cache),
         temporal,
         temporal_filter,
         threads,
@@ -710,6 +982,8 @@ pub(crate) fn par_verify_candidates_with<V: Verifier, F: Fn() -> V + Sync>(
             stats.columns_passed += shard_stats.columns_passed;
             stats.stepdp_calls += shard_stats.stepdp_calls;
             stats.verify_cost += shard_stats.verify_cost;
+            stats.trie_cache_hits += shard_stats.trie_cache_hits;
+            stats.trie_cache_misses += shard_stats.trie_cache_misses;
         }
     }
     Ok(finish_verification(results, store, temporal, stats))
@@ -982,6 +1256,134 @@ mod tests {
     }
 
     #[test]
+    fn arena_trie_columns_match_direct_dp() {
+        let qd = vec![1u32, 2, 3];
+        let mut trie = DpTrie::new(&Lev, qd.clone());
+        let syms = [4u32, 2, 3, 1, 2];
+        let mut node = 0u32;
+        for (k, &s) in syms.iter().enumerate() {
+            let (child, created) = trie.child(&Lev, node, s);
+            assert!(created);
+            // `ed` reads the slab column: it must equal a fresh DP.
+            assert_eq!(trie.ed(child), wed(&Lev, &syms[..k + 1], &qd));
+            node = child;
+        }
+        // A branch off the root shares nothing but the root column.
+        let (b, created) = trie.child(&Lev, 0, 9);
+        assert!(created);
+        assert_eq!(trie.ed(b), wed(&Lev, &[9], &qd));
+        assert_eq!(trie.len(), syms.len() + 2);
+    }
+
+    #[test]
+    fn shared_cache_is_bit_identical_and_warms_across_runs() {
+        let store = store_of(&[
+            &[0, 1, 2, 3, 4],
+            &[3, 1, 5, 1, 2],
+            &[1, 2, 1, 2, 1, 2],
+            &[5, 1, 2, 5],
+        ]);
+        let q: Vec<Sym> = vec![1, 5, 2];
+        let cands = all_candidates(&store, &q);
+        let run_with = |cache: Option<&TrieCache>| {
+            let mut stats = SearchStats::default();
+            let got = verify_candidates_deadline(
+                &Lev,
+                &store,
+                |id| store.get(id).span(),
+                &q,
+                2.0,
+                &cands,
+                VerifyMode::Trie,
+                None,
+                false,
+                Deadline::NONE,
+                cache,
+                &mut stats,
+            )
+            .unwrap();
+            (got, stats)
+        };
+        let (want, private) = run_with(None);
+        assert_eq!(private.trie_cache_hits + private.trie_cache_misses, 0);
+
+        let cache = TrieCache::new();
+        let (got, cold) = run_with(Some(&cache));
+        assert_eq!(got, want, "shared tries must not change results");
+        assert!(cold.trie_cache_misses > 0);
+        // Suffix-keyed sharing can only reduce DP work vs private tries.
+        assert!(cold.stepdp_calls <= private.stepdp_calls);
+        assert_eq!(cold.columns_passed, private.columns_passed);
+
+        // A second identical run hits warm tries end to end: every column
+        // is already materialized, so no StepDP runs at all.
+        let (again, warm) = run_with(Some(&cache));
+        assert_eq!(again, want);
+        assert_eq!(warm.stepdp_calls, 0);
+        assert_eq!(warm.trie_cache_misses, 0);
+        assert!(warm.trie_cache_hits > 0);
+    }
+
+    #[test]
+    fn par_shared_cache_counters_are_deterministic() {
+        let store = store_of(&[
+            &[0, 1, 2, 3, 4],
+            &[3, 1, 5, 1, 2],
+            &[9, 8, 7],
+            &[1, 2, 1, 2, 1, 2],
+            &[5, 1, 2, 5],
+            &[2, 5, 1, 2, 0, 1],
+        ]);
+        let q: Vec<Sym> = vec![1, 5, 2];
+        let cands = all_candidates(&store, &q);
+        let mut seq_stats = SearchStats::default();
+        let want = verify_candidates(
+            &Lev,
+            &store,
+            |id| store.get(id).span(),
+            &q,
+            2.0,
+            &cands,
+            VerifyMode::Trie,
+            None,
+            false,
+            &mut seq_stats,
+        );
+        for threads in [2, 4] {
+            let run = || {
+                let mut stats = SearchStats::default();
+                let got = par_verify_candidates(
+                    &Lev,
+                    &store,
+                    |id| store.get(id).span(),
+                    &q,
+                    2.0,
+                    &cands,
+                    VerifyMode::Trie,
+                    None,
+                    false,
+                    threads,
+                    &mut stats,
+                );
+                (got, stats)
+            };
+            let (got_a, stats_a) = run();
+            let (got_b, stats_b) = run();
+            assert_eq!(got_a, want, "threads {threads}");
+            assert_eq!(got_b, want, "threads {threads}");
+            // Race losers are uncounted, so every counter is reproducible
+            // at a fixed thread count.
+            assert_eq!(stats_a.stepdp_calls, stats_b.stepdp_calls);
+            assert_eq!(stats_a.trie_cache_hits, stats_b.trie_cache_hits);
+            assert_eq!(stats_a.trie_cache_misses, stats_b.trie_cache_misses);
+            // Cross-shard sharing keeps total StepDP work bounded by the
+            // sequential private-trie run instead of multiplying with the
+            // worker count.
+            assert!(stats_a.stepdp_calls <= seq_stats.stepdp_calls);
+        }
+    }
+
+    #[test]
     fn sw_mode_counts_columns_per_distinct_trajectory() {
         // Regression: SW mode used to accumulate `sw_columns` once per
         // candidate while scanning once per distinct trajectory, inflating
@@ -1122,6 +1524,7 @@ mod tests {
                 None,
                 false,
                 past,
+                None,
                 &mut stats,
             )
             .unwrap_err();
@@ -1140,6 +1543,7 @@ mod tests {
                     false,
                     threads,
                     past,
+                    None,
                     &mut stats,
                 )
                 .unwrap_err();
@@ -1164,6 +1568,7 @@ mod tests {
             None,
             false,
             relaxed,
+            None,
             &mut s1,
         )
         .unwrap();

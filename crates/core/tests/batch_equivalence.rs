@@ -88,6 +88,27 @@ fn check_equivalence<M: WedInstance + Sync>(
             prop_assert_eq!(g.stats.results, w.stats.results);
         }
 
+        // The opt-in shared trie cache must never change results — only
+        // which worker computes a DP column first.
+        let shared = engine
+            .run_batch(
+                &queries,
+                BatchOptions::with_threads(threads).share_tries(true),
+            )
+            .expect("shared-cache batch admitted");
+        for (i, (g, w)) in shared.responses.iter().zip(&want).enumerate() {
+            prop_assert_eq!(
+                &g.matches,
+                &w.matches,
+                "shared-cache batch query {} at {} threads",
+                i,
+                threads
+            );
+            prop_assert_eq!(g.stats.fallback, w.stats.fallback);
+            prop_assert_eq!(g.stats.candidates, w.stats.candidates);
+            prop_assert_eq!(g.stats.results, w.stats.results);
+        }
+
         for (i, query) in queries.iter().enumerate() {
             let par = Query::from_json(&query.to_json())
                 .expect("wire round-trip")
@@ -104,6 +125,121 @@ fn check_equivalence<M: WedInstance + Sync>(
         }
     }
     Ok(())
+}
+
+/// A repeated-query Trie-mode batch: with `share_tries` on, the first
+/// execution of the pattern materializes the DP columns and every repeat
+/// reuses them, so the merged `stepdp_calls` (the CMR numerator) drops
+/// strictly below the private-trie baseline while matches stay
+/// byte-identical at every thread count.
+#[test]
+fn shared_cache_repeated_batch_is_byte_identical_and_cheaper() {
+    let store: TrajectoryStore = vec![
+        vec![0, 1, 2, 3, 4],
+        vec![3, 1, 5, 1, 2],
+        vec![1, 2, 1, 2, 1],
+        vec![2, 3, 4, 5, 6],
+    ]
+    .into_iter()
+    .map(Trajectory::untimed)
+    .collect();
+    let engine = EngineBuilder::new(Lev, &store, 12).build();
+    let q = Query::threshold(vec![1, 2, 3], 2.0)
+        .verify(VerifyMode::Trie)
+        .build()
+        .unwrap();
+    let queries: Vec<Query> = (0..8).map(|_| q.clone()).collect();
+
+    let private = engine
+        .run_batch(&queries, BatchOptions::with_threads(1))
+        .unwrap();
+    assert!(
+        private.stats.merged.stepdp_calls > 0,
+        "workload must exercise trie verification"
+    );
+    assert_eq!(private.stats.merged.trie_cache_hits, 0);
+    assert_eq!(private.stats.merged.trie_cache_misses, 0);
+
+    for threads in [1, 2, 4] {
+        let shared = engine
+            .run_batch(
+                &queries,
+                BatchOptions::with_threads(threads).share_tries(true),
+            )
+            .unwrap();
+        for (i, (g, w)) in shared.responses.iter().zip(&private.responses).enumerate() {
+            assert_eq!(g.matches, w.matches, "query {i} at {threads} threads");
+        }
+        assert!(
+            shared.stats.merged.stepdp_calls < private.stats.merged.stepdp_calls,
+            "sharing must reduce fresh columns at {threads} threads: {} !< {}",
+            shared.stats.merged.stepdp_calls,
+            private.stats.merged.stepdp_calls
+        );
+        assert!(
+            shared.stats.merged.trie_cache_hits > 0,
+            "repeats must hit the warm tries at {threads} threads"
+        );
+        // One miss per distinct (anchor-relative) query suffix, regardless
+        // of thread interleaving.
+        assert_eq!(
+            shared.stats.merged.trie_cache_misses,
+            engine
+                .run_batch(&queries, BatchOptions::with_threads(1).share_tries(true))
+                .unwrap()
+                .stats
+                .merged
+                .trie_cache_misses,
+            "misses are deterministic at {threads} threads"
+        );
+    }
+}
+
+/// Overlapping (not identical) patterns: different thresholds over the same
+/// pattern and different patterns sharing anchor suffixes still verify to
+/// byte-identical results with the batch cache on.
+#[test]
+fn shared_cache_overlapping_batch_is_byte_identical() {
+    let store: TrajectoryStore = vec![
+        vec![0, 1, 2, 3, 4],
+        vec![3, 1, 5, 1, 2],
+        vec![1, 2, 1, 2, 1],
+        vec![9, 8, 7, 6],
+    ]
+    .into_iter()
+    .map(Trajectory::untimed)
+    .collect();
+    let engine = EngineBuilder::new(Lev, &store, 12).build();
+    let queries: Vec<Query> = [
+        (vec![1, 2, 3], 1.0),
+        (vec![1, 2, 3], 2.0), // same pattern, wider τ: same suffix set
+        (vec![5, 2, 3], 2.0), // distinct pattern sharing the [2,3] suffix
+        (vec![1, 2], 1.5),
+        (vec![1, 2, 3], 3.0),
+    ]
+    .into_iter()
+    .map(|(p, tau)| {
+        Query::threshold(p, tau)
+            .verify(VerifyMode::Trie)
+            .build()
+            .unwrap()
+    })
+    .collect();
+
+    let want: Vec<_> = queries.iter().map(|q| engine.run(q).unwrap()).collect();
+    for threads in [1, 2, 4] {
+        let shared = engine
+            .run_batch(
+                &queries,
+                BatchOptions::with_threads(threads).share_tries(true),
+            )
+            .unwrap();
+        for (i, (g, w)) in shared.responses.iter().zip(&want).enumerate() {
+            assert_eq!(g.matches, w.matches, "query {i} at {threads} threads");
+            assert_eq!(g.stats.results, w.stats.results);
+        }
+        assert!(shared.stats.merged.trie_cache_hits > 0);
+    }
 }
 
 proptest! {

@@ -44,23 +44,30 @@ impl Ring {
         self.seen += 1;
     }
 
+    #[cfg(test)]
     fn summary(&self) -> LatencySummary {
-        if self.samples.is_empty() {
-            return LatencySummary::default();
-        }
-        let mut sorted = self.samples.clone();
-        sorted.sort_unstable();
-        let at = |q: f64| {
-            let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
-            sorted[idx]
-        };
-        LatencySummary {
-            count: self.seen,
-            p50_ns: at(0.50),
-            p95_ns: at(0.95),
-            p99_ns: at(0.99),
-            max_ns: *sorted.last().unwrap(),
-        }
+        summarize(self.samples.clone(), self.seen)
+    }
+}
+
+/// Percentile math over an owned sample copy — runs **outside** any ring
+/// lock, so a dashboard's `O(n log n)` sort never stalls the hot path's
+/// [`Metrics::record_latency`].
+fn summarize(mut samples: Vec<u64>, seen: u64) -> LatencySummary {
+    if samples.is_empty() {
+        return LatencySummary::default();
+    }
+    samples.sort_unstable();
+    let at = |q: f64| {
+        let idx = ((samples.len() - 1) as f64 * q).round() as usize;
+        samples[idx]
+    };
+    LatencySummary {
+        count: seen,
+        p50_ns: at(0.50),
+        p95_ns: at(0.95),
+        p99_ns: at(0.99),
+        max_ns: *samples.last().unwrap(),
     }
 }
 
@@ -149,12 +156,20 @@ impl Metrics {
         queue_capacity: usize,
         workers: usize,
     ) -> MetricsSnapshot {
+        // Copy each ring's raw samples under its lock, then sort and take
+        // percentiles on the copy with the lock released: a `stats` request
+        // summarizing a full window must not block concurrent
+        // `record_latency` calls for the duration of a 4096-element sort.
         let ring_summary = |m: &Mutex<Option<Ring>>| {
-            m.lock()
+            let raw = m
+                .lock()
                 .expect("metrics mutex poisoned")
                 .as_ref()
-                .map(Ring::summary)
-                .unwrap_or_default()
+                .map(|r| (r.samples.clone(), r.seen));
+            match raw {
+                Some((samples, seen)) => summarize(samples, seen),
+                None => LatencySummary::default(),
+            }
         };
         MetricsSnapshot {
             queue_depth,
@@ -311,6 +326,55 @@ mod tests {
         let s = Metrics::new().snapshot(0, 8, 1);
         assert_eq!(s.wall, LatencySummary::default());
         assert_eq!(s.completed, 0);
+    }
+
+    #[test]
+    fn summary_does_not_block_concurrent_pushes() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+
+        // Regression: `snapshot` used to sort the 4096-sample window while
+        // holding the ring mutex, stalling every concurrent
+        // `record_latency`. With the sort moved outside the lock, pushers
+        // and a snapshotting reader make progress together; this exercises
+        // that interleaving (and would deadlock/stall under the old
+        // lock-held sort with poisoning or re-entry bugs).
+        let m = Arc::new(Metrics::new());
+        for i in 0..SAMPLE_CAP as u64 {
+            m.record_latency(i, i); // full window => maximal sort cost
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let reader = {
+            let (m, stop) = (Arc::clone(&m), Arc::clone(&stop));
+            std::thread::spawn(move || {
+                let mut snaps = 0u32;
+                while !stop.load(Ordering::Relaxed) {
+                    let s = m.snapshot(0, 8, 1);
+                    assert!(s.wall.count >= SAMPLE_CAP as u64);
+                    snaps += 1;
+                }
+                snaps
+            })
+        };
+        let pushers: Vec<_> = (0..4)
+            .map(|t| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for i in 0..2_000u64 {
+                        m.record_latency(t * 10_000 + i, i);
+                    }
+                })
+            })
+            .collect();
+        for p in pushers {
+            p.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        let snaps = reader.join().unwrap();
+        assert!(snaps > 0, "reader never completed a snapshot");
+        let s = m.snapshot(0, 8, 1);
+        // Every push landed: total observations = warmup + 4 × 2000.
+        assert_eq!(s.wall.count, SAMPLE_CAP as u64 + 8_000);
     }
 
     #[test]

@@ -10,14 +10,26 @@ use crate::cost::{CostModel, Sym};
 /// The DP column for the empty data prefix: entry `j` is
 /// `wed(ε, Q[..j]) = Σ_{j' ≤ j} ins(Q_{j'})`.
 pub fn initial_column<M: CostModel + ?Sized>(m: &M, q: &[Sym]) -> Vec<f64> {
-    let mut col = Vec::with_capacity(q.len() + 1);
-    let mut acc = 0.0;
-    col.push(0.0);
+    let mut col = Vec::new();
+    initial_column_into(m, q, &mut col);
+    col
+}
+
+/// [`initial_column`] into a caller-owned buffer (cleared first), returning
+/// the column minimum. With non-negative insertion costs the minimum is the
+/// first entry (0.0), but the fold stays exact for any cost model.
+pub fn initial_column_into<M: CostModel + ?Sized>(m: &M, q: &[Sym], out: &mut Vec<f64>) -> f64 {
+    out.clear();
+    out.reserve(q.len() + 1);
+    let mut acc = 0.0f64;
+    let mut min = 0.0f64;
+    out.push(0.0);
     for &s in q {
         acc += m.ins(s);
-        col.push(acc);
+        min = min.min(acc);
+        out.push(acc);
     }
-    col
+    min
 }
 
 /// Algorithm 6 (StepDP): extends column `a` (for data prefix `P[..k]`) by
@@ -26,24 +38,51 @@ pub fn initial_column<M: CostModel + ?Sized>(m: &M, q: &[Sym]) -> Vec<f64> {
 /// `a[j] = wed(P[..k], Q[..j])`; the output `b` satisfies
 /// `b[j] = wed(P[..k+1], Q[..j])`.
 pub fn step_dp<M: CostModel + ?Sized>(m: &M, q: &[Sym], p: Sym, a: &[f64]) -> Vec<f64> {
-    debug_assert_eq!(a.len(), q.len() + 1);
-    let mut b = Vec::with_capacity(a.len());
-    b.push(a[0] + m.del(p));
-    for (j, &qj) in q.iter().enumerate() {
-        let diag = a[j] + m.sub(p, qj);
-        let up = a[j + 1] + m.del(p);
-        let left = b[j] + m.ins(qj);
-        b.push(diag.min(up).min(left));
-    }
+    let mut b = vec![0.0; a.len()];
+    step_dp_into(m, q, p, a, &mut b);
     b
 }
 
+/// [`step_dp`] into a caller-owned slice, returning the column minimum.
+///
+/// This is the engine's hot kernel: `del(p)` is hoisted out of the loop,
+/// the `left` dependency is carried in a register instead of re-read from
+/// `out`, and the three-way min plus the running column minimum compile to
+/// branchless `minsd` chains. The returned minimum is the Eq. (11) lower
+/// bound on every extension of the current data prefix, fused into the
+/// sweep so callers do not re-scan the column.
+pub fn step_dp_into<M: CostModel + ?Sized>(
+    m: &M,
+    q: &[Sym],
+    p: Sym,
+    a: &[f64],
+    out: &mut [f64],
+) -> f64 {
+    debug_assert_eq!(a.len(), q.len() + 1);
+    debug_assert_eq!(out.len(), a.len());
+    let del_p = m.del(p);
+    let mut left = a[0] + del_p;
+    out[0] = left;
+    let mut min = left;
+    for (j, &qj) in q.iter().enumerate() {
+        let diag = a[j] + m.sub(p, qj);
+        let up = a[j + 1] + del_p;
+        let v = diag.min(up).min(left + m.ins(qj));
+        out[j + 1] = v;
+        left = v;
+        min = min.min(v);
+    }
+    min
+}
+
 /// Weighted edit distance `wed(P, Q)` (§2.2.1), O(|P|·|Q|) time,
-/// O(|Q|) space.
+/// O(|Q|) space (two ping-pong columns, no per-step allocation).
 pub fn wed<M: CostModel + ?Sized>(m: &M, p: &[Sym], q: &[Sym]) -> f64 {
     let mut col = initial_column(m, q);
+    let mut next = vec![0.0; col.len()];
     for &sym in p {
-        col = step_dp(m, q, sym, &col);
+        step_dp_into(m, q, sym, &col, &mut next);
+        std::mem::swap(&mut col, &mut next);
     }
     col[q.len()]
 }
@@ -56,9 +95,10 @@ pub fn wed<M: CostModel + ?Sized>(m: &M, p: &[Sym], q: &[Sym]) -> f64 {
 /// below a threshold (DITA/ERP-index candidate checking uses it).
 pub fn wed_within<M: CostModel + ?Sized>(m: &M, p: &[Sym], q: &[Sym], tau: f64) -> Option<f64> {
     let mut col = initial_column(m, q);
+    let mut next = vec![0.0; col.len()];
     for &sym in p {
-        col = step_dp(m, q, sym, &col);
-        let lb = col.iter().cloned().fold(f64::INFINITY, f64::min);
+        let lb = step_dp_into(m, q, sym, &col, &mut next);
+        std::mem::swap(&mut col, &mut next);
         if lb >= tau {
             return None;
         }
@@ -155,6 +195,26 @@ mod tests {
                 }
                 None => assert!(full >= tau, "early exit lied: wed {full} < tau {tau}"),
             }
+        }
+    }
+
+    #[test]
+    fn into_variants_return_exact_column_min() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(77);
+        for _ in 0..100 {
+            let q: Vec<Sym> = (0..rng.gen_range(0..8))
+                .map(|_| rng.gen_range(0..6))
+                .collect();
+            let mut col = Vec::new();
+            let min0 = initial_column_into(&Lev, &q, &mut col);
+            assert_eq!(col, initial_column(&Lev, &q));
+            assert_eq!(min0, col.iter().cloned().fold(f64::INFINITY, f64::min));
+            let p: Sym = rng.gen_range(0..6);
+            let mut next = vec![0.0; col.len()];
+            let min = step_dp_into(&Lev, &q, p, &col, &mut next);
+            assert_eq!(next, step_dp(&Lev, &q, p, &col));
+            assert_eq!(min, next.iter().cloned().fold(f64::INFINITY, f64::min));
         }
     }
 
