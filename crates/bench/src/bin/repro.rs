@@ -21,8 +21,12 @@
 //!   fig13    eta sweep (ERP / NetERP)
 //!   throughput  batch-engine queries/sec at 1/2/4/8 threads
 //!               (also writes BENCH_throughput.json)
-//!   index-build sharded-index construction at 1/2/4/8 shards
-//!               (also writes BENCH_index.json)
+//!   index-build sharded-index construction at 1/2/4/8 shards plus the
+//!               snapshot-reopen cold-start row (also writes
+//!               BENCH_index.json)
+//!   snapshot    persistence loop (rebuild vs write/open, on-disk and
+//!               reopened footprint) with a match- and counter-identical
+//!               workload self-check (also writes BENCH_snapshot.json)
 //!   api      mixed threshold/top-k/temporal workload through the unified
 //!               Query/Response API at 1/2/4/8 threads, queries arriving
 //!               over their JSON wire format (also writes BENCH_api.json)
@@ -111,7 +115,7 @@ fn parse_args() -> Args {
 
 fn print_usage() {
     eprintln!(
-        "usage: repro <table2|fig4|table3|fig5|fig6|fig7|fig8|fig9|fig10|table4|table5|table6|fig11|fig12|fig13|throughput|index-build|api|metrics|serve|distrib|verify-cache|all> [--scale S] [--queries N] [--min-speedup X] [--fail-on-regress PCT]"
+        "usage: repro <table2|fig4|table3|fig5|fig6|fig7|fig8|fig9|fig10|table4|table5|table6|fig11|fig12|fig13|throughput|index-build|snapshot|api|metrics|serve|distrib|verify-cache|all> [--scale S] [--queries N] [--min-speedup X] [--fail-on-regress PCT]"
     );
 }
 
@@ -293,6 +297,13 @@ fn main() {
             .unwrap_or_else(|e| panic!("could not write {path}: {e}"));
         eprintln!("wrote {path}");
     }
+    if all || exp == "snapshot" {
+        let rows = snapshot::run("beijing", 40, nq.max(8), 0.1, scale);
+        snapshot::print(&rows);
+        let path = "BENCH_snapshot.json";
+        snapshot::write_json(&rows, path).unwrap_or_else(|e| panic!("could not write {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
     if all || exp == "api" {
         let rows = api_workload::run(
             "beijing",
@@ -383,6 +394,7 @@ fn main() {
             "fig13",
             "throughput",
             "index-build",
+            "snapshot",
             "api",
             "metrics",
             "serve",

@@ -1,4 +1,5 @@
-//! Sharded-index construction scaling: build wall-time at 1/2/4/8 shards.
+//! Index construction scaling and cold start: build wall-time at 1/2/4/8
+//! shards, plus the snapshot path from `trajsearch-persist`.
 //!
 //! Not a paper experiment — the paper builds its index once, serially
 //! (Table 6) — but the ROADMAP's scaling direction needs index
@@ -8,44 +9,80 @@
 //! single-list `InvertedIndex`, and emits a machine-readable JSON dump
 //! (`BENCH_index.json`) for CI trend tracking.
 //!
+//! Two columns cover persistence (PR 9):
+//!
+//! * `cold_start_ms` — time from nothing to the first answered query:
+//!   rebuild-from-store plus one query for the in-memory layouts, snapshot
+//!   `open` (checksum + validated decode) plus one query for the
+//!   `snapshot` row;
+//! * the final `snapshot` row's `size_bytes` is the reopened
+//!   `CompactIndex` footprint, self-checked strictly below the in-memory
+//!   `InvertedIndex` of the same postings.
+//!
 //! Speedup is hardware-bound exactly like `BENCH_throughput.json`: the
 //! curve flattens at the host's core count (recorded as `host_cpus`), and a
 //! 1-core runner legitimately reports ≈ 1.0x.
 
 use super::{host_cpus, write_bench_json};
-use crate::data::{Dataset, Scale};
+use crate::data::{Dataset, FuncKind, Scale};
 use crate::table::{fmt_bytes, fmt_ms, print_table};
 use std::time::Instant;
-use trajsearch_core::{InvertedIndex, PostingSource, ShardedIndex};
+use trajsearch_core::{EngineBuilder, InvertedIndex, PostingSource, Query, ShardedIndex};
+use trajsearch_persist::Snapshot;
 
-/// One measured point: a full parallel build at one shard count.
+/// One measured point: a full parallel build (or snapshot reopen) at one
+/// layout.
 #[derive(Debug, Clone)]
 pub struct IndexBuildRow {
     pub dataset: String,
+    /// `sharded` rows rebuild from the store; the `snapshot` row reopens
+    /// the persisted file.
+    pub layout: &'static str,
     pub shards: usize,
     pub trajectories: usize,
     pub postings: usize,
+    /// Build wall-time for `sharded` rows; `Snapshot::open` wall-time
+    /// (read + checksum + validated decode) for the `snapshot` row.
     pub build_ms: f64,
     /// Build-time speedup relative to the 1-shard row of the same sweep.
     pub speedup: f64,
+    /// Time from nothing to the first answered query: build (or open) plus
+    /// one threshold query through a fresh engine.
+    pub cold_start_ms: f64,
     pub size_bytes: usize,
 }
 
 /// Builds the index at each shard count and self-checks equivalence: every
 /// sharded build must report the same trajectory count, postings total and
 /// per-symbol frequencies as the `InvertedIndex` reference (full postings
-/// equivalence is proptested in `core/tests/index_equivalence.rs`; here the
-/// cheap invariants run at experiment scale on every CI run).
+/// equivalence is proptested in `core/tests/index_equivalence.rs` and
+/// `persist/tests/equivalence.rs`; here the cheap invariants run at
+/// experiment scale on every CI run). A final row snapshots the reference
+/// to disk and measures the reopen path.
 pub fn run(which: &str, shard_counts: &[usize], scale: Scale) -> Vec<IndexBuildRow> {
     let d = Dataset::load(which, scale);
+    let model = d.model(FuncKind::Edr);
     let alphabet = d.net.num_vertices();
     let reference = InvertedIndex::build(&d.store, alphabet);
 
-    let mut rows = Vec::with_capacity(shard_counts.len());
+    // The cold-start probe: one sampled threshold query, the same for
+    // every row so `cold_start_ms` differences are pure build-vs-open.
+    let probe = d
+        .sample_queries(FuncKind::Edr, 20, 1, 11)
+        .pop()
+        .expect("dataset yields at least one query");
+    let tau = d.tau_for(&*model, &probe, 0.1);
+    let probe_query = Query::threshold(probe, tau).build().expect("valid probe");
+    let probe_results = {
+        let engine = EngineBuilder::new(&*model, &d.store, alphabet).build();
+        engine.run(&probe_query).expect("probe runs").matches.len()
+    };
+
+    let mut rows = Vec::with_capacity(shard_counts.len() + 1);
     for &shards in shard_counts {
         let t0 = Instant::now();
         let idx = ShardedIndex::build_parallel(&d.store, alphabet, shards);
-        let wall = t0.elapsed();
+        let build = t0.elapsed().as_secs_f64() * 1e3;
 
         assert_eq!(idx.num_trajectories(), reference.num_trajectories());
         assert_eq!(idx.total_postings(), reference.total_postings());
@@ -56,21 +93,82 @@ pub fn run(which: &str, shard_counts: &[usize], scale: Scale) -> Vec<IndexBuildR
                 "freq({q}) diverged at {shards} shards"
             );
         }
+        let size_bytes = idx.size_bytes();
+
+        // Cold start = rebuild + first query, measured end to end on a
+        // fresh build so allocator warm-up is not hidden.
+        let t0 = Instant::now();
+        let cold_idx = ShardedIndex::build_parallel(&d.store, alphabet, shards);
+        let engine = EngineBuilder::new(&*model, &d.store, alphabet).build_with(cold_idx);
+        let got = engine.run(&probe_query).expect("probe runs");
+        let cold_start_ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(
+            got.matches.len(),
+            probe_results,
+            "cold-start probe diverged"
+        );
 
         rows.push(IndexBuildRow {
             dataset: d.name.to_string(),
+            layout: "sharded",
             shards: idx.num_shards(),
             trajectories: idx.num_trajectories(),
             postings: idx.total_postings(),
-            build_ms: wall.as_secs_f64() * 1e3,
+            build_ms: build,
             speedup: 1.0,
-            size_bytes: idx.size_bytes(),
+            cold_start_ms,
+            size_bytes,
         });
     }
+
+    // Snapshot leg: persist the reference once, then measure reopen-to-
+    // first-query against rebuild-to-first-query.
+    let snap_path = std::env::temp_dir().join(format!(
+        "trajsearch_index_build_{}_{}.snap",
+        std::process::id(),
+        d.name
+    ));
+    Snapshot::write(&snap_path, &d.store, &reference).expect("snapshot writes");
+    let t0 = Instant::now();
+    let snap = Snapshot::open(&snap_path).expect("snapshot reopens");
+    let open_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t0 = Instant::now();
+    let snap_cold = Snapshot::open(&snap_path).expect("snapshot reopens");
+    let (snap_store, compact) = snap_cold.into_parts();
+    let engine = EngineBuilder::new(&*model, &snap_store, alphabet).build_with(compact);
+    let got = engine.run(&probe_query).expect("probe runs");
+    let cold_start_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        got.matches.len(),
+        probe_results,
+        "cold-start probe diverged"
+    );
+    std::fs::remove_file(&snap_path).ok();
+
+    let compact = snap.into_parts().1;
+    assert_eq!(compact.total_postings(), reference.total_postings());
+    assert!(
+        compact.size_bytes() < reference.size_bytes(),
+        "reopened CompactIndex ({}) must undercut the in-memory InvertedIndex ({})",
+        compact.size_bytes(),
+        reference.size_bytes()
+    );
+    rows.push(IndexBuildRow {
+        dataset: d.name.to_string(),
+        layout: "snapshot",
+        shards: 1,
+        trajectories: compact.num_trajectories(),
+        postings: compact.total_postings(),
+        build_ms: open_ms,
+        speedup: 1.0,
+        cold_start_ms,
+        size_bytes: compact.size_bytes(),
+    });
+
     // Normalize speedup against the 1-shard row (first row if none).
     let base = rows
         .iter()
-        .find(|r| r.shards == 1)
+        .find(|r| r.layout == "sharded" && r.shards == 1)
         .or(rows.first())
         .map(|r| r.build_ms)
         .unwrap_or(1.0)
@@ -83,23 +181,33 @@ pub fn run(which: &str, shard_counts: &[usize], scale: Scale) -> Vec<IndexBuildR
 
 pub fn print(rows: &[IndexBuildRow]) {
     println!(
-        "\nSharded index construction: build time vs shard count ({} host cpus)",
+        "\nIndex construction and cold start: build/open time vs layout ({} host cpus)",
         host_cpus()
     );
     print_table(
         &[
-            "Dataset", "Shards", "Traj", "Postings", "Build ms", "Speedup", "Size",
+            "Dataset",
+            "Layout",
+            "Shards",
+            "Traj",
+            "Postings",
+            "Build/Open ms",
+            "Speedup",
+            "Cold start ms",
+            "Size",
         ],
         &rows
             .iter()
             .map(|r| {
                 vec![
                     r.dataset.clone(),
+                    r.layout.to_string(),
                     r.shards.to_string(),
                     r.trajectories.to_string(),
                     r.postings.to_string(),
                     fmt_ms(r.build_ms),
                     format!("{:.2}x", r.speedup),
+                    fmt_ms(r.cold_start_ms),
                     fmt_bytes(r.size_bytes),
                 ]
             })
@@ -115,15 +223,17 @@ pub fn write_json(rows: &[IndexBuildRow], path: &str) -> std::io::Result<()> {
         .iter()
         .map(|r| {
             format!(
-                "{{\"dataset\": \"{}\", \"shards\": {}, \"trajectories\": {}, \
-                 \"postings\": {}, \"build_ms\": {:.3}, \"speedup\": {:.3}, \
-                 \"size_bytes\": {}}}",
+                "{{\"dataset\": \"{}\", \"layout\": \"{}\", \"shards\": {}, \
+                 \"trajectories\": {}, \"postings\": {}, \"build_ms\": {:.3}, \
+                 \"speedup\": {:.3}, \"cold_start_ms\": {:.3}, \"size_bytes\": {}}}",
                 r.dataset,
+                r.layout,
                 r.shards,
                 r.trajectories,
                 r.postings,
                 r.build_ms,
                 r.speedup,
+                r.cold_start_ms,
                 r.size_bytes
             )
         })
@@ -138,14 +248,19 @@ mod tests {
     #[test]
     fn rows_cover_shard_counts_and_agree_on_totals() {
         let rows = run("beijing", &[1, 2, 4], Scale(0.01));
-        assert_eq!(rows.len(), 3);
+        assert_eq!(rows.len(), 4);
         assert_eq!(rows[0].shards, 1);
         assert!(rows.iter().all(|r| r.build_ms > 0.0));
-        // Same store at every shard count → identical totals.
+        assert!(rows.iter().all(|r| r.cold_start_ms > 0.0));
+        // Same store at every layout → identical totals.
         assert!(rows
             .windows(2)
             .all(|w| w[0].postings == w[1].postings && w[0].trajectories == w[1].trajectories));
         assert!((rows[0].speedup - 1.0).abs() < 1e-9);
+        // The persisted layout is listed last and is the smallest.
+        let snap = rows.last().unwrap();
+        assert_eq!(snap.layout, "snapshot");
+        assert!(rows[..3].iter().all(|r| snap.size_bytes < r.size_bytes));
     }
 
     #[test]
@@ -159,6 +274,8 @@ mod tests {
         assert!(text.starts_with('{') && text.trim_end().ends_with('}'));
         assert!(text.contains("\"experiment\": \"index_build\""));
         assert!(text.contains("\"shards\": 1"));
+        assert!(text.contains("\"layout\": \"snapshot\""));
+        assert!(text.contains("\"cold_start_ms\""));
         assert!(text.contains("\"host_cpus\""));
         assert_eq!(text.matches('{').count(), text.matches('}').count());
         assert_eq!(text.matches('[').count(), text.matches(']').count());

@@ -294,6 +294,7 @@ pub mod metrics_workload;
 pub mod naturalness;
 pub mod query_time;
 pub mod serve_load;
+pub mod snapshot;
 pub mod table2;
 pub mod table6;
 pub mod temporal;

@@ -1,0 +1,270 @@
+//! Snapshot persistence: cold start and footprint of the on-disk index
+//! (`trajsearch-persist`), plain and with temporal postings.
+//!
+//! Not a paper experiment — the paper rebuilds its index per run — but the
+//! ROADMAP's serving direction needs restarts that do not pay the rebuild:
+//! this measures the full persistence loop (`rebuild` → `write` → `open`)
+//! on the same dataset and then proves the reopened engine is worth
+//! trusting by running a mixed threshold workload against the in-memory
+//! reference, match-identical and counter-identical.
+//!
+//! Columns split into wall-clock (advisory: `rebuild_ms`, `write_ms`,
+//! `open_ms`) and deterministic counters (`candidates`, `results`,
+//! `file_bytes`, `compact_bytes`, `inverted_bytes`) — the latter are what
+//! `repro --fail-on-regress` gates across runs: the snapshot format
+//! growing, or the reopened index answering differently, fails CI even
+//! when timings jitter.
+
+use super::{host_cpus, write_bench_json};
+use crate::data::{Dataset, FuncKind, Scale};
+use crate::table::{fmt_bytes, fmt_ms, print_table};
+use std::time::Instant;
+use trajsearch_core::{
+    EngineBuilder, InvertedIndex, PostingSource, Query, TemporalConstraint, TimeInterval,
+};
+use trajsearch_persist::Snapshot;
+use wed::Sym;
+
+/// One measured point: the persistence loop with or without the temporal
+/// (by-departure) section.
+#[derive(Debug, Clone)]
+pub struct SnapshotRow {
+    pub dataset: String,
+    /// `plain` or `temporal` (by-departure orderings persisted too).
+    pub variant: &'static str,
+    pub trajectories: usize,
+    pub postings: usize,
+    /// In-memory rebuild from the store (the cost a snapshot avoids).
+    pub rebuild_ms: f64,
+    pub write_ms: f64,
+    /// `Snapshot::open`: read + checksum + validated decode.
+    pub open_ms: f64,
+    pub file_bytes: usize,
+    /// Footprint of the reopened `CompactIndex`.
+    pub compact_bytes: usize,
+    /// Footprint of the `InvertedIndex` it replaces.
+    pub inverted_bytes: usize,
+    pub queries: usize,
+    /// Summed deterministic counters from the reopened engine's workload,
+    /// self-checked equal to the in-memory reference.
+    pub candidates: usize,
+    pub results: usize,
+}
+
+/// Runs the persistence loop per variant and self-checks the reopened
+/// engine match- and counter-identical to the in-memory one on a mixed
+/// threshold workload (full option-grid equivalence is proptested in
+/// `persist/tests/equivalence.rs`; this runs at experiment scale on every
+/// CI pass).
+pub fn run(which: &str, qlen: usize, nq: usize, tau_ratio: f64, scale: Scale) -> Vec<SnapshotRow> {
+    let d = Dataset::load(which, scale);
+    let func = FuncKind::Edr;
+    let model = d.model(func);
+    let (store, alphabet) = d.store_for(func);
+
+    // Dataset time range, for the temporal variant's constraint window.
+    let (mut tmin, mut tmax) = (f64::INFINITY, f64::NEG_INFINITY);
+    for (_, t) in store.iter() {
+        tmin = tmin.min(t.departure());
+        tmax = tmax.max(t.arrival());
+    }
+    let constraint =
+        TemporalConstraint::overlaps(TimeInterval::new(tmin, tmin + 0.5 * (tmax - tmin)));
+
+    let base_queries: Vec<(Vec<Sym>, f64)> = d
+        .sample_queries(func, qlen, nq, 97)
+        .into_iter()
+        .map(|q| {
+            let tau = d.tau_for(&*model, &q, tau_ratio);
+            (q, tau)
+        })
+        .collect();
+
+    let mut rows = Vec::with_capacity(2);
+    for variant in ["plain", "temporal"] {
+        let temporal = variant == "temporal";
+        let t0 = Instant::now();
+        let mut inverted = InvertedIndex::build(store, alphabet);
+        if temporal {
+            inverted.enable_temporal_postings();
+        }
+        let rebuild_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let path = std::env::temp_dir().join(format!(
+            "trajsearch_snapshot_exp_{}_{variant}.snap",
+            std::process::id()
+        ));
+        let t0 = Instant::now();
+        let info = Snapshot::write(&path, store, &inverted).expect("snapshot writes");
+        let write_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t0 = Instant::now();
+        let snap = Snapshot::open(&path).expect("snapshot reopens");
+        let open_ms = t0.elapsed().as_secs_f64() * 1e3;
+        std::fs::remove_file(&path).ok();
+
+        let queries: Vec<Query> = base_queries
+            .iter()
+            .map(|(q, tau)| {
+                let mut b = Query::threshold(q.clone(), *tau);
+                if temporal {
+                    b = b
+                        .temporal(constraint)
+                        .temporal_filter(true)
+                        .temporal_postings(true);
+                }
+                b.build().expect("valid workload")
+            })
+            .collect();
+
+        let inverted_bytes = inverted.size_bytes();
+        let compact_bytes = snap.index().size_bytes();
+        assert!(
+            compact_bytes < inverted_bytes,
+            "{variant}: reopened CompactIndex ({compact_bytes}) must undercut \
+             the in-memory InvertedIndex ({inverted_bytes})"
+        );
+
+        let reference = EngineBuilder::new(&*model, store, alphabet).build_with(inverted);
+        let (snap_store, compact) = snap.into_parts();
+        let engine = EngineBuilder::new(&*model, &snap_store, alphabet).build_with(compact);
+        let (mut candidates, mut results) = (0usize, 0usize);
+        for query in &queries {
+            let want = reference.run(query).expect("reference runs");
+            let got = engine.run(query).expect("reopened engine runs");
+            assert_eq!(got.matches, want.matches, "{variant}: matches diverged");
+            assert_eq!(
+                got.stats.candidates, want.stats.candidates,
+                "{variant}: candidate counts diverged"
+            );
+            candidates += got.stats.candidates;
+            results += got.matches.len();
+        }
+
+        rows.push(SnapshotRow {
+            dataset: d.name.to_string(),
+            variant,
+            trajectories: engine.index().num_trajectories(),
+            postings: engine.index().total_postings(),
+            rebuild_ms,
+            write_ms,
+            open_ms,
+            file_bytes: info.file_bytes,
+            compact_bytes,
+            inverted_bytes,
+            queries: queries.len(),
+            candidates,
+            results,
+        });
+    }
+    rows
+}
+
+pub fn print(rows: &[SnapshotRow]) {
+    println!(
+        "\nSnapshot persistence: rebuild vs write/open, footprint, workload self-check ({} host cpus)",
+        host_cpus()
+    );
+    print_table(
+        &[
+            "Dataset",
+            "Variant",
+            "Postings",
+            "Rebuild ms",
+            "Write ms",
+            "Open ms",
+            "File",
+            "Compact",
+            "Inverted",
+            "Queries",
+            "Results",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.dataset.clone(),
+                    r.variant.to_string(),
+                    r.postings.to_string(),
+                    fmt_ms(r.rebuild_ms),
+                    fmt_ms(r.write_ms),
+                    fmt_ms(r.open_ms),
+                    fmt_bytes(r.file_bytes),
+                    fmt_bytes(r.compact_bytes),
+                    fmt_bytes(r.inverted_bytes),
+                    r.queries.to_string(),
+                    r.results.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}
+
+/// Writes the rows as a machine-readable JSON document (shared envelope:
+/// the crate's private `write_bench_json`). `candidates` and `results` are
+/// deterministic counters the `--fail-on-regress` trend gate can fail on.
+pub fn write_json(rows: &[SnapshotRow], path: &str) -> std::io::Result<()> {
+    let rendered: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"dataset\": \"{}\", \"variant\": \"{}\", \"trajectories\": {}, \
+                 \"postings\": {}, \"rebuild_ms\": {:.3}, \"write_ms\": {:.3}, \
+                 \"open_ms\": {:.3}, \"file_bytes\": {}, \"compact_bytes\": {}, \
+                 \"inverted_bytes\": {}, \"queries\": {}, \"candidates\": {}, \
+                 \"results\": {}}}",
+                r.dataset,
+                r.variant,
+                r.trajectories,
+                r.postings,
+                r.rebuild_ms,
+                r.write_ms,
+                r.open_ms,
+                r.file_bytes,
+                r.compact_bytes,
+                r.inverted_bytes,
+                r.queries,
+                r.candidates,
+                r.results
+            )
+        })
+        .collect();
+    write_bench_json(path, "snapshot", "open_ms", &rendered)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_cover_both_variants_and_shrink_the_index() {
+        let rows = run("beijing", 20, 4, 0.1, Scale(0.01));
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].variant, "plain");
+        assert_eq!(rows[1].variant, "temporal");
+        for r in &rows {
+            assert!(r.open_ms > 0.0 && r.write_ms > 0.0 && r.rebuild_ms > 0.0);
+            assert!(r.compact_bytes < r.inverted_bytes);
+            assert!(r.file_bytes > 0);
+            assert_eq!(r.queries, 4);
+        }
+        // Same postings either way; the temporal file carries an extra
+        // section, so it is strictly bigger.
+        assert_eq!(rows[0].postings, rows[1].postings);
+        assert!(rows[1].file_bytes > rows[0].file_bytes);
+    }
+
+    #[test]
+    fn json_dump_is_parsable_shape() {
+        let rows = run("beijing", 20, 3, 0.1, Scale(0.01));
+        let path = std::env::temp_dir().join("trajsearch_snapshot_exp_test.json");
+        let path = path.to_str().unwrap();
+        write_json(&rows, path).unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        std::fs::remove_file(path).ok();
+        assert!(text.contains("\"experiment\": \"snapshot\""));
+        assert!(text.contains("\"variant\": \"plain\""));
+        assert!(text.contains("\"variant\": \"temporal\""));
+        assert!(text.contains("\"candidates\""));
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
+    }
+}

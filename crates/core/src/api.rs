@@ -12,6 +12,7 @@
 //! type over a socket.
 
 use crate::batch::{BatchOptions, BatchStats};
+use crate::compact::CompactIndex;
 use crate::deadline::Deadline;
 use crate::index::{InvertedIndex, Posting, PostingSource};
 use crate::json::JsonValue;
@@ -43,6 +44,13 @@ pub enum IndexLayout {
     /// Postings partitioned by `traj_id % n`, built in parallel
     /// ([`ShardedIndex`]); results are identical at any shard count.
     Sharded(usize),
+    /// Delta+varint postings in one contiguous arena ([`CompactIndex`]):
+    /// builds a single-list index, compacts it, and drops the mutable form
+    /// — smallest footprint, no appends. This is also the layout
+    /// `Snapshot::open` in `trajsearch-persist` yields, so an engine built
+    /// this way is byte-identical to one reopened from a snapshot of the
+    /// same store.
+    Compact,
     /// Postings served by remote shard servers. This is a *descriptor*:
     /// `trajsearch-core` has no networking, so [`EngineBuilder::build`]
     /// panics on it — connect a `trajsearch_distrib::RemoteShards` from the
@@ -75,21 +83,26 @@ impl RemoteSpec {
 pub enum AnyIndex {
     Single(InvertedIndex),
     Sharded(ShardedIndex),
+    Compact(CompactIndex),
 }
 
-/// `impl Iterator` returned from a two-arm match.
-enum EitherIter<A, B> {
+/// `impl Iterator` returned from a three-arm match.
+enum EitherIter<A, B, C> {
     A(A),
     B(B),
+    C(C),
 }
 
-impl<T, A: Iterator<Item = T>, B: Iterator<Item = T>> Iterator for EitherIter<A, B> {
+impl<T, A: Iterator<Item = T>, B: Iterator<Item = T>, C: Iterator<Item = T>> Iterator
+    for EitherIter<A, B, C>
+{
     type Item = T;
 
     fn next(&mut self) -> Option<T> {
         match self {
             EitherIter::A(it) => it.next(),
             EitherIter::B(it) => it.next(),
+            EitherIter::C(it) => it.next(),
         }
     }
 }
@@ -99,6 +112,7 @@ impl PostingSource for AnyIndex {
         match self {
             AnyIndex::Single(i) => EitherIter::A(i.postings(q).iter().copied()),
             AnyIndex::Sharded(i) => EitherIter::B(i.postings(q)),
+            AnyIndex::Compact(i) => EitherIter::C(i.postings(q)),
         }
     }
 
@@ -106,6 +120,7 @@ impl PostingSource for AnyIndex {
         match self {
             AnyIndex::Single(i) => i.freq(q),
             AnyIndex::Sharded(i) => PostingSource::freq(i, q),
+            AnyIndex::Compact(i) => PostingSource::freq(i, q),
         }
     }
 
@@ -113,6 +128,7 @@ impl PostingSource for AnyIndex {
         match self {
             AnyIndex::Single(i) => i.span(id),
             AnyIndex::Sharded(i) => PostingSource::span(i, id),
+            AnyIndex::Compact(i) => PostingSource::span(i, id),
         }
     }
 
@@ -124,6 +140,7 @@ impl PostingSource for AnyIndex {
         match self {
             AnyIndex::Single(i) => EitherIter::A(i.postings_departing_by(q, t_max).iter().copied()),
             AnyIndex::Sharded(i) => EitherIter::B(i.postings_departing_by(q, t_max)),
+            AnyIndex::Compact(i) => EitherIter::C(i.postings_departing_by(q, t_max)),
         }
     }
 
@@ -131,6 +148,7 @@ impl PostingSource for AnyIndex {
         match self {
             AnyIndex::Single(i) => i.has_temporal_postings(),
             AnyIndex::Sharded(i) => PostingSource::has_temporal_postings(i),
+            AnyIndex::Compact(i) => PostingSource::has_temporal_postings(i),
         }
     }
 
@@ -138,6 +156,7 @@ impl PostingSource for AnyIndex {
         match self {
             AnyIndex::Single(i) => i.alphabet_size(),
             AnyIndex::Sharded(i) => PostingSource::alphabet_size(i),
+            AnyIndex::Compact(i) => PostingSource::alphabet_size(i),
         }
     }
 
@@ -145,6 +164,7 @@ impl PostingSource for AnyIndex {
         match self {
             AnyIndex::Single(i) => i.num_trajectories(),
             AnyIndex::Sharded(i) => PostingSource::num_trajectories(i),
+            AnyIndex::Compact(i) => PostingSource::num_trajectories(i),
         }
     }
 
@@ -152,6 +172,7 @@ impl PostingSource for AnyIndex {
         match self {
             AnyIndex::Single(i) => i.total_postings(),
             AnyIndex::Sharded(i) => PostingSource::total_postings(i),
+            AnyIndex::Compact(i) => PostingSource::total_postings(i),
         }
     }
 
@@ -159,6 +180,7 @@ impl PostingSource for AnyIndex {
         match self {
             AnyIndex::Single(i) => i.size_bytes(),
             AnyIndex::Sharded(i) => PostingSource::size_bytes(i),
+            AnyIndex::Compact(i) => PostingSource::size_bytes(i),
         }
     }
 }
@@ -249,6 +271,13 @@ impl<'a, M: WedInstance> EngineBuilder<'a, M> {
                     index.enable_temporal_postings();
                 }
                 AnyIndex::Sharded(index)
+            }
+            IndexLayout::Compact => {
+                let mut index = InvertedIndex::build(self.store, self.alphabet_size);
+                if self.temporal_postings {
+                    index.enable_temporal_postings();
+                }
+                AnyIndex::Compact(index.to_compact())
             }
         };
         SearchEngine::from_parts(self.model, self.store, index, t0.elapsed())

@@ -70,8 +70,55 @@ pub trait PostingSource {
     /// Total number of postings records across all symbols.
     fn total_postings(&self) -> usize;
 
-    /// Approximate index memory footprint in bytes (Table 6).
+    /// Approximate index memory footprint in bytes (Table 6), **including**
+    /// the optional by-departure orderings when they are built. The local
+    /// layouts expose the component attribution behind this number through
+    /// their inherent `size_breakdown()` methods ([`SizeBreakdown`]).
     fn size_bytes(&self) -> usize;
+}
+
+/// Component attribution of an index's memory footprint — which bytes pay
+/// for raw postings records, which for per-symbol bookkeeping (list
+/// headers / offset tables), which for the span tables, and which for the
+/// optional §4.3 by-departure orderings. Summing the fields reproduces the
+/// layout's [`PostingSource::size_bytes`], so `BENCH_index.json`'s shard
+/// overhead (list headers replicated per shard) is attributable instead of
+/// a single opaque number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SizeBreakdown {
+    /// Raw postings records (`(id, j)` pairs, or their encoded bytes in a
+    /// compact layout).
+    pub postings: usize,
+    /// Per-symbol bookkeeping: `Vec` headers on the list layouts, offset +
+    /// frequency tables on the compact layout. This is the component that
+    /// scales with `alphabet_size × num_shards`.
+    pub list_headers: usize,
+    /// Per-trajectory departure/arrival tables.
+    pub spans: usize,
+    /// The optional by-departure orderings (entries plus their per-symbol
+    /// headers); zero until temporal postings are enabled.
+    pub by_departure: usize,
+}
+
+impl SizeBreakdown {
+    /// Sum of all components — equals the layout's
+    /// [`PostingSource::size_bytes`].
+    pub fn total(&self) -> usize {
+        self.postings + self.list_headers + self.spans + self.by_departure
+    }
+}
+
+impl std::ops::Add for SizeBreakdown {
+    type Output = SizeBreakdown;
+
+    fn add(self, rhs: SizeBreakdown) -> SizeBreakdown {
+        SizeBreakdown {
+            postings: self.postings + rhs.postings,
+            list_headers: self.list_headers + rhs.list_headers,
+            spans: self.spans + rhs.spans,
+            by_departure: self.by_departure + rhs.by_departure,
+        }
+    }
 }
 
 /// Inverted index with per-symbol postings and frequencies.
@@ -225,11 +272,36 @@ impl InvertedIndex {
     }
 
     /// Approximate index memory footprint in bytes (postings + spans +
-    /// per-symbol list headers), reported in Table 6.
+    /// per-symbol list headers + the by-departure ordering when built),
+    /// reported in Table 6. See [`size_breakdown`](InvertedIndex::size_breakdown)
+    /// for the attribution.
     pub fn size_bytes(&self) -> usize {
-        self.total_postings * std::mem::size_of::<Posting>()
-            + self.postings.len() * std::mem::size_of::<Vec<Posting>>()
-            + self.departures.len() * 2 * std::mem::size_of::<f64>()
+        self.size_breakdown().total()
+    }
+
+    /// Component attribution of [`size_bytes`](InvertedIndex::size_bytes).
+    pub fn size_breakdown(&self) -> SizeBreakdown {
+        SizeBreakdown {
+            postings: self.total_postings * std::mem::size_of::<Posting>(),
+            list_headers: self.postings.len() * std::mem::size_of::<Vec<Posting>>(),
+            spans: self.departures.len() * 2 * std::mem::size_of::<f64>(),
+            by_departure: self
+                .dep_postings
+                .as_ref()
+                .map(|dp| {
+                    self.total_postings * std::mem::size_of::<(f64, Posting)>()
+                        + dp.len() * std::mem::size_of::<Vec<(f64, Posting)>>()
+                })
+                .unwrap_or(0),
+        }
+    }
+
+    /// Snapshot hook: compacts this index into the immutable delta+varint
+    /// arena layout ([`CompactIndex`](crate::compact::CompactIndex)) —
+    /// what `trajsearch-persist` writes to disk and reopens without a
+    /// rebuild.
+    pub fn to_compact(&self) -> crate::compact::CompactIndex {
+        crate::compact::CompactIndex::from_source(self)
     }
 }
 
@@ -467,6 +539,29 @@ mod tests {
     fn temporal_postings_require_enabling() {
         let idx = InvertedIndex::build(&store(), 4);
         idx.postings_departing_by(1, 10.0);
+    }
+
+    #[test]
+    fn size_breakdown_sums_to_size_bytes_and_attributes_temporal() {
+        let mut idx = InvertedIndex::build(&store(), 4);
+        let before = idx.size_breakdown();
+        assert_eq!(before.total(), idx.size_bytes());
+        assert_eq!(before.by_departure, 0);
+        assert_eq!(
+            before.postings,
+            idx.total_postings() * std::mem::size_of::<Posting>()
+        );
+        idx.enable_temporal_postings();
+        let after = idx.size_breakdown();
+        assert_eq!(after.total(), idx.size_bytes());
+        assert!(
+            after.by_departure > 0,
+            "the by-departure ordering must be attributed"
+        );
+        // Only the by_departure component moved.
+        assert_eq!(after.postings, before.postings);
+        assert_eq!(after.list_headers, before.list_headers);
+        assert_eq!(after.spans, before.spans);
     }
 
     #[test]

@@ -20,6 +20,10 @@
 //! * [`sharded`] — postings partitioned by `traj_id % num_shards`: parallel
 //!   construction on scoped threads, appends touching one shard, identical
 //!   search results at any shard count.
+//! * [`compact`] — delta+varint postings in one contiguous arena
+//!   ([`CompactIndex`]): the immutable, memory-compact layout the
+//!   `trajsearch-persist` snapshot format writes to disk and reopens
+//!   without a rebuild, again with identical search results.
 //! * [`verify`] — **local verification** growing bidirectionally from
 //!   candidate anchors with the Eq. (11) early-termination bound, and
 //!   **bidirectional tries** caching DP columns across candidates (§5).
@@ -71,6 +75,7 @@
 
 pub mod api;
 pub mod batch;
+pub mod compact;
 pub mod deadline;
 pub mod filter;
 pub mod index;
@@ -88,9 +93,10 @@ pub mod verify;
 
 pub use api::{AnyIndex, BatchResponse, EngineBuilder, IndexLayout, RemoteSpec, Response};
 pub use batch::{BatchOptions, BatchOutcome, BatchStats};
+pub use compact::CompactIndex;
 pub use deadline::Deadline;
 pub use filter::FilterPlan;
-pub use index::{InvertedIndex, Posting, PostingSource};
+pub use index::{InvertedIndex, Posting, PostingSource, SizeBreakdown};
 pub use metric::{DtwVerifier, FrechetVerifier, LcssVerifier, Metric};
 pub use query::{Objective, Parallelism, Query, QueryBuilder, QueryError};
 pub use results::{MatchResult, ResultSet};

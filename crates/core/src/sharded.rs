@@ -24,7 +24,7 @@
 //! any shard count (enforced by `tests/index_equivalence.rs`). This is the
 //! stepping stone to shards living on different machines (see ROADMAP).
 
-use crate::index::{Posting, PostingSource};
+use crate::index::{Posting, PostingSource, SizeBreakdown};
 use traj::{TrajId, TrajectoryStore};
 use wed::Sym;
 
@@ -92,10 +92,20 @@ impl Shard {
         self.dep_postings = Some(dp);
     }
 
-    fn size_bytes(&self) -> usize {
-        self.total_postings * std::mem::size_of::<Posting>()
-            + self.postings.len() * std::mem::size_of::<Vec<Posting>>()
-            + self.departures.len() * 2 * std::mem::size_of::<f64>()
+    fn size_breakdown(&self) -> SizeBreakdown {
+        SizeBreakdown {
+            postings: self.total_postings * std::mem::size_of::<Posting>(),
+            list_headers: self.postings.len() * std::mem::size_of::<Vec<Posting>>(),
+            spans: self.departures.len() * 2 * std::mem::size_of::<f64>(),
+            by_departure: self
+                .dep_postings
+                .as_ref()
+                .map(|dp| {
+                    self.total_postings * std::mem::size_of::<(f64, Posting)>()
+                        + dp.len() * std::mem::size_of::<Vec<(f64, Posting)>>()
+                })
+                .unwrap_or(0),
+        }
     }
 }
 
@@ -199,6 +209,28 @@ impl ShardedIndex {
     /// Number of shards the postings are partitioned into.
     pub fn num_shards(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Component attribution of [`size_bytes`](PostingSource::size_bytes),
+    /// summed over all shards. The `list_headers` component is what grows
+    /// with the shard count (every shard keeps a full per-symbol list
+    /// table), which is the 7–47% overhead `BENCH_index.json` reports over
+    /// the single-list layout.
+    pub fn size_breakdown(&self) -> SizeBreakdown {
+        self.shards
+            .iter()
+            .map(Shard::size_breakdown)
+            .fold(SizeBreakdown::default(), |a, b| a + b)
+    }
+
+    /// Snapshot hook: compacts the partitioned postings into the immutable
+    /// delta+varint arena layout
+    /// ([`CompactIndex`](crate::compact::CompactIndex)). Canonicalization
+    /// makes the result identical to compacting the equivalent
+    /// [`InvertedIndex`](crate::index::InvertedIndex) — the shard count
+    /// leaves no trace in a snapshot.
+    pub fn to_compact(&self) -> crate::compact::CompactIndex {
+        crate::compact::CompactIndex::from_source(self)
     }
 }
 
@@ -319,7 +351,12 @@ impl IndexShard {
     }
 
     pub fn size_bytes(&self) -> usize {
-        self.shard.size_bytes()
+        self.shard.size_breakdown().total()
+    }
+
+    /// Component attribution of [`size_bytes`](IndexShard::size_bytes).
+    pub fn size_breakdown(&self) -> SizeBreakdown {
+        self.shard.size_breakdown()
     }
 }
 
@@ -381,7 +418,7 @@ impl PostingSource for ShardedIndex {
     }
 
     fn size_bytes(&self) -> usize {
-        self.shards.iter().map(Shard::size_bytes).sum()
+        self.size_breakdown().total()
     }
 }
 
@@ -551,6 +588,29 @@ mod tests {
             assert!(idx.size_bytes() > last);
             last = idx.size_bytes();
         }
+    }
+
+    #[test]
+    fn size_breakdown_attributes_the_shard_overhead() {
+        let s = store();
+        let single = ShardedIndex::build(&s, 6, 1).size_breakdown();
+        let wide = ShardedIndex::build(&s, 6, 4).size_breakdown();
+        assert_eq!(single.total(), ShardedIndex::build(&s, 6, 1).size_bytes());
+        // Postings records and spans are partition-invariant; only the
+        // per-shard list headers replicate.
+        assert_eq!(wide.postings, single.postings);
+        assert_eq!(wide.spans, single.spans);
+        assert_eq!(wide.list_headers, 4 * single.list_headers);
+        assert_eq!(wide.by_departure, 0);
+
+        let mut temporal = ShardedIndex::build(&s, 6, 4);
+        temporal.enable_temporal_postings();
+        let tb = temporal.size_breakdown();
+        assert!(tb.by_departure > 0);
+        assert_eq!(tb.total(), temporal.size_bytes());
+        // The standalone shard agrees with its in-index twin.
+        let solo = IndexShard::build(&s, 6, 0, 4);
+        assert_eq!(solo.size_breakdown().total(), solo.size_bytes());
     }
 
     #[test]

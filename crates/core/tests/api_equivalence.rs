@@ -205,7 +205,7 @@ proptest! {
         let max_tau = initial_tau * (1 << growth) as f64;
         let legacy = SearchEngine::new(Lev, &store, ALPHABET);
         let want = legacy.search_top_k(&q, k, initial_tau, max_tau);
-        for layout in [IndexLayout::Single, IndexLayout::Sharded(2)] {
+        for layout in [IndexLayout::Single, IndexLayout::Sharded(2), IndexLayout::Compact] {
             let engine = EngineBuilder::new(Lev, &store, ALPHABET).layout(layout.clone()).build();
             let query = Query::top_k(q.clone(), k, initial_tau, max_tau).build().unwrap();
             let got = engine.run(&query).unwrap().ranked();

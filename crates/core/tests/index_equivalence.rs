@@ -1,9 +1,10 @@
-//! Randomized equivalence: `ShardedIndex` must be indistinguishable from
-//! `InvertedIndex` through every consumer surface.
+//! Randomized equivalence: `ShardedIndex` and `CompactIndex` must be
+//! indistinguishable from `InvertedIndex` through every consumer surface.
 //!
-//! Sharding partitions the postings lists by `traj_id % num_shards`; nothing
-//! downstream may observe that. The suite checks, for random stores and
-//! shard counts in {1, 2, 3, 7}:
+//! Sharding partitions the postings lists by `traj_id % num_shards`, and
+//! compaction re-encodes them delta+varint in one arena; nothing downstream
+//! may observe either. The suite checks, for random stores and shard counts
+//! in {1, 2, 3, 7}:
 //!
 //! * the *index* surface — postings sets, `freq`, spans,
 //!   `postings_departing_by` — agrees record-for-record (as multisets; the
@@ -17,8 +18,8 @@ use proptest::prelude::*;
 use traj::{TrajId, Trajectory, TrajectoryStore};
 use trajsearch_core::batch::BatchOptions;
 use trajsearch_core::{
-    AnyIndex, EngineBuilder, InvertedIndex, Parallelism, Posting, PostingSource, Query,
-    SearchEngine, SearchOptions, ShardedIndex, TemporalConstraint, TimeInterval, VerifyMode,
+    AnyIndex, CompactIndex, EngineBuilder, InvertedIndex, Parallelism, Posting, PostingSource,
+    Query, SearchEngine, SearchOptions, ShardedIndex, TemporalConstraint, TimeInterval, VerifyMode,
 };
 use wed::models::Lev;
 use wed::Sym;
@@ -56,26 +57,26 @@ fn sorted_departing(idx: &impl PostingSource, q: Sym, t_max: f64) -> Vec<(f64, P
 /// both sides have temporal postings) the by-departure prefixes at several
 /// cut points.
 fn check_index_surface(
-    sharded: &ShardedIndex,
+    candidate: &impl PostingSource,
     reference: &InvertedIndex,
 ) -> Result<(), TestCaseError> {
-    prop_assert_eq!(sharded.alphabet_size(), reference.alphabet_size());
-    prop_assert_eq!(sharded.num_trajectories(), reference.num_trajectories());
-    prop_assert_eq!(sharded.total_postings(), reference.total_postings());
+    prop_assert_eq!(candidate.alphabet_size(), reference.alphabet_size());
+    prop_assert_eq!(candidate.num_trajectories(), reference.num_trajectories());
+    prop_assert_eq!(candidate.total_postings(), reference.total_postings());
     for q in 0..reference.alphabet_size() as Sym {
-        prop_assert_eq!(PostingSource::freq(sharded, q), reference.freq(q));
+        prop_assert_eq!(candidate.freq(q), reference.freq(q));
         prop_assert_eq!(
-            sorted_postings(sharded, q),
+            sorted_postings(candidate, q),
             reference.postings(q).to_vec(),
             "postings set of symbol {} diverged",
             q
         );
     }
     for id in 0..reference.num_trajectories() as TrajId {
-        prop_assert_eq!(PostingSource::span(sharded, id), reference.span(id));
+        prop_assert_eq!(candidate.span(id), reference.span(id));
     }
     prop_assert_eq!(
-        PostingSource::has_temporal_postings(sharded),
+        candidate.has_temporal_postings(),
         reference.has_temporal_postings()
     );
     if reference.has_temporal_postings() {
@@ -83,7 +84,7 @@ fn check_index_surface(
         for q in 0..reference.alphabet_size() as Sym {
             for t_max in [-1.0, 0.0, 5.0, 17.0, horizon] {
                 prop_assert_eq!(
-                    sorted_departing(sharded, q, t_max),
+                    sorted_departing(candidate, q, t_max),
                     sorted_departing(reference, q, t_max),
                     "departing-by set of symbol {} at t_max {} diverged",
                     q,
@@ -226,9 +227,13 @@ proptest! {
         let mut reference = InvertedIndex::build(&full, ALPHABET);
         let mut sharded = ShardedIndex::build_parallel(&full, ALPHABET, shards);
         check_index_surface(&sharded, &reference)?;
+        check_index_surface(&reference.to_compact(), &reference)?;
         reference.enable_temporal_postings();
         sharded.enable_temporal_postings();
         check_index_surface(&sharded, &reference)?;
+        // Compacting either layout yields the same surface again.
+        check_index_surface(&reference.to_compact(), &reference)?;
+        check_index_surface(&CompactIndex::from_source(&sharded), &reference)?;
 
         // Build on a prefix, then append the rest to both sides: appends
         // must land exactly where a fresh build would have put them, and
@@ -247,8 +252,9 @@ proptest! {
         ref_app.enable_temporal_postings();
         sh_app.enable_temporal_postings();
         check_index_surface(&sh_app, &ref_app)?;
-        // And the appended result equals the straight build.
+        // And the appended result equals the straight build, compacted too.
         check_index_surface(&sh_app, &reference)?;
+        check_index_surface(&CompactIndex::from_source(&sh_app), &reference)?;
     }
 
     /// Engine surface: full search results are byte-identical across shard
@@ -281,7 +287,9 @@ proptest! {
         for &shards in &SHARD_COUNTS {
             let mut idx = ShardedIndex::build_parallel(&store, ALPHABET, shards);
             idx.enable_temporal_postings();
+            let compact = CompactIndex::from_source(&idx);
             let engine = EngineBuilder::new(Lev, &store, ALPHABET).build_with(idx);
+            let compact_engine = EngineBuilder::new(Lev, &store, ALPHABET).build_with(compact);
             for opts in option_grid(constraint) {
                 check_outcomes(
                     &reference,
@@ -289,6 +297,13 @@ proptest! {
                     &workload,
                     opts,
                     &format!("{shards} shards, opts={opts:?}"),
+                )?;
+                check_outcomes(
+                    &reference,
+                    &compact_engine,
+                    &workload,
+                    opts,
+                    &format!("compact of {shards} shards, opts={opts:?}"),
                 )?;
             }
         }
@@ -329,6 +344,7 @@ proptest! {
             for id in split..store.len() {
                 idx.append(id as TrajId, store.get(id as TrajId));
             }
+            let compact = CompactIndex::from_source(&idx);
             let engine = EngineBuilder::new(Lev, &store, ALPHABET).build_with(idx);
             check_outcomes(
                 &reference,
@@ -336,6 +352,14 @@ proptest! {
                 &workload,
                 opts,
                 &format!("{shards} shards after {} appends", store.len() - split),
+            )?;
+            let compact_engine = EngineBuilder::new(Lev, &store, ALPHABET).build_with(compact);
+            check_outcomes(
+                &reference,
+                &compact_engine,
+                &workload,
+                opts,
+                &format!("compact after {} appends", store.len() - split),
             )?;
         }
     }

@@ -40,8 +40,9 @@ fn oracle(metric: Metric, store: &TrajectoryStore, q: &[Sym], tau: f64) -> Vec<M
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
-    /// Engine == oracle for each metric, across Single/Sharded layouts and
-    /// Sequential/InQuery schedules, distances compared bit-for-bit.
+    /// Engine == oracle for each metric, across Single/Sharded/Compact
+    /// layouts and Sequential/InQuery schedules, distances compared
+    /// bit-for-bit.
     #[test]
     fn metric_engines_match_their_oracles(
         paths in proptest::collection::vec(
@@ -55,7 +56,7 @@ proptest! {
         let store = store_from(paths);
         for metric in [Metric::Dtw, Metric::Lcss { eps: 0.0 }, Metric::Frechet] {
             let want = oracle(metric, &store, &pattern, tau);
-            for layout in [IndexLayout::Single, IndexLayout::Sharded(3)] {
+            for layout in [IndexLayout::Single, IndexLayout::Sharded(3), IndexLayout::Compact] {
                 let engine = EngineBuilder::new(&Lev, &store, ALPHABET)
                     .layout(layout.clone())
                     .build();

@@ -1,0 +1,131 @@
+//! Typed snapshot failures: every way a file can be unusable has its own
+//! variant, and nothing in the decode path panics.
+
+use std::fmt;
+
+/// Why a snapshot could not be written or opened.
+///
+/// The decode path guarantees **typed failure**: a truncated, bit-flipped,
+/// future-version or otherwise malformed file always surfaces as one of
+/// these variants — never a panic, never a silently wrong index. Match on
+/// [`kind`](SnapshotError::kind) when only the class matters (e.g. "retry
+/// on `Io`, refuse on anything else").
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Filesystem failure while reading or writing the snapshot file.
+    Io(std::io::Error),
+    /// The file does not start with the `TSNP` magic — not a snapshot.
+    BadMagic { found: [u8; 4] },
+    /// Written by a newer format version than this reader supports.
+    UnsupportedVersion { found: u16, supported: u16 },
+    /// The flags word carries bits this reader does not understand; the
+    /// file may rely on semantics we would silently ignore, so refuse it.
+    UnknownFlags { flags: u16 },
+    /// The file ends before the named structure is complete.
+    Truncated {
+        what: &'static str,
+        /// Bytes the structure needs.
+        needed: u64,
+        /// Bytes actually available.
+        have: u64,
+    },
+    /// Stored and recomputed CRC32 disagree — the bytes were corrupted.
+    ChecksumMismatch {
+        section: &'static str,
+        stored: u32,
+        computed: u32,
+    },
+    /// The bytes checksum correctly but violate a structural or semantic
+    /// invariant of the named section (a writer bug or a deliberate
+    /// mutation that patched the CRCs).
+    Corrupt {
+        section: &'static str,
+        detail: String,
+    },
+    /// `Snapshot::write`/`encode` was handed a store and an index that do
+    /// not describe the same trajectories.
+    StoreIndexMismatch { detail: String },
+}
+
+/// Discriminant-only view of [`SnapshotError`], for tests and callers that
+/// classify without destructuring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SnapshotErrorKind {
+    Io,
+    BadMagic,
+    UnsupportedVersion,
+    UnknownFlags,
+    Truncated,
+    ChecksumMismatch,
+    Corrupt,
+    StoreIndexMismatch,
+}
+
+impl SnapshotError {
+    /// The variant, without its payload.
+    pub fn kind(&self) -> SnapshotErrorKind {
+        match self {
+            SnapshotError::Io(_) => SnapshotErrorKind::Io,
+            SnapshotError::BadMagic { .. } => SnapshotErrorKind::BadMagic,
+            SnapshotError::UnsupportedVersion { .. } => SnapshotErrorKind::UnsupportedVersion,
+            SnapshotError::UnknownFlags { .. } => SnapshotErrorKind::UnknownFlags,
+            SnapshotError::Truncated { .. } => SnapshotErrorKind::Truncated,
+            SnapshotError::ChecksumMismatch { .. } => SnapshotErrorKind::ChecksumMismatch,
+            SnapshotError::Corrupt { .. } => SnapshotErrorKind::Corrupt,
+            SnapshotError::StoreIndexMismatch { .. } => SnapshotErrorKind::StoreIndexMismatch,
+        }
+    }
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot io error: {e}"),
+            SnapshotError::BadMagic { found } => {
+                write!(f, "not a snapshot: magic {found:?} != b\"TSNP\"")
+            }
+            SnapshotError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "snapshot format version {found} is newer than supported version {supported}"
+            ),
+            SnapshotError::UnknownFlags { flags } => {
+                write!(f, "snapshot carries unknown flag bits {flags:#06x}")
+            }
+            SnapshotError::Truncated { what, needed, have } => {
+                write!(
+                    f,
+                    "snapshot truncated: {what} needs {needed} bytes, have {have}"
+                )
+            }
+            SnapshotError::ChecksumMismatch {
+                section,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "checksum mismatch in {section}: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            SnapshotError::Corrupt { section, detail } => {
+                write!(f, "corrupt {section} section: {detail}")
+            }
+            SnapshotError::StoreIndexMismatch { detail } => {
+                write!(f, "store and index disagree: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}

@@ -1,0 +1,77 @@
+//! Byte-level primitives for the snapshot format: CRC32 and bounds-checked
+//! little-endian readers. Varints come from
+//! [`trajsearch_core::compact`](trajsearch_core::compact) so the arena
+//! encoding is shared with the in-memory `CompactIndex`.
+
+/// CRC-32 (IEEE 802.3, reflected, `0xEDB88320`) — the same polynomial as
+/// gzip/zlib, computed from a compile-time table. No dependency needed.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ u32::from(b)) & 0xff) as usize];
+    }
+    !crc
+}
+
+static CRC_TABLE: [u32; 256] = crc_table();
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+// Bounds-checked little-endian readers: `None` on truncation, never panic.
+
+pub(crate) fn read_u16(buf: &[u8], pos: usize) -> Option<u16> {
+    Some(u16::from_le_bytes(buf.get(pos..pos + 2)?.try_into().ok()?))
+}
+
+pub(crate) fn read_u32(buf: &[u8], pos: usize) -> Option<u32> {
+    Some(u32::from_le_bytes(buf.get(pos..pos + 4)?.try_into().ok()?))
+}
+
+pub(crate) fn read_u64(buf: &[u8], pos: usize) -> Option<u64> {
+    Some(u64::from_le_bytes(buf.get(pos..pos + 8)?.try_into().ok()?))
+}
+
+pub(crate) fn read_f64(buf: &[u8], pos: usize) -> Option<f64> {
+    Some(f64::from_bits(read_u64(buf, pos)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The canonical IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn readers_refuse_truncated_input() {
+        let buf = [1u8, 2, 3];
+        assert_eq!(read_u16(&buf, 0), Some(0x0201));
+        assert_eq!(read_u16(&buf, 2), None);
+        assert_eq!(read_u32(&buf, 0), None);
+        assert_eq!(read_u64(&buf, 0), None);
+        assert_eq!(read_f64(&buf, 0), None);
+    }
+}

@@ -1,0 +1,843 @@
+//! The snapshot file format and its reader/writer.
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"TSNP"
+//! 4       2     format version (little-endian, currently 1)
+//! 6       2     flags  (bit 0: temporal section present)
+//! 8       4     section count
+//! 12      4     header CRC32 (over bytes 0..12 ++ the manifest)
+//! 16      24·k  manifest: per section {kind u32, offset u64, len u64, crc u32}
+//! ...           section payloads (contiguous, in manifest order)
+//! ```
+//!
+//! Sections of version 1 (`kind`):
+//!
+//! | kind | name     | payload                                              |
+//! |------|----------|------------------------------------------------------|
+//! | 1    | meta     | varints: num_trajectories, alphabet_size, postings   |
+//! | 2    | paths    | per trajectory: varint len, then varint symbols      |
+//! | 3    | times    | raw `f64` LE timestamps, trajectory-major            |
+//! | 4    | spans    | raw `f64` LE departures ×n, then arrivals ×n         |
+//! | 5    | postings | freqs `u32` LE ×a · offsets `u64` LE ×(a+1) · arena  |
+//! | 6    | temporal | offsets `u64` LE ×(a+1) · arena (flag bit 0 only)    |
+//!
+//! The reader validates in strict order — magic, version, flags, manifest
+//! bounds, header CRC, per-section CRCs — and only then parses payloads,
+//! with every count bounded against the bytes that actually exist. A final
+//! semantic pass proves the decoded postings are exactly the store's
+//! occurrences (and the temporal arena a permutation of them), so even a
+//! CRC-consistent file written by a buggy tool cannot serve wrong answers.
+
+use crate::error::SnapshotError;
+use crate::format::{crc32, read_f64, read_u16, read_u32, read_u64};
+use std::path::Path;
+use traj::{Trajectory, TrajectoryStore};
+use trajsearch_core::compact::{read_varint, write_varint};
+use trajsearch_core::{CompactIndex, Posting, PostingSource};
+
+/// First four bytes of every snapshot file.
+pub const MAGIC: [u8; 4] = *b"TSNP";
+/// The format version this build writes and the newest it can read.
+pub const FORMAT_VERSION: u16 = 1;
+/// Flags bit 0: the temporal (by-departure) section is present.
+pub const FLAG_TEMPORAL: u16 = 1 << 0;
+/// Fixed header size in bytes (the manifest follows immediately).
+pub const HEADER_LEN: usize = 16;
+/// Size of one manifest entry in bytes.
+pub const MANIFEST_ENTRY_LEN: usize = 24;
+
+const SEC_META: u32 = 1;
+const SEC_PATHS: u32 = 2;
+const SEC_TIMES: u32 = 3;
+const SEC_SPANS: u32 = 4;
+const SEC_POSTINGS: u32 = 5;
+const SEC_TEMPORAL: u32 = 6;
+/// Backstop against absurd manifests before any allocation happens.
+const MAX_SECTIONS: u32 = 64;
+
+fn section_name(kind: u32) -> &'static str {
+    match kind {
+        SEC_META => "meta",
+        SEC_PATHS => "paths",
+        SEC_TIMES => "times",
+        SEC_SPANS => "spans",
+        SEC_POSTINGS => "postings",
+        SEC_TEMPORAL => "temporal",
+        _ => "unknown",
+    }
+}
+
+/// What [`Snapshot::write`] produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotInfo {
+    /// Total file size in bytes.
+    pub file_bytes: usize,
+    /// Number of sections in the manifest.
+    pub sections: usize,
+    /// Whether the by-departure orderings were included.
+    pub temporal: bool,
+}
+
+/// A decoded snapshot: the trajectory store plus the compact index, ready
+/// for [`EngineBuilder::build_with`](trajsearch_core::EngineBuilder::build_with).
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    store: TrajectoryStore,
+    index: CompactIndex,
+    file_bytes: usize,
+}
+
+impl Snapshot {
+    /// Serializes `store` + `index` and writes the file atomically (a
+    /// temporary sibling is written first, then renamed over `path`), so a
+    /// crash mid-write can never leave a torn snapshot under the real name.
+    ///
+    /// `index` may be any [`PostingSource`] — single-list, sharded at any
+    /// count, or an already-compact index; canonicalization makes the bytes
+    /// identical in every case.
+    pub fn write<I: PostingSource>(
+        path: &Path,
+        store: &TrajectoryStore,
+        index: &I,
+    ) -> Result<SnapshotInfo, SnapshotError> {
+        let bytes = Self::encode(store, index)?;
+        let info = SnapshotInfo {
+            file_bytes: bytes.len(),
+            sections: if index.has_temporal_postings() { 6 } else { 5 },
+            temporal: index.has_temporal_postings(),
+        };
+        let tmp = path.with_extension("snap.tmp");
+        std::fs::write(&tmp, &bytes)?;
+        std::fs::rename(&tmp, path)?;
+        Ok(info)
+    }
+
+    /// The in-memory half of [`Snapshot::write`]: the exact file bytes.
+    ///
+    /// Fails with [`SnapshotError::StoreIndexMismatch`] if `index` does not
+    /// describe `store`'s trajectories (count, spans, or total postings
+    /// disagree, or a path symbol is outside the index alphabet).
+    pub fn encode<I: PostingSource>(
+        store: &TrajectoryStore,
+        index: &I,
+    ) -> Result<Vec<u8>, SnapshotError> {
+        check_encode_coherence(store, index)?;
+        let compact = CompactIndex::from_source(index);
+
+        let n = store.len();
+        let alphabet = compact.alphabet_size();
+        let total = compact.total_postings();
+
+        let mut meta = Vec::new();
+        write_varint(&mut meta, n as u64);
+        write_varint(&mut meta, alphabet as u64);
+        write_varint(&mut meta, total as u64);
+
+        let mut paths = Vec::new();
+        let mut times = Vec::with_capacity(total * 8);
+        for (_, t) in store.iter() {
+            write_varint(&mut paths, t.path().len() as u64);
+            for &sym in t.path() {
+                write_varint(&mut paths, u64::from(sym));
+            }
+            for &time in t.times() {
+                times.extend_from_slice(&time.to_bits().to_le_bytes());
+            }
+        }
+
+        let mut spans = Vec::with_capacity(n * 16);
+        for &dep in compact.departures() {
+            spans.extend_from_slice(&dep.to_bits().to_le_bytes());
+        }
+        for &arr in compact.arrivals() {
+            spans.extend_from_slice(&arr.to_bits().to_le_bytes());
+        }
+
+        let mut postings = Vec::new();
+        for &f in compact.freqs() {
+            postings.extend_from_slice(&f.to_le_bytes());
+        }
+        for &off in compact.offsets() {
+            postings.extend_from_slice(&off.to_le_bytes());
+        }
+        postings.extend_from_slice(compact.arena());
+
+        let mut sections: Vec<(u32, Vec<u8>)> = vec![
+            (SEC_META, meta),
+            (SEC_PATHS, paths),
+            (SEC_TIMES, times),
+            (SEC_SPANS, spans),
+            (SEC_POSTINGS, postings),
+        ];
+        let mut flags = 0u16;
+        if let Some((t_offsets, t_arena)) = compact.temporal_parts() {
+            let mut temporal = Vec::with_capacity(t_offsets.len() * 8 + t_arena.len());
+            for &off in t_offsets {
+                temporal.extend_from_slice(&off.to_le_bytes());
+            }
+            temporal.extend_from_slice(t_arena);
+            sections.push((SEC_TEMPORAL, temporal));
+            flags |= FLAG_TEMPORAL;
+        }
+
+        Ok(assemble(flags, &sections))
+    }
+
+    /// Reads and [`decode`](Snapshot::decode)s the file at `path`.
+    pub fn open(path: &Path) -> Result<Snapshot, SnapshotError> {
+        let bytes = std::fs::read(path)?;
+        Snapshot::decode(&bytes)
+    }
+
+    /// Validates and decodes snapshot bytes. Validation runs in strict
+    /// order — magic, version, flags, manifest bounds, header CRC,
+    /// per-section CRCs, bounded parses, then the semantic
+    /// postings-vs-store pass; any defect yields a typed
+    /// [`SnapshotError`], never a panic.
+    pub fn decode(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
+        let (store, index) = decode_validated(bytes)?;
+        Ok(Snapshot {
+            store,
+            index,
+            file_bytes: bytes.len(),
+        })
+    }
+
+    /// The decoded trajectory store.
+    pub fn store(&self) -> &TrajectoryStore {
+        &self.store
+    }
+
+    /// The decoded compact index.
+    pub fn index(&self) -> &CompactIndex {
+        &self.index
+    }
+
+    /// Size of the file (or byte buffer) this snapshot was decoded from.
+    pub fn file_bytes(&self) -> usize {
+        self.file_bytes
+    }
+
+    /// Consumes the snapshot into `(store, index)` — the pair
+    /// [`EngineBuilder::build_with`](trajsearch_core::EngineBuilder::build_with)
+    /// wants.
+    pub fn into_parts(self) -> (TrajectoryStore, CompactIndex) {
+        (self.store, self.index)
+    }
+}
+
+fn check_encode_coherence<I: PostingSource>(
+    store: &TrajectoryStore,
+    index: &I,
+) -> Result<(), SnapshotError> {
+    let mismatch = |detail: String| Err(SnapshotError::StoreIndexMismatch { detail });
+    if index.num_trajectories() != store.len() {
+        return mismatch(format!(
+            "index covers {} trajectories, store holds {}",
+            index.num_trajectories(),
+            store.len()
+        ));
+    }
+    let alphabet = index.alphabet_size();
+    let mut total = 0usize;
+    for (id, t) in store.iter() {
+        total += t.path().len();
+        if let Some(&sym) = t.path().iter().find(|&&s| s as usize >= alphabet) {
+            return mismatch(format!(
+                "trajectory {id} uses symbol {sym}, outside the index alphabet ({alphabet})"
+            ));
+        }
+        let (dep, arr) = index.span(id);
+        if dep.to_bits() != t.departure().to_bits() || arr.to_bits() != t.arrival().to_bits() {
+            return mismatch(format!(
+                "span of trajectory {id}: index says ({dep}, {arr}), store says ({}, {})",
+                t.departure(),
+                t.arrival()
+            ));
+        }
+    }
+    if total != index.total_postings() {
+        return mismatch(format!(
+            "store holds {total} path positions, index holds {} postings",
+            index.total_postings()
+        ));
+    }
+    Ok(())
+}
+
+fn assemble(flags: u16, sections: &[(u32, Vec<u8>)]) -> Vec<u8> {
+    let manifest_len = sections.len() * MANIFEST_ENTRY_LEN;
+    let mut offset = (HEADER_LEN + manifest_len) as u64;
+
+    let mut manifest = Vec::with_capacity(manifest_len);
+    for (kind, payload) in sections {
+        manifest.extend_from_slice(&kind.to_le_bytes());
+        manifest.extend_from_slice(&offset.to_le_bytes());
+        manifest.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        manifest.extend_from_slice(&crc32(payload).to_le_bytes());
+        offset += payload.len() as u64;
+    }
+
+    let mut head = Vec::with_capacity(12 + manifest.len());
+    head.extend_from_slice(&MAGIC);
+    head.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    head.extend_from_slice(&flags.to_le_bytes());
+    head.extend_from_slice(&(sections.len() as u32).to_le_bytes());
+    head.extend_from_slice(&manifest);
+    let header_crc = crc32(&head);
+
+    let mut out = Vec::with_capacity(offset as usize);
+    out.extend_from_slice(&head[..12]);
+    out.extend_from_slice(&header_crc.to_le_bytes());
+    out.extend_from_slice(&manifest);
+    for (_, payload) in sections {
+        out.extend_from_slice(payload);
+    }
+    out
+}
+
+struct SectionRef<'a> {
+    payload: &'a [u8],
+}
+
+fn decode_validated(bytes: &[u8]) -> Result<(TrajectoryStore, CompactIndex), SnapshotError> {
+    let have = bytes.len() as u64;
+    let truncated =
+        |what: &'static str, needed: u64| SnapshotError::Truncated { what, needed, have };
+    let corrupt =
+        |section: &'static str, detail: String| SnapshotError::Corrupt { section, detail };
+
+    // 1. Header: magic, version, flags — checked before anything else so a
+    //    foreign or future file is identified as such, not as "corrupt".
+    if bytes.len() < HEADER_LEN {
+        return Err(truncated("header", HEADER_LEN as u64));
+    }
+    if bytes[..4] != MAGIC {
+        return Err(SnapshotError::BadMagic {
+            found: [bytes[0], bytes[1], bytes[2], bytes[3]],
+        });
+    }
+    let version = read_u16(bytes, 4).expect("header length checked");
+    if version != FORMAT_VERSION {
+        return Err(SnapshotError::UnsupportedVersion {
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    let flags = read_u16(bytes, 6).expect("header length checked");
+    if flags & !FLAG_TEMPORAL != 0 {
+        return Err(SnapshotError::UnknownFlags { flags });
+    }
+    let section_count = read_u32(bytes, 8).expect("header length checked");
+    if section_count > MAX_SECTIONS {
+        return Err(corrupt(
+            "header",
+            format!("implausible section count {section_count}"),
+        ));
+    }
+    let manifest_len = section_count as usize * MANIFEST_ENTRY_LEN;
+    let body_start = HEADER_LEN + manifest_len;
+    if bytes.len() < body_start {
+        return Err(truncated("manifest", body_start as u64));
+    }
+
+    // 2. Header + manifest CRC, before trusting any offset in it.
+    let stored_crc = read_u32(bytes, 12).expect("header length checked");
+    let mut head = Vec::with_capacity(12 + manifest_len);
+    head.extend_from_slice(&bytes[..12]);
+    head.extend_from_slice(&bytes[HEADER_LEN..body_start]);
+    let computed_crc = crc32(&head);
+    if stored_crc != computed_crc {
+        return Err(SnapshotError::ChecksumMismatch {
+            section: "header",
+            stored: stored_crc,
+            computed: computed_crc,
+        });
+    }
+
+    // 3. Manifest entries: known kinds, unique, in-bounds ranges.
+    let mut sections: [Option<SectionRef<'_>>; 6] = [const { None }; 6];
+    for i in 0..section_count as usize {
+        let base = HEADER_LEN + i * MANIFEST_ENTRY_LEN;
+        let kind = read_u32(bytes, base).expect("manifest length checked");
+        let offset = read_u64(bytes, base + 4).expect("manifest length checked");
+        let len = read_u64(bytes, base + 12).expect("manifest length checked");
+        let crc = read_u32(bytes, base + 20).expect("manifest length checked");
+        if !(SEC_META..=SEC_TEMPORAL).contains(&kind) {
+            return Err(corrupt("manifest", format!("unknown section kind {kind}")));
+        }
+        let name = section_name(kind);
+        let slot = &mut sections[kind as usize - 1];
+        if slot.is_some() {
+            return Err(corrupt("manifest", format!("duplicate {name} section")));
+        }
+        if offset < body_start as u64 {
+            return Err(corrupt(
+                "manifest",
+                format!("{name} section overlaps the header"),
+            ));
+        }
+        let end = offset
+            .checked_add(len)
+            .ok_or_else(|| corrupt("manifest", format!("{name} section range overflows")))?;
+        if end > have {
+            return Err(truncated(name, end));
+        }
+        let payload = &bytes[offset as usize..end as usize];
+        // 4. Section CRC before its payload is parsed.
+        let computed = crc32(payload);
+        if crc != computed {
+            return Err(SnapshotError::ChecksumMismatch {
+                section: name,
+                stored: crc,
+                computed,
+            });
+        }
+        *slot = Some(SectionRef { payload });
+    }
+    let want_temporal = flags & FLAG_TEMPORAL != 0;
+    let required: &[u32] = &[SEC_META, SEC_PATHS, SEC_TIMES, SEC_SPANS, SEC_POSTINGS];
+    for &kind in required {
+        if sections[kind as usize - 1].is_none() {
+            return Err(corrupt(
+                "manifest",
+                format!("missing {} section", section_name(kind)),
+            ));
+        }
+    }
+    if want_temporal != sections[SEC_TEMPORAL as usize - 1].is_some() {
+        return Err(corrupt(
+            "manifest",
+            "temporal flag and temporal section disagree".into(),
+        ));
+    }
+    let section = |kind: u32| {
+        sections[kind as usize - 1]
+            .as_ref()
+            .map(|s| s.payload)
+            .expect("presence checked above")
+    };
+
+    // 5. Meta, with every count bounded by real bytes before allocation.
+    let meta = section(SEC_META);
+    let mut pos = 0usize;
+    let mut meta_varint = |what: &'static str| {
+        read_varint(meta, &mut pos).ok_or_else(|| corrupt("meta", format!("{what} truncated")))
+    };
+    let n = meta_varint("trajectory count")?;
+    let alphabet = meta_varint("alphabet size")?;
+    let total = meta_varint("total postings")?;
+    if pos != meta.len() {
+        return Err(corrupt("meta", "trailing bytes".into()));
+    }
+    if n > u64::from(u32::MAX) {
+        return Err(corrupt(
+            "meta",
+            format!("{n} trajectories overflow u32 ids"),
+        ));
+    }
+    if alphabet > u64::from(u32::MAX) {
+        return Err(corrupt(
+            "meta",
+            format!("alphabet {alphabet} overflows u32"),
+        ));
+    }
+    let paths_sec = section(SEC_PATHS);
+    let times_sec = section(SEC_TIMES);
+    let spans_sec = section(SEC_SPANS);
+    let postings_sec = section(SEC_POSTINGS);
+    // Each trajectory needs >= 2 bytes of path encoding (length + one
+    // symbol) and 16 span bytes; each posting one time stamp.
+    if n * 2 > paths_sec.len() as u64 || n * 16 != spans_sec.len() as u64 {
+        return Err(corrupt(
+            "meta",
+            format!("{n} trajectories do not fit the paths/spans sections"),
+        ));
+    }
+    if total * 8 != times_sec.len() as u64 {
+        return Err(corrupt(
+            "meta",
+            format!(
+                "{total} postings need {} time bytes, section has {}",
+                total * 8,
+                times_sec.len()
+            ),
+        ));
+    }
+    let tables_len = (alphabet * 4)
+        .checked_add((alphabet + 1) * 8)
+        .filter(|&need| need <= postings_sec.len() as u64)
+        .ok_or_else(|| {
+            corrupt(
+                "meta",
+                format!("alphabet {alphabet} does not fit the postings section"),
+            )
+        })?;
+    let (n, alphabet, total) = (n as usize, alphabet as usize, total as usize);
+
+    // 6. Store sections.
+    let mut store = TrajectoryStore::new();
+    let mut path_pos = 0usize;
+    let mut time_pos = 0usize;
+    for id in 0..n {
+        let len = read_varint(paths_sec, &mut path_pos)
+            .ok_or_else(|| corrupt("paths", format!("trajectory {id} length truncated")))?;
+        if len == 0 {
+            return Err(corrupt("paths", format!("trajectory {id} is empty")));
+        }
+        if len > (paths_sec.len() - path_pos) as u64 {
+            return Err(corrupt(
+                "paths",
+                format!("trajectory {id} claims {len} symbols, section has fewer bytes"),
+            ));
+        }
+        let mut path = Vec::with_capacity(len as usize);
+        for k in 0..len {
+            let sym = read_varint(paths_sec, &mut path_pos).ok_or_else(|| {
+                corrupt("paths", format!("trajectory {id} truncated at symbol {k}"))
+            })?;
+            if sym >= alphabet as u64 {
+                return Err(corrupt(
+                    "paths",
+                    format!("trajectory {id} symbol {sym} outside alphabet {alphabet}"),
+                ));
+            }
+            path.push(sym as u32);
+        }
+        let mut times = Vec::with_capacity(len as usize);
+        let mut last = f64::NEG_INFINITY;
+        for k in 0..len {
+            let t = read_f64(times_sec, time_pos)
+                .ok_or_else(|| corrupt("times", format!("trajectory {id} truncated at {k}")))?;
+            time_pos += 8;
+            if t.is_nan() || t < last {
+                return Err(corrupt(
+                    "times",
+                    format!("trajectory {id} timestamps not non-decreasing at {k}"),
+                ));
+            }
+            last = t;
+            times.push(t);
+        }
+        store.push(Trajectory::new(path, times));
+    }
+    if path_pos != paths_sec.len() {
+        return Err(corrupt("paths", "trailing bytes".into()));
+    }
+
+    // 7. Spans must agree bitwise with the store's own times.
+    let mut departures = Vec::with_capacity(n);
+    let mut arrivals = Vec::with_capacity(n);
+    for id in 0..n {
+        let dep = read_f64(spans_sec, id * 8).expect("length checked");
+        let arr = read_f64(spans_sec, (n + id) * 8).expect("length checked");
+        let t = store.get(id as u32);
+        if dep.to_bits() != t.departure().to_bits() || arr.to_bits() != t.arrival().to_bits() {
+            return Err(corrupt(
+                "spans",
+                format!("span of trajectory {id} disagrees with the times section"),
+            ));
+        }
+        departures.push(dep);
+        arrivals.push(arr);
+    }
+
+    // 8. Postings tables + arena, structurally validated by CompactIndex.
+    let mut freqs = Vec::with_capacity(alphabet);
+    for q in 0..alphabet {
+        freqs.push(read_u32(postings_sec, q * 4).expect("length checked"));
+    }
+    let mut offsets = Vec::with_capacity(alphabet + 1);
+    for q in 0..=alphabet {
+        offsets.push(read_u64(postings_sec, alphabet * 4 + q * 8).expect("length checked"));
+    }
+    if freqs.iter().map(|&f| f as u64).sum::<u64>() != total as u64 {
+        return Err(corrupt(
+            "postings",
+            "frequency table does not sum to the meta postings count".into(),
+        ));
+    }
+    let arena = postings_sec[tables_len as usize..].to_vec();
+    let temporal = if want_temporal {
+        let temporal_sec = section(SEC_TEMPORAL);
+        let offsets_len = (alphabet + 1) * 8;
+        if temporal_sec.len() < offsets_len {
+            return Err(corrupt(
+                "temporal",
+                "section shorter than its offset table".into(),
+            ));
+        }
+        let mut t_offsets = Vec::with_capacity(alphabet + 1);
+        for q in 0..=alphabet {
+            t_offsets.push(read_u64(temporal_sec, q * 8).expect("length checked"));
+        }
+        Some((t_offsets, temporal_sec[offsets_len..].to_vec()))
+    } else {
+        None
+    };
+    let index = CompactIndex::from_parts(freqs, offsets, arena, departures, arrivals, temporal)
+        .map_err(|detail| {
+            let section = if detail.starts_with("temporal") {
+                "temporal"
+            } else {
+                "postings"
+            };
+            corrupt(section, detail)
+        })?;
+
+    // 9. Semantic pass: the index must describe exactly the store's symbol
+    //    occurrences — a checksum cannot catch a coherent-but-wrong writer.
+    let mut main_records: Vec<Posting> = Vec::new();
+    for q in 0..alphabet as u32 {
+        main_records.clear();
+        let mut prev: Option<Posting> = None;
+        for (id, j) in index.postings(q) {
+            if prev.is_some_and(|p| p >= (id, j)) {
+                return Err(corrupt(
+                    "postings",
+                    format!("list of symbol {q} is not strictly (id, j)-sorted"),
+                ));
+            }
+            prev = Some((id, j));
+            let path = store.get(id).path();
+            if j as usize >= path.len() || path[j as usize] != q {
+                return Err(corrupt(
+                    "postings",
+                    format!("posting ({id}, {j}) of symbol {q} does not match the store"),
+                ));
+            }
+            main_records.push((id, j));
+        }
+        if index.has_temporal_postings() {
+            let mut temporal: Vec<Posting> = index
+                .postings_departing_by(q, f64::INFINITY)
+                .map(|(_, p)| p)
+                .collect();
+            temporal.sort_unstable();
+            if temporal != main_records {
+                return Err(corrupt(
+                    "temporal",
+                    format!("by-departure list of symbol {q} is not a permutation of L_q"),
+                ));
+            }
+        }
+    }
+    // `from_parts` proved per-list counts match `freqs`, and freqs sum to
+    // `total`, which matched the times section — so postings ≡ store
+    // occurrences is now fully established.
+
+    Ok((store, index))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::SnapshotErrorKind;
+    use trajsearch_core::{InvertedIndex, ShardedIndex};
+
+    fn store() -> TrajectoryStore {
+        let mut s = TrajectoryStore::new();
+        s.push(Trajectory::new(vec![0, 1, 2], vec![10.0, 11.0, 12.0]));
+        s.push(Trajectory::new(vec![2, 1, 2], vec![5.0, 6.0, 7.0]));
+        s.push(Trajectory::new(vec![3, 0], vec![20.0, 21.0]));
+        s.push(Trajectory::new(vec![1, 1, 1, 3], vec![1.0, 2.0, 3.0, 4.0]));
+        s
+    }
+
+    fn encode_with_temporal() -> (TrajectoryStore, Vec<u8>) {
+        let s = store();
+        let mut idx = InvertedIndex::build(&s, 5);
+        idx.enable_temporal_postings();
+        let bytes = Snapshot::encode(&s, &idx).unwrap();
+        (s, bytes)
+    }
+
+    #[test]
+    fn round_trip_preserves_store_and_index() {
+        let (s, bytes) = encode_with_temporal();
+        let snap = Snapshot::decode(&bytes).unwrap();
+        assert_eq!(snap.file_bytes(), bytes.len());
+        assert_eq!(snap.store().len(), s.len());
+        for (id, t) in s.iter() {
+            assert_eq!(snap.store().get(id).path(), t.path());
+            assert_eq!(snap.store().get(id).times(), t.times());
+        }
+        let mut reference = InvertedIndex::build(&s, 5);
+        reference.enable_temporal_postings();
+        let idx = snap.index();
+        assert!(idx.has_temporal_postings());
+        assert_eq!(idx.total_postings(), reference.total_postings());
+        for q in 0..5u32 {
+            let got: Vec<Posting> = idx.postings(q).collect();
+            assert_eq!(got, reference.postings(q), "q={q}");
+            for t_max in [0.0, 6.5, 15.0, 1e9] {
+                let got: Vec<(f64, Posting)> = idx.postings_departing_by(q, t_max).collect();
+                assert_eq!(got, reference.postings_departing_by(q, t_max), "q={q}");
+            }
+        }
+    }
+
+    #[test]
+    fn bytes_are_canonical_across_layouts() {
+        let s = store();
+        let mut inv = InvertedIndex::build(&s, 5);
+        inv.enable_temporal_postings();
+        let reference = Snapshot::encode(&s, &inv).unwrap();
+        for shards in [1, 2, 3, 7] {
+            let mut sh = ShardedIndex::build_parallel(&s, 5, shards);
+            sh.enable_temporal_postings();
+            assert_eq!(
+                Snapshot::encode(&s, &sh).unwrap(),
+                reference,
+                "shards={shards}"
+            );
+        }
+        // And re-encoding a decoded snapshot is a fixed point.
+        let snap = Snapshot::decode(&reference).unwrap();
+        assert_eq!(
+            Snapshot::encode(snap.store(), snap.index()).unwrap(),
+            reference
+        );
+    }
+
+    #[test]
+    fn write_open_round_trip_is_atomic_and_faithful() {
+        let s = store();
+        let idx = InvertedIndex::build(&s, 5);
+        let path = std::env::temp_dir().join("trajsearch_persist_unit.snap");
+        let info = Snapshot::write(&path, &s, &idx).unwrap();
+        assert!(!info.temporal);
+        assert_eq!(info.sections, 5);
+        assert_eq!(
+            info.file_bytes,
+            std::fs::metadata(&path).unwrap().len() as usize
+        );
+        let snap = Snapshot::open(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(!snap.index().has_temporal_postings());
+        assert_eq!(snap.index().total_postings(), idx.total_postings());
+    }
+
+    #[test]
+    fn empty_store_round_trips() {
+        let s = TrajectoryStore::new();
+        let idx = InvertedIndex::build(&s, 3);
+        let bytes = Snapshot::encode(&s, &idx).unwrap();
+        let snap = Snapshot::decode(&bytes).unwrap();
+        assert_eq!(snap.store().len(), 0);
+        assert_eq!(snap.index().alphabet_size(), 3);
+        assert_eq!(snap.index().total_postings(), 0);
+    }
+
+    #[test]
+    fn open_missing_file_is_io() {
+        let err = Snapshot::open(Path::new("/nonexistent/definitely.snap")).unwrap_err();
+        assert_eq!(err.kind(), SnapshotErrorKind::Io);
+    }
+
+    #[test]
+    fn wrong_magic_and_future_version_are_typed() {
+        let (_, bytes) = encode_with_temporal();
+        let mut wrong = bytes.clone();
+        wrong[0] = b'X';
+        assert_eq!(
+            Snapshot::decode(&wrong).unwrap_err().kind(),
+            SnapshotErrorKind::BadMagic
+        );
+        let mut future = bytes.clone();
+        future[4] = 99; // version LE low byte
+        match Snapshot::decode(&future).unwrap_err() {
+            SnapshotError::UnsupportedVersion { found, supported } => {
+                assert_eq!(found, 99);
+                assert_eq!(supported, FORMAT_VERSION);
+            }
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+        let mut flags = bytes.clone();
+        flags[6] |= 0x80;
+        assert_eq!(
+            Snapshot::decode(&flags).unwrap_err().kind(),
+            SnapshotErrorKind::UnknownFlags
+        );
+        assert_eq!(
+            Snapshot::decode(&[]).unwrap_err().kind(),
+            SnapshotErrorKind::Truncated
+        );
+        assert_eq!(
+            Snapshot::decode(&bytes[..HEADER_LEN - 1])
+                .unwrap_err()
+                .kind(),
+            SnapshotErrorKind::Truncated
+        );
+    }
+
+    #[test]
+    fn flipped_payload_byte_is_a_checksum_mismatch() {
+        let (_, bytes) = encode_with_temporal();
+        let mut bad = bytes.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0xff;
+        let err = Snapshot::decode(&bad).unwrap_err();
+        assert_eq!(err.kind(), SnapshotErrorKind::ChecksumMismatch);
+    }
+
+    #[test]
+    fn truncation_is_typed() {
+        let (_, bytes) = encode_with_temporal();
+        for cut in [bytes.len() - 1, bytes.len() / 2, HEADER_LEN + 3] {
+            let err = Snapshot::decode(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err.kind(),
+                    SnapshotErrorKind::Truncated | SnapshotErrorKind::ChecksumMismatch
+                ),
+                "cut={cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn mismatched_store_and_index_refuse_to_encode() {
+        let s = store();
+        let idx = InvertedIndex::build(&s, 5);
+        let mut bigger = store();
+        bigger.push(Trajectory::untimed(vec![1, 2]));
+        assert_eq!(
+            Snapshot::encode(&bigger, &idx).unwrap_err().kind(),
+            SnapshotErrorKind::StoreIndexMismatch
+        );
+        // Same counts, different trajectories: spans disagree.
+        let mut other = TrajectoryStore::new();
+        other.push(Trajectory::new(vec![0, 1, 2], vec![0.0, 1.0, 2.0]));
+        other.push(Trajectory::new(vec![2, 1, 2], vec![5.0, 6.0, 7.0]));
+        other.push(Trajectory::new(vec![3, 0], vec![20.0, 21.0]));
+        other.push(Trajectory::new(vec![1, 1, 1, 3], vec![1.0, 2.0, 3.0, 4.0]));
+        assert_eq!(
+            Snapshot::encode(&other, &idx).unwrap_err().kind(),
+            SnapshotErrorKind::StoreIndexMismatch
+        );
+    }
+
+    #[test]
+    fn crc_patched_semantic_corruption_is_caught() {
+        // Re-point one posting at the wrong symbol and fix up every CRC so
+        // only the semantic pass can catch it.
+        let (_, bytes) = encode_with_temporal();
+        let snap = Snapshot::decode(&bytes).unwrap();
+        let c = snap.index();
+        // Swap the freq counts of two symbols with different frequencies;
+        // offsets stay valid prefix sums, so only record counting notices.
+        let mut freqs = c.freqs().to_vec();
+        freqs.swap(0, 1);
+        let err = CompactIndex::from_parts(
+            freqs,
+            c.offsets().to_vec(),
+            c.arena().to_vec(),
+            c.departures().to_vec(),
+            c.arrivals().to_vec(),
+            None,
+        );
+        assert!(err.is_err());
+    }
+}

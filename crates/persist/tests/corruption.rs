@@ -1,0 +1,243 @@
+//! Corruption coverage (satellite 3): every way a snapshot file can go bad
+//! must surface as a typed [`SnapshotError`] — never a panic, never an
+//! `Ok` carrying silently wrong data.
+//!
+//! The properties cover, over valid snapshots with and without the
+//! temporal section:
+//!
+//! * truncation at **every** possible length (proptest samples the range,
+//!   a unit test sweeps short files exhaustively);
+//! * a single byte flipped at any position, with any non-zero XOR mask —
+//!   every byte of the file is covered by some checksum or typed header
+//!   check, so no flip may survive;
+//! * targeted flips inside each manifest-declared section, which must be
+//!   attributed to **that** section by name;
+//! * wrong magic, future/unknown version, unknown flag bits, and absurd
+//!   section counts.
+
+use proptest::prelude::*;
+use traj::{Trajectory, TrajectoryStore};
+use trajsearch_core::{InvertedIndex, PostingSource};
+use trajsearch_persist::{
+    Snapshot, SnapshotError, SnapshotErrorKind, FLAG_TEMPORAL, FORMAT_VERSION, HEADER_LEN, MAGIC,
+    MANIFEST_ENTRY_LEN,
+};
+
+const ALPHABET: usize = 9;
+
+/// A deterministic, non-trivial store: enough trajectories that every
+/// section has real content and multi-byte varints appear in the arena.
+fn store() -> TrajectoryStore {
+    let mut s = TrajectoryStore::new();
+    for i in 0..40u64 {
+        let len = 1 + (i * 7 % 9) as usize;
+        let path: Vec<u32> = (0..len)
+            .map(|k| ((i as usize * 31 + k * 13) % ALPHABET) as u32)
+            .collect();
+        let t0 = i as f64 * 3.5;
+        let times: Vec<f64> = (0..len).map(|k| t0 + k as f64 * 0.5).collect();
+        s.push(Trajectory::new(path, times));
+    }
+    s
+}
+
+fn snapshot_bytes(temporal: bool) -> Vec<u8> {
+    let s = store();
+    let mut idx = InvertedIndex::build(&s, ALPHABET);
+    if temporal {
+        idx.enable_temporal_postings();
+    }
+    Snapshot::encode(&s, &idx).expect("valid inputs encode")
+}
+
+fn section_name(kind: u32) -> &'static str {
+    ["meta", "paths", "times", "spans", "postings", "temporal"][kind as usize - 1]
+}
+
+/// Manifest entries parsed from *pristine* bytes using only the public
+/// format constants, so tests can aim mutations at specific sections.
+fn manifest(bytes: &[u8]) -> Vec<(u32, usize, usize)> {
+    let count = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+    (0..count)
+        .map(|i| {
+            let base = HEADER_LEN + i * MANIFEST_ENTRY_LEN;
+            let kind = u32::from_le_bytes(bytes[base..base + 4].try_into().unwrap());
+            let offset =
+                u64::from_le_bytes(bytes[base + 4..base + 12].try_into().unwrap()) as usize;
+            let len = u64::from_le_bytes(bytes[base + 12..base + 20].try_into().unwrap()) as usize;
+            (kind, offset, len)
+        })
+        .collect()
+}
+
+#[test]
+fn pristine_snapshots_decode() {
+    for temporal in [false, true] {
+        let bytes = snapshot_bytes(temporal);
+        let snap = Snapshot::decode(&bytes).expect("pristine bytes decode");
+        assert_eq!(snap.store().len(), 40);
+        assert_eq!(snap.index().has_temporal_postings(), temporal);
+        // The manifest is well-formed and covers the whole file.
+        let entries = manifest(&bytes);
+        assert_eq!(entries.len(), if temporal { 6 } else { 5 });
+        let end = entries.iter().map(|&(_, o, l)| o + l).max().unwrap();
+        assert_eq!(end, bytes.len());
+    }
+}
+
+#[test]
+fn every_short_prefix_is_rejected_without_panic() {
+    let bytes = snapshot_bytes(true);
+    // Exhaustive over the header + manifest region, where parsing is most
+    // position-sensitive; the payload region is sampled by the proptest.
+    let dense = HEADER_LEN + 7 * MANIFEST_ENTRY_LEN;
+    for cut in 0..dense.min(bytes.len()) {
+        let err = Snapshot::decode(&bytes[..cut]).expect_err("prefix must fail");
+        assert!(
+            matches!(
+                err.kind(),
+                SnapshotErrorKind::Truncated | SnapshotErrorKind::ChecksumMismatch
+            ),
+            "cut={cut}: unexpected {err:?}"
+        );
+    }
+}
+
+#[test]
+fn wrong_magic_future_version_unknown_flags() {
+    let bytes = snapshot_bytes(false);
+    for i in 0..4 {
+        let mut bad = bytes.clone();
+        bad[i] ^= 0x20;
+        match Snapshot::decode(&bad).expect_err("magic") {
+            SnapshotError::BadMagic { found } => assert_ne!(found, MAGIC),
+            other => panic!("expected BadMagic, got {other:?}"),
+        }
+    }
+    for version in [0u16, FORMAT_VERSION + 1, 0x7fff, u16::MAX] {
+        let mut bad = bytes.clone();
+        bad[4..6].copy_from_slice(&version.to_le_bytes());
+        match Snapshot::decode(&bad).expect_err("version") {
+            SnapshotError::UnsupportedVersion { found, supported } => {
+                assert_eq!(found, version);
+                assert_eq!(supported, FORMAT_VERSION);
+            }
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+    }
+    for flag_bit in 1..16 {
+        let flags = 1u16 << flag_bit;
+        if flags == FLAG_TEMPORAL {
+            continue; // known bit: flipping it is covered by the CRC tests
+        }
+        let mut bad = bytes.clone();
+        let new_flags = flags | (bad[6] as u16);
+        bad[6..8].copy_from_slice(&new_flags.to_le_bytes());
+        assert_eq!(
+            Snapshot::decode(&bad).expect_err("flags").kind(),
+            SnapshotErrorKind::UnknownFlags,
+            "flag bit {flag_bit}"
+        );
+    }
+    // An absurd section count is refused before any allocation.
+    let mut bad = bytes.clone();
+    bad[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert_eq!(
+        Snapshot::decode(&bad).expect_err("count").kind(),
+        SnapshotErrorKind::Corrupt
+    );
+}
+
+#[test]
+fn flips_inside_each_section_are_attributed_to_it() {
+    for temporal in [false, true] {
+        let bytes = snapshot_bytes(temporal);
+        for (kind, offset, len) in manifest(&bytes) {
+            assert!(len > 0, "section {} is empty", section_name(kind));
+            for probe in [0, len / 2, len - 1] {
+                let mut bad = bytes.clone();
+                bad[offset + probe] ^= 0x55;
+                match Snapshot::decode(&bad).expect_err("flip must fail") {
+                    SnapshotError::ChecksumMismatch { section, .. } => {
+                        assert_eq!(section, section_name(kind), "flip at {probe} misattributed");
+                    }
+                    other => panic!(
+                        "expected ChecksumMismatch in {}, got {other:?}",
+                        section_name(kind)
+                    ),
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Truncation anywhere in the file: typed error, never a panic and
+    /// never a short-but-valid decode.
+    #[test]
+    fn truncation_anywhere_is_typed(cut_frac in 0.0f64..1.0, temporal_i in 0usize..2) {
+        let bytes = snapshot_bytes(temporal_i == 1);
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        prop_assume!(cut < bytes.len());
+        let err = Snapshot::decode(&bytes[..cut]).expect_err("truncated file must fail");
+        prop_assert!(
+            matches!(
+                err.kind(),
+                SnapshotErrorKind::Truncated | SnapshotErrorKind::ChecksumMismatch
+            ),
+            "cut={}: unexpected {:?}",
+            cut,
+            err
+        );
+    }
+
+    /// A single flipped byte anywhere: typed error, never Ok. (Every byte
+    /// of the file is covered by a checksum or a typed header check.)
+    #[test]
+    fn single_byte_flip_anywhere_is_typed(
+        pos_frac in 0.0f64..1.0,
+        mask in 1u32..256,
+        temporal_i in 0usize..2,
+    ) {
+        let mask = mask as u8;
+        let bytes = snapshot_bytes(temporal_i == 1);
+        let pos = (((bytes.len() - 1) as f64) * pos_frac) as usize;
+        let mut bad = bytes.clone();
+        bad[pos] ^= mask;
+        let err = Snapshot::decode(&bad).expect_err("flipped byte must fail");
+        // Any typed kind is acceptable — flips in the header region can
+        // legitimately surface as BadMagic / UnsupportedVersion / flags /
+        // truncation — but it must never panic and never decode.
+        let _ = err.kind();
+    }
+
+    /// Flips restricted to the payload region (past header + manifest)
+    /// must be checksum mismatches attributed to a real section.
+    #[test]
+    fn payload_flip_is_a_section_checksum_mismatch(
+        pos_frac in 0.0f64..1.0,
+        mask in 1u32..256,
+        temporal_i in 0usize..2,
+    ) {
+        let mask = mask as u8;
+        let bytes = snapshot_bytes(temporal_i == 1);
+        let entries = manifest(&bytes);
+        let body_start = HEADER_LEN + entries.len() * MANIFEST_ENTRY_LEN;
+        let span = bytes.len() - body_start - 1;
+        let pos = body_start + ((span as f64) * pos_frac) as usize;
+        let mut bad = bytes.clone();
+        bad[pos] ^= mask;
+        match Snapshot::decode(&bad).expect_err("payload flip must fail") {
+            SnapshotError::ChecksumMismatch { section, .. } => {
+                let (kind, ..) = entries
+                    .iter()
+                    .find(|&&(_, o, l)| pos >= o && pos < o + l)
+                    .expect("payload byte belongs to a section");
+                prop_assert_eq!(section, section_name(*kind));
+            }
+            other => panic!("expected ChecksumMismatch, got {other:?}"),
+        }
+    }
+}

@@ -143,6 +143,7 @@ fn loopback_responses_match_in_process_run_batch_across_layouts() {
     for (layout, layout_name) in [
         (IndexLayout::Single, "single"),
         (IndexLayout::Sharded(3), "sharded(3)"),
+        (IndexLayout::Compact, "compact"),
     ] {
         let engine = EngineBuilder::new(Lev, &store, ALPHABET)
             .layout(layout)

@@ -18,6 +18,9 @@
 //!   wire protocol: `RemoteShards` (a networked `PostingSource` fanning
 //!   out over shard servers) and the coordinator role serving queries
 //!   with typed degraded replies.
+//! * [`persist`] (`trajsearch_persist`) — versioned, checksummed on-disk
+//!   snapshots of store + index, reopened as a compact arena-backed
+//!   `PostingSource` without a rebuild.
 //! * [`baselines`] — competitor methods from the paper's evaluation.
 //! * [`mod@bench`] (`trajsearch_bench`) — the table/figure experiment
 //!   harness.
@@ -31,6 +34,7 @@ pub use traj;
 pub use trajsearch_bench as bench;
 pub use trajsearch_core as core;
 pub use trajsearch_distrib as distrib;
+pub use trajsearch_persist as persist;
 pub use trajsearch_serve as serve;
 pub use wed;
 
@@ -44,13 +48,14 @@ pub mod prelude {
     pub use rnet::{CityParams, NetworkKind, RoadNetwork};
     pub use traj::{Trajectory, TrajectoryStore, TripConfig};
     pub use trajsearch_core::{
-        AnyIndex, BatchOptions, BatchResponse, Deadline, DtwVerifier, EngineBuilder,
+        AnyIndex, BatchOptions, BatchResponse, CompactIndex, Deadline, DtwVerifier, EngineBuilder,
         FrechetVerifier, IndexLayout, IndexShard, InvertedIndex, LcssVerifier, Metric, Objective,
         Parallelism, PostingSource, Query, QueryBuilder, QueryError, RemoteSpec, Response,
         SearchEngine, ShardedIndex, TemporalConstraint, TimeInterval, Verifier, VerifyMode,
         WedVerifier,
     };
     pub use trajsearch_distrib::{Coordinator, RemoteShards, ShardEndpoint};
+    pub use trajsearch_persist::{Snapshot, SnapshotError, SnapshotErrorKind, SnapshotInfo};
     pub use trajsearch_serve::{
         Client, ClientError, DegradedInfo, MetricsSnapshot, QueryOutcome, RetryPolicy, Server,
         ServerConfig, ServerError, ServerErrorKind, ServerHandle,
