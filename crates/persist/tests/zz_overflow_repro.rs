@@ -1,0 +1,66 @@
+//! TEMP repro: crafted meta `total` overflows `total * 8` in decode.
+
+use traj::{Trajectory, TrajectoryStore};
+use trajsearch_core::compact::write_varint;
+use trajsearch_core::InvertedIndex;
+use trajsearch_persist::{crc32, Snapshot, HEADER_LEN, MANIFEST_ENTRY_LEN};
+
+fn rebuild_with_meta(bytes: &[u8], new_meta: Vec<u8>) -> Vec<u8> {
+    // Parse manifest, swap out the meta (kind 1) payload, reassemble with
+    // recomputed offsets and CRCs.
+    let count = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+    let mut sections: Vec<(u32, Vec<u8>)> = Vec::new();
+    for i in 0..count {
+        let base = HEADER_LEN + i * MANIFEST_ENTRY_LEN;
+        let kind = u32::from_le_bytes(bytes[base..base + 4].try_into().unwrap());
+        let off = u64::from_le_bytes(bytes[base + 4..base + 12].try_into().unwrap()) as usize;
+        let len = u64::from_le_bytes(bytes[base + 12..base + 20].try_into().unwrap()) as usize;
+        let payload = if kind == 1 {
+            new_meta.clone()
+        } else {
+            bytes[off..off + len].to_vec()
+        };
+        sections.push((kind, payload));
+    }
+    let manifest_len = sections.len() * MANIFEST_ENTRY_LEN;
+    let mut offset = (HEADER_LEN + manifest_len) as u64;
+    let mut manifest = Vec::new();
+    for (kind, payload) in &sections {
+        manifest.extend_from_slice(&kind.to_le_bytes());
+        manifest.extend_from_slice(&offset.to_le_bytes());
+        manifest.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        manifest.extend_from_slice(&crc32(payload).to_le_bytes());
+        offset += payload.len() as u64;
+    }
+    let mut head = Vec::new();
+    head.extend_from_slice(&bytes[..8]); // magic, version, flags
+    head.extend_from_slice(&(sections.len() as u32).to_le_bytes());
+    head.extend_from_slice(&manifest);
+    let header_crc = crc32(&head);
+    let mut out = Vec::new();
+    out.extend_from_slice(&head[..12]);
+    out.extend_from_slice(&header_crc.to_le_bytes());
+    out.extend_from_slice(&manifest);
+    for (_, payload) in &sections {
+        out.extend_from_slice(payload);
+    }
+    out
+}
+
+#[test]
+fn huge_total_in_meta_must_not_panic() {
+    let mut s = TrajectoryStore::new();
+    s.push(Trajectory::new(vec![0, 1, 2], vec![1.0, 2.0, 3.0]));
+    let idx = InvertedIndex::build(&s, 4);
+    let bytes = Snapshot::encode(&s, &idx).unwrap();
+
+    // meta = varint(n=1), varint(alphabet=4), varint(total = 2^61)
+    let mut meta = Vec::new();
+    write_varint(&mut meta, 1);
+    write_varint(&mut meta, 4);
+    write_varint(&mut meta, 1u64 << 61);
+    let crafted = rebuild_with_meta(&bytes, meta);
+    // Must be a typed error, not a panic.
+    let res = Snapshot::decode(&crafted);
+    assert!(res.is_err());
+}
