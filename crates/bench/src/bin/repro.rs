@@ -115,7 +115,7 @@ fn parse_args() -> Args {
 
 fn print_usage() {
     eprintln!(
-        "usage: repro <table2|fig4|table3|fig5|fig6|fig7|fig8|fig9|fig10|table4|table5|table6|fig11|fig12|fig13|throughput|index-build|snapshot|api|metrics|serve|distrib|verify-cache|all> [--scale S] [--queries N] [--min-speedup X] [--fail-on-regress PCT]"
+        "usage: repro <table2|fig4|table3|fig5|fig6|fig7|fig8|fig9|fig10|table4|table5|table6|fig11|fig12|fig13|throughput|index-build|snapshot|api|metrics|serve|distrib|verify-cache|obs|all> [--scale S] [--queries N] [--min-speedup X] [--fail-on-regress PCT]"
     );
 }
 
@@ -375,6 +375,13 @@ fn main() {
             .unwrap_or_else(|e| panic!("could not write {path}: {e}"));
         eprintln!("wrote {path}");
     }
+    if all || exp == "obs" {
+        let rows = obs::run("beijing", FuncKind::Edr, 60, nq.max(9), 0.1, scale);
+        obs::print(&rows);
+        let path = "BENCH_obs.json";
+        obs::write_json(&rows, path).unwrap_or_else(|e| panic!("could not write {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
     if !all
         && ![
             "table2",
@@ -400,6 +407,7 @@ fn main() {
             "serve",
             "distrib",
             "verify-cache",
+            "obs",
         ]
         .contains(&exp)
     {

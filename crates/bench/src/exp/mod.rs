@@ -9,7 +9,8 @@
 //! style of workload through the `trajsearch-serve` TCP front-end vs
 //! in-process execution; [`distrib`]: the workload through a coordinator
 //! over loopback shard servers, postings arriving over the shard-RPC
-//! surface).
+//! surface; [`obs`]: what query tracing costs — plain vs instrumented-off
+//! vs full span recording, with a result-identity self-check).
 //!
 //! Each module exposes a `run_*` function returning plain rows plus a
 //! `print_*` helper; the `repro` binary wires them to subcommands. The
@@ -292,6 +293,7 @@ pub mod eta;
 pub mod index_build;
 pub mod metrics_workload;
 pub mod naturalness;
+pub mod obs;
 pub mod query_time;
 pub mod serve_load;
 pub mod snapshot;

@@ -1,0 +1,266 @@
+//! Observability overhead (`repro obs`): what query tracing costs.
+//!
+//! Three legs over one workload, identical queries throughout:
+//!
+//! * **disabled** — `run`: the plain engine path, no tracer anywhere.
+//! * **enabled** — `run_traced` with a *disabled* tracer from a live
+//!   [`TraceSink`]: the instrumented path with every span site compiled in
+//!   but recording off — the cost a server pays for untraced queries.
+//! * **traced** — `run_traced` with a real per-query trace id: full span
+//!   recording into the bounded sink.
+//!
+//! Every leg's responses are checked byte-identical (matches and
+//! deterministic counters) against the disabled leg, so the dump doubles
+//! as the tracing-neutrality gate in CI: instrumentation must never change
+//! an answer. Wall times are the min over `PASSES` passes to damp host
+//! jitter; `enabled_overhead`/`traced_overhead` are ratios against the
+//! disabled leg (1.0 = free).
+
+use super::{host_cpus, write_bench_json};
+use crate::data::{Dataset, FuncKind, Scale};
+use crate::table::{fmt_ms, print_table};
+use std::time::{Duration, Instant};
+use trajsearch_core::{EngineBuilder, Query, Response, TraceSink};
+
+/// Timing passes per leg; the min is reported.
+const PASSES: usize = 3;
+
+/// One measured point: the three legs over one workload.
+#[derive(Debug, Clone)]
+pub struct ObsRow {
+    pub dataset: String,
+    pub func: &'static str,
+    pub queries: usize,
+    pub disabled_wall_ms: f64,
+    pub enabled_wall_ms: f64,
+    pub traced_wall_ms: f64,
+    /// Instrumented-but-off over plain (1.0 = free).
+    pub enabled_overhead: f64,
+    /// Full span recording over plain.
+    pub traced_overhead: f64,
+    /// Spans recorded by the traced leg's final pass.
+    pub spans_recorded: u64,
+    /// Spans per traced query (the span taxonomy's fan-out on this
+    /// workload).
+    pub spans_per_query: f64,
+    pub results: usize,
+}
+
+fn workload(
+    d: &Dataset,
+    func: FuncKind,
+    qlen: usize,
+    nqueries: usize,
+    tau_ratio: f64,
+) -> Vec<Query> {
+    let model = d.model(func);
+    d.sample_queries(func, qlen, nqueries, 47)
+        .into_iter()
+        .enumerate()
+        .map(|(i, q)| {
+            let tau = d.tau_for(&*model, &q, tau_ratio);
+            match i % 3 {
+                0 | 1 => Query::threshold(q, tau).build(),
+                _ => Query::top_k(q, 5, tau, 4.0 * tau).build(),
+            }
+            .expect("workload queries are valid")
+        })
+        .collect()
+}
+
+fn assert_identical(leg: &str, got: &[Response], want: &[Response]) {
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(g.matches, w.matches, "{leg} leg diverged on query {i}");
+        assert_eq!(
+            g.stats.candidates, w.stats.candidates,
+            "{leg} leg: candidates, query {i}"
+        );
+        assert_eq!(
+            g.stats.verify_cost, w.stats.verify_cost,
+            "{leg} leg: verify_cost, query {i}"
+        );
+        assert_eq!(
+            g.stats.results, w.stats.results,
+            "{leg} leg: results, query {i}"
+        );
+    }
+}
+
+/// Runs the three legs and enforces result identity between them.
+pub fn run(
+    which: &str,
+    func: FuncKind,
+    qlen: usize,
+    nqueries: usize,
+    tau_ratio: f64,
+    scale: Scale,
+) -> Vec<ObsRow> {
+    let d = Dataset::load(which, scale);
+    let model = d.model(func);
+    let (store, alphabet) = d.store_for(func);
+    let engine = EngineBuilder::new(&*model, store, alphabet).build();
+    let workload = workload(&d, func, qlen, nqueries, tau_ratio);
+
+    let time_leg = |run_pass: &mut dyn FnMut() -> Vec<Response>| -> (Duration, Vec<Response>) {
+        let mut best = Duration::MAX;
+        let mut responses = Vec::new();
+        for _ in 0..PASSES {
+            let t0 = Instant::now();
+            responses = run_pass();
+            best = best.min(t0.elapsed());
+        }
+        (best, responses)
+    };
+
+    // Leg 1: the plain path — also the correctness reference.
+    let (disabled_wall, reference) = time_leg(&mut || {
+        workload
+            .iter()
+            .map(|q| engine.run(q).expect("query admitted"))
+            .collect()
+    });
+
+    // Leg 2: instrumented path, recording off (trace id 0).
+    let sink = TraceSink::new(1 << 16);
+    let (enabled_wall, enabled) = time_leg(&mut || {
+        workload
+            .iter()
+            .map(|q| {
+                engine
+                    .run_traced(q, sink.tracer(0))
+                    .expect("query admitted")
+            })
+            .collect()
+    });
+    assert_identical("enabled", &enabled, &reference);
+    assert_eq!(sink.recorded(), 0, "a disabled tracer must record nothing");
+
+    // Leg 3: full span recording, a fresh trace per query.
+    let before = sink.recorded();
+    let (traced_wall, traced) = time_leg(&mut || {
+        workload
+            .iter()
+            .map(|q| {
+                engine
+                    .run_traced(q, sink.tracer(sink.next_trace_id()))
+                    .expect("query admitted")
+            })
+            .collect()
+    });
+    assert_identical("traced", &traced, &reference);
+    let spans_recorded = (sink.recorded() - before) / PASSES as u64;
+    assert!(spans_recorded > 0, "traced queries must record spans");
+
+    let dis_ms = disabled_wall.as_secs_f64() * 1e3;
+    let en_ms = enabled_wall.as_secs_f64() * 1e3;
+    let tr_ms = traced_wall.as_secs_f64() * 1e3;
+    vec![ObsRow {
+        dataset: d.name.to_string(),
+        func: func.name(),
+        queries: workload.len(),
+        disabled_wall_ms: dis_ms,
+        enabled_wall_ms: en_ms,
+        traced_wall_ms: tr_ms,
+        enabled_overhead: en_ms / dis_ms.max(1e-9),
+        traced_overhead: tr_ms / dis_ms.max(1e-9),
+        spans_recorded,
+        spans_per_query: spans_recorded as f64 / workload.len().max(1) as f64,
+        results: reference.iter().map(|r| r.stats.results).sum(),
+    }]
+}
+
+pub fn print(rows: &[ObsRow]) {
+    println!(
+        "\nTracing overhead: plain vs instrumented-off vs full span recording \
+         (min of {PASSES} passes, {} host cpus)",
+        host_cpus()
+    );
+    print_table(
+        &[
+            "Dataset",
+            "Func",
+            "Queries",
+            "Disabled ms",
+            "Enabled ms",
+            "Traced ms",
+            "Enabled ovh",
+            "Traced ovh",
+            "Spans",
+            "Spans/query",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.dataset.clone(),
+                    r.func.to_string(),
+                    r.queries.to_string(),
+                    fmt_ms(r.disabled_wall_ms),
+                    fmt_ms(r.enabled_wall_ms),
+                    fmt_ms(r.traced_wall_ms),
+                    format!("{:.3}x", r.enabled_overhead),
+                    format!("{:.3}x", r.traced_overhead),
+                    r.spans_recorded.to_string(),
+                    format!("{:.1}", r.spans_per_query),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}
+
+/// Writes the rows in the shared `BENCH_*.json` envelope.
+pub fn write_json(rows: &[ObsRow], path: &str) -> std::io::Result<()> {
+    let rendered: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"dataset\": \"{}\", \"func\": \"{}\", \"queries\": {}, \
+                 \"disabled_wall_ms\": {:.3}, \"enabled_wall_ms\": {:.3}, \
+                 \"traced_wall_ms\": {:.3}, \"enabled_overhead\": {:.3}, \
+                 \"traced_overhead\": {:.3}, \"spans_recorded\": {}, \
+                 \"spans_per_query\": {:.2}, \"results\": {}}}",
+                r.dataset,
+                r.func,
+                r.queries,
+                r.disabled_wall_ms,
+                r.enabled_wall_ms,
+                r.traced_wall_ms,
+                r.enabled_overhead,
+                r.traced_overhead,
+                r.spans_recorded,
+                r.spans_per_query,
+                r.results
+            )
+        })
+        .collect();
+    write_bench_json(path, "obs", "traced_overhead", &rendered)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn legs_agree_and_spans_flow() {
+        let rows = run("beijing", FuncKind::Lev, 8, 5, 0.2, Scale(0.01));
+        assert_eq!(rows.len(), 1);
+        let r = &rows[0];
+        assert_eq!(r.queries, 5);
+        assert!(r.spans_recorded > 0, "traced leg records spans");
+        assert!(r.spans_per_query >= 4.0, "root + phases per query");
+        assert!(r.enabled_overhead > 0.0 && r.traced_overhead > 0.0);
+    }
+
+    #[test]
+    fn json_dump_uses_shared_envelope() {
+        let rows = run("beijing", FuncKind::Lev, 8, 3, 0.2, Scale(0.01));
+        let path = std::env::temp_dir().join("trajsearch_obs_test.json");
+        let path = path.to_str().unwrap();
+        write_json(&rows, path).unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        std::fs::remove_file(path).ok();
+        assert!(text.contains("\"experiment\": \"obs\""));
+        assert!(text.contains("\"traced_overhead\""));
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
+    }
+}

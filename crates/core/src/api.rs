@@ -26,6 +26,7 @@ use crate::verify::TrieCache;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 use traj::{TrajId, TrajectoryStore};
+use trajsearch_obs::Tracer;
 use wed::{Sym, WedInstance};
 
 // ---------------------------------------------------------------------------
@@ -527,9 +528,34 @@ impl<'a, M: WedInstance + Sync, I: PostingSource + Sync> SearchEngine<'a, M, I> 
         query: &Query,
         deadline: Deadline,
     ) -> Result<Response, QueryError> {
+        self.run_with_deadline_traced(query, deadline, Tracer::disabled())
+    }
+
+    /// [`run`](SearchEngine::run) with span recording: phase spans (filter,
+    /// lookup, dedup, verification shards, top-k rounds, fallback scans)
+    /// land in the [`TraceSink`](trajsearch_obs::TraceSink) the `tracer` is
+    /// bound to, under a root `"query"` span. A disabled tracer makes this
+    /// exactly [`run`](SearchEngine::run).
+    pub fn run_traced(&self, query: &Query, tracer: Tracer<'_>) -> Result<Response, QueryError> {
+        self.run_with_deadline_traced(
+            query,
+            Deadline::for_query(Instant::now(), query.deadline_ms()),
+            tracer,
+        )
+    }
+
+    /// [`run_with_deadline`](SearchEngine::run_with_deadline) with span
+    /// recording — the traced serving entry point.
+    pub fn run_with_deadline_traced(
+        &self,
+        query: &Query,
+        deadline: Deadline,
+        tracer: Tracer<'_>,
+    ) -> Result<Response, QueryError> {
         self.admit(query)?;
         deadline.check()?;
-        self.run_admitted(query, deadline, None)
+        let root = tracer.span("query");
+        self.run_admitted(query, deadline, None, root.child())
     }
 
     /// Post-admission execution, shared by `run` and the batch workers.
@@ -540,6 +566,7 @@ impl<'a, M: WedInstance + Sync, I: PostingSource + Sync> SearchEngine<'a, M, I> 
         query: &Query,
         deadline: Deadline,
         cache: Option<&TrieCache>,
+        tracer: Tracer<'_>,
     ) -> Result<Response, QueryError> {
         let opts = query.search_options();
         match query.objective() {
@@ -551,6 +578,7 @@ impl<'a, M: WedInstance + Sync, I: PostingSource + Sync> SearchEngine<'a, M, I> 
                     query.parallelism(),
                     deadline,
                     cache,
+                    tracer,
                 )?;
                 Ok(Response {
                     matches: out.matches,
@@ -572,12 +600,14 @@ impl<'a, M: WedInstance + Sync, I: PostingSource + Sync> SearchEngine<'a, M, I> 
                     query.parallelism(),
                     deadline,
                     cache,
+                    tracer,
                 )?;
                 Ok(Response { matches, stats })
             }
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn threshold_outcome(
         &self,
         q: &[Sym],
@@ -586,13 +616,14 @@ impl<'a, M: WedInstance + Sync, I: PostingSource + Sync> SearchEngine<'a, M, I> 
         parallelism: Parallelism,
         deadline: Deadline,
         cache: Option<&TrieCache>,
+        tracer: Tracer<'_>,
     ) -> Result<SearchOutcome, QueryError> {
         match parallelism {
             Parallelism::Sequential | Parallelism::InQuery(1) => {
-                self.search_opts_impl(q, tau, opts, deadline, cache)
+                self.search_opts_impl(q, tau, opts, deadline, cache, tracer)
             }
             Parallelism::InQuery(threads) => {
-                self.par_search_opts_impl(q, tau, opts, threads, deadline, cache)
+                self.par_search_opts_impl(q, tau, opts, threads, deadline, cache, tracer)
             }
         }
     }
@@ -638,11 +669,15 @@ impl<'a, M: WedInstance + Sync, I: PostingSource + Sync> SearchEngine<'a, M, I> 
 
         // Deadline epoch = dequeue time, for the sequential and the
         // fanned-out path alike.
+        // Batch workers run untraced: `BatchOptions` is a plain `Copy` bag
+        // and cannot carry a sink reference; workloads that need spans run
+        // their queries through `run_traced` individually.
         let run_claimed = |query: &Query| -> Result<Response, QueryError> {
             self.run_admitted(
                 query,
                 Deadline::for_query(Instant::now(), query.deadline_ms()),
                 trie_cache.as_ref(),
+                Tracer::disabled(),
             )
         };
 

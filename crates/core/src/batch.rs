@@ -39,6 +39,11 @@ use wed::{Sym, WedInstance};
 
 /// Options for one batch run. Per-query behavior lives in each
 /// [`Query`]; this only schedules the workload.
+///
+/// Batch workers run untraced (this is a plain `Copy` bag and cannot carry
+/// a [`TraceSink`](trajsearch_obs::TraceSink) reference); workloads that
+/// need per-phase spans run their queries through
+/// [`SearchEngine::run_traced`](crate::SearchEngine::run_traced) instead.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct BatchOptions {
     /// Worker count; `0` means [`std::thread::available_parallelism`].

@@ -33,7 +33,12 @@
 //!   `baselines` crate and reusing the filter front half where its bound
 //!   is sound for the metric.
 //! * [`temporal`] — temporal constraints and the TF pre-filter (§4.3).
-//! * [`stats`] — the instrumentation behind Tables 4 and 5.
+//! * [`stats`] — the instrumentation behind Tables 4 and 5. Alongside the
+//!   aggregate counters, every execution path is threaded with a
+//!   [`Tracer`]: [`SearchEngine::run_traced`](search::SearchEngine::run_traced)
+//!   records per-phase spans (filter, lookup, dedup, per-shard
+//!   verification, top-k growth rounds, fallback scans) into a
+//!   [`TraceSink`], at zero cost when untraced.
 //! * [`batch`] — workload-level execution types; one batch may mix
 //!   thresholds, top-k and temporal queries.
 //! * [`deadline`] — per-query latency budgets with cooperative
@@ -106,3 +111,7 @@ pub use stats::SearchStats;
 pub use temporal::{TemporalConstraint, TemporalPredicate, TimeInterval};
 pub use topk::{per_trajectory_best, TopKEntry};
 pub use verify::{Candidate, TrieCache, Verifier, VerifyMode, WedVerifier};
+
+// Observability primitives, re-exported so downstream crates (serve,
+// distrib) name one tracing vocabulary without a direct obs dependency.
+pub use trajsearch_obs::{SpanRecord, TraceSink, Tracer};

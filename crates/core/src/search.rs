@@ -32,6 +32,7 @@ use crate::temporal::TemporalConstraint;
 use crate::verify::{TrieCache, VerifyMode};
 use std::time::{Duration, Instant};
 use traj::TrajectoryStore;
+use trajsearch_obs::Tracer;
 use wed::{sw_scan_all, Sym, WedInstance};
 
 /// Per-query options of the internal pipeline. [`Query`]
@@ -153,6 +154,13 @@ impl<'a, M: WedInstance, I: PostingSource> SearchEngine<'a, M, I> {
         &self.index
     }
 
+    /// Mutable access to the posting source, for post-build wiring that
+    /// does not change what is indexed (e.g. attaching a trace sink to a
+    /// remote source).
+    pub fn index_mut(&mut self) -> &mut I {
+        &mut self.index
+    }
+
     pub fn store(&self) -> &TrajectoryStore {
         self.store
     }
@@ -176,6 +184,7 @@ impl<'a, M: WedInstance, I: PostingSource> SearchEngine<'a, M, I> {
         tau: f64,
         opts: &SearchOptions,
         stats: &mut SearchStats,
+        tracer: Tracer<'_>,
     ) -> Option<Vec<crate::verify::Candidate>> {
         assert!(tau > 0.0, "threshold must be positive");
         assert!(!q.is_empty(), "query must be non-empty");
@@ -183,6 +192,7 @@ impl<'a, M: WedInstance, I: PostingSource> SearchEngine<'a, M, I> {
         let t0 = Instant::now();
         let plan = FilterPlan::build(&self.model, &self.index, q, tau);
         stats.mincand_time = t0.elapsed();
+        tracer.record_interval("filter", 0, t0, Instant::now());
         stats.tsubseq_len = plan.chosen.len();
 
         if !plan.feasible {
@@ -198,6 +208,7 @@ impl<'a, M: WedInstance, I: PostingSource> SearchEngine<'a, M, I> {
             _ => plan.candidates(&self.index),
         };
         stats.lookup_time = t1.elapsed();
+        tracer.record_interval("lookup", candidates.len() as u64, t1, Instant::now());
         Some(candidates)
     }
 
@@ -213,6 +224,7 @@ impl<'a, M: WedInstance, I: PostingSource> SearchEngine<'a, M, I> {
         tau: f64,
         opts: &SearchOptions,
         stats: &mut SearchStats,
+        tracer: Tracer<'_>,
     ) -> Option<Vec<crate::verify::Candidate>> {
         assert!(tau > 0.0, "threshold must be positive");
         assert!(!q.is_empty(), "query must be non-empty");
@@ -225,6 +237,7 @@ impl<'a, M: WedInstance, I: PostingSource> SearchEngine<'a, M, I> {
             Metric::Lcss { .. } => return None,
         };
         stats.mincand_time = t0.elapsed();
+        tracer.record_interval("filter", 0, t0, Instant::now());
         stats.tsubseq_len = plan.chosen.len();
         if !plan.feasible {
             return None;
@@ -238,6 +251,7 @@ impl<'a, M: WedInstance, I: PostingSource> SearchEngine<'a, M, I> {
             _ => plan.candidates(&self.index),
         };
         stats.lookup_time = t1.elapsed();
+        tracer.record_interval("lookup", candidates.len() as u64, t1, Instant::now());
         Some(candidates)
     }
 
@@ -249,10 +263,12 @@ impl<'a, M: WedInstance, I: PostingSource> SearchEngine<'a, M, I> {
         tau: f64,
         opts: SearchOptions,
         deadline: Deadline,
+        tracer: Tracer<'_>,
     ) -> Result<SearchOutcome, QueryError> {
         let mut stats = SearchStats::default();
-        let Some(candidates) = self.metric_filter_and_lookup(q, tau, &opts, &mut stats) else {
-            return self.metric_fallback_scan(q, tau, opts, stats, deadline);
+        let Some(candidates) = self.metric_filter_and_lookup(q, tau, &opts, &mut stats, tracer)
+        else {
+            return self.metric_fallback_scan(q, tau, opts, stats, deadline, tracer);
         };
         deadline.check()?;
 
@@ -265,6 +281,7 @@ impl<'a, M: WedInstance, I: PostingSource> SearchEngine<'a, M, I> {
                 &opts,
                 deadline,
                 &mut stats,
+                tracer,
             ),
             Metric::Lcss { eps } => self.metric_verify(
                 &candidates,
@@ -272,6 +289,7 @@ impl<'a, M: WedInstance, I: PostingSource> SearchEngine<'a, M, I> {
                 &opts,
                 deadline,
                 &mut stats,
+                tracer,
             ),
             Metric::Frechet => self.metric_verify(
                 &candidates,
@@ -279,9 +297,11 @@ impl<'a, M: WedInstance, I: PostingSource> SearchEngine<'a, M, I> {
                 &opts,
                 deadline,
                 &mut stats,
+                tracer,
             ),
         }?;
         stats.verify_time = t2.elapsed();
+        tracer.record_interval("verify", 0, t2, Instant::now());
 
         Ok(SearchOutcome { matches, stats })
     }
@@ -293,6 +313,7 @@ impl<'a, M: WedInstance, I: PostingSource> SearchEngine<'a, M, I> {
         opts: &SearchOptions,
         deadline: Deadline,
         stats: &mut SearchStats,
+        tracer: Tracer<'_>,
     ) -> Result<Vec<MatchResult>, QueryError> {
         crate::verify::verify_candidates_with(
             self.store,
@@ -303,6 +324,7 @@ impl<'a, M: WedInstance, I: PostingSource> SearchEngine<'a, M, I> {
             opts.temporal_filter,
             deadline,
             stats,
+            tracer,
         )
     }
 
@@ -316,7 +338,9 @@ impl<'a, M: WedInstance, I: PostingSource> SearchEngine<'a, M, I> {
         opts: SearchOptions,
         mut stats: SearchStats,
         deadline: Deadline,
+        tracer: Tracer<'_>,
     ) -> Result<SearchOutcome, QueryError> {
+        let span = tracer.span("fallback_scan");
         let matches = metric_fallback_scan_deadline(
             &self.model,
             self.store,
@@ -328,6 +352,7 @@ impl<'a, M: WedInstance, I: PostingSource> SearchEngine<'a, M, I> {
             deadline,
             &mut stats,
         )?;
+        span.finish();
         Ok(SearchOutcome { matches, stats })
     }
 
@@ -348,13 +373,14 @@ impl<'a, M: WedInstance, I: PostingSource> SearchEngine<'a, M, I> {
         opts: SearchOptions,
         deadline: Deadline,
         cache: Option<&TrieCache>,
+        tracer: Tracer<'_>,
     ) -> Result<SearchOutcome, QueryError> {
         if !opts.metric.is_wed() {
-            return self.metric_search_impl(q, tau, opts, deadline);
+            return self.metric_search_impl(q, tau, opts, deadline, tracer);
         }
         let mut stats = SearchStats::default();
-        let Some(candidates) = self.filter_and_lookup(q, tau, &opts, &mut stats) else {
-            return self.fallback_scan(q, tau, opts, stats, deadline);
+        let Some(candidates) = self.filter_and_lookup(q, tau, &opts, &mut stats, tracer) else {
+            return self.fallback_scan(q, tau, opts, stats, deadline, tracer);
         };
         deadline.check()?;
 
@@ -373,8 +399,10 @@ impl<'a, M: WedInstance, I: PostingSource> SearchEngine<'a, M, I> {
             deadline,
             cache,
             &mut stats,
+            tracer,
         )?;
         stats.verify_time = t2.elapsed();
+        tracer.record_interval("verify", 0, t2, Instant::now());
 
         Ok(SearchOutcome { matches, stats })
     }
@@ -388,7 +416,9 @@ impl<'a, M: WedInstance, I: PostingSource> SearchEngine<'a, M, I> {
         opts: SearchOptions,
         mut stats: SearchStats,
         deadline: Deadline,
+        tracer: Tracer<'_>,
     ) -> Result<SearchOutcome, QueryError> {
+        let span = tracer.span("fallback_scan");
         let matches = fallback_scan_deadline(
             &self.model,
             self.store,
@@ -399,6 +429,7 @@ impl<'a, M: WedInstance, I: PostingSource> SearchEngine<'a, M, I> {
             deadline,
             &mut stats,
         )?;
+        span.finish();
         Ok(SearchOutcome { matches, stats })
     }
 }
@@ -414,6 +445,7 @@ impl<'a, M: WedInstance + Sync, I: PostingSource + Sync> SearchEngine<'a, M, I> 
     /// when provided, else a query-local one). The result set (distances
     /// included) is identical to the sequential path for any thread count;
     /// `threads <= 1` *is* the sequential path.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn par_search_opts_impl(
         &self,
         q: &[Sym],
@@ -422,13 +454,14 @@ impl<'a, M: WedInstance + Sync, I: PostingSource + Sync> SearchEngine<'a, M, I> 
         threads: usize,
         deadline: Deadline,
         cache: Option<&TrieCache>,
+        tracer: Tracer<'_>,
     ) -> Result<SearchOutcome, QueryError> {
         if !opts.metric.is_wed() {
-            return self.par_metric_search_impl(q, tau, opts, threads, deadline);
+            return self.par_metric_search_impl(q, tau, opts, threads, deadline, tracer);
         }
         let mut stats = SearchStats::default();
-        let Some(candidates) = self.filter_and_lookup(q, tau, &opts, &mut stats) else {
-            return self.fallback_scan(q, tau, opts, stats, deadline);
+        let Some(candidates) = self.filter_and_lookup(q, tau, &opts, &mut stats, tracer) else {
+            return self.fallback_scan(q, tau, opts, stats, deadline, tracer);
         };
         deadline.check()?;
 
@@ -447,8 +480,10 @@ impl<'a, M: WedInstance + Sync, I: PostingSource + Sync> SearchEngine<'a, M, I> 
             deadline,
             cache,
             &mut stats,
+            tracer,
         )?;
         stats.verify_time = t2.elapsed();
+        tracer.record_interval("verify", 0, t2, Instant::now());
 
         Ok(SearchOutcome { matches, stats })
     }
@@ -465,10 +500,12 @@ impl<'a, M: WedInstance + Sync, I: PostingSource + Sync> SearchEngine<'a, M, I> 
         opts: SearchOptions,
         threads: usize,
         deadline: Deadline,
+        tracer: Tracer<'_>,
     ) -> Result<SearchOutcome, QueryError> {
         let mut stats = SearchStats::default();
-        let Some(candidates) = self.metric_filter_and_lookup(q, tau, &opts, &mut stats) else {
-            return self.metric_fallback_scan(q, tau, opts, stats, deadline);
+        let Some(candidates) = self.metric_filter_and_lookup(q, tau, &opts, &mut stats, tracer)
+        else {
+            return self.metric_fallback_scan(q, tau, opts, stats, deadline, tracer);
         };
         deadline.check()?;
 
@@ -482,6 +519,7 @@ impl<'a, M: WedInstance + Sync, I: PostingSource + Sync> SearchEngine<'a, M, I> 
                 threads,
                 deadline,
                 &mut stats,
+                tracer,
             ),
             Metric::Lcss { eps } => self.par_metric_verify(
                 &candidates,
@@ -490,6 +528,7 @@ impl<'a, M: WedInstance + Sync, I: PostingSource + Sync> SearchEngine<'a, M, I> 
                 threads,
                 deadline,
                 &mut stats,
+                tracer,
             ),
             Metric::Frechet => self.par_metric_verify(
                 &candidates,
@@ -498,9 +537,11 @@ impl<'a, M: WedInstance + Sync, I: PostingSource + Sync> SearchEngine<'a, M, I> 
                 threads,
                 deadline,
                 &mut stats,
+                tracer,
             ),
         }?;
         stats.verify_time = t2.elapsed();
+        tracer.record_interval("verify", 0, t2, Instant::now());
 
         Ok(SearchOutcome { matches, stats })
     }
@@ -514,6 +555,7 @@ impl<'a, M: WedInstance + Sync, I: PostingSource + Sync> SearchEngine<'a, M, I> 
         threads: usize,
         deadline: Deadline,
         stats: &mut SearchStats,
+        tracer: Tracer<'_>,
     ) -> Result<Vec<MatchResult>, QueryError> {
         crate::verify::par_verify_candidates_with(
             self.store,
@@ -525,6 +567,7 @@ impl<'a, M: WedInstance + Sync, I: PostingSource + Sync> SearchEngine<'a, M, I> 
             threads,
             deadline,
             stats,
+            tracer,
         )
     }
 

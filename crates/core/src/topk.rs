@@ -24,6 +24,7 @@ use crate::verify::TrieCache;
 use std::cmp::Ordering;
 use std::collections::HashMap;
 use traj::TrajId;
+use trajsearch_obs::Tracer;
 use wed::{Sym, WedInstance};
 
 /// One top-k entry: the best match of one trajectory.
@@ -52,12 +53,21 @@ pub(crate) fn top_k_growth<M: WedInstance + Sync, I: PostingSource + Sync>(
     parallelism: Parallelism,
     deadline: Deadline,
     cache: Option<&TrieCache>,
+    tracer: Tracer<'_>,
 ) -> Result<(Vec<MatchResult>, SearchStats), QueryError> {
     let mut stats = SearchStats::default();
     let mut tau = initial_tau;
+    let mut round: u64 = 0;
     loop {
         deadline.check()?;
-        let out = engine.threshold_outcome(q, tau, opts, parallelism, deadline, cache)?;
+        // One span per growth round (`detail` = round index), so a trace
+        // shows how many thresholds a top-k answer burned through.
+        let span = tracer.span_with("topk_round", round);
+        let out =
+            engine.threshold_outcome(q, tau, opts, parallelism, deadline, cache, span.child());
+        span.finish();
+        round += 1;
+        let out = out?;
         stats.merge(&out.stats);
         let best = per_trajectory_best(&out.matches);
         if best.len() >= k || tau >= max_tau {

@@ -49,6 +49,7 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Mutex};
 use traj::{TrajId, TrajectoryStore};
+use trajsearch_obs::Tracer;
 use wed::dp::{initial_column_into, step_dp_into};
 use wed::{sw_scan_all, CostModel, Sym};
 
@@ -728,6 +729,7 @@ pub fn verify_candidates<M: CostModel>(
         Deadline::NONE,
         None,
         stats,
+        Tracer::disabled(),
     )
     .expect("verification without a deadline cannot expire")
 }
@@ -750,6 +752,7 @@ pub(crate) fn verify_candidates_deadline<M: CostModel>(
     deadline: Deadline,
     cache: Option<&TrieCache>,
     stats: &mut SearchStats,
+    tracer: Tracer<'_>,
 ) -> Result<Vec<crate::results::MatchResult>, QueryError> {
     verify_candidates_with(
         store,
@@ -760,6 +763,7 @@ pub(crate) fn verify_candidates_deadline<M: CostModel>(
         temporal_filter,
         deadline,
         stats,
+        tracer,
     )
 }
 
@@ -776,10 +780,14 @@ pub(crate) fn verify_candidates_with<V: Verifier>(
     temporal_filter: bool,
     deadline: Deadline,
     stats: &mut SearchStats,
+    tracer: Tracer<'_>,
 ) -> Result<Vec<crate::results::MatchResult>, QueryError> {
+    let dedup = tracer.span("dedup");
     let sorted = prepare_candidates(index_span, candidates, temporal, temporal_filter, stats);
     let groups = trajectory_groups(&sorted);
+    dedup.finish();
     let mut results = ResultSet::new();
+    let shard = tracer.span_with("verify_shard", 0);
     verify_shard_with(
         store,
         &sorted,
@@ -789,6 +797,7 @@ pub(crate) fn verify_candidates_with<V: Verifier>(
         &mut results,
         stats,
     )?;
+    shard.finish();
     Ok(finish_verification(results, store, temporal, stats))
 }
 
@@ -863,6 +872,7 @@ pub fn par_verify_candidates<M: CostModel + Sync>(
         Deadline::NONE,
         None,
         stats,
+        Tracer::disabled(),
     )
     .expect("verification without a deadline cannot expire")
 }
@@ -889,6 +899,7 @@ pub(crate) fn par_verify_candidates_deadline<M: CostModel + Sync>(
     deadline: Deadline,
     cache: Option<&TrieCache>,
     stats: &mut SearchStats,
+    tracer: Tracer<'_>,
 ) -> Result<Vec<crate::results::MatchResult>, QueryError> {
     let local;
     let cache = match (cache, mode) {
@@ -909,6 +920,7 @@ pub(crate) fn par_verify_candidates_deadline<M: CostModel + Sync>(
         threads,
         deadline,
         stats,
+        tracer,
     )
 }
 
@@ -928,14 +940,18 @@ pub(crate) fn par_verify_candidates_with<V: Verifier, F: Fn() -> V + Sync>(
     threads: usize,
     deadline: Deadline,
     stats: &mut SearchStats,
+    tracer: Tracer<'_>,
 ) -> Result<Vec<crate::results::MatchResult>, QueryError> {
+    let dedup = tracer.span("dedup");
     let sorted = prepare_candidates(index_span, candidates, temporal, temporal_filter, stats);
     let groups = trajectory_groups(&sorted);
+    dedup.finish();
     let shards = partition_groups(&groups, sorted.len(), threads);
 
     let mut results = ResultSet::new();
     if shards.len() <= 1 {
         // Sequential special case: no threads, no merge.
+        let span = tracer.span_with("verify_shard", 0);
         let mut verifier = make_verifier();
         verify_shard_with(
             store,
@@ -946,14 +962,19 @@ pub(crate) fn par_verify_candidates_with<V: Verifier, F: Fn() -> V + Sync>(
             &mut results,
             stats,
         )?;
+        span.finish();
     } else {
         let outputs = std::thread::scope(|scope| {
             let handles: Vec<_> = shards
                 .iter()
-                .map(|shard| {
+                .enumerate()
+                .map(|(worker, shard)| {
                     let sorted = &sorted;
                     let make_verifier = &make_verifier;
                     scope.spawn(move || {
+                        // One span per worker (`detail` = worker index):
+                        // traces expose shard imbalance directly.
+                        let span = tracer.span_with("verify_shard", worker as u64);
                         let mut verifier = make_verifier();
                         let mut local_results = ResultSet::new();
                         let mut local_stats = SearchStats::default();
@@ -966,6 +987,7 @@ pub(crate) fn par_verify_candidates_with<V: Verifier, F: Fn() -> V + Sync>(
                             &mut local_results,
                             &mut local_stats,
                         );
+                        span.finish();
                         (status, local_results, local_stats)
                     })
                 })
@@ -1300,6 +1322,7 @@ mod tests {
                 Deadline::NONE,
                 cache,
                 &mut stats,
+                Tracer::disabled(),
             )
             .unwrap();
             (got, stats)
@@ -1526,6 +1549,7 @@ mod tests {
                 past,
                 None,
                 &mut stats,
+                Tracer::disabled(),
             )
             .unwrap_err();
             assert_eq!(err, QueryError::DeadlineExceeded, "mode {mode:?}");
@@ -1545,6 +1569,7 @@ mod tests {
                     past,
                     None,
                     &mut stats,
+                    Tracer::disabled(),
                 )
                 .unwrap_err();
                 assert_eq!(
@@ -1570,6 +1595,7 @@ mod tests {
             relaxed,
             None,
             &mut s1,
+            Tracer::disabled(),
         )
         .unwrap();
         assert_eq!(got, run(&store, &q, 2.0, VerifyMode::Trie));

@@ -64,17 +64,25 @@ fn main() {
 
     let args = parse_args();
     let store = testdata::store(args.trajectories, args.len, args.seed, args.alphabet);
-    let coordinator = Coordinator::connect(
+    // One sink shared by the server (queue-wait + engine-phase spans) and
+    // the RemoteShards (per-shard `shard_rpc` spans), so a traced query's
+    // whole coordinator-side timeline lands under one trace id.
+    let sink = std::sync::Arc::new(trajsearch_core::TraceSink::new(
+        trajsearch_serve::DEFAULT_SINK_SPANS,
+    ));
+    let coordinator = Coordinator::connect_traced(
         Lev,
         &store,
         args.alphabet,
         &RemoteSpec::new(args.shards.iter().cloned()),
+        std::sync::Arc::clone(&sink),
     )
     .expect("connect shard cluster");
 
     let server = Server::bind(ServerConfig {
         addr: args.addr,
         workers: args.workers,
+        sink: Some(sink),
         ..ServerConfig::default()
     })
     .expect("bind coordinator");

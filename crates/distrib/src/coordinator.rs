@@ -12,9 +12,11 @@
 //! partial answer), never a silent partial result.
 
 use crate::remote::{DistribError, RemoteShards, ShardEndpoint};
+use std::sync::Arc;
 use traj::TrajectoryStore;
 use trajsearch_core::{
-    Deadline, EngineBuilder, PostingSource, Query, QueryError, RemoteSpec, SearchEngine,
+    Deadline, EngineBuilder, PostingSource, Query, QueryError, RemoteSpec, SearchEngine, TraceSink,
+    Tracer,
 };
 use trajsearch_serve::{Handled, QueryHandler};
 use wed::{Sym, WedInstance};
@@ -52,6 +54,24 @@ impl<'a, M: WedInstance + Sync> Coordinator<'a, M> {
         ))
     }
 
+    /// As [`connect`](Coordinator::connect), with tracing wired in: the
+    /// [`RemoteShards`] records its per-shard `shard_rpc` spans into
+    /// `sink`. Pass the serving [`Server`](trajsearch_serve::Server)'s sink
+    /// (via [`ServerConfig::sink`](trajsearch_serve::ServerConfig)) so a
+    /// traced query's engine phases, fan-out spans and queue wait land in
+    /// one ring under one trace id.
+    pub fn connect_traced(
+        model: M,
+        store: &'a TrajectoryStore,
+        alphabet_size: usize,
+        spec: &RemoteSpec,
+        sink: Arc<TraceSink>,
+    ) -> Result<Coordinator<'a, M>, DistribError> {
+        let mut coordinator = Coordinator::connect(model, store, alphabet_size, spec)?;
+        coordinator.engine.index_mut().set_trace_sink(sink);
+        Ok(coordinator)
+    }
+
     pub fn new(engine: SearchEngine<'a, M, RemoteShards>) -> Coordinator<'a, M> {
         Coordinator { engine }
     }
@@ -67,6 +87,10 @@ impl<'a, M: WedInstance + Sync> Coordinator<'a, M> {
 
 impl<M: WedInstance + Sync> QueryHandler for Coordinator<'_, M> {
     fn handle(&self, query: &Query, deadline: Deadline) -> Handled {
+        self.handle_traced(query, deadline, Tracer::disabled())
+    }
+
+    fn handle_traced(&self, query: &Query, deadline: Deadline, tracer: Tracer<'_>) -> Handled {
         let remote = self.engine.index();
         // Capability gate first: a cluster fronting a pre-metrics shard
         // server negotiated WED-only at connect, and a metric the pool
@@ -77,11 +101,20 @@ impl<M: WedInstance + Sync> QueryHandler for Coordinator<'_, M> {
             return Handled::Rejected(QueryError::UnsupportedMetric(metric.to_string()));
         }
         let mark = remote.degraded_mark();
+        // Park the trace id where the fan-outs this query triggers can see
+        // it: each stamps the id onto its shard RPC frames (so shard
+        // servers record their serve-side spans under the same trace) and
+        // records a coordinator-side `shard_rpc` span. The guard restores
+        // the previous context even on panic.
+        let _scope = remote.trace_scope(tracer.trace_id().unwrap_or(0));
         // Coalesce the pattern's frequency fetches into one RPC per shard
         // before the MinCand plan asks for them one by one.
         let syms: Vec<Sym> = query.pattern().to_vec();
         remote.prime_freqs(&syms);
-        match self.engine.run_with_deadline(query, deadline) {
+        match self
+            .engine
+            .run_with_deadline_traced(query, deadline, tracer)
+        {
             Ok(response) => match remote.degraded_since(mark) {
                 Some(degraded) => Handled::Degraded {
                     degraded,

@@ -34,16 +34,43 @@
 //! an overloaded one degrades loudly instead of answering from the wrong
 //! index build or stalling the coordinator.
 
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::fmt;
 use std::io;
 use std::net::ToSocketAddrs;
-use std::sync::{Mutex, MutexGuard};
-use std::time::Duration;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 use traj::TrajId;
-use trajsearch_core::{Posting, PostingSource};
+use trajsearch_core::{Posting, PostingSource, TraceSink};
 use trajsearch_serve::{Client, ClientError, DegradedInfo, Reply, Request, ShardInfo};
 use wed::Sym;
+
+thread_local! {
+    /// The trace id of the query currently executing on this thread, or 0.
+    ///
+    /// [`PostingSource`] is a sync trait with no room for per-call context,
+    /// so the coordinator parks the active query's trace id here (via
+    /// [`RemoteShards::trace_scope`]) before running the engine; every
+    /// [`RemoteShards::fanout`] the query triggers reads it back, stamps
+    /// the id onto each shard RPC frame, and records a `shard_rpc` span
+    /// per shard. Thread-local because server workers run queries
+    /// concurrently — each worker's engine calls happen on its own thread.
+    static TRACE_CTX: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Clears (restores) the thread's trace context on drop, so a panicking or
+/// early-returning query cannot leak its id into the next query on the
+/// worker.
+pub struct TraceScope {
+    prev: u64,
+}
+
+impl Drop for TraceScope {
+    fn drop(&mut self) {
+        TRACE_CTX.with(|c| c.set(self.prev));
+    }
+}
 
 /// One shard server's address, as given to [`RemoteShards::connect`].
 /// Order does not matter: shards identify themselves via `shard_info` and
@@ -166,6 +193,9 @@ pub struct RemoteShards {
     /// constraint boundary within one query.
     departing_cache: Mutex<HashMap<(Sym, u64), DepartingEntries>>,
     log: Mutex<DegradedLog>,
+    /// Span sink for `shard_rpc` intervals; `None` leaves fan-outs
+    /// untraced even inside a trace scope.
+    sink: Option<Arc<TraceSink>>,
 }
 
 impl fmt::Debug for RemoteShards {
@@ -307,6 +337,7 @@ impl RemoteShards {
             postings_cache: Mutex::new(HashMap::new()),
             departing_cache: Mutex::new(HashMap::new()),
             log: Mutex::new(DegradedLog::default()),
+            sink: None,
         };
         remote.prefetch_spans()?;
         Ok(remote)
@@ -329,6 +360,7 @@ impl RemoteShards {
                         id,
                         epoch: conn.info.epoch,
                         deadline_ms: Some(self.rpc_deadline_ms),
+                        trace_id: None,
                         start,
                         count: local - start,
                     })?;
@@ -364,6 +396,24 @@ impl RemoteShards {
     /// Number of shard servers in the pool.
     pub fn num_shards(&self) -> usize {
         self.conns.len()
+    }
+
+    /// Installs the sink `shard_rpc` spans are recorded into. Fan-outs
+    /// record only while a [`trace_scope`](RemoteShards::trace_scope) is
+    /// active on the calling thread.
+    pub fn set_trace_sink(&mut self, sink: Arc<TraceSink>) {
+        self.sink = Some(sink);
+    }
+
+    /// Marks the calling thread as executing a query under `trace_id`
+    /// until the returned guard drops: every fan-out on this thread stamps
+    /// the id onto its shard RPC frames (cross-process stitching) and
+    /// records a per-shard `shard_rpc` span. A zero id (untraced) is a
+    /// no-op scope.
+    pub fn trace_scope(&self, trace_id: u64) -> TraceScope {
+        TRACE_CTX.with(|c| TraceScope {
+            prev: c.replace(trace_id),
+        })
     }
 
     /// Whether **every** shard server in the pool advertised support for
@@ -434,7 +484,14 @@ impl RemoteShards {
     /// deadlock-free. Returns one `Some(reply)` per answering shard;
     /// failures are logged and yield `None`.
     fn fanout(&self, make: impl Fn(u64, &ShardInfo) -> Request) -> Vec<Option<Reply>> {
-        let mut guards: Vec<Option<(MutexGuard<'_, ConnState>, u64)>> = Vec::new();
+        // The active trace, if any: stamp it onto every frame so each
+        // shard server records its serve-side spans under the same id, and
+        // bracket each RPC with a coordinator-side `shard_rpc` span.
+        let trace_id = match &self.sink {
+            Some(_) => TRACE_CTX.with(Cell::get),
+            None => 0,
+        };
+        let mut guards: Vec<Option<(MutexGuard<'_, ConnState>, u64, Instant)>> = Vec::new();
         for (k, conn) in self.conns.iter().enumerate() {
             let mut state = conn.client.lock().expect("shard client mutex poisoned");
             if state.dead {
@@ -443,13 +500,17 @@ impl RemoteShards {
                 continue;
             }
             let id = state.client.allocate_id();
-            let request = make(id, &conn.info);
+            let mut request = make(id, &conn.info);
+            if trace_id != 0 {
+                request.set_trace_id(trace_id);
+            }
+            let sent_at = Instant::now();
             let sent = state
                 .client
                 .send_request(&request)
                 .and_then(|()| state.client.flush());
             match sent {
-                Ok(()) => guards.push(Some((state, id))),
+                Ok(()) => guards.push(Some((state, id, sent_at))),
                 Err(e) => {
                     state.dead = true;
                     self.record_degraded(k as u32, format!("send failed: {e}"));
@@ -461,8 +522,24 @@ impl RemoteShards {
             .into_iter()
             .enumerate()
             .map(|(k, guard)| {
-                let (mut state, id) = guard?;
-                match state.client.recv_reply() {
+                let (mut state, id, sent_at) = guard?;
+                let reply = state.client.recv_reply();
+                if trace_id != 0 {
+                    if let Some(sink) = &self.sink {
+                        // Send → reply-read, per shard: includes the wire
+                        // and the shard server's `rpc_serve` time (which
+                        // that server reports under the same trace id).
+                        sink.record_interval(
+                            trace_id,
+                            0,
+                            "shard_rpc",
+                            k as u64,
+                            sent_at,
+                            Instant::now(),
+                        );
+                    }
+                }
+                match reply {
                     Ok(Reply::Error { error, .. }) => {
                         // A typed per-RPC refusal (epoch mismatch, expired
                         // deadline): the connection itself is still good.
@@ -512,6 +589,7 @@ impl RemoteShards {
             id,
             epoch: info.epoch,
             deadline_ms: Some(deadline),
+            trace_id: None,
             syms: missing.clone(),
         });
         let mut sums = vec![0u32; missing.len()];
@@ -550,6 +628,7 @@ impl RemoteShards {
             id,
             epoch: info.epoch,
             deadline_ms: Some(deadline),
+            trace_id: None,
             syms: vec![q],
         });
         let mut out: Vec<Posting> = Vec::new();
@@ -608,6 +687,7 @@ impl PostingSource for RemoteShards {
             id,
             epoch: info.epoch,
             deadline_ms: Some(deadline),
+            trace_id: None,
             syms: vec![q],
         })
         .into_iter()
@@ -648,6 +728,7 @@ impl PostingSource for RemoteShards {
             id,
             epoch: info.epoch,
             deadline_ms: Some(deadline),
+            trace_id: None,
             sym: q,
             t_max,
         });

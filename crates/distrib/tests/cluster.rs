@@ -234,6 +234,79 @@ fn coordinator_process_answers_byte_identically_over_the_wire() {
 }
 
 #[test]
+fn traced_query_stitches_one_timeline_across_coordinator_and_shards() {
+    let (mut guard, addrs) = spawn_cluster();
+    let (coord, coord_addr) = spawn_coordinator(&addrs);
+    guard.0.push(coord);
+    let mut client = Client::connect(coord_addr).expect("connect coordinator");
+
+    // Fresh symbols, so the coordinator's caches cannot answer without
+    // fanning the postings fetch out to the shard servers.
+    const TRACE_ID: u64 = 0xBEEF;
+    let query = Query::threshold(vec![3, 4, 5], 1.5).build().unwrap();
+    let response = client
+        .query_traced(&query, TRACE_ID)
+        .expect("traced query over the coordinator");
+    assert_eq!(
+        response.matches,
+        client.query(&query).expect("untraced repeat").matches,
+        "tracing must not change the answer"
+    );
+
+    // Coordinator-side timeline: queue wait, the engine's phases, and one
+    // shard_rpc span per shard the fan-out touched.
+    let entries = client.trace(Some(TRACE_ID)).expect("coordinator trace");
+    assert_eq!(entries.len(), 1, "one entry per process");
+    let coord_entry = &entries[0];
+    assert_eq!(coord_entry.trace_id, TRACE_ID);
+    let coord_names: Vec<&str> = coord_entry.spans.iter().map(|s| s.name.as_str()).collect();
+    for phase in ["queue_wait", "query", "filter", "verify", "shard_rpc"] {
+        assert!(
+            coord_names.contains(&phase),
+            "coordinator timeline missing {phase}: {coord_names:?}"
+        );
+    }
+    let rpc_shards: std::collections::BTreeSet<u64> = coord_entry
+        .spans
+        .iter()
+        .filter(|s| s.name == "shard_rpc")
+        .map(|s| s.detail)
+        .collect();
+    assert_eq!(
+        rpc_shards,
+        (0..NUM_SHARDS as u64).collect(),
+        "the fan-out bracketed every shard"
+    );
+
+    // Shard-server side: each process retained `rpc_serve` spans under the
+    // SAME trace id — the cross-process half of the stitched timeline.
+    for (k, addr) in addrs.iter().enumerate() {
+        let mut shard_client = Client::connect(*addr).expect("connect shard");
+        let entries = shard_client.trace(Some(TRACE_ID)).expect("shard trace");
+        assert_eq!(entries.len(), 1, "shard {k} retained the trace");
+        let entry = &entries[0];
+        assert_eq!(entry.trace_id, TRACE_ID, "shard {k} shares the trace id");
+        assert!(
+            entry.spans.iter().all(|s| s.name == "rpc_serve"),
+            "shard-side spans are serve intervals: {:?}",
+            entry.spans
+        );
+        assert!(
+            !entry.spans.is_empty(),
+            "shard {k} served at least one traced RPC"
+        );
+    }
+
+    // An untraced query leaves no new timeline anywhere.
+    let other = Query::threshold(vec![7, 8], 1.0).build().unwrap();
+    client.query(&other).expect("untraced query");
+    assert!(
+        client.trace(Some(TRACE_ID + 1)).expect("empty").is_empty(),
+        "no spurious traces"
+    );
+}
+
+#[test]
 fn killing_a_shard_yields_typed_degraded_replies_and_service_survives() {
     let (mut guard, addrs) = spawn_cluster();
     let (coord, coord_addr) = spawn_coordinator(&addrs);

@@ -1,0 +1,158 @@
+//! Prometheus text exposition rendering, hand-rolled: the workspace policy
+//! is std-only, and the text format (version 0.0.4) is simple enough that a
+//! few `String` pushes beat a client-library dependency. The output is what
+//! a `metrics_text` wire request returns, so `curl` + any Prometheus-
+//! compatible scraper work against a trajsearch server unchanged.
+
+use crate::hist::{HistogramSnapshot, LogHistogram, BUCKETS};
+
+/// Incremental builder for one exposition payload.
+///
+/// ```
+/// use trajsearch_obs::{LogHistogram, PromText};
+///
+/// let h = LogHistogram::new();
+/// h.record(900);
+/// let mut p = PromText::new();
+/// p.counter("queries_total", "Queries answered.", 1);
+/// p.histogram("wall_ns", "Wall time per query.", &h.snapshot());
+/// let text = p.render();
+/// assert!(text.contains("queries_total 1"));
+/// assert!(text.contains("wall_ns_bucket{le=\"1023\"} 1"));
+/// assert!(text.contains("wall_ns_count 1"));
+/// ```
+#[derive(Debug, Default)]
+pub struct PromText {
+    buf: String,
+}
+
+impl PromText {
+    pub fn new() -> PromText {
+        PromText::default()
+    }
+
+    fn header(&mut self, name: &str, help: &str, kind: &str) {
+        self.buf.push_str("# HELP ");
+        self.buf.push_str(name);
+        self.buf.push(' ');
+        // The text format escapes backslash and newline in HELP text.
+        for c in help.chars() {
+            match c {
+                '\\' => self.buf.push_str("\\\\"),
+                '\n' => self.buf.push_str("\\n"),
+                c => self.buf.push(c),
+            }
+        }
+        self.buf.push_str("\n# TYPE ");
+        self.buf.push_str(name);
+        self.buf.push(' ');
+        self.buf.push_str(kind);
+        self.buf.push('\n');
+    }
+
+    /// A monotonically increasing counter.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) {
+        self.header(name, help, "counter");
+        self.buf.push_str(name);
+        self.buf.push(' ');
+        self.buf.push_str(&value.to_string());
+        self.buf.push('\n');
+    }
+
+    /// A point-in-time gauge.
+    pub fn gauge(&mut self, name: &str, help: &str, value: f64) {
+        self.header(name, help, "gauge");
+        self.buf.push_str(name);
+        self.buf.push(' ');
+        self.buf.push_str(&value.to_string());
+        self.buf.push('\n');
+    }
+
+    /// A [`LogHistogram`] snapshot as a Prometheus histogram: cumulative
+    /// `_bucket{le=…}` series up to the highest occupied bucket, then
+    /// `+Inf`, `_sum` and `_count`.
+    pub fn histogram(&mut self, name: &str, help: &str, snap: &HistogramSnapshot) {
+        self.header(name, help, "histogram");
+        let highest = snap
+            .buckets
+            .iter()
+            .rposition(|&c| c > 0)
+            .map_or(0, |i| i.min(BUCKETS - 2));
+        let mut cumulative = 0u64;
+        for i in 0..=highest {
+            cumulative += snap.buckets[i];
+            self.buf.push_str(name);
+            self.buf.push_str("_bucket{le=\"");
+            self.buf.push_str(&LogHistogram::bucket_le(i).to_string());
+            self.buf.push_str("\"} ");
+            self.buf.push_str(&cumulative.to_string());
+            self.buf.push('\n');
+        }
+        self.buf.push_str(name);
+        self.buf.push_str("_bucket{le=\"+Inf\"} ");
+        self.buf.push_str(&snap.count.to_string());
+        self.buf.push('\n');
+        self.buf.push_str(name);
+        self.buf.push_str("_sum ");
+        self.buf.push_str(&snap.sum.to_string());
+        self.buf.push('\n');
+        self.buf.push_str(name);
+        self.buf.push_str("_count ");
+        self.buf.push_str(&snap.count.to_string());
+        self.buf.push('\n');
+    }
+
+    /// The accumulated exposition text.
+    pub fn render(self) -> String {
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_render_with_headers() {
+        let mut p = PromText::new();
+        p.counter("trajsearch_admitted_total", "Admitted\nqueries.", 42);
+        p.gauge("trajsearch_queue_depth", "Queue depth.", 3.0);
+        let text = p.render();
+        assert!(text.contains("# HELP trajsearch_admitted_total Admitted\\nqueries.\n"));
+        assert!(text.contains("# TYPE trajsearch_admitted_total counter\n"));
+        assert!(text.contains("trajsearch_admitted_total 42\n"));
+        assert!(text.contains("# TYPE trajsearch_queue_depth gauge\n"));
+        assert!(text.contains("trajsearch_queue_depth 3\n"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_capped_by_inf() {
+        let h = LogHistogram::new();
+        h.record(0); // bucket 0, le 0
+        h.record(1); // bucket 1, le 1
+        h.record(3); // bucket 2, le 3
+        h.record(3);
+        let mut p = PromText::new();
+        p.histogram("t", "T.", &h.snapshot());
+        let text = p.render();
+        assert!(text.contains("t_bucket{le=\"0\"} 1\n"));
+        assert!(text.contains("t_bucket{le=\"1\"} 2\n"));
+        assert!(text.contains("t_bucket{le=\"3\"} 4\n"));
+        assert!(text.contains("t_bucket{le=\"+Inf\"} 4\n"));
+        assert!(text.contains("t_sum 7\n"));
+        assert!(text.contains("t_count 4\n"));
+        // No buckets past the highest occupied one.
+        assert!(!text.contains("le=\"7\""));
+    }
+
+    #[test]
+    fn empty_histogram_renders_only_inf() {
+        let h = LogHistogram::new();
+        let mut p = PromText::new();
+        p.histogram("t", "T.", &h.snapshot());
+        let text = p.render();
+        assert!(text.contains("t_bucket{le=\"0\"} 0\n"));
+        assert!(text.contains("t_bucket{le=\"+Inf\"} 0\n"));
+        assert!(text.contains("t_count 0\n"));
+    }
+}

@@ -455,12 +455,17 @@ fn decode_validated(bytes: &[u8]) -> Result<(TrajectoryStore, CompactIndex), Sna
             format!("{n} trajectories do not fit the paths/spans sections"),
         ));
     }
-    if total * 8 != times_sec.len() as u64 {
+    let time_bytes = total.checked_mul(8).ok_or_else(|| {
+        corrupt(
+            "meta",
+            format!("{total} postings overflow the times section size"),
+        )
+    })?;
+    if time_bytes != times_sec.len() as u64 {
         return Err(corrupt(
             "meta",
             format!(
-                "{total} postings need {} time bytes, section has {}",
-                total * 8,
+                "{total} postings need {time_bytes} time bytes, section has {}",
                 times_sec.len()
             ),
         ));

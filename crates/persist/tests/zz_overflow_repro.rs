@@ -1,4 +1,5 @@
-//! TEMP repro: crafted meta `total` overflows `total * 8` in decode.
+//! Regression: a crafted meta `total` used to overflow `total * 8` in
+//! decode (panic in debug builds); it must yield a typed error instead.
 
 use traj::{Trajectory, TrajectoryStore};
 use trajsearch_core::compact::write_varint;

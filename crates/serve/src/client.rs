@@ -23,7 +23,7 @@
 use crate::metrics::MetricsSnapshot;
 use crate::proto::{
     read_frame, write_frame, DegradedInfo, Reply, Request, ServerError, ServerErrorKind, ShardInfo,
-    PROTO_MAJOR, PROTO_MINOR,
+    TraceEntry, PROTO_MAJOR, PROTO_MINOR,
 };
 use std::fmt;
 use std::io::{self, BufReader, BufWriter, Write};
@@ -411,6 +411,7 @@ impl Client {
                     self.send_request(&Request::Query {
                         id: ids[sent],
                         query: queries[sent].clone(),
+                        trace_id: None,
                     })?;
                     sent += 1;
                 }
@@ -465,6 +466,59 @@ impl Client {
             Reply::Stats { id: got, stats } if got == id => Ok(stats),
             other => Err(ClientError::Protocol(format!(
                 "expected stats reply for id {id}, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Sends one query stamped with `trace_id` (obtain one from
+    /// [`TraceSink::next_trace_id`](trajsearch_obs::TraceSink::next_trace_id)
+    /// or any per-client unique nonzero source) and waits for its reply.
+    /// Afterwards [`Client::trace`] with the same id fetches the server's
+    /// per-phase spans; a coordinator forwards the id into every shard RPC,
+    /// so the same id read from each shard server stitches the distributed
+    /// timeline. Requires a minor ≥ 3 server (older ones reject the frame
+    /// as malformed).
+    pub fn query_traced(&mut self, query: &Query, trace_id: u64) -> Result<Response, ClientError> {
+        let id = self.allocate_id();
+        let reply = self.round_trip(&Request::Query {
+            id,
+            query: query.clone(),
+            trace_id: Some(trace_id),
+        })?;
+        match reply {
+            Reply::Response { id: got, response } if got == id => Ok(response),
+            Reply::Degraded { degraded, .. } => Err(ClientError::Degraded(degraded)),
+            Reply::Error { error, .. } => Err(ClientError::Server(error)),
+            other => Err(ClientError::Protocol(format!(
+                "expected response for id {id}, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches trace timelines. `Some(trace_id)` returns that trace's spans
+    /// as retained by *this* server (one entry, or none when nothing
+    /// survives); `None` returns the slow-query log (empty unless the
+    /// server was configured with
+    /// [`slow_query_threshold`](crate::ServerConfig::slow_query_threshold)).
+    pub fn trace(&mut self, trace_id: Option<u64>) -> Result<Vec<TraceEntry>, ClientError> {
+        let id = self.allocate_id();
+        match self.round_trip(&Request::Trace { id, trace_id })? {
+            Reply::Trace { id: got, entries } if got == id => Ok(entries),
+            Reply::Error { error, .. } => Err(ClientError::Server(error)),
+            other => Err(ClientError::Protocol(format!(
+                "expected trace reply for id {id}, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches the Prometheus text exposition (`metrics_text` request).
+    pub fn metrics_text(&mut self) -> Result<String, ClientError> {
+        let id = self.allocate_id();
+        match self.round_trip(&Request::MetricsText { id })? {
+            Reply::MetricsText { id: got, text } if got == id => Ok(text),
+            Reply::Error { error, .. } => Err(ClientError::Server(error)),
+            other => Err(ClientError::Protocol(format!(
+                "expected metrics_text reply for id {id}, got {other:?}"
             ))),
         }
     }

@@ -20,9 +20,15 @@
 //!   answer ([`trajsearch_core::deadline`]).
 //! * **Graceful drain** — shutdown stops admission but answers every
 //!   admitted query before [`Server::serve`] returns.
-//! * **Observability** — counters and wall/CPU latency percentiles, live
-//!   via [`ServerHandle::metrics`] or over the wire via a `stats` request
-//!   ([`metrics`]).
+//! * **Observability** — counters and queue/wall/CPU latency percentiles,
+//!   live via [`ServerHandle::metrics`] or over the wire via a `stats`
+//!   request ([`metrics`]); end-to-end query tracing (minor 3) — a
+//!   `trace_id` on the query frame records per-phase
+//!   [spans](trajsearch_obs) readable back via a `trace` request, a
+//!   slow-query log captures threshold-crossing queries
+//!   ([`ServerConfig::slow_query_threshold`]), and a `metrics_text`
+//!   request renders Prometheus text exposition with per-phase log2
+//!   latency histograms. Untraced frames are byte-identical to minor 2.
 //!
 //! Responses over the socket are **byte-identical** (matches and stats
 //! counters) to in-process [`SearchEngine::run`](trajsearch_core::SearchEngine::run)
@@ -87,9 +93,9 @@ pub mod shard;
 pub use client::{Client, ClientError, HelloCaps, QueryOutcome, RetryPolicy};
 pub use metrics::{LatencySummary, Metrics, MetricsSnapshot};
 pub use proto::{
-    DegradedInfo, Reply, Request, ServerError, ServerErrorKind, ShardInfo, SpanPage,
-    MAX_FRAME_BYTES, PROTO_MAJOR, PROTO_MINOR, SPAN_PAGE_MAX, SUPPORTED_METRICS,
+    DegradedInfo, Reply, Request, ServerError, ServerErrorKind, ShardInfo, SpanPage, TraceEntry,
+    WireSpan, MAX_FRAME_BYTES, PROTO_MAJOR, PROTO_MINOR, SPAN_PAGE_MAX, SUPPORTED_METRICS,
 };
 pub use queue::{BoundedQueue, Pop, PushError};
-pub use server::{Handled, QueryHandler, Server, ServerConfig, ServerHandle};
+pub use server::{Handled, QueryHandler, Server, ServerConfig, ServerHandle, DEFAULT_SINK_SPANS};
 pub use shard::{IndexShardSource, ShardSource};

@@ -5,42 +5,46 @@
 //! Counters are lock-free atomics bumped on the hot path. Latencies go into
 //! a fixed-size ring of the most recent [`SAMPLE_CAP`] queries (bounded
 //! memory under unbounded traffic, recency-weighted percentiles — the
-//! usual dashboard trade-off). Two series are kept per query: **wall** time
-//! (dequeue → reply written, what the client experiences minus queueing)
+//! usual dashboard trade-off; the window is configurable via
+//! [`ServerConfig::sample_cap`](crate::ServerConfig::sample_cap)). Three
+//! series are kept per query: **queue** time (admission → dequeue, what
+//! backpressure costs the client), **wall** time (dequeue → reply written)
 //! and **CPU** time (the engine's summed phase time from
 //! [`SearchStats::total_time`](trajsearch_core::SearchStats)), whose gap
-//! measures in-query parallelism and scheduling overhead.
+//! against wall measures in-query parallelism and scheduling overhead.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use trajsearch_core::json::JsonValue;
 
-/// Ring capacity for each latency series.
+/// Default ring capacity for each latency series.
 pub const SAMPLE_CAP: usize = 4096;
 
 /// Fixed-size ring of the most recent samples.
 struct Ring {
     samples: Vec<u64>,
+    cap: usize,
     next: usize,
     seen: u64,
 }
 
 impl Ring {
-    fn new() -> Ring {
+    fn new(cap: usize) -> Ring {
         Ring {
-            samples: Vec::with_capacity(SAMPLE_CAP),
+            samples: Vec::with_capacity(cap),
+            cap,
             next: 0,
             seen: 0,
         }
     }
 
     fn push(&mut self, v: u64) {
-        if self.samples.len() < SAMPLE_CAP {
+        if self.samples.len() < self.cap {
             self.samples.push(v);
         } else {
             self.samples[self.next] = v;
         }
-        self.next = (self.next + 1) % SAMPLE_CAP;
+        self.next = (self.next + 1) % self.cap;
         self.seen += 1;
     }
 
@@ -52,15 +56,18 @@ impl Ring {
 
 /// Percentile math over an owned sample copy — runs **outside** any ring
 /// lock, so a dashboard's `O(n log n)` sort never stalls the hot path's
-/// [`Metrics::record_latency`].
+/// [`Metrics::record_latency`]. Quantiles are nearest-rank: the
+/// `ceil(q·n)`-th smallest sample, so p99 over 100 samples is the 99th —
+/// not the rounded interpolation that collapsed p99 into p100 on small
+/// windows.
 fn summarize(mut samples: Vec<u64>, seen: u64) -> LatencySummary {
     if samples.is_empty() {
         return LatencySummary::default();
     }
     samples.sort_unstable();
     let at = |q: f64| {
-        let idx = ((samples.len() - 1) as f64 * q).round() as usize;
-        samples[idx]
+        let rank = (q * samples.len() as f64).ceil() as usize;
+        samples[rank.clamp(1, samples.len()) - 1]
     };
     LatencySummary {
         count: seen,
@@ -110,7 +117,6 @@ impl LatencySummary {
 }
 
 /// Live server metrics; snapshot with [`Metrics::snapshot`].
-#[derive(Default)]
 pub struct Metrics {
     pub admitted: AtomicU64,
     pub rejected_overload: AtomicU64,
@@ -120,8 +126,16 @@ pub struct Metrics {
     pub degraded: AtomicU64,
     pub invalid: AtomicU64,
     pub malformed: AtomicU64,
+    sample_cap: usize,
+    queue_ns: Mutex<Option<Ring>>,
     wall_ns: Mutex<Option<Ring>>,
     cpu_ns: Mutex<Option<Ring>>,
+}
+
+impl Default for Metrics {
+    fn default() -> Metrics {
+        Metrics::with_sample_cap(SAMPLE_CAP)
+    }
 }
 
 impl Metrics {
@@ -129,23 +143,49 @@ impl Metrics {
         Metrics::default()
     }
 
+    /// Metrics whose latency rings retain the most recent `cap` samples
+    /// each (clamped to at least 1); [`Metrics::new`] uses [`SAMPLE_CAP`].
+    pub fn with_sample_cap(cap: usize) -> Metrics {
+        Metrics {
+            admitted: AtomicU64::new(0),
+            rejected_overload: AtomicU64::new(0),
+            rejected_shutdown: AtomicU64::new(0),
+            timed_out: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
+            invalid: AtomicU64::new(0),
+            malformed: AtomicU64::new(0),
+            sample_cap: cap.max(1),
+            queue_ns: Mutex::new(None),
+            wall_ns: Mutex::new(None),
+            cpu_ns: Mutex::new(None),
+        }
+    }
+
     #[inline]
     pub fn bump(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
+    fn push_sample(&self, series: &Mutex<Option<Ring>>, v: u64) {
+        series
+            .lock()
+            .expect("metrics mutex poisoned")
+            .get_or_insert_with(|| Ring::new(self.sample_cap))
+            .push(v);
+    }
+
     /// Records one completed query's wall and engine-CPU time.
     pub fn record_latency(&self, wall_ns: u64, cpu_ns: u64) {
-        self.wall_ns
-            .lock()
-            .expect("metrics mutex poisoned")
-            .get_or_insert_with(Ring::new)
-            .push(wall_ns);
-        self.cpu_ns
-            .lock()
-            .expect("metrics mutex poisoned")
-            .get_or_insert_with(Ring::new)
-            .push(cpu_ns);
+        self.push_sample(&self.wall_ns, wall_ns);
+        self.push_sample(&self.cpu_ns, cpu_ns);
+    }
+
+    /// Records one dequeued query's time spent waiting in the admission
+    /// queue (admission → dequeue) — recorded for every dequeued query,
+    /// including ones that then age out at the dequeue deadline check.
+    pub fn record_queue_wait(&self, queue_ns: u64) {
+        self.push_sample(&self.queue_ns, queue_ns);
     }
 
     /// Consistent-enough snapshot for dashboards (counters are relaxed;
@@ -183,6 +223,7 @@ impl Metrics {
             degraded: self.degraded.load(Ordering::Relaxed),
             invalid: self.invalid.load(Ordering::Relaxed),
             malformed: self.malformed.load(Ordering::Relaxed),
+            queue: ring_summary(&self.queue_ns),
             wall: ring_summary(&self.wall_ns),
             cpu: ring_summary(&self.cpu_ns),
         }
@@ -216,6 +257,8 @@ pub struct MetricsSnapshot {
     pub invalid: u64,
     /// Frames that were not well-formed requests.
     pub malformed: u64,
+    /// Admission → dequeue queue-wait time of dequeued queries.
+    pub queue: LatencySummary,
     /// Dequeue → reply-written wall time of completed queries.
     pub wall: LatencySummary,
     /// Engine CPU time (summed phases) of completed queries.
@@ -245,6 +288,7 @@ impl MetricsSnapshot {
             ("degraded".into(), JsonValue::num_u64(self.degraded)),
             ("invalid".into(), JsonValue::num_u64(self.invalid)),
             ("malformed".into(), JsonValue::num_u64(self.malformed)),
+            ("queue".into(), self.queue.to_json_value()),
             ("wall".into(), self.wall.to_json_value()),
             ("cpu".into(), self.cpu.to_json_value()),
         ])
@@ -275,6 +319,12 @@ impl MetricsSnapshot {
             degraded: v.get("degraded").and_then(|x| x.as_u64()).unwrap_or(0),
             invalid: u64_field("invalid")?,
             malformed: u64_field("malformed")?,
+            // Absent on snapshots from pre-PR10 servers; defaults like
+            // `degraded` above.
+            queue: match v.get("queue") {
+                Some(q) => LatencySummary::from_json_value(q)?,
+                None => LatencySummary::default(),
+            },
             wall: LatencySummary::from_json_value(
                 v.get("wall").ok_or("metrics snapshot needs \"wall\"")?,
             )?,
@@ -297,9 +347,13 @@ mod tests {
         }
         let s = m.snapshot(3, 64, 4);
         assert_eq!(s.wall.count, 100);
-        // Nearest-rank at q=0.5 over 100 samples: index round(99·0.5) = 50.
-        assert_eq!(s.wall.p50_ns, 51_000);
+        // Nearest-rank over 100 samples {1000, …, 100000}: the
+        // ceil(q·100)-th smallest. The old round((n−1)·q) interpolation
+        // returned the 51st sample for p50 and the 100th for p99 —
+        // collapsing p99 into the max on any 100-sample window.
+        assert_eq!(s.wall.p50_ns, 50_000);
         assert_eq!(s.wall.p95_ns, 95_000);
+        assert_eq!(s.wall.p99_ns, 99_000);
         assert_eq!(s.wall.max_ns, 100_000);
         assert_eq!(s.cpu.max_ns, 1000);
         assert_eq!(s.queue_depth, 3);
@@ -308,8 +362,49 @@ mod tests {
     }
 
     #[test]
+    fn nearest_rank_edge_cases() {
+        // One sample answers every quantile.
+        let one = summarize(vec![7], 1);
+        assert_eq!((one.p50_ns, one.p99_ns, one.max_ns), (7, 7, 7));
+        // Two samples: p50 is the 1st (ceil(0.5·2) = 1), p99 the 2nd.
+        let two = summarize(vec![3, 9], 2);
+        assert_eq!((two.p50_ns, two.p99_ns), (3, 9));
+    }
+
+    #[test]
+    fn queue_wait_series_is_independent() {
+        let m = Metrics::new();
+        m.record_queue_wait(2_000);
+        m.record_queue_wait(4_000);
+        let s = m.snapshot(0, 8, 1);
+        assert_eq!(s.queue.count, 2);
+        assert_eq!(s.queue.p50_ns, 2_000);
+        assert_eq!(s.queue.max_ns, 4_000);
+        // No completed query yet: the wall/cpu series stay empty.
+        assert_eq!(s.wall, LatencySummary::default());
+    }
+
+    #[test]
+    fn sample_cap_is_configurable() {
+        let m = Metrics::with_sample_cap(8);
+        for i in 1..=100u64 {
+            m.record_latency(i, i);
+        }
+        let s = m.snapshot(0, 8, 1);
+        assert_eq!(s.wall.count, 100);
+        // Only the last 8 samples are retained, so the minimum is 93.
+        assert_eq!(s.wall.p50_ns, 96);
+        assert_eq!(s.wall.max_ns, 100);
+        // Cap 0 clamps to 1 instead of dividing by zero.
+        let tiny = Metrics::with_sample_cap(0);
+        tiny.record_latency(5, 5);
+        tiny.record_latency(9, 9);
+        assert_eq!(tiny.snapshot(0, 8, 1).wall.p50_ns, 9);
+    }
+
+    #[test]
     fn ring_retains_only_the_recent_window() {
-        let mut r = Ring::new();
+        let mut r = Ring::new(SAMPLE_CAP);
         for i in 0..(SAMPLE_CAP as u64 + 10) {
             r.push(i);
         }
@@ -384,8 +479,19 @@ mod tests {
         Metrics::bump(&m.completed);
         Metrics::bump(&m.rejected_overload);
         m.record_latency(123_456, 98_765);
+        m.record_queue_wait(2_222);
         let s = m.snapshot(1, 32, 2);
         let v = s.to_json_value();
         assert_eq!(MetricsSnapshot::from_json_value(&v).unwrap(), s);
+        // A pre-queue-series snapshot (no "queue" key) still decodes.
+        let legacy = match v {
+            JsonValue::Obj(fields) => {
+                JsonValue::Obj(fields.into_iter().filter(|(k, _)| k != "queue").collect())
+            }
+            other => other,
+        };
+        let back = MetricsSnapshot::from_json_value(&legacy).unwrap();
+        assert_eq!(back.queue, LatencySummary::default());
+        assert_eq!(back.wall, s.wall);
     }
 }

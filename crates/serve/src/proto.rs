@@ -78,6 +78,27 @@
 //! Rust's shortest round-trip rendering, so values survive the wire
 //! bit-for-bit.
 //!
+//! # Tracing (minor 3)
+//!
+//! A `query` frame (and every shard data RPC) may carry an optional
+//! `trace_id` — a non-zero u64 naming one end-to-end query timeline.
+//! Absent means untraced, and an untraced frame is byte-identical to the
+//! minor-2 encoding. A coordinator propagates the id into the shard RPCs it
+//! fans out, so each process's spans (tagged with the shared id) can be
+//! stitched into one cross-process timeline afterwards. Two requests read
+//! the results back:
+//!
+//! ```json
+//! {"v":1,"type":"trace","id":8,"trace_id":7}
+//! {"v":1,"type":"metrics_text","id":9}
+//! ```
+//!
+//! `trace` with a `trace_id` returns that timeline's spans from the
+//! server's trace sink; without one it returns the slow-query log. The
+//! reply's spans carry start/duration nanoseconds relative to the serving
+//! process's sink epoch. `metrics_text` returns the server's counters and
+//! per-phase latency histograms in the Prometheus text exposition format.
+//!
 //! # Degraded replies
 //!
 //! A coordinator that lost shards mid-query answers with a typed
@@ -106,8 +127,10 @@ pub const PROTO_MAJOR: u32 = 1;
 
 /// Wire-protocol minor version — additive changes (minor 1 added `hello`,
 /// the shard RPCs and `degraded`; minor 2 added the `metrics` capability
-/// list on the hello reply). Exchanged via `hello`, not per frame.
-pub const PROTO_MINOR: u32 = 2;
+/// list on the hello reply; minor 3 added the optional `trace_id` field on
+/// `query` and shard data RPCs plus the `trace` and `metrics_text`
+/// requests). Exchanged via `hello`, not per frame.
+pub const PROTO_MINOR: u32 = 3;
 
 /// Distance metrics this build can verify, in the wire names of
 /// `trajsearch_core::Metric`. Advertised on the hello reply (minor ≥ 2) so
@@ -446,6 +469,104 @@ impl SpanPage {
     }
 }
 
+/// One span on the wire — a [`trajsearch_obs::SpanRecord`] with the name
+/// owned (the in-process record borrows a `&'static str`, which cannot be
+/// decoded) and without the trace id (the enclosing [`TraceEntry`] carries
+/// it once). Times are nanoseconds relative to the serving process's sink
+/// epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireSpan {
+    pub span_id: u64,
+    /// 0 for a root span.
+    pub parent_id: u64,
+    pub name: String,
+    /// Span-specific payload (candidate count, worker index, round index).
+    pub detail: u64,
+    pub start_ns: u64,
+    pub dur_ns: u64,
+}
+
+impl WireSpan {
+    pub fn to_json_value(&self) -> JsonValue {
+        JsonValue::Obj(vec![
+            ("span_id".into(), JsonValue::num_u64(self.span_id)),
+            ("parent_id".into(), JsonValue::num_u64(self.parent_id)),
+            ("name".into(), JsonValue::Str(self.name.clone())),
+            ("detail".into(), JsonValue::num_u64(self.detail)),
+            ("start_ns".into(), JsonValue::num_u64(self.start_ns)),
+            ("dur_ns".into(), JsonValue::num_u64(self.dur_ns)),
+        ])
+    }
+
+    pub fn from_json_value(v: &JsonValue) -> Result<WireSpan, String> {
+        let field = |key: &str| {
+            v.get(key)
+                .and_then(|x| x.as_u64())
+                .ok_or_else(|| format!("span needs u64 \"{key}\""))
+        };
+        Ok(WireSpan {
+            span_id: field("span_id")?,
+            parent_id: field("parent_id")?,
+            name: v
+                .get("name")
+                .and_then(|n| n.as_str())
+                .ok_or("span needs string \"name\"")?
+                .to_string(),
+            detail: field("detail")?,
+            start_ns: field("start_ns")?,
+            dur_ns: field("dur_ns")?,
+        })
+    }
+}
+
+/// One traced query's timeline as the `trace` request returns it: the
+/// trace id, the wire id of the query when the server knows it (slow-log
+/// entries do; ad-hoc sink lookups answer `None`), the query's wall time
+/// and its spans sorted by start.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    pub trace_id: u64,
+    pub query_id: Option<u64>,
+    pub wall_ns: u64,
+    pub spans: Vec<WireSpan>,
+}
+
+impl TraceEntry {
+    pub fn to_json_value(&self) -> JsonValue {
+        let mut fields = vec![("trace_id".into(), JsonValue::num_u64(self.trace_id))];
+        if let Some(qid) = self.query_id {
+            fields.push(("query_id".into(), JsonValue::num_u64(qid)));
+        }
+        fields.push(("wall_ns".into(), JsonValue::num_u64(self.wall_ns)));
+        fields.push((
+            "spans".into(),
+            JsonValue::Arr(self.spans.iter().map(|s| s.to_json_value()).collect()),
+        ));
+        JsonValue::Obj(fields)
+    }
+
+    pub fn from_json_value(v: &JsonValue) -> Result<TraceEntry, String> {
+        Ok(TraceEntry {
+            trace_id: v
+                .get("trace_id")
+                .and_then(|x| x.as_u64())
+                .ok_or("trace entry needs u64 \"trace_id\"")?,
+            query_id: v.get("query_id").and_then(|x| x.as_u64()),
+            wall_ns: v
+                .get("wall_ns")
+                .and_then(|x| x.as_u64())
+                .ok_or("trace entry needs u64 \"wall_ns\"")?,
+            spans: v
+                .get("spans")
+                .and_then(|a| a.as_arr())
+                .ok_or("trace entry needs \"spans\" array")?
+                .iter()
+                .map(WireSpan::from_json_value)
+                .collect::<Result<Vec<WireSpan>, _>>()?,
+        })
+    }
+}
+
 fn syms_to_value(syms: &[Sym]) -> JsonValue {
     JsonValue::Arr(syms.iter().map(|&q| JsonValue::num_u64(q as u64)).collect())
 }
@@ -499,10 +620,22 @@ fn postings_from_value(v: &JsonValue, what: &str) -> Result<Vec<Posting>, String
 /// correlates the eventual reply.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
-    /// Answer one query.
-    Query { id: u64, query: Query },
+    /// Answer one query. `trace_id` (minor 3, optional) names the
+    /// end-to-end trace this query belongs to; `None` (the wire default)
+    /// means untraced and encodes byte-identically to the minor-2 frame.
+    Query {
+        id: u64,
+        query: Query,
+        trace_id: Option<u64>,
+    },
     /// Return the server's metrics snapshot.
     Stats { id: u64 },
+    /// Return trace timelines: the spans of `trace_id` when given, the
+    /// slow-query log otherwise (minor 3).
+    Trace { id: u64, trace_id: Option<u64> },
+    /// Return the Prometheus text exposition of the server's metrics
+    /// (minor 3).
+    MetricsText { id: u64 },
     /// Version negotiation: the client announces what it speaks, the
     /// server replies with its own `major`/`minor`.
     Hello { id: u64, major: u32, minor: u32 },
@@ -515,6 +648,7 @@ pub enum Request {
         id: u64,
         epoch: u64,
         deadline_ms: Option<u64>,
+        trace_id: Option<u64>,
         syms: Vec<Sym>,
     },
     /// Full postings lists for a batch of symbols, in this shard's build
@@ -523,6 +657,7 @@ pub enum Request {
         id: u64,
         epoch: u64,
         deadline_ms: Option<u64>,
+        trace_id: Option<u64>,
         syms: Vec<Sym>,
     },
     /// The departure-sorted prefix of one symbol's list with departure
@@ -531,6 +666,7 @@ pub enum Request {
         id: u64,
         epoch: u64,
         deadline_ms: Option<u64>,
+        trace_id: Option<u64>,
         sym: Sym,
         t_max: f64,
     },
@@ -540,6 +676,7 @@ pub enum Request {
         id: u64,
         epoch: u64,
         deadline_ms: Option<u64>,
+        trace_id: Option<u64>,
         start: u64,
         count: u64,
     },
@@ -550,12 +687,40 @@ impl Request {
         match self {
             Request::Query { id, .. }
             | Request::Stats { id }
+            | Request::Trace { id, .. }
+            | Request::MetricsText { id }
             | Request::Hello { id, .. }
             | Request::ShardInfo { id }
             | Request::ShardFreqs { id, .. }
             | Request::ShardPostings { id, .. }
             | Request::ShardDepartingBy { id, .. }
             | Request::ShardSpans { id, .. } => *id,
+        }
+    }
+
+    /// The trace id this frame carries, for the variants that can.
+    pub fn trace_id(&self) -> Option<u64> {
+        match self {
+            Request::Query { trace_id, .. }
+            | Request::ShardFreqs { trace_id, .. }
+            | Request::ShardPostings { trace_id, .. }
+            | Request::ShardDepartingBy { trace_id, .. }
+            | Request::ShardSpans { trace_id, .. } => *trace_id,
+            _ => None,
+        }
+    }
+
+    /// Stamps a trace id onto the frame if the variant carries one — how a
+    /// coordinator propagates the active trace into shard RPCs it builds
+    /// generically. A no-op for variants without the field.
+    pub fn set_trace_id(&mut self, trace: u64) {
+        match self {
+            Request::Query { trace_id, .. }
+            | Request::ShardFreqs { trace_id, .. }
+            | Request::ShardPostings { trace_id, .. }
+            | Request::ShardDepartingBy { trace_id, .. }
+            | Request::ShardSpans { trace_id, .. } => *trace_id = Some(trace),
+            _ => {}
         }
     }
 
@@ -567,23 +732,40 @@ impl Request {
                 ("id".into(), JsonValue::num_u64(id)),
             ]
         };
-        let with_shard_args =
-            |mut fields: Vec<(String, JsonValue)>, epoch: u64, deadline_ms: Option<u64>| {
-                fields.push(("epoch".into(), JsonValue::num_u64(epoch)));
-                if let Some(ms) = deadline_ms {
-                    fields.push(("deadline_ms".into(), JsonValue::num_u64(ms)));
-                }
-                fields
-            };
+        // `trace_id` is omitted when absent, so untraced frames stay
+        // byte-identical to the pre-minor-3 encoding.
+        let with_trace = |mut fields: Vec<(String, JsonValue)>, trace_id: &Option<u64>| {
+            if let Some(t) = trace_id {
+                fields.push(("trace_id".into(), JsonValue::num_u64(*t)));
+            }
+            fields
+        };
+        let with_shard_args = |fields: Vec<(String, JsonValue)>,
+                               epoch: u64,
+                               deadline_ms: Option<u64>,
+                               trace_id: &Option<u64>| {
+            let mut fields = fields;
+            fields.push(("epoch".into(), JsonValue::num_u64(epoch)));
+            if let Some(ms) = deadline_ms {
+                fields.push(("deadline_ms".into(), JsonValue::num_u64(ms)));
+            }
+            with_trace(fields, trace_id)
+        };
         let fields = match self {
-            Request::Query { id, query } => {
+            Request::Query {
+                id,
+                query,
+                trace_id,
+            } => {
                 let mut f = envelope("query", *id);
                 // The query's canonical wire object, embedded directly —
                 // not re-rendered and re-parsed, and not a string.
                 f.push(("query".into(), query.to_value()));
-                f
+                with_trace(f, trace_id)
             }
             Request::Stats { id } => envelope("stats", *id),
+            Request::Trace { id, trace_id } => with_trace(envelope("trace", *id), trace_id),
+            Request::MetricsText { id } => envelope("metrics_text", *id),
             Request::Hello { id, major, minor } => {
                 let mut f = envelope("hello", *id);
                 f.push(("major".into(), JsonValue::num_u64(*major as u64)));
@@ -595,9 +777,11 @@ impl Request {
                 id,
                 epoch,
                 deadline_ms,
+                trace_id,
                 syms,
             } => {
-                let mut f = with_shard_args(envelope("shard_freqs", *id), *epoch, *deadline_ms);
+                let mut f =
+                    with_shard_args(envelope("shard_freqs", *id), *epoch, *deadline_ms, trace_id);
                 f.push(("syms".into(), syms_to_value(syms)));
                 f
             }
@@ -605,9 +789,15 @@ impl Request {
                 id,
                 epoch,
                 deadline_ms,
+                trace_id,
                 syms,
             } => {
-                let mut f = with_shard_args(envelope("shard_postings", *id), *epoch, *deadline_ms);
+                let mut f = with_shard_args(
+                    envelope("shard_postings", *id),
+                    *epoch,
+                    *deadline_ms,
+                    trace_id,
+                );
                 f.push(("syms".into(), syms_to_value(syms)));
                 f
             }
@@ -615,11 +805,16 @@ impl Request {
                 id,
                 epoch,
                 deadline_ms,
+                trace_id,
                 sym,
                 t_max,
             } => {
-                let mut f =
-                    with_shard_args(envelope("shard_departing_by", *id), *epoch, *deadline_ms);
+                let mut f = with_shard_args(
+                    envelope("shard_departing_by", *id),
+                    *epoch,
+                    *deadline_ms,
+                    trace_id,
+                );
                 f.push(("sym".into(), JsonValue::num_u64(*sym as u64)));
                 f.push(("t_max".into(), JsonValue::num_f64(*t_max)));
                 f
@@ -628,10 +823,12 @@ impl Request {
                 id,
                 epoch,
                 deadline_ms,
+                trace_id,
                 start,
                 count,
             } => {
-                let mut f = with_shard_args(envelope("shard_spans", *id), *epoch, *deadline_ms);
+                let mut f =
+                    with_shard_args(envelope("shard_spans", *id), *epoch, *deadline_ms, trace_id);
                 f.push(("start".into(), JsonValue::num_u64(*start)));
                 f.push(("count".into(), JsonValue::num_u64(*count)));
                 f
@@ -663,17 +860,28 @@ impl Request {
                 .and_then(|v| v.as_u64())
                 .ok_or_else(|| format!("request needs u64 \"{key}\""))
         };
-        let shard_args = || -> Result<(u64, Option<u64>), String> {
+        let trace_arg = || -> Result<Option<u64>, String> {
+            match doc.get("trace_id") {
+                None | Some(JsonValue::Null) => Ok(None),
+                Some(v) => Ok(Some(v.as_u64().ok_or("\"trace_id\" must be a u64")?)),
+            }
+        };
+        let shard_args = || -> Result<(u64, Option<u64>, Option<u64>), String> {
             let epoch = u64_field("epoch")?;
             let deadline_ms = match doc.get("deadline_ms") {
                 None => None,
                 Some(v) => Some(v.as_u64().ok_or("\"deadline_ms\" must be a u64")?),
             };
-            Ok((epoch, deadline_ms))
+            Ok((epoch, deadline_ms, trace_arg()?))
         };
         let decode = |what: &str| -> Result<Request, String> {
             match what {
                 "stats" => Ok(Request::Stats { id }),
+                "trace" => Ok(Request::Trace {
+                    id,
+                    trace_id: trace_arg()?,
+                }),
+                "metrics_text" => Ok(Request::MetricsText { id }),
                 "hello" => Ok(Request::Hello {
                     id,
                     major: u64_field("major")?
@@ -685,7 +893,7 @@ impl Request {
                 }),
                 "shard_info" => Ok(Request::ShardInfo { id }),
                 "shard_freqs" | "shard_postings" => {
-                    let (epoch, deadline_ms) = shard_args()?;
+                    let (epoch, deadline_ms, trace_id) = shard_args()?;
                     let syms = syms_from_value(
                         doc.get("syms").ok_or("request needs \"syms\"")?,
                         "\"syms\"",
@@ -695,6 +903,7 @@ impl Request {
                             id,
                             epoch,
                             deadline_ms,
+                            trace_id,
                             syms,
                         }
                     } else {
@@ -702,12 +911,13 @@ impl Request {
                             id,
                             epoch,
                             deadline_ms,
+                            trace_id,
                             syms,
                         }
                     })
                 }
                 "shard_departing_by" => {
-                    let (epoch, deadline_ms) = shard_args()?;
+                    let (epoch, deadline_ms, trace_id) = shard_args()?;
                     let sym = u64_field("sym")?
                         .try_into()
                         .map_err(|_| "\"sym\" exceeds u32")?;
@@ -720,16 +930,18 @@ impl Request {
                         id,
                         epoch,
                         deadline_ms,
+                        trace_id,
                         sym,
                         t_max,
                     })
                 }
                 "shard_spans" => {
-                    let (epoch, deadline_ms) = shard_args()?;
+                    let (epoch, deadline_ms, trace_id) = shard_args()?;
                     Ok(Request::ShardSpans {
                         id,
                         epoch,
                         deadline_ms,
+                        trace_id,
                         start: u64_field("start")?,
                         count: u64_field("count")?,
                     })
@@ -742,8 +954,16 @@ impl Request {
                 let Some(query) = doc.get("query") else {
                     return Err(malformed(Some(id), "query request needs a \"query\""));
                 };
+                let trace_id = match trace_arg() {
+                    Ok(t) => t,
+                    Err(e) => return Err(malformed(Some(id), &e)),
+                };
                 match Query::from_value(query) {
-                    Ok(query) => Ok(Request::Query { id, query }),
+                    Ok(query) => Ok(Request::Query {
+                        id,
+                        query,
+                        trace_id,
+                    }),
                     Err(e) => Err((
                         Some(id),
                         ServerError::new(ServerErrorKind::InvalidQuery, e.to_string()),
@@ -777,6 +997,17 @@ pub enum Reply {
     Stats {
         id: u64,
         stats: MetricsSnapshot,
+    },
+    /// Trace timelines (minor 3): the requested trace's spans, or the
+    /// slow-query log when the request named no trace id.
+    Trace {
+        id: u64,
+        entries: Vec<TraceEntry>,
+    },
+    /// Prometheus text exposition of the server's metrics (minor 3).
+    MetricsText {
+        id: u64,
+        text: String,
     },
     Hello {
         id: u64,
@@ -818,6 +1049,8 @@ impl Reply {
             Reply::Response { id, .. }
             | Reply::Degraded { id, .. }
             | Reply::Stats { id, .. }
+            | Reply::Trace { id, .. }
+            | Reply::MetricsText { id, .. }
             | Reply::Hello { id, .. }
             | Reply::ShardInfo { id, .. }
             | Reply::ShardFreqs { id, .. }
@@ -862,6 +1095,19 @@ impl Reply {
             Reply::Stats { id, stats } => {
                 let mut f = envelope("stats", *id);
                 f.push(("stats".into(), stats.to_json_value()));
+                f
+            }
+            Reply::Trace { id, entries } => {
+                let mut f = envelope("trace", *id);
+                f.push((
+                    "entries".into(),
+                    JsonValue::Arr(entries.iter().map(|e| e.to_json_value()).collect()),
+                ));
+                f
+            }
+            Reply::MetricsText { id, text } => {
+                let mut f = envelope("metrics_text", *id);
+                f.push(("text".into(), JsonValue::Str(text.clone())));
                 f
             }
             Reply::Hello {
@@ -986,6 +1232,26 @@ impl Reply {
                     id,
                     stats: MetricsSnapshot::from_json_value(stats)?,
                 })
+            }
+            Some("trace") => {
+                let id = need_id("trace")?;
+                let entries = doc
+                    .get("entries")
+                    .and_then(|a| a.as_arr())
+                    .ok_or("missing \"entries\" array")?
+                    .iter()
+                    .map(TraceEntry::from_json_value)
+                    .collect::<Result<Vec<TraceEntry>, _>>()?;
+                Ok(Reply::Trace { id, entries })
+            }
+            Some("metrics_text") => {
+                let id = need_id("metrics_text")?;
+                let text = doc
+                    .get("text")
+                    .and_then(|t| t.as_str())
+                    .ok_or("missing string \"text\"")?
+                    .to_string();
+                Ok(Reply::MetricsText { id, text })
             }
             Some("hello") => {
                 let id = need_id("hello")?;
@@ -1145,12 +1411,132 @@ mod tests {
             .deadline_ms(250)
             .build()
             .unwrap();
-        let req = Request::Query { id: 42, query };
+        let req = Request::Query {
+            id: 42,
+            query,
+            trace_id: None,
+        };
         let back = Request::from_json(&req.to_json()).unwrap();
         assert_eq!(back, req);
         assert_eq!(back.id(), 42);
         let req = Request::Stats { id: 7 };
         assert_eq!(Request::from_json(&req.to_json()).unwrap(), req);
+    }
+
+    #[test]
+    fn untraced_query_frames_are_byte_identical_to_legacy() {
+        let query = Query::threshold(vec![1, 2, 3], 1.5)
+            .deadline_ms(250)
+            .build()
+            .unwrap();
+        // The minor-2 frame shape, built by hand: envelope + query object.
+        let legacy = JsonValue::Obj(vec![
+            ("v".into(), JsonValue::num_u64(PROTO_MAJOR as u64)),
+            ("type".into(), JsonValue::Str("query".into())),
+            ("id".into(), JsonValue::num_u64(42)),
+            ("query".into(), query.to_value()),
+        ])
+        .to_string();
+        let untraced = Request::Query {
+            id: 42,
+            query: query.clone(),
+            trace_id: None,
+        }
+        .to_json();
+        assert_eq!(untraced, legacy);
+        assert!(!untraced.contains("trace_id"));
+        // A legacy frame (no trace_id key) decodes as untraced.
+        assert_eq!(
+            Request::from_json(&legacy).unwrap(),
+            Request::Query {
+                id: 42,
+                query,
+                trace_id: None,
+            }
+        );
+    }
+
+    #[test]
+    fn traced_frames_round_trip_and_stamping_works() {
+        let query = Query::threshold(vec![1, 2], 0.5).build().unwrap();
+        let req = Request::Query {
+            id: 1,
+            query,
+            trace_id: Some(77),
+        };
+        let json = req.to_json();
+        assert!(json.contains("\"trace_id\":77"), "frame: {json}");
+        let back = Request::from_json(&json).unwrap();
+        assert_eq!(back, req);
+        assert_eq!(back.trace_id(), Some(77));
+        // set_trace_id stamps every data RPC and ignores the rest.
+        let mut rpc = Request::ShardFreqs {
+            id: 2,
+            epoch: 7,
+            deadline_ms: None,
+            trace_id: None,
+            syms: vec![1],
+        };
+        rpc.set_trace_id(77);
+        assert_eq!(rpc.trace_id(), Some(77));
+        assert_eq!(Request::from_json(&rpc.to_json()).unwrap(), rpc);
+        let mut stats = Request::Stats { id: 3 };
+        stats.set_trace_id(77);
+        assert_eq!(stats.trace_id(), None);
+    }
+
+    #[test]
+    fn trace_and_metrics_text_frames_round_trip() {
+        for trace_id in [None, Some(9u64)] {
+            let req = Request::Trace { id: 5, trace_id };
+            assert_eq!(Request::from_json(&req.to_json()).unwrap(), req);
+        }
+        let req = Request::MetricsText { id: 6 };
+        assert_eq!(Request::from_json(&req.to_json()).unwrap(), req);
+        let reply = Reply::Trace {
+            id: 5,
+            entries: vec![TraceEntry {
+                trace_id: 9,
+                query_id: Some(12),
+                wall_ns: 5_000,
+                spans: vec![
+                    WireSpan {
+                        span_id: 1,
+                        parent_id: 0,
+                        name: "query".into(),
+                        detail: 0,
+                        start_ns: 0,
+                        dur_ns: 5_000,
+                    },
+                    WireSpan {
+                        span_id: 2,
+                        parent_id: 1,
+                        name: "verify".into(),
+                        detail: 3,
+                        start_ns: 100,
+                        dur_ns: 4_000,
+                    },
+                ],
+            }],
+        };
+        assert_eq!(Reply::from_json(&reply.to_json()).unwrap(), reply);
+        // An entry without a query id omits the key.
+        let anon = Reply::Trace {
+            id: 5,
+            entries: vec![TraceEntry {
+                trace_id: 9,
+                query_id: None,
+                wall_ns: 1,
+                spans: Vec::new(),
+            }],
+        };
+        assert!(!anon.to_json().contains("query_id"));
+        assert_eq!(Reply::from_json(&anon.to_json()).unwrap(), anon);
+        let reply = Reply::MetricsText {
+            id: 6,
+            text: "# HELP x X.\n# TYPE x counter\nx 1\n".into(),
+        };
+        assert_eq!(Reply::from_json(&reply.to_json()).unwrap(), reply);
     }
 
     #[test]
@@ -1290,18 +1676,21 @@ mod tests {
                 id: 11,
                 epoch: 7,
                 deadline_ms: Some(250),
+                trace_id: None,
                 syms: vec![0, 4, 9],
             },
             Request::ShardPostings {
                 id: 12,
                 epoch: 7,
                 deadline_ms: None,
+                trace_id: Some(31),
                 syms: vec![4],
             },
             Request::ShardDepartingBy {
                 id: 13,
                 epoch: 7,
                 deadline_ms: Some(1),
+                trace_id: None,
                 sym: 4,
                 t_max: 180.5,
             },
@@ -1309,6 +1698,7 @@ mod tests {
                 id: 14,
                 epoch: 7,
                 deadline_ms: None,
+                trace_id: Some(31),
                 start: 0,
                 count: 65536,
             },

@@ -28,19 +28,21 @@
 //!   trajectory store), so serving needs no `'static` gymnastics and no
 //!   `Arc` over the dataset.
 
-use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::metrics::{Metrics, MetricsSnapshot, SAMPLE_CAP};
 use crate::proto::{
-    write_frame, DegradedInfo, Reply, Request, ServerError, ServerErrorKind, MAX_FRAME_BYTES,
-    PROTO_MAJOR, PROTO_MINOR,
+    write_frame, DegradedInfo, Reply, Request, ServerError, ServerErrorKind, TraceEntry, WireSpan,
+    MAX_FRAME_BYTES, PROTO_MAJOR, PROTO_MINOR,
 };
 use crate::queue::{BoundedQueue, Pop, PushError};
 use crate::shard::{answer_shard_rpc, RpcDisposition, ShardSource};
+use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use trajsearch_core::{Deadline, PostingSource, Query, QueryError, Response, SearchEngine};
+use trajsearch_obs::{LogHistogram, PromText, TraceSink, Tracer};
 use wed::WedInstance;
 
 /// How a [`QueryHandler`] answered one query — the server maps each arm
@@ -68,6 +70,16 @@ pub enum Handled {
 /// tracking. Handlers run concurrently on the worker pool, hence `Sync`.
 pub trait QueryHandler: Sync {
     fn handle(&self, query: &Query, deadline: Deadline) -> Handled;
+
+    /// As [`handle`](QueryHandler::handle), but with a [`Tracer`] for
+    /// per-phase span recording. The server calls this entry point for
+    /// every query; the default ignores the tracer, so untraced handlers
+    /// need not change. Handlers that can attribute time to phases (the
+    /// engine, the distributed coordinator) override it.
+    fn handle_traced(&self, query: &Query, deadline: Deadline, tracer: Tracer<'_>) -> Handled {
+        let _ = tracer;
+        self.handle(query, deadline)
+    }
 }
 
 impl<M, I> QueryHandler for SearchEngine<'_, M, I>
@@ -76,7 +88,11 @@ where
     I: PostingSource + Sync,
 {
     fn handle(&self, query: &Query, deadline: Deadline) -> Handled {
-        match self.run_with_deadline(query, deadline) {
+        self.handle_traced(query, deadline, Tracer::disabled())
+    }
+
+    fn handle_traced(&self, query: &Query, deadline: Deadline, tracer: Tracer<'_>) -> Handled {
+        match self.run_with_deadline_traced(query, deadline, tracer) {
             Ok(response) => Handled::Response(response),
             Err(e) => Handled::Rejected(e),
         }
@@ -102,7 +118,28 @@ pub struct ServerConfig {
     /// the hello reply (default). `false` sends the pre-minor-2 hello
     /// (no `metrics` key) — kept for tests simulating an old server.
     pub advertise_metrics: bool,
+    /// Rolling window size for the queue/wall/cpu latency series behind
+    /// `stats` percentiles (see [`crate::metrics::SAMPLE_CAP`], the
+    /// default). `0` is clamped to 1.
+    pub sample_cap: usize,
+    /// Queries whose wall time reaches this threshold are captured — spans
+    /// and all — in the slow-query log readable via the `trace` wire
+    /// request. `None` (default) disables the log; with it armed, every
+    /// query is traced (into the bounded sink) even when the client sent no
+    /// `trace_id`.
+    pub slow_query_threshold: Option<Duration>,
+    /// How many slow-query captures the log retains (oldest evicted first).
+    pub slow_log_capacity: usize,
+    /// Span sink shared by tracing and the slow-query log. `None` (default)
+    /// lets the server allocate a private sink; pass a shared
+    /// [`TraceSink`] to read spans out-of-band or to share one ring across
+    /// co-located servers.
+    pub sink: Option<Arc<TraceSink>>,
 }
+
+/// Span capacity of the sink [`Server::bind`] allocates when
+/// [`ServerConfig::sink`] is `None`.
+pub const DEFAULT_SINK_SPANS: usize = 16 * 1024;
 
 impl Default for ServerConfig {
     fn default() -> ServerConfig {
@@ -112,6 +149,10 @@ impl Default for ServerConfig {
             queue_capacity: 1024,
             poll_interval: Duration::from_millis(20),
             advertise_metrics: true,
+            sample_cap: SAMPLE_CAP,
+            slow_query_threshold: None,
+            slow_log_capacity: 32,
+            sink: None,
         }
     }
 }
@@ -135,7 +176,42 @@ struct Job {
     /// Admission time — the deadline epoch, so queueing counts against the
     /// budget.
     accepted_at: Instant,
+    /// The wire frame's `trace_id`, if the client asked for tracing.
+    trace_id: Option<u64>,
     writer: Arc<Mutex<TcpStream>>,
+}
+
+/// Per-phase latency histograms backing the `metrics_text` exposition —
+/// fixed log2 buckets ([`LogHistogram`]), lock-free to record.
+struct PhaseHistograms {
+    /// Admission → dequeue, per dequeued query.
+    queue: LogHistogram,
+    /// Dequeue → reply written, per completed query.
+    wall: LogHistogram,
+    /// Engine phase times per completed query, from [`Response`] stats.
+    mincand: LogHistogram,
+    lookup: LogHistogram,
+    verify: LogHistogram,
+}
+
+impl PhaseHistograms {
+    fn new() -> PhaseHistograms {
+        PhaseHistograms {
+            queue: LogHistogram::new(),
+            wall: LogHistogram::new(),
+            mincand: LogHistogram::new(),
+            lookup: LogHistogram::new(),
+            verify: LogHistogram::new(),
+        }
+    }
+}
+
+/// Last-N ring of slow-query captures (threshold-armed via
+/// [`ServerConfig::slow_query_threshold`]).
+struct SlowLog {
+    threshold_ns: u64,
+    capacity: usize,
+    entries: Mutex<VecDeque<TraceEntry>>,
 }
 
 /// State shared between acceptor, readers, workers and handles.
@@ -145,6 +221,12 @@ struct Shared {
     metrics: Metrics,
     workers: usize,
     advertise_metrics: bool,
+    sink: Arc<TraceSink>,
+    phases: PhaseHistograms,
+    slow: Option<SlowLog>,
+    /// Queries that crossed the slow-query threshold (counter for the
+    /// exposition surface; the log itself holds only the last N).
+    slow_queries: AtomicU64,
 }
 
 /// A bound-but-not-yet-serving server. [`Server::serve`] blocks the calling
@@ -191,6 +273,19 @@ impl ServerHandle {
             self.shared.workers,
         )
     }
+
+    /// The server's span sink — the one from [`ServerConfig::sink`], or the
+    /// privately allocated one. Read spans out-of-band with
+    /// [`TraceSink::spans_for`].
+    pub fn trace_sink(&self) -> Arc<TraceSink> {
+        Arc::clone(&self.shared.sink)
+    }
+
+    /// The Prometheus text exposition, identical to the `metrics_text` wire
+    /// reply, no round trip needed.
+    pub fn metrics_text(&self) -> String {
+        render_metrics_text(&self.shared)
+    }
 }
 
 impl Server {
@@ -200,15 +295,27 @@ impl Server {
         let listener = TcpListener::bind(config.addr)?;
         let addr = listener.local_addr()?;
         let workers = config.resolve_workers();
+        let sink = config
+            .sink
+            .unwrap_or_else(|| Arc::new(TraceSink::new(DEFAULT_SINK_SPANS)));
+        let slow = config.slow_query_threshold.map(|threshold| SlowLog {
+            threshold_ns: u64::try_from(threshold.as_nanos()).unwrap_or(u64::MAX),
+            capacity: config.slow_log_capacity.max(1),
+            entries: Mutex::new(VecDeque::new()),
+        });
         Ok(Server {
             listener,
             addr,
             shared: Arc::new(Shared {
                 shutdown: AtomicBool::new(false),
                 queue: BoundedQueue::new(config.queue_capacity),
-                metrics: Metrics::new(),
+                metrics: Metrics::with_sample_cap(config.sample_cap),
                 workers,
                 advertise_metrics: config.advertise_metrics,
+                sink,
+                phases: PhaseHistograms::new(),
+                slow,
+                slow_queries: AtomicU64::new(0),
             }),
             poll_interval: config.poll_interval,
         })
@@ -381,7 +488,12 @@ impl<H: QueryHandler> Role for QueryRole<'_, H> {
         shared: &Shared,
         writer: &Arc<Mutex<TcpStream>>,
     ) {
-        let Request::Query { id, query } = request else {
+        let Request::Query {
+            id,
+            query,
+            trace_id,
+        } = request
+        else {
             Metrics::bump(&shared.metrics.invalid);
             send_reply(
                 writer,
@@ -399,6 +511,7 @@ impl<H: QueryHandler> Role for QueryRole<'_, H> {
             id,
             query,
             accepted_at: arrived,
+            trace_id,
             writer: Arc::clone(writer),
         };
         match shared.queue.try_push(job) {
@@ -472,7 +585,17 @@ impl<S: ShardSource> Role for ShardRole<'_, S> {
             );
             return;
         }
+        // A coordinator-stamped trace id yields a serve-side span so the
+        // stitched timeline shows time inside the shard server (vs the
+        // coordinator's own `shard_rpc` span, which includes the network).
+        let trace_id = request.trace_id().unwrap_or(0);
+        let rpc_id = request.id();
         let (reply, disposition) = answer_shard_rpc(self.source, request, arrived);
+        if trace_id != 0 {
+            shared
+                .sink
+                .record_interval(trace_id, 0, "rpc_serve", rpc_id, arrived, Instant::now());
+        }
         Metrics::bump(match disposition {
             RpcDisposition::Ok => &shared.metrics.completed,
             RpcDisposition::TimedOut => &shared.metrics.timed_out,
@@ -562,8 +685,21 @@ fn handle_frame<R: Role>(text: &str, shared: &Shared, writer: &Arc<Mutex<TcpStre
             return;
         }
     };
-    // stats and hello are role-independent and answered inline.
+    // stats, hello, trace and metrics_text are role-independent and
+    // answered inline (shard servers expose their spans and metrics too —
+    // cross-process stitching reads each process's `trace` surface).
     match request {
+        Request::Trace { id, trace_id } => {
+            let entries = match trace_id {
+                Some(t) => trace_entries_for(shared, t),
+                None => slow_log_entries(shared),
+            };
+            send_reply(writer, &Reply::Trace { id, entries });
+        }
+        Request::MetricsText { id } => {
+            let text = render_metrics_text(shared);
+            send_reply(writer, &Reply::MetricsText { id, text });
+        }
         Request::Stats { id } => {
             let stats = shared.metrics.snapshot(
                 shared.queue.len(),
@@ -625,6 +761,11 @@ fn worker_loop<H: QueryHandler>(shared: &Shared, handler: &H, poll: Duration) {
 
 fn process<H: QueryHandler>(job: Job, shared: &Shared, handler: &H) {
     let deadline = Deadline::for_query(job.accepted_at, job.query.deadline_ms());
+    let dequeued = Instant::now();
+    let queue_ns =
+        u64::try_from(dequeued.duration_since(job.accepted_at).as_nanos()).unwrap_or(u64::MAX);
+    shared.metrics.record_queue_wait(queue_ns);
+    shared.phases.queue.record(queue_ns);
     // Dequeue-time check: a query that aged out while queued is answered
     // without paying for any engine work.
     if deadline.expired() {
@@ -641,12 +782,28 @@ fn process<H: QueryHandler>(job: Job, shared: &Shared, handler: &H) {
         );
         return;
     }
+    // Wire-traced queries record under the client's id; an armed slow-query
+    // log traces everything else under a server-allocated id so a capture
+    // has spans to show. Untraced otherwise (trace id 0 disables recording).
+    let trace_id = match job.trace_id {
+        Some(t) => t,
+        None if shared.slow.is_some() => shared.sink.next_trace_id(),
+        None => 0,
+    };
+    let tracer = shared.sink.tracer(trace_id);
+    if tracer.enabled() {
+        shared
+            .sink
+            .record_interval(trace_id, 0, "queue_wait", 0, job.accepted_at, dequeued);
+    }
     let t0 = Instant::now();
-    match handler.handle(&job.query, deadline) {
+    match handler.handle_traced(&job.query, deadline, tracer) {
         Handled::Response(response) => {
             let wall_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
             let cpu_ns = u64::try_from(response.stats.total_time().as_nanos()).unwrap_or(u64::MAX);
             shared.metrics.record_latency(wall_ns, cpu_ns);
+            record_phase_histograms(shared, wall_ns, &response);
+            maybe_capture_slow(shared, trace_id, job.id, wall_ns);
             Metrics::bump(&shared.metrics.completed);
             send_reply(
                 &job.writer,
@@ -691,4 +848,187 @@ fn process<H: QueryHandler>(job: Job, shared: &Shared, handler: &H) {
             );
         }
     }
+}
+
+fn record_phase_histograms(shared: &Shared, wall_ns: u64, response: &Response) {
+    let ns = |d: Duration| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+    shared.phases.wall.record(wall_ns);
+    shared
+        .phases
+        .mincand
+        .record(ns(response.stats.mincand_time));
+    shared.phases.lookup.record(ns(response.stats.lookup_time));
+    shared.phases.verify.record(ns(response.stats.verify_time));
+}
+
+/// Captures a completed query into the slow-query log when its wall time
+/// crossed the threshold. The capture snapshots the trace's retained spans
+/// immediately, so later sink evictions can't hollow out a log entry.
+fn maybe_capture_slow(shared: &Shared, trace_id: u64, query_id: u64, wall_ns: u64) {
+    let Some(slow) = &shared.slow else { return };
+    if wall_ns < slow.threshold_ns || trace_id == 0 {
+        return;
+    }
+    shared.slow_queries.fetch_add(1, Ordering::Relaxed);
+    let entry = TraceEntry {
+        trace_id,
+        query_id: Some(query_id),
+        wall_ns,
+        spans: wire_spans(&shared.sink.spans_for(trace_id)),
+    };
+    let mut entries = slow.entries.lock().expect("slow log poisoned");
+    if entries.len() == slow.capacity {
+        entries.pop_front();
+    }
+    entries.push_back(entry);
+}
+
+fn wire_spans(spans: &[trajsearch_obs::SpanRecord]) -> Vec<WireSpan> {
+    spans
+        .iter()
+        .map(|s| WireSpan {
+            span_id: s.span_id,
+            parent_id: s.parent_id,
+            name: s.name.to_string(),
+            detail: s.detail,
+            start_ns: s.start_ns,
+            dur_ns: s.dur_ns,
+        })
+        .collect()
+}
+
+/// Answers `trace` with an explicit id: this process's retained spans for
+/// that trace (empty `entries` when none survive — evicted or never
+/// recorded here).
+fn trace_entries_for(shared: &Shared, trace_id: u64) -> Vec<TraceEntry> {
+    let spans = shared.sink.spans_for(trace_id);
+    if spans.is_empty() {
+        return Vec::new();
+    }
+    let start = spans.iter().map(|s| s.start_ns).min().unwrap_or(0);
+    let end = spans.iter().map(|s| s.end_ns()).max().unwrap_or(start);
+    vec![TraceEntry {
+        trace_id,
+        query_id: None,
+        wall_ns: end.saturating_sub(start),
+        spans: wire_spans(&spans),
+    }]
+}
+
+/// Answers `trace` without an id: the slow-query log, oldest first.
+fn slow_log_entries(shared: &Shared) -> Vec<TraceEntry> {
+    match &shared.slow {
+        Some(slow) => slow
+            .entries
+            .lock()
+            .expect("slow log poisoned")
+            .iter()
+            .cloned()
+            .collect(),
+        None => Vec::new(),
+    }
+}
+
+/// Renders the Prometheus text exposition: every admission counter, queue
+/// gauges, trace-sink counters, and the per-phase log2 histograms.
+fn render_metrics_text(shared: &Shared) -> String {
+    let c = |a: &AtomicU64| a.load(Ordering::Relaxed);
+    let m = &shared.metrics;
+    let mut p = PromText::new();
+    p.counter(
+        "trajsearch_queries_admitted_total",
+        "Queries accepted into the admission queue",
+        c(&m.admitted),
+    );
+    p.counter(
+        "trajsearch_queries_completed_total",
+        "Queries answered with a full response",
+        c(&m.completed),
+    );
+    p.counter(
+        "trajsearch_queries_degraded_total",
+        "Queries answered degraded (missing shards)",
+        c(&m.degraded),
+    );
+    p.counter(
+        "trajsearch_queries_timed_out_total",
+        "Queries that exceeded their deadline",
+        c(&m.timed_out),
+    );
+    p.counter(
+        "trajsearch_queries_rejected_overload_total",
+        "Queries refused because the admission queue was full",
+        c(&m.rejected_overload),
+    );
+    p.counter(
+        "trajsearch_queries_rejected_shutdown_total",
+        "Queries refused during graceful drain",
+        c(&m.rejected_shutdown),
+    );
+    p.counter(
+        "trajsearch_requests_invalid_total",
+        "Frames rejected as invalid queries",
+        c(&m.invalid),
+    );
+    p.counter(
+        "trajsearch_requests_malformed_total",
+        "Frames rejected as malformed",
+        c(&m.malformed),
+    );
+    p.counter(
+        "trajsearch_slow_queries_total",
+        "Queries that crossed the slow-query threshold",
+        shared.slow_queries.load(Ordering::Relaxed),
+    );
+    p.counter(
+        "trajsearch_trace_spans_recorded_total",
+        "Spans recorded into the trace sink",
+        shared.sink.recorded(),
+    );
+    p.counter(
+        "trajsearch_trace_spans_evicted_total",
+        "Spans overwritten in the bounded trace sink",
+        shared.sink.evicted(),
+    );
+    p.gauge(
+        "trajsearch_queue_depth",
+        "Queries currently waiting in the admission queue",
+        shared.queue.len() as f64,
+    );
+    p.gauge(
+        "trajsearch_queue_capacity",
+        "Admission queue bound",
+        shared.queue.capacity() as f64,
+    );
+    p.gauge(
+        "trajsearch_workers",
+        "Worker pool size",
+        shared.workers as f64,
+    );
+    p.histogram(
+        "trajsearch_queue_wait_ns",
+        "Admission to dequeue, nanoseconds",
+        &shared.phases.queue.snapshot(),
+    );
+    p.histogram(
+        "trajsearch_query_wall_ns",
+        "Dequeue to reply, nanoseconds",
+        &shared.phases.wall.snapshot(),
+    );
+    p.histogram(
+        "trajsearch_phase_mincand_ns",
+        "mincandidate filter phase, nanoseconds",
+        &shared.phases.mincand.snapshot(),
+    );
+    p.histogram(
+        "trajsearch_phase_lookup_ns",
+        "Posting-list lookup phase, nanoseconds",
+        &shared.phases.lookup.snapshot(),
+    );
+    p.histogram(
+        "trajsearch_phase_verify_ns",
+        "Verification phase, nanoseconds",
+        &shared.phases.verify.snapshot(),
+    );
+    p.render()
 }

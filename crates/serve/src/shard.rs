@@ -328,6 +328,7 @@ mod tests {
                 id: 1,
                 epoch: 8,
                 deadline_ms: None,
+                trace_id: None,
                 syms: vec![1],
             },
             Instant::now(),
@@ -347,6 +348,7 @@ mod tests {
                 id: 2,
                 epoch: 7,
                 deadline_ms: Some(0),
+                trace_id: None,
                 syms: vec![1],
             },
             Instant::now(),

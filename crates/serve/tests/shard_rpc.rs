@@ -99,18 +99,21 @@ fn sample_request(which: usize) -> Request {
             id: 7,
             epoch: 3,
             deadline_ms: Some(250),
+            trace_id: None,
             syms: vec![0, 5, 11],
         },
         1 => Request::ShardPostings {
             id: 8,
             epoch: 3,
             deadline_ms: None,
+            trace_id: Some(9),
             syms: vec![2, 2, 9],
         },
         2 => Request::ShardDepartingBy {
             id: 9,
             epoch: 3,
             deadline_ms: Some(1000),
+            trace_id: None,
             sym: 4,
             t_max: 123.5,
         },
@@ -118,6 +121,7 @@ fn sample_request(which: usize) -> Request {
             id: 10,
             epoch: 3,
             deadline_ms: None,
+            trace_id: None,
             start: 64,
             count: 32,
         },
@@ -144,16 +148,19 @@ proptest! {
         count in 0u64..1_000_000,
         major in 0u32..9,
         minor in 0u32..9,
+        has_trace in 0usize..2,
+        trace in 1u64..1_000_000_000_000,
     ) {
         let deadline_ms = (has_deadline == 1).then_some(deadline);
+        let trace_id = (has_trace == 1).then_some(trace);
         // Quarters exercise non-integer departures; the codec's `{x}`
         // rendering is shortest-round-trip, so equality is exact.
         let t_max = t_raw as f64 * 0.25 - 1000.0;
         let frames = vec![
-            Request::ShardFreqs { id, epoch, deadline_ms, syms: syms.clone() },
-            Request::ShardPostings { id, epoch, deadline_ms, syms: syms.clone() },
-            Request::ShardDepartingBy { id, epoch, deadline_ms, sym, t_max },
-            Request::ShardSpans { id, epoch, deadline_ms, start, count },
+            Request::ShardFreqs { id, epoch, deadline_ms, trace_id, syms: syms.clone() },
+            Request::ShardPostings { id, epoch, deadline_ms, trace_id, syms: syms.clone() },
+            Request::ShardDepartingBy { id, epoch, deadline_ms, trace_id, sym, t_max },
+            Request::ShardSpans { id, epoch, deadline_ms, trace_id, start, count },
             Request::ShardInfo { id },
             Request::Hello { id, major, minor },
         ];
@@ -335,6 +342,7 @@ fn serve_shard_answers_the_posting_source_contract_over_the_wire() {
             id,
             epoch: EPOCH,
             deadline_ms: Some(30_000),
+            trace_id: None,
             syms: syms.clone(),
         }) {
             Reply::ShardFreqs { freqs, .. } => assert_eq!(freqs, source.freqs(&syms)),
@@ -344,6 +352,7 @@ fn serve_shard_answers_the_posting_source_contract_over_the_wire() {
             id,
             epoch: EPOCH,
             deadline_ms: Some(30_000),
+            trace_id: None,
             syms: syms.clone(),
         }) {
             Reply::ShardPostings { lists, .. } => assert_eq!(lists, source.postings(&syms)),
@@ -354,6 +363,7 @@ fn serve_shard_answers_the_posting_source_contract_over_the_wire() {
                 id,
                 epoch: EPOCH,
                 deadline_ms: None,
+                trace_id: None,
                 sym,
                 t_max,
             }) {
@@ -376,6 +386,7 @@ fn serve_shard_answers_the_posting_source_contract_over_the_wire() {
                 id,
                 epoch: EPOCH,
                 deadline_ms: Some(30_000),
+                trace_id: None,
                 start: at,
                 count: 3,
             }) {
@@ -398,6 +409,7 @@ fn serve_shard_answers_the_posting_source_contract_over_the_wire() {
             id,
             epoch: EPOCH + 1,
             deadline_ms: None,
+            trace_id: None,
             syms: vec![1],
         }) {
             Reply::Error { error, .. } => assert_eq!(error.kind, ServerErrorKind::EpochMismatch),
@@ -409,6 +421,7 @@ fn serve_shard_answers_the_posting_source_contract_over_the_wire() {
             id,
             epoch: EPOCH,
             deadline_ms: Some(0),
+            trace_id: None,
             syms: vec![1],
         }) {
             Reply::Error { error, .. } => {
@@ -420,6 +433,7 @@ fn serve_shard_answers_the_posting_source_contract_over_the_wire() {
         match rpc(&mut client, |id| Request::Query {
             id,
             query: query.clone(),
+            trace_id: None,
         }) {
             Reply::Error { error, .. } => {
                 assert_eq!(error.kind, ServerErrorKind::InvalidQuery);
@@ -431,6 +445,7 @@ fn serve_shard_answers_the_posting_source_contract_over_the_wire() {
             id,
             epoch: EPOCH,
             deadline_ms: None,
+            trace_id: None,
             syms: vec![1],
         }) {
             Reply::ShardFreqs { freqs, .. } => {
@@ -522,6 +537,7 @@ fn query_servers_refuse_shard_rpcs_with_a_typed_error() {
             id,
             epoch: 0,
             deadline_ms: None,
+            trace_id: None,
             syms: vec![1],
         }) {
             Reply::Error { error, .. } => {

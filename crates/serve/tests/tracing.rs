@@ -1,0 +1,210 @@
+//! Tracing integration suite (protocol minor 3), over real sockets:
+//!
+//! * **Traced queries** — a `trace_id` on the query frame yields a
+//!   readable per-phase timeline (`queue_wait`, `query`, `filter`,
+//!   `verify`, …) via the `trace` request, all spans under the client's
+//!   id, with the phase spans nested inside the root `query` span.
+//! * **Result neutrality** — a traced query's matches and deterministic
+//!   stats are byte-identical to the same query untraced.
+//! * **Slow-query log** — with a threshold armed, every crossing query is
+//!   captured (spans and all) and readable via an id-less `trace` request,
+//!   even when the client sent no `trace_id`.
+//! * **Exposition** — `metrics_text` renders Prometheus text with the
+//!   admission counters and per-phase histograms.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::time::Duration;
+use traj::{Trajectory, TrajectoryStore};
+use trajsearch_core::{EngineBuilder, Query, VerifyMode};
+use trajsearch_serve::{Client, Server, ServerConfig, ServerHandle, TraceEntry};
+use wed::models::Lev;
+use wed::Sym;
+
+const ALPHABET: usize = 64;
+
+struct ShutdownOnDrop(ServerHandle);
+
+impl Drop for ShutdownOnDrop {
+    fn drop(&mut self) {
+        self.0.shutdown();
+    }
+}
+
+fn store(n: usize, len: usize, seed: u64) -> TrajectoryStore {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut store = TrajectoryStore::new();
+    for i in 0..n {
+        let path: Vec<Sym> = (0..len)
+            .map(|_| rng.gen_range(0..ALPHABET as u32))
+            .collect();
+        let t0 = (i * 7) as f64;
+        let times: Vec<f64> = (0..len).map(|j| t0 + j as f64).collect();
+        store.push(Trajectory::new(path, times));
+    }
+    store
+}
+
+fn names(entry: &TraceEntry) -> Vec<&str> {
+    entry.spans.iter().map(|s| s.name.as_str()).collect()
+}
+
+#[test]
+fn traced_query_yields_a_phase_timeline_and_identical_results() {
+    let store = store(60, 16, 11);
+    let engine = EngineBuilder::new(Lev, &store, ALPHABET).build();
+    let server = Server::bind(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let handle = server.handle();
+    std::thread::scope(|scope| {
+        let guard = ShutdownOnDrop(handle.clone());
+        let serving = scope.spawn(|| server.serve(&engine));
+        let mut client = Client::connect(handle.local_addr()).expect("connect");
+
+        let query = Query::threshold(vec![1, 2, 3], 2.0)
+            .verify(VerifyMode::Trie)
+            .build()
+            .unwrap();
+        let untraced = client.query(&query).expect("untraced query");
+        let traced = client.query_traced(&query, 777).expect("traced query");
+
+        // Tracing must not perturb the answer: matches and deterministic
+        // counters byte-identical to the untraced run.
+        assert_eq!(traced.matches, untraced.matches);
+        assert_eq!(traced.stats.candidates, untraced.stats.candidates);
+        assert_eq!(traced.stats.verify_cost, untraced.stats.verify_cost);
+        assert_eq!(traced.stats.results, untraced.stats.results);
+
+        // The timeline: one entry under the client's id, phases present,
+        // engine phases nested under the root query span.
+        let entries = client.trace(Some(777)).expect("trace fetch");
+        assert_eq!(entries.len(), 1, "one process, one timeline");
+        let entry = &entries[0];
+        assert_eq!(entry.trace_id, 777);
+        let got = names(entry);
+        for phase in ["queue_wait", "query", "filter", "verify"] {
+            assert!(got.contains(&phase), "missing {phase} in {got:?}");
+        }
+        let root = entry
+            .spans
+            .iter()
+            .find(|s| s.name == "query")
+            .expect("root span");
+        assert_eq!(root.parent_id, 0, "query is a root span");
+        let filter = entry.spans.iter().find(|s| s.name == "filter").unwrap();
+        assert_eq!(filter.parent_id, root.span_id, "filter nests under query");
+        for s in &entry.spans {
+            assert!(s.span_id != 0, "span ids are never 0");
+        }
+        // Spans come back sorted by start.
+        let starts: Vec<u64> = entry.spans.iter().map(|s| s.start_ns).collect();
+        let mut sorted = starts.clone();
+        sorted.sort_unstable();
+        assert_eq!(starts, sorted, "spans sorted by start time");
+
+        // An unknown trace id answers cleanly with no entries.
+        assert!(client.trace(Some(999_999)).expect("empty fetch").is_empty());
+
+        drop(guard);
+        serving.join().expect("join").expect("serve ok");
+    });
+}
+
+#[test]
+fn slow_query_log_captures_untraced_queries_when_armed() {
+    let store = store(40, 12, 5);
+    let engine = EngineBuilder::new(Lev, &store, ALPHABET).build();
+    let server = Server::bind(ServerConfig {
+        workers: 1,
+        // Zero threshold: every completed query counts as slow.
+        slow_query_threshold: Some(Duration::ZERO),
+        slow_log_capacity: 2,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let handle = server.handle();
+    std::thread::scope(|scope| {
+        let guard = ShutdownOnDrop(handle.clone());
+        let serving = scope.spawn(|| server.serve(&engine));
+        let mut client = Client::connect(handle.local_addr()).expect("connect");
+
+        // Plain queries, no trace_id on the wire.
+        for sym in [1u32, 2, 3] {
+            let q = Query::threshold(vec![sym, sym + 1], 1.0).build().unwrap();
+            client.query(&q).expect("query");
+        }
+        let entries = client.trace(None).expect("slow log fetch");
+        // Capacity 2: three slow queries, the oldest evicted.
+        assert_eq!(entries.len(), 2, "ring keeps the last N");
+        for entry in &entries {
+            assert!(entry.trace_id != 0, "server allocated an internal id");
+            assert!(entry.query_id.is_some(), "captures name the wire query");
+            assert!(
+                names(entry).contains(&"query"),
+                "captures carry spans: {:?}",
+                names(entry)
+            );
+        }
+
+        drop(guard);
+        serving.join().expect("join").expect("serve ok");
+    });
+}
+
+#[test]
+fn slow_log_disabled_answers_an_empty_log() {
+    let store = store(10, 8, 3);
+    let engine = EngineBuilder::new(Lev, &store, ALPHABET).build();
+    let server = Server::bind(ServerConfig::default()).expect("bind");
+    let handle = server.handle();
+    std::thread::scope(|scope| {
+        let guard = ShutdownOnDrop(handle.clone());
+        let serving = scope.spawn(|| server.serve(&engine));
+        let mut client = Client::connect(handle.local_addr()).expect("connect");
+        let q = Query::threshold(vec![1, 2], 1.0).build().unwrap();
+        client.query(&q).expect("query");
+        assert!(client.trace(None).expect("fetch").is_empty());
+        drop(guard);
+        serving.join().expect("join").expect("serve ok");
+    });
+}
+
+#[test]
+fn metrics_text_renders_prometheus_exposition() {
+    let store = store(30, 12, 9);
+    let engine = EngineBuilder::new(Lev, &store, ALPHABET).build();
+    let server = Server::bind(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let handle = server.handle();
+    std::thread::scope(|scope| {
+        let guard = ShutdownOnDrop(handle.clone());
+        let serving = scope.spawn(|| server.serve(&engine));
+        let mut client = Client::connect(handle.local_addr()).expect("connect");
+
+        let q = Query::threshold(vec![4, 5, 6], 1.5).build().unwrap();
+        client.query(&q).expect("query");
+        let text = client.metrics_text().expect("metrics_text");
+
+        assert!(text.contains("# TYPE trajsearch_queries_admitted_total counter"));
+        assert!(text.contains("trajsearch_queries_completed_total 1"));
+        assert!(text.contains("# TYPE trajsearch_query_wall_ns histogram"));
+        assert!(text.contains("trajsearch_queue_wait_ns_count 1"));
+        assert!(text.contains("trajsearch_query_wall_ns_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("trajsearch_workers 1"));
+        // The wire reply and the in-process handle agree on structure
+        // (counts may move between calls, names must not).
+        let local = handle.metrics_text();
+        for line in text.lines().filter(|l| l.starts_with("# TYPE")) {
+            assert!(local.contains(line), "missing {line}");
+        }
+
+        drop(guard);
+        serving.join().expect("join").expect("serve ok");
+    });
+}
